@@ -1,0 +1,67 @@
+//! Error-curve estimation (the Figure 6 inner loop) and the price
+//! interpolation solvers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nimbus_core::{ErrorCurve, GaussianMechanism, Ncp};
+use nimbus_linalg::Vector;
+use nimbus_ml::LinearModel;
+use nimbus_optim::interpolation::{interpolate_l1, interpolate_l2};
+use nimbus_optim::InterpolationProblem;
+use nimbus_randkit::seeded_rng;
+use std::hint::black_box;
+
+fn bench_error_curve_estimation(c: &mut Criterion) {
+    let model = LinearModel::new(Vector::from_vec(
+        (0..20).map(|i| (i as f64 * 0.31).cos()).collect(),
+    ));
+    let deltas: Vec<Ncp> = (1..=10).map(|i| Ncp::new(i as f64 * 0.2).unwrap()).collect();
+    let mut group = c.benchmark_group("error_curve_10_deltas");
+    group.sample_size(10);
+    for samples in [100usize, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(samples), &samples, |b, &s| {
+            b.iter(|| {
+                let mut rng = seeded_rng(3);
+                let m = model.clone();
+                ErrorCurve::estimate(
+                    &GaussianMechanism,
+                    black_box(&model),
+                    |h| h.distance_squared(&m).map_err(Into::into),
+                    &deltas,
+                    s,
+                    &mut rng,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn interpolation_instance(n: usize) -> InterpolationProblem {
+    // Superadditive-looking targets so the projection has real work to do.
+    let points: Vec<(f64, f64)> = (1..=n)
+        .map(|j| {
+            let a = j as f64;
+            (a, a * a * 0.5 + (j % 3) as f64)
+        })
+        .collect();
+    InterpolationProblem::new(points).expect("valid")
+}
+
+fn bench_interpolation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("price_interpolation");
+    for n in [10usize, 100, 500] {
+        let problem = interpolation_instance(n);
+        group.bench_with_input(BenchmarkId::new("l2_dykstra", n), &problem, |b, p| {
+            b.iter(|| interpolate_l2(black_box(p)).unwrap())
+        });
+    }
+    let problem = interpolation_instance(50);
+    group.bench_function("l1_subgradient_50pts_100iters", |b| {
+        b.iter(|| interpolate_l1(black_box(&problem), 100).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_error_curve_estimation, bench_interpolation);
+criterion_main!(benches);

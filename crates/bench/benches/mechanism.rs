@@ -1,0 +1,56 @@
+//! Noisy-model-generation benches: the per-sale cost that makes real-time
+//! broker interaction possible (§4: "avoids training a model instance from
+//! scratch").
+//!
+//! Expected shape: perturbing a d-dimensional model is O(d) and measured in
+//! nanoseconds-to-microseconds — negligible against the one-time training
+//! cost in the `training` bench.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nimbus_core::{
+    GaussianMechanism, LaplaceMechanism, Ncp, RandomizedMechanism, UniformMechanism,
+};
+use nimbus_linalg::Vector;
+use nimbus_ml::LinearModel;
+use nimbus_randkit::seeded_rng;
+use std::hint::black_box;
+
+fn model_of_dim(d: usize) -> LinearModel {
+    LinearModel::new(Vector::from_vec(
+        (0..d).map(|i| (i as f64 * 0.37).sin()).collect(),
+    ))
+}
+
+fn bench_perturb_dims(c: &mut Criterion) {
+    let ncp = Ncp::new(1.0).unwrap();
+    let mut group = c.benchmark_group("gaussian_perturb_by_dim");
+    for d in [9usize, 20, 54, 90, 512] {
+        let model = model_of_dim(d);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &model, |b, m| {
+            let mut rng = seeded_rng(1);
+            b.iter(|| GaussianMechanism.perturb(black_box(m), ncp, &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_mechanism_comparison(c: &mut Criterion) {
+    let ncp = Ncp::new(1.0).unwrap();
+    let model = model_of_dim(90); // YearMSD dimensionality
+    let mechanisms: Vec<(&str, Box<dyn RandomizedMechanism>)> = vec![
+        ("gaussian", Box::new(GaussianMechanism)),
+        ("laplace", Box::new(LaplaceMechanism)),
+        ("uniform", Box::new(UniformMechanism)),
+    ];
+    let mut group = c.benchmark_group("mechanisms_d90");
+    for (name, mech) in mechanisms {
+        group.bench_function(name, |b| {
+            let mut rng = seeded_rng(2);
+            b.iter(|| mech.perturb(black_box(&model), ncp, &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_perturb_dims, bench_mechanism_comparison);
+criterion_main!(benches);

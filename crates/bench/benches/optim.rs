@@ -1,0 +1,91 @@
+//! Revenue-optimization benches: the §6.3 runtime claims.
+//!
+//! * `dp`: Algorithm 1 at n = 10 … 1000 — quadratic, microseconds to low
+//!   milliseconds.
+//! * `milp`: Algorithm 2 at k = 4 … 12 — exponential (each +1 doubles it).
+//! * `baselines`: the trivial comparison strategies.
+//! * Paper shape to confirm: at k = 10, `milp / dp` is orders of magnitude.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nimbus_bench::{integer_convex_problem, standard_market};
+use nimbus_optim::baselines::{Baseline, BaselineKind};
+use nimbus_optim::{solve_revenue_brute_force, solve_revenue_dp};
+use std::hint::black_box;
+
+fn bench_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("revenue_dp");
+    for n in [10usize, 50, 100, 400, 1000] {
+        let problem = standard_market(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, p| {
+            b.iter(|| solve_revenue_dp(black_box(p)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_milp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("revenue_milp_brute_force");
+    group.sample_size(10);
+    for k in [4usize, 6, 8, 10, 12] {
+        let problem = integer_convex_problem(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &problem, |b, p| {
+            b.iter(|| solve_revenue_brute_force(black_box(p)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let problem = standard_market(100);
+    let mut group = c.benchmark_group("baselines_n100");
+    for kind in BaselineKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            b.iter(|| Baseline::fit(black_box(k), black_box(&problem)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_fairness_frontier(c: &mut Criterion) {
+    // The §7 future-work ablation: a full Lagrangian frontier sweep is just
+    // a handful of DP solves, so it should stay in the tens of microseconds
+    // even at figure scale.
+    let problem = standard_market(100);
+    let lambdas = [0.0, 1.0, 4.0, 16.0, 64.0];
+    c.bench_function("fairness_frontier_5_lambdas_n100", |b| {
+        b.iter(|| {
+            nimbus_optim::fairness::fairness_frontier(black_box(&problem), black_box(&lambdas))
+                .unwrap()
+        })
+    });
+}
+
+fn bench_isotonic_projection(c: &mut Criterion) {
+    // The Dykstra/PAV inner loop of the T²_PI interpolation solver.
+    let mut group = c.benchmark_group("relaxed_projection");
+    for n in [50usize, 500, 5_000] {
+        let a: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+        let targets: Vec<f64> = (0..n)
+            .map(|i| ((i * 7919) % 101) as f64 + (i as f64).sqrt())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                nimbus_optim::interpolation::project_relaxed_feasible(
+                    black_box(&a),
+                    black_box(&targets),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dp,
+    bench_milp,
+    bench_baselines,
+    bench_fairness_frontier,
+    bench_isotonic_projection
+);
+criterion_main!(benches);

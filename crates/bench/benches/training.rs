@@ -1,0 +1,84 @@
+//! Broker one-time training cost across trainers and dataset sizes —
+//! the fixed cost the noise mechanism amortizes over unlimited sales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nimbus_data::synthetic::{
+    generate_classification, generate_regression, ClassificationSpec, RegressionSpec,
+};
+use nimbus_ml::{
+    LinearRegressionTrainer, LogisticRegressionTrainer, PegasosSvmTrainer, Trainer,
+};
+use std::hint::black_box;
+
+fn bench_linear_regression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_linear_regression_d20");
+    group.sample_size(20);
+    for n in [1_000usize, 5_000, 20_000] {
+        let (data, _) = generate_regression(&RegressionSpec::simulated1(n, 20), 1).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, d| {
+            let trainer = LinearRegressionTrainer::ridge(1e-6);
+            b.iter(|| trainer.train(black_box(d)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_logistic_regression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_logistic_newton_d20");
+    group.sample_size(10);
+    for n in [1_000usize, 5_000] {
+        let (data, _) =
+            generate_classification(&ClassificationSpec::simulated2(n, 20), 2).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, d| {
+            let trainer = LogisticRegressionTrainer::new(1e-4);
+            b.iter(|| trainer.train(black_box(d)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_pegasos(c: &mut Criterion) {
+    let (data, _) = generate_classification(&ClassificationSpec::simulated2(5_000, 20), 3).unwrap();
+    let mut group = c.benchmark_group("train_pegasos_svm_n5000_d20");
+    group.sample_size(10);
+    for iters in [20_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(iters), &iters, |b, &it| {
+            let trainer = PegasosSvmTrainer {
+                iterations: it,
+                ..PegasosSvmTrainer::new(1e-3, 7)
+            };
+            b.iter(|| trainer.train(black_box(&data)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_streaming_least_squares(c: &mut Criterion) {
+    // One-pass constant-memory training vs the materialized path — the
+    // route to full Table 3 scale.
+    use nimbus_data::stream::SyntheticRegressionStream;
+    use nimbus_ml::streaming::train_least_squares_stream;
+    let mut group = c.benchmark_group("train_streaming_least_squares_d20");
+    group.sample_size(10);
+    for n in [10_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &rows| {
+            b.iter(|| {
+                let mut stream = SyntheticRegressionStream::new(
+                    RegressionSpec::simulated1(rows, 20),
+                    1,
+                );
+                train_least_squares_stream(&mut stream, 1e-6).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_linear_regression,
+    bench_logistic_regression,
+    bench_pegasos,
+    bench_streaming_least_squares
+);
+criterion_main!(benches);

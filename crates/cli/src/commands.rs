@@ -1,0 +1,452 @@
+//! Command execution for the `nimbus` binary.
+//!
+//! Each command returns its report as a `String` (testable without stdout
+//! capture). All markets are built from the same stack the experiments use.
+
+use crate::parse::{usage, BuyRequest, Command};
+use nimbus::core::arbitrage::find_attack;
+use nimbus::prelude::*;
+use nimbus::prelude::ErrorCurve;
+use std::fmt::Write as _;
+
+/// Boxed evaluation closure for buyer-side error functions.
+type EvalFn = Box<dyn FnMut(&LinearModel) -> nimbus::core::Result<f64>>;
+
+/// Executes a parsed command, returning the text to print.
+pub fn run_command(command: Command) -> Result<String, String> {
+    match command {
+        Command::Help => Ok(usage()),
+        Command::Demo { dataset, seed } => demo(&dataset, seed),
+        Command::Price {
+            value,
+            demand,
+            points,
+        } => price(&value, &demand, points),
+        Command::Buy {
+            dataset,
+            request,
+            seed,
+        } => buy(&dataset, request, seed),
+        Command::Attack {
+            value,
+            points,
+            naive,
+        } => attack(&value, points, naive),
+        Command::Fairness { value, points, tau } => fairness(&value, points, tau),
+        Command::Curve {
+            dataset,
+            samples,
+            seed,
+        } => error_curve(&dataset, samples, seed),
+    }
+}
+
+fn lookup_dataset(name: &str) -> Result<PaperDataset, String> {
+    PaperDataset::ALL
+        .into_iter()
+        .find(|d| d.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            format!(
+                "unknown dataset {name:?}; available: {}",
+                PaperDataset::ALL
+                    .iter()
+                    .map(|d| d.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })
+}
+
+fn lookup_value(shape: &str) -> Result<ValueCurve, String> {
+    match shape.to_ascii_lowercase().as_str() {
+        "convex" => Ok(ValueCurve::standard_convex()),
+        "concave" => Ok(ValueCurve::standard_concave()),
+        "linear" => Ok(ValueCurve::standard_linear()),
+        "sigmoid" => Ok(ValueCurve::standard_sigmoid()),
+        other => Err(format!(
+            "unknown value shape {other:?}; available: convex, concave, linear, sigmoid"
+        )),
+    }
+}
+
+fn lookup_demand(shape: &str) -> Result<DemandCurve, String> {
+    match shape.to_ascii_lowercase().as_str() {
+        "uniform" => Ok(DemandCurve::Uniform),
+        "mid_peaked" | "mid-peaked" => Ok(DemandCurve::MidPeaked { width: 0.15 }),
+        "bimodal" => Ok(DemandCurve::BimodalExtremes { width: 0.12 }),
+        "increasing" => Ok(DemandCurve::Increasing),
+        "decreasing" => Ok(DemandCurve::Decreasing),
+        other => Err(format!(
+            "unknown demand shape {other:?}; available: uniform, mid_peaked, bimodal, \
+             increasing, decreasing"
+        )),
+    }
+}
+
+fn build_broker(dataset: PaperDataset, seed: u64) -> Result<Broker, String> {
+    let spec = DatasetSpec::scaled(dataset, 4_000);
+    let (tt, _) = spec.materialize(seed).map_err(|e| e.to_string())?;
+    let curves = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform);
+    let seller = Seller::new(dataset.name(), tt, curves);
+    let trainer: Box<dyn Trainer + Send + Sync> = match dataset.task() {
+        Task::Regression => Box::new(LinearRegressionTrainer::ridge(1e-6)),
+        Task::BinaryClassification => Box::new(LogisticRegressionTrainer::new(1e-4)),
+    };
+    let broker = Broker::new(
+        seller,
+        trainer,
+        Box::new(GaussianMechanism),
+        BrokerConfig {
+            n_price_points: 50,
+            error_curve_samples: 50,
+            seed,
+        },
+    );
+    broker.open_market().map_err(|e| e.to_string())?;
+    Ok(broker)
+}
+
+fn demo(dataset_name: &str, seed: u64) -> Result<String, String> {
+    let dataset = lookup_dataset(dataset_name)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Nimbus demo on {} ===", dataset.name());
+
+    let start = std::time::Instant::now();
+    let broker = build_broker(dataset, seed)?;
+    let optimal = broker.optimal_model().map_err(|e| e.to_string())?;
+    let _ = writeln!(
+        out,
+        "broker trained the optimal {}-feature model and opened the market in {:?}",
+        optimal.dim(),
+        start.elapsed()
+    );
+    let _ = writeln!(
+        out,
+        "expected revenue per unit demand: {:.2}",
+        broker.expected_revenue().map_err(|e| e.to_string())?
+    );
+
+    let menu = broker.posted_menu().map_err(|e| e.to_string())?;
+    let _ = writeln!(out, "\nposted price curve (excerpt):");
+    for (x, p) in menu.iter().step_by((menu.len() / 5).max(1)) {
+        let _ = writeln!(
+            out,
+            "  1/NCP {x:>6.1}  E[square loss] {:>8.4}  price {p:>7.2}",
+            1.0 / x
+        );
+    }
+
+    for (label, request) in [
+        ("point x=25", PurchaseRequest::AtInverseNcp(25.0)),
+        ("error budget 0.1", PurchaseRequest::ErrorBudget(0.1)),
+        ("price budget 30", PurchaseRequest::PriceBudget(30.0)),
+    ] {
+        match broker.purchase(request, f64::INFINITY) {
+            Ok(sale) => {
+                let _ = writeln!(
+                    out,
+                    "buyer ({label}): got x={:.1} for {:.2} (E[sq loss] {:.4})",
+                    sale.inverse_ncp, sale.price, sale.expected_square_error
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "buyer ({label}): rejected — {e}");
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nledger: {} sales, revenue {:.2}",
+        broker.sales_count(),
+        broker.collected_revenue()
+    );
+
+    // Attack the posted menu: must fail.
+    let pricing = PiecewiseLinearPricing::new(menu.clone()).map_err(|e| e.to_string())?;
+    let xs: Vec<f64> = menu.iter().map(|(x, _)| *x).collect();
+    let target = *xs.last().expect("non-empty menu");
+    match find_attack(&pricing, target, &xs, 2_000).map_err(|e| e.to_string())? {
+        None => {
+            let _ = writeln!(
+                out,
+                "arbitrage search against the posted curve: NO attack exists (Theorem 5 holds)"
+            );
+        }
+        Some(a) => {
+            let _ = writeln!(out, "UNEXPECTED arbitrage found: {a:?}");
+        }
+    }
+    Ok(out)
+}
+
+fn price(value: &str, demand: &str, points: usize) -> Result<String, String> {
+    let curves = MarketCurves::new(lookup_value(value)?, lookup_demand(demand)?);
+    let problem = curves.build_problem(points).map_err(|e| e.to_string())?;
+    let outcomes =
+        compare_strategies(&problem, &PricingStrategy::FAST).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "market: {value} value x {demand} demand, {points} versions"
+    );
+    let _ = writeln!(out, "{:<10} {:>10} {:>15}", "strategy", "revenue", "affordability");
+    for o in &outcomes {
+        let _ = writeln!(out, "{:<10} {:>10.3} {:>15.3}", o.name, o.revenue, o.affordability);
+    }
+    let mbp = &outcomes[0];
+    let _ = writeln!(out, "\nMBP price curve:");
+    for (p, z) in problem
+        .points()
+        .iter()
+        .zip(&mbp.prices)
+        .step_by((points / 10).max(1))
+    {
+        let _ = writeln!(out, "  1/NCP {:>6.1}  value {:>7.2}  price {:>7.2}", p.a, p.v, z);
+    }
+    Ok(out)
+}
+
+fn buy(dataset_name: &str, request: BuyRequest, seed: u64) -> Result<String, String> {
+    let dataset = lookup_dataset(dataset_name)?;
+    let broker = build_broker(dataset, seed)?;
+    let req = match request {
+        BuyRequest::ErrorBudget(e) => PurchaseRequest::ErrorBudget(e),
+        BuyRequest::PriceBudget(p) => PurchaseRequest::PriceBudget(p),
+        BuyRequest::AtInverseNcp(x) => PurchaseRequest::AtInverseNcp(x),
+    };
+    let sale = broker
+        .purchase(req, f64::INFINITY)
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "purchased from the {} market:", dataset.name());
+    let _ = writeln!(out, "  version       : 1/NCP = {:.2}", sale.inverse_ncp);
+    let _ = writeln!(out, "  price         : {:.2}", sale.price);
+    let _ = writeln!(out, "  E[square loss]: {:.5}", sale.expected_square_error);
+    let _ = writeln!(
+        out,
+        "  model         : {} weights, first = {:.4}",
+        sale.model.dim(),
+        sale.model.weights()[0]
+    );
+    Ok(out)
+}
+
+fn attack(value: &str, points: usize, naive: bool) -> Result<String, String> {
+    let curves = MarketCurves::new(lookup_value(value)?, DemandCurve::Uniform);
+    let problem = curves.build_problem(points).map_err(|e| e.to_string())?;
+    let params = problem.parameters();
+    let prices = if naive {
+        problem.valuations()
+    } else {
+        solve_revenue_dp(&problem).map_err(|e| e.to_string())?.prices
+    };
+    let pricing = PiecewiseLinearPricing::new(
+        params.iter().copied().zip(prices).collect(),
+    )
+    .map_err(|e| e.to_string())?;
+    let target = *params.last().expect("non-empty");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "attacking the {} pricing of a {value}-value market at x = {target}",
+        if naive { "NAIVE (valuation)" } else { "MBP (DP-optimized)" }
+    );
+    match find_attack(&pricing, target, &params, 2_000).map_err(|e| e.to_string())? {
+        Some(a) => {
+            let _ = writeln!(out, "ARBITRAGE FOUND:");
+            let _ = writeln!(out, "  posted price : {:.2}", a.target_price);
+            let _ = writeln!(out, "  buy instead  : {:?}", a.purchases);
+            let _ = writeln!(
+                out,
+                "  total cost   : {:.2} (saves {:.2}; combined accuracy x = {:.1})",
+                a.total_cost,
+                a.savings(),
+                a.combined_inverse_ncp()
+            );
+        }
+        None => {
+            let _ = writeln!(out, "no arbitrage exists (monotone + subadditive, Theorem 5)");
+        }
+    }
+    Ok(out)
+}
+
+fn fairness(value: &str, points: usize, tau: Option<f64>) -> Result<String, String> {
+    use nimbus::optim::fairness::{
+        fairness_frontier, maximize_revenue_with_affordability_floor,
+    };
+    let curves = MarketCurves::new(lookup_value(value)?, DemandCurve::Uniform);
+    let problem = curves.build_problem(points).map_err(|e| e.to_string())?;
+    let lambdas = [0.0, 1.0, 4.0, 16.0, 64.0, 256.0];
+    let frontier = fairness_frontier(&problem, &lambdas).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "revenue/affordability frontier ({value} value, uniform demand, {points} versions):"
+    );
+    let _ = writeln!(out, "{:>8} {:>10} {:>15}", "lambda", "revenue", "affordability");
+    for p in &frontier {
+        let _ = writeln!(
+            out,
+            "{:>8.1} {:>10.3} {:>15.3}",
+            p.lambda, p.revenue, p.affordability
+        );
+    }
+    if let Some(tau) = tau {
+        let sol = maximize_revenue_with_affordability_floor(&problem, tau)
+            .map_err(|e| e.to_string())?;
+        let _ = writeln!(
+            out,
+            "\nhard floor tau = {tau}: revenue {:.3} at affordability {:.3} (lambda* = {:.3})",
+            sol.revenue, sol.affordability, sol.lambda
+        );
+    }
+    Ok(out)
+}
+
+fn error_curve(dataset_name: &str, samples: usize, seed: u64) -> Result<String, String> {
+    let dataset = lookup_dataset(dataset_name)?;
+    let spec = DatasetSpec::scaled(dataset, 4_000);
+    let (tt, _) = spec.materialize(seed).map_err(|e| e.to_string())?;
+    let trainer: Box<dyn Trainer + Send + Sync> = match dataset.task() {
+        Task::Regression => Box::new(LinearRegressionTrainer::ridge(1e-6)),
+        Task::BinaryClassification => Box::new(LogisticRegressionTrainer::new(1e-4)),
+    };
+    let model = trainer.train(&tt.train).map_err(|e| e.to_string())?;
+    let test = tt.test.clone();
+    let eval: EvalFn = match dataset.task() {
+        Task::Regression => Box::new(move |h: &LinearModel| {
+            nimbus::ml::metrics::mse(h, &test).map_err(Into::into)
+        }),
+        Task::BinaryClassification => Box::new(move |h: &LinearModel| {
+            nimbus::ml::metrics::zero_one_error(h, &test).map_err(Into::into)
+        }),
+    };
+    let deltas: Vec<Ncp> = (0..12)
+        .map(|i| Ncp::new(1.0 / (1.0 + 9.0 * i as f64)).expect("positive"))
+        .collect();
+    let mut rng = seeded_rng(seed);
+    let mut eval = eval;
+    let curve = ErrorCurve::estimate(
+        &GaussianMechanism,
+        &model,
+        &mut eval,
+        &deltas,
+        samples.max(10),
+        &mut rng,
+    )
+    .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let loss_name = match dataset.task() {
+        Task::Regression => "test MSE",
+        Task::BinaryClassification => "test 0/1 error",
+    };
+    let _ = writeln!(
+        out,
+        "error transformation curve for {} ({loss_name}, {} samples/NCP):",
+        dataset.name(),
+        samples.max(10)
+    );
+    let mut pts: Vec<_> = curve.points().to_vec();
+    pts.reverse();
+    for p in &pts {
+        let _ = writeln!(
+            out,
+            "  1/NCP {:>7.1}  E[error] {:>10.4}  (stderr {:.4})",
+            p.inverse, p.mean_error, p.std_error
+        );
+    }
+    let monotone = curve.raw_is_monotone(0.05 * pts[0].mean_error.abs().max(1e-9));
+    let _ = writeln!(
+        out,
+        "monotone in delta (Theorem 4): {}",
+        if monotone { "yes" } else { "within Monte-Carlo noise" }
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_args;
+
+    fn run(args: &[&str]) -> Result<String, String> {
+        crate::run(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&["help"]).unwrap();
+        assert!(out.contains("nimbus demo"));
+        assert!(out.contains("nimbus attack"));
+    }
+
+    #[test]
+    fn price_command_reports_all_strategies() {
+        let out = run(&["price", "--value", "concave", "--points", "12"]).unwrap();
+        for name in ["MBP", "Lin", "MaxC", "MedC", "OptC"] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+        assert!(out.contains("price curve"));
+    }
+
+    #[test]
+    fn buy_with_error_budget() {
+        let out = run(&["buy", "--error-budget", "0.1", "--dataset", "CASP"]).unwrap();
+        assert!(out.contains("E[square loss]"));
+        assert!(out.contains("CASP"));
+    }
+
+    #[test]
+    fn attack_naive_finds_arbitrage_mbp_does_not() {
+        let naive = run(&["attack", "--naive", "--points", "10"]).unwrap();
+        assert!(naive.contains("ARBITRAGE FOUND"), "{naive}");
+        let mbp = run(&["attack", "--points", "10"]).unwrap();
+        assert!(mbp.contains("no arbitrage exists"), "{mbp}");
+    }
+
+    #[test]
+    fn demo_runs_end_to_end() {
+        let out = run(&["demo", "--dataset", "Simulated1", "--seed", "3"]).unwrap();
+        assert!(out.contains("opened the market"));
+        assert!(out.contains("NO attack exists"));
+        assert!(out.contains("ledger"));
+    }
+
+    #[test]
+    fn unknown_names_are_reported() {
+        assert!(run(&["demo", "--dataset", "MNIST"]).unwrap_err().contains("unknown dataset"));
+        assert!(run(&["price", "--value", "wavy"]).unwrap_err().contains("unknown value shape"));
+        assert!(run(&["price", "--demand", "weird"]).unwrap_err().contains("unknown demand shape"));
+    }
+
+    #[test]
+    fn classification_dataset_demo() {
+        let out = run(&["demo", "--dataset", "CovType", "--seed", "5"]).unwrap();
+        assert!(out.contains("CovType"));
+        assert!(out.contains("sales"));
+    }
+
+    #[test]
+    fn fairness_command_reports_frontier() {
+        let out = run(&["fairness", "--points", "30", "--tau", "0.9"]).unwrap();
+        assert!(out.contains("frontier"));
+        assert!(out.contains("hard floor"));
+        assert!(out.contains("lambda"));
+    }
+
+    #[test]
+    fn curve_command_regression_and_classification() {
+        let reg = run(&["curve", "--dataset", "CASP", "--samples", "20"]).unwrap();
+        assert!(reg.contains("test MSE"), "{reg}");
+        let cls = run(&["curve", "--dataset", "SUSY", "--samples", "20"]).unwrap();
+        assert!(cls.contains("0/1 error"), "{cls}");
+    }
+
+    #[test]
+    fn parse_then_run_pipeline_matches() {
+        let cmd = parse_args(["help".to_string()]).unwrap();
+        let out = run_command(cmd).unwrap();
+        assert!(out.contains("usage"));
+    }
+}

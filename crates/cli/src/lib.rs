@@ -1,0 +1,30 @@
+//! The Nimbus command-line demonstration.
+//!
+//! The SIGMOD 2019 demo walks an audience through the model-based pricing
+//! market: pick a dataset and curves, watch the broker train and post an
+//! arbitrage-free price curve, buy model versions under budgets, and try
+//! (and fail) to arbitrage the posted prices. This crate packages that walk
+//! as a `nimbus` binary with four subcommands:
+//!
+//! ```text
+//! nimbus demo   [--dataset NAME] [--seed N]          # the full guided tour
+//! nimbus price  [--value SHAPE] [--demand SHAPE] [--points N]
+//! nimbus buy    (--error-budget E | --price-budget P | --at X) [--dataset NAME]
+//! nimbus attack [--value SHAPE] [--points N]         # search posted prices for arbitrage
+//! ```
+//!
+//! Parsing is hand-rolled (the workspace's no-new-dependencies rule) and
+//! fully unit-tested; command execution returns strings so the logic is
+//! testable without capturing stdout.
+
+pub mod commands;
+pub mod parse;
+
+pub use commands::run_command;
+pub use parse::{parse_args, Command, ParseError};
+
+/// Entry point shared by `main.rs` and tests: parse then run.
+pub fn run<I: IntoIterator<Item = String>>(args: I) -> Result<String, String> {
+    let command = parse_args(args).map_err(|e| e.to_string())?;
+    run_command(command).map_err(|e| e.to_string())
+}

@@ -1,0 +1,11 @@
+//! The `nimbus` binary: the SIGMOD'19 demo as a CLI.
+
+fn main() {
+    match nimbus_cli::run(std::env::args().skip(1)) {
+        Ok(report) => println!("{report}"),
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    }
+}

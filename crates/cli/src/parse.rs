@@ -1,0 +1,390 @@
+//! Hand-rolled subcommand parsing for the `nimbus` binary.
+
+use std::fmt;
+
+/// A fully parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// The guided tour.
+    Demo {
+        /// Table 3 dataset name (case-insensitive).
+        dataset: String,
+        /// Base seed.
+        seed: u64,
+    },
+    /// Print the optimized price curve for a market.
+    Price {
+        /// Value curve shape: convex | concave | linear | sigmoid.
+        value: String,
+        /// Demand shape: uniform | mid_peaked | bimodal | increasing | decreasing.
+        demand: String,
+        /// Number of versions.
+        points: usize,
+    },
+    /// Buy one model instance.
+    Buy {
+        /// Table 3 dataset name.
+        dataset: String,
+        /// The buyer's request.
+        request: BuyRequest,
+        /// Base seed.
+        seed: u64,
+    },
+    /// Search the posted prices for arbitrage.
+    Attack {
+        /// Value curve shape.
+        value: String,
+        /// Number of versions.
+        points: usize,
+        /// Attack naive (valuation) pricing instead of MBP pricing.
+        naive: bool,
+    },
+    /// Trace the revenue/affordability fairness frontier.
+    Fairness {
+        /// Value curve shape.
+        value: String,
+        /// Number of versions.
+        points: usize,
+        /// Optional hard affordability floor τ ∈ [0, 1].
+        tau: Option<f64>,
+    },
+    /// Print the error-transformation curve of a dataset (Figure 6 slice).
+    Curve {
+        /// Table 3 dataset name.
+        dataset: String,
+        /// Monte-Carlo samples per NCP.
+        samples: usize,
+        /// Base seed.
+        seed: u64,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// The three §3.2 purchase options, CLI-side.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BuyRequest {
+    /// `--error-budget E`.
+    ErrorBudget(f64),
+    /// `--price-budget P`.
+    PriceBudget(f64),
+    /// `--at X` (inverse NCP).
+    AtInverseNcp(f64),
+}
+
+/// Parse failures with user-facing messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// No subcommand given.
+    MissingCommand,
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// Unknown flag for the subcommand.
+    UnknownFlag(String),
+    /// A flag was given without its value.
+    MissingValue(String),
+    /// A flag value failed to parse.
+    BadValue {
+        /// The flag.
+        flag: String,
+        /// The raw value.
+        value: String,
+    },
+    /// `buy` requires exactly one of the three request flags.
+    AmbiguousBuyRequest,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::MissingCommand => {
+                write!(f, "no command given\n{}", usage())
+            }
+            ParseError::UnknownCommand(c) => write!(f, "unknown command {c:?}\n{}", usage()),
+            ParseError::UnknownFlag(flag) => write!(f, "unknown flag {flag}"),
+            ParseError::MissingValue(flag) => write!(f, "flag {flag} requires a value"),
+            ParseError::BadValue { flag, value } => {
+                write!(f, "cannot parse {value:?} for {flag}")
+            }
+            ParseError::AmbiguousBuyRequest => write!(
+                f,
+                "buy requires exactly one of --error-budget, --price-budget, --at"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage text.
+pub fn usage() -> String {
+    "usage:\n  \
+     nimbus demo   [--dataset NAME] [--seed N]\n  \
+     nimbus price  [--value convex|concave|linear|sigmoid] \
+     [--demand uniform|mid_peaked|bimodal|increasing|decreasing] [--points N]\n  \
+     nimbus buy    (--error-budget E | --price-budget P | --at X) [--dataset NAME] [--seed N]\n  \
+     nimbus attack [--value SHAPE] [--points N] [--naive]\n  \
+     nimbus fairness [--value SHAPE] [--points N] [--tau T]\n  \
+     nimbus curve  [--dataset NAME] [--samples N] [--seed N]\n  \
+     nimbus help"
+        .to_string()
+}
+
+fn take_value<I: Iterator<Item = String>>(
+    iter: &mut I,
+    flag: &str,
+) -> Result<String, ParseError> {
+    iter.next()
+        .ok_or_else(|| ParseError::MissingValue(flag.to_string()))
+}
+
+fn parse_num<T: std::str::FromStr, I: Iterator<Item = String>>(
+    iter: &mut I,
+    flag: &str,
+) -> Result<T, ParseError> {
+    let raw = take_value(iter, flag)?;
+    raw.parse().map_err(|_| ParseError::BadValue {
+        flag: flag.to_string(),
+        value: raw,
+    })
+}
+
+/// Parses the argument list (without the program name).
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseError> {
+    let mut iter = args.into_iter();
+    let command = iter.next().ok_or(ParseError::MissingCommand)?;
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "demo" => {
+            let mut dataset = "Simulated1".to_string();
+            let mut seed = 7u64;
+            while let Some(flag) = iter.next() {
+                match flag.as_str() {
+                    "--dataset" => dataset = take_value(&mut iter, "--dataset")?,
+                    "--seed" => seed = parse_num(&mut iter, "--seed")?,
+                    other => return Err(ParseError::UnknownFlag(other.to_string())),
+                }
+            }
+            Ok(Command::Demo { dataset, seed })
+        }
+        "price" => {
+            let mut value = "concave".to_string();
+            let mut demand = "uniform".to_string();
+            let mut points = 20usize;
+            while let Some(flag) = iter.next() {
+                match flag.as_str() {
+                    "--value" => value = take_value(&mut iter, "--value")?,
+                    "--demand" => demand = take_value(&mut iter, "--demand")?,
+                    "--points" => points = parse_num(&mut iter, "--points")?,
+                    other => return Err(ParseError::UnknownFlag(other.to_string())),
+                }
+            }
+            Ok(Command::Price {
+                value,
+                demand,
+                points,
+            })
+        }
+        "buy" => {
+            let mut dataset = "Simulated1".to_string();
+            let mut seed = 7u64;
+            let mut request: Option<BuyRequest> = None;
+            let set = |r: BuyRequest, request: &mut Option<BuyRequest>| {
+                if request.is_some() {
+                    Err(ParseError::AmbiguousBuyRequest)
+                } else {
+                    *request = Some(r);
+                    Ok(())
+                }
+            };
+            while let Some(flag) = iter.next() {
+                match flag.as_str() {
+                    "--dataset" => dataset = take_value(&mut iter, "--dataset")?,
+                    "--seed" => seed = parse_num(&mut iter, "--seed")?,
+                    "--error-budget" => {
+                        let e = parse_num(&mut iter, "--error-budget")?;
+                        set(BuyRequest::ErrorBudget(e), &mut request)?;
+                    }
+                    "--price-budget" => {
+                        let p = parse_num(&mut iter, "--price-budget")?;
+                        set(BuyRequest::PriceBudget(p), &mut request)?;
+                    }
+                    "--at" => {
+                        let x = parse_num(&mut iter, "--at")?;
+                        set(BuyRequest::AtInverseNcp(x), &mut request)?;
+                    }
+                    other => return Err(ParseError::UnknownFlag(other.to_string())),
+                }
+            }
+            let request = request.ok_or(ParseError::AmbiguousBuyRequest)?;
+            Ok(Command::Buy {
+                dataset,
+                request,
+                seed,
+            })
+        }
+        "attack" => {
+            let mut value = "convex".to_string();
+            let mut points = 10usize;
+            let mut naive = false;
+            while let Some(flag) = iter.next() {
+                match flag.as_str() {
+                    "--value" => value = take_value(&mut iter, "--value")?,
+                    "--points" => points = parse_num(&mut iter, "--points")?,
+                    "--naive" => naive = true,
+                    other => return Err(ParseError::UnknownFlag(other.to_string())),
+                }
+            }
+            Ok(Command::Attack {
+                value,
+                points,
+                naive,
+            })
+        }
+        "fairness" => {
+            let mut value = "convex".to_string();
+            let mut points = 50usize;
+            let mut tau: Option<f64> = None;
+            while let Some(flag) = iter.next() {
+                match flag.as_str() {
+                    "--value" => value = take_value(&mut iter, "--value")?,
+                    "--points" => points = parse_num(&mut iter, "--points")?,
+                    "--tau" => tau = Some(parse_num(&mut iter, "--tau")?),
+                    other => return Err(ParseError::UnknownFlag(other.to_string())),
+                }
+            }
+            Ok(Command::Fairness { value, points, tau })
+        }
+        "curve" => {
+            let mut dataset = "Simulated1".to_string();
+            let mut samples = 100usize;
+            let mut seed = 7u64;
+            while let Some(flag) = iter.next() {
+                match flag.as_str() {
+                    "--dataset" => dataset = take_value(&mut iter, "--dataset")?,
+                    "--samples" => samples = parse_num(&mut iter, "--samples")?,
+                    "--seed" => seed = parse_num(&mut iter, "--seed")?,
+                    other => return Err(ParseError::UnknownFlag(other.to_string())),
+                }
+            }
+            Ok(Command::Curve {
+                dataset,
+                samples,
+                seed,
+            })
+        }
+        other => Err(ParseError::UnknownCommand(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command, ParseError> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn demo_defaults_and_flags() {
+        assert_eq!(
+            parse(&["demo"]).unwrap(),
+            Command::Demo {
+                dataset: "Simulated1".into(),
+                seed: 7
+            }
+        );
+        assert_eq!(
+            parse(&["demo", "--dataset", "CASP", "--seed", "42"]).unwrap(),
+            Command::Demo {
+                dataset: "CASP".into(),
+                seed: 42
+            }
+        );
+    }
+
+    #[test]
+    fn price_flags() {
+        let c = parse(&["price", "--value", "convex", "--demand", "bimodal", "--points", "8"])
+            .unwrap();
+        assert_eq!(
+            c,
+            Command::Price {
+                value: "convex".into(),
+                demand: "bimodal".into(),
+                points: 8
+            }
+        );
+    }
+
+    #[test]
+    fn buy_requires_exactly_one_request() {
+        assert_eq!(parse(&["buy"]), Err(ParseError::AmbiguousBuyRequest));
+        assert_eq!(
+            parse(&["buy", "--error-budget", "0.1", "--at", "5"]),
+            Err(ParseError::AmbiguousBuyRequest)
+        );
+        assert_eq!(
+            parse(&["buy", "--price-budget", "30"]).unwrap(),
+            Command::Buy {
+                dataset: "Simulated1".into(),
+                request: BuyRequest::PriceBudget(30.0),
+                seed: 7
+            }
+        );
+    }
+
+    #[test]
+    fn attack_flags() {
+        assert_eq!(
+            parse(&["attack", "--naive", "--points", "6"]).unwrap(),
+            Command::Attack {
+                value: "convex".into(),
+                points: 6,
+                naive: true
+            }
+        );
+    }
+
+    #[test]
+    fn fairness_and_curve_flags() {
+        assert_eq!(
+            parse(&["fairness", "--tau", "0.9", "--points", "30"]).unwrap(),
+            Command::Fairness {
+                value: "convex".into(),
+                points: 30,
+                tau: Some(0.9)
+            }
+        );
+        assert_eq!(
+            parse(&["curve", "--dataset", "SUSY", "--samples", "40"]).unwrap(),
+            Command::Curve {
+                dataset: "SUSY".into(),
+                samples: 40,
+                seed: 7
+            }
+        );
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(parse(&[]), Err(ParseError::MissingCommand));
+        assert!(matches!(
+            parse(&["frobnicate"]),
+            Err(ParseError::UnknownCommand(_))
+        ));
+        assert!(matches!(
+            parse(&["demo", "--bogus"]),
+            Err(ParseError::UnknownFlag(_))
+        ));
+        assert!(matches!(
+            parse(&["demo", "--seed"]),
+            Err(ParseError::MissingValue(_))
+        ));
+        assert!(matches!(
+            parse(&["demo", "--seed", "NaNsense"]),
+            Err(ParseError::BadValue { .. })
+        ));
+        assert_eq!(parse(&["help"]).unwrap(), Command::Help);
+    }
+}

@@ -1,0 +1,471 @@
+//! Arbitrage-freeness: validation and constructive attacks.
+//!
+//! **Theorem 5** (the paper's central result): a pricing function is
+//! arbitrage-free for the Gaussian mechanism under square loss iff, viewed
+//! as `p(x)` over the inverse NCP `x = 1/δ`, it is
+//!
+//! 1. *subadditive* — `1/δ₁ = 1/δ₂ + 1/δ₃ ⟹ p(δ₁) ≤ p(δ₂) + p(δ₃)`, and
+//! 2. *monotone* — `δ₁ ≤ δ₂ ⟹ p(δ₁) ≥ p(δ₂)` (non-increasing in δ,
+//!    non-decreasing in `x`).
+//!
+//! [`check_arbitrage_free`] verifies both numerically over a grid.
+//! [`ArbitrageAttack`] is the *constructive* half of the theorem's proof:
+//! when subadditivity fails, a buyer purchases `k` cheap high-noise
+//! instances `h^{δ_i}` and averages them with inverse-variance weights
+//! `δ₀/δ_i` (where `1/δ₀ = Σ 1/δ_i`), obtaining an unbiased instance whose
+//! variance — hence expected square loss — equals `δ₀`, for less than the
+//! posted `p(δ₀)`. The attack search is an unbounded min-cost covering
+//! problem solved by dynamic programming over a discretized `x` axis.
+
+use crate::pricing::PricingFunction;
+use crate::{CoreError, InverseNcp, Ncp, Result};
+use nimbus_ml::LinearModel;
+
+/// Outcome of the numeric arbitrage-freeness check.
+#[derive(Debug, Clone)]
+pub struct ArbitrageReport {
+    /// Pairs `(x_lo, x_hi)` where the price *decreased* with `x` (monotonicity
+    /// violations).
+    pub monotonicity_violations: Vec<(f64, f64)>,
+    /// Triples `(x, y, gap)` with `p(x + y) − p(x) − p(y) = gap > tol`
+    /// (subadditivity violations).
+    pub subadditivity_violations: Vec<(f64, f64, f64)>,
+}
+
+impl ArbitrageReport {
+    /// `true` when no violations were found.
+    pub fn is_arbitrage_free(&self) -> bool {
+        self.monotonicity_violations.is_empty() && self.subadditivity_violations.is_empty()
+    }
+}
+
+/// Verifies Theorem 5's two conditions for `pricing` over the grid `xs`
+/// (inverse-NCP values). Monotonicity is checked on consecutive grid points;
+/// subadditivity on all pairs whose sum stays within the grid range (prices
+/// beyond the largest grid point are still evaluated — pricing functions are
+/// total). At most 32 violations of each kind are retained.
+pub fn check_arbitrage_free<P: PricingFunction + ?Sized>(
+    pricing: &P,
+    xs: &[f64],
+    tol: f64,
+) -> Result<ArbitrageReport> {
+    if xs.is_empty() {
+        return Err(CoreError::EmptyCurve);
+    }
+    let mut grid: Vec<f64> = xs.to_vec();
+    grid.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    for (i, &x) in grid.iter().enumerate() {
+        if !(x.is_finite() && x > 0.0) {
+            return Err(CoreError::InvalidCurvePoint {
+                index: i,
+                reason: "grid values must be positive and finite",
+            });
+        }
+    }
+    let price = |v: f64| -> Result<f64> { Ok(pricing.price(InverseNcp::new(v)?)) };
+
+    let mut monotonicity_violations = Vec::new();
+    for w in grid.windows(2) {
+        let (p0, p1) = (price(w[0])?, price(w[1])?);
+        if p1 < p0 - tol && monotonicity_violations.len() < 32 {
+            monotonicity_violations.push((w[0], w[1]));
+        }
+    }
+
+    let mut subadditivity_violations = Vec::new();
+    'outer: for (i, &a) in grid.iter().enumerate() {
+        for &b in &grid[i..] {
+            let gap = price(a + b)? - price(a)? - price(b)?;
+            if gap > tol {
+                subadditivity_violations.push((a, b, gap));
+                if subadditivity_violations.len() >= 32 {
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    Ok(ArbitrageReport {
+        monotonicity_violations,
+        subadditivity_violations,
+    })
+}
+
+/// Convenience wrapper around [`check_arbitrage_free`] returning a bool.
+pub fn is_arbitrage_free_on_points<P: PricingFunction + ?Sized>(
+    pricing: &P,
+    xs: &[f64],
+    tol: f64,
+) -> Result<bool> {
+    Ok(check_arbitrage_free(pricing, xs, tol)?.is_arbitrage_free())
+}
+
+/// A concrete arbitrage opportunity: buy `purchases` (inverse-NCP, count)
+/// pairs instead of the single instance at `target`.
+#[derive(Debug, Clone)]
+pub struct ArbitrageAttack {
+    /// The inverse NCP the buyer actually wants.
+    pub target: f64,
+    /// Posted price at the target.
+    pub target_price: f64,
+    /// `(x_i, multiplicity)` purchases whose x-sum is ≥ target.
+    pub purchases: Vec<(f64, usize)>,
+    /// Total price of the purchases (strictly below `target_price`).
+    pub total_cost: f64,
+}
+
+impl ArbitrageAttack {
+    /// Combined accuracy `Σ x_i · count_i` of the purchases (at least the
+    /// target by construction).
+    pub fn combined_inverse_ncp(&self) -> f64 {
+        self.purchases.iter().map(|(x, c)| x * *c as f64).sum()
+    }
+
+    /// Money saved relative to buying the target directly.
+    pub fn savings(&self) -> f64 {
+        self.target_price - self.total_cost
+    }
+}
+
+/// Searches for an arbitrage attack against `pricing` at target inverse NCP
+/// `target`, buying only at the `candidates` grid. Uses an unbounded
+/// min-cost covering DP with `resolution` buckets across `[0, target]`.
+///
+/// Returns `Ok(None)` when no combination beats the posted price at the
+/// chosen resolution — which for arbitrage-free prices is guaranteed by
+/// Theorem 5, and is what the property tests assert.
+pub fn find_attack<P: PricingFunction + ?Sized>(
+    pricing: &P,
+    target: f64,
+    candidates: &[f64],
+    resolution: usize,
+) -> Result<Option<ArbitrageAttack>> {
+    if !(target.is_finite() && target > 0.0) {
+        return Err(CoreError::InvalidNcp { value: target });
+    }
+    if candidates.is_empty() || resolution == 0 {
+        return Err(CoreError::EmptyCurve);
+    }
+    let target_price = pricing.price(InverseNcp::new(target)?);
+    let unit = target / resolution as f64;
+
+    // Items: candidate x values bucketized by floor — rounding *down* makes
+    // the DP conservative (claims at least the x it credits), so any attack
+    // found is genuine.
+    struct Item {
+        x: f64,
+        units: usize,
+        price: f64,
+    }
+    let mut items = Vec::new();
+    for &x in candidates {
+        if !(x.is_finite() && x > 0.0) {
+            continue;
+        }
+        let units = (x / unit).floor() as usize;
+        if units == 0 {
+            continue;
+        }
+        let price = pricing.price(InverseNcp::new(x)?);
+        items.push(Item { x, units, price });
+    }
+    if items.is_empty() {
+        return Ok(None);
+    }
+
+    // dp[u] = min cost to accumulate at least u units; parent pointers
+    // reconstruct the purchase multiset.
+    let n = resolution;
+    let mut dp = vec![f64::INFINITY; n + 1];
+    let mut parent: Vec<Option<usize>> = vec![None; n + 1];
+    dp[0] = 0.0;
+    for u in 1..=n {
+        for (idx, item) in items.iter().enumerate() {
+            let from = u.saturating_sub(item.units);
+            if dp[from].is_finite() {
+                let cost = dp[from] + item.price;
+                if cost < dp[u] {
+                    dp[u] = cost;
+                    parent[u] = Some(idx);
+                }
+            }
+        }
+    }
+
+    if dp[n] + 1e-12 >= target_price {
+        return Ok(None);
+    }
+
+    // Reconstruct purchases.
+    let mut counts = vec![0usize; items.len()];
+    let mut u = n;
+    while u > 0 {
+        let idx = parent[u].expect("finite dp entries have parents");
+        counts[idx] += 1;
+        u = u.saturating_sub(items[idx].units);
+    }
+    let purchases: Vec<(f64, usize)> = items
+        .iter()
+        .zip(&counts)
+        .filter(|(_, &c)| c > 0)
+        .map(|(item, &c)| (item.x, c))
+        .collect();
+    Ok(Some(ArbitrageAttack {
+        target,
+        target_price,
+        purchases,
+        total_cost: dp[n],
+    }))
+}
+
+/// Theorem 6: verifies arbitrage-freeness of a pricing function expressed
+/// over the buyer's **expected error** rather than the NCP.
+///
+/// For a strictly convex `ε`, the error-inverse `φ` of the (estimated or
+/// analytic) [`crate::ErrorCurve`] gives the bijection `error ↦ δ`, and the
+/// pricing function is arbitrage-free iff its composition
+/// `p(x) = price_over_error(E[ε](1/x))` is monotone and subadditive in
+/// `x = 1/δ`. This helper performs that composition on the curve's own δ
+/// grid and delegates to [`check_arbitrage_free`].
+pub fn check_arbitrage_free_via_error_curve<F>(
+    price_over_error: F,
+    error_curve: &crate::ErrorCurve,
+    tol: f64,
+) -> Result<ArbitrageReport>
+where
+    F: Fn(f64) -> f64,
+{
+    if error_curve.is_empty() {
+        return Err(CoreError::EmptyCurve);
+    }
+    // Composed pricing over x: for a grid x we need E[ε](1/x), which the
+    // curve interpolates. Wrap as a PricingFunction on the fly.
+    struct Composed<'a, G: Fn(f64) -> f64> {
+        curve: &'a crate::ErrorCurve,
+        price: G,
+    }
+    impl<G: Fn(f64) -> f64> PricingFunction for Composed<'_, G> {
+        fn price(&self, x: InverseNcp) -> f64 {
+            let err = self.curve.expected_error_at(x.ncp());
+            (self.price)(err)
+        }
+        fn name(&self) -> &'static str {
+            "composed_over_error"
+        }
+    }
+    let composed = Composed {
+        curve: error_curve,
+        price: price_over_error,
+    };
+    let xs: Vec<f64> = error_curve.points().iter().map(|p| p.inverse).collect();
+    check_arbitrage_free(&composed, &xs, tol)
+}
+
+/// Combines independently purchased noisy instances into a single unbiased
+/// instance of lower variance — the function `g` from Theorem 5's proof.
+///
+/// Given instances `h_i` bought at NCPs `δ_i`, returns
+/// `h = Σ (δ₀/δ_i) h_i` with `1/δ₀ = Σ 1/δ_i`, together with the effective
+/// NCP `δ₀`. The weights sum to 1 (unbiasedness) and the combined variance
+/// is exactly `δ₀` when the instances were drawn independently from an
+/// additive mechanism with total variance `δ_i`.
+pub fn combine_instances(instances: &[(LinearModel, Ncp)]) -> Result<(LinearModel, Ncp)> {
+    if instances.is_empty() {
+        return Err(CoreError::InvalidAttack {
+            reason: "no instances to combine",
+        });
+    }
+    let d = instances[0].0.dim();
+    if instances.iter().any(|(m, _)| m.dim() != d) {
+        return Err(CoreError::InvalidAttack {
+            reason: "instances have mismatched dimensions",
+        });
+    }
+    let inv_sum: f64 = instances.iter().map(|(_, ncp)| 1.0 / ncp.delta()).sum();
+    let delta0 = 1.0 / inv_sum;
+    let mut combined = nimbus_linalg::Vector::zeros(d);
+    for (model, ncp) in instances {
+        let weight = delta0 / ncp.delta();
+        combined.axpy(weight, model.weights())?;
+    }
+    Ok((LinearModel::new(combined), Ncp::new(delta0)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::{GaussianMechanism, RandomizedMechanism};
+    use crate::pricing::{ConstantPricing, LinearPricing, PiecewiseLinearPricing};
+    use crate::square_loss::square_loss;
+    use nimbus_linalg::Vector;
+    use nimbus_randkit::seeded_rng;
+
+    fn grid() -> Vec<f64> {
+        (1..=40).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn constant_and_linear_prices_are_arbitrage_free() {
+        let c = ConstantPricing::new(5.0).unwrap();
+        assert!(is_arbitrage_free_on_points(&c, &grid(), 1e-9).unwrap());
+        let l = LinearPricing::new(2.0, 1.0).unwrap();
+        assert!(is_arbitrage_free_on_points(&l, &grid(), 1e-9).unwrap());
+    }
+
+    #[test]
+    fn relaxed_constraint_piecewise_is_arbitrage_free() {
+        // z/a non-increasing, z non-decreasing ⇒ arbitrage-free (Lemma 8).
+        let p = PiecewiseLinearPricing::new(vec![
+            (1.0, 10.0),
+            (2.0, 16.0),
+            (4.0, 24.0),
+            (8.0, 30.0),
+        ])
+        .unwrap();
+        assert!(p.satisfies_relaxed_constraints(1e-12));
+        assert!(is_arbitrage_free_on_points(&p, &grid(), 1e-9).unwrap());
+    }
+
+    #[test]
+    fn superadditive_prices_are_flagged() {
+        // Unit price increases with x: buying two halves is cheaper.
+        let p = PiecewiseLinearPricing::new(vec![(1.0, 1.0), (2.0, 4.0), (4.0, 16.0)]).unwrap();
+        let report = check_arbitrage_free(&p, &[1.0, 2.0, 4.0], 1e-9).unwrap();
+        assert!(!report.is_arbitrage_free());
+        assert!(!report.subadditivity_violations.is_empty());
+    }
+
+    #[test]
+    fn decreasing_prices_are_flagged_as_monotonicity_violation() {
+        let p = PiecewiseLinearPricing::new(vec![(1.0, 10.0), (2.0, 5.0)]).unwrap();
+        let report = check_arbitrage_free(&p, &[1.0, 2.0], 1e-9).unwrap();
+        assert!(!report.monotonicity_violations.is_empty());
+    }
+
+    #[test]
+    fn attack_found_against_superadditive_pricing() {
+        // p(x) = x² on breakpoints: p(4)=16 but two x=2 purchases cost 8.
+        let p = PiecewiseLinearPricing::new(vec![(1.0, 1.0), (2.0, 4.0), (4.0, 16.0)]).unwrap();
+        let attack = find_attack(&p, 4.0, &[1.0, 2.0], 400)
+            .unwrap()
+            .expect("attack must exist");
+        assert!(attack.total_cost < attack.target_price);
+        assert!(attack.combined_inverse_ncp() >= 4.0 - 1e-9);
+        assert!(attack.savings() > 0.0);
+    }
+
+    #[test]
+    fn no_attack_against_arbitrage_free_pricing() {
+        let c = ConstantPricing::new(5.0).unwrap();
+        assert!(find_attack(&c, 10.0, &grid(), 1000).unwrap().is_none());
+        let l = LinearPricing::new(1.0, 2.0).unwrap();
+        assert!(find_attack(&l, 10.0, &grid(), 1000).unwrap().is_none());
+        let p = PiecewiseLinearPricing::new(vec![(1.0, 10.0), (2.0, 16.0), (4.0, 24.0)]).unwrap();
+        assert!(find_attack(&p, 4.0, &[1.0, 2.0, 4.0], 2000).unwrap().is_none());
+    }
+
+    #[test]
+    fn combine_instances_weights_sum_to_one() {
+        // Combining two copies of the SAME deterministic vector returns it.
+        let h = LinearModel::new(Vector::from_vec(vec![3.0, -1.0]));
+        let instances = vec![
+            (h.clone(), Ncp::new(2.0).unwrap()),
+            (h.clone(), Ncp::new(2.0).unwrap()),
+        ];
+        let (combined, delta0) = combine_instances(&instances).unwrap();
+        assert!((delta0.delta() - 1.0).abs() < 1e-12);
+        for j in 0..2 {
+            assert!((combined.weights()[j] - h.weights()[j]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn combined_variance_matches_theorem5() {
+        // Buy k independent Gaussian instances at δ_i; the combination has
+        // empirical square loss ≈ δ₀ = 1 / Σ(1/δ_i).
+        let optimal = LinearModel::new(Vector::from_vec(vec![1.0, 2.0, -0.5, 0.7]));
+        let deltas = [2.0, 3.0, 6.0];
+        let delta0_expected = 1.0 / deltas.iter().map(|d| 1.0 / d).sum::<f64>(); // = 1.0
+        let mut rng = seeded_rng(31);
+        let reps = 20_000;
+        let mut total = 0.0;
+        for _ in 0..reps {
+            let instances: Vec<(LinearModel, Ncp)> = deltas
+                .iter()
+                .map(|&d| {
+                    let ncp = Ncp::new(d).unwrap();
+                    (
+                        GaussianMechanism.perturb(&optimal, ncp, &mut rng).unwrap(),
+                        ncp,
+                    )
+                })
+                .collect();
+            let (combined, delta0) = combine_instances(&instances).unwrap();
+            assert!((delta0.delta() - delta0_expected).abs() < 1e-12);
+            total += square_loss(&combined, &optimal).unwrap();
+        }
+        let mean = total / reps as f64;
+        assert!(
+            (mean - delta0_expected).abs() < 0.05 * delta0_expected.max(1.0),
+            "combined variance {mean} vs expected {delta0_expected}"
+        );
+    }
+
+    #[test]
+    fn combine_rejects_bad_inputs() {
+        assert!(combine_instances(&[]).is_err());
+        let a = LinearModel::zeros(2);
+        let b = LinearModel::zeros(3);
+        let instances = vec![
+            (a, Ncp::new(1.0).unwrap()),
+            (b, Ncp::new(1.0).unwrap()),
+        ];
+        assert!(combine_instances(&instances).is_err());
+    }
+
+    #[test]
+    fn theorem6_composition_over_square_loss_curve() {
+        // E[ε_s] = δ = 1/x, so pricing "50/(1+err)" over the error composes
+        // to p(x) = 50x/(x+1) over the inverse NCP — concave through the
+        // origin, hence monotone + subadditive: arbitrage-free.
+        let deltas: Vec<Ncp> = (1..=20)
+            .map(|i| Ncp::new(i as f64 * 0.1).unwrap())
+            .collect();
+        let curve = crate::ErrorCurve::analytic_square_loss(&deltas).unwrap();
+        let report =
+            check_arbitrage_free_via_error_curve(|err| 50.0 / (1.0 + err), &curve, 1e-9)
+                .unwrap();
+        assert!(report.is_arbitrage_free(), "{report:?}");
+
+        // Pricing that *rises* with the error is not monotone in x.
+        let report =
+            check_arbitrage_free_via_error_curve(|err| err * 10.0, &curve, 1e-9).unwrap();
+        assert!(!report.is_arbitrage_free());
+        assert!(!report.monotonicity_violations.is_empty());
+
+        // Pricing convex in x (superadditive): p = 1/err² = x² under ε_s.
+        let report = check_arbitrage_free_via_error_curve(
+            |err| 1.0 / (err * err),
+            &curve,
+            1e-9,
+        )
+        .unwrap();
+        assert!(!report.subadditivity_violations.is_empty());
+    }
+
+    #[test]
+    fn checker_rejects_bad_grids() {
+        let c = ConstantPricing::new(1.0).unwrap();
+        assert!(check_arbitrage_free(&c, &[], 1e-9).is_err());
+        assert!(check_arbitrage_free(&c, &[0.0], 1e-9).is_err());
+        assert!(check_arbitrage_free(&c, &[-1.0], 1e-9).is_err());
+    }
+
+    #[test]
+    fn attack_rejects_bad_inputs() {
+        let c = ConstantPricing::new(1.0).unwrap();
+        assert!(find_attack(&c, 0.0, &[1.0], 10).is_err());
+        assert!(find_attack(&c, 1.0, &[], 10).is_err());
+        assert!(find_attack(&c, 1.0, &[1.0], 0).is_err());
+    }
+}

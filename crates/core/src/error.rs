@@ -1,0 +1,114 @@
+//! Error type for the MBP core.
+
+use std::fmt;
+
+/// Errors produced by the `nimbus-core` crate.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A noise control parameter was zero, negative or non-finite.
+    InvalidNcp {
+        /// The offending value.
+        value: f64,
+    },
+    /// A price was negative or non-finite.
+    InvalidPrice {
+        /// The offending value.
+        value: f64,
+    },
+    /// A curve or pricing function required at least one point.
+    EmptyCurve,
+    /// Curve points were not usable (non-finite, non-positive x, unordered
+    /// after sorting, duplicate x with conflicting values, ...).
+    InvalidCurvePoint {
+        /// Index of the offending point.
+        index: usize,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A requested budget (error or price) cannot be met by any point on the
+    /// curve.
+    BudgetUnsatisfiable {
+        /// What kind of budget failed (`"error"` / `"price"`).
+        kind: &'static str,
+        /// The requested budget.
+        budget: f64,
+    },
+    /// The arbitrage attack construction was given inconsistent instances.
+    InvalidAttack {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// Underlying ML failure.
+    Ml(nimbus_ml::MlError),
+    /// Underlying linear-algebra failure.
+    Linalg(nimbus_linalg::LinalgError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidNcp { value } => {
+                write!(f, "noise control parameter must be positive and finite, got {value}")
+            }
+            CoreError::InvalidPrice { value } => {
+                write!(f, "price must be non-negative and finite, got {value}")
+            }
+            CoreError::EmptyCurve => write!(f, "curve requires at least one point"),
+            CoreError::InvalidCurvePoint { index, reason } => {
+                write!(f, "invalid curve point at index {index}: {reason}")
+            }
+            CoreError::BudgetUnsatisfiable { kind, budget } => {
+                write!(f, "no curve point satisfies the {kind} budget {budget}")
+            }
+            CoreError::InvalidAttack { reason } => write!(f, "invalid arbitrage attack: {reason}"),
+            CoreError::Ml(e) => write!(f, "ml error: {e}"),
+            CoreError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Ml(e) => Some(e),
+            CoreError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nimbus_ml::MlError> for CoreError {
+    fn from(e: nimbus_ml::MlError) -> Self {
+        CoreError::Ml(e)
+    }
+}
+
+impl From<nimbus_linalg::LinalgError> for CoreError {
+    fn from(e: nimbus_linalg::LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::InvalidNcp { value: -1.0 }.to_string().contains("-1"));
+        assert!(CoreError::EmptyCurve.to_string().contains("at least one"));
+        assert!(CoreError::BudgetUnsatisfiable {
+            kind: "price",
+            budget: 5.0
+        }
+        .to_string()
+        .contains("price"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e: CoreError = nimbus_ml::MlError::EmptyDataset.into();
+        assert!(e.source().is_some());
+    }
+}

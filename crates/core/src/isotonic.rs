@@ -1,0 +1,174 @@
+//! Weighted isotonic regression via pool-adjacent-violators (PAV).
+//!
+//! Two consumers:
+//!
+//! * [`crate::error_curve`] smooths Monte-Carlo estimates of
+//!   `δ ↦ E[ε(h^δ)]` into the monotone curve that Theorem 4 guarantees in
+//!   expectation but sampling noise can locally violate, making the
+//!   error-inverse `φ` well defined empirically.
+//! * `nimbus-optim` projects candidate price vectors onto the two isotonic
+//!   cones of the relaxed program (5) (`z` non-decreasing; `z_j/a_j`
+//!   non-increasing) inside its Dykstra solver for the price-interpolation
+//!   objective `T²_PI`.
+//!
+//! PAV computes the exact weighted-L2 projection onto the monotone cone in
+//! `O(n)` after the initial scan.
+
+/// Weighted L2 projection of `values` onto the non-decreasing cone.
+///
+/// Returns the unique minimizer of `Σ w_i (z_i − v_i)²` subject to
+/// `z_1 ≤ z_2 ≤ … ≤ z_n`. Weights must be positive; non-positive weights
+/// are clamped to a tiny positive value to keep the projection defined.
+pub fn isotonic_increasing(values: &[f64], weights: &[f64]) -> Vec<f64> {
+    assert_eq!(values.len(), weights.len());
+    let n = values.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Each block tracks (weighted mean, total weight, member count).
+    let mut means: Vec<f64> = Vec::with_capacity(n);
+    let mut wsum: Vec<f64> = Vec::with_capacity(n);
+    let mut counts: Vec<usize> = Vec::with_capacity(n);
+
+    for i in 0..n {
+        let w = weights[i].max(1e-300);
+        means.push(values[i]);
+        wsum.push(w);
+        counts.push(1);
+        // Merge while the last two blocks violate monotonicity.
+        while means.len() >= 2 {
+            let k = means.len();
+            if means[k - 2] <= means[k - 1] {
+                break;
+            }
+            let total = wsum[k - 2] + wsum[k - 1];
+            let merged = (means[k - 2] * wsum[k - 2] + means[k - 1] * wsum[k - 1]) / total;
+            means[k - 2] = merged;
+            wsum[k - 2] = total;
+            counts[k - 2] += counts[k - 1];
+            means.pop();
+            wsum.pop();
+            counts.pop();
+        }
+    }
+
+    let mut out = Vec::with_capacity(n);
+    for (m, c) in means.iter().zip(counts.iter()) {
+        out.extend(std::iter::repeat_n(*m, *c));
+    }
+    out
+}
+
+/// Weighted L2 projection onto the non-increasing cone, implemented by
+/// negating, projecting onto the increasing cone and negating back.
+pub fn isotonic_decreasing(values: &[f64], weights: &[f64]) -> Vec<f64> {
+    let negated: Vec<f64> = values.iter().map(|v| -v).collect();
+    isotonic_increasing(&negated, weights)
+        .into_iter()
+        .map(|v| -v)
+        .collect()
+}
+
+/// Returns `true` when the slice is non-decreasing within `tol`.
+pub fn is_non_decreasing(values: &[f64], tol: f64) -> bool {
+    values.windows(2).all(|w| w[1] >= w[0] - tol)
+}
+
+/// Returns `true` when the slice is non-increasing within `tol`.
+pub fn is_non_increasing(values: &[f64], tol: f64) -> bool {
+    values.windows(2).all(|w| w[1] <= w[0] + tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn already_monotone_is_unchanged() {
+        let v = vec![1.0, 2.0, 3.0];
+        let w = vec![1.0; 3];
+        assert_eq!(isotonic_increasing(&v, &w), v);
+    }
+
+    #[test]
+    fn single_violation_pools_to_mean() {
+        let v = vec![1.0, 3.0, 2.0];
+        let w = vec![1.0; 3];
+        let out = isotonic_increasing(&v, &w);
+        assert_eq!(out, vec![1.0, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn cascading_merges() {
+        let v = vec![4.0, 3.0, 2.0, 1.0];
+        let w = vec![1.0; 4];
+        let out = isotonic_increasing(&v, &w);
+        assert_eq!(out, vec![2.5; 4]);
+    }
+
+    #[test]
+    fn weights_shift_pool_means() {
+        let v = vec![3.0, 1.0];
+        let w = vec![3.0, 1.0];
+        let out = isotonic_increasing(&v, &w);
+        // Weighted mean (3*3 + 1*1)/4 = 2.5.
+        assert_eq!(out, vec![2.5, 2.5]);
+    }
+
+    #[test]
+    fn result_is_monotone_and_projection_optimal() {
+        // Deterministic noisy input; verify monotone + KKT-style optimality
+        // by comparison against small perturbations.
+        let v: Vec<f64> = (0..50)
+            .map(|i| (i as f64) * 0.1 + ((i * 7919) % 13) as f64 * 0.3 - 1.5)
+            .collect();
+        let w: Vec<f64> = (0..50).map(|i| 1.0 + (i % 3) as f64).collect();
+        let out = isotonic_increasing(&v, &w);
+        assert!(is_non_decreasing(&out, 1e-12));
+        let obj = |z: &[f64]| -> f64 {
+            z.iter()
+                .zip(&v)
+                .zip(&w)
+                .map(|((zi, vi), wi)| wi * (zi - vi) * (zi - vi))
+                .sum()
+        };
+        let base = obj(&out);
+        // Any feasible (monotone) perturbation should not improve.
+        let mut tweaked = out.clone();
+        for i in 0..49 {
+            let room = tweaked[i + 1] - tweaked[i];
+            if room > 1e-9 {
+                tweaked[i] += room / 2.0;
+                assert!(obj(&tweaked) >= base - 1e-9);
+                tweaked[i] = out[i];
+            }
+        }
+    }
+
+    #[test]
+    fn decreasing_mirrors_increasing() {
+        let v = vec![1.0, 3.0, 2.0, 0.5];
+        let w = vec![1.0; 4];
+        let out = isotonic_decreasing(&v, &w);
+        assert!(is_non_increasing(&out, 1e-12));
+        // Sum is preserved within pools for unit weights.
+        let sv: f64 = v.iter().sum();
+        let so: f64 = out.iter().sum();
+        assert!((sv - so).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(isotonic_increasing(&[], &[]).is_empty());
+        assert_eq!(isotonic_increasing(&[5.0], &[1.0]), vec![5.0]);
+    }
+
+    #[test]
+    fn monotonicity_predicates() {
+        assert!(is_non_decreasing(&[1.0, 1.0, 2.0], 0.0));
+        assert!(!is_non_decreasing(&[2.0, 1.0], 0.0));
+        assert!(is_non_decreasing(&[2.0, 1.9999999], 1e-3));
+        assert!(is_non_increasing(&[3.0, 2.0, 2.0], 0.0));
+        assert!(!is_non_increasing(&[1.0, 2.0], 0.0));
+    }
+}

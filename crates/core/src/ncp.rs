@@ -1,0 +1,153 @@
+//! The noise control parameter (NCP) and its inverse.
+//!
+//! The NCP `δ` is the single knob of every mechanism: for the Gaussian
+//! mechanism `K_G` it is both the total noise variance injected into the
+//! model (`W_δ = N(0, (δ/d)·I_d)` puts `δ/d` per coordinate, `δ` in total)
+//! and — under square loss — the expected error itself (Lemma 3).
+//!
+//! The pricing theory works in the *inverse* parameter `x = 1/δ`
+//! (Theorem 5): arbitrage-freeness is monotonicity + subadditivity of
+//! `p(x) = p_ε,λ(1/x, D)`. Keeping `δ` and `x` as distinct newtypes prevents
+//! the classic bug of passing one where the other is meant.
+
+use crate::{CoreError, Result};
+
+/// A validated noise control parameter `δ ∈ (0, ∞)`.
+///
+/// Larger `δ` means more noise, larger expected error and a lower price.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Ncp(f64);
+
+impl Ncp {
+    /// Creates an NCP, rejecting non-positive and non-finite values.
+    pub fn new(delta: f64) -> Result<Self> {
+        if delta > 0.0 && delta.is_finite() {
+            Ok(Ncp(delta))
+        } else {
+            Err(CoreError::InvalidNcp { value: delta })
+        }
+    }
+
+    /// The raw `δ` value.
+    pub fn delta(&self) -> f64 {
+        self.0
+    }
+
+    /// The inverse parameter `x = 1/δ`.
+    pub fn inverse(&self) -> InverseNcp {
+        InverseNcp(1.0 / self.0)
+    }
+}
+
+impl std::fmt::Display for Ncp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "δ={}", self.0)
+    }
+}
+
+/// The inverse noise control parameter `x = 1/δ ∈ (0, ∞)`.
+///
+/// This is the axis of every pricing plot in the paper ("1/NCP"): larger `x`
+/// means less noise, smaller expected error and a (weakly) higher price.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct InverseNcp(f64);
+
+impl InverseNcp {
+    /// Creates an inverse NCP, rejecting non-positive and non-finite values.
+    pub fn new(x: f64) -> Result<Self> {
+        if x > 0.0 && x.is_finite() {
+            Ok(InverseNcp(x))
+        } else {
+            Err(CoreError::InvalidNcp { value: x })
+        }
+    }
+
+    /// The raw `x = 1/δ` value.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+
+    /// The corresponding NCP `δ = 1/x`.
+    pub fn ncp(&self) -> Ncp {
+        Ncp(1.0 / self.0)
+    }
+}
+
+impl std::fmt::Display for InverseNcp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "1/δ={}", self.0)
+    }
+}
+
+/// Builds an evenly spaced inverse-NCP grid `lo..=hi` with `n` points — the
+/// `1/NCP ∈ [1, 100]` axis used throughout the paper's figures.
+pub fn inverse_ncp_grid(lo: f64, hi: f64, n: usize) -> Result<Vec<InverseNcp>> {
+    if n == 0 {
+        return Err(CoreError::EmptyCurve);
+    }
+    if !(lo > 0.0 && hi >= lo && hi.is_finite()) {
+        return Err(CoreError::InvalidNcp { value: lo });
+    }
+    if n == 1 {
+        return Ok(vec![InverseNcp::new(lo)?]);
+    }
+    let step = (hi - lo) / (n - 1) as f64;
+    (0..n)
+        .map(|i| InverseNcp::new(lo + step * i as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ncp_validation() {
+        assert!(Ncp::new(1.0).is_ok());
+        assert!(Ncp::new(0.0).is_err());
+        assert!(Ncp::new(-1.0).is_err());
+        assert!(Ncp::new(f64::NAN).is_err());
+        assert!(Ncp::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let d = Ncp::new(4.0).unwrap();
+        let x = d.inverse();
+        assert_eq!(x.value(), 0.25);
+        assert_eq!(x.ncp().delta(), 4.0);
+    }
+
+    #[test]
+    fn ordering_reverses_under_inverse() {
+        let small = Ncp::new(1.0).unwrap();
+        let large = Ncp::new(10.0).unwrap();
+        assert!(small < large);
+        assert!(small.inverse() > large.inverse());
+    }
+
+    #[test]
+    fn grid_is_even_and_inclusive() {
+        let g = inverse_ncp_grid(1.0, 100.0, 100).unwrap();
+        assert_eq!(g.len(), 100);
+        assert_eq!(g[0].value(), 1.0);
+        assert_eq!(g[99].value(), 100.0);
+        assert!((g[1].value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_edge_cases() {
+        assert!(inverse_ncp_grid(1.0, 100.0, 0).is_err());
+        assert!(inverse_ncp_grid(0.0, 1.0, 2).is_err());
+        assert!(inverse_ncp_grid(2.0, 1.0, 2).is_err());
+        let single = inverse_ncp_grid(3.0, 10.0, 1).unwrap();
+        assert_eq!(single.len(), 1);
+        assert_eq!(single[0].value(), 3.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Ncp::new(2.0).unwrap().to_string(), "δ=2");
+        assert_eq!(InverseNcp::new(0.5).unwrap().to_string(), "1/δ=0.5");
+    }
+}

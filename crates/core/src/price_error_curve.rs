@@ -1,0 +1,230 @@
+//! The buyer-facing price–error curve and the three purchase options.
+//!
+//! Step 2 of the broker–buyer interaction (§3.2, Figure 1(C)): given the
+//! buyer's choice of model and error functions, the broker computes a curve
+//! pairing every NCP `δ` with its expected error `E[ε(h^δ, D)]` and its
+//! price `p_ε,λ(δ, D)`. The buyer then exercises one of three options:
+//!
+//! 1. **Pick a point** — a specific price–error combination on the curve;
+//!    monotonicity of the error in δ makes the δ* unique.
+//! 2. **Error budget** — `δ* = argmin_δ p(δ)` s.t. `E[ε(h^δ)] ≤ ε budget`.
+//! 3. **Price budget** — `δ* = argmin_δ E[ε(h^δ)]` s.t. `p(δ) ≤ budget`.
+
+use crate::error_curve::ErrorCurve;
+use crate::pricing::PricingFunction;
+use crate::{CoreError, InverseNcp, Ncp, Result};
+
+/// One point of the buyer-facing curve.
+#[derive(Debug, Clone, Copy)]
+pub struct PriceErrorPoint {
+    /// Noise control parameter δ.
+    pub delta: f64,
+    /// Inverse NCP `x = 1/δ`.
+    pub inverse: f64,
+    /// Expected error `E[ε(h^δ, D)]` (smoothed estimate).
+    pub expected_error: f64,
+    /// Posted price at this version.
+    pub price: f64,
+}
+
+/// The resolved outcome of a buyer's purchase request.
+#[derive(Debug, Clone, Copy)]
+pub struct PurchaseChoice {
+    /// The version the broker will produce.
+    pub point: PriceErrorPoint,
+}
+
+/// The buyer-facing curve: error and price per version.
+#[derive(Debug, Clone)]
+pub struct PriceErrorCurve {
+    points: Vec<PriceErrorPoint>,
+}
+
+impl PriceErrorCurve {
+    /// Assembles the curve from an estimated [`ErrorCurve`] and a pricing
+    /// function. Points come out ordered by increasing δ (decreasing x).
+    pub fn new<P: PricingFunction + ?Sized>(
+        error_curve: &ErrorCurve,
+        pricing: &P,
+    ) -> Result<Self> {
+        if error_curve.is_empty() {
+            return Err(CoreError::EmptyCurve);
+        }
+        let mut points = Vec::with_capacity(error_curve.len());
+        for ep in error_curve.points() {
+            let x = InverseNcp::new(ep.inverse)?;
+            let price = pricing.price(x);
+            if !(price.is_finite() && price >= 0.0) {
+                return Err(CoreError::InvalidPrice { value: price });
+            }
+            points.push(PriceErrorPoint {
+                delta: ep.delta,
+                inverse: ep.inverse,
+                expected_error: ep.smoothed_error,
+                price,
+            });
+        }
+        Ok(PriceErrorCurve { points })
+    }
+
+    /// The curve points, ordered by increasing δ.
+    pub fn points(&self) -> &[PriceErrorPoint] {
+        &self.points
+    }
+
+    /// Number of versions on offer.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the curve is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Option 1 — the buyer picks the version at a specific δ (must be one
+    /// of the offered grid points, matched within relative tolerance).
+    pub fn choose_at(&self, ncp: Ncp) -> Result<PurchaseChoice> {
+        let d = ncp.delta();
+        let found = self
+            .points
+            .iter()
+            .find(|p| (p.delta - d).abs() <= 1e-9 * d.max(1.0));
+        match found {
+            Some(&point) => Ok(PurchaseChoice { point }),
+            None => Err(CoreError::BudgetUnsatisfiable {
+                kind: "error",
+                budget: d,
+            }),
+        }
+    }
+
+    /// Option 2 — cheapest version whose expected error is within
+    /// `error_budget`.
+    pub fn choose_with_error_budget(&self, error_budget: f64) -> Result<PurchaseChoice> {
+        let best = self
+            .points
+            .iter()
+            .filter(|p| p.expected_error <= error_budget)
+            .min_by(|a, b| {
+                a.price
+                    .partial_cmp(&b.price)
+                    .expect("prices are finite")
+                    // Among equal prices prefer the lower error.
+                    .then(
+                        a.expected_error
+                            .partial_cmp(&b.expected_error)
+                            .expect("errors are finite"),
+                    )
+            });
+        match best {
+            Some(&point) => Ok(PurchaseChoice { point }),
+            None => Err(CoreError::BudgetUnsatisfiable {
+                kind: "error",
+                budget: error_budget,
+            }),
+        }
+    }
+
+    /// Option 3 — most accurate version whose price is within
+    /// `price_budget`.
+    pub fn choose_with_price_budget(&self, price_budget: f64) -> Result<PurchaseChoice> {
+        let best = self
+            .points
+            .iter()
+            .filter(|p| p.price <= price_budget)
+            .min_by(|a, b| {
+                a.expected_error
+                    .partial_cmp(&b.expected_error)
+                    .expect("errors are finite")
+                    .then(a.price.partial_cmp(&b.price).expect("prices are finite"))
+            });
+        match best {
+            Some(&point) => Ok(PurchaseChoice { point }),
+            None => Err(CoreError::BudgetUnsatisfiable {
+                kind: "price",
+                budget: price_budget,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error_curve::ErrorCurve;
+    use crate::pricing::PiecewiseLinearPricing;
+
+    fn curve() -> PriceErrorCurve {
+        // Square-loss analytic curve over δ ∈ {0.25, 0.5, 1, 2, 4}, i.e.
+        // x ∈ {4, 2, 1, 0.5, 0.25}; pricing is 10·x capped via breakpoints.
+        let deltas: Vec<Ncp> = [0.25, 0.5, 1.0, 2.0, 4.0]
+            .iter()
+            .map(|&d| Ncp::new(d).unwrap())
+            .collect();
+        let ec = ErrorCurve::analytic_square_loss(&deltas).unwrap();
+        let pricing = PiecewiseLinearPricing::new(vec![(0.25, 2.5), (4.0, 40.0)]).unwrap();
+        PriceErrorCurve::new(&ec, &pricing).unwrap()
+    }
+
+    #[test]
+    fn points_pair_error_and_price() {
+        let c = curve();
+        assert_eq!(c.len(), 5);
+        // δ = 0.25 → x = 4 → price 40; error = δ = 0.25.
+        let sharpest = &c.points()[0];
+        assert_eq!(sharpest.delta, 0.25);
+        assert!((sharpest.price - 40.0).abs() < 1e-9);
+        assert_eq!(sharpest.expected_error, 0.25);
+        // Price decreases along increasing δ.
+        let prices: Vec<f64> = c.points().iter().map(|p| p.price).collect();
+        assert!(prices.windows(2).all(|w| w[1] <= w[0] + 1e-12));
+    }
+
+    #[test]
+    fn choose_at_exact_point() {
+        let c = curve();
+        let got = c.choose_at(Ncp::new(1.0).unwrap()).unwrap();
+        assert_eq!(got.point.delta, 1.0);
+        assert!(c.choose_at(Ncp::new(3.0).unwrap()).is_err());
+    }
+
+    #[test]
+    fn error_budget_picks_cheapest_feasible() {
+        let c = curve();
+        // Versions with error ≤ 2.0 are δ ∈ {0.25, 0.5, 1, 2}; the cheapest
+        // is the noisiest feasible one, δ = 2 (x = 0.5, price 5).
+        let got = c.choose_with_error_budget(2.0).unwrap();
+        assert_eq!(got.point.delta, 2.0);
+        assert!((got.point.price - 5.0).abs() < 1e-9);
+        // Infeasible budget.
+        assert!(matches!(
+            c.choose_with_error_budget(0.1),
+            Err(CoreError::BudgetUnsatisfiable { kind: "error", .. })
+        ));
+    }
+
+    #[test]
+    fn price_budget_picks_most_accurate_feasible() {
+        let c = curve();
+        // Budget 20 affords x ≤ 2 (δ ≥ 0.5): best error is δ = 0.5.
+        let got = c.choose_with_price_budget(20.0).unwrap();
+        assert_eq!(got.point.delta, 0.5);
+        // Tiny budget affords only the cheapest version (δ = 4, price 2.5).
+        let got = c.choose_with_price_budget(2.5).unwrap();
+        assert_eq!(got.point.delta, 4.0);
+        assert!(matches!(
+            c.choose_with_price_budget(1.0),
+            Err(CoreError::BudgetUnsatisfiable { kind: "price", .. })
+        ));
+    }
+
+    #[test]
+    fn budget_exactly_on_point_is_feasible() {
+        let c = curve();
+        let got = c.choose_with_error_budget(0.25).unwrap();
+        assert_eq!(got.point.delta, 0.25);
+        let got = c.choose_with_price_budget(40.0).unwrap();
+        assert_eq!(got.point.delta, 0.25);
+    }
+}

@@ -1,0 +1,221 @@
+//! Empirical verifiers for the mechanism restrictions of §3.2.
+//!
+//! Any randomized mechanism `K` the broker deploys must be (1) **unbiased**
+//! and (2) **error-monotone** in δ. These checks quantify both properties by
+//! Monte Carlo so that new mechanisms (or new error functions) can be
+//! validated before they are offered for sale — the MBP analogue of an
+//! admission test for market instruments.
+
+use crate::mechanism::RandomizedMechanism;
+use crate::{Ncp, Result};
+use nimbus_ml::LinearModel;
+use nimbus_randkit::{NimbusRng, RunningStats};
+
+/// Result of an unbiasedness check.
+#[derive(Debug, Clone)]
+pub struct UnbiasednessReport {
+    /// Infinity norm of the empirical bias `‖mean(h^δ) − h*‖∞`.
+    pub bias_inf_norm: f64,
+    /// Largest per-coordinate standard error; the bias should be a small
+    /// multiple of this for an unbiased mechanism.
+    pub max_std_error: f64,
+    /// Samples drawn.
+    pub samples: usize,
+}
+
+impl UnbiasednessReport {
+    /// Heuristic verdict: bias within `k` standard errors.
+    pub fn is_unbiased_within(&self, k: f64) -> bool {
+        self.bias_inf_norm <= k * self.max_std_error.max(1e-12)
+    }
+}
+
+/// Estimates the empirical bias of `mechanism` at one NCP.
+pub fn check_unbiased<M: RandomizedMechanism + ?Sized>(
+    mechanism: &M,
+    optimal: &LinearModel,
+    ncp: Ncp,
+    samples: usize,
+    rng: &mut NimbusRng,
+) -> Result<UnbiasednessReport> {
+    let d = optimal.dim();
+    let mut stats: Vec<RunningStats> = vec![RunningStats::new(); d];
+    for _ in 0..samples {
+        let noisy = mechanism.perturb(optimal, ncp, rng)?;
+        for (s, w) in stats.iter_mut().zip(noisy.weights().as_slice()) {
+            s.push(*w);
+        }
+    }
+    let mut bias: f64 = 0.0;
+    let mut max_se: f64 = 0.0;
+    for (s, target) in stats.iter().zip(optimal.weights().as_slice()) {
+        bias = bias.max((s.mean() - target).abs());
+        max_se = max_se.max(s.standard_error());
+    }
+    Ok(UnbiasednessReport {
+        bias_inf_norm: bias,
+        max_std_error: max_se,
+        samples,
+    })
+}
+
+/// Result of a monotonicity check over a δ grid.
+#[derive(Debug, Clone)]
+pub struct MonotonicityReport {
+    /// `(δ, mean error)` pairs in increasing-δ order.
+    pub curve: Vec<(f64, f64)>,
+    /// Largest downward step `max(err_i − err_{i+1}, 0)` between adjacent
+    /// grid points — 0 for a perfectly monotone empirical curve.
+    pub worst_violation: f64,
+}
+
+impl MonotonicityReport {
+    /// Verdict with an absolute tolerance for Monte-Carlo jitter.
+    pub fn is_monotone_within(&self, tol: f64) -> bool {
+        self.worst_violation <= tol
+    }
+}
+
+/// Estimates `E[ε(h^δ)]` on a δ grid and measures monotonicity violations.
+pub fn check_error_monotonicity<M, F>(
+    mechanism: &M,
+    optimal: &LinearModel,
+    mut evaluate: F,
+    deltas: &[Ncp],
+    samples: usize,
+    rng: &mut NimbusRng,
+) -> Result<MonotonicityReport>
+where
+    M: RandomizedMechanism + ?Sized,
+    F: FnMut(&LinearModel) -> Result<f64>,
+{
+    let mut grid: Vec<Ncp> = deltas.to_vec();
+    grid.sort_by(|a, b| a.delta().partial_cmp(&b.delta()).expect("finite"));
+    let mut curve = Vec::with_capacity(grid.len());
+    for ncp in &grid {
+        let mut stats = RunningStats::new();
+        for _ in 0..samples {
+            let noisy = mechanism.perturb(optimal, *ncp, rng)?;
+            stats.push(evaluate(&noisy)?);
+        }
+        curve.push((ncp.delta(), stats.mean()));
+    }
+    let mut worst: f64 = 0.0;
+    for w in curve.windows(2) {
+        worst = worst.max(w[0].1 - w[1].1);
+    }
+    Ok(MonotonicityReport {
+        curve,
+        worst_violation: worst,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::{GaussianMechanism, LaplaceMechanism, UniformMechanism};
+    use crate::square_loss::square_loss;
+    use nimbus_linalg::Vector;
+    use nimbus_randkit::seeded_rng;
+
+    fn model() -> LinearModel {
+        LinearModel::new(Vector::from_vec(vec![2.0, -1.0, 0.5]))
+    }
+
+    #[test]
+    fn all_additive_mechanisms_pass_unbiasedness() {
+        let m = model();
+        let ncp = Ncp::new(1.0).unwrap();
+        for mech in [
+            &GaussianMechanism as &dyn RandomizedMechanism,
+            &LaplaceMechanism,
+            &UniformMechanism,
+        ] {
+            let mut rng = seeded_rng(11);
+            let report = check_unbiased(mech, &m, ncp, 20_000, &mut rng).unwrap();
+            assert!(
+                report.is_unbiased_within(4.0),
+                "{}: bias {} vs se {}",
+                mech.name(),
+                report.bias_inf_norm,
+                report.max_std_error
+            );
+        }
+    }
+
+    #[test]
+    fn biased_mechanism_is_caught() {
+        // A deliberately biased mechanism: adds +1 to every coordinate.
+        struct Biased;
+        impl RandomizedMechanism for Biased {
+            fn name(&self) -> &'static str {
+                "biased"
+            }
+            fn perturb(
+                &self,
+                optimal: &LinearModel,
+                _ncp: Ncp,
+                _rng: &mut NimbusRng,
+            ) -> Result<LinearModel> {
+                let ones = Vector::filled(optimal.dim(), 1.0);
+                optimal.perturbed(&ones).map_err(Into::into)
+            }
+            fn total_variance(&self, _ncp: Ncp, _d: usize) -> f64 {
+                0.0
+            }
+        }
+        let mut rng = seeded_rng(1);
+        let report =
+            check_unbiased(&Biased, &model(), Ncp::new(1.0).unwrap(), 500, &mut rng).unwrap();
+        assert!(!report.is_unbiased_within(4.0));
+        assert!(report.bias_inf_norm > 0.9);
+    }
+
+    #[test]
+    fn square_loss_error_is_monotone_in_delta() {
+        let m = model();
+        let grid: Vec<Ncp> = [0.25, 0.5, 1.0, 2.0, 4.0]
+            .iter()
+            .map(|&d| Ncp::new(d).unwrap())
+            .collect();
+        let mut rng = seeded_rng(5);
+        let opt = m.clone();
+        let report = check_error_monotonicity(
+            &GaussianMechanism,
+            &m,
+            |h| square_loss(h, &opt),
+            &grid,
+            4_000,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(
+            report.is_monotone_within(0.05),
+            "worst violation {}",
+            report.worst_violation
+        );
+        assert_eq!(report.curve.len(), 5);
+        // The curve should roughly track δ itself (Lemma 3).
+        for (delta, err) in &report.curve {
+            assert!((err - delta).abs() < 0.2 * delta.max(1.0));
+        }
+    }
+
+    #[test]
+    fn monotonicity_check_sorts_grid() {
+        let m = model();
+        let grid: Vec<Ncp> = [4.0, 1.0].iter().map(|&d| Ncp::new(d).unwrap()).collect();
+        let mut rng = seeded_rng(3);
+        let opt = m.clone();
+        let report = check_error_monotonicity(
+            &GaussianMechanism,
+            &m,
+            |h| square_loss(h, &opt),
+            &grid,
+            500,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(report.curve[0].0 < report.curve[1].0);
+    }
+}

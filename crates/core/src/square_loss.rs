@@ -1,0 +1,90 @@
+//! The square loss `ε_s` and the Lemma 3 identity.
+//!
+//! Section 4.1 analyzes the Gaussian mechanism under the square loss
+//!
+//! ```text
+//! ε_s(h, D) = ‖h − h*_λ(D)‖²
+//! ```
+//!
+//! for which `E[ε_s(h^δ, D)] = δ` exactly (Lemma 3) — the NCP *is* the
+//! expected error. This module provides the loss itself and helpers for the
+//! identity, which anchor the analytic error-inverse `φ(e) = e` used by the
+//! pricing layer when `ε = ε_s`.
+
+use crate::{Ncp, Result};
+use nimbus_ml::LinearModel;
+
+/// Computes `ε_s(h, D) = ‖h − h*‖²` given the released instance and the
+/// optimal instance.
+pub fn square_loss(instance: &LinearModel, optimal: &LinearModel) -> Result<f64> {
+    instance.distance_squared(optimal).map_err(Into::into)
+}
+
+/// Lemma 3: the exact expected square loss of any mechanism that injects
+/// total variance `δ` — i.e. simply `δ`. Centralizing the identity keeps
+/// call sites self-documenting.
+pub fn expected_square_loss(ncp: Ncp) -> f64 {
+    ncp.delta()
+}
+
+/// The analytic error-inverse `φ` for the square loss (Theorem 6 notation):
+/// the `δ` that produces a given expected square loss is the loss itself.
+/// Returns an error for non-positive targets since `δ` must be positive.
+pub fn square_loss_error_inverse(expected_error: f64) -> Result<Ncp> {
+    Ncp::new(expected_error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::{GaussianMechanism, RandomizedMechanism};
+    use nimbus_linalg::Vector;
+    use nimbus_randkit::seeded_rng;
+
+    #[test]
+    fn square_loss_is_squared_distance() {
+        let a = LinearModel::new(Vector::from_vec(vec![1.0, 2.0]));
+        let b = LinearModel::new(Vector::from_vec(vec![4.0, 6.0]));
+        assert_eq!(square_loss(&a, &b).unwrap(), 25.0);
+        assert_eq!(square_loss(&a, &a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn lemma3_monte_carlo() {
+        // E[ε_s(h^δ)] = δ for the Gaussian mechanism, any d.
+        for (d, delta) in [(4usize, 0.5), (16, 2.0), (64, 10.0)] {
+            let optimal = LinearModel::new(Vector::from_vec(
+                (0..d).map(|i| (i as f64 * 0.31).sin()).collect(),
+            ));
+            let ncp = Ncp::new(delta).unwrap();
+            let mut rng = seeded_rng(d as u64);
+            let reps = 30_000;
+            let mut total = 0.0;
+            for _ in 0..reps {
+                let noisy = GaussianMechanism.perturb(&optimal, ncp, &mut rng).unwrap();
+                total += square_loss(&noisy, &optimal).unwrap();
+            }
+            let mean = total / reps as f64;
+            assert!(
+                (mean - delta).abs() < 0.03 * delta.max(1.0),
+                "d={d}, δ={delta}: mean {mean}"
+            );
+            assert_eq!(expected_square_loss(ncp), delta);
+        }
+    }
+
+    #[test]
+    fn error_inverse_is_identity() {
+        let ncp = square_loss_error_inverse(3.5).unwrap();
+        assert_eq!(ncp.delta(), 3.5);
+        assert!(square_loss_error_inverse(0.0).is_err());
+        assert!(square_loss_error_inverse(-1.0).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch_propagates() {
+        let a = LinearModel::zeros(2);
+        let b = LinearModel::zeros(3);
+        assert!(square_loss(&a, &b).is_err());
+    }
+}

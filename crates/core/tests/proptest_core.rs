@@ -1,0 +1,120 @@
+//! Property-based tests for the MBP core: isotonic projection laws,
+//! pricing-function invariants, error-curve inverse consistency.
+
+use nimbus_core::isotonic::{
+    is_non_decreasing, is_non_increasing, isotonic_decreasing, isotonic_increasing,
+};
+use nimbus_core::pricing::{LinearPricing, PiecewiseLinearPricing, PricingFunction};
+use nimbus_core::{ErrorCurve, InverseNcp, Ncp};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn pav_output_is_monotone_and_idempotent(
+        values in prop::collection::vec(-100.0..100.0f64, 1..60),
+        weights in prop::collection::vec(0.1..10.0f64, 60),
+    ) {
+        let w = &weights[..values.len()];
+        let out = isotonic_increasing(&values, w);
+        prop_assert!(is_non_decreasing(&out, 1e-9));
+        let again = isotonic_increasing(&out, w);
+        for (a, b) in out.iter().zip(&again) {
+            prop_assert!((a - b).abs() < 1e-9, "projection must be idempotent");
+        }
+        // Weighted mean is preserved.
+        let mean_in: f64 = values.iter().zip(w).map(|(v, wi)| v * wi).sum();
+        let mean_out: f64 = out.iter().zip(w).map(|(v, wi)| v * wi).sum();
+        prop_assert!((mean_in - mean_out).abs() < 1e-6 * (1.0 + mean_in.abs()));
+    }
+
+    #[test]
+    fn pav_never_moves_values_past_range(
+        values in prop::collection::vec(-50.0..50.0f64, 1..40),
+    ) {
+        let w = vec![1.0; values.len()];
+        let out = isotonic_increasing(&values, &w);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for v in &out {
+            prop_assert!(*v >= lo - 1e-9 && *v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn decreasing_pav_mirrors_increasing(
+        values in prop::collection::vec(-50.0..50.0f64, 1..40),
+    ) {
+        let w = vec![1.0; values.len()];
+        let dec = isotonic_decreasing(&values, &w);
+        prop_assert!(is_non_increasing(&dec, 1e-9));
+        let neg: Vec<f64> = values.iter().map(|v| -v).collect();
+        let inc_of_neg = isotonic_increasing(&neg, &w);
+        for (a, b) in dec.iter().zip(&inc_of_neg) {
+            prop_assert!((a + b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn piecewise_linear_pricing_is_continuous_and_bounded(
+        points in prop::collection::vec((0.1..100.0f64, 0.0..1000.0f64), 1..20),
+        query in 0.01..200.0f64,
+    ) {
+        // Dedup x coordinates to satisfy the constructor.
+        let mut pts = points;
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        pts.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-6);
+        let max_price = pts.iter().map(|p| p.1).fold(0.0, f64::max);
+        let pricing = PiecewiseLinearPricing::new(pts).unwrap();
+        let p = pricing.price(InverseNcp::new(query).unwrap());
+        prop_assert!(p >= 0.0);
+        prop_assert!(p <= max_price + 1e-9);
+        // Continuity: nearby queries give nearby prices.
+        let p2 = pricing.price(InverseNcp::new(query * (1.0 + 1e-9)).unwrap());
+        prop_assert!((p - p2).abs() < 1e-3 * (1.0 + p.abs()));
+    }
+
+    #[test]
+    fn linear_pricing_is_subadditive_pointwise(
+        slope in 0.0..50.0f64,
+        intercept in 0.0..50.0f64,
+        x in 0.1..100.0f64,
+        y in 0.1..100.0f64,
+    ) {
+        let l = LinearPricing::new(slope, intercept).unwrap();
+        let px = l.price(InverseNcp::new(x).unwrap());
+        let py = l.price(InverseNcp::new(y).unwrap());
+        let pxy = l.price(InverseNcp::new(x + y).unwrap());
+        prop_assert!(pxy <= px + py + 1e-9);
+    }
+
+    #[test]
+    fn error_curve_inverse_is_right_inverse(
+        deltas in prop::collection::vec(0.01..100.0f64, 2..15),
+    ) {
+        let mut ds = deltas;
+        ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ds.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        if ds.len() < 2 {
+            return Ok(());
+        }
+        let ncps: Vec<Ncp> = ds.iter().map(|&d| Ncp::new(d).unwrap()).collect();
+        let curve = ErrorCurve::analytic_square_loss(&ncps).unwrap();
+        // For any error level within range, expected_error_at(error_inverse(e)) = e.
+        let lo = ds[0];
+        let hi = *ds.last().unwrap();
+        for frac in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            // Clamp: lo + (hi-lo)·1.0 can exceed hi by one ulp.
+            let target = (lo + (hi - lo) * frac).clamp(lo, hi);
+            let ncp = curve.error_inverse(target).unwrap();
+            let back = curve.expected_error_at(ncp);
+            prop_assert!((back - target).abs() < 1e-9 * (1.0 + target));
+        }
+    }
+
+    #[test]
+    fn ncp_inverse_is_involutive(delta in 1e-6..1e6f64) {
+        let ncp = Ncp::new(delta).unwrap();
+        let twice = ncp.inverse().ncp();
+        prop_assert!((twice.delta() - delta).abs() < 1e-9 * delta);
+    }
+}

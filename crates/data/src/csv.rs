@@ -1,0 +1,230 @@
+//! Minimal CSV I/O for numeric tables.
+//!
+//! Two callers: users loading their own relational data into a [`Dataset`],
+//! and the experiment harness persisting figure/table series under
+//! `results/`. The format is deliberately narrow — comma-separated `f64`
+//! columns with one optional header row — which keeps the parser small,
+//! dependency-free and easy to audit.
+
+use crate::{DataError, Dataset, Result, Task};
+use nimbus_linalg::{Matrix, Vector};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// A parsed numeric table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumericTable {
+    /// Column names; synthesized as `c0..c{k-1}` when the file has no header.
+    pub columns: Vec<String>,
+    /// Row-major cell values, one `Vec` per row.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl NumericTable {
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+/// Reads a numeric table from any reader. When `has_header` is true the
+/// first line names the columns; otherwise names are synthesized.
+pub fn read_table<R: Read>(reader: R, has_header: bool) -> Result<NumericTable> {
+    let buf = BufReader::new(reader);
+    let mut columns: Vec<String> = Vec::new();
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut expected_cols: Option<usize> = None;
+
+    for (idx, line) in buf.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if idx == 0 && has_header {
+            columns = fields.iter().map(|s| s.to_string()).collect();
+            expected_cols = Some(columns.len());
+            continue;
+        }
+        if let Some(k) = expected_cols {
+            if fields.len() != k {
+                return Err(DataError::Csv {
+                    line: line_no,
+                    message: format!("expected {k} fields, found {}", fields.len()),
+                });
+            }
+        } else {
+            expected_cols = Some(fields.len());
+        }
+        let mut row = Vec::with_capacity(fields.len());
+        for f in &fields {
+            let v: f64 = f.parse().map_err(|_| DataError::Csv {
+                line: line_no,
+                message: format!("cannot parse {f:?} as a number"),
+            })?;
+            row.push(v);
+        }
+        rows.push(row);
+    }
+
+    if columns.is_empty() {
+        let k = expected_cols.unwrap_or(0);
+        columns = (0..k).map(|i| format!("c{i}")).collect();
+    }
+    Ok(NumericTable { columns, rows })
+}
+
+/// Reads a numeric table from a file path.
+pub fn read_table_from_path<P: AsRef<Path>>(path: P, has_header: bool) -> Result<NumericTable> {
+    let f = std::fs::File::open(path)?;
+    read_table(f, has_header)
+}
+
+/// Writes a numeric table (header plus rows) to any writer.
+pub fn write_table<W: Write>(writer: &mut W, columns: &[&str], rows: &[Vec<f64>]) -> Result<()> {
+    writeln!(writer, "{}", columns.join(","))?;
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        writeln!(writer, "{}", line.join(","))?;
+    }
+    Ok(())
+}
+
+/// Writes a numeric table to a file path, creating parent directories.
+pub fn write_table_to_path<P: AsRef<Path>>(
+    path: P,
+    columns: &[&str],
+    rows: &[Vec<f64>],
+) -> Result<()> {
+    if let Some(parent) = path.as_ref().parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    write_table(&mut f, columns, rows)
+}
+
+/// Converts a table into a [`Dataset`], taking the column named
+/// `target_column` as the label and everything else as features.
+pub fn table_to_dataset(table: &NumericTable, target_column: &str, task: Task) -> Result<Dataset> {
+    let target_idx = table
+        .columns
+        .iter()
+        .position(|c| c == target_column)
+        .ok_or_else(|| DataError::Csv {
+            line: 1,
+            message: format!("no column named {target_column:?}"),
+        })?;
+    let d = table.num_cols().saturating_sub(1);
+    let mut features = Vec::with_capacity(table.num_rows() * d);
+    let mut targets = Vec::with_capacity(table.num_rows());
+    for row in &table.rows {
+        for (j, v) in row.iter().enumerate() {
+            if j != target_idx {
+                features.push(*v);
+            }
+        }
+        targets.push(row[target_idx]);
+    }
+    let x = Matrix::from_row_major(table.num_rows(), d, features)?;
+    Dataset::new(x, Vector::from_vec(targets), task)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_header() {
+        let mut buf = Vec::new();
+        write_table(
+            &mut buf,
+            &["x", "y"],
+            &[vec![1.0, 2.0], vec![3.5, -4.0]],
+        )
+        .unwrap();
+        let t = read_table(&buf[..], true).unwrap();
+        assert_eq!(t.columns, vec!["x", "y"]);
+        assert_eq!(t.rows, vec![vec![1.0, 2.0], vec![3.5, -4.0]]);
+    }
+
+    #[test]
+    fn headerless_synthesizes_names() {
+        let data = b"1,2,3\n4,5,6\n";
+        let t = read_table(&data[..], false).unwrap();
+        assert_eq!(t.columns, vec!["c0", "c1", "c2"]);
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let data = b"a,b\n1,2\n\n  \n3,4\n";
+        let t = read_table(&data[..], true).unwrap();
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected_with_line_number() {
+        let data = b"a,b\n1,2\n3\n";
+        match read_table(&data[..], true) {
+            Err(DataError::Csv { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected CSV error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_number_is_rejected() {
+        let data = b"1,apple\n";
+        assert!(matches!(
+            read_table(&data[..], false),
+            Err(DataError::Csv { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn whitespace_around_fields_is_tolerated() {
+        let data = b" 1 , 2 \n";
+        let t = read_table(&data[..], false).unwrap();
+        assert_eq!(t.rows[0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn table_to_dataset_extracts_target() {
+        let data = b"f1,label,f2\n1,0,2\n3,1,4\n";
+        let t = read_table(&data[..], true).unwrap();
+        let d = table_to_dataset(&t, "label", Task::BinaryClassification).unwrap();
+        assert_eq!(d.num_features(), 2);
+        assert_eq!(d.targets().as_slice(), &[0.0, 1.0]);
+        assert_eq!(d.features().row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn missing_target_column_is_reported() {
+        let data = b"a,b\n1,2\n";
+        let t = read_table(&data[..], true).unwrap();
+        assert!(table_to_dataset(&t, "nope", Task::Regression).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("nimbus_csv_test");
+        let path = dir.join("t.csv");
+        write_table_to_path(&path, &["v"], &[vec![42.0]]).unwrap();
+        let t = read_table_from_path(&path, true).unwrap();
+        assert_eq!(t.rows, vec![vec![42.0]]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_input_gives_empty_table() {
+        let t = read_table(&b""[..], false).unwrap();
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.num_cols(), 0);
+    }
+}

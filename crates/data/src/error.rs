@@ -1,0 +1,118 @@
+//! Error type for dataset construction, splitting and I/O.
+
+use std::fmt;
+
+/// Errors produced by the `nimbus-data` crate.
+#[derive(Debug)]
+pub enum DataError {
+    /// Feature matrix and target vector disagree on the number of examples.
+    LengthMismatch {
+        /// Rows in the feature matrix.
+        features: usize,
+        /// Entries in the target vector.
+        targets: usize,
+    },
+    /// A split fraction was outside `(0, 1)`.
+    InvalidSplitFraction {
+        /// The offending fraction.
+        fraction: f64,
+    },
+    /// An operation needed a non-empty dataset.
+    EmptyDataset,
+    /// Targets were not valid for the declared task (e.g. a classification
+    /// label other than 0/1).
+    InvalidTarget {
+        /// Row of the offending target.
+        row: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A dataset value was NaN or infinite.
+    NonFinite {
+        /// Row of the offending value.
+        row: usize,
+    },
+    /// CSV parsing failed.
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An underlying I/O error.
+    Io(std::io::Error),
+    /// An underlying linear-algebra error.
+    Linalg(nimbus_linalg::LinalgError),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::LengthMismatch { features, targets } => write!(
+                f,
+                "feature matrix has {features} rows but target vector has {targets} entries"
+            ),
+            DataError::InvalidSplitFraction { fraction } => {
+                write!(f, "split fraction {fraction} must be strictly between 0 and 1")
+            }
+            DataError::EmptyDataset => write!(f, "dataset is empty"),
+            DataError::InvalidTarget { row, value } => {
+                write!(f, "invalid target {value} at row {row} for this task")
+            }
+            DataError::NonFinite { row } => write!(f, "non-finite value at row {row}"),
+            DataError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
+            DataError::Io(e) => write!(f, "I/O error: {e}"),
+            DataError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            DataError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+impl From<nimbus_linalg::LinalgError> for DataError {
+    fn from(e: nimbus_linalg::LinalgError) -> Self {
+        DataError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DataError::LengthMismatch {
+            features: 3,
+            targets: 4,
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('4'));
+        let e = DataError::Csv {
+            line: 7,
+            message: "bad float".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_source_chain() {
+        use std::error::Error;
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e = DataError::from(inner);
+        assert!(e.source().is_some());
+    }
+}

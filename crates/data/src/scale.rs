@@ -1,0 +1,177 @@
+//! Feature standardization.
+//!
+//! Gradient-based trainers (logistic regression, Pegasos SVM) converge far
+//! faster on standardized features, and the planted-hyperplane generators
+//! already produce roughly unit-scale columns — so the default experiment
+//! pipelines standardize using train-set statistics only.
+
+use crate::{DataError, Dataset, Result};
+use nimbus_linalg::{Matrix, Vector};
+
+/// Per-column affine transform `x' = (x - mean) / std`, fit on a training
+/// set. Columns with (near-)zero variance pass through centered but
+/// unscaled, so constant columns (e.g. an intercept feature) are preserved
+/// rather than amplified into NaNs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+/// Variance below this threshold is treated as a constant column.
+const VARIANCE_FLOOR: f64 = 1e-12;
+
+impl Standardizer {
+    /// Fits column means and standard deviations from `data`.
+    pub fn fit(data: &Dataset) -> Result<Self> {
+        if data.is_empty() {
+            return Err(DataError::EmptyDataset);
+        }
+        let n = data.len() as f64;
+        let d = data.num_features();
+        let mut means = vec![0.0; d];
+        for i in 0..data.len() {
+            for (m, v) in means.iter_mut().zip(data.features().row(i)) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; d];
+        for i in 0..data.len() {
+            for ((s, v), m) in vars.iter_mut().zip(data.features().row(i)).zip(&means) {
+                let c = v - m;
+                *s += c * c;
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| {
+                let var = v / n;
+                if var < VARIANCE_FLOOR {
+                    1.0
+                } else {
+                    var.sqrt()
+                }
+            })
+            .collect();
+        Ok(Standardizer { means, stds })
+    }
+
+    /// Column means captured at fit time.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Column standard deviations (1.0 for constant columns).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// Applies the transform, producing a new dataset with the same targets
+    /// and task. Errors if the feature width differs from fit time.
+    pub fn transform(&self, data: &Dataset) -> Result<Dataset> {
+        let d = data.num_features();
+        if d != self.means.len() {
+            return Err(DataError::LengthMismatch {
+                features: d,
+                targets: self.means.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(data.len() * d);
+        for i in 0..data.len() {
+            for ((v, m), s) in data.features().row(i).iter().zip(&self.means).zip(&self.stds) {
+                out.push((v - m) / s);
+            }
+        }
+        let features = Matrix::from_row_major(data.len(), d, out)?;
+        Dataset::new(
+            features,
+            Vector::from_vec(data.targets().as_slice().to_vec()),
+            data.task(),
+        )
+    }
+
+    /// Fits on `train` and transforms both splits — the no-leakage pattern.
+    pub fn fit_transform_pair(train: &Dataset, test: &Dataset) -> Result<(Dataset, Dataset)> {
+        let s = Standardizer::fit(train)?;
+        Ok((s.transform(train)?, s.transform(test)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Task;
+
+    fn dataset(rows: &[Vec<f64>], y: Vec<f64>) -> Dataset {
+        let m = Matrix::from_rows(rows).unwrap();
+        Dataset::new(m, Vector::from_vec(y), Task::Regression).unwrap()
+    }
+
+    #[test]
+    fn transform_zero_mean_unit_variance() {
+        let d = dataset(
+            &[vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0], vec![4.0, 40.0]],
+            vec![0.0; 4],
+        );
+        let s = Standardizer::fit(&d).unwrap();
+        let t = s.transform(&d).unwrap();
+        for j in 0..2 {
+            let col = t.features().col(j);
+            assert!(col.mean().unwrap().abs() < 1e-12);
+            let var: f64 =
+                col.as_slice().iter().map(|v| v * v).sum::<f64>() / col.len() as f64;
+            assert!((var - 1.0).abs() < 1e-10, "var {var}");
+        }
+    }
+
+    #[test]
+    fn constant_column_is_centered_not_scaled() {
+        let d = dataset(&[vec![5.0, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]], vec![0.0; 3]);
+        let s = Standardizer::fit(&d).unwrap();
+        assert_eq!(s.stds()[0], 1.0);
+        let t = s.transform(&d).unwrap();
+        for i in 0..3 {
+            assert_eq!(t.features().get(i, 0), 0.0);
+        }
+    }
+
+    #[test]
+    fn targets_and_task_unchanged() {
+        let d = dataset(&[vec![1.0], vec![2.0]], vec![7.0, -1.0]);
+        let s = Standardizer::fit(&d).unwrap();
+        let t = s.transform(&d).unwrap();
+        assert_eq!(t.targets().as_slice(), &[7.0, -1.0]);
+        assert_eq!(t.task(), Task::Regression);
+    }
+
+    #[test]
+    fn width_mismatch_is_rejected() {
+        let d1 = dataset(&[vec![1.0, 2.0]], vec![0.0]);
+        let d2 = dataset(&[vec![1.0]], vec![0.0]);
+        let s = Standardizer::fit(&d1).unwrap();
+        assert!(s.transform(&d2).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let d = Dataset::new(Matrix::zeros(0, 2), Vector::zeros(0), Task::Regression).unwrap();
+        assert!(matches!(
+            Standardizer::fit(&d),
+            Err(DataError::EmptyDataset)
+        ));
+    }
+
+    #[test]
+    fn fit_transform_pair_uses_train_stats_only() {
+        let train = dataset(&[vec![0.0], vec![2.0]], vec![0.0, 0.0]); // mean 1, std 1
+        let test = dataset(&[vec![3.0]], vec![0.0]);
+        let (tr, te) = Standardizer::fit_transform_pair(&train, &test).unwrap();
+        assert_eq!(tr.features().get(0, 0), -1.0);
+        assert_eq!(tr.features().get(1, 0), 1.0);
+        // Test point transformed with TRAIN statistics: (3 - 1) / 1 = 2.
+        assert_eq!(te.features().get(0, 0), 2.0);
+    }
+}

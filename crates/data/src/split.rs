@@ -1,0 +1,141 @@
+//! Train/test splitting.
+//!
+//! The seller's dataset is delivered as a pair `(D_train, D_test)`
+//! (Section 3.1): the broker trains `h*` on `D_train` while the buyer-facing
+//! error function `ε` is typically evaluated on `D_test`.
+
+use crate::{DataError, Dataset, Result};
+use nimbus_randkit::uniform::shuffle_indices;
+use nimbus_randkit::NimbusRng;
+
+/// A train/test split of a dataset.
+#[derive(Debug, Clone)]
+pub struct TrainTest {
+    /// The training portion `D_train` (n₁ examples).
+    pub train: Dataset,
+    /// The held-out portion `D_test` (n₂ examples).
+    pub test: Dataset,
+}
+
+impl TrainTest {
+    /// Total number of examples across both splits (`n₀` in Table 1).
+    pub fn total_len(&self) -> usize {
+        self.train.len() + self.test.len()
+    }
+}
+
+/// Splits `data` into train/test with the given train fraction, shuffling
+/// with the provided RNG.
+///
+/// The paper's evaluation (Table 3) uses a 75/25 split for every dataset;
+/// that is the conventional choice here too, but any fraction strictly
+/// inside `(0, 1)` is accepted. Both sides are guaranteed non-empty for
+/// datasets with at least 2 examples; degenerate rounding is nudged so that
+/// neither side is empty.
+pub fn train_test_split(data: &Dataset, train_fraction: f64, rng: &mut NimbusRng) -> Result<TrainTest> {
+    if !(train_fraction > 0.0 && train_fraction < 1.0) {
+        return Err(DataError::InvalidSplitFraction {
+            fraction: train_fraction,
+        });
+    }
+    let n = data.len();
+    if n < 2 {
+        return Err(DataError::EmptyDataset);
+    }
+    let mut indices: Vec<usize> = (0..n).collect();
+    shuffle_indices(rng, &mut indices);
+    let mut n_train = (n as f64 * train_fraction).round() as usize;
+    n_train = n_train.clamp(1, n - 1);
+    let train = data.select(&indices[..n_train]);
+    let test = data.select(&indices[n_train..]);
+    Ok(TrainTest { train, test })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Task;
+    use nimbus_linalg::{Matrix, Vector};
+    use nimbus_randkit::seeded_rng;
+
+    fn dataset(n: usize) -> Dataset {
+        let x = Matrix::from_row_major(n, 1, (0..n).map(|i| i as f64).collect()).unwrap();
+        let y = Vector::from_vec((0..n).map(|i| (i * 2) as f64).collect());
+        Dataset::new(x, y, Task::Regression).unwrap()
+    }
+
+    #[test]
+    fn split_sizes_match_fraction() {
+        let d = dataset(100);
+        let mut rng = seeded_rng(1);
+        let tt = train_test_split(&d, 0.75, &mut rng).unwrap();
+        assert_eq!(tt.train.len(), 75);
+        assert_eq!(tt.test.len(), 25);
+        assert_eq!(tt.total_len(), 100);
+    }
+
+    #[test]
+    fn split_partitions_rows_exactly() {
+        let d = dataset(50);
+        let mut rng = seeded_rng(3);
+        let tt = train_test_split(&d, 0.6, &mut rng).unwrap();
+        // Reconstruct the multiset of targets across both sides.
+        let mut all: Vec<f64> = tt
+            .train
+            .targets()
+            .as_slice()
+            .iter()
+            .chain(tt.test.targets().as_slice())
+            .copied()
+            .collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expected: Vec<f64> = (0..50).map(|i| (i * 2) as f64).collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn rows_stay_aligned_with_targets() {
+        let d = dataset(20);
+        let mut rng = seeded_rng(5);
+        let tt = train_test_split(&d, 0.5, &mut rng).unwrap();
+        for side in [&tt.train, &tt.test] {
+            for i in 0..side.len() {
+                let (x, y) = side.example(i);
+                assert_eq!(y, x[0] * 2.0, "row/target pairing broke in the shuffle");
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_fractions_keep_both_sides_non_empty() {
+        let d = dataset(10);
+        let mut rng = seeded_rng(7);
+        let tt = train_test_split(&d, 0.999, &mut rng).unwrap();
+        assert!(!tt.test.is_empty());
+        let tt = train_test_split(&d, 0.001, &mut rng).unwrap();
+        assert!(!tt.train.is_empty());
+    }
+
+    #[test]
+    fn rejects_invalid_fraction_and_tiny_data() {
+        let d = dataset(10);
+        let mut rng = seeded_rng(0);
+        assert!(train_test_split(&d, 0.0, &mut rng).is_err());
+        assert!(train_test_split(&d, 1.0, &mut rng).is_err());
+        assert!(train_test_split(&d, f64::NAN, &mut rng).is_err());
+        let one = dataset(1);
+        assert!(matches!(
+            train_test_split(&one, 0.5, &mut rng),
+            Err(DataError::EmptyDataset)
+        ));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = dataset(30);
+        let a = train_test_split(&d, 0.7, &mut seeded_rng(99)).unwrap();
+        let b = train_test_split(&d, 0.7, &mut seeded_rng(99)).unwrap();
+        assert_eq!(a.train.targets().as_slice(), b.train.targets().as_slice());
+        assert_eq!(a.test.targets().as_slice(), b.test.targets().as_slice());
+    }
+}

@@ -1,0 +1,234 @@
+//! Streaming access to labeled examples.
+//!
+//! Table 3's largest datasets (Simulated1/2 at 10M rows, SUSY at 5M) are
+//! uncomfortable to materialize: 10M × 20 features × 8 bytes ≈ 1.6 GB
+//! before the train/test copies. The broker's one-time training for the
+//! square loss, however, only needs the Gram sums `XᵀX` and `Xᵀy`, which
+//! accumulate in `O(d²)` memory from a single pass. [`ExampleStream`]
+//! abstracts that pass; [`SyntheticRegressionStream`] regenerates the §6.1
+//! data on the fly so full paper-scale training runs in constant memory.
+
+use crate::synthetic::RegressionSpec;
+use crate::Dataset;
+use nimbus_randkit::{seeded_rng, split_stream, NimbusRng, StandardNormal};
+
+/// A restartable stream of labeled examples `(x, y)`.
+pub trait ExampleStream {
+    /// Number of features per example.
+    fn num_features(&self) -> usize;
+
+    /// Total number of examples the stream will yield.
+    fn len(&self) -> usize;
+
+    /// Whether the stream yields no examples.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resets the stream to its first example.
+    fn reset(&mut self);
+
+    /// Writes the next example's features into `x` and returns its target,
+    /// or `None` when exhausted. `x.len()` must equal `num_features()`.
+    fn next_example(&mut self, x: &mut [f64]) -> Option<f64>;
+}
+
+/// Streams a materialized [`Dataset`] (adapter for the in-memory path).
+#[derive(Debug, Clone)]
+pub struct DatasetStream<'a> {
+    data: &'a Dataset,
+    pos: usize,
+}
+
+impl<'a> DatasetStream<'a> {
+    /// Wraps a dataset as a stream.
+    pub fn new(data: &'a Dataset) -> Self {
+        DatasetStream { data, pos: 0 }
+    }
+}
+
+impl ExampleStream for DatasetStream<'_> {
+    fn num_features(&self) -> usize {
+        self.data.num_features()
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn reset(&mut self) {
+        self.pos = 0;
+    }
+
+    fn next_example(&mut self, x: &mut [f64]) -> Option<f64> {
+        if self.pos >= self.data.len() {
+            return None;
+        }
+        let (features, y) = self.data.example(self.pos);
+        x.copy_from_slice(features);
+        self.pos += 1;
+        Some(y)
+    }
+}
+
+/// Regenerates a planted-hyperplane regression dataset on the fly —
+/// identical distribution to [`crate::synthetic::generate_regression`]
+/// (same seed ⇒ same planted hyperplane) without materializing rows.
+#[derive(Debug, Clone)]
+pub struct SyntheticRegressionStream {
+    spec: RegressionSpec,
+    seed: u64,
+    hyperplane: Vec<f64>,
+    rng: NimbusRng,
+    normal: StandardNormal,
+    emitted: usize,
+}
+
+impl SyntheticRegressionStream {
+    /// Creates the stream. The planted hyperplane is drawn identically to
+    /// the materializing generator for the same seed.
+    pub fn new(spec: RegressionSpec, seed: u64) -> Self {
+        assert!(
+            spec.feature_scale > 0.0 && spec.feature_scale.is_finite(),
+            "feature_scale must be positive"
+        );
+        let mut rng = seeded_rng(split_stream(seed, 0xda7a));
+        let mut normal = StandardNormal::new();
+        let hyperplane: Vec<f64> = (0..spec.d).map(|_| normal.sample(&mut rng)).collect();
+        SyntheticRegressionStream {
+            spec,
+            seed,
+            hyperplane,
+            rng,
+            normal,
+            emitted: 0,
+        }
+    }
+
+    /// The planted hyperplane (scaled by `target_scale`, as the
+    /// materializing generator reports it).
+    pub fn planted_hyperplane(&self) -> Vec<f64> {
+        self.hyperplane
+            .iter()
+            .map(|w| w * self.spec.target_scale)
+            .collect()
+    }
+}
+
+impl ExampleStream for SyntheticRegressionStream {
+    fn num_features(&self) -> usize {
+        self.spec.d
+    }
+
+    fn len(&self) -> usize {
+        self.spec.n
+    }
+
+    fn reset(&mut self) {
+        // Re-derive the RNG and skip the hyperplane draws so the stream
+        // replays the identical example sequence.
+        let mut rng = seeded_rng(split_stream(self.seed, 0xda7a));
+        let mut normal = StandardNormal::new();
+        for _ in 0..self.spec.d {
+            normal.sample(&mut rng);
+        }
+        self.rng = rng;
+        self.normal = normal;
+        self.emitted = 0;
+    }
+
+    fn next_example(&mut self, x: &mut [f64]) -> Option<f64> {
+        if self.emitted >= self.spec.n {
+            return None;
+        }
+        debug_assert_eq!(x.len(), self.spec.d);
+        self.normal
+            .fill_isotropic(&mut self.rng, self.spec.feature_scale, x);
+        let mut y = 0.0;
+        for (xi, wi) in x.iter().zip(&self.hyperplane) {
+            y += xi * wi;
+        }
+        y *= self.spec.target_scale;
+        if self.spec.target_noise > 0.0 {
+            y += self
+                .normal
+                .sample_scaled(&mut self.rng, 0.0, self.spec.target_noise);
+        }
+        self.emitted += 1;
+        Some(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::generate_regression;
+
+    #[test]
+    fn dataset_stream_replays_rows() {
+        let (ds, _) = generate_regression(&RegressionSpec::simulated1(30, 3), 1).unwrap();
+        let mut stream = DatasetStream::new(&ds);
+        assert_eq!(stream.len(), 30);
+        assert_eq!(stream.num_features(), 3);
+        let mut x = vec![0.0; 3];
+        let mut count = 0;
+        while let Some(y) = stream.next_example(&mut x) {
+            let (expected_x, expected_y) = ds.example(count);
+            assert_eq!(x.as_slice(), expected_x);
+            assert_eq!(y, expected_y);
+            count += 1;
+        }
+        assert_eq!(count, 30);
+        // Reset replays from the top.
+        stream.reset();
+        assert!(stream.next_example(&mut x).is_some());
+    }
+
+    #[test]
+    fn synthetic_stream_matches_materialized_generator() {
+        let spec = RegressionSpec::simulated1(50, 4);
+        let (ds, planted) = generate_regression(&spec, 9).unwrap();
+        let mut stream = SyntheticRegressionStream::new(spec, 9);
+        assert_eq!(stream.planted_hyperplane(), planted.as_slice());
+        let mut x = vec![0.0; 4];
+        for i in 0..50 {
+            let y = stream.next_example(&mut x).unwrap();
+            let (ex, ey) = ds.example(i);
+            assert_eq!(x.as_slice(), ex, "row {i}");
+            assert_eq!(y, ey, "target {i}");
+        }
+        assert!(stream.next_example(&mut x).is_none());
+    }
+
+    #[test]
+    fn synthetic_stream_reset_is_exact() {
+        let spec = RegressionSpec {
+            n: 20,
+            d: 3,
+            target_noise: 1.0,
+            target_scale: 2.0,
+            feature_scale: 1.5,
+        };
+        let mut stream = SyntheticRegressionStream::new(spec, 3);
+        let mut x = vec![0.0; 3];
+        let first_pass: Vec<f64> = std::iter::from_fn(|| stream.next_example(&mut x)).collect();
+        stream.reset();
+        let second_pass: Vec<f64> = std::iter::from_fn(|| stream.next_example(&mut x)).collect();
+        assert_eq!(first_pass, second_pass);
+        assert_eq!(first_pass.len(), 20);
+    }
+
+    #[test]
+    fn stream_is_constant_memory_at_scale() {
+        // 200k rows × 20 features would be 32 MB materialized; the stream
+        // touches only one row buffer. Just verify it runs and counts.
+        let spec = RegressionSpec::simulated1(200_000, 20);
+        let mut stream = SyntheticRegressionStream::new(spec, 7);
+        let mut x = vec![0.0; 20];
+        let mut count = 0usize;
+        while stream.next_example(&mut x).is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 200_000);
+    }
+}

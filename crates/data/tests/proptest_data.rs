@@ -1,0 +1,117 @@
+//! Property-based tests for dataset invariants.
+
+use nimbus_data::csv::{read_table, write_table};
+use nimbus_data::synthetic::{
+    generate_classification, generate_regression, ClassificationSpec, RegressionSpec,
+};
+use nimbus_data::{train_test_split, Dataset, Standardizer, Task};
+use nimbus_linalg::{Matrix, Vector};
+use nimbus_randkit::seeded_rng;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn split_partitions_any_dataset(n in 2usize..200, frac in 0.05..0.95f64, seed in 0u64..500) {
+        let x = Matrix::from_row_major(n, 1, (0..n).map(|i| i as f64).collect()).unwrap();
+        let y = Vector::from_vec((0..n).map(|i| i as f64 * 3.0).collect());
+        let d = Dataset::new(x, y, Task::Regression).unwrap();
+        let mut rng = seeded_rng(seed);
+        let tt = train_test_split(&d, frac, &mut rng).unwrap();
+        prop_assert_eq!(tt.total_len(), n);
+        prop_assert!(!tt.train.is_empty());
+        prop_assert!(!tt.test.is_empty());
+        // Rows stay paired with their targets.
+        for side in [&tt.train, &tt.test] {
+            for i in 0..side.len() {
+                let (xi, yi) = side.example(i);
+                prop_assert!((yi - xi[0] * 3.0).abs() < 1e-12);
+            }
+        }
+        // The union of targets is exactly the original multiset.
+        let mut all: Vec<f64> = tt.train.targets().as_slice().to_vec();
+        all.extend_from_slice(tt.test.targets().as_slice());
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expected: Vec<f64> = (0..n).map(|i| i as f64 * 3.0).collect();
+        prop_assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn standardizer_is_affine_and_reversible_in_distribution(
+        rows in prop::collection::vec(prop::collection::vec(-100.0..100.0f64, 3), 2..40),
+    ) {
+        let m = Matrix::from_rows(&rows).unwrap();
+        let y = Vector::zeros(rows.len());
+        let d = Dataset::new(m, y, Task::Regression).unwrap();
+        let s = Standardizer::fit(&d).unwrap();
+        let t = s.transform(&d).unwrap();
+        // Transformed columns have ~zero mean.
+        for j in 0..3 {
+            let col = t.features().col(j);
+            prop_assert!(col.mean().unwrap().abs() < 1e-8);
+        }
+        // The transform is invertible: x = x' * std + mean.
+        for i in 0..d.len() {
+            for j in 0..3 {
+                let reconstructed = t.features().get(i, j) * s.stds()[j] + s.means()[j];
+                prop_assert!((reconstructed - d.features().get(i, j)).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_values(
+        rows in prop::collection::vec(prop::collection::vec(-1e6..1e6f64, 4), 0..30),
+    ) {
+        let mut buf = Vec::new();
+        write_table(&mut buf, &["a", "b", "c", "d"], &rows).unwrap();
+        let table = read_table(&buf[..], true).unwrap();
+        prop_assert_eq!(table.num_rows(), rows.len());
+        for (got, want) in table.rows.iter().zip(&rows) {
+            for (g, w) in got.iter().zip(want) {
+                prop_assert!((g - w).abs() <= 1e-9 * w.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn regression_generator_plants_recoverable_signal(
+        n in 50usize..300,
+        d in 1usize..6,
+        seed in 0u64..300,
+    ) {
+        let (ds, w) = generate_regression(&RegressionSpec::simulated1(n, d), seed).unwrap();
+        prop_assert_eq!(ds.len(), n);
+        prop_assert_eq!(ds.num_features(), d);
+        prop_assert_eq!(w.len(), d);
+        // Noiseless: targets are exact inner products.
+        for i in 0..n.min(20) {
+            let (x, y) = ds.example(i);
+            let pred: f64 = x.iter().zip(w.as_slice()).map(|(a, b)| a * b).sum();
+            prop_assert!((pred - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn classification_generator_respects_fidelity(
+        fidelity in 0.6..0.99f64,
+        seed in 0u64..100,
+    ) {
+        let spec = ClassificationSpec {
+            n: 4_000,
+            d: 5,
+            positive_fidelity: fidelity,
+        };
+        let (ds, w) = generate_classification(&spec, seed).unwrap();
+        let mut agree = 0usize;
+        for i in 0..ds.len() {
+            let (x, y) = ds.example(i);
+            let score: f64 = x.iter().zip(w.as_slice()).map(|(a, b)| a * b).sum();
+            let ideal = if score > 0.0 { 1.0 } else { 0.0 };
+            if ideal == y {
+                agree += 1;
+            }
+        }
+        let rate = agree as f64 / ds.len() as f64;
+        prop_assert!((rate - fidelity).abs() < 0.04, "agreement {rate} vs fidelity {fidelity}");
+    }
+}

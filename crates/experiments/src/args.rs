@@ -1,0 +1,169 @@
+//! Minimal command-line flag parsing for the experiment binaries.
+//!
+//! No external dependency: the binaries only need a handful of numeric
+//! flags and two booleans. Unknown flags abort with a usage message so
+//! typos never silently run the wrong configuration.
+
+/// Parsed experiment options.
+#[derive(Debug, Clone)]
+pub struct ExperimentArgs {
+    /// Number of price points / versions on the menu (figure-specific
+    /// default when `None`).
+    pub points: Option<usize>,
+    /// Monte-Carlo samples per NCP for error curves (paper fidelity: 2000).
+    pub samples: Option<usize>,
+    /// Buyer population size for realized-market checks.
+    pub buyers: Option<usize>,
+    /// Base random seed.
+    pub seed: u64,
+    /// Output directory for CSV artifacts.
+    pub out: String,
+    /// Run at full paper scale (Table 3 dataset sizes, 2000 samples).
+    pub full: bool,
+    /// Run at reduced scale for smoke testing.
+    pub quick: bool,
+}
+
+impl Default for ExperimentArgs {
+    fn default() -> Self {
+        ExperimentArgs {
+            points: None,
+            samples: None,
+            buyers: None,
+            seed: 20190707,
+            out: crate::DEFAULT_RESULTS_DIR.to_string(),
+            full: false,
+            quick: false,
+        }
+    }
+}
+
+impl ExperimentArgs {
+    /// Parses flags from an argument iterator (excluding the program name).
+    /// Returns an error message suitable for printing on bad input.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = ExperimentArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(flag) = iter.next() {
+            match flag.as_str() {
+                "--points" => out.points = Some(next_num(&mut iter, "--points")?),
+                "--samples" => out.samples = Some(next_num(&mut iter, "--samples")?),
+                "--buyers" => out.buyers = Some(next_num(&mut iter, "--buyers")?),
+                "--seed" => out.seed = next_num(&mut iter, "--seed")?,
+                "--out" => {
+                    out.out = iter
+                        .next()
+                        .ok_or_else(|| "--out requires a directory".to_string())?
+                }
+                "--full" => out.full = true,
+                "--quick" => out.quick = true,
+                "--help" | "-h" => return Err(usage()),
+                other => return Err(format!("unknown flag {other}\n{}", usage())),
+            }
+        }
+        if out.full && out.quick {
+            return Err("--full and --quick are mutually exclusive".to_string());
+        }
+        Ok(out)
+    }
+
+    /// Parses from the process environment, exiting with a message on
+    /// failure (binary-`main` convenience).
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Monte-Carlo samples per NCP: 2000 at `--full` (the §6.1 number),
+    /// 50 at `--quick`, 200 otherwise, unless overridden.
+    pub fn effective_samples(&self) -> usize {
+        self.samples.unwrap_or(if self.full {
+            2000
+        } else if self.quick {
+            50
+        } else {
+            200
+        })
+    }
+
+    /// Dataset row budget: full Table 3 sizes at `--full`, 2k rows at
+    /// `--quick`, 20k rows otherwise.
+    pub fn dataset_rows(&self) -> usize {
+        if self.full {
+            usize::MAX / 2
+        } else if self.quick {
+            2_000
+        } else {
+            20_000
+        }
+    }
+}
+
+fn next_num<T: std::str::FromStr, I: Iterator<Item = String>>(
+    iter: &mut I,
+    flag: &str,
+) -> Result<T, String> {
+    let raw = iter
+        .next()
+        .ok_or_else(|| format!("{flag} requires a value"))?;
+    raw.parse()
+        .map_err(|_| format!("{flag}: cannot parse {raw:?}"))
+}
+
+fn usage() -> String {
+    "usage: <experiment> [--points N] [--samples N] [--buyers N] [--seed N] \
+     [--out DIR] [--full | --quick]"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Result<ExperimentArgs, String> {
+        ExperimentArgs::parse(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.points, None);
+        assert_eq!(a.effective_samples(), 200);
+        assert!(!a.full);
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = parse(&[
+            "--points", "50", "--samples", "17", "--seed", "9", "--out", "tmp", "--full",
+        ])
+        .unwrap();
+        assert_eq!(a.points, Some(50));
+        assert_eq!(a.effective_samples(), 17);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.out, "tmp");
+        assert!(a.full);
+    }
+
+    #[test]
+    fn full_and_quick_presets() {
+        let a = parse(&["--full"]).unwrap();
+        assert_eq!(a.effective_samples(), 2000);
+        let a = parse(&["--quick"]).unwrap();
+        assert_eq!(a.effective_samples(), 50);
+        assert_eq!(a.dataset_rows(), 2_000);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--points"]).is_err());
+        assert!(parse(&["--points", "abc"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--full", "--quick"]).is_err());
+    }
+}

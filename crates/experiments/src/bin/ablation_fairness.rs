@@ -1,0 +1,74 @@
+//! Ablation: the revenue ↔ affordability (fairness) trade-off.
+//!
+//! The paper's §6.3 observes that MedC can occasionally beat MBP on
+//! affordability because it *explicitly* targets a 50% floor, and defers a
+//! formal revenue/fairness study to future work. This binary runs that
+//! study on our implementation: a Lagrangian sweep of the generalized
+//! Algorithm 1 DP traces the exact Pareto frontier between revenue and the
+//! affordability ratio, on the convex-value market where the tension is
+//! strongest.
+
+use nimbus_experiments::args::ExperimentArgs;
+use nimbus_experiments::report::{save_csv, TextTable};
+use nimbus_market::curves::{DemandCurve, MarketCurves, ValueCurve};
+use nimbus_optim::fairness::{fairness_frontier, maximize_revenue_with_affordability_floor};
+use nimbus_optim::{affordability_ratio, solve_revenue_dp, Baseline, BaselineKind};
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let n_points = args.points.unwrap_or(100);
+
+    let problem = MarketCurves::new(ValueCurve::standard_convex(), DemandCurve::Uniform)
+        .build_problem(n_points)
+        .expect("problem");
+
+    // Reference points: pure revenue (λ = 0) and the MedC baseline that
+    // hard-codes a 50% affordability target.
+    let pure = solve_revenue_dp(&problem).expect("dp");
+    let pure_aff = affordability_ratio(&pure.prices, &problem).expect("aff");
+    let medc = Baseline::fit(BaselineKind::MedC, &problem).expect("medc");
+    let medc_rev = nimbus_optim::revenue(&medc.prices, &problem).expect("rev");
+    let medc_aff = affordability_ratio(&medc.prices, &problem).expect("aff");
+
+    let lambdas: Vec<f64> = vec![0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+    let frontier = fairness_frontier(&problem, &lambdas).expect("frontier");
+
+    let mut t = TextTable::new(["lambda", "revenue", "affordability", "revenue kept (%)"]);
+    let mut rows = Vec::new();
+    for p in &frontier {
+        t.row([
+            format!("{:.1}", p.lambda),
+            format!("{:.3}", p.revenue),
+            format!("{:.3}", p.affordability),
+            format!("{:.1}", 100.0 * p.revenue / pure.revenue),
+        ]);
+        rows.push(vec![p.lambda, p.revenue, p.affordability]);
+    }
+    t.print("Ablation: Lagrangian revenue/affordability frontier (convex value, uniform demand)");
+    println!(
+        "\nreference: pure MBP revenue {:.3} @ affordability {:.3}; MedC {:.3} @ {:.3}",
+        pure.revenue, pure_aff, medc_rev, medc_aff
+    );
+
+    // Affordability floors: what revenue does a hard constraint cost?
+    let mut floors = TextTable::new(["floor tau", "lambda*", "revenue", "affordability"]);
+    for tau in [0.5, 0.75, 0.9, 1.0] {
+        let sol = maximize_revenue_with_affordability_floor(&problem, tau).expect("floor");
+        floors.row([
+            format!("{tau:.2}"),
+            format!("{:.3}", sol.lambda),
+            format!("{:.3}", sol.revenue),
+            format!("{:.3}", sol.affordability),
+        ]);
+    }
+    floors.print("Ablation: revenue under hard affordability floors");
+
+    save_csv(
+        &args.out,
+        "ablation_fairness_frontier",
+        &["lambda", "revenue", "affordability"],
+        &rows,
+    )
+    .expect("csv");
+    println!("\nSaved results/ablation_fairness_frontier.csv");
+}

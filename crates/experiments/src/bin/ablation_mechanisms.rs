@@ -1,0 +1,77 @@
+//! Ablation: does the choice of noise mechanism matter?
+//!
+//! The pricing theory only uses two mechanism properties — unbiasedness and
+//! total injected variance δ — so Gaussian, Laplace and bounded-uniform
+//! noise should produce *identical* expected square-loss curves (Lemma 3
+//! holds for all of them) while differing in tail behaviour. This ablation
+//! measures both: the mean curve per mechanism (should coincide) and the
+//! 95th-percentile square loss (where the heavy-tailed Laplace separates).
+
+use nimbus_core::{
+    GaussianMechanism, LaplaceMechanism, Ncp, RandomizedMechanism, UniformMechanism,
+};
+use nimbus_core::square_loss::square_loss;
+use nimbus_experiments::args::ExperimentArgs;
+use nimbus_experiments::report::{save_csv, TextTable};
+use nimbus_linalg::Vector;
+use nimbus_ml::LinearModel;
+use nimbus_randkit::{seeded_rng, split_stream};
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let samples = args.effective_samples().max(500);
+    let d = 20;
+    let optimal = LinearModel::new(Vector::from_vec(
+        (0..d).map(|i| (i as f64 * 0.43).sin() * 2.0).collect(),
+    ));
+    let deltas = [0.1, 0.5, 1.0, 2.0];
+
+    let mechanisms: Vec<Box<dyn RandomizedMechanism>> = vec![
+        Box::new(GaussianMechanism),
+        Box::new(LaplaceMechanism),
+        Box::new(UniformMechanism),
+    ];
+
+    let mut t = TextTable::new(["delta", "mechanism", "mean sq loss", "p95 sq loss", "max sq loss"]);
+    let mut rows = Vec::new();
+    for (di, &delta) in deltas.iter().enumerate() {
+        let ncp = Ncp::new(delta).expect("positive");
+        for (mi, mech) in mechanisms.iter().enumerate() {
+            let mut rng = seeded_rng(split_stream(args.seed, (di * 10 + mi) as u64));
+            let mut losses: Vec<f64> = (0..samples)
+                .map(|_| {
+                    let noisy = mech.perturb(&optimal, ncp, &mut rng).expect("perturb");
+                    square_loss(&noisy, &optimal).expect("loss")
+                })
+                .collect();
+            losses.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let mean: f64 = losses.iter().sum::<f64>() / losses.len() as f64;
+            let p95 = losses[(losses.len() as f64 * 0.95) as usize];
+            let max = *losses.last().expect("non-empty");
+            t.row([
+                format!("{delta}"),
+                mech.name().to_string(),
+                format!("{mean:.4}"),
+                format!("{p95:.4}"),
+                format!("{max:.4}"),
+            ]);
+            rows.push(vec![delta, mi as f64, mean, p95, max]);
+        }
+    }
+    t.print(&format!(
+        "Ablation: mechanism choice at d={d} ({samples} samples per cell; Lemma 3 predicts mean = delta for every mechanism)"
+    ));
+    println!(
+        "\nReading: means coincide (the pricing layer is mechanism-agnostic); \
+         tails rank uniform < gaussian < laplace."
+    );
+
+    save_csv(
+        &args.out,
+        "ablation_mechanisms",
+        &["delta", "mechanism_index", "mean", "p95", "max"],
+        &rows,
+    )
+    .expect("csv");
+    println!("Saved results/ablation_mechanisms.csv");
+}

@@ -1,0 +1,29 @@
+//! Reproduces **Figure 11** (appendix): revenue and affordability across
+//! FOUR value-curve shapes — convex, concave, sigmoid and linear — with the
+//! buyer distribution fixed (uniform).
+
+use nimbus_experiments::args::ExperimentArgs;
+use nimbus_experiments::revenue_experiments::{run_revenue_figure, MarketScenario};
+use nimbus_market::curves::{DemandCurve, MarketCurves, ValueCurve};
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let n_points = args.points.unwrap_or(100);
+    let buyers = args.buyers.unwrap_or(if args.quick { 1_000 } else { 20_000 });
+
+    let scenarios: Vec<MarketScenario> = [
+        ("convex_value", ValueCurve::standard_convex()),
+        ("concave_value", ValueCurve::standard_concave()),
+        ("sigmoid_value", ValueCurve::standard_sigmoid()),
+        ("linear_value", ValueCurve::standard_linear()),
+    ]
+    .into_iter()
+    .map(|(label, value)| {
+        MarketScenario::new(label, MarketCurves::new(value, DemandCurve::Uniform))
+    })
+    .collect();
+
+    run_revenue_figure("fig11", &scenarios, n_points, buyers, args.seed, &args.out)
+        .expect("figure 11");
+    println!("\nSaved results/fig11_*.csv");
+}

@@ -1,0 +1,35 @@
+//! Reproduces **Figure 12** (appendix): revenue and affordability across
+//! FOUR demand shapes — mid-peaked, bimodal-extremes, decreasing and
+//! increasing — with the buyer value curve fixed (concave).
+
+use nimbus_experiments::args::ExperimentArgs;
+use nimbus_experiments::revenue_experiments::{run_revenue_figure, MarketScenario};
+use nimbus_market::curves::{DemandCurve, MarketCurves, ValueCurve};
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let n_points = args.points.unwrap_or(100);
+    let buyers = args.buyers.unwrap_or(if args.quick { 1_000 } else { 20_000 });
+
+    let scenarios: Vec<MarketScenario> = [
+        ("mid_peaked_demand", DemandCurve::MidPeaked { width: 0.15 }),
+        (
+            "bimodal_demand",
+            DemandCurve::BimodalExtremes { width: 0.12 },
+        ),
+        ("decreasing_demand", DemandCurve::Decreasing),
+        ("increasing_demand", DemandCurve::Increasing),
+    ]
+    .into_iter()
+    .map(|(label, demand)| {
+        MarketScenario::new(
+            label,
+            MarketCurves::new(ValueCurve::standard_concave(), demand),
+        )
+    })
+    .collect();
+
+    run_revenue_figure("fig12", &scenarios, n_points, buyers, args.seed, &args.out)
+        .expect("figure 12");
+    println!("\nSaved results/fig12_*.csv");
+}

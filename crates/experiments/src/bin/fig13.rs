@@ -1,0 +1,27 @@
+//! Reproduces **Figure 13** (appendix): runtime / revenue / affordability
+//! vs number of price values across FOUR value-curve shapes (uniform
+//! demand).
+
+use nimbus_experiments::args::ExperimentArgs;
+use nimbus_experiments::revenue_experiments::{run_runtime_figure, MarketScenario};
+use nimbus_market::curves::{DemandCurve, MarketCurves, ValueCurve};
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let max_k = args.points.unwrap_or(if args.quick { 6 } else { 10 });
+
+    let scenarios: Vec<MarketScenario> = [
+        ("convex_value", ValueCurve::standard_convex()),
+        ("concave_value", ValueCurve::standard_concave()),
+        ("sigmoid_value", ValueCurve::standard_sigmoid()),
+        ("linear_value", ValueCurve::standard_linear()),
+    ]
+    .into_iter()
+    .map(|(label, value)| {
+        MarketScenario::new(label, MarketCurves::new(value, DemandCurve::Uniform))
+    })
+    .collect();
+
+    run_runtime_figure("fig13", &scenarios, max_k, &args.out).expect("figure 13");
+    println!("\nSaved results/fig13_*.csv");
+}

@@ -1,0 +1,33 @@
+//! Reproduces **Figure 14** (appendix): runtime / revenue / affordability
+//! vs number of price values across FOUR demand shapes (concave value
+//! curve).
+
+use nimbus_experiments::args::ExperimentArgs;
+use nimbus_experiments::revenue_experiments::{run_runtime_figure, MarketScenario};
+use nimbus_market::curves::{DemandCurve, MarketCurves, ValueCurve};
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let max_k = args.points.unwrap_or(if args.quick { 6 } else { 10 });
+
+    let scenarios: Vec<MarketScenario> = [
+        ("mid_peaked_demand", DemandCurve::MidPeaked { width: 0.15 }),
+        (
+            "bimodal_demand",
+            DemandCurve::BimodalExtremes { width: 0.12 },
+        ),
+        ("decreasing_demand", DemandCurve::Decreasing),
+        ("increasing_demand", DemandCurve::Increasing),
+    ]
+    .into_iter()
+    .map(|(label, demand)| {
+        MarketScenario::new(
+            label,
+            MarketCurves::new(ValueCurve::standard_concave(), demand),
+        )
+    })
+    .collect();
+
+    run_runtime_figure("fig14", &scenarios, max_k, &args.out).expect("figure 14");
+    println!("\nSaved results/fig14_*.csv");
+}

@@ -1,0 +1,104 @@
+//! Reproduces **Figure 3**: the error-monotonicity illustration.
+//!
+//! The left panel of Figure 3 shows an error-monotone price curve; the
+//! right panel a non-monotone one with a "region of arbitrage": a point A
+//! with both lower price and lower error than a point B means no rational
+//! buyer picks B, and the whole shaded region is revenue the seller can
+//! never collect. This binary constructs exactly that situation, quantifies
+//! the dominated region, and shows the isotonic repair (the monotone
+//! envelope the broker would post instead).
+
+use nimbus_core::isotonic::isotonic_decreasing;
+use nimbus_experiments::args::ExperimentArgs;
+use nimbus_experiments::report::{save_csv, TextTable};
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+
+    // Price as a function of ERROR (the figure's axes): should decrease.
+    // Hand-crafted violation around errors 0.4-0.6 (price rises again).
+    let errors: Vec<f64> = (1..=20).map(|i| i as f64 * 0.05).collect();
+    let bad_prices: Vec<f64> = errors
+        .iter()
+        .map(|e| {
+            let base = 100.0 * (1.0 - e);
+            if (0.4..0.6).contains(e) {
+                base + 35.0 // the non-monotone bump
+            } else {
+                base
+            }
+        })
+        .collect();
+
+    // Dominated points: some cheaper AND more accurate point exists.
+    let mut dominated = vec![false; errors.len()];
+    for i in 0..errors.len() {
+        for j in 0..errors.len() {
+            if errors[j] < errors[i] && bad_prices[j] < bad_prices[i] {
+                dominated[i] = true;
+                break;
+            }
+        }
+    }
+
+    // The repair: isotonic (decreasing in error) projection — the price
+    // curve a monotonicity-aware broker would post.
+    let weights = vec![1.0; errors.len()];
+    let repaired = isotonic_decreasing(&bad_prices, &weights);
+
+    let mut t = TextTable::new(["error", "price (non-monotone)", "dominated?", "repaired price"]);
+    let mut rows = Vec::new();
+    for i in 0..errors.len() {
+        t.row([
+            format!("{:.2}", errors[i]),
+            format!("{:.2}", bad_prices[i]),
+            if dominated[i] { "YES".into() } else { String::new() },
+            format!("{:.2}", repaired[i]),
+        ]);
+        rows.push(vec![
+            errors[i],
+            bad_prices[i],
+            if dominated[i] { 1.0 } else { 0.0 },
+            repaired[i],
+        ]);
+    }
+    t.print("Figure 3: error monotonicity and the region of arbitrage");
+
+    let n_dominated = dominated.iter().filter(|&&d| d).count();
+    // Revenue the seller forfeits on dominated versions if buyers always
+    // switch to a dominating point (uniform interest across versions).
+    let forfeited: f64 = errors
+        .iter()
+        .zip(&bad_prices)
+        .zip(&dominated)
+        .filter(|(_, &d)| d)
+        .map(|((e, p), _)| {
+            let best_alternative = errors
+                .iter()
+                .zip(&bad_prices)
+                .filter(|(e2, p2)| **e2 < *e && **p2 < *p)
+                .map(|(_, p2)| *p2)
+                .fold(f64::INFINITY, f64::min);
+            p - best_alternative
+        })
+        .sum();
+    println!(
+        "\n{n_dominated}/{} versions are strictly dominated (the shaded region); \
+         naive pricing forfeits {forfeited:.1} in list-price value across them.",
+        errors.len()
+    );
+    println!(
+        "The isotonic repair is monotone and loses nothing outside the bump — this is \
+         why error monotonicity (Definition 2) is a hard requirement, and why it follows \
+         from arbitrage-freeness (Lemma 1)."
+    );
+
+    save_csv(
+        &args.out,
+        "fig3",
+        &["error", "price", "dominated", "repaired"],
+        &rows,
+    )
+    .expect("csv");
+    println!("Saved results/fig3.csv");
+}

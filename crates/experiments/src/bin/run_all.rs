@@ -1,0 +1,25 @@
+//! Runs every figure/table reproduction in sequence (at the current scale
+//! flags) — the one-command regeneration entry point referenced by
+//! EXPERIMENTS.md.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let binaries = [
+        "table3", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+        "fig14", "ablation_fairness", "ablation_mechanisms",
+    ];
+    for bin in binaries {
+        println!("\n############ running {bin} ############");
+        let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} failed with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nAll experiments completed; CSV artifacts under results/.");
+}

@@ -1,0 +1,21 @@
+//! Shared infrastructure for the figure/table reproduction binaries.
+//!
+//! Each binary under `src/bin/` regenerates one artifact of the paper's
+//! evaluation (see DESIGN.md's per-experiment index). They share:
+//!
+//! * [`args`] — a tiny flag parser (`--points`, `--samples`, `--buyers`,
+//!   `--seed`, `--out`, `--full`, `--quick`) so every binary runs at paper
+//!   fidelity or laptop speed;
+//! * [`report`] — aligned text tables for stdout plus CSV persistence under
+//!   `results/`, so runs are both human-readable and machine-diffable;
+//! * [`revenue_experiments`] — the shared engine behind Figures 7/8/11/12
+//!   (revenue & affordability vs baselines) and 9/10/13/14 (runtime &
+//!   revenue vs the brute force as the number of price values grows).
+
+pub mod args;
+pub mod report;
+pub mod revenue_experiments;
+
+/// Default directory for experiment outputs, relative to the workspace
+/// root when run via `cargo run`.
+pub const DEFAULT_RESULTS_DIR: &str = "results";

@@ -1,0 +1,173 @@
+//! Text-table and CSV reporting for experiment outputs.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count; extra/missing cells are
+    /// padded or truncated defensively).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<w$}");
+            }
+            // Trim trailing alignment spaces.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Prints the table to stdout with a title line.
+    pub fn print(&self, title: &str) {
+        println!("\n== {title} ==");
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a ratio like the paper's bar annotations (`33.6x`).
+pub fn ratio_label(ours: f64, theirs: f64) -> String {
+    if theirs <= 0.0 {
+        return "inf x".to_string();
+    }
+    format!("{:.1}x", ours / theirs)
+}
+
+/// Formats a duration in the figures' seconds-with-magnitude style.
+pub fn seconds_label(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.2}us", s * 1e6)
+    }
+}
+
+/// Persists a numeric series as CSV under `dir/name.csv`.
+pub fn save_csv(
+    dir: &str,
+    name: &str,
+    columns: &[&str],
+    rows: &[Vec<f64>],
+) -> nimbus_data::Result<std::path::PathBuf> {
+    let path = Path::new(dir).join(format!("{name}.csv"));
+    nimbus_data::csv::write_table_to_path(&path, columns, rows)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["short", "1"]);
+        t.row(["a-much-longer-name", "2.5"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        // Values aligned at the same column.
+        let c1 = lines[2].find('1').unwrap();
+        let c2 = lines[3].find('2').unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["x"]);
+        assert_eq!(t.len(), 1);
+        assert!(t.render().contains('x'));
+    }
+
+    #[test]
+    fn ratio_and_seconds_labels() {
+        assert_eq!(ratio_label(100.0, 3.0), "33.3x");
+        assert_eq!(ratio_label(1.0, 0.0), "inf x");
+        assert_eq!(
+            seconds_label(std::time::Duration::from_millis(2500)),
+            "2.50s"
+        );
+        assert_eq!(
+            seconds_label(std::time::Duration::from_micros(1500)),
+            "1.50ms"
+        );
+        assert_eq!(
+            seconds_label(std::time::Duration::from_nanos(800)),
+            "0.80us"
+        );
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("nimbus_report_test");
+        let path = save_csv(
+            dir.to_str().unwrap(),
+            "series",
+            &["x", "y"],
+            &[vec![1.0, 2.0]],
+        )
+        .unwrap();
+        let table = nimbus_data::csv::read_table_from_path(&path, true).unwrap();
+        assert_eq!(table.columns, vec!["x", "y"]);
+        assert_eq!(table.rows, vec![vec![1.0, 2.0]]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,338 @@
+//! Shared engines for the revenue/affordability figures (7, 8, 11, 12) and
+//! the runtime figures (9, 10, 13, 14).
+
+use crate::report::{ratio_label, save_csv, seconds_label, TextTable};
+use nimbus_market::curves::MarketCurves;
+use nimbus_market::simulation::{compare_strategies, PricingStrategy, StrategyOutcome};
+use nimbus_market::{BuyerPopulation, MarketError};
+use nimbus_optim::{PricePoint, RevenueProblem};
+use nimbus_randkit::{seeded_rng, split_stream};
+
+/// One market scenario (a value/demand curve pair) in a figure.
+#[derive(Debug, Clone)]
+pub struct MarketScenario {
+    /// Panel label, e.g. `"convex_value_uniform_demand"`.
+    pub label: String,
+    /// The market curves of this panel.
+    pub curves: MarketCurves,
+}
+
+impl MarketScenario {
+    /// Creates a labeled scenario.
+    pub fn new(label: impl Into<String>, curves: MarketCurves) -> Self {
+        MarketScenario {
+            label: label.into(),
+            curves,
+        }
+    }
+}
+
+/// Runs one revenue/affordability figure: for each scenario, compares MBP
+/// against the four baselines on the market-research demand model and on a
+/// sampled buyer population, printing the paper-style tables and saving CSV
+/// series. Returns the outcomes per scenario for downstream assertions.
+pub fn run_revenue_figure(
+    fig: &str,
+    scenarios: &[MarketScenario],
+    n_points: usize,
+    buyers: usize,
+    seed: u64,
+    out_dir: &str,
+) -> Result<Vec<(String, Vec<StrategyOutcome>)>, MarketError> {
+    let mut all = Vec::new();
+    for (si, scenario) in scenarios.iter().enumerate() {
+        let problem = scenario.curves.build_problem(n_points)?;
+        let outcomes = compare_strategies(&problem, &PricingStrategy::FAST)?;
+
+        // Panel (a)/(b): the market curves themselves, sampled.
+        let mut curve_table = TextTable::new(["1/NCP", "buyer value", "buyer demand"]);
+        let stride = (n_points / 10).max(1);
+        for p in problem.points().iter().step_by(stride) {
+            curve_table.row([
+                format!("{:.1}", p.a),
+                format!("{:.2}", p.v),
+                format!("{:.4}", p.b),
+            ]);
+        }
+        curve_table.print(&format!(
+            "{fig} ({label}): market research curves (value: {}, demand: {})",
+            scenario.curves.value.name(),
+            scenario.curves.demand.name(),
+            label = scenario.label,
+        ));
+
+        // Panel (c)/(d): posted price curves per strategy.
+        let mut price_table = TextTable::new(
+            std::iter::once("1/NCP".to_string())
+                .chain(outcomes.iter().map(|o| o.name.to_string())),
+        );
+        for (j, p) in problem.points().iter().enumerate().step_by(stride) {
+            price_table.row(
+                std::iter::once(format!("{:.1}", p.a))
+                    .chain(outcomes.iter().map(|o| format!("{:.2}", o.prices[j]))),
+            );
+        }
+        price_table.print(&format!("{fig} ({}): posted price curves", scenario.label));
+
+        // Panels (e)-(h): revenue and affordability bars with the paper's
+        // "N.Nx" gain annotations relative to each baseline.
+        let mbp = &outcomes[0];
+        let mut summary = TextTable::new([
+            "strategy",
+            "revenue",
+            "MBP gain",
+            "affordability",
+            "MBP aff. gain",
+        ]);
+        for o in &outcomes {
+            summary.row([
+                o.name.to_string(),
+                format!("{:.3}", o.revenue),
+                if o.name == "MBP" {
+                    "-".to_string()
+                } else {
+                    ratio_label(mbp.revenue, o.revenue)
+                },
+                format!("{:.3}", o.affordability),
+                if o.name == "MBP" {
+                    "-".to_string()
+                } else {
+                    ratio_label(mbp.affordability, o.affordability)
+                },
+            ]);
+        }
+        summary.print(&format!(
+            "{fig} ({}): revenue and affordability",
+            scenario.label
+        ));
+
+        // Realized-market Monte Carlo check.
+        let mut rng = seeded_rng(split_stream(seed, si as u64));
+        let pop = BuyerPopulation::sample(&problem, buyers, &mut rng)?;
+        let mut realized = TextTable::new(["strategy", "realized rev/buyer", "realized afford."]);
+        for o in &outcomes {
+            let (rev, aff) = pop.evaluate_prices(&o.prices)?;
+            realized.row([
+                o.name.to_string(),
+                format!("{:.3}", rev / buyers as f64),
+                format!("{:.3}", aff),
+            ]);
+        }
+        realized.print(&format!(
+            "{fig} ({}): realized market with {buyers} sampled buyers",
+            scenario.label
+        ));
+
+        // CSV artifacts.
+        let price_rows: Vec<Vec<f64>> = problem
+            .points()
+            .iter()
+            .enumerate()
+            .map(|(j, p)| {
+                let mut row = vec![p.a, p.v, p.b];
+                row.extend(outcomes.iter().map(|o| o.prices[j]));
+                row
+            })
+            .collect();
+        let mut cols = vec!["inverse_ncp", "value", "demand"];
+        cols.extend(outcomes.iter().map(|o| o.name));
+        save_csv(
+            out_dir,
+            &format!("{fig}_{}_prices", scenario.label),
+            &cols,
+            &price_rows,
+        )?;
+        let summary_rows: Vec<Vec<f64>> = outcomes
+            .iter()
+            .enumerate()
+            .map(|(i, o)| vec![i as f64, o.revenue, o.affordability])
+            .collect();
+        save_csv(
+            out_dir,
+            &format!("{fig}_{}_summary", scenario.label),
+            &["strategy_index", "revenue", "affordability"],
+            &summary_rows,
+        )?;
+
+        all.push((scenario.label.clone(), outcomes));
+    }
+    Ok(all)
+}
+
+/// Builds the integer-grid problem used by the runtime figures: `k` price
+/// values at `a_j = 10·j` (grid-rational for the brute force), valuations
+/// from the scenario's value curve and masses from its demand curve.
+pub fn integer_grid_problem(
+    curves: &MarketCurves,
+    k: usize,
+) -> Result<RevenueProblem, MarketError> {
+    let weights = curves.demand.weights(k)?;
+    let points: Vec<PricePoint> = (0..k)
+        .map(|j| {
+            let t = if k == 1 {
+                0.5
+            } else {
+                j as f64 / (k - 1) as f64
+            };
+            PricePoint {
+                a: 10.0 * (j + 1) as f64,
+                b: weights[j],
+                v: curves.value.value_at(t),
+            }
+        })
+        .collect();
+    RevenueProblem::new(points).map_err(Into::into)
+}
+
+/// One row of a runtime figure: per-strategy runtime / revenue /
+/// affordability at a given number of price values.
+#[derive(Debug, Clone)]
+pub struct RuntimeRow {
+    /// Number of price values `k`.
+    pub k: usize,
+    /// Outcomes for every strategy (MBP, the four baselines, MILP).
+    pub outcomes: Vec<StrategyOutcome>,
+}
+
+/// Runs one runtime figure: sweeps `k = 1..=max_k` price values for each
+/// scenario, timing MBP, the baselines and the exponential brute force.
+pub fn run_runtime_figure(
+    fig: &str,
+    scenarios: &[MarketScenario],
+    max_k: usize,
+    out_dir: &str,
+) -> Result<Vec<(String, Vec<RuntimeRow>)>, MarketError> {
+    let mut all = Vec::new();
+    for scenario in scenarios {
+        let mut rows = Vec::new();
+        for k in 1..=max_k {
+            let problem = integer_grid_problem(&scenario.curves, k)?;
+            let outcomes = compare_strategies(&problem, &PricingStrategy::ALL)?;
+            rows.push(RuntimeRow { k, outcomes });
+        }
+
+        // Three tables per scenario: runtime, revenue, affordability.
+        let names: Vec<&str> = rows[0].outcomes.iter().map(|o| o.name).collect();
+        for (title, extract) in [
+            (
+                "runtime",
+                Box::new(|o: &StrategyOutcome| seconds_label(o.runtime))
+                    as Box<dyn Fn(&StrategyOutcome) -> String>,
+            ),
+            (
+                "revenue",
+                Box::new(|o: &StrategyOutcome| format!("{:.3}", o.revenue)),
+            ),
+            (
+                "affordability",
+                Box::new(|o: &StrategyOutcome| format!("{:.3}", o.affordability)),
+            ),
+        ] {
+            let mut t = TextTable::new(
+                std::iter::once("k".to_string()).chain(names.iter().map(|n| n.to_string())),
+            );
+            for row in &rows {
+                t.row(
+                    std::iter::once(row.k.to_string())
+                        .chain(row.outcomes.iter().map(&extract)),
+                );
+            }
+            t.print(&format!("{fig} ({}): {title} vs number of price values", scenario.label));
+        }
+
+        // Headline claim of §6.3: the DP is orders of magnitude faster than
+        // the brute force at the largest k.
+        let last = rows.last().expect("at least one k");
+        let mbp = &last.outcomes[0];
+        let milp = last
+            .outcomes
+            .iter()
+            .find(|o| o.name == "MILP")
+            .expect("MILP included");
+        println!(
+            "\n{fig} ({}): at k={}, MBP={} vs MILP={} ({} speedup); revenue ratio MBP/MILP = {:.3}",
+            scenario.label,
+            last.k,
+            seconds_label(mbp.runtime),
+            seconds_label(milp.runtime),
+            ratio_label(milp.runtime.as_secs_f64(), mbp.runtime.as_secs_f64()),
+            mbp.revenue / milp.revenue.max(1e-12),
+        );
+
+        // CSV artifact: one row per (k, strategy).
+        let csv_rows: Vec<Vec<f64>> = rows
+            .iter()
+            .flat_map(|row| {
+                row.outcomes.iter().enumerate().map(move |(i, o)| {
+                    vec![
+                        row.k as f64,
+                        i as f64,
+                        o.runtime.as_secs_f64(),
+                        o.revenue,
+                        o.affordability,
+                    ]
+                })
+            })
+            .collect();
+        save_csv(
+            out_dir,
+            &format!("{fig}_{}_runtime", scenario.label),
+            &["k", "strategy_index", "runtime_s", "revenue", "affordability"],
+            &csv_rows,
+        )?;
+
+        all.push((scenario.label.clone(), rows));
+    }
+    Ok(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimbus_market::curves::{DemandCurve, ValueCurve};
+
+    #[test]
+    fn integer_grid_problem_is_grid_rational() {
+        let curves = MarketCurves::new(ValueCurve::standard_convex(), DemandCurve::Uniform);
+        let p = integer_grid_problem(&curves, 7).unwrap();
+        assert_eq!(p.parameters(), vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0]);
+        // Brute force must accept it.
+        assert!(nimbus_optim::solve_revenue_brute_force(&p).is_ok());
+    }
+
+    #[test]
+    fn revenue_figure_smoke() {
+        let tmp = std::env::temp_dir().join("nimbus_fig_smoke");
+        let scenarios = vec![MarketScenario::new(
+            "convex",
+            MarketCurves::new(ValueCurve::standard_convex(), DemandCurve::Uniform),
+        )];
+        let results =
+            run_revenue_figure("figX", &scenarios, 20, 500, 1, tmp.to_str().unwrap()).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].1.len(), 5);
+        assert!(tmp.join("figX_convex_prices.csv").exists());
+        assert!(tmp.join("figX_convex_summary.csv").exists());
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+
+    #[test]
+    fn runtime_figure_smoke() {
+        let tmp = std::env::temp_dir().join("nimbus_runtime_smoke");
+        let scenarios = vec![MarketScenario::new(
+            "convex",
+            MarketCurves::new(ValueCurve::standard_convex(), DemandCurve::Uniform),
+        )];
+        let results =
+            run_runtime_figure("figY", &scenarios, 5, tmp.to_str().unwrap()).unwrap();
+        assert_eq!(results[0].1.len(), 5);
+        // MILP revenue ≥ MBP revenue ≥ MILP/2 at every k.
+        for row in &results[0].1 {
+            let mbp = &row.outcomes[0];
+            let milp = row.outcomes.iter().find(|o| o.name == "MILP").unwrap();
+            assert!(mbp.revenue <= milp.revenue + 1e-9);
+            assert!(mbp.revenue >= milp.revenue / 2.0 - 1e-9);
+        }
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type shared by all fallible linear-algebra operations.
+
+use std::fmt;
+
+/// Errors produced by dense linear-algebra routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes. Carries the human-readable
+    /// operation name and both shapes as `(rows, cols)`; vectors report
+    /// `(len, 1)`.
+    ShapeMismatch {
+        /// Name of the operation that failed (e.g. `"matvec"`).
+        op: &'static str,
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+    },
+    /// A factorization required a (strictly) positive-definite matrix but the
+    /// input was not, detected at the given pivot index.
+    NotPositiveDefinite {
+        /// Pivot index where positive-definiteness failed.
+        pivot: usize,
+        /// The offending diagonal value after elimination.
+        value: f64,
+    },
+    /// A matrix that must be square was not.
+    NotSquare {
+        /// Observed number of rows.
+        rows: usize,
+        /// Observed number of columns.
+        cols: usize,
+    },
+    /// A dimension argument was zero or otherwise unusable.
+    EmptyDimension {
+        /// Name of the operation that rejected the input.
+        op: &'static str,
+    },
+    /// A triangular solve hit a zero (or non-finite) diagonal entry.
+    SingularDiagonal {
+        /// Index of the singular diagonal entry.
+        index: usize,
+    },
+    /// An input contained NaN or infinity where finite values are required.
+    NonFinite {
+        /// Name of the operation that rejected the input.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, left, right } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::NotPositiveDefinite { pivot, value } => write!(
+                f,
+                "matrix is not positive definite: pivot {pivot} has value {value}"
+            ),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            LinalgError::EmptyDimension { op } => {
+                write!(f, "operation {op} requires non-empty dimensions")
+            }
+            LinalgError::SingularDiagonal { index } => {
+                write!(f, "singular diagonal entry at index {index}")
+            }
+            LinalgError::NonFinite { op } => {
+                write!(f, "operation {op} received non-finite input")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LinalgError::ShapeMismatch {
+            op: "matvec",
+            left: (3, 4),
+            right: (5, 1),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matvec"));
+        assert!(s.contains("3x4"));
+        assert!(s.contains("5x1"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(LinalgError::NonFinite { op: "dot" });
+        assert!(e.to_string().contains("dot"));
+    }
+}

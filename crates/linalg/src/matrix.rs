@@ -1,0 +1,426 @@
+//! Dense row-major `f64` matrix.
+
+use crate::vector::dot_slices;
+use crate::{LinalgError, Result, Vector};
+
+/// A dense row-major matrix.
+///
+/// Row-major layout is deliberate: datasets in `nimbus-data` are scanned one
+/// labeled example (row) at a time, and Gram-matrix assembly (`XᵀX`) walks
+/// rows sequentially, so this layout keeps the training hot loops on
+/// contiguous memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix from row-major data. Errors when `data.len() !=
+    /// rows * cols`.
+    pub fn from_row_major(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "from_row_major",
+                left: (rows, cols),
+                right: (data.len(), 1),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from a slice of equal-length rows. Errors if the rows
+    /// are ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Ok(Matrix::zeros(0, 0));
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(LinalgError::ShapeMismatch {
+                    op: "from_rows",
+                    left: (i, cols),
+                    right: (i, r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Entry at `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets entry `(i, j)`.
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = value;
+    }
+
+    /// Immutable view of row `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new [`Vector`].
+    pub fn col(&self, j: usize) -> Vector {
+        debug_assert!(j < self.cols);
+        Vector::from_vec((0..self.rows).map(|i| self.get(i, j)).collect())
+    }
+
+    /// Immutable view of the full row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Returns `true` when every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Matrix-vector product `self * x`.
+    pub fn matvec(&self, x: &Vector) -> Result<Vector> {
+        if self.cols != x.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                left: (self.rows, self.cols),
+                right: (x.len(), 1),
+            });
+        }
+        let xs = x.as_slice();
+        let mut out = Vec::with_capacity(self.rows);
+        for i in 0..self.rows {
+            out.push(dot_slices(self.row(i), xs));
+        }
+        Ok(Vector::from_vec(out))
+    }
+
+    /// Transposed matrix-vector product `selfᵀ * x`.
+    pub fn matvec_transposed(&self, x: &Vector) -> Result<Vector> {
+        if self.rows != x.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec_transposed",
+                left: (self.cols, self.rows),
+                right: (x.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            let row = self.row(i);
+            for (o, r) in out.iter_mut().zip(row.iter()) {
+                *o += xi * r;
+            }
+        }
+        Ok(Vector::from_vec(out))
+    }
+
+    /// Matrix product `self * other`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                left: (self.rows, self.cols),
+                right: (other.rows, other.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j loop order keeps both `self` and `other` accesses sequential.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let other_row = other.row(k);
+                let out_row = out.row_mut(i);
+                for (o, b) in out_row.iter_mut().zip(other_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transposed(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Gram matrix `selfᵀ * self`, assembled row-at-a-time as a sum of outer
+    /// products. Only the upper triangle is computed and then mirrored,
+    /// halving the work; the result is symmetric by construction.
+    pub fn gram(&self) -> Matrix {
+        let d = self.cols;
+        let mut g = Matrix::zeros(d, d);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for a in 0..d {
+                let ra = row[a];
+                if ra == 0.0 {
+                    continue;
+                }
+                let grow = g.row_mut(a);
+                for b in a..d {
+                    grow[b] += ra * row[b];
+                }
+            }
+        }
+        for a in 0..d {
+            for b in 0..a {
+                let v = g.get(b, a);
+                g.set(a, b, v);
+            }
+        }
+        g
+    }
+
+    /// Adds `alpha` to every diagonal entry in place (ridge regularization /
+    /// positive-definiteness jitter). Errors when the matrix is not square.
+    pub fn add_diagonal(&mut self, alpha: f64) -> Result<()> {
+        if self.rows != self.cols {
+            return Err(LinalgError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        for i in 0..self.rows {
+            let v = self.get(i, i);
+            self.set(i, i, v + alpha);
+        }
+        Ok(())
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matrix add",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Returns `self * alpha` as a new matrix.
+    pub fn scaled(&self, alpha: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| v * alpha).collect(),
+        }
+    }
+
+    /// Maximum absolute asymmetry `max |A_ij - A_ji|`; 0 for symmetric
+    /// matrices. Errors when the matrix is not square.
+    pub fn asymmetry(&self) -> Result<f64> {
+        if self.rows != self.cols {
+            return Err(LinalgError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        let mut worst = 0.0f64;
+        for i in 0..self.rows {
+            for j in 0..i {
+                worst = worst.max((self.get(i, j) - self.get(j, i)).abs());
+            }
+        }
+        Ok(worst)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        dot_slices(&self.data, &self.data).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_row_major(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap()
+    }
+
+    #[test]
+    fn shape_and_access() {
+        let m = sample();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.col(1).as_slice(), &[2.0, 5.0]);
+    }
+
+    #[test]
+    fn from_row_major_rejects_bad_length() {
+        assert!(Matrix::from_row_major(2, 2, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]).is_err());
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn identity_matvec_is_identity() {
+        let i3 = Matrix::identity(3);
+        let x = Vector::from_vec(vec![1.0, -2.0, 3.0]);
+        assert_eq!(i3.matvec(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let m = sample();
+        let x = Vector::from_vec(vec![1.0, 0.0, -1.0]);
+        assert_eq!(m.matvec(&x).unwrap().as_slice(), &[-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_transposed_matches_explicit_transpose() {
+        let m = sample();
+        let x = Vector::from_vec(vec![2.0, -1.0]);
+        let a = m.matvec_transposed(&x).unwrap();
+        let b = m.transposed().matvec(&x).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matmul_matches_manual() {
+        let a = Matrix::from_row_major(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Matrix::from_row_major(2, 2, vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn gram_matches_transpose_matmul() {
+        let m = sample();
+        let g = m.gram();
+        let expected = m.transposed().matmul(&m).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((g.get(i, j) - expected.get(i, j)).abs() < 1e-12);
+            }
+        }
+        assert_eq!(g.asymmetry().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn add_diagonal_ridge() {
+        let mut m = Matrix::identity(2);
+        m.add_diagonal(0.5).unwrap();
+        assert_eq!(m.get(0, 0), 1.5);
+        assert_eq!(m.get(1, 1), 1.5);
+        assert_eq!(m.get(0, 1), 0.0);
+        let mut r = Matrix::zeros(2, 3);
+        assert!(r.add_diagonal(1.0).is_err());
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = Matrix::identity(2);
+        let b = a.scaled(3.0);
+        let c = a.add(&b).unwrap();
+        assert_eq!(c.get(0, 0), 4.0);
+        assert_eq!(c.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn frobenius_norm_of_identity() {
+        assert!((Matrix::identity(4).frobenius_norm() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_from_rows() {
+        let m = Matrix::from_rows(&[]).unwrap();
+        assert_eq!(m.shape(), (0, 0));
+    }
+
+    #[test]
+    fn is_finite_detects_inf() {
+        let mut m = Matrix::zeros(1, 2);
+        assert!(m.is_finite());
+        m.set(0, 1, f64::INFINITY);
+        assert!(!m.is_finite());
+    }
+}

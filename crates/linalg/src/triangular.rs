@@ -1,0 +1,171 @@
+//! Forward and backward substitution for triangular systems.
+//!
+//! These are the building blocks of the Cholesky solve used by the ridge /
+//! ordinary-least-squares trainer and by Newton steps in logistic regression.
+
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// Relative threshold under which a diagonal entry is treated as singular.
+const SINGULAR_EPS: f64 = 1e-300;
+
+/// Solves `L y = b` where `L` is lower triangular (only the lower triangle of
+/// the given square matrix is read).
+pub fn solve_lower(l: &Matrix, b: &Vector) -> Result<Vector> {
+    let n = check_square(l)?;
+    if b.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "solve_lower",
+            left: (n, n),
+            right: (b.len(), 1),
+        });
+    }
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let row = l.row(i);
+        let mut acc = b[i];
+        for (j, yj) in y.iter().enumerate().take(i) {
+            acc -= row[j] * yj;
+        }
+        let d = row[i];
+        if !d.is_finite() || d.abs() < SINGULAR_EPS {
+            return Err(LinalgError::SingularDiagonal { index: i });
+        }
+        y[i] = acc / d;
+    }
+    Ok(Vector::from_vec(y))
+}
+
+/// Solves `Lᵀ x = y` where `L` is lower triangular, i.e. an upper-triangular
+/// solve against the transpose without materializing it.
+pub fn solve_lower_transposed(l: &Matrix, y: &Vector) -> Result<Vector> {
+    let n = check_square(l)?;
+    if y.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "solve_lower_transposed",
+            left: (n, n),
+            right: (y.len(), 1),
+        });
+    }
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut acc = y[i];
+        for (j, xj) in x.iter().enumerate().skip(i + 1) {
+            // (Lᵀ)_{i,j} = L_{j,i}
+            acc -= l.get(j, i) * xj;
+        }
+        let d = l.get(i, i);
+        if !d.is_finite() || d.abs() < SINGULAR_EPS {
+            return Err(LinalgError::SingularDiagonal { index: i });
+        }
+        x[i] = acc / d;
+    }
+    Ok(Vector::from_vec(x))
+}
+
+/// Solves `U x = b` where `U` is upper triangular (only the upper triangle is
+/// read).
+pub fn solve_upper(u: &Matrix, b: &Vector) -> Result<Vector> {
+    let n = check_square(u)?;
+    if b.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "solve_upper",
+            left: (n, n),
+            right: (b.len(), 1),
+        });
+    }
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let row = u.row(i);
+        let mut acc = b[i];
+        for (j, xj) in x.iter().enumerate().skip(i + 1) {
+            acc -= row[j] * xj;
+        }
+        let d = row[i];
+        if !d.is_finite() || d.abs() < SINGULAR_EPS {
+            return Err(LinalgError::SingularDiagonal { index: i });
+        }
+        x[i] = acc / d;
+    }
+    Ok(Vector::from_vec(x))
+}
+
+fn check_square(m: &Matrix) -> Result<usize> {
+    if m.rows() != m.cols() {
+        return Err(LinalgError::NotSquare {
+            rows: m.rows(),
+            cols: m.cols(),
+        });
+    }
+    Ok(m.rows())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lower() -> Matrix {
+        Matrix::from_row_major(3, 3, vec![2.0, 0.0, 0.0, 1.0, 3.0, 0.0, -1.0, 2.0, 4.0]).unwrap()
+    }
+
+    #[test]
+    fn lower_solve_roundtrip() {
+        let l = lower();
+        let x_true = Vector::from_vec(vec![1.0, -2.0, 0.5]);
+        let b = l.matvec(&x_true).unwrap();
+        let x = solve_lower(&l, &b).unwrap();
+        for i in 0..3 {
+            assert!((x[i] - x_true[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lower_transposed_solve_roundtrip() {
+        let l = lower();
+        let x_true = Vector::from_vec(vec![0.3, 1.0, -0.7]);
+        let b = l.transposed().matvec(&x_true).unwrap();
+        let x = solve_lower_transposed(&l, &b).unwrap();
+        for i in 0..3 {
+            assert!((x[i] - x_true[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn upper_solve_roundtrip() {
+        let u = lower().transposed();
+        let x_true = Vector::from_vec(vec![2.0, 0.0, -1.0]);
+        let b = u.matvec(&x_true).unwrap();
+        let x = solve_upper(&u, &b).unwrap();
+        for i in 0..3 {
+            assert!((x[i] - x_true[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn singular_diagonal_is_reported() {
+        let l = Matrix::from_row_major(2, 2, vec![1.0, 0.0, 5.0, 0.0]).unwrap();
+        let b = Vector::from_vec(vec![1.0, 1.0]);
+        assert!(matches!(
+            solve_lower(&l, &b),
+            Err(LinalgError::SingularDiagonal { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        let m = Matrix::zeros(2, 3);
+        let b = Vector::zeros(2);
+        assert!(matches!(
+            solve_lower(&m, &b),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let l = lower();
+        let b = Vector::zeros(2);
+        assert!(solve_lower(&l, &b).is_err());
+        assert!(solve_upper(&l, &b).is_err());
+        assert!(solve_lower_transposed(&l, &b).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the dense linear-algebra substrate.
+
+use nimbus_linalg::cholesky::{solve_spd, Cholesky};
+use nimbus_linalg::{Matrix, Vector};
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3..1e3f64, len)
+}
+
+proptest! {
+    #[test]
+    fn dot_is_commutative(a in finite_vec(16), b in finite_vec(16)) {
+        let va = Vector::from_vec(a);
+        let vb = Vector::from_vec(b);
+        let ab = va.dot(&vb).unwrap();
+        let ba = vb.dot(&va).unwrap();
+        prop_assert!((ab - ba).abs() <= 1e-9 * (1.0 + ab.abs()));
+    }
+
+    #[test]
+    fn dot_is_bilinear(a in finite_vec(8), b in finite_vec(8), alpha in -10.0..10.0f64) {
+        let va = Vector::from_vec(a);
+        let vb = Vector::from_vec(b);
+        let lhs = va.scaled(alpha).dot(&vb).unwrap();
+        let rhs = alpha * va.dot(&vb).unwrap();
+        prop_assert!((lhs - rhs).abs() <= 1e-6 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn cauchy_schwarz(a in finite_vec(12), b in finite_vec(12)) {
+        let va = Vector::from_vec(a);
+        let vb = Vector::from_vec(b);
+        let dot = va.dot(&vb).unwrap().abs();
+        let bound = va.norm2() * vb.norm2();
+        prop_assert!(dot <= bound * (1.0 + 1e-9) + 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality(a in finite_vec(10), b in finite_vec(10)) {
+        let va = Vector::from_vec(a);
+        let vb = Vector::from_vec(b);
+        let sum = va.add(&vb).unwrap();
+        prop_assert!(sum.norm2() <= va.norm2() + vb.norm2() + 1e-9);
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diagonal(rows in 1usize..12, cols in 1usize..8, seed in 0u64..1000) {
+        // Deterministic fill from the seed keeps the case reproducible.
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            data.push(((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0);
+        }
+        let m = Matrix::from_row_major(rows, cols, data).unwrap();
+        let g = m.gram();
+        prop_assert!(g.asymmetry().unwrap() < 1e-12);
+        for j in 0..cols {
+            prop_assert!(g.get(j, j) >= -1e-12, "gram diagonal must be non-negative");
+        }
+    }
+
+    #[test]
+    fn spd_solve_residual_is_small(n in 1usize..10, seed in 0u64..500) {
+        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(7);
+        let mut data = Vec::with_capacity(n * n);
+        for _ in 0..n * n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            data.push(((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5);
+        }
+        let b = Matrix::from_row_major(n, n, data).unwrap();
+        let mut a = b.matmul(&b.transposed()).unwrap();
+        a.add_diagonal(1.0).unwrap();
+
+        let x_true = Vector::from_vec((0..n).map(|i| (i as f64).cos()).collect());
+        let rhs = a.matvec(&x_true).unwrap();
+        let x = solve_spd(&a, &rhs).unwrap();
+        let resid = a.matvec(&x).unwrap().sub(&rhs).unwrap().norm_inf();
+        prop_assert!(resid < 1e-7, "residual {resid}");
+    }
+
+    #[test]
+    fn cholesky_reconstruction(n in 1usize..8, seed in 0u64..300) {
+        let mut state = seed.wrapping_add(99).wrapping_mul(0x9e3779b97f4a7c15);
+        let mut data = Vec::with_capacity(n * n);
+        for _ in 0..n * n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            data.push(((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5);
+        }
+        let b = Matrix::from_row_major(n, n, data).unwrap();
+        let mut a = b.matmul(&b.transposed()).unwrap();
+        a.add_diagonal(0.5).unwrap();
+        let c = Cholesky::factor(&a).unwrap();
+        let r = c.reconstruct();
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((a.get(i, j) - r.get(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_linearity(rows in 1usize..6, cols in 1usize..6, alpha in -5.0..5.0f64, seed in 0u64..200) {
+        let total = rows * cols;
+        let mut state = seed.wrapping_add(3).wrapping_mul(0x9e3779b97f4a7c15);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let m = Matrix::from_row_major(rows, cols, (0..total).map(|_| next()).collect()).unwrap();
+        let x = Vector::from_vec((0..cols).map(|_| next()).collect());
+        let y = Vector::from_vec((0..cols).map(|_| next()).collect());
+        let combined = m.matvec(&x.add(&y.scaled(alpha)).unwrap()).unwrap();
+        let separate = m
+            .matvec(&x)
+            .unwrap()
+            .add(&m.matvec(&y).unwrap().scaled(alpha))
+            .unwrap();
+        for i in 0..rows {
+            prop_assert!((combined[i] - separate[i]).abs() < 1e-8);
+        }
+    }
+}

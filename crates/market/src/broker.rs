@@ -1,0 +1,572 @@
+//! The broker agent: trains once, prices optimally, sells noisy models.
+//!
+//! The broker realizes the full §3.2 interaction model:
+//!
+//! 1. **Listing** — takes a [`Seller`]'s dataset and market-research curves.
+//! 2. **One-time training** — lazily computes and caches the optimal model
+//!    `h*_λ(D)` behind a lock (the "train once, sell many" economics of
+//!    §4 that make real-time interaction possible).
+//! 3. **Market opening** — transforms the curves onto the inverse-NCP axis,
+//!    builds the [`RevenueProblem`], runs the Algorithm 1 DP and posts the
+//!    resulting piecewise-linear arbitrage-free pricing function.
+//! 4. **Sales** — serves the three §3.2 buyer options. Budget arithmetic is
+//!    quoted in square-loss units, where Lemma 3 gives the exact identity
+//!    `expected error = δ = 1/x`; buyers with a different `ε` first build a
+//!    [`nimbus_core::PriceErrorCurve`] via [`Broker::price_error_curve`].
+//!
+//! The broker is `Sync`: the model cache uses a `parking_lot::RwLock`, the
+//! ledger and the sampling RNG sit behind `Mutex`es, so concurrent buyers
+//! can purchase from different threads (covered by a crossbeam test).
+
+use crate::ledger::{Ledger, Transaction};
+use crate::seller::Seller;
+use crate::{MarketError, Result};
+use nimbus_core::mechanism::RandomizedMechanism;
+use nimbus_core::pricing::{PiecewiseLinearPricing, PricingFunction};
+use nimbus_core::{ErrorCurve, InverseNcp, Ncp, PriceErrorCurve};
+use nimbus_ml::{LinearModel, Trainer};
+use nimbus_optim::{solve_revenue_dp, RevenueProblem};
+use nimbus_randkit::{seeded_rng, NimbusRng};
+use parking_lot::{Mutex, RwLock};
+
+/// Broker configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BrokerConfig {
+    /// Number of versions (price points) on the posted menu.
+    pub n_price_points: usize,
+    /// Monte-Carlo samples per δ when estimating buyer-facing error curves.
+    pub error_curve_samples: usize,
+    /// Seed for the broker's noise stream.
+    pub seed: u64,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig {
+            n_price_points: 100,
+            error_curve_samples: 200,
+            seed: 0xB20CE2,
+        }
+    }
+}
+
+/// A buyer's purchase request (the three options of §3.2).
+#[derive(Debug, Clone, Copy)]
+pub enum PurchaseRequest {
+    /// Option 1: a specific point on the curve, by inverse NCP.
+    AtInverseNcp(f64),
+    /// Option 2: cheapest version with expected square loss ≤ budget.
+    ErrorBudget(f64),
+    /// Option 3: most accurate version with price ≤ budget.
+    PriceBudget(f64),
+}
+
+/// A completed sale.
+#[derive(Debug, Clone)]
+pub struct Sale {
+    /// The noisy model instance handed to the buyer.
+    pub model: LinearModel,
+    /// The version's inverse NCP.
+    pub inverse_ncp: f64,
+    /// Price charged.
+    pub price: f64,
+    /// Expected square loss of the instance (`= δ`, Lemma 3).
+    pub expected_square_error: f64,
+    /// The ledger entry.
+    pub transaction: Transaction,
+}
+
+/// The broker.
+pub struct Broker {
+    seller: Seller,
+    trainer: Box<dyn Trainer + Send + Sync>,
+    mechanism: Box<dyn RandomizedMechanism + Send + Sync>,
+    config: BrokerConfig,
+    /// The broker's commission rate in [0, 1) — Figure 1(B): the broker
+    /// "gets a cut from the seller for each sale".
+    commission: f64,
+    optimal: RwLock<Option<LinearModel>>,
+    market: RwLock<Option<Market>>,
+    ledger: Mutex<Ledger>,
+    rng: Mutex<NimbusRng>,
+}
+
+/// Posted market state.
+#[derive(Debug, Clone)]
+struct Market {
+    problem: RevenueProblem,
+    pricing: PiecewiseLinearPricing,
+    expected_revenue: f64,
+}
+
+impl Broker {
+    /// Creates a broker for a seller's listing.
+    pub fn new(
+        seller: Seller,
+        trainer: Box<dyn Trainer + Send + Sync>,
+        mechanism: Box<dyn RandomizedMechanism + Send + Sync>,
+        config: BrokerConfig,
+    ) -> Self {
+        let seed = config.seed;
+        Broker {
+            seller,
+            trainer,
+            mechanism,
+            config,
+            commission: 0.0,
+            optimal: RwLock::new(None),
+            market: RwLock::new(None),
+            ledger: Mutex::new(Ledger::new()),
+            rng: Mutex::new(seeded_rng(seed)),
+        }
+    }
+
+    /// The seller whose dataset this broker sells.
+    pub fn seller(&self) -> &Seller {
+        &self.seller
+    }
+
+    /// Sets the broker's commission rate (fraction of each sale kept by the
+    /// broker; the remainder is the seller's proceeds). Panics outside
+    /// `[0, 1)`.
+    pub fn with_commission(mut self, rate: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "commission rate must be in [0, 1)"
+        );
+        self.commission = rate;
+        self
+    }
+
+    /// The commission rate.
+    pub fn commission(&self) -> f64 {
+        self.commission
+    }
+
+    /// The broker's cut of the revenue collected so far.
+    pub fn broker_cut(&self) -> f64 {
+        self.collected_revenue() * self.commission
+    }
+
+    /// The seller's proceeds from the revenue collected so far.
+    pub fn seller_proceeds(&self) -> f64 {
+        self.collected_revenue() * (1.0 - self.commission)
+    }
+
+    /// Returns the cached optimal model, training it on first call.
+    pub fn optimal_model(&self) -> Result<LinearModel> {
+        if let Some(m) = self.optimal.read().as_ref() {
+            return Ok(m.clone());
+        }
+        let mut guard = self.optimal.write();
+        // Double-checked: another thread may have trained while we waited.
+        if let Some(m) = guard.as_ref() {
+            return Ok(m.clone());
+        }
+        let model = self.trainer.train(&self.seller.dataset().train)?;
+        *guard = Some(model.clone());
+        Ok(model)
+    }
+
+    /// Whether the one-time training has already happened.
+    pub fn is_trained(&self) -> bool {
+        self.optimal.read().is_some()
+    }
+
+    /// Opens the market: builds the revenue problem from the seller's
+    /// curves, optimizes prices with the Algorithm 1 DP, and posts the
+    /// piecewise-linear pricing function. Returns the expected revenue.
+    pub fn open_market(&self) -> Result<f64> {
+        let problem = self
+            .seller
+            .curves()
+            .build_problem(self.config.n_price_points)?;
+        let solution = solve_revenue_dp(&problem)?;
+        let pricing = PiecewiseLinearPricing::new(
+            problem
+                .parameters()
+                .into_iter()
+                .zip(solution.prices.iter().copied())
+                .collect(),
+        )?;
+        let expected = solution.revenue;
+        *self.market.write() = Some(Market {
+            problem,
+            pricing,
+            expected_revenue: expected,
+        });
+        Ok(expected)
+    }
+
+    /// Whether [`Broker::open_market`] has been called.
+    pub fn is_open(&self) -> bool {
+        self.market.read().is_some()
+    }
+
+    /// The posted `(inverse NCP, price)` menu.
+    pub fn posted_menu(&self) -> Result<Vec<(f64, f64)>> {
+        let guard = self.market.read();
+        let market = guard.as_ref().ok_or(MarketError::MarketNotOpen)?;
+        Ok(market
+            .pricing
+            .breakpoints()
+            .iter()
+            .copied()
+            .zip(market.pricing.values().iter().copied())
+            .collect())
+    }
+
+    /// Expected revenue of the posted prices under the market-research
+    /// demand model.
+    pub fn expected_revenue(&self) -> Result<f64> {
+        let guard = self.market.read();
+        Ok(guard
+            .as_ref()
+            .ok_or(MarketError::MarketNotOpen)?
+            .expected_revenue)
+    }
+
+    /// Price quote at an arbitrary inverse NCP.
+    pub fn quote(&self, x: f64) -> Result<f64> {
+        let guard = self.market.read();
+        let market = guard.as_ref().ok_or(MarketError::MarketNotOpen)?;
+        Ok(market.pricing.price(InverseNcp::new(x)?))
+    }
+
+    /// Builds the buyer-facing price–error curve for an arbitrary error
+    /// function `ε` (Monte-Carlo estimated with the broker's mechanism).
+    pub fn price_error_curve<F>(&self, mut evaluate: F) -> Result<PriceErrorCurve>
+    where
+        F: FnMut(&LinearModel) -> nimbus_core::Result<f64>,
+    {
+        let optimal = self.optimal_model()?;
+        let guard = self.market.read();
+        let market = guard.as_ref().ok_or(MarketError::MarketNotOpen)?;
+        let deltas: Vec<Ncp> = market
+            .problem
+            .parameters()
+            .iter()
+            .map(|&x| Ok(InverseNcp::new(x)?.ncp()))
+            .collect::<Result<Vec<_>>>()?;
+        let mut rng = self.rng.lock();
+        let curve = ErrorCurve::estimate(
+            self.mechanism.as_ref(),
+            &optimal,
+            &mut evaluate,
+            &deltas,
+            self.config.error_curve_samples,
+            &mut rng,
+        )?;
+        PriceErrorCurve::new(&curve, &market.pricing).map_err(Into::into)
+    }
+
+    /// Resolves a purchase request to `(inverse NCP, price)` without buying.
+    pub fn resolve(&self, request: PurchaseRequest) -> Result<(f64, f64)> {
+        let guard = self.market.read();
+        let market = guard.as_ref().ok_or(MarketError::MarketNotOpen)?;
+        let params = market.problem.parameters();
+        let x_lo = params[0];
+        let x_hi = *params.last().expect("non-empty problem");
+        let price = |x: f64| -> Result<f64> {
+            Ok(market.pricing.price(InverseNcp::new(x)?))
+        };
+        match request {
+            PurchaseRequest::AtInverseNcp(x) => {
+                if !(x > 0.0 && x.is_finite()) {
+                    return Err(nimbus_core::CoreError::InvalidNcp { value: x }.into());
+                }
+                Ok((x, price(x)?))
+            }
+            PurchaseRequest::ErrorBudget(e) => {
+                if !(e > 0.0 && e.is_finite()) {
+                    return Err(nimbus_core::CoreError::BudgetUnsatisfiable {
+                        kind: "error",
+                        budget: e,
+                    }
+                    .into());
+                }
+                // Under square loss, expected error = δ = 1/x (Lemma 3).
+                // The cheapest feasible version is the noisiest: x = 1/e,
+                // clamped up to the menu floor.
+                let x = (1.0 / e).max(x_lo);
+                if x > x_hi {
+                    return Err(nimbus_core::CoreError::BudgetUnsatisfiable {
+                        kind: "error",
+                        budget: e,
+                    }
+                    .into());
+                }
+                Ok((x, price(x)?))
+            }
+            PurchaseRequest::PriceBudget(budget) => {
+                if !(budget >= 0.0 && budget.is_finite()) {
+                    return Err(nimbus_core::CoreError::BudgetUnsatisfiable {
+                        kind: "price",
+                        budget,
+                    }
+                    .into());
+                }
+                if price(x_lo)? > budget {
+                    return Err(nimbus_core::CoreError::BudgetUnsatisfiable {
+                        kind: "price",
+                        budget,
+                    }
+                    .into());
+                }
+                // Most accurate affordable version: binary search on the
+                // monotone posted curve.
+                let mut lo = x_lo;
+                let mut hi = x_hi;
+                if price(hi)? <= budget {
+                    return Ok((hi, price(hi)?));
+                }
+                for _ in 0..96 {
+                    let mid = 0.5 * (lo + hi);
+                    if price(mid)? <= budget {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                Ok((lo, price(lo)?))
+            }
+        }
+    }
+
+    /// Executes a purchase: resolves the request, checks the payment,
+    /// perturbs the optimal model and records the transaction.
+    pub fn purchase(&self, request: PurchaseRequest, payment: f64) -> Result<Sale> {
+        let (x, price) = self.resolve(request)?;
+        if payment + 1e-12 < price {
+            return Err(MarketError::InsufficientPayment {
+                price,
+                offered: payment,
+            });
+        }
+        let optimal = self.optimal_model()?;
+        let ncp = InverseNcp::new(x)?.ncp();
+        let model = {
+            let mut rng = self.rng.lock();
+            self.mechanism.perturb(&optimal, ncp, &mut rng)?
+        };
+        let transaction = {
+            let mut ledger = self.ledger.lock();
+            ledger.record(x, price, ncp.delta())
+        };
+        Ok(Sale {
+            model,
+            inverse_ncp: x,
+            price,
+            expected_square_error: ncp.delta(),
+            transaction,
+        })
+    }
+
+    /// Total revenue collected so far.
+    pub fn collected_revenue(&self) -> f64 {
+        self.ledger.lock().total_revenue()
+    }
+
+    /// Number of completed sales.
+    pub fn sales_count(&self) -> usize {
+        self.ledger.lock().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curves::{DemandCurve, MarketCurves, ValueCurve};
+    use nimbus_core::GaussianMechanism;
+    use nimbus_data::catalog::{DatasetSpec, PaperDataset};
+    use nimbus_ml::LinearRegressionTrainer;
+
+    fn test_broker() -> Broker {
+        let (tt, _) = DatasetSpec::scaled(PaperDataset::Simulated1, 600)
+            .materialize(7)
+            .unwrap();
+        let curves = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform);
+        let seller = Seller::new("test", tt, curves);
+        Broker::new(
+            seller,
+            Box::new(LinearRegressionTrainer::ridge(1e-6)),
+            Box::new(GaussianMechanism),
+            BrokerConfig {
+                n_price_points: 50,
+                error_curve_samples: 50,
+                seed: 42,
+            },
+        )
+    }
+
+    #[test]
+    fn training_is_lazy_and_cached() {
+        let broker = test_broker();
+        assert!(!broker.is_trained());
+        let m1 = broker.optimal_model().unwrap();
+        assert!(broker.is_trained());
+        let m2 = broker.optimal_model().unwrap();
+        assert_eq!(m1.weights().as_slice(), m2.weights().as_slice());
+    }
+
+    #[test]
+    fn market_must_open_before_sales() {
+        let broker = test_broker();
+        assert!(!broker.is_open());
+        assert!(matches!(
+            broker.quote(10.0),
+            Err(MarketError::MarketNotOpen)
+        ));
+        assert!(matches!(
+            broker.purchase(PurchaseRequest::AtInverseNcp(10.0), 1e9),
+            Err(MarketError::MarketNotOpen)
+        ));
+        let revenue = broker.open_market().unwrap();
+        assert!(revenue > 0.0);
+        assert!(broker.is_open());
+        assert!(broker.quote(10.0).is_ok());
+    }
+
+    #[test]
+    fn posted_menu_is_arbitrage_free() {
+        let broker = test_broker();
+        broker.open_market().unwrap();
+        let menu = broker.posted_menu().unwrap();
+        assert_eq!(menu.len(), 50);
+        // Monotone prices, non-increasing unit price.
+        for w in menu.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-9);
+            assert!(w[1].1 / w[1].0 <= w[0].1 / w[0].0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn purchase_at_point_returns_noisy_model() {
+        let broker = test_broker();
+        broker.open_market().unwrap();
+        let optimal = broker.optimal_model().unwrap();
+        let sale = broker
+            .purchase(PurchaseRequest::AtInverseNcp(10.0), 1e9)
+            .unwrap();
+        assert_eq!(sale.model.dim(), optimal.dim());
+        assert!((sale.expected_square_error - 0.1).abs() < 1e-12);
+        // The instance differs from the optimum (noise was added).
+        assert!(sale.model.distance_squared(&optimal).unwrap() > 0.0);
+        assert_eq!(broker.sales_count(), 1);
+        assert!((broker.collected_revenue() - sale.price).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insufficient_payment_is_rejected() {
+        let broker = test_broker();
+        broker.open_market().unwrap();
+        let (_, price) = broker.resolve(PurchaseRequest::AtInverseNcp(50.0)).unwrap();
+        assert!(price > 0.0);
+        assert!(matches!(
+            broker.purchase(PurchaseRequest::AtInverseNcp(50.0), price / 2.0),
+            Err(MarketError::InsufficientPayment { .. })
+        ));
+        assert_eq!(broker.sales_count(), 0);
+    }
+
+    #[test]
+    fn error_budget_buys_cheapest_feasible() {
+        let broker = test_broker();
+        broker.open_market().unwrap();
+        // Budget e = 0.05 → x = 20.
+        let (x, _) = broker.resolve(PurchaseRequest::ErrorBudget(0.05)).unwrap();
+        assert!((x - 20.0).abs() < 1e-9);
+        // Very loose budget clamps to the menu floor x = 1.
+        let (x, _) = broker.resolve(PurchaseRequest::ErrorBudget(100.0)).unwrap();
+        assert!((x - 1.0).abs() < 1e-9);
+        // Impossible accuracy (x would exceed 100).
+        assert!(broker.resolve(PurchaseRequest::ErrorBudget(0.001)).is_err());
+    }
+
+    #[test]
+    fn price_budget_maximizes_accuracy() {
+        let broker = test_broker();
+        broker.open_market().unwrap();
+        let menu = broker.posted_menu().unwrap();
+        let (x_max, p_max) = *menu.last().unwrap();
+        // Unlimited budget buys the best version.
+        let (x, p) = broker
+            .resolve(PurchaseRequest::PriceBudget(p_max * 2.0))
+            .unwrap();
+        assert!((x - x_max).abs() < 1e-9);
+        assert!((p - p_max).abs() < 1e-9);
+        // Mid budget: the resolved price must not exceed the budget, and
+        // bumping x must exceed it.
+        let budget = p_max / 2.0;
+        let (x, p) = broker.resolve(PurchaseRequest::PriceBudget(budget)).unwrap();
+        assert!(p <= budget + 1e-9);
+        let bumped = broker.quote(x + 0.5).unwrap();
+        assert!(bumped >= budget - 1e-6, "binary search not tight: {bumped} vs {budget}");
+        // No budget at all.
+        assert!(broker.resolve(PurchaseRequest::PriceBudget(0.0)).is_err());
+    }
+
+    #[test]
+    fn price_error_curve_for_test_mse() {
+        let broker = test_broker();
+        broker.open_market().unwrap();
+        let test_set = broker.seller().dataset().test.clone();
+        let curve = broker
+            .price_error_curve(move |m| {
+                nimbus_ml::metrics::mse(m, &test_set).map_err(Into::into)
+            })
+            .unwrap();
+        assert_eq!(curve.len(), 50);
+        // More accurate versions cost more.
+        let pts = curve.points();
+        assert!(pts[0].price >= pts[pts.len() - 1].price);
+    }
+
+    #[test]
+    fn commission_splits_revenue() {
+        let broker = test_broker().with_commission(0.2);
+        broker.open_market().unwrap();
+        broker
+            .purchase(PurchaseRequest::AtInverseNcp(30.0), f64::INFINITY)
+            .unwrap();
+        broker
+            .purchase(PurchaseRequest::AtInverseNcp(60.0), f64::INFINITY)
+            .unwrap();
+        let total = broker.collected_revenue();
+        assert!(total > 0.0);
+        assert!((broker.broker_cut() - 0.2 * total).abs() < 1e-12);
+        assert!((broker.seller_proceeds() - 0.8 * total).abs() < 1e-12);
+        assert!(
+            (broker.broker_cut() + broker.seller_proceeds() - total).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "commission rate")]
+    fn commission_out_of_range_panics() {
+        let _ = test_broker().with_commission(1.0);
+    }
+
+    #[test]
+    fn concurrent_purchases_are_consistent() {
+        let broker = std::sync::Arc::new(test_broker());
+        broker.open_market().unwrap();
+        broker.optimal_model().unwrap();
+        let threads = 4;
+        let per_thread = 25;
+        crossbeam::scope(|s| {
+            for t in 0..threads {
+                let b = broker.clone();
+                s.spawn(move |_| {
+                    for i in 0..per_thread {
+                        let x = 1.0 + ((t * per_thread + i) % 99) as f64;
+                        b.purchase(PurchaseRequest::AtInverseNcp(x), 1e9).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(broker.sales_count(), threads * per_thread);
+        assert!(broker.collected_revenue() > 0.0);
+    }
+}

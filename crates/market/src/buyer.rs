@@ -1,0 +1,170 @@
+//! Buyer agents and populations.
+//!
+//! Buyers arrive from the demand curve: each wants one particular version
+//! (an inverse-NCP point) and holds the valuation the value curve assigns
+//! to it. A buyer purchases iff the posted price does not exceed their
+//! valuation — the `1[p(a_j) ≤ v_j]` decision inside `T_BV`.
+
+use crate::{MarketError, Result};
+use nimbus_optim::RevenueProblem;
+use nimbus_randkit::{NimbusRng, WeightedIndex};
+
+/// One prospective buyer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Buyer {
+    /// The version (inverse NCP) this buyer wants.
+    pub desired_x: f64,
+    /// The most they will pay for it.
+    pub valuation: f64,
+    /// Index of the underlying price point.
+    pub point_index: usize,
+}
+
+impl Buyer {
+    /// The purchase decision at a posted price (`p ≤ v`, with the same ulp
+    /// slack as the optimizer's objective so expected and realized markets
+    /// agree).
+    pub fn will_buy(&self, price: f64) -> bool {
+        nimbus_optim::objective::affords(price, self.valuation)
+    }
+}
+
+/// A sampled buyer population.
+#[derive(Debug, Clone)]
+pub struct BuyerPopulation {
+    buyers: Vec<Buyer>,
+}
+
+impl BuyerPopulation {
+    /// Samples `count` buyers from a revenue problem's demand masses.
+    pub fn sample(problem: &RevenueProblem, count: usize, rng: &mut NimbusRng) -> Result<Self> {
+        if count == 0 {
+            return Err(MarketError::EmptyPopulation);
+        }
+        let weights = problem.demands();
+        let sampler = WeightedIndex::new(&weights).map_err(|_| MarketError::EmptyPopulation)?;
+        let pts = problem.points();
+        let buyers = (0..count)
+            .map(|_| {
+                let idx = sampler.sample(rng);
+                Buyer {
+                    desired_x: pts[idx].a,
+                    valuation: pts[idx].v,
+                    point_index: idx,
+                }
+            })
+            .collect();
+        Ok(BuyerPopulation { buyers })
+    }
+
+    /// The sampled buyers.
+    pub fn buyers(&self) -> &[Buyer] {
+        &self.buyers
+    }
+
+    /// Population size.
+    pub fn len(&self) -> usize {
+        self.buyers.len()
+    }
+
+    /// Whether the population is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.buyers.is_empty()
+    }
+
+    /// Realized revenue and affordability against per-point prices: each
+    /// buyer pays `prices[their point]` iff affordable. Returns
+    /// `(revenue, affordability_ratio)`.
+    pub fn evaluate_prices(&self, prices: &[f64]) -> Result<(f64, f64)> {
+        let mut revenue = 0.0;
+        let mut bought = 0usize;
+        for b in &self.buyers {
+            let price = *prices
+                .get(b.point_index)
+                .ok_or(MarketError::EmptyPopulation)?;
+            if b.will_buy(price) {
+                revenue += price;
+                bought += 1;
+            }
+        }
+        Ok((revenue, bought as f64 / self.buyers.len() as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimbus_randkit::seeded_rng;
+
+    fn problem() -> RevenueProblem {
+        RevenueProblem::from_slices(
+            &[1.0, 2.0, 3.0],
+            &[0.2, 0.5, 0.3],
+            &[10.0, 20.0, 30.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn buyers_follow_demand_distribution() {
+        let p = problem();
+        let mut rng = seeded_rng(1);
+        let pop = BuyerPopulation::sample(&p, 50_000, &mut rng).unwrap();
+        let mut counts = [0usize; 3];
+        for b in pop.buyers() {
+            counts[b.point_index] += 1;
+        }
+        let f1 = counts[1] as f64 / pop.len() as f64;
+        assert!((f1 - 0.5).abs() < 0.02, "middle point frequency {f1}");
+        // Valuations carried along correctly.
+        for b in pop.buyers() {
+            assert_eq!(b.valuation, (b.point_index as f64 + 1.0) * 10.0);
+        }
+    }
+
+    #[test]
+    fn purchase_decision_threshold() {
+        let b = Buyer {
+            desired_x: 5.0,
+            valuation: 10.0,
+            point_index: 0,
+        };
+        assert!(b.will_buy(10.0));
+        assert!(b.will_buy(9.99));
+        assert!(!b.will_buy(10.01));
+    }
+
+    #[test]
+    fn evaluate_prices_accounts_correctly() {
+        let p = problem();
+        let mut rng = seeded_rng(3);
+        let pop = BuyerPopulation::sample(&p, 10_000, &mut rng).unwrap();
+        // Price everyone at their valuation: all buy, revenue = Σ v.
+        let (rev, aff) = pop.evaluate_prices(&[10.0, 20.0, 30.0]).unwrap();
+        assert_eq!(aff, 1.0);
+        let expected: f64 = pop.buyers().iter().map(|b| b.valuation).sum();
+        assert_eq!(rev, expected);
+        // Overprice everyone: nothing sells.
+        let (rev, aff) = pop.evaluate_prices(&[100.0, 100.0, 100.0]).unwrap();
+        assert_eq!(rev, 0.0);
+        assert_eq!(aff, 0.0);
+    }
+
+    #[test]
+    fn rejects_empty_population_requests() {
+        let p = problem();
+        let mut rng = seeded_rng(0);
+        assert!(matches!(
+            BuyerPopulation::sample(&p, 0, &mut rng),
+            Err(MarketError::EmptyPopulation)
+        ));
+    }
+
+    #[test]
+    fn price_vector_length_mismatch_is_reported() {
+        let p = problem();
+        let mut rng = seeded_rng(5);
+        let pop = BuyerPopulation::sample(&p, 10, &mut rng).unwrap();
+        assert!(pop.evaluate_prices(&[1.0]).is_err());
+    }
+}

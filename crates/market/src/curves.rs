@@ -1,0 +1,433 @@
+//! Buyer value and demand curves from market research (Figure 2(a)).
+//!
+//! The seller's market research produces two curves over model quality
+//! (after the error transformation, over the inverse NCP `x`):
+//!
+//! * the **value curve** `v(x)` — the monetary worth buyers attach to a
+//!   model of quality `x`; non-decreasing in `x`;
+//! * the **demand curve** `b(x)` — how much buyer mass wants quality `x`.
+//!
+//! The paper's figures exercise specific shapes: convex vs concave value
+//! curves (Figure 7 / 11), and uniform, mid-peaked, extreme-bimodal,
+//! increasing and decreasing demand profiles (Figure 8 / 12). These are
+//! reproduced here as parametric families; sampling a `(value, demand)`
+//! pair on an `n`-point grid yields the `RevenueProblem` fed to the
+//! optimizer.
+
+use crate::{MarketError, Result};
+use nimbus_optim::{PricePoint, RevenueProblem};
+
+/// Parametric buyer-value curve shapes over the inverse NCP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueCurve {
+    /// `v(t) = v_min + (v_max − v_min) t^p`, `p > 1`: most value appears
+    /// only near the highest qualities (Figure 7(a)).
+    Convex {
+        /// Value at the lowest quality on offer.
+        v_min: f64,
+        /// Value at the highest quality on offer.
+        v_max: f64,
+        /// Exponent `p > 1`.
+        power: f64,
+    },
+    /// `v(t) = v_min + (v_max − v_min) t^p`, `0 < p < 1`: diminishing
+    /// returns to quality (Figure 7(b)).
+    Concave {
+        /// Value at the lowest quality on offer.
+        v_min: f64,
+        /// Value at the highest quality on offer.
+        v_max: f64,
+        /// Exponent `0 < p < 1`.
+        power: f64,
+    },
+    /// Straight line from `v_min` to `v_max`.
+    Linear {
+        /// Value at the lowest quality on offer.
+        v_min: f64,
+        /// Value at the highest quality on offer.
+        v_max: f64,
+    },
+    /// Logistic S-curve: flat, then a steep mid-market rise, then flat
+    /// (the "step-like" value curves in the appendix figures).
+    Sigmoid {
+        /// Value at the lowest quality on offer.
+        v_min: f64,
+        /// Value at the highest quality on offer.
+        v_max: f64,
+        /// Midpoint of the rise in normalized quality `t ∈ [0, 1]`.
+        midpoint: f64,
+        /// Steepness of the rise (> 0).
+        steepness: f64,
+    },
+}
+
+impl ValueCurve {
+    /// Standard convex shape used by the experiments.
+    pub fn standard_convex() -> Self {
+        ValueCurve::Convex {
+            v_min: 2.0,
+            v_max: 100.0,
+            power: 3.0,
+        }
+    }
+
+    /// Standard concave shape used by the experiments.
+    pub fn standard_concave() -> Self {
+        ValueCurve::Concave {
+            v_min: 2.0,
+            v_max: 100.0,
+            power: 0.35,
+        }
+    }
+
+    /// Standard linear shape.
+    pub fn standard_linear() -> Self {
+        ValueCurve::Linear {
+            v_min: 2.0,
+            v_max: 100.0,
+        }
+    }
+
+    /// Standard sigmoid shape.
+    pub fn standard_sigmoid() -> Self {
+        ValueCurve::Sigmoid {
+            v_min: 2.0,
+            v_max: 100.0,
+            midpoint: 0.55,
+            steepness: 12.0,
+        }
+    }
+
+    /// Short name for figure labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ValueCurve::Convex { .. } => "convex",
+            ValueCurve::Concave { .. } => "concave",
+            ValueCurve::Linear { .. } => "linear",
+            ValueCurve::Sigmoid { .. } => "sigmoid",
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        let (v_min, v_max) = match self {
+            ValueCurve::Convex { v_min, v_max, power } => {
+                if !(power.is_finite() && *power > 1.0) {
+                    return Err(MarketError::InvalidCurve {
+                        reason: "convex power must exceed 1",
+                    });
+                }
+                (*v_min, *v_max)
+            }
+            ValueCurve::Concave { v_min, v_max, power } => {
+                if !(*power > 0.0 && *power < 1.0) {
+                    return Err(MarketError::InvalidCurve {
+                        reason: "concave power must be in (0, 1)",
+                    });
+                }
+                (*v_min, *v_max)
+            }
+            ValueCurve::Linear { v_min, v_max } => (*v_min, *v_max),
+            ValueCurve::Sigmoid {
+                v_min,
+                v_max,
+                midpoint,
+                steepness,
+            } => {
+                if !(steepness.is_finite() && *steepness > 0.0 && (0.0..=1.0).contains(midpoint)) {
+                    return Err(MarketError::InvalidCurve {
+                        reason: "sigmoid needs steepness > 0 and midpoint in [0, 1]",
+                    });
+                }
+                (*v_min, *v_max)
+            }
+        };
+        if !(v_min.is_finite() && v_max.is_finite() && v_min >= 0.0 && v_max >= v_min) {
+            return Err(MarketError::InvalidCurve {
+                reason: "values must satisfy 0 ≤ v_min ≤ v_max < ∞",
+            });
+        }
+        Ok(())
+    }
+
+    /// Value at normalized quality `t ∈ [0, 1]`.
+    pub fn value_at(&self, t: f64) -> f64 {
+        let t = t.clamp(0.0, 1.0);
+        match *self {
+            ValueCurve::Convex { v_min, v_max, power } => v_min + (v_max - v_min) * t.powf(power),
+            ValueCurve::Concave { v_min, v_max, power } => v_min + (v_max - v_min) * t.powf(power),
+            ValueCurve::Linear { v_min, v_max } => v_min + (v_max - v_min) * t,
+            ValueCurve::Sigmoid {
+                v_min,
+                v_max,
+                midpoint,
+                steepness,
+            } => {
+                let raw = |u: f64| 1.0 / (1.0 + (-steepness * (u - midpoint)).exp());
+                // Normalize so the curve still spans [v_min, v_max] exactly.
+                let (lo, hi) = (raw(0.0), raw(1.0));
+                let norm = (raw(t) - lo) / (hi - lo);
+                v_min + (v_max - v_min) * norm
+            }
+        }
+    }
+}
+
+/// Parametric demand-distribution shapes over the inverse NCP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DemandCurve {
+    /// Equal mass at every quality.
+    Uniform,
+    /// Gaussian bump centered mid-market: most buyers want medium accuracy
+    /// (Figure 8(a)).
+    MidPeaked {
+        /// Relative width of the bump (as a fraction of the range).
+        width: f64,
+    },
+    /// Two bumps at the extremes: buyers want either rough or
+    /// near-optimal models (Figure 8(b)).
+    BimodalExtremes {
+        /// Relative width of each bump.
+        width: f64,
+    },
+    /// Mass grows linearly with quality.
+    Increasing,
+    /// Mass shrinks linearly with quality.
+    Decreasing,
+}
+
+impl DemandCurve {
+    /// Short name for figure labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DemandCurve::Uniform => "uniform",
+            DemandCurve::MidPeaked { .. } => "mid_peaked",
+            DemandCurve::BimodalExtremes { .. } => "bimodal_extremes",
+            DemandCurve::Increasing => "increasing",
+            DemandCurve::Decreasing => "decreasing",
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        match self {
+            DemandCurve::MidPeaked { width } | DemandCurve::BimodalExtremes { width }
+                if !(*width > 0.0 && width.is_finite()) => {
+                    return Err(MarketError::InvalidCurve {
+                        reason: "demand bump width must be positive",
+                    });
+                }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Unnormalized mass at normalized quality `t ∈ [0, 1]`.
+    fn mass_at(&self, t: f64) -> f64 {
+        match *self {
+            DemandCurve::Uniform => 1.0,
+            DemandCurve::MidPeaked { width } => {
+                let z = (t - 0.5) / width;
+                (-0.5 * z * z).exp()
+            }
+            DemandCurve::BimodalExtremes { width } => {
+                let zl = t / width;
+                let zr = (t - 1.0) / width;
+                (-0.5 * zl * zl).exp() + (-0.5 * zr * zr).exp()
+            }
+            DemandCurve::Increasing => 0.1 + 0.9 * t,
+            DemandCurve::Decreasing => 1.0 - 0.9 * t,
+        }
+    }
+
+    /// Normalized weights over an `n`-point grid (sums to 1).
+    pub fn weights(&self, n: usize) -> Result<Vec<f64>> {
+        self.validate()?;
+        if n == 0 {
+            return Err(MarketError::EmptyPopulation);
+        }
+        let raw: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = if n == 1 {
+                    0.5
+                } else {
+                    i as f64 / (n - 1) as f64
+                };
+                self.mass_at(t)
+            })
+            .collect();
+        let total: f64 = raw.iter().sum();
+        Ok(raw.into_iter().map(|w| w / total).collect())
+    }
+}
+
+/// A paired value/demand market-research result.
+#[derive(Debug, Clone, Copy)]
+pub struct MarketCurves {
+    /// The buyer value curve.
+    pub value: ValueCurve,
+    /// The buyer demand curve.
+    pub demand: DemandCurve,
+    /// Lowest inverse NCP on offer.
+    pub x_lo: f64,
+    /// Highest inverse NCP on offer.
+    pub x_hi: f64,
+}
+
+impl MarketCurves {
+    /// The default market of the paper's figures: `1/NCP ∈ [1, 100]`.
+    pub fn new(value: ValueCurve, demand: DemandCurve) -> Self {
+        MarketCurves {
+            value,
+            demand,
+            x_lo: 1.0,
+            x_hi: 100.0,
+        }
+    }
+
+    /// Samples both curves on an `n`-point grid and assembles the revenue
+    /// problem `{(a_j, b_j, v_j)}`.
+    pub fn build_problem(&self, n: usize) -> Result<RevenueProblem> {
+        self.value.validate()?;
+        if n == 0 {
+            return Err(MarketError::EmptyPopulation);
+        }
+        if !(self.x_lo > 0.0 && self.x_hi > self.x_lo) {
+            return Err(MarketError::InvalidCurve {
+                reason: "inverse-NCP range must satisfy 0 < x_lo < x_hi",
+            });
+        }
+        let weights = self.demand.weights(n)?;
+        let mut points = Vec::with_capacity(n);
+        for (i, &b) in weights.iter().enumerate() {
+            let t = if n == 1 {
+                0.5
+            } else {
+                i as f64 / (n - 1) as f64
+            };
+            let a = self.x_lo + (self.x_hi - self.x_lo) * t;
+            let v = self.value.value_at(t);
+            points.push(PricePoint { a, b, v });
+        }
+        RevenueProblem::new(points).map_err(Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_curves_are_monotone_and_span_range() {
+        for curve in [
+            ValueCurve::standard_convex(),
+            ValueCurve::standard_concave(),
+            ValueCurve::standard_linear(),
+            ValueCurve::standard_sigmoid(),
+        ] {
+            let vals: Vec<f64> = (0..=50).map(|i| curve.value_at(i as f64 / 50.0)).collect();
+            assert!(
+                vals.windows(2).all(|w| w[1] >= w[0] - 1e-12),
+                "{} not monotone",
+                curve.name()
+            );
+            assert!((vals[0] - 2.0).abs() < 1e-9, "{}", curve.name());
+            assert!((vals[50] - 100.0).abs() < 1e-9, "{}", curve.name());
+        }
+    }
+
+    #[test]
+    fn convex_is_below_linear_is_below_concave() {
+        let convex = ValueCurve::standard_convex();
+        let linear = ValueCurve::standard_linear();
+        let concave = ValueCurve::standard_concave();
+        for i in 1..10 {
+            let t = i as f64 / 10.0;
+            assert!(convex.value_at(t) < linear.value_at(t));
+            assert!(linear.value_at(t) < concave.value_at(t));
+        }
+    }
+
+    #[test]
+    fn demand_weights_normalize() {
+        for demand in [
+            DemandCurve::Uniform,
+            DemandCurve::MidPeaked { width: 0.15 },
+            DemandCurve::BimodalExtremes { width: 0.12 },
+            DemandCurve::Increasing,
+            DemandCurve::Decreasing,
+        ] {
+            let w = demand.weights(40).unwrap();
+            assert_eq!(w.len(), 40);
+            let sum: f64 = w.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "{}", demand.name());
+            assert!(w.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn mid_peaked_peaks_in_middle() {
+        let w = DemandCurve::MidPeaked { width: 0.15 }.weights(41).unwrap();
+        let peak = w
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, 20);
+        assert!(w[0] < w[20] / 10.0);
+    }
+
+    #[test]
+    fn bimodal_peaks_at_extremes() {
+        let w = DemandCurve::BimodalExtremes { width: 0.1 }.weights(41).unwrap();
+        assert!(w[0] > w[20] * 5.0);
+        assert!(w[40] > w[20] * 5.0);
+    }
+
+    #[test]
+    fn build_problem_shapes() {
+        let curves = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform);
+        let p = curves.build_problem(100).unwrap();
+        assert_eq!(p.len(), 100);
+        assert_eq!(p.points()[0].a, 1.0);
+        assert_eq!(p.points()[99].a, 100.0);
+        assert!((p.total_demand() - 1.0).abs() < 1e-12);
+        // Valuations monotone (required by the optimizer).
+        let v = p.valuations();
+        assert!(v.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let bad = ValueCurve::Convex {
+            v_min: 1.0,
+            v_max: 10.0,
+            power: 0.5,
+        };
+        let curves = MarketCurves::new(bad, DemandCurve::Uniform);
+        assert!(curves.build_problem(10).is_err());
+
+        let bad = ValueCurve::Linear {
+            v_min: 10.0,
+            v_max: 1.0,
+        };
+        assert!(MarketCurves::new(bad, DemandCurve::Uniform)
+            .build_problem(10)
+            .is_err());
+
+        assert!(DemandCurve::MidPeaked { width: 0.0 }.weights(10).is_err());
+        assert!(DemandCurve::Uniform.weights(0).is_err());
+
+        let mut curves = MarketCurves::new(ValueCurve::standard_linear(), DemandCurve::Uniform);
+        curves.x_lo = 0.0;
+        assert!(curves.build_problem(10).is_err());
+    }
+
+    #[test]
+    fn single_point_problem() {
+        let curves = MarketCurves::new(ValueCurve::standard_linear(), DemandCurve::Uniform);
+        let p = curves.build_problem(1).unwrap();
+        assert_eq!(p.len(), 1);
+        // t = 0.5 on the linear curve: v = 51.
+        assert!((p.points()[0].v - 51.0).abs() < 1e-9);
+    }
+}

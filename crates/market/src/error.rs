@@ -1,0 +1,111 @@
+//! Error type for the marketplace layer.
+
+use std::fmt;
+
+/// Errors produced by the `nimbus-market` crate.
+#[derive(Debug)]
+pub enum MarketError {
+    /// The broker has not been set up (no pricing function yet).
+    MarketNotOpen,
+    /// A purchase was rejected: the payment was below the posted price.
+    InsufficientPayment {
+        /// The posted price.
+        price: f64,
+        /// The payment offered.
+        offered: f64,
+    },
+    /// Curve parameters were invalid.
+    InvalidCurve {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// Population generation was asked for zero buyers or given an empty
+    /// market.
+    EmptyPopulation,
+    /// Underlying data error.
+    Data(nimbus_data::DataError),
+    /// Underlying ML error.
+    Ml(nimbus_ml::MlError),
+    /// Underlying MBP-core error.
+    Core(nimbus_core::CoreError),
+    /// Underlying optimizer error.
+    Optim(nimbus_optim::OptimError),
+}
+
+impl fmt::Display for MarketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarketError::MarketNotOpen => write!(f, "market is not open: no pricing configured"),
+            MarketError::InsufficientPayment { price, offered } => {
+                write!(f, "payment {offered} below posted price {price}")
+            }
+            MarketError::InvalidCurve { reason } => write!(f, "invalid market curve: {reason}"),
+            MarketError::EmptyPopulation => write!(f, "buyer population is empty"),
+            MarketError::Data(e) => write!(f, "data error: {e}"),
+            MarketError::Ml(e) => write!(f, "ml error: {e}"),
+            MarketError::Core(e) => write!(f, "core error: {e}"),
+            MarketError::Optim(e) => write!(f, "optimizer error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MarketError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MarketError::Data(e) => Some(e),
+            MarketError::Ml(e) => Some(e),
+            MarketError::Core(e) => Some(e),
+            MarketError::Optim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nimbus_data::DataError> for MarketError {
+    fn from(e: nimbus_data::DataError) -> Self {
+        MarketError::Data(e)
+    }
+}
+
+impl From<nimbus_ml::MlError> for MarketError {
+    fn from(e: nimbus_ml::MlError) -> Self {
+        MarketError::Ml(e)
+    }
+}
+
+impl From<nimbus_core::CoreError> for MarketError {
+    fn from(e: nimbus_core::CoreError) -> Self {
+        MarketError::Core(e)
+    }
+}
+
+impl From<nimbus_optim::OptimError> for MarketError {
+    fn from(e: nimbus_optim::OptimError) -> Self {
+        MarketError::Optim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(MarketError::MarketNotOpen.to_string().contains("not open"));
+        assert!(MarketError::InsufficientPayment {
+            price: 10.0,
+            offered: 5.0
+        }
+        .to_string()
+        .contains("below"));
+    }
+
+    #[test]
+    fn conversions() {
+        use std::error::Error;
+        let e: MarketError = nimbus_ml::MlError::EmptyDataset.into();
+        assert!(e.source().is_some());
+        let e: MarketError = nimbus_optim::OptimError::EmptyProblem.into();
+        assert!(e.source().is_some());
+    }
+}

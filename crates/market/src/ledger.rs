@@ -1,0 +1,90 @@
+//! The broker's transaction ledger.
+
+/// One completed sale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transaction {
+    /// Monotone sequence number assigned by the ledger.
+    pub sequence: u64,
+    /// Inverse NCP of the version sold.
+    pub inverse_ncp: f64,
+    /// Price paid.
+    pub price: f64,
+    /// Expected error quoted at sale time.
+    pub expected_error: f64,
+}
+
+/// Append-only record of every sale, with revenue accounting.
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    transactions: Vec<Transaction>,
+}
+
+impl Ledger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Records a sale, assigning the next sequence number.
+    pub fn record(&mut self, inverse_ncp: f64, price: f64, expected_error: f64) -> Transaction {
+        let tx = Transaction {
+            sequence: self.transactions.len() as u64,
+            inverse_ncp,
+            price,
+            expected_error,
+        };
+        self.transactions.push(tx);
+        tx
+    }
+
+    /// All transactions in order.
+    pub fn transactions(&self) -> &[Transaction] {
+        &self.transactions
+    }
+
+    /// Number of sales.
+    pub fn count(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Total revenue across all sales.
+    pub fn total_revenue(&self) -> f64 {
+        self.transactions.iter().map(|t| t.price).sum()
+    }
+
+    /// Average sale price (`None` when no sales yet).
+    pub fn average_price(&self) -> Option<f64> {
+        if self.transactions.is_empty() {
+            None
+        } else {
+            Some(self.total_revenue() / self.transactions.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_sequence() {
+        let mut l = Ledger::new();
+        let t0 = l.record(10.0, 5.0, 0.1);
+        let t1 = l.record(20.0, 8.0, 0.05);
+        assert_eq!(t0.sequence, 0);
+        assert_eq!(t1.sequence, 1);
+        assert_eq!(l.count(), 2);
+        assert_eq!(l.transactions()[1].price, 8.0);
+    }
+
+    #[test]
+    fn revenue_accounting() {
+        let mut l = Ledger::new();
+        assert_eq!(l.total_revenue(), 0.0);
+        assert!(l.average_price().is_none());
+        l.record(1.0, 3.0, 1.0);
+        l.record(2.0, 7.0, 0.5);
+        assert_eq!(l.total_revenue(), 10.0);
+        assert_eq!(l.average_price(), Some(5.0));
+    }
+}

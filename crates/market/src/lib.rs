@@ -1,0 +1,52 @@
+//! End-to-end marketplace simulation — the Nimbus demo flow.
+//!
+//! Wires every layer of the reproduction together into the three-agent
+//! market of Figure 1:
+//!
+//! * the [`seller::Seller`] lists a dataset together with the value and
+//!   demand curves obtained from market research ([`curves`]);
+//! * the [`broker::Broker`] trains the optimal model once (caching it
+//!   behind a lock — the one-time cost of §4), transforms the curves
+//!   through the error-inverse, optimizes prices with `nimbus-optim`, and
+//!   serves buyers through the three §3.2 purchase options, recording every
+//!   sale in a [`ledger::Ledger`];
+//! * [`buyer::BuyerPopulation`] draws buyers from the demand curve, each
+//!   with a valuation from the value curve, who decide to buy iff the
+//!   posted price does not exceed their valuation.
+//!
+//! [`simulation`] runs strategy comparisons (MBP vs Lin/MaxC/MedC/OptC vs
+//! the exact brute force) on a shared population — the machinery behind
+//! Figures 7–14 — and stages the arbitrage demonstration of Figure 3.
+//! [`transform`] implements the Figure 2(a)→(b) pipeline: market research
+//! expressed over *model error* is mapped onto the inverse-NCP axis through
+//! the (analytic or Monte-Carlo) error-transformation curve.
+//! [`parallel`] adds a small crossbeam-scoped map used to fan experiment
+//! sweeps across cores. [`persist`] round-trips a posted market through
+//! CSV, re-validating arbitrage-freeness on load. [`marketplace`] hosts a
+//! menu of models (§3.1), one broker per listing.
+
+pub mod broker;
+pub mod buyer;
+pub mod curves;
+pub mod error;
+pub mod ledger;
+pub mod marketplace;
+pub mod parallel;
+pub mod persist;
+pub mod seller;
+pub mod simulation;
+pub mod transform;
+
+pub use broker::{Broker, BrokerConfig, PurchaseRequest, Sale};
+pub use buyer::{Buyer, BuyerPopulation};
+pub use curves::{DemandCurve, MarketCurves, ValueCurve};
+pub use error::MarketError;
+pub use ledger::{Ledger, Transaction};
+pub use marketplace::{Marketplace, MenuEntry};
+pub use persist::PostedMarket;
+pub use seller::Seller;
+pub use simulation::{compare_strategies, PricingStrategy, StrategyOutcome};
+pub use transform::transform_research;
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, MarketError>;

@@ -1,0 +1,233 @@
+//! The multi-model marketplace of §3.1.
+//!
+//! "The broker specifies a menu of ML models `M` she can support (e.g.
+//! logistic regression for classification and ordinary least squares for
+//! regression)." A [`Marketplace`] manages one [`Broker`] per listed model,
+//! each with its own dataset, trainer, mechanism and optimized price curve;
+//! buyers first pick a model from the menu (the first step of the §3.2
+//! interaction) and then purchase a version of it.
+
+use crate::broker::{Broker, PurchaseRequest, Sale};
+use crate::{MarketError, Result};
+use std::collections::BTreeMap;
+
+/// One entry of the broker's model menu.
+#[derive(Debug, Clone)]
+pub struct MenuEntry {
+    /// The listing name the buyer selects by.
+    pub name: String,
+    /// Trainer identifier (e.g. `"linear_regression"`).
+    pub model_kind: &'static str,
+    /// Mechanism identifier (e.g. `"gaussian"`).
+    pub mechanism: &'static str,
+    /// Whether the market for this model is open.
+    pub open: bool,
+    /// Expected revenue of the posted prices (0 until open).
+    pub expected_revenue: f64,
+}
+
+/// A marketplace hosting several model listings.
+#[derive(Default)]
+pub struct Marketplace {
+    listings: BTreeMap<String, ListedBroker>,
+}
+
+struct ListedBroker {
+    broker: Broker,
+    model_kind: &'static str,
+    mechanism: &'static str,
+}
+
+impl Marketplace {
+    /// Creates an empty marketplace.
+    pub fn new() -> Self {
+        Marketplace::default()
+    }
+
+    /// Lists a configured broker under `name`, opening its market
+    /// immediately. Returns the expected revenue. Re-listing an existing
+    /// name replaces the previous listing.
+    pub fn list(
+        &mut self,
+        name: impl Into<String>,
+        broker: Broker,
+        model_kind: &'static str,
+        mechanism: &'static str,
+    ) -> Result<f64> {
+        let revenue = broker.open_market()?;
+        self.listings.insert(
+            name.into(),
+            ListedBroker {
+                broker,
+                model_kind,
+                mechanism,
+            },
+        );
+        Ok(revenue)
+    }
+
+    /// The menu shown to buyers, in name order.
+    pub fn menu(&self) -> Vec<MenuEntry> {
+        self.listings
+            .iter()
+            .map(|(name, l)| MenuEntry {
+                name: name.clone(),
+                model_kind: l.model_kind,
+                mechanism: l.mechanism,
+                open: l.broker.is_open(),
+                expected_revenue: l.broker.expected_revenue().unwrap_or(0.0),
+            })
+            .collect()
+    }
+
+    /// Number of listings.
+    pub fn len(&self) -> usize {
+        self.listings.len()
+    }
+
+    /// Whether the marketplace has no listings.
+    pub fn is_empty(&self) -> bool {
+        self.listings.is_empty()
+    }
+
+    /// Borrow a listed broker for curve queries.
+    pub fn broker(&self, name: &str) -> Result<&Broker> {
+        self.listings
+            .get(name)
+            .map(|l| &l.broker)
+            .ok_or(MarketError::MarketNotOpen)
+    }
+
+    /// Buys a version of the named model.
+    pub fn purchase(
+        &self,
+        name: &str,
+        request: PurchaseRequest,
+        payment: f64,
+    ) -> Result<Sale> {
+        self.broker(name)?.purchase(request, payment)
+    }
+
+    /// Total revenue collected across every listing.
+    pub fn total_collected_revenue(&self) -> f64 {
+        self.listings
+            .values()
+            .map(|l| l.broker.collected_revenue())
+            .sum()
+    }
+
+    /// Total completed sales across every listing.
+    pub fn total_sales(&self) -> usize {
+        self.listings.values().map(|l| l.broker.sales_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::BrokerConfig;
+    use crate::curves::{DemandCurve, MarketCurves, ValueCurve};
+    use crate::seller::Seller;
+    use nimbus_core::GaussianMechanism;
+    use nimbus_data::catalog::{DatasetSpec, PaperDataset};
+    use nimbus_ml::{LinearRegressionTrainer, LogisticRegressionTrainer};
+
+    fn regression_broker(seed: u64) -> Broker {
+        let (tt, _) = DatasetSpec::scaled(PaperDataset::Simulated1, 500)
+            .materialize(seed)
+            .unwrap();
+        Broker::new(
+            Seller::new("reg", tt, MarketCurves::new(
+                ValueCurve::standard_concave(),
+                DemandCurve::Uniform,
+            )),
+            Box::new(LinearRegressionTrainer::ridge(1e-6)),
+            Box::new(GaussianMechanism),
+            BrokerConfig {
+                n_price_points: 20,
+                error_curve_samples: 20,
+                seed,
+            },
+        )
+    }
+
+    fn classification_broker(seed: u64) -> Broker {
+        let (tt, _) = DatasetSpec::scaled(PaperDataset::Simulated2, 500)
+            .materialize(seed)
+            .unwrap();
+        Broker::new(
+            Seller::new("cls", tt, MarketCurves::new(
+                ValueCurve::standard_sigmoid(),
+                DemandCurve::MidPeaked { width: 0.2 },
+            )),
+            Box::new(LogisticRegressionTrainer::new(1e-4)),
+            Box::new(GaussianMechanism),
+            BrokerConfig {
+                n_price_points: 20,
+                error_curve_samples: 20,
+                seed,
+            },
+        )
+    }
+
+    #[test]
+    fn menu_lists_all_models() {
+        let mut mp = Marketplace::new();
+        mp.list("ols-on-simulated1", regression_broker(1), "linear_regression", "gaussian")
+            .unwrap();
+        mp.list("logreg-on-simulated2", classification_broker(2), "logistic_regression", "gaussian")
+            .unwrap();
+        let menu = mp.menu();
+        assert_eq!(menu.len(), 2);
+        assert!(menu.iter().all(|e| e.open));
+        assert!(menu.iter().all(|e| e.expected_revenue > 0.0));
+        let names: Vec<&str> = menu.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["logreg-on-simulated2", "ols-on-simulated1"]);
+    }
+
+    #[test]
+    fn purchases_route_to_the_right_broker() {
+        let mut mp = Marketplace::new();
+        mp.list("reg", regression_broker(3), "linear_regression", "gaussian")
+            .unwrap();
+        mp.list("cls", classification_broker(4), "logistic_regression", "gaussian")
+            .unwrap();
+        let reg_sale = mp
+            .purchase("reg", PurchaseRequest::AtInverseNcp(10.0), f64::INFINITY)
+            .unwrap();
+        let cls_sale = mp
+            .purchase("cls", PurchaseRequest::AtInverseNcp(10.0), f64::INFINITY)
+            .unwrap();
+        assert_eq!(reg_sale.model.dim(), 20);
+        assert_eq!(cls_sale.model.dim(), 20);
+        assert_eq!(mp.total_sales(), 2);
+        assert!(
+            (mp.total_collected_revenue() - (reg_sale.price + cls_sale.price)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn unknown_model_is_rejected() {
+        let mp = Marketplace::new();
+        assert!(mp.broker("nope").is_err());
+        assert!(mp
+            .purchase("nope", PurchaseRequest::AtInverseNcp(1.0), 1.0)
+            .is_err());
+        assert!(mp.is_empty());
+    }
+
+    #[test]
+    fn relisting_replaces() {
+        let mut mp = Marketplace::new();
+        mp.list("m", regression_broker(5), "linear_regression", "gaussian")
+            .unwrap();
+        mp.purchase("m", PurchaseRequest::AtInverseNcp(5.0), f64::INFINITY)
+            .unwrap();
+        assert_eq!(mp.total_sales(), 1);
+        // Replace: ledger resets with the new broker.
+        mp.list("m", regression_broker(6), "linear_regression", "gaussian")
+            .unwrap();
+        assert_eq!(mp.total_sales(), 0);
+        assert_eq!(mp.len(), 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Persistence for posted markets.
+//!
+//! A production broker must survive restarts without re-running market
+//! research or re-optimizing prices: the posted menu *is* the public
+//! contract with buyers. This module round-trips a posted market — the
+//! `(a_j, b_j, v_j)` problem plus the optimized prices — through the
+//! workspace CSV layer, and re-validates arbitrage-freeness on load so a
+//! tampered or corrupted file can never resurrect an exploitable menu.
+
+use crate::{MarketError, Result};
+use nimbus_core::arbitrage::check_arbitrage_free;
+use nimbus_core::pricing::PiecewiseLinearPricing;
+use nimbus_data::csv::{read_table_from_path, write_table_to_path, NumericTable};
+use nimbus_optim::{PricePoint, RevenueProblem};
+use std::path::Path;
+
+/// A persisted posted market: problem points plus posted prices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PostedMarket {
+    /// The revenue problem the prices were optimized for.
+    pub problem: RevenueProblem,
+    /// The posted prices, aligned with `problem.points()`.
+    pub prices: Vec<f64>,
+}
+
+impl PostedMarket {
+    /// Bundles a problem with its posted prices; lengths must match.
+    pub fn new(problem: RevenueProblem, prices: Vec<f64>) -> Result<Self> {
+        if prices.len() != problem.len() {
+            return Err(MarketError::Optim(nimbus_optim::OptimError::LengthMismatch {
+                prices: prices.len(),
+                points: problem.len(),
+            }));
+        }
+        Ok(PostedMarket { problem, prices })
+    }
+
+    /// The piecewise-linear pricing function of the posted menu.
+    pub fn pricing(&self) -> Result<PiecewiseLinearPricing> {
+        PiecewiseLinearPricing::new(
+            self.problem
+                .parameters()
+                .into_iter()
+                .zip(self.prices.iter().copied())
+                .collect(),
+        )
+        .map_err(Into::into)
+    }
+
+    /// Saves the market to a CSV file (columns `a, b, v, price`).
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<()> {
+        let rows: Vec<Vec<f64>> = self
+            .problem
+            .points()
+            .iter()
+            .zip(&self.prices)
+            .map(|(p, &z)| vec![p.a, p.b, p.v, z])
+            .collect();
+        write_table_to_path(path, &["a", "b", "v", "price"], &rows)?;
+        Ok(())
+    }
+
+    /// Loads a market from CSV and **re-validates** it: the problem must be
+    /// well formed and the posted prices arbitrage-free on the menu grid.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let table = read_table_from_path(path, true)?;
+        Self::from_table(&table)
+    }
+
+    fn from_table(table: &NumericTable) -> Result<Self> {
+        let expected = ["a", "b", "v", "price"];
+        if table.columns != expected {
+            return Err(MarketError::InvalidCurve {
+                reason: "posted-market CSV must have columns a,b,v,price",
+            });
+        }
+        let mut points = Vec::with_capacity(table.num_rows());
+        let mut prices = Vec::with_capacity(table.num_rows());
+        for row in &table.rows {
+            points.push(PricePoint {
+                a: row[0],
+                b: row[1],
+                v: row[2],
+            });
+            prices.push(row[3]);
+        }
+        let problem = RevenueProblem::new(points).map_err(MarketError::Optim)?;
+        let market = PostedMarket::new(problem, prices)?;
+        // Tamper check: a menu that admits arbitrage must not load.
+        let pricing = market.pricing()?;
+        let grid = market.problem.parameters();
+        let report = check_arbitrage_free(&pricing, &grid, 1e-7)?;
+        if !report.is_arbitrage_free() {
+            return Err(MarketError::InvalidCurve {
+                reason: "persisted menu is not arbitrage-free (corrupted or tampered)",
+            });
+        }
+        Ok(market)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curves::{DemandCurve, MarketCurves, ValueCurve};
+    use nimbus_optim::solve_revenue_dp;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("nimbus_persist_{name}.csv"))
+    }
+
+    fn posted_market() -> PostedMarket {
+        let problem = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform)
+            .build_problem(25)
+            .unwrap();
+        let prices = solve_revenue_dp(&problem).unwrap().prices;
+        PostedMarket::new(problem, prices).unwrap()
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let market = posted_market();
+        let path = temp_path("roundtrip");
+        market.save(&path).unwrap();
+        let loaded = PostedMarket::load(&path).unwrap();
+        assert_eq!(loaded.problem.len(), market.problem.len());
+        for (a, b) in loaded.prices.iter().zip(&market.prices) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        assert_eq!(
+            loaded.problem.parameters(),
+            market.problem.parameters()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn loaded_pricing_matches_original() {
+        let market = posted_market();
+        let path = temp_path("pricing");
+        market.save(&path).unwrap();
+        let loaded = PostedMarket::load(&path).unwrap();
+        let p0 = market.pricing().unwrap();
+        let p1 = loaded.pricing().unwrap();
+        for x in [1.0, 17.3, 50.0, 99.0] {
+            let x = nimbus_core::InverseNcp::new(x).unwrap();
+            use nimbus_core::PricingFunction;
+            assert!((p0.price(x) - p1.price(x)).abs() < 1e-9);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tampered_menu_is_rejected() {
+        let market = posted_market();
+        let path = temp_path("tampered");
+        market.save(&path).unwrap();
+        // Tamper: bump one mid-menu price way above its neighbors, creating
+        // a superadditive kink.
+        let content = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = content.lines().map(String::from).collect();
+        let mid = lines.len() / 2;
+        let mut fields: Vec<String> = lines[mid].split(',').map(String::from).collect();
+        let old: f64 = fields[3].parse().unwrap();
+        fields[3] = format!("{}", old * 50.0);
+        lines[mid] = fields.join(",");
+        std::fs::write(&path, lines.join("\n")).unwrap();
+
+        let err = PostedMarket::load(&path);
+        assert!(
+            matches!(err, Err(MarketError::InvalidCurve { .. })),
+            "tampered menu must be rejected, got {err:?}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_columns_are_rejected() {
+        let path = temp_path("wrong_cols");
+        nimbus_data::csv::write_table_to_path(&path, &["x", "y"], &[vec![1.0, 2.0]]).unwrap();
+        assert!(PostedMarket::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let problem = MarketCurves::new(ValueCurve::standard_linear(), DemandCurve::Uniform)
+            .build_problem(5)
+            .unwrap();
+        assert!(PostedMarket::new(problem, vec![1.0; 3]).is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! The seller agent.
+//!
+//! The seller owns a commercially valuable dataset `D = (D_train, D_test)`
+//! and, via market research, the value/demand curves for models trained on
+//! it (Figure 1(A)). Listing with a broker hands over the dataset and the
+//! curves; the broker takes it from there.
+
+use crate::curves::MarketCurves;
+use nimbus_data::TrainTest;
+
+/// A seller listing a dataset for model-based sale.
+#[derive(Debug, Clone)]
+pub struct Seller {
+    /// Display name of the seller.
+    pub name: String,
+    dataset: TrainTest,
+    curves: MarketCurves,
+}
+
+impl Seller {
+    /// Creates a seller from a dataset and market-research curves.
+    pub fn new(name: impl Into<String>, dataset: TrainTest, curves: MarketCurves) -> Self {
+        Seller {
+            name: name.into(),
+            dataset,
+            curves,
+        }
+    }
+
+    /// The dataset on offer.
+    pub fn dataset(&self) -> &TrainTest {
+        &self.dataset
+    }
+
+    /// The market research curves.
+    pub fn curves(&self) -> &MarketCurves {
+        &self.curves
+    }
+
+    /// Number of training examples (`n₁`).
+    pub fn train_size(&self) -> usize {
+        self.dataset.train.len()
+    }
+
+    /// Number of test examples (`n₂`).
+    pub fn test_size(&self) -> usize {
+        self.dataset.test.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curves::{DemandCurve, ValueCurve};
+    use nimbus_data::catalog::{DatasetSpec, PaperDataset};
+
+    #[test]
+    fn seller_exposes_listing() {
+        let (tt, _) = DatasetSpec::scaled(PaperDataset::Casp, 200)
+            .materialize(3)
+            .unwrap();
+        let curves = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform);
+        let seller = Seller::new("uci-proteins", tt, curves);
+        assert_eq!(seller.name, "uci-proteins");
+        assert!(seller.train_size() > 0);
+        assert!(seller.test_size() > 0);
+        assert_eq!(seller.curves().value.name(), "concave");
+    }
+}

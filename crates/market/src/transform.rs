@@ -1,0 +1,172 @@
+//! The error-curve transformation of Figure 2(a)→(b).
+//!
+//! Market research naturally expresses buyer value and demand **as functions
+//! of model error** ("a model with 5% misclassification is worth $80 to this
+//! segment"). The optimizer, however, works over the inverse NCP `x = 1/δ`.
+//! The bridge is the error-transformation curve `δ ↦ E[ε(h^δ, D)]` of
+//! [`nimbus_core::ErrorCurve`] — estimated analytically for the square loss
+//! or by Monte Carlo for any other `ε` — whose monotonicity (Theorem 4)
+//! makes the composition well defined:
+//!
+//! ```text
+//! v(x) = value_of_error( E[ε(h^{1/x})] ),   b(x) ∝ demand_of_error( … )
+//! ```
+//!
+//! Because the expected error is non-increasing in `x` and buyer value is
+//! non-increasing in error, the transformed valuation is non-decreasing in
+//! `x` — exactly the §5.3 assumption the revenue DP requires. Monte-Carlo
+//! plateaus can introduce ties; a final isotonic pass guarantees validity.
+
+use crate::{MarketError, Result};
+use nimbus_core::isotonic::isotonic_increasing;
+use nimbus_core::ErrorCurve;
+use nimbus_optim::{PricePoint, RevenueProblem};
+
+/// Transforms error-domain market research onto the inverse-NCP axis.
+///
+/// * `error_curve` — the broker's estimated (or analytic) transformation
+///   curve for the buyer's chosen error function `ε`; its grid becomes the
+///   version menu.
+/// * `value_of_error` — buyer value at a given expected error; should be
+///   non-increasing in the error (violations are isotonically repaired).
+/// * `demand_of_error` — non-negative demand mass at a given expected
+///   error; normalized to sum to 1 across the menu.
+pub fn transform_research<FV, FD>(
+    error_curve: &ErrorCurve,
+    value_of_error: FV,
+    demand_of_error: FD,
+) -> Result<RevenueProblem>
+where
+    FV: Fn(f64) -> f64,
+    FD: Fn(f64) -> f64,
+{
+    if error_curve.is_empty() {
+        return Err(MarketError::InvalidCurve {
+            reason: "error curve has no points",
+        });
+    }
+    // Error-curve points are sorted by δ ascending = x descending; walk in
+    // reverse for ascending x.
+    let mut points: Vec<(f64, f64, f64)> = Vec::with_capacity(error_curve.len());
+    for ep in error_curve.points().iter().rev() {
+        let v = value_of_error(ep.smoothed_error);
+        let b = demand_of_error(ep.smoothed_error);
+        if !(v.is_finite() && b.is_finite() && b >= 0.0) {
+            return Err(MarketError::InvalidCurve {
+                reason: "research curves must return finite values and non-negative demand",
+            });
+        }
+        points.push((ep.inverse, v.max(0.0), b));
+    }
+    let total_demand: f64 = points.iter().map(|p| p.2).sum();
+    if total_demand <= 0.0 {
+        return Err(MarketError::InvalidCurve {
+            reason: "demand curve is identically zero on the menu",
+        });
+    }
+    // Repair any non-monotonicity in the transformed valuations (e.g. from
+    // a slightly non-monotone research function) by isotonic projection.
+    let values: Vec<f64> = points.iter().map(|p| p.1).collect();
+    let weights = vec![1.0; values.len()];
+    let monotone_values = isotonic_increasing(&values, &weights);
+
+    let price_points: Vec<PricePoint> = points
+        .iter()
+        .zip(monotone_values)
+        .map(|(&(a, _, b), v)| PricePoint {
+            a,
+            b: b / total_demand,
+            v,
+        })
+        .collect();
+    RevenueProblem::new(price_points).map_err(Into::into)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimbus_core::Ncp;
+
+    fn square_loss_curve() -> ErrorCurve {
+        // δ grid 0.01..1 → x grid 1..100, E[ε_s] = δ.
+        let deltas: Vec<Ncp> = (1..=20)
+            .map(|i| Ncp::new(i as f64 * 0.05).unwrap())
+            .collect();
+        ErrorCurve::analytic_square_loss(&deltas).unwrap()
+    }
+
+    #[test]
+    fn transforms_value_and_demand() {
+        let curve = square_loss_curve();
+        // Value: $100 at zero error, linearly down to $0 at error 1.
+        // Demand: uniform over errors.
+        let problem =
+            transform_research(&curve, |e| 100.0 * (1.0 - e), |_| 1.0).unwrap();
+        assert_eq!(problem.len(), 20);
+        // Ascending x with ascending v.
+        let a = problem.parameters();
+        assert!(a.windows(2).all(|w| w[1] > w[0]));
+        let v = problem.valuations();
+        assert!(v.windows(2).all(|w| w[1] >= w[0]));
+        // Highest-accuracy version (x = 1/0.05 = 20, error 0.05) is worth 95.
+        assert!((v.last().unwrap() - 95.0).abs() < 1e-9);
+        // Demand normalized.
+        assert!((problem.total_demand() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn demand_can_concentrate_on_low_error() {
+        let curve = square_loss_curve();
+        let problem = transform_research(
+            &curve,
+            |e| 100.0 / (1.0 + e),
+            // Only errors below 0.2 have demand.
+            |e| if e < 0.2 { 1.0 } else { 0.0 },
+        )
+        .unwrap();
+        let demands = problem.demands();
+        let positive: usize = demands.iter().filter(|&&b| b > 0.0).count();
+        assert_eq!(positive, 3, "errors 0.05, 0.10, 0.15 qualify");
+        // All demand mass sits on the most accurate versions (largest a).
+        let pts = problem.points();
+        assert!(pts[pts.len() - 1].b > 0.0);
+        assert_eq!(pts[0].b, 0.0);
+    }
+
+    #[test]
+    fn non_monotone_research_is_repaired() {
+        let curve = square_loss_curve();
+        // A wiggly value function: not monotone in error.
+        let problem = transform_research(
+            &curve,
+            |e| 50.0 + 10.0 * (e * 40.0).sin(),
+            |_| 1.0,
+        )
+        .unwrap();
+        let v = problem.valuations();
+        assert!(v.windows(2).all(|w| w[1] >= w[0] - 1e-12));
+    }
+
+    #[test]
+    fn rejects_degenerate_research() {
+        let curve = square_loss_curve();
+        assert!(transform_research(&curve, |_| f64::NAN, |_| 1.0).is_err());
+        assert!(transform_research(&curve, |_| 1.0, |_| -1.0).is_err());
+        assert!(transform_research(&curve, |_| 1.0, |_| 0.0).is_err());
+    }
+
+    #[test]
+    fn end_to_end_with_revenue_dp() {
+        let curve = square_loss_curve();
+        let problem =
+            transform_research(&curve, |e| 100.0 * (1.0 - e).max(0.0), |_| 1.0).unwrap();
+        let dp = nimbus_optim::solve_revenue_dp(&problem).unwrap();
+        assert!(dp.revenue > 0.0);
+        // Prices respect the relaxed constraints on the transformed axis.
+        assert!(nimbus_optim::objective::satisfies_relaxed_constraints(
+            &dp.prices,
+            &problem.parameters(),
+            1e-9
+        ));
+    }
+}

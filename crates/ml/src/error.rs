@@ -1,0 +1,113 @@
+//! Error type for training and evaluation.
+
+use std::fmt;
+
+/// Errors produced by the `nimbus-ml` crate.
+#[derive(Debug)]
+pub enum MlError {
+    /// Model dimensionality does not match the dataset's feature count.
+    DimensionMismatch {
+        /// Model weight count.
+        model: usize,
+        /// Dataset feature count.
+        data: usize,
+    },
+    /// Training was attempted on an empty dataset.
+    EmptyDataset,
+    /// An iterative trainer failed to converge within its iteration budget.
+    DidNotConverge {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final gradient norm (or objective change) observed.
+        residual: f64,
+    },
+    /// A loss was asked for a derivative it does not have (e.g. the 0/1
+    /// loss has no gradient).
+    NotDifferentiable {
+        /// Name of the loss.
+        loss: &'static str,
+    },
+    /// An invalid hyperparameter was supplied.
+    InvalidHyperparameter {
+        /// Name of the hyperparameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The training loss requires binary labels but the dataset is a
+    /// regression dataset (or vice versa).
+    TaskMismatch {
+        /// What the loss expected.
+        expected: &'static str,
+    },
+    /// Underlying linear-algebra failure (singular/ill-conditioned system).
+    Linalg(nimbus_linalg::LinalgError),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::DimensionMismatch { model, data } => write!(
+                f,
+                "model has {model} weights but dataset has {data} features"
+            ),
+            MlError::EmptyDataset => write!(f, "cannot train on an empty dataset"),
+            MlError::DidNotConverge {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "trainer did not converge after {iterations} iterations (residual {residual:e})"
+            ),
+            MlError::NotDifferentiable { loss } => {
+                write!(f, "loss {loss} is not differentiable")
+            }
+            MlError::InvalidHyperparameter { name, value } => {
+                write!(f, "invalid hyperparameter {name} = {value}")
+            }
+            MlError::TaskMismatch { expected } => {
+                write!(f, "loss requires a {expected} dataset")
+            }
+            MlError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MlError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nimbus_linalg::LinalgError> for MlError {
+    fn from(e: nimbus_linalg::LinalgError) -> Self {
+        MlError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_details() {
+        let e = MlError::DimensionMismatch { model: 3, data: 5 };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('5'));
+        let e = MlError::DidNotConverge {
+            iterations: 10,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn linalg_conversion_preserves_source() {
+        use std::error::Error;
+        let e: MlError = nimbus_linalg::LinalgError::NonFinite { op: "x" }.into();
+        assert!(e.source().is_some());
+    }
+}

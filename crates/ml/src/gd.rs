@@ -1,0 +1,233 @@
+//! Generic batch gradient descent with backtracking line search.
+//!
+//! This engine is the fallback / cross-check trainer: the closed-form ridge
+//! solution and the Newton logistic trainer should agree with it on convex
+//! problems, which the test suites of `linreg` and `logreg` verify.
+
+use crate::{LinearModel, Loss, MlError, Result};
+use nimbus_data::Dataset;
+
+/// Configuration for [`gradient_descent`].
+#[derive(Debug, Clone, Copy)]
+pub struct GdConfig {
+    /// Maximum iterations before declaring non-convergence.
+    pub max_iters: usize,
+    /// Convergence threshold on the gradient infinity norm.
+    pub tolerance: f64,
+    /// Initial step size tried at each iteration.
+    pub initial_step: f64,
+    /// Multiplicative backtracking factor in `(0, 1)`.
+    pub backtrack: f64,
+    /// Armijo sufficient-decrease constant in `(0, 1/2]`.
+    pub armijo: f64,
+}
+
+impl Default for GdConfig {
+    fn default() -> Self {
+        GdConfig {
+            max_iters: 5_000,
+            tolerance: 1e-8,
+            initial_step: 1.0,
+            backtrack: 0.5,
+            armijo: 1e-4,
+        }
+    }
+}
+
+/// Outcome of a gradient-descent run.
+#[derive(Debug, Clone)]
+pub struct GdReport {
+    /// The final iterate.
+    pub model: LinearModel,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Final objective value.
+    pub objective: f64,
+    /// Final gradient infinity norm.
+    pub gradient_norm: f64,
+    /// Whether the tolerance was met within the budget.
+    pub converged: bool,
+}
+
+/// Minimizes `loss` over `data` starting from `init`.
+///
+/// Uses Armijo backtracking from `initial_step` each iteration; on convex
+/// losses this converges to the global optimum. Returns a report rather than
+/// erroring on non-convergence so callers can decide whether an inexact
+/// solution is acceptable (the strict [`train_to_convergence`] wrapper
+/// errors instead).
+pub fn gradient_descent<L: Loss>(
+    loss: &L,
+    data: &Dataset,
+    init: LinearModel,
+    config: &GdConfig,
+) -> Result<GdReport> {
+    let mut model = init;
+    let mut objective = loss.value(&model, data)?;
+    let mut iterations = 0;
+    let mut gradient_norm = f64::INFINITY;
+
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        let grad = loss.gradient(&model, data)?;
+        gradient_norm = grad.norm_inf();
+        if gradient_norm <= config.tolerance {
+            iterations = iter;
+            return Ok(GdReport {
+                model,
+                iterations,
+                objective,
+                gradient_norm,
+                converged: true,
+            });
+        }
+        let gnorm2 = grad.norm2_squared();
+        let mut step = config.initial_step;
+        let mut accepted = false;
+        // Backtrack until the Armijo condition holds (or the step underflows).
+        while step > 1e-18 {
+            let mut candidate = model.clone();
+            candidate.weights_mut().axpy(-step, &grad)?;
+            let cand_obj = loss.value(&candidate, data)?;
+            if cand_obj <= objective - config.armijo * step * gnorm2 {
+                model = candidate;
+                objective = cand_obj;
+                accepted = true;
+                break;
+            }
+            step *= config.backtrack;
+        }
+        if !accepted {
+            // Line search stalled: we are at numerical precision.
+            return Ok(GdReport {
+                model,
+                iterations,
+                objective,
+                gradient_norm,
+                converged: gradient_norm <= config.tolerance * 100.0,
+            });
+        }
+    }
+    Ok(GdReport {
+        model,
+        iterations,
+        objective,
+        gradient_norm,
+        converged: false,
+    })
+}
+
+/// Like [`gradient_descent`] but errors with [`MlError::DidNotConverge`]
+/// when the tolerance is not reached.
+pub fn train_to_convergence<L: Loss>(
+    loss: &L,
+    data: &Dataset,
+    init: LinearModel,
+    config: &GdConfig,
+) -> Result<LinearModel> {
+    let report = gradient_descent(loss, data, init, config)?;
+    if report.converged {
+        Ok(report.model)
+    } else {
+        Err(MlError::DidNotConverge {
+            iterations: report.iterations,
+            residual: report.gradient_norm,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{LogisticLoss, SquaredLoss};
+    use nimbus_data::Task;
+    use nimbus_linalg::{Matrix, Vector};
+
+    fn reg_data() -> Dataset {
+        let x = Matrix::from_row_major(5, 2, vec![
+            1.0, 1.0, 2.0, 1.0, 3.0, 1.0, 4.0, 1.0, 5.0, 1.0,
+        ])
+        .unwrap();
+        // y = 3 x1 - 2 (with the constant column as intercept).
+        let y = Vector::from_vec(vec![1.0, 4.0, 7.0, 10.0, 13.0]);
+        Dataset::new(x, y, Task::Regression).unwrap()
+    }
+
+    #[test]
+    fn recovers_exact_linear_fit() {
+        let loss = SquaredLoss::plain();
+        let report = gradient_descent(
+            &loss,
+            &reg_data(),
+            LinearModel::zeros(2),
+            &GdConfig {
+                max_iters: 20_000,
+                tolerance: 1e-10,
+                ..GdConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(report.converged, "gd did not converge: {report:?}");
+        let w = report.model.weights();
+        assert!((w[0] - 3.0).abs() < 1e-5, "w0 {}", w[0]);
+        assert!((w[1] + 2.0).abs() < 1e-4, "w1 {}", w[1]);
+        assert!(report.objective < 1e-8);
+    }
+
+    #[test]
+    fn objective_is_monotone_decreasing_under_armijo() {
+        let loss = SquaredLoss::ridge(0.01);
+        let data = reg_data();
+        let mut model = LinearModel::zeros(2);
+        let mut prev = loss.value(&model, &data).unwrap();
+        let config = GdConfig::default();
+        for _ in 0..20 {
+            let report = gradient_descent(
+                &loss,
+                &data,
+                model.clone(),
+                &GdConfig {
+                    max_iters: 1,
+                    tolerance: 0.0,
+                    ..config
+                },
+            )
+            .unwrap();
+            model = report.model;
+            assert!(report.objective <= prev + 1e-12);
+            prev = report.objective;
+        }
+    }
+
+    #[test]
+    fn strict_wrapper_errors_on_tiny_budget() {
+        let loss = LogisticLoss::regularized(0.1);
+        let x = Matrix::from_row_major(4, 1, vec![-2.0, -1.0, 1.0, 2.0]).unwrap();
+        let y = Vector::from_vec(vec![0.0, 0.0, 1.0, 1.0]);
+        let data = Dataset::new(x, y, Task::BinaryClassification).unwrap();
+        let err = train_to_convergence(
+            &loss,
+            &data,
+            LinearModel::zeros(1),
+            &GdConfig {
+                max_iters: 1,
+                tolerance: 1e-14,
+                ..GdConfig::default()
+            },
+        );
+        assert!(matches!(err, Err(MlError::DidNotConverge { .. })));
+    }
+
+    #[test]
+    fn converged_at_start_when_gradient_is_zero() {
+        // Regularized problem with optimum at 0 when targets are 0.
+        let x = Matrix::from_row_major(2, 1, vec![1.0, -1.0]).unwrap();
+        let y = Vector::from_vec(vec![0.0, 0.0]);
+        let data = Dataset::new(x, y, Task::Regression).unwrap();
+        let loss = SquaredLoss::ridge(1.0);
+        let report =
+            gradient_descent(&loss, &data, LinearModel::zeros(1), &GdConfig::default()).unwrap();
+        assert!(report.converged);
+        assert_eq!(report.iterations, 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! ML substrate for Nimbus: losses, linear models and trainers.
+//!
+//! The paper fixes its menu of ML models to those with *strictly convex*
+//! training losses over linear hypotheses (Table 2): least-squares linear
+//! regression, L2-regularized logistic regression, and the L2 linear SVM.
+//! For the buyer-facing error function `ε` it additionally supports the 0/1
+//! misclassification rate. This crate implements exactly that menu:
+//!
+//! * [`LinearModel`] — a hypothesis `h ∈ R^d`; model instances are plain
+//!   weight vectors, which is what the Gaussian mechanism perturbs.
+//! * [`loss`] — the error functions of Table 2 with values, gradients and
+//!   (where used) Hessians, plus the 0/1 loss for evaluation.
+//! * [`linreg`] — ordinary least squares / ridge via the normal equations
+//!   (one Cholesky solve — the broker's one-time training cost), plus a
+//!   gradient-descent path for cross-checking.
+//! * [`logreg`] — damped Newton logistic regression with step halving.
+//! * [`svm`] — Pegasos stochastic subgradient descent for the L2 SVM.
+//! * [`gd`] — a generic batch gradient-descent engine with backtracking.
+//! * [`metrics`] — evaluation helpers shared by experiments and tests.
+//! * [`streaming`] — one-pass, constant-memory, shard-mergeable least
+//!   squares for paper-scale (10M-row) training.
+//! * [`model_selection`] — k-fold cross-validation over trainers (the §7
+//!   model-selection future-work item, for choosing `μ`).
+
+pub mod error;
+pub mod gd;
+pub mod linreg;
+pub mod logreg;
+pub mod loss;
+pub mod metrics;
+pub mod model_selection;
+pub mod model;
+pub mod streaming;
+pub mod svm;
+
+pub use error::MlError;
+pub use linreg::LinearRegressionTrainer;
+pub use logreg::LogisticRegressionTrainer;
+pub use loss::{HingeLoss, LogisticLoss, Loss, SquaredLoss, ZeroOneLoss};
+pub use model::LinearModel;
+pub use streaming::{train_least_squares_stream, LeastSquaresAccumulator};
+pub use svm::PegasosSvmTrainer;
+
+use nimbus_data::Dataset;
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, MlError>;
+
+/// A learning algorithm producing the optimal model instance `h*_λ(D)` for
+/// its associated training loss `λ` on a dataset.
+pub trait Trainer {
+    /// Trains on `data`, returning the fitted model.
+    fn train(&self, data: &Dataset) -> Result<LinearModel>;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,119 @@
+//! Evaluation metrics shared by experiments and tests.
+//!
+//! These are thin, allocation-free wrappers over the [`crate::loss`] module
+//! plus a few conveniences (accuracy, RMSE, R²) that the figures report.
+
+use crate::loss::{LogisticLoss, Loss, SquaredLoss, ZeroOneLoss};
+use crate::{LinearModel, Result};
+use nimbus_data::Dataset;
+
+/// Mean squared error `1/n Σ (hᵀx − y)²` (note: *not* halved — this is the
+/// reporting convention; the training loss halves it for gradient hygiene).
+pub fn mse(model: &LinearModel, data: &Dataset) -> Result<f64> {
+    Ok(2.0 * SquaredLoss::plain().value(model, data)?)
+}
+
+/// Root mean squared error.
+pub fn rmse(model: &LinearModel, data: &Dataset) -> Result<f64> {
+    Ok(mse(model, data)?.sqrt())
+}
+
+/// Coefficient of determination `R² = 1 − SSE/SST`. Returns 0.0 when the
+/// target variance is zero (constant targets).
+pub fn r_squared(model: &LinearModel, data: &Dataset) -> Result<f64> {
+    let m = mse(model, data)?;
+    let mean = data.targets().mean().unwrap_or(0.0);
+    let sst: f64 = data
+        .targets()
+        .as_slice()
+        .iter()
+        .map(|y| (y - mean) * (y - mean))
+        .sum::<f64>()
+        / data.len() as f64;
+    if sst == 0.0 {
+        Ok(0.0)
+    } else {
+        Ok(1.0 - m / sst)
+    }
+}
+
+/// Average logistic loss (no regularization term).
+pub fn log_loss(model: &LinearModel, data: &Dataset) -> Result<f64> {
+    LogisticLoss::plain().value(model, data)
+}
+
+/// 0/1 misclassification rate.
+pub fn zero_one_error(model: &LinearModel, data: &Dataset) -> Result<f64> {
+    ZeroOneLoss.value(model, data)
+}
+
+/// Classification accuracy `1 − zero_one_error`.
+pub fn accuracy(model: &LinearModel, data: &Dataset) -> Result<f64> {
+    Ok(1.0 - zero_one_error(model, data)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimbus_data::Task;
+    use nimbus_linalg::{Matrix, Vector};
+
+    fn reg_data() -> Dataset {
+        let x = Matrix::from_row_major(3, 1, vec![1.0, 2.0, 3.0]).unwrap();
+        let y = Vector::from_vec(vec![2.0, 4.0, 6.0]);
+        Dataset::new(x, y, Task::Regression).unwrap()
+    }
+
+    fn cls_data() -> Dataset {
+        let x = Matrix::from_row_major(4, 1, vec![-1.0, -2.0, 1.0, 2.0]).unwrap();
+        let y = Vector::from_vec(vec![0.0, 0.0, 1.0, 1.0]);
+        Dataset::new(x, y, Task::BinaryClassification).unwrap()
+    }
+
+    #[test]
+    fn mse_zero_for_perfect_model() {
+        let m = LinearModel::new(Vector::from_vec(vec![2.0]));
+        assert_eq!(mse(&m, &reg_data()).unwrap(), 0.0);
+        assert_eq!(rmse(&m, &reg_data()).unwrap(), 0.0);
+        assert_eq!(r_squared(&m, &reg_data()).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn mse_manual_value() {
+        let m = LinearModel::new(Vector::from_vec(vec![0.0]));
+        // (4 + 16 + 36) / 3 = 56/3
+        assert!((mse(&m, &reg_data()).unwrap() - 56.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_zero_for_mean_predictor_quality() {
+        // A model predicting ~0 has R² = 1 - MSE/Var(y); check sign logic.
+        let m = LinearModel::new(Vector::from_vec(vec![0.0]));
+        let r2 = r_squared(&m, &reg_data()).unwrap();
+        assert!(r2 < 0.0, "zero model on centered-away targets has negative R²");
+    }
+
+    #[test]
+    fn constant_targets_give_zero_r2() {
+        let x = Matrix::from_row_major(2, 1, vec![1.0, 2.0]).unwrap();
+        let y = Vector::from_vec(vec![5.0, 5.0]);
+        let d = Dataset::new(x, y, Task::Regression).unwrap();
+        let m = LinearModel::new(Vector::from_vec(vec![0.0]));
+        assert_eq!(r_squared(&m, &d).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_complements_error() {
+        let m = LinearModel::new(Vector::from_vec(vec![1.0]));
+        let acc = accuracy(&m, &cls_data()).unwrap();
+        let err = zero_one_error(&m, &cls_data()).unwrap();
+        assert_eq!(acc + err, 1.0);
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn log_loss_at_zero_weights_is_ln2() {
+        let m = LinearModel::zeros(1);
+        assert!((log_loss(&m, &cls_data()).unwrap() - 2.0f64.ln()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,207 @@
+//! K-fold cross-validation for hyperparameter selection.
+//!
+//! The paper's future work (§7) notes that "users often perform model
+//! selection and explore different ML models … and refine their choices
+//! iteratively". In Nimbus the broker faces a concrete instance of this:
+//! choosing the regularization strength `μ` before committing to the
+//! one-time training of `h*`. This module provides standard k-fold CV over
+//! any [`Trainer`] factory plus a convenience ridge-path search.
+
+use crate::{LinearModel, MlError, Result, Trainer};
+use nimbus_data::Dataset;
+use nimbus_randkit::uniform::shuffle_indices;
+use nimbus_randkit::NimbusRng;
+
+/// Result of a cross-validated hyperparameter search.
+#[derive(Debug, Clone)]
+pub struct CvReport<P> {
+    /// The winning hyperparameter.
+    pub best_param: P,
+    /// Mean validation loss of the winner.
+    pub best_score: f64,
+    /// `(param, mean validation loss)` for every candidate, in input order.
+    pub scores: Vec<(P, f64)>,
+    /// The final model trained on ALL data with the winning parameter.
+    pub model: LinearModel,
+}
+
+/// Builds the k disjoint validation folds as index sets.
+fn make_folds(n: usize, k: usize, rng: &mut NimbusRng) -> Vec<Vec<usize>> {
+    let mut indices: Vec<usize> = (0..n).collect();
+    shuffle_indices(rng, &mut indices);
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, idx) in indices.into_iter().enumerate() {
+        folds[i % k].push(idx);
+    }
+    folds
+}
+
+/// Generic k-fold cross-validation.
+///
+/// * `make_trainer` — builds a trainer from a candidate hyperparameter.
+/// * `evaluate` — validation loss of a fitted model on held-out data
+///   (lower is better), e.g. `metrics::mse` or `metrics::zero_one_error`.
+///
+/// Requires `k ≥ 2` and at least `k` examples.
+pub fn k_fold_cv<P, T, FT, FE>(
+    data: &Dataset,
+    params: &[P],
+    k: usize,
+    make_trainer: FT,
+    evaluate: FE,
+    rng: &mut NimbusRng,
+) -> Result<CvReport<P>>
+where
+    P: Clone,
+    T: Trainer,
+    FT: Fn(&P) -> T,
+    FE: Fn(&LinearModel, &Dataset) -> Result<f64>,
+{
+    if params.is_empty() {
+        return Err(MlError::InvalidHyperparameter {
+            name: "params",
+            value: 0.0,
+        });
+    }
+    if k < 2 || data.len() < k {
+        return Err(MlError::InvalidHyperparameter {
+            name: "k",
+            value: k as f64,
+        });
+    }
+    let folds = make_folds(data.len(), k, rng);
+
+    let mut scores = Vec::with_capacity(params.len());
+    let mut best: Option<(usize, f64)> = None;
+    for (pi, param) in params.iter().enumerate() {
+        let trainer = make_trainer(param);
+        let mut total = 0.0;
+        for fold in &folds {
+            let train_idx: Vec<usize> = (0..data.len()).filter(|i| !fold.contains(i)).collect();
+            let train = data.select(&train_idx);
+            let valid = data.select(fold);
+            let model = trainer.train(&train)?;
+            total += evaluate(&model, &valid)?;
+        }
+        let mean = total / k as f64;
+        scores.push((param.clone(), mean));
+        match best {
+            Some((_, s)) if s <= mean => {}
+            _ => best = Some((pi, mean)),
+        }
+    }
+    let (best_idx, best_score) = best.expect("non-empty params");
+    let best_param = params[best_idx].clone();
+    let model = make_trainer(&best_param).train(data)?;
+    Ok(CvReport {
+        best_param,
+        best_score,
+        scores,
+        model,
+    })
+}
+
+/// Cross-validated ridge-path search for least squares: tries each `μ` in
+/// `mus`, scoring by validation MSE.
+pub fn select_ridge_mu(
+    data: &Dataset,
+    mus: &[f64],
+    k: usize,
+    rng: &mut NimbusRng,
+) -> Result<CvReport<f64>> {
+    k_fold_cv(
+        data,
+        mus,
+        k,
+        |&mu| crate::LinearRegressionTrainer::ridge(mu),
+        crate::metrics::mse,
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use crate::LogisticRegressionTrainer;
+    use nimbus_data::synthetic::{
+        generate_classification, generate_regression, ClassificationSpec, RegressionSpec,
+    };
+    use nimbus_randkit::seeded_rng;
+
+    #[test]
+    fn folds_partition_indices() {
+        let mut rng = seeded_rng(1);
+        let folds = make_folds(103, 5, &mut rng);
+        assert_eq!(folds.len(), 5);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..103).collect::<Vec<_>>());
+        // Balanced within 1.
+        let sizes: Vec<usize> = folds.iter().map(|f| f.len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn ridge_cv_prefers_small_mu_on_clean_data() {
+        // Noiseless linear data: μ = 0-ish should win over heavy shrinkage.
+        let (ds, _) = generate_regression(&RegressionSpec::simulated1(200, 4), 2).unwrap();
+        let mut rng = seeded_rng(3);
+        let report = select_ridge_mu(&ds, &[1e-8, 1.0, 100.0], 4, &mut rng).unwrap();
+        assert_eq!(report.best_param, 1e-8);
+        assert!(report.best_score < 1e-6);
+        assert_eq!(report.scores.len(), 3);
+        // Scores worsen with shrinkage on noiseless data.
+        assert!(report.scores[0].1 < report.scores[1].1);
+        assert!(report.scores[1].1 < report.scores[2].1);
+    }
+
+    #[test]
+    fn ridge_cv_prefers_regularization_on_noisy_underdetermined_data() {
+        // Few examples, many features, noisy targets: some shrinkage helps.
+        let spec = RegressionSpec {
+            n: 30,
+            d: 20,
+            target_noise: 3.0,
+            target_scale: 1.0,
+            feature_scale: 1.0,
+        };
+        let (ds, _) = generate_regression(&spec, 17).unwrap();
+        let mut rng = seeded_rng(5);
+        let report = select_ridge_mu(&ds, &[1e-9, 0.1], 5, &mut rng).unwrap();
+        assert_eq!(
+            report.best_param, 0.1,
+            "shrinkage should beat near-OLS here: {:?}",
+            report.scores
+        );
+    }
+
+    #[test]
+    fn generic_cv_works_for_classification() {
+        let (ds, _) =
+            generate_classification(&ClassificationSpec::simulated2(300, 4), 7).unwrap();
+        let mut rng = seeded_rng(9);
+        let report = k_fold_cv(
+            &ds,
+            &[1e-4, 10.0],
+            3,
+            |&mu| LogisticRegressionTrainer::new(mu),
+            metrics::zero_one_error,
+            &mut rng,
+        )
+        .unwrap();
+        // Massive regularization shrinks the model to ~0 and hurts accuracy.
+        assert_eq!(report.best_param, 1e-4);
+        let final_err = metrics::zero_one_error(&report.model, &ds).unwrap();
+        assert!(final_err < 0.15, "final error {final_err}");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let (ds, _) = generate_regression(&RegressionSpec::simulated1(20, 2), 1).unwrap();
+        let mut rng = seeded_rng(0);
+        assert!(select_ridge_mu(&ds, &[], 3, &mut rng).is_err());
+        assert!(select_ridge_mu(&ds, &[0.1], 1, &mut rng).is_err());
+        assert!(select_ridge_mu(&ds, &[0.1], 21, &mut rng).is_err());
+    }
+}

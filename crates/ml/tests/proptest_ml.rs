@@ -1,0 +1,124 @@
+//! Property-based tests for the ML substrate: convexity of losses,
+//! optimality of trainers, gradient consistency.
+
+use nimbus_data::synthetic::{generate_regression, RegressionSpec};
+use nimbus_data::{Dataset, Task};
+use nimbus_linalg::{Matrix, Vector};
+use nimbus_ml::loss::{LogisticLoss, Loss, SquaredLoss};
+use nimbus_ml::{LinearModel, LinearRegressionTrainer, Trainer};
+use proptest::prelude::*;
+
+fn cls_dataset() -> Dataset {
+    let x = Matrix::from_row_major(6, 2, vec![
+        -2.0, 1.0, -1.0, 0.5, -0.5, -1.0, 0.5, 1.0, 1.0, -0.5, 2.0, 0.0,
+    ])
+    .unwrap();
+    let y = Vector::from_vec(vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+    Dataset::new(x, y, Task::BinaryClassification).unwrap()
+}
+
+proptest! {
+    #[test]
+    fn squared_loss_is_convex_along_segments(
+        w1 in prop::collection::vec(-5.0..5.0f64, 2),
+        w2 in prop::collection::vec(-5.0..5.0f64, 2),
+        t in 0.0..1.0f64,
+    ) {
+        let x = Matrix::from_row_major(4, 2, vec![
+            1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, -1.0,
+        ]).unwrap();
+        let y = Vector::from_vec(vec![1.0, -1.0, 0.5, 2.0]);
+        let data = Dataset::new(x, y, Task::Regression).unwrap();
+        let loss = SquaredLoss::ridge(0.01);
+
+        let a = LinearModel::new(Vector::from_vec(w1.clone()));
+        let b = LinearModel::new(Vector::from_vec(w2.clone()));
+        let mix: Vec<f64> = w1.iter().zip(&w2).map(|(p, q)| t * p + (1.0 - t) * q).collect();
+        let m = LinearModel::new(Vector::from_vec(mix));
+
+        let fa = loss.value(&a, &data).unwrap();
+        let fb = loss.value(&b, &data).unwrap();
+        let fm = loss.value(&m, &data).unwrap();
+        prop_assert!(fm <= t * fa + (1.0 - t) * fb + 1e-9);
+    }
+
+    #[test]
+    fn logistic_loss_is_convex_along_segments(
+        w1 in prop::collection::vec(-3.0..3.0f64, 2),
+        w2 in prop::collection::vec(-3.0..3.0f64, 2),
+        t in 0.0..1.0f64,
+    ) {
+        let data = cls_dataset();
+        let loss = LogisticLoss::regularized(0.01);
+        let a = LinearModel::new(Vector::from_vec(w1.clone()));
+        let b = LinearModel::new(Vector::from_vec(w2.clone()));
+        let mix: Vec<f64> = w1.iter().zip(&w2).map(|(p, q)| t * p + (1.0 - t) * q).collect();
+        let m = LinearModel::new(Vector::from_vec(mix));
+        let fa = loss.value(&a, &data).unwrap();
+        let fb = loss.value(&b, &data).unwrap();
+        let fm = loss.value(&m, &data).unwrap();
+        prop_assert!(fm <= t * fa + (1.0 - t) * fb + 1e-9);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences(
+        w in prop::collection::vec(-2.0..2.0f64, 2),
+        coord in 0usize..2,
+    ) {
+        let data = cls_dataset();
+        let loss = LogisticLoss::regularized(0.05);
+        let model = LinearModel::new(Vector::from_vec(w.clone()));
+        let g = loss.gradient(&model, &data).unwrap();
+        let eps = 1e-6;
+        let mut up = w.clone();
+        up[coord] += eps;
+        let mut dn = w.clone();
+        dn[coord] -= eps;
+        let fu = loss.value(&LinearModel::new(Vector::from_vec(up)), &data).unwrap();
+        let fd = loss.value(&LinearModel::new(Vector::from_vec(dn)), &data).unwrap();
+        let fdiff = (fu - fd) / (2.0 * eps);
+        prop_assert!((g[coord] - fdiff).abs() < 1e-4, "grad {} vs fd {}", g[coord], fdiff);
+    }
+
+    #[test]
+    fn ridge_solution_is_global_minimum(
+        seed in 0u64..200,
+        mu in 0.001..1.0f64,
+        perturb in prop::collection::vec(-0.5..0.5f64, 3),
+    ) {
+        let (data, _) = generate_regression(
+            &RegressionSpec {
+                n: 120,
+                d: 3,
+                target_noise: 0.5,
+                target_scale: 1.0,
+                feature_scale: 1.0,
+            },
+            seed,
+        ).unwrap();
+        let trainer = LinearRegressionTrainer::ridge(mu);
+        let optimum = trainer.train(&data).unwrap();
+        let loss = trainer.loss();
+        let f_opt = loss.value(&optimum, &data).unwrap();
+        // Any perturbation of the optimum has a (weakly) larger objective.
+        let mut w = optimum.weights().as_slice().to_vec();
+        for (wi, p) in w.iter_mut().zip(&perturb) {
+            *wi += p;
+        }
+        let f_pert = loss.value(&LinearModel::new(Vector::from_vec(w)), &data).unwrap();
+        prop_assert!(f_pert >= f_opt - 1e-10);
+    }
+
+    #[test]
+    fn ridge_path_is_monotone_in_norm(seed in 0u64..100) {
+        // Larger regularization never increases the weight norm.
+        let (data, _) = generate_regression(&RegressionSpec::simulated1(100, 4), seed).unwrap();
+        let mut last_norm = f64::INFINITY;
+        for mu in [0.0, 0.01, 0.1, 1.0, 10.0] {
+            let model = LinearRegressionTrainer::ridge(mu).train(&data).unwrap();
+            let norm = model.weights().norm2();
+            prop_assert!(norm <= last_norm + 1e-9, "mu {mu}: norm {norm} > {last_norm}");
+            last_norm = norm;
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! # Nimbus — model-based pricing for machine learning in a data marketplace
+//!
+//! A from-scratch Rust reproduction of *"Model-based Pricing for Machine
+//! Learning in a Data Marketplace"* (Chen, Koutris, Kumar), the system
+//! demonstrated at SIGMOD 2019 as **Nimbus**.
+//!
+//! Instead of selling raw data, a broker sells *noisy versions* of the
+//! optimal ML model trained on a seller's dataset. A single knob — the
+//! noise control parameter (NCP) δ of a Gaussian perturbation — trades
+//! expected model error against price, and a pricing function over the
+//! inverse NCP is **arbitrage-free iff it is monotone and subadditive**
+//! (Theorem 5). Revenue-optimal arbitrage-free prices are computed by an
+//! `O(n²)` dynamic program within a provable factor 2 of the (coNP-hard)
+//! exact optimum.
+//!
+//! ## Crate map
+//!
+//! | Re-export | Crate | Contents |
+//! |---|---|---|
+//! | [`linalg`] | `nimbus-linalg` | dense vectors/matrices, Cholesky |
+//! | [`randkit`] | `nimbus-randkit` | seedable normal/Laplace/uniform/discrete sampling |
+//! | [`data`] | `nimbus-data` | datasets, splits, CSV, Table 3 generators |
+//! | [`ml`] | `nimbus-ml` | losses, linear/logistic/SVM trainers, metrics |
+//! | [`core`] | `nimbus-core` | **the MBP contribution**: mechanisms, error curves, pricing, arbitrage |
+//! | [`optim`] | `nimbus-optim` | revenue DP, brute force, baselines, interpolation |
+//! | [`market`] | `nimbus-market` | seller/broker/buyer agents, end-to-end simulation |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nimbus::prelude::*;
+//!
+//! // A seller lists a dataset with market-research curves.
+//! let spec = DatasetSpec::scaled(PaperDataset::Simulated1, 400);
+//! let (dataset, _) = spec.materialize(7).unwrap();
+//! let curves = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform);
+//! let seller = Seller::new("acme-data", dataset, curves);
+//!
+//! // The broker trains once, optimizes arbitrage-free prices, and opens.
+//! let broker = Broker::new(
+//!     seller,
+//!     Box::new(LinearRegressionTrainer::ridge(1e-6)),
+//!     Box::new(GaussianMechanism),
+//!     BrokerConfig { n_price_points: 20, error_curve_samples: 50, seed: 1 },
+//! );
+//! broker.open_market().unwrap();
+//!
+//! // A buyer purchases under an error budget and receives a noisy model.
+//! let sale = broker
+//!     .purchase(PurchaseRequest::ErrorBudget(0.05), f64::INFINITY)
+//!     .unwrap();
+//! assert!(sale.expected_square_error <= 0.05 + 1e-12);
+//! ```
+
+pub use nimbus_core as core;
+pub use nimbus_data as data;
+pub use nimbus_linalg as linalg;
+pub use nimbus_market as market;
+pub use nimbus_ml as ml;
+pub use nimbus_optim as optim;
+pub use nimbus_randkit as randkit;
+
+/// One-stop imports for the common Nimbus workflow.
+pub mod prelude {
+    pub use nimbus_core::{
+        arbitrage::{check_arbitrage_free, combine_instances, find_attack},
+        inverse_ncp_grid, ConstantPricing, ErrorCurve, GaussianMechanism, InverseNcp,
+        LaplaceMechanism, LinearPricing, Ncp, PiecewiseLinearPricing, PriceErrorCurve,
+        PricingFunction, RandomizedMechanism, UniformMechanism,
+    };
+    pub use nimbus_data::{
+        catalog::{DatasetSpec, PaperDataset},
+        synthetic::{generate_classification, generate_regression, ClassificationSpec, RegressionSpec},
+        train_test_split, Dataset, Standardizer, Task, TrainTest,
+    };
+    pub use nimbus_market::{
+        curves::{DemandCurve, MarketCurves, ValueCurve},
+        simulation::{compare_strategies, price_with, PricingStrategy},
+        Broker, BrokerConfig, Buyer, BuyerPopulation, Marketplace, PurchaseRequest, Sale, Seller,
+    };
+    pub use nimbus_ml::{
+        metrics, LinearModel, LinearRegressionTrainer, LogisticRegressionTrainer,
+        PegasosSvmTrainer, Trainer,
+    };
+    pub use nimbus_optim::{
+        affordability_ratio, revenue, solve_revenue_brute_force, solve_revenue_dp,
+        Baseline, BaselineKind, InterpolationProblem, PricePoint, RevenueProblem,
+    };
+    pub use nimbus_randkit::{seeded_rng, split_stream, NimbusRng};
+}
+
+pub use nimbus_core::ncp::inverse_ncp_grid;
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_compiles_and_links_every_layer() {
+        let grid = nimbus_core::ncp::inverse_ncp_grid(1.0, 10.0, 5).unwrap();
+        assert_eq!(grid.len(), 5);
+        let problem = RevenueProblem::figure5_example();
+        let dp = solve_revenue_dp(&problem).unwrap();
+        assert!(dp.revenue > 0.0);
+        let mut rng = seeded_rng(1);
+        let (ds, _) = generate_regression(&RegressionSpec::simulated1(50, 3), 2).unwrap();
+        let tt = train_test_split(&ds, 0.75, &mut rng).unwrap();
+        let model = LinearRegressionTrainer::ols().train(&tt.train).unwrap();
+        assert_eq!(model.dim(), 3);
+    }
+}

@@ -1,0 +1,281 @@
+//! The four baseline pricing strategies of §6.2.
+//!
+//! * **Lin** — linear interpolation between the smallest and largest buyer
+//!   values over the inverse-NCP range.
+//! * **MaxC** — one constant price: the highest valuation in the market.
+//! * **MedC** — one constant price chosen so at least half the buyers (by
+//!   demand mass) can afford a model instance.
+//! * **OptC** — the revenue-optimal constant price.
+//!
+//! All four produce well-behaved (arbitrage-free, non-negative) pricing
+//! functions; what they lack is *versioning* — a single price (or a rigid
+//! line) cannot track the buyer value curve, which is exactly the revenue
+//! and affordability gap Figures 7–14 measure.
+
+use crate::objective::revenue;
+use crate::problem::RevenueProblem;
+use crate::Result;
+use nimbus_core::pricing::{LinearPricing, PricingFunction};
+
+/// Which baseline strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaselineKind {
+    /// Linear interpolation of the value curve's endpoints.
+    Lin,
+    /// Constant at the maximum valuation.
+    MaxC,
+    /// Constant at the ≥50% affordability price.
+    MedC,
+    /// Revenue-optimal constant.
+    OptC,
+}
+
+impl BaselineKind {
+    /// All four baselines in the paper's presentation order.
+    pub const ALL: [BaselineKind; 4] = [
+        BaselineKind::Lin,
+        BaselineKind::MaxC,
+        BaselineKind::MedC,
+        BaselineKind::OptC,
+    ];
+
+    /// Display name as used in the figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BaselineKind::Lin => "Lin",
+            BaselineKind::MaxC => "MaxC",
+            BaselineKind::MedC => "MedC",
+            BaselineKind::OptC => "OptC",
+        }
+    }
+}
+
+/// A fitted baseline: its pricing function and per-point prices.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    /// Which strategy produced this.
+    pub kind: BaselineKind,
+    /// Prices at the problem's points, aligned with `problem.points()`.
+    pub prices: Vec<f64>,
+}
+
+impl Baseline {
+    /// Fits the given baseline to a revenue problem.
+    pub fn fit(kind: BaselineKind, problem: &RevenueProblem) -> Result<Baseline> {
+        let pts = problem.points();
+        let prices = match kind {
+            BaselineKind::Lin => {
+                let first = pts.first().expect("non-empty problem");
+                let last = pts.last().expect("non-empty problem");
+                if pts.len() == 1 {
+                    vec![first.v]
+                } else {
+                    let line =
+                        LinearPricing::through(first.a, first.v, last.a, last.v)?;
+                    pts.iter()
+                        .map(|p| line.price_at_raw(p.a))
+                        .collect()
+                }
+            }
+            BaselineKind::MaxC => {
+                let max_v = pts.iter().map(|p| p.v).fold(0.0, f64::max);
+                vec![max_v; pts.len()]
+            }
+            BaselineKind::MedC => {
+                let price = median_affordable_price(problem);
+                vec![price; pts.len()]
+            }
+            BaselineKind::OptC => {
+                let price = optimal_constant_price(problem)?;
+                vec![price; pts.len()]
+            }
+        };
+        Ok(Baseline { kind, prices })
+    }
+
+    /// Fits all four baselines.
+    pub fn fit_all(problem: &RevenueProblem) -> Result<Vec<Baseline>> {
+        BaselineKind::ALL
+            .iter()
+            .map(|&k| Baseline::fit(k, problem))
+            .collect()
+    }
+}
+
+/// Extension trait: evaluate a [`LinearPricing`] at a raw `f64` without
+/// building an `InverseNcp` (baseline-internal convenience; panics only on
+/// non-positive input, which problem validation precludes).
+trait PriceAtRaw {
+    fn price_at_raw(&self, x: f64) -> f64;
+}
+
+impl PriceAtRaw for LinearPricing {
+    fn price_at_raw(&self, x: f64) -> f64 {
+        self.price(nimbus_core::InverseNcp::new(x).expect("validated parameter"))
+    }
+}
+
+/// The largest constant price at which at least half the demand mass can
+/// afford a model instance. With a constant price `p`, buyer group `j`
+/// affords iff `p ≤ v_j`; affordability is the mass of groups with
+/// `v_j ≥ p`, maximized subject to staying ≥ 50%.
+fn median_affordable_price(problem: &RevenueProblem) -> f64 {
+    let total = problem.total_demand();
+    if total == 0.0 {
+        return 0.0;
+    }
+    // Valuations sorted descending with their masses; accumulate from the
+    // top until reaching half the total mass.
+    let mut pairs: Vec<(f64, f64)> = problem.points().iter().map(|p| (p.v, p.b)).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut mass = 0.0;
+    for (v, b) in pairs {
+        mass += b;
+        if mass >= total / 2.0 {
+            return v;
+        }
+    }
+    // Fewer than half can ever afford anything positive: price at the
+    // minimum valuation so everyone can buy.
+    problem
+        .points()
+        .iter()
+        .map(|p| p.v)
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// The revenue-optimal constant price: some valuation `v_j` always attains
+/// the optimum, so only `n` candidates need checking.
+fn optimal_constant_price(problem: &RevenueProblem) -> Result<f64> {
+    let mut best_price = 0.0;
+    let mut best_revenue = -1.0;
+    for candidate in problem.valuations() {
+        let prices = vec![candidate; problem.len()];
+        let r = revenue(&prices, problem)?;
+        if r > best_revenue {
+            best_revenue = r;
+            best_price = candidate;
+        }
+    }
+    Ok(best_price)
+}
+
+/// Fits every baseline and returns `(name, prices, revenue)` rows for
+/// report tables.
+pub fn baseline_report(problem: &RevenueProblem) -> Result<Vec<(&'static str, Vec<f64>, f64)>> {
+    Baseline::fit_all(problem)?
+        .into_iter()
+        .map(|b| {
+            let r = revenue(&b.prices, problem)?;
+            Ok((b.kind.name(), b.prices, r))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::affordability_ratio;
+
+    fn problem() -> RevenueProblem {
+        RevenueProblem::figure5_example()
+    }
+
+    #[test]
+    fn lin_interpolates_endpoints() {
+        let b = Baseline::fit(BaselineKind::Lin, &problem()).unwrap();
+        // Line through (1, 100) and (4, 350): slope 83.33, v(2)=183.3,
+        // v(3)=266.7.
+        assert!((b.prices[0] - 100.0).abs() < 1e-9);
+        assert!((b.prices[3] - 350.0).abs() < 1e-9);
+        assert!((b.prices[1] - 550.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lin_loses_revenue_on_convex_curves() {
+        // Convex value curve: the line overshoots mid-market valuations, so
+        // those buyers walk away (the §6.2 observation).
+        let p = RevenueProblem::from_slices(
+            &[1.0, 2.0, 3.0, 4.0],
+            &[1.0; 4],
+            &[10.0, 12.0, 20.0, 100.0], // convex-ish
+        )
+        .unwrap();
+        let lin = Baseline::fit(BaselineKind::Lin, &p).unwrap();
+        let r = revenue(&lin.prices, &p).unwrap();
+        let aff = affordability_ratio(&lin.prices, &p).unwrap();
+        // The clamped line (p(x) = 30x here) prices every mid-market buyer
+        // out; revenue and affordability collapse relative to the total
+        // valuation mass of 142.
+        assert!(r < 50.0, "lin revenue {r}");
+        assert!(aff <= 0.5, "lin affordability {aff}");
+        // And the DP (which tracks the curve) strictly dominates it.
+        let dp = crate::dp::solve_revenue_dp(&p).unwrap();
+        assert!(dp.revenue > r + 10.0, "dp {} vs lin {r}", dp.revenue);
+    }
+
+    #[test]
+    fn maxc_only_richest_buy() {
+        let b = Baseline::fit(BaselineKind::MaxC, &problem()).unwrap();
+        assert_eq!(b.prices, vec![350.0; 4]);
+        let r = revenue(&b.prices, &problem()).unwrap();
+        assert!((r - 0.25 * 350.0).abs() < 1e-9);
+        let aff = affordability_ratio(&b.prices, &problem()).unwrap();
+        assert_eq!(aff, 0.25);
+    }
+
+    #[test]
+    fn medc_reaches_half_the_market() {
+        let b = Baseline::fit(BaselineKind::MedC, &problem()).unwrap();
+        // Masses are equal; descending valuations 350, 280, 150, 100 —
+        // half the mass is reached at 280.
+        assert_eq!(b.prices[0], 280.0);
+        let aff = affordability_ratio(&b.prices, &problem()).unwrap();
+        assert!(aff >= 0.5);
+    }
+
+    #[test]
+    fn optc_maximizes_over_constants() {
+        let p = problem();
+        let b = Baseline::fit(BaselineKind::OptC, &p).unwrap();
+        let r_opt = revenue(&b.prices, &p).unwrap();
+        for candidate in p.valuations() {
+            let r = revenue(&[candidate; 4], &p).unwrap();
+            assert!(r_opt >= r - 1e-9);
+        }
+        // On Figure 5: price 280 sells to {280, 350} → 0.25·2·280 = 140;
+        // price 150 sells to 3 groups → 112.5; price 350 → 87.5;
+        // price 100 → 100. OptC = 280.
+        assert_eq!(b.prices[0], 280.0);
+        assert!((r_opt - 140.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_baselines_fit_and_report() {
+        let rows = baseline_report(&problem()).unwrap();
+        assert_eq!(rows.len(), 4);
+        let names: Vec<&str> = rows.iter().map(|r| r.0).collect();
+        assert_eq!(names, vec!["Lin", "MaxC", "MedC", "OptC"]);
+        for (_, prices, r) in &rows {
+            assert_eq!(prices.len(), 4);
+            assert!(*r >= 0.0);
+        }
+    }
+
+    #[test]
+    fn single_point_baselines() {
+        let p = RevenueProblem::from_slices(&[2.0], &[1.0], &[9.0]).unwrap();
+        for kind in BaselineKind::ALL {
+            let b = Baseline::fit(kind, &p).unwrap();
+            assert_eq!(b.prices.len(), 1);
+            assert!((b.prices[0] - 9.0).abs() < 1e-9, "{:?}", kind);
+        }
+    }
+
+    #[test]
+    fn medc_with_zero_demand() {
+        let p = RevenueProblem::from_slices(&[1.0, 2.0], &[0.0, 0.0], &[5.0, 6.0]).unwrap();
+        let b = Baseline::fit(BaselineKind::MedC, &p).unwrap();
+        assert_eq!(b.prices[0], 0.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Algorithm 1: the O(n²) dynamic program for revenue maximization.
+//!
+//! Solves the relaxed program (5) — maximize `T_BV(z) = Σ b_j z_j 1[z_j ≤
+//! v_j]` subject to `z` non-decreasing, `z_j/a_j` non-increasing, `z ≥ 0` —
+//! *exactly*, in `O(n²)` time and space (Theorem 13).
+//!
+//! The recursion of §5.3: `OPT(k, Δ)` is the best revenue from points
+//! `k..n` when every unit price `z_j/a_j` is capped at `Δ`. Only `n+1`
+//! values of `Δ` ever arise — `{v_1/a_1, …, v_n/a_n, +∞}` — because caps are
+//! introduced exclusively when some point `k` is priced exactly at its
+//! valuation (`Δ := v_k/a_k`). At each `(k, Δ)`:
+//!
+//! * if `a_k·Δ ≤ v_k`, the unique optimum prices `z_k = Δ·a_k` (Lemma 11);
+//! * otherwise the solver branches (Lemma 12): either *cap* — sell to `k` at
+//!   `z_k = v_k`, tightening the cap to `v_k/a_k` — or *skip* — price `k`
+//!   out of reach, inheriting the unit price of `k+1`.
+
+use crate::objective::revenue;
+use crate::problem::RevenueProblem;
+use crate::Result;
+
+/// Output of the revenue DP.
+#[derive(Debug, Clone)]
+pub struct DpSolution {
+    /// Optimal prices `z_j = p(a_j)`, aligned with the problem's sorted
+    /// points. Feasible for the relaxed program (5), hence arbitrage-free.
+    pub prices: Vec<f64>,
+    /// The achieved revenue `T_BV(z)`.
+    pub revenue: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Choice {
+    /// `a_k·Δ ≤ v_k`: price at the cap, `z_k = Δ·a_k`.
+    Follow,
+    /// Price at the valuation, introducing cap `v_k/a_k`.
+    Cap,
+    /// Price point `k` out of reach (same unit price as `k+1`).
+    Skip,
+}
+
+/// Solves the relaxed revenue-maximization program exactly (Algorithm 1).
+pub fn solve_revenue_dp(problem: &RevenueProblem) -> Result<DpSolution> {
+    solve_revenue_dp_with_sale_bonus(problem, 0.0)
+}
+
+/// Algorithm 1 with a generalized objective `Σ b_j (z_j + bonus) 1[z_j ≤
+/// v_j]`: each completed sale earns a flat `bonus` on top of the price.
+///
+/// `bonus = 0` recovers the paper's `T_BV`. A positive bonus rewards
+/// *serving* a buyer group independently of the price, which is exactly a
+/// Lagrangian relaxation of an affordability (fairness) floor — the future
+/// work the paper's §6.3/§7 point to. See [`crate::fairness`] for the
+/// frontier sweep built on top of this.
+///
+/// The Lemma 11/12 structure is unchanged: conditional on selling to a
+/// group, the reward is still strictly increasing in the price, and the
+/// branch comparison only gains a constant `b_k·bonus` on the sell side, so
+/// the same `n+1` cap values and the same recursion remain exact.
+pub fn solve_revenue_dp_with_sale_bonus(
+    problem: &RevenueProblem,
+    bonus: f64,
+) -> Result<DpSolution> {
+    assert!(
+        bonus >= 0.0 && bonus.is_finite(),
+        "sale bonus must be non-negative and finite"
+    );
+    let pts = problem.points();
+    let n = pts.len();
+    // Δ candidates: v_j/a_j for each j, plus +∞ at index n.
+    let mut delta_set: Vec<f64> = pts.iter().map(|p| p.v / p.a).collect();
+    delta_set.push(f64::INFINITY);
+    let m = delta_set.len();
+
+    // opt[k][di], price[k][di], choice[k][di]; k in 0..n, di in 0..m.
+    let mut opt = vec![vec![0.0f64; m]; n];
+    let mut price = vec![vec![0.0f64; m]; n];
+    let mut choice = vec![vec![Choice::Follow; m]; n];
+
+    // Base case: the last point takes the highest affordable price.
+    let last = &pts[n - 1];
+    for (di, &delta) in delta_set.iter().enumerate() {
+        let capped = if delta.is_infinite() {
+            last.v
+        } else {
+            last.v.min(delta * last.a)
+        };
+        price[n - 1][di] = capped;
+        opt[n - 1][di] = last.b * (capped + bonus);
+        choice[n - 1][di] = if capped < last.v {
+            Choice::Follow
+        } else {
+            Choice::Cap
+        };
+    }
+
+    // Backward induction.
+    for k in (0..n.saturating_sub(1)).rev() {
+        let p = &pts[k];
+        for di in 0..m {
+            let delta = delta_set[di];
+            let cap_price = if delta.is_infinite() {
+                f64::INFINITY
+            } else {
+                delta * p.a
+            };
+            if cap_price <= p.v {
+                // Lemma 11: price exactly at the cap.
+                price[k][di] = cap_price;
+                opt[k][di] = p.b * (cap_price + bonus) + opt[k + 1][di];
+                choice[k][di] = Choice::Follow;
+            } else {
+                // Lemma 12: cap at valuation or skip this buyer group.
+                let opt_cap = p.b * (p.v + bonus) + opt[k + 1][k];
+                let opt_skip = opt[k + 1][di];
+                if opt_cap > opt_skip {
+                    price[k][di] = p.v;
+                    opt[k][di] = opt_cap;
+                    choice[k][di] = Choice::Cap;
+                } else {
+                    // Inherit the (k+1) unit price so the relaxed
+                    // subadditive chain stays intact.
+                    price[k][di] = price[k + 1][di] * p.a / pts[k + 1].a;
+                    opt[k][di] = opt_skip;
+                    choice[k][di] = Choice::Skip;
+                }
+            }
+        }
+    }
+
+    // Forward reconstruction from (k = 0, Δ = +∞).
+    let mut prices = Vec::with_capacity(n);
+    let mut di = m - 1;
+    for k in 0..n {
+        prices.push(price[k][di]);
+        if choice[k][di] == Choice::Cap && k < n - 1 {
+            di = k; // Δ := v_k / a_k
+        }
+    }
+
+    let achieved = revenue(&prices, problem)?;
+    #[cfg(debug_assertions)]
+    {
+        let served_mass: f64 = prices
+            .iter()
+            .zip(pts)
+            .map(|(&z, p)| if z <= p.v { p.b } else { 0.0 })
+            .sum();
+        let objective = achieved + bonus * served_mass;
+        debug_assert!(
+            (objective - opt[0][m - 1]).abs() <= 1e-9 * (1.0 + objective.abs()),
+            "reconstructed objective {objective} disagrees with DP value {}",
+            opt[0][m - 1]
+        );
+    }
+    Ok(DpSolution {
+        prices,
+        revenue: achieved,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{affordability_ratio, satisfies_relaxed_constraints};
+    use crate::problem::RevenueProblem;
+
+    #[test]
+    fn figure5_example_matches_hand_computation() {
+        // Worked through Lemma 11/12 by hand: prices (100, 150, 225, 300),
+        // revenue 0.25·(100+150+225+300) = 193.75.
+        let problem = RevenueProblem::figure5_example();
+        let sol = solve_revenue_dp(&problem).unwrap();
+        assert_eq!(sol.prices, vec![100.0, 150.0, 225.0, 300.0]);
+        assert!((sol.revenue - 193.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solution_is_relaxed_feasible() {
+        let problem = RevenueProblem::figure5_example();
+        let sol = solve_revenue_dp(&problem).unwrap();
+        assert!(satisfies_relaxed_constraints(
+            &sol.prices,
+            &problem.parameters(),
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn single_point_takes_valuation() {
+        let problem = RevenueProblem::from_slices(&[2.0], &[3.0], &[50.0]).unwrap();
+        let sol = solve_revenue_dp(&problem).unwrap();
+        assert_eq!(sol.prices, vec![50.0]);
+        assert_eq!(sol.revenue, 150.0);
+    }
+
+    #[test]
+    fn zero_valuations_give_zero_revenue() {
+        let problem =
+            RevenueProblem::from_slices(&[1.0, 2.0], &[1.0, 1.0], &[0.0, 0.0]).unwrap();
+        let sol = solve_revenue_dp(&problem).unwrap();
+        assert_eq!(sol.revenue, 0.0);
+        assert!(sol.prices.iter().all(|&z| z == 0.0));
+    }
+
+    #[test]
+    fn linear_valuations_are_fully_extracted() {
+        // v_j = c·a_j is itself relaxed-feasible: the DP extracts it all.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let v: Vec<f64> = a.iter().map(|x| 10.0 * x).collect();
+        let problem = RevenueProblem::from_slices(&a, &[1.0; 4], &v).unwrap();
+        let sol = solve_revenue_dp(&problem).unwrap();
+        assert_eq!(sol.prices, v);
+        assert!((sol.revenue - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concave_valuations_are_fully_extracted() {
+        // A concave valuation curve has decreasing unit values, so pricing
+        // at valuation is feasible (§6.2: "a concave function is also a
+        // subadditive function and thus MBP can match exactly the value
+        // curve").
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let v = [40.0, 70.0, 90.0, 100.0]; // v/a = 40, 35, 30, 25 decreasing
+        let problem = RevenueProblem::from_slices(&a, &[1.0; 4], &v).unwrap();
+        let sol = solve_revenue_dp(&problem).unwrap();
+        assert_eq!(sol.prices, v.to_vec());
+        assert!((sol.revenue - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dp_is_optimal_versus_exhaustive_grid_search() {
+        // Tiny instances, exhaustively search relaxed-feasible price grids.
+        let instances = vec![
+            RevenueProblem::from_slices(&[1.0, 2.0, 3.0], &[1.0, 2.0, 1.0], &[4.0, 5.0, 9.0])
+                .unwrap(),
+            RevenueProblem::from_slices(&[1.0, 2.0, 3.0], &[1.0, 1.0, 1.0], &[2.0, 8.0, 9.0])
+                .unwrap(),
+            RevenueProblem::from_slices(&[1.0, 3.0, 4.0], &[0.5, 1.0, 2.0], &[3.0, 3.0, 12.0])
+                .unwrap(),
+        ];
+        for problem in instances {
+            let sol = solve_revenue_dp(&problem).unwrap();
+            // Exhaustive: prices from a fine grid 0..=max_v step 0.25.
+            let a = problem.parameters();
+            let vmax = problem.valuations().last().copied().unwrap();
+            let steps = (vmax / 0.25) as usize + 1;
+            let grid: Vec<f64> = (0..=steps).map(|i| i as f64 * 0.25).collect();
+            let mut best = 0.0f64;
+            for &z1 in &grid {
+                for &z2 in &grid {
+                    for &z3 in &grid {
+                        let z = [z1, z2, z3];
+                        if satisfies_relaxed_constraints(&z, &a, 1e-12) {
+                            let r = revenue(&z, &problem).unwrap();
+                            best = best.max(r);
+                        }
+                    }
+                }
+            }
+            assert!(
+                sol.revenue >= best - 1e-9,
+                "dp {} below grid optimum {} for {:?}",
+                sol.revenue,
+                best,
+                problem
+            );
+        }
+    }
+
+    #[test]
+    fn dp_beats_or_matches_any_constant_price() {
+        let problem = RevenueProblem::figure5_example();
+        let sol = solve_revenue_dp(&problem).unwrap();
+        for &v in &problem.valuations() {
+            let constant = vec![v; problem.len()];
+            let r = revenue(&constant, &problem).unwrap();
+            assert!(sol.revenue >= r - 1e-9, "constant {v} beats DP");
+        }
+    }
+
+    #[test]
+    fn affordability_of_dp_solution_is_full_on_figure5() {
+        // On Figure 5 the DP prices every point at or below its valuation.
+        let problem = RevenueProblem::figure5_example();
+        let sol = solve_revenue_dp(&problem).unwrap();
+        let aff = affordability_ratio(&sol.prices, &problem).unwrap();
+        assert_eq!(aff, 1.0);
+    }
+
+    #[test]
+    fn large_instance_runs_fast_and_feasible() {
+        // 400 points: O(n²) must stay well under a second.
+        let n = 400;
+        let a: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+        let v: Vec<f64> = a.iter().map(|x| 10.0 * x.sqrt()).collect(); // concave
+        let b = vec![1.0; n];
+        let problem = RevenueProblem::from_slices(&a, &b, &v).unwrap();
+        let sol = solve_revenue_dp(&problem).unwrap();
+        assert!(satisfies_relaxed_constraints(&sol.prices, &a, 1e-6));
+        // Concave curve: full extraction.
+        let total: f64 = v.iter().sum();
+        assert!((sol.revenue - total).abs() < 1e-6 * total);
+    }
+}

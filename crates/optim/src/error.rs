@@ -1,0 +1,112 @@
+//! Error type for the revenue optimizer.
+
+use std::fmt;
+
+/// Errors produced by the `nimbus-optim` crate.
+#[derive(Debug)]
+pub enum OptimError {
+    /// A problem instance had no points.
+    EmptyProblem,
+    /// A point's field was invalid.
+    InvalidPoint {
+        /// Index of the offending point (after sorting by `a`).
+        index: usize,
+        /// Which field failed validation.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Two points share the same inverse-NCP coordinate.
+    DuplicateParameter {
+        /// The duplicated `a` value.
+        a: f64,
+    },
+    /// The revenue DP requires valuations monotone non-decreasing in `a`
+    /// (the paper's standing assumption in §5.3); the instance violates it.
+    NonMonotoneValuations {
+        /// Index where `v` decreased.
+        index: usize,
+    },
+    /// The brute-force solver refuses instances that would blow up.
+    TooLarge {
+        /// Number of points supplied.
+        n: usize,
+        /// The solver's hard limit.
+        limit: usize,
+    },
+    /// The inputs could not be scaled to a common integer grid for the
+    /// exact covering DP.
+    NotGridRational,
+    /// Length mismatch between prices and problem points.
+    LengthMismatch {
+        /// Number of prices supplied.
+        prices: usize,
+        /// Number of points in the problem.
+        points: usize,
+    },
+    /// Underlying core error.
+    Core(nimbus_core::CoreError),
+}
+
+impl fmt::Display for OptimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimError::EmptyProblem => write!(f, "problem has no price points"),
+            OptimError::InvalidPoint {
+                index,
+                field,
+                value,
+            } => write!(f, "invalid {field} = {value} at point {index}"),
+            OptimError::DuplicateParameter { a } => {
+                write!(f, "duplicate inverse-NCP parameter {a}")
+            }
+            OptimError::NonMonotoneValuations { index } => write!(
+                f,
+                "valuations must be non-decreasing in the inverse NCP; violated at index {index}"
+            ),
+            OptimError::TooLarge { n, limit } => write!(
+                f,
+                "brute-force solver limited to {limit} points, got {n}"
+            ),
+            OptimError::NotGridRational => write!(
+                f,
+                "points cannot be scaled to a common integer grid for exact covering"
+            ),
+            OptimError::LengthMismatch { prices, points } => {
+                write!(f, "{prices} prices supplied for {points} points")
+            }
+            OptimError::Core(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OptimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OptimError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nimbus_core::CoreError> for OptimError {
+    fn from(e: nimbus_core::CoreError) -> Self {
+        OptimError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(OptimError::EmptyProblem.to_string().contains("no price"));
+        assert!(OptimError::TooLarge { n: 30, limit: 24 }
+            .to_string()
+            .contains("24"));
+        assert!(OptimError::NonMonotoneValuations { index: 2 }
+            .to_string()
+            .contains("index 2"));
+    }
+}

@@ -1,0 +1,155 @@
+//! The SUBADDITIVE INTERPOLATION decision problem (Definition 6).
+//!
+//! *Given points `(a_j, P_j)`, does a positive, monotone, subadditive
+//! function `p` with `p(a_j) = P_j` exist?* Theorem 7 proves this coNP-hard
+//! in general via a reduction from UNBOUNDED SUBSET-SUM; for grid-rational
+//! inputs (all `a_j` on a common decimal grid — every instance in the
+//! paper's experiments) it is decided exactly here in pseudo-polynomial
+//! time via the *min-cost closure* characterization used inside the
+//! theorem's own proof:
+//!
+//! Let `µ(x) = min { Σ k_j P_j : k_j ∈ ℕ, Σ k_j a_j ≥ x }` (min-cost
+//! unbounded covering, which is automatically positive, monotone and
+//! subadditive, and satisfies `µ(a_j) ≤ P_j`). An interpolant exists iff
+//! `µ(a_j) ≥ P_j` for every `j` — in which case `µ` itself interpolates.
+
+use crate::milp::{integer_units, min_cost_covering};
+use crate::problem::InterpolationProblem;
+use crate::Result;
+
+/// Decides SUBADDITIVE INTERPOLATION for grid-rational instances.
+///
+/// Returns `Ok(true)` iff some positive monotone subadditive function passes
+/// through every `(a_j, P_j)`. Errors with
+/// [`crate::OptimError::NotGridRational`] when the `a_j` cannot be scaled to
+/// a common integer grid.
+pub fn subadditive_interpolation_feasible(problem: &InterpolationProblem) -> Result<bool> {
+    let a = problem.parameters();
+    let targets = problem.targets();
+    let units = integer_units(&a)?;
+    let max_units = *units.iter().max().expect("non-empty problem");
+    let items: Vec<(usize, f64)> = units.iter().copied().zip(targets.iter().copied()).collect();
+    let closure = min_cost_covering(&items, max_units);
+    for (&u, &p) in units.iter().zip(&targets) {
+        // µ(a_j) ≤ P_j always (the point covers itself); strict < means some
+        // combination undercuts the target and no interpolant exists.
+        if closure[u] < p - 1e-9 * p.max(1.0) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// UNBOUNDED SUBSET-SUM: can `target` be written as `Σ k_i w_i` with
+/// non-negative integers `k_i`? This is the NP-hard problem Theorem 7
+/// reduces from; exposed for the reduction round-trip tests.
+pub fn unbounded_subset_sum(weights: &[u64], target: u64) -> bool {
+    if target == 0 {
+        return true;
+    }
+    let mut reachable = vec![false; (target + 1) as usize];
+    reachable[0] = true;
+    for t in 1..=target {
+        for &w in weights {
+            if w != 0 && w <= t && reachable[(t - w) as usize] {
+                reachable[t as usize] = true;
+                break;
+            }
+        }
+    }
+    reachable[target as usize]
+}
+
+/// Builds the Theorem 7 reduction instance: weights `w_1 < … < w_n < K`
+/// become points `(w_j, w_j)` plus the probe point `(K, K + 1/2)`. The
+/// interpolation is feasible iff **no** unbounded subset sum hits `K`.
+pub fn theorem7_reduction(weights: &[u64], k: u64) -> Result<InterpolationProblem> {
+    let mut pts: Vec<(f64, f64)> = weights
+        .iter()
+        .map(|&w| (w as f64, w as f64))
+        .collect();
+    pts.push((k as f64, k as f64 + 0.5));
+    InterpolationProblem::new(pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_points_are_feasible() {
+        // P_j = a_j is the subadditive function p(x) = x restricted to the
+        // grid: always feasible.
+        let p = InterpolationProblem::new(vec![(1.0, 1.0), (2.0, 2.0), (5.0, 5.0)]).unwrap();
+        assert!(subadditive_interpolation_feasible(&p).unwrap());
+    }
+
+    #[test]
+    fn superadditive_points_are_infeasible() {
+        // P(2) = 5 > 2·P(1): two copies of the 1-point undercut it.
+        let p = InterpolationProblem::new(vec![(1.0, 2.0), (2.0, 5.0)]).unwrap();
+        assert!(!subadditive_interpolation_feasible(&p).unwrap());
+    }
+
+    #[test]
+    fn boundary_subadditive_points_are_feasible() {
+        // P(2) = exactly 2·P(1): feasible (subadditivity is non-strict).
+        let p = InterpolationProblem::new(vec![(1.0, 2.0), (2.0, 4.0)]).unwrap();
+        assert!(subadditive_interpolation_feasible(&p).unwrap());
+    }
+
+    #[test]
+    fn decreasing_prices_are_infeasible() {
+        // Monotonicity violated: the cheap accurate point undercuts the
+        // expensive coarse one through the covering (a=3 covers a=2).
+        let p = InterpolationProblem::new(vec![(2.0, 10.0), (3.0, 4.0)]).unwrap();
+        assert!(!subadditive_interpolation_feasible(&p).unwrap());
+    }
+
+    #[test]
+    fn unbounded_subset_sum_basics() {
+        assert!(unbounded_subset_sum(&[3, 5], 8));
+        assert!(unbounded_subset_sum(&[3, 5], 9));
+        assert!(unbounded_subset_sum(&[3, 5], 0));
+        assert!(!unbounded_subset_sum(&[3, 5], 4));
+        assert!(!unbounded_subset_sum(&[3, 5], 7));
+        assert!(!unbounded_subset_sum(&[2, 4], 5));
+        assert!(!unbounded_subset_sum(&[], 3));
+    }
+
+    #[test]
+    fn theorem7_reduction_round_trip() {
+        // Feasible interpolation ⟺ no subset sum equals K.
+        let cases: Vec<(Vec<u64>, u64)> = vec![
+            (vec![3, 5], 7),  // no sum = 7 → feasible
+            (vec![3, 5], 8),  // 3+5 = 8 → infeasible
+            (vec![2, 4], 9),  // parity blocks 9 → feasible
+            (vec![2, 3], 12), // 4·3 or 6·2 → infeasible
+        ];
+        for (weights, k) in cases {
+            let has_sum = unbounded_subset_sum(&weights, k);
+            let problem = theorem7_reduction(&weights, k).unwrap();
+            let feasible = subadditive_interpolation_feasible(&problem).unwrap();
+            assert_eq!(
+                feasible, !has_sum,
+                "weights {weights:?}, K={k}: sum={has_sum}, feasible={feasible}"
+            );
+        }
+    }
+
+    #[test]
+    fn irrational_grid_is_rejected() {
+        let p = InterpolationProblem::new(vec![
+            (std::f64::consts::SQRT_2, 1.0),
+            (2.0, 2.0),
+        ])
+        .unwrap();
+        assert!(subadditive_interpolation_feasible(&p).is_err());
+    }
+
+    #[test]
+    fn single_point_always_feasible() {
+        let p = InterpolationProblem::new(vec![(3.0, 42.0)]).unwrap();
+        assert!(subadditive_interpolation_feasible(&p).unwrap());
+    }
+}

@@ -1,0 +1,56 @@
+//! Revenue optimization for model-based pricing (Section 5 of the paper).
+//!
+//! The seller fixes `n` versions of the model at inverse-NCP points
+//! `a_1 < … < a_n`, with market research supplying per-version demand mass
+//! `b_j` and buyer valuation `v_j`. The broker must choose prices
+//! `z_j = p(a_j)` that extend to a *well-behaved* (arbitrage-free +
+//! non-negative) pricing function while maximizing an objective.
+//!
+//! The exact problem (3) — maximize over all monotone subadditive `p` — is
+//! coNP-hard (Theorem 7, by reduction from UNBOUNDED SUBSET-SUM). The paper
+//! relaxes subadditivity to the *decreasing unit price* constraint
+//! `z_j / a_j` non-increasing (program (5)), which loses at most a factor 2
+//! in revenue (Proposition 3) and at most `Σ T_i(0)/2` additively for
+//! concave interpolation objectives (Proposition 2). This crate implements:
+//!
+//! * [`problem`] — validated problem instances ([`problem::PricePoint`],
+//!   [`problem::RevenueProblem`], [`problem::InterpolationProblem`]).
+//! * [`objective`] — revenue `T_BV`, affordability ratio, and the
+//!   interpolation objectives `T²_PI`, `T∞_PI`.
+//! * [`dp`] — **Algorithm 1**: the `O(n²)` dynamic program solving the
+//!   relaxed revenue problem exactly.
+//! * [`milp`] — **Algorithm 2**: the exponential brute force over "active"
+//!   valuation sets with an unbounded min-cost covering inner DP, computing
+//!   the true subadditive optimum (the paper's MILP reference).
+//! * [`baselines`] — the four §6.2 comparison strategies: Lin, MaxC, MedC,
+//!   OptC.
+//! * [`interpolation`] — price interpolation under the relaxed constraints:
+//!   exact `T²_PI` via Dykstra's alternating projections between isotonic
+//!   cones (PAV inside), and a projected-subgradient `T∞_PI` solver.
+//! * [`feasibility`] — the SUBADDITIVE INTERPOLATION decision problem
+//!   (Definition 6), decided exactly for grid-rational inputs via the
+//!   min-cost-closure characterization used in Theorem 7's proof.
+//! * [`fairness`] — the revenue↔affordability trade-off the paper leaves
+//!   as future work, solved exactly per scalarization by a Lagrangian
+//!   per-sale bonus inside the same `O(n²)` DP.
+
+pub mod baselines;
+pub mod fairness;
+pub mod dp;
+pub mod error;
+pub mod feasibility;
+pub mod interpolation;
+pub mod milp;
+pub mod objective;
+pub mod problem;
+
+pub use baselines::{Baseline, BaselineKind};
+pub use dp::{solve_revenue_dp, solve_revenue_dp_with_sale_bonus};
+pub use fairness::{fairness_frontier, maximize_revenue_with_affordability_floor, FrontierPoint};
+pub use error::OptimError;
+pub use milp::solve_revenue_brute_force;
+pub use objective::{affordability_ratio, revenue, tpi_l1, tpi_l2};
+pub use problem::{InterpolationProblem, PricePoint, RevenueProblem};
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, OptimError>;

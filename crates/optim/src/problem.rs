@@ -1,0 +1,284 @@
+//! Problem instances for the revenue optimizer.
+
+use crate::{OptimError, Result};
+
+/// One version on sale: the inverse-NCP parameter `a`, the demand mass `b`
+/// ("how many buyers want exactly this version") and the buyer valuation `v`
+/// ("the most those buyers will pay").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PricePoint {
+    /// Inverse NCP `a > 0` of this version (larger = more accurate).
+    pub a: f64,
+    /// Non-negative demand mass `b`.
+    pub b: f64,
+    /// Non-negative buyer valuation `v`.
+    pub v: f64,
+}
+
+impl PricePoint {
+    /// Creates a validated point.
+    pub fn new(a: f64, b: f64, v: f64) -> Result<Self> {
+        if !(a.is_finite() && a > 0.0) {
+            return Err(OptimError::InvalidPoint {
+                index: 0,
+                field: "a",
+                value: a,
+            });
+        }
+        if !(b.is_finite() && b >= 0.0) {
+            return Err(OptimError::InvalidPoint {
+                index: 0,
+                field: "b",
+                value: b,
+            });
+        }
+        if !(v.is_finite() && v >= 0.0) {
+            return Err(OptimError::InvalidPoint {
+                index: 0,
+                field: "v",
+                value: v,
+            });
+        }
+        Ok(PricePoint { a, b, v })
+    }
+}
+
+/// A revenue-maximization instance: points sorted by `a`, with valuations
+/// non-decreasing in `a` (the §5.3 assumption: buyers value accuracy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RevenueProblem {
+    points: Vec<PricePoint>,
+}
+
+impl RevenueProblem {
+    /// Builds a problem from unsorted points. Sorts by `a`, then validates
+    /// fields, uniqueness of `a` and monotonicity of `v`.
+    pub fn new(mut points: Vec<PricePoint>) -> Result<Self> {
+        if points.is_empty() {
+            return Err(OptimError::EmptyProblem);
+        }
+        points.sort_by(|p, q| p.a.partial_cmp(&q.a).unwrap_or(std::cmp::Ordering::Equal));
+        for (i, p) in points.iter().enumerate() {
+            if !(p.a.is_finite() && p.a > 0.0) {
+                return Err(OptimError::InvalidPoint {
+                    index: i,
+                    field: "a",
+                    value: p.a,
+                });
+            }
+            if !(p.b.is_finite() && p.b >= 0.0) {
+                return Err(OptimError::InvalidPoint {
+                    index: i,
+                    field: "b",
+                    value: p.b,
+                });
+            }
+            if !(p.v.is_finite() && p.v >= 0.0) {
+                return Err(OptimError::InvalidPoint {
+                    index: i,
+                    field: "v",
+                    value: p.v,
+                });
+            }
+            if i > 0 {
+                if points[i - 1].a == p.a {
+                    return Err(OptimError::DuplicateParameter { a: p.a });
+                }
+                if points[i - 1].v > p.v {
+                    return Err(OptimError::NonMonotoneValuations { index: i });
+                }
+            }
+        }
+        Ok(RevenueProblem { points })
+    }
+
+    /// Builds a problem from parallel `(a, b, v)` slices.
+    pub fn from_slices(a: &[f64], b: &[f64], v: &[f64]) -> Result<Self> {
+        if a.len() != b.len() || a.len() != v.len() {
+            return Err(OptimError::LengthMismatch {
+                prices: b.len(),
+                points: a.len(),
+            });
+        }
+        let points = a
+            .iter()
+            .zip(b)
+            .zip(v)
+            .map(|((&a, &b), &v)| PricePoint { a, b, v })
+            .collect();
+        RevenueProblem::new(points)
+    }
+
+    /// The points, sorted by `a`.
+    pub fn points(&self) -> &[PricePoint] {
+        &self.points
+    }
+
+    /// Number of versions.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the problem is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The `a` coordinates.
+    pub fn parameters(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.a).collect()
+    }
+
+    /// The valuations.
+    pub fn valuations(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.v).collect()
+    }
+
+    /// The demand masses.
+    pub fn demands(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.b).collect()
+    }
+
+    /// Total demand mass `Σ b_j`.
+    pub fn total_demand(&self) -> f64 {
+        self.points.iter().map(|p| p.b).sum()
+    }
+
+    /// The paper's Figure 5 worked example: `a = (1,2,3,4)`, `b = 0.25`
+    /// each, `v = (100, 150, 280, 350)`.
+    pub fn figure5_example() -> RevenueProblem {
+        RevenueProblem::from_slices(
+            &[1.0, 2.0, 3.0, 4.0],
+            &[0.25; 4],
+            &[100.0, 150.0, 280.0, 350.0],
+        )
+        .expect("the Figure 5 instance is valid")
+    }
+}
+
+/// A price-interpolation instance: target prices `P_j` at parameters `a_j`
+/// (Section 5's first scenario).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterpolationProblem {
+    /// `(a_j, P_j)` pairs sorted by `a_j`.
+    points: Vec<(f64, f64)>,
+}
+
+impl InterpolationProblem {
+    /// Builds an instance; sorts by `a` and validates positivity of `a`,
+    /// non-negativity/finiteness of `P` and uniqueness of `a`.
+    pub fn new(mut points: Vec<(f64, f64)>) -> Result<Self> {
+        if points.is_empty() {
+            return Err(OptimError::EmptyProblem);
+        }
+        points.sort_by(|p, q| p.0.partial_cmp(&q.0).unwrap_or(std::cmp::Ordering::Equal));
+        for (i, &(a, p)) in points.iter().enumerate() {
+            if !(a.is_finite() && a > 0.0) {
+                return Err(OptimError::InvalidPoint {
+                    index: i,
+                    field: "a",
+                    value: a,
+                });
+            }
+            if !(p.is_finite() && p >= 0.0) {
+                return Err(OptimError::InvalidPoint {
+                    index: i,
+                    field: "P",
+                    value: p,
+                });
+            }
+            if i > 0 && points[i - 1].0 == a {
+                return Err(OptimError::DuplicateParameter { a });
+            }
+        }
+        Ok(InterpolationProblem { points })
+    }
+
+    /// The `(a_j, P_j)` pairs sorted by `a_j`.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of target points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the instance is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The `a_j` coordinates.
+    pub fn parameters(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.0).collect()
+    }
+
+    /// The target prices `P_j`.
+    pub fn targets(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.1).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_and_validates() {
+        let p = RevenueProblem::from_slices(&[2.0, 1.0], &[1.0, 1.0], &[20.0, 10.0]).unwrap();
+        assert_eq!(p.parameters(), vec![1.0, 2.0]);
+        assert_eq!(p.valuations(), vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn rejects_invalid_fields() {
+        assert!(RevenueProblem::from_slices(&[0.0], &[1.0], &[1.0]).is_err());
+        assert!(RevenueProblem::from_slices(&[1.0], &[-1.0], &[1.0]).is_err());
+        assert!(RevenueProblem::from_slices(&[1.0], &[1.0], &[-1.0]).is_err());
+        assert!(RevenueProblem::from_slices(&[1.0], &[1.0], &[f64::NAN]).is_err());
+        assert!(RevenueProblem::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates_and_non_monotone_valuations() {
+        assert!(matches!(
+            RevenueProblem::from_slices(&[1.0, 1.0], &[1.0, 1.0], &[1.0, 2.0]),
+            Err(OptimError::DuplicateParameter { .. })
+        ));
+        assert!(matches!(
+            RevenueProblem::from_slices(&[1.0, 2.0], &[1.0, 1.0], &[5.0, 3.0]),
+            Err(OptimError::NonMonotoneValuations { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn mismatched_slices_rejected() {
+        assert!(RevenueProblem::from_slices(&[1.0, 2.0], &[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn figure5_instance() {
+        let p = RevenueProblem::figure5_example();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.total_demand(), 1.0);
+        assert_eq!(p.points()[2].v, 280.0);
+    }
+
+    #[test]
+    fn price_point_validation() {
+        assert!(PricePoint::new(1.0, 0.5, 10.0).is_ok());
+        assert!(PricePoint::new(-1.0, 0.5, 10.0).is_err());
+        assert!(PricePoint::new(1.0, f64::INFINITY, 10.0).is_err());
+    }
+
+    #[test]
+    fn interpolation_problem_sorts() {
+        let p = InterpolationProblem::new(vec![(3.0, 30.0), (1.0, 10.0)]).unwrap();
+        assert_eq!(p.parameters(), vec![1.0, 3.0]);
+        assert_eq!(p.targets(), vec![10.0, 30.0]);
+        assert!(InterpolationProblem::new(vec![]).is_err());
+        assert!(InterpolationProblem::new(vec![(1.0, -2.0)]).is_err());
+        assert!(InterpolationProblem::new(vec![(1.0, 1.0), (1.0, 2.0)]).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Weighted discrete sampling.
+//!
+//! Buyer populations in the market simulation are drawn from the *demand
+//! curve*: a distribution over inverse-NCP points. [`WeightedIndex`] turns a
+//! demand curve's weights into an `O(log n)` sampler via a cumulative-sum
+//! table and binary search.
+
+use rand::Rng;
+
+/// Samples indices `0..n` proportionally to non-negative weights.
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+/// Errors constructing a [`WeightedIndex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightedIndexError {
+    /// The weight vector was empty.
+    Empty,
+    /// A weight was negative or non-finite.
+    InvalidWeight {
+        /// Index of the offending weight.
+        index: usize,
+    },
+    /// All weights were zero.
+    ZeroTotal,
+}
+
+impl std::fmt::Display for WeightedIndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightedIndexError::Empty => write!(f, "weight vector is empty"),
+            WeightedIndexError::InvalidWeight { index } => {
+                write!(f, "weight at index {index} is negative or non-finite")
+            }
+            WeightedIndexError::ZeroTotal => write!(f, "all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedIndexError {}
+
+impl WeightedIndex {
+    /// Builds the sampler from raw weights.
+    pub fn new(weights: &[f64]) -> Result<Self, WeightedIndexError> {
+        if weights.is_empty() {
+            return Err(WeightedIndexError::Empty);
+        }
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            if !(w.is_finite() && w >= 0.0) {
+                return Err(WeightedIndexError::InvalidWeight { index: i });
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if total <= 0.0 {
+            return Err(WeightedIndexError::ZeroTotal);
+        }
+        Ok(WeightedIndex { cumulative, total })
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the sampler has no buckets (never true for a constructed
+    /// sampler; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Probability of bucket `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        let prev = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
+        (self.cumulative[i] - prev) / self.total
+    }
+
+    /// Draws one index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let target = rng.random::<f64>() * self.total;
+        // partition_point returns the first index whose cumulative weight
+        // exceeds the target, skipping zero-weight buckets by construction.
+        let idx = self.cumulative.partition_point(|&c| c <= target);
+        idx.min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(WeightedIndex::new(&[]), Err(WeightedIndexError::Empty));
+        assert_eq!(
+            WeightedIndex::new(&[1.0, -1.0]),
+            Err(WeightedIndexError::InvalidWeight { index: 1 })
+        );
+        assert_eq!(
+            WeightedIndex::new(&[1.0, f64::NAN]),
+            Err(WeightedIndexError::InvalidWeight { index: 1 })
+        );
+        assert_eq!(
+            WeightedIndex::new(&[0.0, 0.0]),
+            Err(WeightedIndexError::ZeroTotal)
+        );
+    }
+
+    // WeightedIndex carries f64 totals; equality comparisons above are on the
+    // error enum only.
+    impl PartialEq for WeightedIndex {
+        fn eq(&self, other: &Self) -> bool {
+            self.cumulative == other.cumulative
+        }
+    }
+
+    #[test]
+    fn probabilities_normalize() {
+        let w = WeightedIndex::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let total: f64 = (0..4).map(|i| w.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((w.probability(3) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_frequencies_match_weights() {
+        let w = WeightedIndex::new(&[1.0, 0.0, 3.0]).unwrap();
+        let mut rng = seeded_rng(6);
+        let mut counts = [0usize; 3];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[w.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight bucket must never be drawn");
+        let f0 = counts[0] as f64 / n as f64;
+        let f2 = counts[2] as f64 / n as f64;
+        assert!((f0 - 0.25).abs() < 0.01, "f0 {f0}");
+        assert!((f2 - 0.75).abs() < 0.01, "f2 {f2}");
+    }
+
+    #[test]
+    fn single_bucket_always_sampled() {
+        let w = WeightedIndex::new(&[5.0]).unwrap();
+        let mut rng = seeded_rng(1);
+        for _ in 0..100 {
+            assert_eq!(w.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn len_reports_buckets() {
+        let w = WeightedIndex::new(&[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(w.len(), 3);
+        assert!(!w.is_empty());
+    }
+}

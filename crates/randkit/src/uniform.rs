@@ -1,0 +1,135 @@
+//! Uniform sampling helpers.
+//!
+//! Example 1 in the paper defines two simple unbiased mechanisms for the
+//! column-average "model": additive noise `w ~ U[-δ, δ]` and multiplicative
+//! noise `w ~ U[1-δ, 1+δ]`. These helpers are the sampling primitives for
+//! both, plus general range sampling used by dataset generators.
+
+use rand::Rng;
+
+/// Draws a uniform variate in `[lo, hi)`. Panics in debug builds when the
+/// range is inverted or non-finite; in release, a degenerate range collapses
+/// to `lo`.
+pub fn uniform_in<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    debug_assert!(lo.is_finite() && hi.is_finite() && lo <= hi);
+    lo + (hi - lo) * rng.random::<f64>()
+}
+
+/// Draws a uniform variate in `[-half_width, half_width)` — the additive
+/// mechanism's `U[-δ, δ]` with `half_width = δ`.
+pub fn uniform_symmetric<R: Rng + ?Sized>(rng: &mut R, half_width: f64) -> f64 {
+    debug_assert!(half_width >= 0.0);
+    uniform_in(rng, -half_width, half_width)
+}
+
+/// Fills `out` with i.i.d. uniforms in `[lo, hi)`.
+pub fn fill_uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64, out: &mut [f64]) {
+    for o in out.iter_mut() {
+        *o = uniform_in(rng, lo, hi);
+    }
+}
+
+/// Draws a uniform integer in `[0, n)` without modulo bias, via rejection.
+pub fn uniform_index<R: Rng + ?Sized>(rng: &mut R, n: usize) -> usize {
+    assert!(n > 0, "uniform_index requires a non-empty range");
+    let n = n as u64;
+    let zone = u64::MAX - (u64::MAX % n);
+    loop {
+        let v = rng.random::<u64>();
+        if v < zone {
+            return (v % n) as usize;
+        }
+    }
+}
+
+/// Fisher–Yates shuffle of a slice of indices.
+pub fn shuffle_indices<R: Rng + ?Sized>(rng: &mut R, indices: &mut [usize]) {
+    for i in (1..indices.len()).rev() {
+        let j = uniform_index(rng, i + 1);
+        indices.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+    use crate::summary::RunningStats;
+
+    #[test]
+    fn uniform_in_range_and_moments() {
+        let mut rng = seeded_rng(2);
+        let mut stats = RunningStats::new();
+        for _ in 0..100_000 {
+            let v = uniform_in(&mut rng, 2.0, 6.0);
+            assert!((2.0..6.0).contains(&v));
+            stats.push(v);
+        }
+        assert!((stats.mean() - 4.0).abs() < 0.02);
+        // Var of U(2,6) = 16/12.
+        assert!((stats.variance() - 16.0 / 12.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn symmetric_uniform_is_zero_mean() {
+        let mut rng = seeded_rng(9);
+        let mut stats = RunningStats::new();
+        for _ in 0..100_000 {
+            let v = uniform_symmetric(&mut rng, 3.0);
+            assert!(v.abs() <= 3.0);
+            stats.push(v);
+        }
+        assert!(stats.mean().abs() < 0.03);
+        // Var of U(-3,3) = 36/12 = 3.
+        assert!((stats.variance() - 3.0).abs() < 0.06);
+    }
+
+    #[test]
+    fn uniform_index_covers_all_buckets() {
+        let mut rng = seeded_rng(15);
+        let mut counts = [0usize; 7];
+        for _ in 0..70_000 {
+            counts[uniform_index(&mut rng, 7)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 500.0, "count {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty range")]
+    fn uniform_index_rejects_zero() {
+        let mut rng = seeded_rng(0);
+        uniform_index(&mut rng, 0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = seeded_rng(33);
+        let mut idx: Vec<usize> = (0..100).collect();
+        shuffle_indices(&mut rng, &mut idx);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        // With overwhelming probability the shuffle moved something.
+        assert_ne!(idx, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_handles_tiny_inputs() {
+        let mut rng = seeded_rng(1);
+        let mut empty: Vec<usize> = vec![];
+        shuffle_indices(&mut rng, &mut empty);
+        let mut one = vec![42];
+        shuffle_indices(&mut rng, &mut one);
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn fill_uniform_respects_bounds() {
+        let mut rng = seeded_rng(8);
+        let mut out = vec![0.0; 64];
+        fill_uniform(&mut rng, -1.0, 1.0, &mut out);
+        assert!(out.iter().all(|v| (-1.0..1.0).contains(v)));
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the random-distribution toolkit.
+
+use nimbus_randkit::uniform::{shuffle_indices, uniform_in, uniform_index};
+use nimbus_randkit::{seeded_rng, split_stream, Laplace, RunningStats, StandardNormal, WeightedIndex};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn uniform_stays_in_bounds(lo in -1e6..1e6f64, width in 1e-6..1e6f64, seed in 0u64..1000) {
+        let hi = lo + width;
+        let mut rng = seeded_rng(seed);
+        for _ in 0..200 {
+            let v = uniform_in(&mut rng, lo, hi);
+            prop_assert!(v >= lo && v < hi, "{v} outside [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn uniform_index_stays_in_range(n in 1usize..10_000, seed in 0u64..1000) {
+        let mut rng = seeded_rng(seed);
+        for _ in 0..100 {
+            prop_assert!(uniform_index(&mut rng, n) < n);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_always_a_permutation(n in 0usize..200, seed in 0u64..1000) {
+        let mut rng = seeded_rng(seed);
+        let mut idx: Vec<usize> = (0..n).collect();
+        shuffle_indices(&mut rng, &mut idx);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn normal_samples_are_finite_and_symmetric_enough(seed in 0u64..500) {
+        let mut rng = seeded_rng(seed);
+        let mut sampler = StandardNormal::new();
+        let mut stats = RunningStats::new();
+        for _ in 0..5_000 {
+            let v = sampler.sample(&mut rng);
+            prop_assert!(v.is_finite());
+            stats.push(v);
+        }
+        // Loose per-seed moment checks (5k samples).
+        prop_assert!(stats.mean().abs() < 0.1, "mean {}", stats.mean());
+        prop_assert!((stats.variance() - 1.0).abs() < 0.2, "var {}", stats.variance());
+    }
+
+    #[test]
+    fn laplace_variance_parameterization_holds(variance in 0.01..100.0f64) {
+        let l = Laplace::with_variance(variance).unwrap();
+        prop_assert!((l.variance() - variance).abs() < 1e-9 * variance);
+        prop_assert!(l.mean() == 0.0);
+    }
+
+    #[test]
+    fn weighted_index_never_picks_zero_weight(
+        weights in prop::collection::vec(0.0..10.0f64, 2..20),
+        seed in 0u64..300,
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let w = WeightedIndex::new(&weights).unwrap();
+        let mut rng = seeded_rng(seed);
+        for _ in 0..500 {
+            let i = w.sample(&mut rng);
+            prop_assert!(weights[i] > 0.0, "picked zero-weight bucket {i}");
+        }
+    }
+
+    #[test]
+    fn split_stream_avoids_collisions_over_labels(parent in 0u64..1000) {
+        let mut seen = std::collections::HashSet::new();
+        for label in 0..256u64 {
+            prop_assert!(seen.insert(split_stream(parent, label)));
+        }
+    }
+
+    #[test]
+    fn running_stats_merge_is_associative_enough(
+        a in prop::collection::vec(-100.0..100.0f64, 1..50),
+        b in prop::collection::vec(-100.0..100.0f64, 1..50),
+        c in prop::collection::vec(-100.0..100.0f64, 1..50),
+    ) {
+        let stat = |v: &[f64]| {
+            let mut s = RunningStats::new();
+            for &x in v {
+                s.push(x);
+            }
+            s
+        };
+        // (a ⊕ b) ⊕ c vs a ⊕ (b ⊕ c).
+        let mut left = stat(&a);
+        left.merge(&stat(&b));
+        left.merge(&stat(&c));
+        let mut bc = stat(&b);
+        bc.merge(&stat(&c));
+        let mut right = stat(&a);
+        right.merge(&bc);
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert!((left.mean() - right.mean()).abs() < 1e-9);
+        prop_assert!((left.variance() - right.variance()).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,87 @@
+//! A full marketplace session: a classification dataset (the CovType
+//! stand-in), a logistic-regression broker, a sampled buyer population, and
+//! the realized revenue/affordability ledger — the scenario the paper's
+//! introduction motivates, where buyers with very different budgets all get
+//! *some* version of the model.
+//!
+//! Run with: `cargo run -p nimbus --example marketplace_session`
+
+use nimbus::prelude::*;
+
+fn main() {
+    // CovType stand-in: forest-cover classification, d = 54.
+    let spec = DatasetSpec::scaled(PaperDataset::CovType, 6_000);
+    let (dataset, _) = spec.materialize(7).expect("dataset");
+    let test_set = dataset.test.clone();
+
+    // Market research found mid-market-heavy demand on a sigmoid value curve.
+    let curves = MarketCurves::new(
+        ValueCurve::standard_sigmoid(),
+        DemandCurve::MidPeaked { width: 0.18 },
+    );
+    let seller = Seller::new("forest-bureau", dataset, curves);
+
+    let broker = Broker::new(
+        seller,
+        Box::new(LogisticRegressionTrainer::new(1e-4)),
+        Box::new(GaussianMechanism),
+        BrokerConfig {
+            n_price_points: 60,
+            error_curve_samples: 100,
+            seed: 99,
+        },
+    );
+    broker.open_market().expect("open");
+    println!(
+        "market open; expected revenue {:.2}",
+        broker.expected_revenue().unwrap()
+    );
+
+    // Buyer-facing curve in the buyer's own error metric (0/1 test error),
+    // not the broker-internal square loss — the ε/λ distinction of §3.1.
+    let ts = test_set.clone();
+    let curve = broker
+        .price_error_curve(move |m| metrics::zero_one_error(m, &ts).map_err(Into::into))
+        .expect("price-error curve");
+    println!("\nbuyer-facing curve (0/1 test error vs price), excerpt:");
+    for p in curve.points().iter().step_by(curve.len() / 6) {
+        println!(
+            "  E[0/1 error] {:>6.4}  price {:>7.2}  (1/NCP {:>5.1})",
+            p.expected_error, p.price, p.inverse
+        );
+    }
+
+    // A population of buyers sampled from the demand curve walks in.
+    let problem = broker
+        .seller()
+        .curves()
+        .build_problem(60)
+        .expect("problem");
+    let mut rng = seeded_rng(2024);
+    let population = BuyerPopulation::sample(&problem, 500, &mut rng).expect("population");
+
+    let mut served = 0usize;
+    for buyer in population.buyers() {
+        let quote = broker.quote(buyer.desired_x).expect("quote");
+        if buyer.will_buy(quote) {
+            broker
+                .purchase(PurchaseRequest::AtInverseNcp(buyer.desired_x), quote)
+                .expect("purchase");
+            served += 1;
+        }
+    }
+    println!(
+        "\nsession: {}/{} buyers served ({}% affordability), realized revenue {:.2}",
+        served,
+        population.len(),
+        100 * served / population.len(),
+        broker.collected_revenue()
+    );
+
+    // Every served buyer got a usable model: spot-check the last sale.
+    let sale = broker
+        .purchase(PurchaseRequest::AtInverseNcp(60.0), f64::INFINITY)
+        .expect("final purchase");
+    let acc = metrics::accuracy(&sale.model, &test_set).expect("evaluate");
+    println!("spot check: purchased model test accuracy {:.3}", acc);
+}

@@ -1,0 +1,73 @@
+//! Quickstart: the complete model-based-pricing loop in ~60 lines.
+//!
+//! A seller lists a dataset, the broker trains the optimal model once and
+//! posts arbitrage-free prices, and three buyers purchase model instances
+//! under the three interaction options of the paper's §3.2.
+//!
+//! Run with: `cargo run -p nimbus --example quickstart`
+
+use nimbus::prelude::*;
+
+fn main() {
+    // --- Seller: a dataset plus market-research curves -----------------
+    let spec = DatasetSpec::scaled(PaperDataset::Simulated1, 4_000);
+    let (dataset, _planted) = spec.materialize(42).expect("generate dataset");
+    println!(
+        "seller dataset: {} train rows, {} test rows, {} features",
+        dataset.train.len(),
+        dataset.test.len(),
+        dataset.train.num_features()
+    );
+    let curves = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform);
+    let seller = Seller::new("acme-data", dataset, curves);
+
+    // --- Broker: train once, optimize prices, open the market ----------
+    let broker = Broker::new(
+        seller,
+        Box::new(LinearRegressionTrainer::ridge(1e-6)),
+        Box::new(GaussianMechanism),
+        BrokerConfig::default(),
+    );
+    let expected_revenue = broker.open_market().expect("open market");
+    println!("market open; expected revenue per unit demand: {expected_revenue:.2}");
+
+    let menu = broker.posted_menu().expect("menu");
+    println!("posted menu (excerpt):");
+    for (x, price) in menu.iter().step_by(menu.len() / 5) {
+        println!("  1/NCP = {x:>5.1}  (expected square loss {:>6.4})  price {price:>6.2}", 1.0 / x);
+    }
+
+    // --- Buyer option 1: pick a point on the curve ---------------------
+    let sale = broker
+        .purchase(PurchaseRequest::AtInverseNcp(50.0), f64::INFINITY)
+        .expect("buy at point");
+    println!(
+        "\nbuyer#1 bought version x=50: price {:.2}, E[square loss] {:.4}",
+        sale.price, sale.expected_square_error
+    );
+
+    // --- Buyer option 2: an error budget --------------------------------
+    let sale = broker
+        .purchase(PurchaseRequest::ErrorBudget(0.05), f64::INFINITY)
+        .expect("buy with error budget");
+    println!(
+        "buyer#2 (error budget 0.05) got x={:.1} for {:.2}",
+        sale.inverse_ncp, sale.price
+    );
+
+    // --- Buyer option 3: a price budget ---------------------------------
+    let budget = sale.price / 2.0;
+    let sale = broker
+        .purchase(PurchaseRequest::PriceBudget(budget), budget)
+        .expect("buy with price budget");
+    println!(
+        "buyer#3 (price budget {budget:.2}) got x={:.1}, E[square loss] {:.4}",
+        sale.inverse_ncp, sale.expected_square_error
+    );
+
+    println!(
+        "\nbroker ledger: {} sales, revenue {:.2}",
+        broker.sales_count(),
+        broker.collected_revenue()
+    );
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for Theorem 5: DP-produced pricing functions are
+//! always arbitrage-free, and the attack construction always breaks prices
+//! that violate the characterization.
+
+use nimbus::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random valid revenue problem with n points, monotone
+/// valuations, grid parameters `a_j = j`.
+fn revenue_problem(max_n: usize) -> impl Strategy<Value = RevenueProblem> {
+    (2..=max_n)
+        .prop_flat_map(|n| {
+            (
+                prop::collection::vec(0.1..50.0f64, n), // valuation increments
+                prop::collection::vec(0.0..2.0f64, n),  // demand masses
+            )
+        })
+        .prop_map(|(increments, demands)| {
+            let mut v = Vec::with_capacity(increments.len());
+            let mut acc = 0.0;
+            for inc in &increments {
+                acc += inc;
+                v.push(acc);
+            }
+            let a: Vec<f64> = (1..=increments.len()).map(|i| i as f64).collect();
+            // Guarantee strictly positive total demand.
+            let mut b = demands;
+            b[0] += 0.1;
+            RevenueProblem::from_slices(&a, &b, &v).expect("constructed valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dp_prices_are_always_arbitrage_free(problem in revenue_problem(9)) {
+        let dp = solve_revenue_dp(&problem).unwrap();
+        let pricing = PiecewiseLinearPricing::new(
+            problem.parameters().into_iter().zip(dp.prices).collect(),
+        ).unwrap();
+        let grid: Vec<f64> = (1..=4 * problem.len())
+            .map(|i| i as f64 * 0.25)
+            .collect();
+        let report = check_arbitrage_free(&pricing, &grid, 1e-7).unwrap();
+        prop_assert!(
+            report.is_arbitrage_free(),
+            "violations: {:?} / {:?}",
+            report.monotonicity_violations,
+            report.subadditivity_violations
+        );
+    }
+
+    #[test]
+    fn dp_prices_resist_the_attack_search(problem in revenue_problem(8)) {
+        let dp = solve_revenue_dp(&problem).unwrap();
+        let pricing = PiecewiseLinearPricing::new(
+            problem.parameters().into_iter().zip(dp.prices).collect(),
+        ).unwrap();
+        let params = problem.parameters();
+        let target = *params.last().unwrap();
+        let attack = find_attack(&pricing, target, &params, 500).unwrap();
+        prop_assert!(attack.is_none(), "attack found: {attack:?}");
+    }
+
+    #[test]
+    fn brute_force_prices_resist_the_attack_search(problem in revenue_problem(6)) {
+        let bf = solve_revenue_brute_force(&problem).unwrap();
+        let pricing = PiecewiseLinearPricing::new(
+            problem.parameters().into_iter().zip(bf.prices).collect(),
+        ).unwrap();
+        let params = problem.parameters();
+        for &target in &params {
+            let attack = find_attack(&pricing, target, &params, 400).unwrap();
+            prop_assert!(attack.is_none(), "attack at {target}: {attack:?}");
+        }
+    }
+
+    #[test]
+    fn attack_always_found_when_subadditivity_clearly_fails(
+        base in 1.0..20.0f64,
+        factor in 2.5..6.0f64,
+    ) {
+        // p(1) = base, p(2) = factor·base with factor > 2: two copies of
+        // the 1-version undercut the 2-version.
+        let pricing = PiecewiseLinearPricing::new(vec![
+            (1.0, base),
+            (2.0, factor * base),
+        ]).unwrap();
+        let attack = find_attack(&pricing, 2.0, &[1.0], 200).unwrap();
+        prop_assert!(attack.is_some());
+        let attack = attack.unwrap();
+        prop_assert!((attack.total_cost - 2.0 * base).abs() < 1e-9);
+    }
+
+    #[test]
+    fn combining_instances_preserves_unbiasedness_weights(
+        deltas in prop::collection::vec(0.1..10.0f64, 1..6),
+    ) {
+        // Weights δ₀/δ_i always sum to 1, so combining copies of the SAME
+        // vector returns that vector regardless of the δ mix.
+        let h = LinearModel::new(nimbus::linalg::Vector::from_vec(vec![2.0, -3.0, 0.5]));
+        let instances: Vec<(LinearModel, Ncp)> = deltas
+            .iter()
+            .map(|&d| (h.clone(), Ncp::new(d).unwrap()))
+            .collect();
+        let (combined, delta0) = nimbus::core::arbitrage::combine_instances(&instances).unwrap();
+        let expected_delta0 = 1.0 / deltas.iter().map(|d| 1.0 / d).sum::<f64>();
+        prop_assert!((delta0.delta() - expected_delta0).abs() < 1e-9);
+        for j in 0..3 {
+            prop_assert!((combined.weights()[j] - h.weights()[j]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn linear_and_constant_pricing_never_flagged(
+        slope in 0.0..10.0f64,
+        intercept in 0.0..10.0f64,
+    ) {
+        let grid: Vec<f64> = (1..=20).map(|i| i as f64 * 0.5).collect();
+        let lin = LinearPricing::new(slope, intercept).unwrap();
+        prop_assert!(check_arbitrage_free(&lin, &grid, 1e-9).unwrap().is_arbitrage_free());
+        let c = ConstantPricing::new(intercept).unwrap();
+        prop_assert!(check_arbitrage_free(&c, &grid, 1e-9).unwrap().is_arbitrage_free());
+    }
+}

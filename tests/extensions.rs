@@ -1,0 +1,155 @@
+//! Integration tests for the extension features built beyond the paper's
+//! core: streaming training, cross-validated model selection, the Figure 2
+//! error-domain transformation, and the fairness frontier — all wired
+//! through the public facade.
+
+use nimbus::ml::model_selection::select_ridge_mu;
+use nimbus::ml::streaming::train_least_squares_stream;
+use nimbus::optim::fairness::{fairness_frontier, maximize_revenue_with_affordability_floor};
+use nimbus::prelude::*;
+
+#[test]
+fn streaming_broker_training_at_scale() {
+    // Train on a 300k-row synthetic stream (constant memory), then verify
+    // against a materialized subsample of the same distribution.
+    let spec = RegressionSpec::simulated1(300_000, 12);
+    let mut stream = nimbus::data::stream::SyntheticRegressionStream::new(spec, 77);
+    let truth = stream.planted_hyperplane();
+    let model = train_least_squares_stream(&mut stream, 0.0).unwrap();
+    for (j, t) in truth.iter().enumerate() {
+        assert!(
+            (model.weights()[j] - t).abs() < 1e-5,
+            "weight {j}: {} vs {}",
+            model.weights()[j],
+            t
+        );
+    }
+}
+
+#[test]
+fn cross_validation_guides_the_broker() {
+    // The broker uses CV to pick μ, then sells with the selected model.
+    let (ds, _) = generate_regression(
+        &RegressionSpec {
+            n: 120,
+            d: 10,
+            target_noise: 2.0,
+            target_scale: 1.0,
+            feature_scale: 1.0,
+        },
+        31,
+    )
+    .unwrap();
+    let mut rng = seeded_rng(4);
+    let report = select_ridge_mu(&ds, &[1e-8, 1e-2, 1.0], 4, &mut rng).unwrap();
+    assert_eq!(report.scores.len(), 3);
+    assert!(report.best_score.is_finite());
+    // The selected model is usable downstream: perturb and price it.
+    let ncp = Ncp::new(0.5).unwrap();
+    let noisy = GaussianMechanism
+        .perturb(&report.model, ncp, &mut rng)
+        .unwrap();
+    assert_eq!(noisy.dim(), 10);
+}
+
+#[test]
+fn error_domain_research_to_market_end_to_end() {
+    // Figure 2 pipeline with a REAL (Monte-Carlo) error curve: train on
+    // Simulated2, estimate 0/1-error transformation, express research over
+    // the 0/1 error, transform, optimize, and check arbitrage-freeness.
+    let spec = DatasetSpec::scaled(PaperDataset::Simulated2, 2_000);
+    let (tt, _) = spec.materialize(3).unwrap();
+    let model = LogisticRegressionTrainer::new(1e-4).train(&tt.train).unwrap();
+    let test = tt.test.clone();
+    let deltas: Vec<Ncp> = (1..=12)
+        .map(|i| Ncp::new(0.01 * 1.6f64.powi(i)).unwrap())
+        .collect();
+    let mut rng = seeded_rng(11);
+    let curve = ErrorCurve::estimate(
+        &GaussianMechanism,
+        &model,
+        |h| nimbus::ml::metrics::zero_one_error(h, &test).map_err(Into::into),
+        &deltas,
+        150,
+        &mut rng,
+    )
+    .unwrap();
+
+    // Research over the 0/1 error: a model at Bayes error is worth $200,
+    // decaying steeply; demand uniform.
+    let problem = nimbus::market::transform_research(
+        &curve,
+        |err| 200.0 * (-6.0 * err).exp(),
+        |_| 1.0,
+    )
+    .unwrap();
+    assert_eq!(problem.len(), curve.len());
+    let dp = solve_revenue_dp(&problem).unwrap();
+    assert!(dp.revenue > 0.0);
+    let pricing = PiecewiseLinearPricing::new(
+        problem.parameters().into_iter().zip(dp.prices).collect(),
+    )
+    .unwrap();
+    let grid = problem.parameters();
+    assert!(check_arbitrage_free(&pricing, &grid, 1e-7)
+        .unwrap()
+        .is_arbitrage_free());
+}
+
+#[test]
+fn fairness_floor_composes_with_market_curves() {
+    let problem = MarketCurves::new(ValueCurve::standard_convex(), DemandCurve::Uniform)
+        .build_problem(60)
+        .unwrap();
+    let unconstrained = solve_revenue_dp(&problem).unwrap();
+    let base_aff = affordability_ratio(&unconstrained.prices, &problem).unwrap();
+    assert!(base_aff < 0.9, "convex market should price some buyers out");
+
+    let fair = maximize_revenue_with_affordability_floor(&problem, 0.95).unwrap();
+    assert!(fair.affordability >= 0.95);
+    assert!(fair.revenue > 0.0);
+    assert!(fair.revenue <= unconstrained.revenue + 1e-9);
+
+    // Frontier endpoints bracket both solutions.
+    let frontier = fairness_frontier(&problem, &[0.0, 1e3]).unwrap();
+    assert_eq!(frontier[0].revenue, unconstrained.revenue);
+    assert!(frontier[1].affordability >= fair.affordability - 1e-9);
+}
+
+#[test]
+fn example1_average_market_is_well_behaved() {
+    // Example 1 end-to-end: a 1-dimensional "average" model priced through
+    // the analytic square-loss curve; the DP output is arbitrage-free and
+    // the multiplicative mechanism keeps the Lemma 3 identity.
+    let deltas: Vec<Ncp> = (1..=10).map(|i| Ncp::new(i as f64 * 0.1).unwrap()).collect();
+    let curve = ErrorCurve::analytic_square_loss(&deltas).unwrap();
+    let problem =
+        nimbus::market::transform_research(&curve, |e| 20.0 / (1.0 + 5.0 * e), |_| 1.0).unwrap();
+    let dp = solve_revenue_dp(&problem).unwrap();
+    let pricing = PiecewiseLinearPricing::new(
+        problem.parameters().into_iter().zip(dp.prices).collect(),
+    )
+    .unwrap();
+    assert!(
+        check_arbitrage_free(&pricing, &problem.parameters(), 1e-9)
+            .unwrap()
+            .is_arbitrage_free()
+    );
+
+    let optimal = LinearModel::new(nimbus::linalg::Vector::from_vec(vec![42.0]));
+    let mech = nimbus::core::mechanism::MultiplicativeUniformMechanism;
+    let mut rng = seeded_rng(5);
+    let reps = 30_000;
+    let delta = 0.25;
+    let ncp = Ncp::new(delta).unwrap();
+    let mut total = 0.0;
+    for _ in 0..reps {
+        let noisy = mech.perturb(&optimal, ncp, &mut rng).unwrap();
+        total += noisy.distance_squared(&optimal).unwrap();
+    }
+    let mean = total / reps as f64;
+    assert!(
+        (mean - delta).abs() < 0.05 * delta,
+        "multiplicative mechanism E[eps_s] = {mean}, expected {delta}"
+    );
+}

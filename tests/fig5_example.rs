@@ -1,0 +1,84 @@
+//! The paper's Figure 5 worked example, pinned as an executable spec.
+//!
+//! Instance: `a = (1,2,3,4)`, `b = 0.25` each, `v = (100, 150, 280, 350)`.
+
+use nimbus::prelude::*;
+
+#[test]
+fn naive_valuation_pricing_has_arbitrage() {
+    let problem = RevenueProblem::figure5_example();
+    let pricing = PiecewiseLinearPricing::new(
+        problem
+            .parameters()
+            .into_iter()
+            .zip(problem.valuations())
+            .collect(),
+    )
+    .unwrap();
+    // p(3) = 280 > p(1) + p(2) = 250: a 2-arbitrage (Figure 5(a)).
+    let report = check_arbitrage_free(&pricing, &[1.0, 2.0, 3.0, 4.0], 1e-9).unwrap();
+    assert!(!report.is_arbitrage_free());
+    let attack = find_attack(&pricing, 3.0, &[1.0, 2.0], 300)
+        .unwrap()
+        .expect("the worked example's arbitrage");
+    assert_eq!(attack.target_price, 280.0);
+    assert!((attack.total_cost - 250.0).abs() < 1e-9);
+}
+
+#[test]
+fn algorithm1_dp_matches_figure5e() {
+    let problem = RevenueProblem::figure5_example();
+    let dp = solve_revenue_dp(&problem).unwrap();
+    // Hand-derived optimum of the relaxed program: the figure's panel (e)
+    // annotations 225 and 300 appear as the two top prices.
+    assert_eq!(dp.prices, vec![100.0, 150.0, 225.0, 300.0]);
+    assert!((dp.revenue - 193.75).abs() < 1e-9);
+    assert_eq!(affordability_ratio(&dp.prices, &problem).unwrap(), 1.0);
+}
+
+#[test]
+fn algorithm2_brute_force_matches_figure5d() {
+    let problem = RevenueProblem::figure5_example();
+    let bf = solve_revenue_brute_force(&problem).unwrap();
+    // The exact subadditive optimum: p(3) capped by p(1)+p(2) = 250 and
+    // p(4) by 2·p(2) = 300 (the figure's panel (d) annotations 250, 300).
+    assert_eq!(bf.prices, vec![100.0, 150.0, 250.0, 300.0]);
+    assert!((bf.revenue - 200.0).abs() < 1e-9);
+}
+
+#[test]
+fn baseline_revenues_on_figure5() {
+    let problem = RevenueProblem::figure5_example();
+    let report = nimbus::optim::baselines::baseline_report(&problem).unwrap();
+    let by_name: std::collections::HashMap<&str, f64> =
+        report.iter().map(|(n, _, r)| (*n, *r)).collect();
+    // Constant at the max valuation sells to one group of mass 0.25.
+    assert!((by_name["MaxC"] - 87.5).abs() < 1e-9);
+    // Optimal constant is 280 (sells to two groups).
+    assert!((by_name["OptC"] - 140.0).abs() < 1e-9);
+    // MedC also lands on 280 for equal masses.
+    assert!((by_name["MedC"] - 140.0).abs() < 1e-9);
+    // Everything is below the DP and the brute force.
+    let dp = solve_revenue_dp(&problem).unwrap();
+    for (name, _, r) in &report {
+        assert!(dp.revenue >= *r - 1e-9, "{name} beats DP");
+    }
+}
+
+#[test]
+fn dp_and_bf_prices_are_both_well_behaved() {
+    let problem = RevenueProblem::figure5_example();
+    let grid: Vec<f64> = (1..=80).map(|i| i as f64 * 0.05).collect();
+    for prices in [
+        solve_revenue_dp(&problem).unwrap().prices,
+        solve_revenue_brute_force(&problem).unwrap().prices,
+    ] {
+        let pricing = PiecewiseLinearPricing::new(
+            problem.parameters().into_iter().zip(prices).collect(),
+        )
+        .unwrap();
+        assert!(check_arbitrage_free(&pricing, &grid, 1e-9)
+            .unwrap()
+            .is_arbitrage_free());
+    }
+}

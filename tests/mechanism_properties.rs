@@ -1,0 +1,157 @@
+//! Property-based tests for the §3.2 mechanism restrictions and the §4
+//! Gaussian-mechanism analysis, across every shipped mechanism.
+
+use nimbus::core::properties::{check_error_monotonicity, check_unbiased};
+use nimbus::core::square_loss::square_loss;
+use nimbus::prelude::*;
+use proptest::prelude::*;
+
+fn model_strategy() -> impl Strategy<Value = LinearModel> {
+    prop::collection::vec(-5.0..5.0f64, 2..12)
+        .prop_map(|w| LinearModel::new(nimbus::linalg::Vector::from_vec(w)))
+}
+
+fn mechanisms() -> Vec<Box<dyn RandomizedMechanism>> {
+    vec![
+        Box::new(GaussianMechanism),
+        Box::new(LaplaceMechanism),
+        Box::new(UniformMechanism),
+    ]
+}
+
+proptest! {
+    // Monte-Carlo heavy: keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn all_mechanisms_are_unbiased(model in model_strategy(), delta in 0.1..5.0f64, seed in 0u64..1000) {
+        let ncp = Ncp::new(delta).unwrap();
+        for mech in mechanisms() {
+            let mut rng = seeded_rng(seed);
+            let report = check_unbiased(mech.as_ref(), &model, ncp, 6_000, &mut rng).unwrap();
+            prop_assert!(
+                report.is_unbiased_within(5.0),
+                "{}: bias {} vs stderr {}",
+                mech.name(),
+                report.bias_inf_norm,
+                report.max_std_error
+            );
+        }
+    }
+
+    #[test]
+    fn lemma3_for_all_additive_mechanisms(model in model_strategy(), delta in 0.1..4.0f64, seed in 0u64..1000) {
+        // E[ε_s(h^δ)] = δ holds for ANY unbiased additive mechanism with
+        // per-coordinate variance δ/d, not just the Gaussian.
+        let ncp = Ncp::new(delta).unwrap();
+        for mech in mechanisms() {
+            let mut rng = seeded_rng(seed ^ 0xabc);
+            let reps = 8_000;
+            let mut total = 0.0;
+            for _ in 0..reps {
+                let noisy = mech.perturb(&model, ncp, &mut rng).unwrap();
+                total += square_loss(&noisy, &model).unwrap();
+            }
+            let mean = total / reps as f64;
+            prop_assert!(
+                (mean - delta).abs() < 0.12 * delta.max(0.5),
+                "{}: E[eps_s] = {mean}, delta = {delta}",
+                mech.name()
+            );
+        }
+    }
+
+    #[test]
+    fn expected_error_is_monotone_in_delta(model in model_strategy(), seed in 0u64..1000) {
+        let grid: Vec<Ncp> = [0.2, 0.5, 1.0, 2.0, 4.0]
+            .iter()
+            .map(|&d| Ncp::new(d).unwrap())
+            .collect();
+        for mech in mechanisms() {
+            let mut rng = seeded_rng(seed ^ 0x5150);
+            let m = model.clone();
+            let report = check_error_monotonicity(
+                mech.as_ref(),
+                &model,
+                |h| square_loss(h, &m),
+                &grid,
+                4_000,
+                &mut rng,
+            ).unwrap();
+            prop_assert!(
+                report.is_monotone_within(0.1),
+                "{}: worst violation {}",
+                mech.name(),
+                report.worst_violation
+            );
+        }
+    }
+
+    #[test]
+    fn error_curve_inverse_roundtrips(delta_lo in 0.05..0.5f64, steps in 3usize..8) {
+        // φ(E[ε_s](δ)) = δ on the analytic square-loss curve.
+        let deltas: Vec<Ncp> = (0..steps)
+            .map(|i| Ncp::new(delta_lo * 2f64.powi(i as i32)).unwrap())
+            .collect();
+        let curve = ErrorCurve::analytic_square_loss(&deltas).unwrap();
+        for ncp in &deltas {
+            let err = curve.expected_error_at(*ncp);
+            let back = curve.error_inverse(err).unwrap();
+            prop_assert!((back.delta() - ncp.delta()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn convex_test_loss_is_monotone_in_delta_on_real_data(seed in 0u64..200) {
+        // Theorem 4 on an actual trained model and test set: convex ε
+        // (test MSE) increases with δ.
+        let (ds, _) = generate_regression(&RegressionSpec::simulated1(400, 4), seed).unwrap();
+        let mut rng = seeded_rng(seed);
+        let tt = train_test_split(&ds, 0.75, &mut rng).unwrap();
+        let model = LinearRegressionTrainer::ols().train(&tt.train).unwrap();
+        let grid: Vec<Ncp> = [0.05, 0.2, 1.0, 5.0]
+            .iter()
+            .map(|&d| Ncp::new(d).unwrap())
+            .collect();
+        let test = tt.test.clone();
+        let report = check_error_monotonicity(
+            &GaussianMechanism,
+            &model,
+            |h| metrics::mse(h, &test).map_err(Into::into),
+            &grid,
+            3_000,
+            &mut rng,
+        ).unwrap();
+        prop_assert!(
+            report.is_monotone_within(0.05),
+            "worst violation {}",
+            report.worst_violation
+        );
+    }
+}
+
+#[test]
+fn gaussian_noise_is_isotropic_per_figure4() {
+    // Figure 4: per-coordinate variance is δ/d for every coordinate.
+    let d = 8;
+    let delta = 2.0;
+    let model = LinearModel::zeros(d);
+    let ncp = Ncp::new(delta).unwrap();
+    let mut rng = seeded_rng(77);
+    let reps = 60_000;
+    let mut per_coord = vec![0.0f64; d];
+    for _ in 0..reps {
+        let noisy = GaussianMechanism.perturb(&model, ncp, &mut rng).unwrap();
+        for (acc, w) in per_coord.iter_mut().zip(noisy.weights().as_slice()) {
+            *acc += w * w;
+        }
+    }
+    let expected = delta / d as f64;
+    for (j, acc) in per_coord.iter().enumerate() {
+        let var = acc / reps as f64;
+        assert!(
+            (var - expected).abs() < 0.08 * expected,
+            "coordinate {j}: variance {var}, expected {expected}"
+        );
+    }
+}

@@ -14,7 +14,9 @@ fn bench_error_curve_estimation(c: &mut Criterion) {
     let model = LinearModel::new(Vector::from_vec(
         (0..20).map(|i| (i as f64 * 0.31).cos()).collect(),
     ));
-    let deltas: Vec<Ncp> = (1..=10).map(|i| Ncp::new(i as f64 * 0.2).unwrap()).collect();
+    let deltas: Vec<Ncp> = (1..=10)
+        .map(|i| Ncp::new(i as f64 * 0.2).unwrap())
+        .collect();
     let mut group = c.benchmark_group("error_curve_10_deltas");
     group.sample_size(10);
     for samples in [100usize, 500] {

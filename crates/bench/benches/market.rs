@@ -47,16 +47,18 @@ fn bench_purchase_throughput(c: &mut Criterion) {
     broker.open_market().unwrap();
     c.bench_function("purchase_at_point", |b| {
         b.iter(|| {
-            broker
-                .purchase(black_box(PurchaseRequest::AtInverseNcp(42.0)), f64::INFINITY)
-                .unwrap()
+            let quote = broker
+                .quote_request(black_box(PurchaseRequest::AtInverseNcp(42.0)))
+                .unwrap();
+            broker.commit(quote, quote.price).unwrap()
         })
     });
     c.bench_function("purchase_price_budget_binary_search", |b| {
         b.iter(|| {
-            broker
-                .purchase(black_box(PurchaseRequest::PriceBudget(30.0)), 30.0)
-                .unwrap()
+            let quote = broker
+                .quote_request(black_box(PurchaseRequest::PriceBudget(30.0)))
+                .unwrap();
+            broker.commit(quote, 30.0).unwrap()
         })
     });
 }

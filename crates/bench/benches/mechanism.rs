@@ -28,7 +28,11 @@ fn bench_perturb_dims(c: &mut Criterion) {
         let model = model_of_dim(d);
         group.bench_with_input(BenchmarkId::from_parameter(d), &model, |b, m| {
             let mut rng = seeded_rng(1);
-            b.iter(|| GaussianMechanism.perturb(black_box(m), ncp, &mut rng).unwrap())
+            b.iter(|| {
+                GaussianMechanism
+                    .perturb(black_box(m), ncp, &mut rng)
+                    .unwrap()
+            })
         });
     }
     group.finish();

@@ -5,9 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nimbus_data::synthetic::{
     generate_classification, generate_regression, ClassificationSpec, RegressionSpec,
 };
-use nimbus_ml::{
-    LinearRegressionTrainer, LogisticRegressionTrainer, PegasosSvmTrainer, Trainer,
-};
+use nimbus_ml::{LinearRegressionTrainer, LogisticRegressionTrainer, PegasosSvmTrainer, Trainer};
 use std::hint::black_box;
 
 fn bench_linear_regression(c: &mut Criterion) {
@@ -27,8 +25,7 @@ fn bench_logistic_regression(c: &mut Criterion) {
     let mut group = c.benchmark_group("train_logistic_newton_d20");
     group.sample_size(10);
     for n in [1_000usize, 5_000] {
-        let (data, _) =
-            generate_classification(&ClassificationSpec::simulated2(n, 20), 2).unwrap();
+        let (data, _) = generate_classification(&ClassificationSpec::simulated2(n, 20), 2).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, d| {
             let trainer = LogisticRegressionTrainer::new(1e-4);
             b.iter(|| trainer.train(black_box(d)).unwrap())
@@ -63,10 +60,8 @@ fn bench_streaming_least_squares(c: &mut Criterion) {
     for n in [10_000usize, 100_000] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &rows| {
             b.iter(|| {
-                let mut stream = SyntheticRegressionStream::new(
-                    RegressionSpec::simulated1(rows, 20),
-                    1,
-                );
+                let mut stream =
+                    SyntheticRegressionStream::new(RegressionSpec::simulated1(rows, 20), 1);
                 train_least_squares_stream(&mut stream, 1e-6).unwrap()
             })
         });

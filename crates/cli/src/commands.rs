@@ -5,8 +5,8 @@
 
 use crate::parse::{usage, BuyRequest, Command};
 use nimbus::core::arbitrage::find_attack;
-use nimbus::prelude::*;
 use nimbus::prelude::ErrorCurve;
+use nimbus::prelude::*;
 use std::fmt::Write as _;
 
 /// Boxed evaluation closure for buyer-side error functions.
@@ -92,16 +92,14 @@ fn build_broker(dataset: PaperDataset, seed: u64) -> Result<Broker, String> {
         Task::Regression => Box::new(LinearRegressionTrainer::ridge(1e-6)),
         Task::BinaryClassification => Box::new(LogisticRegressionTrainer::new(1e-4)),
     };
-    let broker = Broker::new(
-        seller,
-        trainer,
-        Box::new(GaussianMechanism),
-        BrokerConfig {
-            n_price_points: 50,
-            error_curve_samples: 50,
-            seed,
-        },
-    );
+    let broker = Broker::builder(seller)
+        .boxed_trainer(trainer)
+        .mechanism(GaussianMechanism)
+        .n_price_points(50)
+        .error_curve_samples(50)
+        .seed(seed)
+        .build()
+        .map_err(|e| e.to_string())?;
     broker.open_market().map_err(|e| e.to_string())?;
     Ok(broker)
 }
@@ -141,7 +139,10 @@ fn demo(dataset_name: &str, seed: u64) -> Result<String, String> {
         ("error budget 0.1", PurchaseRequest::ErrorBudget(0.1)),
         ("price budget 30", PurchaseRequest::PriceBudget(30.0)),
     ] {
-        match broker.purchase(request, f64::INFINITY) {
+        match broker
+            .quote_request(request)
+            .and_then(|quote| broker.commit(quote, quote.price))
+        {
             Ok(sale) => {
                 let _ = writeln!(
                     out,
@@ -189,9 +190,17 @@ fn price(value: &str, demand: &str, points: usize) -> Result<String, String> {
         out,
         "market: {value} value x {demand} demand, {points} versions"
     );
-    let _ = writeln!(out, "{:<10} {:>10} {:>15}", "strategy", "revenue", "affordability");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>10} {:>15}",
+        "strategy", "revenue", "affordability"
+    );
     for o in &outcomes {
-        let _ = writeln!(out, "{:<10} {:>10.3} {:>15.3}", o.name, o.revenue, o.affordability);
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10.3} {:>15.3}",
+            o.name, o.revenue, o.affordability
+        );
     }
     let mbp = &outcomes[0];
     let _ = writeln!(out, "\nMBP price curve:");
@@ -201,7 +210,11 @@ fn price(value: &str, demand: &str, points: usize) -> Result<String, String> {
         .zip(&mbp.prices)
         .step_by((points / 10).max(1))
     {
-        let _ = writeln!(out, "  1/NCP {:>6.1}  value {:>7.2}  price {:>7.2}", p.a, p.v, z);
+        let _ = writeln!(
+            out,
+            "  1/NCP {:>6.1}  value {:>7.2}  price {:>7.2}",
+            p.a, p.v, z
+        );
     }
     Ok(out)
 }
@@ -214,8 +227,9 @@ fn buy(dataset_name: &str, request: BuyRequest, seed: u64) -> Result<String, Str
         BuyRequest::PriceBudget(p) => PurchaseRequest::PriceBudget(p),
         BuyRequest::AtInverseNcp(x) => PurchaseRequest::AtInverseNcp(x),
     };
+    let quote = broker.quote_request(req).map_err(|e| e.to_string())?;
     let sale = broker
-        .purchase(req, f64::INFINITY)
+        .commit(quote, quote.price)
         .map_err(|e| e.to_string())?;
     let mut out = String::new();
     let _ = writeln!(out, "purchased from the {} market:", dataset.name());
@@ -238,18 +252,22 @@ fn attack(value: &str, points: usize, naive: bool) -> Result<String, String> {
     let prices = if naive {
         problem.valuations()
     } else {
-        solve_revenue_dp(&problem).map_err(|e| e.to_string())?.prices
+        solve_revenue_dp(&problem)
+            .map_err(|e| e.to_string())?
+            .prices
     };
-    let pricing = PiecewiseLinearPricing::new(
-        params.iter().copied().zip(prices).collect(),
-    )
-    .map_err(|e| e.to_string())?;
+    let pricing = PiecewiseLinearPricing::new(params.iter().copied().zip(prices).collect())
+        .map_err(|e| e.to_string())?;
     let target = *params.last().expect("non-empty");
     let mut out = String::new();
     let _ = writeln!(
         out,
         "attacking the {} pricing of a {value}-value market at x = {target}",
-        if naive { "NAIVE (valuation)" } else { "MBP (DP-optimized)" }
+        if naive {
+            "NAIVE (valuation)"
+        } else {
+            "MBP (DP-optimized)"
+        }
     );
     match find_attack(&pricing, target, &params, 2_000).map_err(|e| e.to_string())? {
         Some(a) => {
@@ -265,16 +283,17 @@ fn attack(value: &str, points: usize, naive: bool) -> Result<String, String> {
             );
         }
         None => {
-            let _ = writeln!(out, "no arbitrage exists (monotone + subadditive, Theorem 5)");
+            let _ = writeln!(
+                out,
+                "no arbitrage exists (monotone + subadditive, Theorem 5)"
+            );
         }
     }
     Ok(out)
 }
 
 fn fairness(value: &str, points: usize, tau: Option<f64>) -> Result<String, String> {
-    use nimbus::optim::fairness::{
-        fairness_frontier, maximize_revenue_with_affordability_floor,
-    };
+    use nimbus::optim::fairness::{fairness_frontier, maximize_revenue_with_affordability_floor};
     let curves = MarketCurves::new(lookup_value(value)?, DemandCurve::Uniform);
     let problem = curves.build_problem(points).map_err(|e| e.to_string())?;
     let lambdas = [0.0, 1.0, 4.0, 16.0, 64.0, 256.0];
@@ -284,7 +303,11 @@ fn fairness(value: &str, points: usize, tau: Option<f64>) -> Result<String, Stri
         out,
         "revenue/affordability frontier ({value} value, uniform demand, {points} versions):"
     );
-    let _ = writeln!(out, "{:>8} {:>10} {:>15}", "lambda", "revenue", "affordability");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>10} {:>15}",
+        "lambda", "revenue", "affordability"
+    );
     for p in &frontier {
         let _ = writeln!(
             out,
@@ -293,8 +316,8 @@ fn fairness(value: &str, points: usize, tau: Option<f64>) -> Result<String, Stri
         );
     }
     if let Some(tau) = tau {
-        let sol = maximize_revenue_with_affordability_floor(&problem, tau)
-            .map_err(|e| e.to_string())?;
+        let sol =
+            maximize_revenue_with_affordability_floor(&problem, tau).map_err(|e| e.to_string())?;
         let _ = writeln!(
             out,
             "\nhard floor tau = {tau}: revenue {:.3} at affordability {:.3} (lambda* = {:.3})",
@@ -315,9 +338,9 @@ fn error_curve(dataset_name: &str, samples: usize, seed: u64) -> Result<String, 
     let model = trainer.train(&tt.train).map_err(|e| e.to_string())?;
     let test = tt.test.clone();
     let eval: EvalFn = match dataset.task() {
-        Task::Regression => Box::new(move |h: &LinearModel| {
-            nimbus::ml::metrics::mse(h, &test).map_err(Into::into)
-        }),
+        Task::Regression => {
+            Box::new(move |h: &LinearModel| nimbus::ml::metrics::mse(h, &test).map_err(Into::into))
+        }
         Task::BinaryClassification => Box::new(move |h: &LinearModel| {
             nimbus::ml::metrics::zero_one_error(h, &test).map_err(Into::into)
         }),
@@ -360,7 +383,11 @@ fn error_curve(dataset_name: &str, samples: usize, seed: u64) -> Result<String, 
     let _ = writeln!(
         out,
         "monotone in delta (Theorem 4): {}",
-        if monotone { "yes" } else { "within Monte-Carlo noise" }
+        if monotone {
+            "yes"
+        } else {
+            "within Monte-Carlo noise"
+        }
     );
     Ok(out)
 }
@@ -415,9 +442,15 @@ mod tests {
 
     #[test]
     fn unknown_names_are_reported() {
-        assert!(run(&["demo", "--dataset", "MNIST"]).unwrap_err().contains("unknown dataset"));
-        assert!(run(&["price", "--value", "wavy"]).unwrap_err().contains("unknown value shape"));
-        assert!(run(&["price", "--demand", "weird"]).unwrap_err().contains("unknown demand shape"));
+        assert!(run(&["demo", "--dataset", "MNIST"])
+            .unwrap_err()
+            .contains("unknown dataset"));
+        assert!(run(&["price", "--value", "wavy"])
+            .unwrap_err()
+            .contains("unknown value shape"));
+        assert!(run(&["price", "--demand", "weird"])
+            .unwrap_err()
+            .contains("unknown demand shape"));
     }
 
     #[test]

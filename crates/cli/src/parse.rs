@@ -130,10 +130,7 @@ pub fn usage() -> String {
         .to_string()
 }
 
-fn take_value<I: Iterator<Item = String>>(
-    iter: &mut I,
-    flag: &str,
-) -> Result<String, ParseError> {
+fn take_value<I: Iterator<Item = String>>(iter: &mut I, flag: &str) -> Result<String, ParseError> {
     iter.next()
         .ok_or_else(|| ParseError::MissingValue(flag.to_string()))
 }
@@ -305,8 +302,10 @@ mod tests {
 
     #[test]
     fn price_flags() {
-        let c = parse(&["price", "--value", "convex", "--demand", "bimodal", "--points", "8"])
-            .unwrap();
+        let c = parse(&[
+            "price", "--value", "convex", "--demand", "bimodal", "--points", "8",
+        ])
+        .unwrap();
         assert_eq!(
             c,
             Command::Price {

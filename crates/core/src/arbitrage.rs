@@ -315,13 +315,9 @@ mod tests {
     #[test]
     fn relaxed_constraint_piecewise_is_arbitrage_free() {
         // z/a non-increasing, z non-decreasing ⇒ arbitrage-free (Lemma 8).
-        let p = PiecewiseLinearPricing::new(vec![
-            (1.0, 10.0),
-            (2.0, 16.0),
-            (4.0, 24.0),
-            (8.0, 30.0),
-        ])
-        .unwrap();
+        let p =
+            PiecewiseLinearPricing::new(vec![(1.0, 10.0), (2.0, 16.0), (4.0, 24.0), (8.0, 30.0)])
+                .unwrap();
         assert!(p.satisfies_relaxed_constraints(1e-12));
         assert!(is_arbitrage_free_on_points(&p, &grid(), 1e-9).unwrap());
     }
@@ -361,7 +357,9 @@ mod tests {
         let l = LinearPricing::new(1.0, 2.0).unwrap();
         assert!(find_attack(&l, 10.0, &grid(), 1000).unwrap().is_none());
         let p = PiecewiseLinearPricing::new(vec![(1.0, 10.0), (2.0, 16.0), (4.0, 24.0)]).unwrap();
-        assert!(find_attack(&p, 4.0, &[1.0, 2.0, 4.0], 2000).unwrap().is_none());
+        assert!(find_attack(&p, 4.0, &[1.0, 2.0, 4.0], 2000)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -416,10 +414,7 @@ mod tests {
         assert!(combine_instances(&[]).is_err());
         let a = LinearModel::zeros(2);
         let b = LinearModel::zeros(3);
-        let instances = vec![
-            (a, Ncp::new(1.0).unwrap()),
-            (b, Ncp::new(1.0).unwrap()),
-        ];
+        let instances = vec![(a, Ncp::new(1.0).unwrap()), (b, Ncp::new(1.0).unwrap())];
         assert!(combine_instances(&instances).is_err());
     }
 
@@ -433,23 +428,17 @@ mod tests {
             .collect();
         let curve = crate::ErrorCurve::analytic_square_loss(&deltas).unwrap();
         let report =
-            check_arbitrage_free_via_error_curve(|err| 50.0 / (1.0 + err), &curve, 1e-9)
-                .unwrap();
+            check_arbitrage_free_via_error_curve(|err| 50.0 / (1.0 + err), &curve, 1e-9).unwrap();
         assert!(report.is_arbitrage_free(), "{report:?}");
 
         // Pricing that *rises* with the error is not monotone in x.
-        let report =
-            check_arbitrage_free_via_error_curve(|err| err * 10.0, &curve, 1e-9).unwrap();
+        let report = check_arbitrage_free_via_error_curve(|err| err * 10.0, &curve, 1e-9).unwrap();
         assert!(!report.is_arbitrage_free());
         assert!(!report.monotonicity_violations.is_empty());
 
         // Pricing convex in x (superadditive): p = 1/err² = x² under ε_s.
-        let report = check_arbitrage_free_via_error_curve(
-            |err| 1.0 / (err * err),
-            &curve,
-            1e-9,
-        )
-        .unwrap();
+        let report =
+            check_arbitrage_free_via_error_curve(|err| 1.0 / (err * err), &curve, 1e-9).unwrap();
         assert!(!report.subadditivity_violations.is_empty());
     }
 

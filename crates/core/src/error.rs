@@ -48,7 +48,10 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::InvalidNcp { value } => {
-                write!(f, "noise control parameter must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "noise control parameter must be positive and finite, got {value}"
+                )
             }
             CoreError::InvalidPrice { value } => {
                 write!(f, "price must be non-negative and finite, got {value}")
@@ -95,7 +98,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(CoreError::InvalidNcp { value: -1.0 }.to_string().contains("-1"));
+        assert!(CoreError::InvalidNcp { value: -1.0 }
+            .to_string()
+            .contains("-1"));
         assert!(CoreError::EmptyCurve.to_string().contains("at least one"));
         assert!(CoreError::BudgetUnsatisfiable {
             kind: "price",

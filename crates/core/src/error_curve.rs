@@ -113,13 +113,15 @@ impl ErrorCurve {
         let points = raw
             .into_iter()
             .zip(smoothed)
-            .map(|((delta, mean_error, std_error), smoothed_error)| ErrorCurvePoint {
-                delta,
-                inverse: 1.0 / delta,
-                mean_error,
-                std_error,
-                smoothed_error,
-            })
+            .map(
+                |((delta, mean_error, std_error), smoothed_error)| ErrorCurvePoint {
+                    delta,
+                    inverse: 1.0 / delta,
+                    mean_error,
+                    std_error,
+                    smoothed_error,
+                },
+            )
             .collect();
         Ok(ErrorCurve { points })
     }

@@ -49,9 +49,7 @@ pub mod square_loss;
 pub use arbitrage::{is_arbitrage_free_on_points, ArbitrageAttack, ArbitrageReport};
 pub use error::CoreError;
 pub use error_curve::{ErrorCurve, ErrorCurvePoint};
-pub use mechanism::{
-    GaussianMechanism, LaplaceMechanism, RandomizedMechanism, UniformMechanism,
-};
+pub use mechanism::{GaussianMechanism, LaplaceMechanism, RandomizedMechanism, UniformMechanism};
 pub use ncp::{inverse_ncp_grid, InverseNcp, Ncp};
 pub use price_error_curve::{PriceErrorCurve, PriceErrorPoint, PurchaseChoice};
 pub use pricing::{ConstantPricing, LinearPricing, PiecewiseLinearPricing, PricingFunction};

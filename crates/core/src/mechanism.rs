@@ -75,9 +75,8 @@ impl RandomizedMechanism for LaplaceMechanism {
                 reason: "cannot perturb a zero-dimensional model",
             });
         }
-        let dist = Laplace::with_variance(ncp.delta() / d as f64).ok_or(CoreError::InvalidNcp {
-            value: ncp.delta(),
-        })?;
+        let dist = Laplace::with_variance(ncp.delta() / d as f64)
+            .ok_or(CoreError::InvalidNcp { value: ncp.delta() })?;
         let mut noise = vec![0.0; d];
         dist.fill(rng, &mut noise);
         optimal
@@ -159,7 +158,9 @@ mod tests {
     use nimbus_randkit::seeded_rng;
 
     fn model() -> LinearModel {
-        LinearModel::new(Vector::from_vec(vec![1.2, -3.1, 0.5, 0.1, -2.3, 7.2, -0.9, 5.5]))
+        LinearModel::new(Vector::from_vec(vec![
+            1.2, -3.1, 0.5, 0.1, -2.3, 7.2, -0.9, 5.5,
+        ]))
     }
 
     fn empirical_mean_and_variance<M: RandomizedMechanism>(
@@ -231,8 +232,14 @@ mod tests {
     fn zero_dimensional_models_rejected() {
         let zero = LinearModel::zeros(0);
         let mut rng = seeded_rng(1);
-        for mech in [&GaussianMechanism as &dyn RandomizedMechanism, &LaplaceMechanism, &UniformMechanism] {
-            assert!(mech.perturb(&zero, Ncp::new(1.0).unwrap(), &mut rng).is_err());
+        for mech in [
+            &GaussianMechanism as &dyn RandomizedMechanism,
+            &LaplaceMechanism,
+            &UniformMechanism,
+        ] {
+            assert!(mech
+                .perturb(&zero, Ncp::new(1.0).unwrap(), &mut rng)
+                .is_err());
         }
     }
 

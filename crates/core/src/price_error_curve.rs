@@ -43,10 +43,7 @@ pub struct PriceErrorCurve {
 impl PriceErrorCurve {
     /// Assembles the curve from an estimated [`ErrorCurve`] and a pricing
     /// function. Points come out ordered by increasing δ (decreasing x).
-    pub fn new<P: PricingFunction + ?Sized>(
-        error_curve: &ErrorCurve,
-        pricing: &P,
-    ) -> Result<Self> {
+    pub fn new<P: PricingFunction + ?Sized>(error_curve: &ErrorCurve, pricing: &P) -> Result<Self> {
         if error_curve.is_empty() {
             return Err(CoreError::EmptyCurve);
         }
@@ -80,6 +77,26 @@ impl PriceErrorCurve {
     /// Whether the curve is empty (never true once constructed).
     pub fn is_empty(&self) -> bool {
         self.points.is_empty()
+    }
+
+    /// The `(expected error, price)` range covered by the curve: errors of
+    /// the most/least accurate versions and the corresponding prices.
+    /// Useful for snapshot consumers that need bounds without walking the
+    /// points.
+    pub fn ranges(&self) -> ((f64, f64), (f64, f64)) {
+        let first = &self.points[0];
+        let last = &self.points[self.points.len() - 1];
+        let (e_lo, e_hi) = if first.expected_error <= last.expected_error {
+            (first.expected_error, last.expected_error)
+        } else {
+            (last.expected_error, first.expected_error)
+        };
+        let (p_lo, p_hi) = if first.price <= last.price {
+            (first.price, last.price)
+        } else {
+            (last.price, first.price)
+        };
+        ((e_lo, e_hi), (p_lo, p_hi))
     }
 
     /// Option 1 — the buyer picks the version at a specific δ (must be one

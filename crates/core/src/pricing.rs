@@ -86,17 +86,30 @@ impl PiecewiseLinearPricing {
         &self.zs
     }
 
+    /// The posted `(a_i, z_i)` menu pairs, in breakpoint order. Snapshot
+    /// consumers use this instead of zipping [`Self::breakpoints`] and
+    /// [`Self::values`] by hand.
+    pub fn menu(&self) -> Vec<(f64, f64)> {
+        self.xs
+            .iter()
+            .copied()
+            .zip(self.zs.iter().copied())
+            .collect()
+    }
+
+    /// The breakpoint range `(a_1, a_n)` — the inverse-NCP interval on which
+    /// the menu interpolates (outside it the curve extends through the
+    /// origin on the left and as a constant on the right).
+    pub fn support(&self) -> (f64, f64) {
+        (self.xs[0], self.xs[self.xs.len() - 1])
+    }
+
     /// Checks the relaxed constraints of program (5): `z` non-decreasing and
     /// the unit price `z_i/a_i` non-increasing. By Lemma 8 + Proposition 1,
     /// these imply the interpolant is arbitrage-free everywhere.
     pub fn satisfies_relaxed_constraints(&self, tol: f64) -> bool {
         let monotone = self.zs.windows(2).all(|w| w[1] >= w[0] - tol);
-        let unit: Vec<f64> = self
-            .zs
-            .iter()
-            .zip(&self.xs)
-            .map(|(z, a)| z / a)
-            .collect();
+        let unit: Vec<f64> = self.zs.iter().zip(&self.xs).map(|(z, a)| z / a).collect();
         let decreasing_unit = unit.windows(2).all(|w| w[1] <= w[0] + tol);
         monotone && decreasing_unit
     }

@@ -228,10 +228,7 @@ mod tests {
         assert_eq!(PaperDataset::YearMsd.paper_shape(), (386_509, 128_836, 90));
         assert_eq!(PaperDataset::Casp.paper_shape(), (34_298, 11_433, 9));
         assert_eq!(PaperDataset::CovType.paper_shape(), (435_759, 145_253, 54));
-        assert_eq!(
-            PaperDataset::Susy.paper_shape(),
-            (3_750_000, 1_250_000, 18)
-        );
+        assert_eq!(PaperDataset::Susy.paper_shape(), (3_750_000, 1_250_000, 18));
     }
 
     #[test]
@@ -276,10 +273,7 @@ mod tests {
         let spec = DatasetSpec::scaled(PaperDataset::CovType, 300);
         let (a, _) = spec.materialize(5).unwrap();
         let (b, _) = spec.materialize(5).unwrap();
-        assert_eq!(
-            a.train.features().as_slice(),
-            b.train.features().as_slice()
-        );
+        assert_eq!(a.train.features().as_slice(), b.train.features().as_slice());
     }
 
     #[test]
@@ -287,7 +281,14 @@ mod tests {
         let names: Vec<&str> = PaperDataset::ALL.iter().map(|d| d.name()).collect();
         assert_eq!(
             names,
-            vec!["Simulated1", "YearMSD", "CASP", "Simulated2", "CovType", "SUSY"]
+            vec![
+                "Simulated1",
+                "YearMSD",
+                "CASP",
+                "Simulated2",
+                "CovType",
+                "SUSY"
+            ]
         );
     }
 }

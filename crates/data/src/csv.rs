@@ -143,12 +143,7 @@ mod tests {
     #[test]
     fn roundtrip_with_header() {
         let mut buf = Vec::new();
-        write_table(
-            &mut buf,
-            &["x", "y"],
-            &[vec![1.0, 2.0], vec![3.5, -4.0]],
-        )
-        .unwrap();
+        write_table(&mut buf, &["x", "y"], &[vec![1.0, 2.0], vec![3.5, -4.0]]).unwrap();
         let t = read_table(&buf[..], true).unwrap();
         assert_eq!(t.columns, vec!["x", "y"]);
         assert_eq!(t.rows, vec![vec![1.0, 2.0], vec![3.5, -4.0]]);

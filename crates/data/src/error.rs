@@ -53,7 +53,10 @@ impl fmt::Display for DataError {
                 "feature matrix has {features} rows but target vector has {targets} entries"
             ),
             DataError::InvalidSplitFraction { fraction } => {
-                write!(f, "split fraction {fraction} must be strictly between 0 and 1")
+                write!(
+                    f,
+                    "split fraction {fraction} must be strictly between 0 and 1"
+                )
             }
             DataError::EmptyDataset => write!(f, "dataset is empty"),
             DataError::InvalidTarget { row, value } => {

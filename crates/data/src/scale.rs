@@ -81,7 +81,13 @@ impl Standardizer {
         }
         let mut out = Vec::with_capacity(data.len() * d);
         for i in 0..data.len() {
-            for ((v, m), s) in data.features().row(i).iter().zip(&self.means).zip(&self.stds) {
+            for ((v, m), s) in data
+                .features()
+                .row(i)
+                .iter()
+                .zip(&self.means)
+                .zip(&self.stds)
+            {
                 out.push((v - m) / s);
             }
         }
@@ -113,7 +119,12 @@ mod tests {
     #[test]
     fn transform_zero_mean_unit_variance() {
         let d = dataset(
-            &[vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0], vec![4.0, 40.0]],
+            &[
+                vec![1.0, 10.0],
+                vec![2.0, 20.0],
+                vec![3.0, 30.0],
+                vec![4.0, 40.0],
+            ],
             vec![0.0; 4],
         );
         let s = Standardizer::fit(&d).unwrap();
@@ -121,15 +132,17 @@ mod tests {
         for j in 0..2 {
             let col = t.features().col(j);
             assert!(col.mean().unwrap().abs() < 1e-12);
-            let var: f64 =
-                col.as_slice().iter().map(|v| v * v).sum::<f64>() / col.len() as f64;
+            let var: f64 = col.as_slice().iter().map(|v| v * v).sum::<f64>() / col.len() as f64;
             assert!((var - 1.0).abs() < 1e-10, "var {var}");
         }
     }
 
     #[test]
     fn constant_column_is_centered_not_scaled() {
-        let d = dataset(&[vec![5.0, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]], vec![0.0; 3]);
+        let d = dataset(
+            &[vec![5.0, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]],
+            vec![0.0; 3],
+        );
         let s = Standardizer::fit(&d).unwrap();
         assert_eq!(s.stds()[0], 1.0);
         let t = s.transform(&d).unwrap();

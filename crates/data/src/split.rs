@@ -32,7 +32,11 @@ impl TrainTest {
 /// inside `(0, 1)` is accepted. Both sides are guaranteed non-empty for
 /// datasets with at least 2 examples; degenerate rounding is nudged so that
 /// neither side is empty.
-pub fn train_test_split(data: &Dataset, train_fraction: f64, rng: &mut NimbusRng) -> Result<TrainTest> {
+pub fn train_test_split(
+    data: &Dataset,
+    train_fraction: f64,
+    rng: &mut NimbusRng,
+) -> Result<TrainTest> {
     if !(train_fraction > 0.0 && train_fraction < 1.0) {
         return Err(DataError::InvalidSplitFraction {
             fraction: train_fraction,

@@ -105,16 +105,16 @@ pub fn generate_regression(spec: &RegressionSpec, seed: u64) -> Result<(Dataset,
     }
     let x = Matrix::from_row_major(spec.n, spec.d, features)?;
     let ds = Dataset::new(x, Vector::from_vec(targets), Task::Regression)?;
-    Ok((ds, Vector::from_vec(w.iter().map(|v| v * spec.target_scale).collect())))
+    Ok((
+        ds,
+        Vector::from_vec(w.iter().map(|v| v * spec.target_scale).collect()),
+    ))
 }
 
 /// Generates a classification dataset: labels follow the sign of `wᵀx` for a
 /// planted hyperplane `w`, flipped with probability `1 - positive_fidelity`.
 /// Returns the dataset and the planted hyperplane.
-pub fn generate_classification(
-    spec: &ClassificationSpec,
-    seed: u64,
-) -> Result<(Dataset, Vector)> {
+pub fn generate_classification(spec: &ClassificationSpec, seed: u64) -> Result<(Dataset, Vector)> {
     assert!(
         (0.5..=1.0).contains(&spec.positive_fidelity),
         "fidelity must be in [0.5, 1]"
@@ -176,7 +176,10 @@ mod tests {
             sse += (pred - y) * (pred - y);
         }
         let mse = sse / ds.len() as f64;
-        assert!((mse - 1.0).abs() < 0.2, "noise variance should be ~1, got {mse}");
+        assert!(
+            (mse - 1.0).abs() < 0.2,
+            "noise variance should be ~1, got {mse}"
+        );
     }
 
     #[test]
@@ -199,7 +202,8 @@ mod tests {
 
     #[test]
     fn simulated2_flip_rate_is_about_five_percent() {
-        let (ds, w) = generate_classification(&ClassificationSpec::simulated2(20_000, 8), 4).unwrap();
+        let (ds, w) =
+            generate_classification(&ClassificationSpec::simulated2(20_000, 8), 4).unwrap();
         let mut flips = 0usize;
         for i in 0..ds.len() {
             let (x, y) = ds.example(i);
@@ -215,7 +219,8 @@ mod tests {
 
     #[test]
     fn classification_labels_are_binary_and_balanced() {
-        let (ds, _) = generate_classification(&ClassificationSpec::simulated2(10_000, 6), 5).unwrap();
+        let (ds, _) =
+            generate_classification(&ClassificationSpec::simulated2(10_000, 6), 5).unwrap();
         let pos = ds.positive_rate().unwrap();
         // A zero-threshold hyperplane over symmetric features gives ~50/50.
         assert!((pos - 0.5).abs() < 0.05, "positive rate {pos}");

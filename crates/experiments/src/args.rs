@@ -140,7 +140,15 @@ mod tests {
     #[test]
     fn parses_flags() {
         let a = parse(&[
-            "--points", "50", "--samples", "17", "--seed", "9", "--out", "tmp", "--full",
+            "--points",
+            "50",
+            "--samples",
+            "17",
+            "--seed",
+            "9",
+            "--out",
+            "tmp",
+            "--full",
         ])
         .unwrap();
         assert_eq!(a.points, Some(50));

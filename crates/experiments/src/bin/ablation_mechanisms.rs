@@ -7,10 +7,10 @@
 //! measures both: the mean curve per mechanism (should coincide) and the
 //! 95th-percentile square loss (where the heavy-tailed Laplace separates).
 
+use nimbus_core::square_loss::square_loss;
 use nimbus_core::{
     GaussianMechanism, LaplaceMechanism, Ncp, RandomizedMechanism, UniformMechanism,
 };
-use nimbus_core::square_loss::square_loss;
 use nimbus_experiments::args::ExperimentArgs;
 use nimbus_experiments::report::{save_csv, TextTable};
 use nimbus_linalg::Vector;
@@ -32,7 +32,13 @@ fn main() {
         Box::new(UniformMechanism),
     ];
 
-    let mut t = TextTable::new(["delta", "mechanism", "mean sq loss", "p95 sq loss", "max sq loss"]);
+    let mut t = TextTable::new([
+        "delta",
+        "mechanism",
+        "mean sq loss",
+        "p95 sq loss",
+        "max sq loss",
+    ]);
     let mut rows = Vec::new();
     for (di, &delta) in deltas.iter().enumerate() {
         let ncp = Ncp::new(delta).expect("positive");

@@ -9,7 +9,9 @@ use nimbus_market::curves::{DemandCurve, MarketCurves, ValueCurve};
 fn main() {
     let args = ExperimentArgs::from_env();
     let n_points = args.points.unwrap_or(100);
-    let buyers = args.buyers.unwrap_or(if args.quick { 1_000 } else { 20_000 });
+    let buyers = args
+        .buyers
+        .unwrap_or(if args.quick { 1_000 } else { 20_000 });
 
     let scenarios: Vec<MarketScenario> = [
         ("convex_value", ValueCurve::standard_convex()),

@@ -46,13 +46,22 @@ fn main() {
     let weights = vec![1.0; errors.len()];
     let repaired = isotonic_decreasing(&bad_prices, &weights);
 
-    let mut t = TextTable::new(["error", "price (non-monotone)", "dominated?", "repaired price"]);
+    let mut t = TextTable::new([
+        "error",
+        "price (non-monotone)",
+        "dominated?",
+        "repaired price",
+    ]);
     let mut rows = Vec::new();
     for i in 0..errors.len() {
         t.row([
             format!("{:.2}", errors[i]),
             format!("{:.2}", bad_prices[i]),
-            if dominated[i] { "YES".into() } else { String::new() },
+            if dominated[i] {
+                "YES".into()
+            } else {
+                String::new()
+            },
             format!("{:.2}", repaired[i]),
         ]);
         rows.push(vec![

@@ -24,11 +24,7 @@ fn main() {
     let naive_revenue = revenue(&naive, &problem).expect("aligned prices");
     let mut t = TextTable::new(["point a_j", "valuation v_j", "naive price"]);
     for (p, z) in problem.points().iter().zip(&naive) {
-        t.row([
-            format!("{}", p.a),
-            format!("{}", p.v),
-            format!("{}", z),
-        ]);
+        t.row([format!("{}", p.a), format!("{}", p.v), format!("{}", z)]);
     }
     t.print("Figure 5(a): pricing at the valuations");
     println!("naive revenue (if honored): {naive_revenue}");

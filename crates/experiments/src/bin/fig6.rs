@@ -18,7 +18,9 @@ use nimbus_data::catalog::{DatasetSpec, PaperDataset};
 use nimbus_data::Task;
 use nimbus_experiments::args::ExperimentArgs;
 use nimbus_experiments::report::{save_csv, TextTable};
-use nimbus_ml::{metrics, LinearModel, LinearRegressionTrainer, LogisticRegressionTrainer, Trainer};
+use nimbus_ml::{
+    metrics, LinearModel, LinearRegressionTrainer, LogisticRegressionTrainer, Trainer,
+};
 use nimbus_randkit::{seeded_rng, split_stream, NimbusRng};
 
 type EvalFn = Box<dyn FnMut(&LinearModel) -> nimbus_core::Result<f64>>;
@@ -54,8 +56,7 @@ fn main() {
                     .train(&tt.train)
                     .expect("train");
                 let test = tt.test.clone();
-                let eval: EvalFn =
-                    Box::new(move |h| metrics::mse(h, &test).map_err(Into::into));
+                let eval: EvalFn = Box::new(move |h| metrics::mse(h, &test).map_err(Into::into));
                 (model, vec![("square", eval)])
             }
             Task::BinaryClassification => {

@@ -7,8 +7,20 @@ use std::process::Command;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let binaries = [
-        "table3", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-        "fig14", "ablation_fairness", "ablation_mechanisms",
+        "table3",
+        "fig3",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "ablation_fairness",
+        "ablation_mechanisms",
     ];
     for bin in binaries {
         println!("\n############ running {bin} ############");

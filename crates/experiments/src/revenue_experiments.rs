@@ -63,8 +63,7 @@ pub fn run_revenue_figure(
 
         // Panel (c)/(d): posted price curves per strategy.
         let mut price_table = TextTable::new(
-            std::iter::once("1/NCP".to_string())
-                .chain(outcomes.iter().map(|o| o.name.to_string())),
+            std::iter::once("1/NCP".to_string()).chain(outcomes.iter().map(|o| o.name.to_string())),
         );
         for (j, p) in problem.points().iter().enumerate().step_by(stride) {
             price_table.row(
@@ -232,12 +231,12 @@ pub fn run_runtime_figure(
                 std::iter::once("k".to_string()).chain(names.iter().map(|n| n.to_string())),
             );
             for row in &rows {
-                t.row(
-                    std::iter::once(row.k.to_string())
-                        .chain(row.outcomes.iter().map(&extract)),
-                );
+                t.row(std::iter::once(row.k.to_string()).chain(row.outcomes.iter().map(&extract)));
             }
-            t.print(&format!("{fig} ({}): {title} vs number of price values", scenario.label));
+            t.print(&format!(
+                "{fig} ({}): {title} vs number of price values",
+                scenario.label
+            ));
         }
 
         // Headline claim of §6.3: the DP is orders of magnitude faster than
@@ -277,7 +276,13 @@ pub fn run_runtime_figure(
         save_csv(
             out_dir,
             &format!("{fig}_{}_runtime", scenario.label),
-            &["k", "strategy_index", "runtime_s", "revenue", "affordability"],
+            &[
+                "k",
+                "strategy_index",
+                "runtime_s",
+                "revenue",
+                "affordability",
+            ],
             &csv_rows,
         )?;
 
@@ -295,7 +300,10 @@ mod tests {
     fn integer_grid_problem_is_grid_rational() {
         let curves = MarketCurves::new(ValueCurve::standard_convex(), DemandCurve::Uniform);
         let p = integer_grid_problem(&curves, 7).unwrap();
-        assert_eq!(p.parameters(), vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0]);
+        assert_eq!(
+            p.parameters(),
+            vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0]
+        );
         // Brute force must accept it.
         assert!(nimbus_optim::solve_revenue_brute_force(&p).is_ok());
     }
@@ -323,8 +331,7 @@ mod tests {
             "convex",
             MarketCurves::new(ValueCurve::standard_convex(), DemandCurve::Uniform),
         )];
-        let results =
-            run_runtime_figure("figY", &scenarios, 5, tmp.to_str().unwrap()).unwrap();
+        let results = run_runtime_figure("figY", &scenarios, 5, tmp.to_str().unwrap()).unwrap();
         assert_eq!(results[0].1.len(), 5);
         // MILP revenue ≥ MBP revenue ≥ MILP/2 at every k.
         for row in &results[0].1 {

@@ -233,7 +233,9 @@ mod tests {
         let mut state = 0x9e3779b97f4a7c15u64;
         for i in 0..n {
             for j in 0..n {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let u = (state >> 11) as f64 / (1u64 << 53) as f64;
                 b.set(i, j, u - 0.5);
             }

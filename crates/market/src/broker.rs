@@ -7,27 +7,56 @@
 //!    `h*_λ(D)` behind a lock (the "train once, sell many" economics of
 //!    §4 that make real-time interaction possible).
 //! 3. **Market opening** — transforms the curves onto the inverse-NCP axis,
-//!    builds the [`RevenueProblem`], runs the Algorithm 1 DP and posts the
-//!    resulting piecewise-linear arbitrage-free pricing function.
-//! 4. **Sales** — serves the three §3.2 buyer options. Budget arithmetic is
-//!    quoted in square-loss units, where Lemma 3 gives the exact identity
+//!    builds the [`RevenueProblem`], runs the Algorithm 1 DP and publishes
+//!    the result as an immutable [`MarketSnapshot`].
+//! 4. **Sales** — serves the three §3.2 buyer options through an explicit
+//!    quote→commit protocol: [`Broker::quote_request`] resolves a
+//!    [`PurchaseRequest`] to a priced [`Quote`] against the published
+//!    snapshot, and [`Broker::commit`] exchanges the quote plus payment for
+//!    a noisy model instance. Budget arithmetic is quoted in square-loss
+//!    units, where Lemma 3 gives the exact identity
 //!    `expected error = δ = 1/x`; buyers with a different `ε` first build a
 //!    [`nimbus_core::PriceErrorCurve`] via [`Broker::price_error_curve`].
 //!
-//! The broker is `Sync`: the model cache uses a `parking_lot::RwLock`, the
-//! ledger and the sampling RNG sit behind `Mutex`es, so concurrent buyers
-//! can purchase from different threads (covered by a crossbeam test).
+//! # Concurrency model
+//!
+//! The serving path is designed for heavy concurrent buyer traffic:
+//!
+//! * **Immutable snapshot.** `open_market()` publishes an
+//!   `Arc<MarketSnapshot>` (price table, revenue problem, optimal model)
+//!   through an [`AtomicPtr`]; every read path — [`Broker::quote`],
+//!   [`Broker::quote_request`], [`Broker::posted_menu`],
+//!   [`Broker::expected_revenue`] — is a single atomic load with **no
+//!   lock**. Superseded snapshots are kept alive in an append-only history
+//!   for the broker's lifetime, so readers can never observe a dangling
+//!   pointer; outstanding quotes from an older snapshot are rejected at
+//!   commit time with [`MarketError::QuoteExpired`].
+//! * **Striped ledger.** Sales record onto `LEDGER_SHARDS` independent
+//!   `Mutex<LedgerShard>` stripes selected by transaction id, merged into a
+//!   sequence-ordered [`Ledger`] only on read.
+//! * **Per-transaction RNG.** Each commit draws its noise from an
+//!   independent stream `seeded_rng(split_stream(seed, transaction_id))`,
+//!   so the model a buyer receives depends only on `(seed, transaction id,
+//!   x)` — never on thread interleaving — and concurrent sales share no RNG
+//!   state at all. The only remaining RNG lock guards Monte-Carlo
+//!   error-curve estimation, which is off the serving path.
 
-use crate::ledger::{Ledger, Transaction};
+use crate::ledger::{Ledger, LedgerShard, Transaction};
+use crate::parallel::parallel_map;
 use crate::seller::Seller;
 use crate::{MarketError, Result};
 use nimbus_core::mechanism::RandomizedMechanism;
 use nimbus_core::pricing::{PiecewiseLinearPricing, PricingFunction};
-use nimbus_core::{ErrorCurve, InverseNcp, Ncp, PriceErrorCurve};
-use nimbus_ml::{LinearModel, Trainer};
+use nimbus_core::{ErrorCurve, GaussianMechanism, InverseNcp, Ncp, PriceErrorCurve};
+use nimbus_ml::{LinearModel, LinearRegressionTrainer, Trainer};
 use nimbus_optim::{solve_revenue_dp, RevenueProblem};
-use nimbus_randkit::{seeded_rng, NimbusRng};
+use nimbus_randkit::{seeded_rng, split_stream, NimbusRng};
 use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of stripes in the sharded ledger.
+const LEDGER_SHARDS: usize = 16;
 
 /// Broker configuration.
 #[derive(Debug, Clone, Copy)]
@@ -61,6 +90,27 @@ pub enum PurchaseRequest {
     PriceBudget(f64),
 }
 
+/// A priced offer, resolved against one published [`MarketSnapshot`].
+///
+/// Returned by [`Broker::quote_request`] and redeemed by
+/// [`Broker::commit`]. A quote pins the snapshot epoch it was priced
+/// against: if the market is re-opened in between, commit rejects the stale
+/// quote instead of silently charging a different price.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quote {
+    /// Inverse NCP `x` of the quoted version.
+    pub x: f64,
+    /// Noise control parameter `δ = 1/x` of the quoted version.
+    pub delta: f64,
+    /// Posted price of the version.
+    pub price: f64,
+    /// Expected square loss of the version (`= δ` under square loss,
+    /// Lemma 3).
+    pub expected_error: f64,
+    /// Epoch of the snapshot this quote was priced against.
+    pub snapshot_epoch: u64,
+}
+
 /// A completed sale.
 #[derive(Debug, Clone)]
 pub struct Sale {
@@ -76,6 +126,286 @@ pub struct Sale {
     pub transaction: Transaction,
 }
 
+/// Immutable posted-market state, published atomically by
+/// [`Broker::open_market`].
+///
+/// Everything a buyer-facing read needs — the revenue problem, the
+/// optimized price table, the trained optimal model and the menu support —
+/// lives here, so quoting and resolving never take a lock.
+#[derive(Debug, Clone)]
+pub struct MarketSnapshot {
+    problem: RevenueProblem,
+    pricing: PiecewiseLinearPricing,
+    optimal: LinearModel,
+    expected_revenue: f64,
+    epoch: u64,
+    x_lo: f64,
+    x_hi: f64,
+}
+
+impl MarketSnapshot {
+    /// The revenue problem the posted prices were optimized for.
+    pub fn problem(&self) -> &RevenueProblem {
+        &self.problem
+    }
+
+    /// The posted piecewise-linear pricing function.
+    pub fn pricing(&self) -> &PiecewiseLinearPricing {
+        &self.pricing
+    }
+
+    /// The trained optimal model `h*_λ(D)` instances are perturbed from.
+    pub fn optimal(&self) -> &LinearModel {
+        &self.optimal
+    }
+
+    /// Expected revenue of the posted prices under the demand model.
+    pub fn expected_revenue(&self) -> f64 {
+        self.expected_revenue
+    }
+
+    /// Monotone publication counter: 1 for the first `open_market()`, +1
+    /// for each re-opening.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The menu's inverse-NCP support `[x_lo, x_hi]`.
+    pub fn support(&self) -> (f64, f64) {
+        (self.x_lo, self.x_hi)
+    }
+
+    /// The posted `(inverse NCP, price)` menu.
+    pub fn menu(&self) -> Vec<(f64, f64)> {
+        self.pricing.menu()
+    }
+
+    /// Price at an arbitrary inverse NCP.
+    pub fn price_at(&self, x: f64) -> Result<f64> {
+        Ok(self.pricing.price(InverseNcp::new(x)?))
+    }
+
+    /// Resolves a purchase request to `(inverse NCP, price)` without
+    /// buying. Pure snapshot arithmetic — no locks, no side effects.
+    pub fn resolve(&self, request: PurchaseRequest) -> Result<(f64, f64)> {
+        match request {
+            PurchaseRequest::AtInverseNcp(x) => {
+                if !(x > 0.0 && x.is_finite()) {
+                    return Err(nimbus_core::CoreError::InvalidNcp { value: x }.into());
+                }
+                Ok((x, self.price_at(x)?))
+            }
+            PurchaseRequest::ErrorBudget(e) => {
+                if !(e > 0.0 && e.is_finite()) {
+                    return Err(nimbus_core::CoreError::BudgetUnsatisfiable {
+                        kind: "error",
+                        budget: e,
+                    }
+                    .into());
+                }
+                // Under square loss, expected error = δ = 1/x (Lemma 3).
+                // The cheapest feasible version is the noisiest: x = 1/e,
+                // clamped up to the menu floor.
+                let x = (1.0 / e).max(self.x_lo);
+                if x > self.x_hi {
+                    return Err(nimbus_core::CoreError::BudgetUnsatisfiable {
+                        kind: "error",
+                        budget: e,
+                    }
+                    .into());
+                }
+                Ok((x, self.price_at(x)?))
+            }
+            PurchaseRequest::PriceBudget(budget) => {
+                if !(budget >= 0.0 && budget.is_finite()) {
+                    return Err(nimbus_core::CoreError::BudgetUnsatisfiable {
+                        kind: "price",
+                        budget,
+                    }
+                    .into());
+                }
+                if self.price_at(self.x_lo)? > budget {
+                    return Err(nimbus_core::CoreError::BudgetUnsatisfiable {
+                        kind: "price",
+                        budget,
+                    }
+                    .into());
+                }
+                // Most accurate affordable version: binary search on the
+                // monotone posted curve.
+                let mut lo = self.x_lo;
+                let mut hi = self.x_hi;
+                if self.price_at(hi)? <= budget {
+                    return Ok((hi, self.price_at(hi)?));
+                }
+                for _ in 0..96 {
+                    let mid = 0.5 * (lo + hi);
+                    if self.price_at(mid)? <= budget {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                Ok((lo, self.price_at(lo)?))
+            }
+        }
+    }
+
+    /// Resolves a purchase request to a committable [`Quote`].
+    pub fn quote(&self, request: PurchaseRequest) -> Result<Quote> {
+        let (x, price) = self.resolve(request)?;
+        let delta = InverseNcp::new(x)?.ncp().delta();
+        Ok(Quote {
+            x,
+            delta,
+            price,
+            expected_error: delta,
+            snapshot_epoch: self.epoch,
+        })
+    }
+}
+
+/// Validating builder for [`Broker`].
+///
+/// Replaces the positional `Broker::new(seller, trainer, mechanism,
+/// config)` constructor: configuration is checked once at
+/// [`BrokerBuilder::build`] (`n_price_points ≥ 2`,
+/// `error_curve_samples ≥ 1`, commission in `[0, 1)`) instead of surfacing
+/// as panics or optimizer errors mid-session. Trainer and mechanism default
+/// to ridge regression and the Gaussian mechanism — the paper's square-loss
+/// instantiation.
+///
+/// ```no_run
+/// # use nimbus_market::{Broker, Seller};
+/// # fn doc(seller: Seller) -> nimbus_market::Result<()> {
+/// let broker = Broker::builder(seller)
+///     .n_price_points(100)
+///     .commission(0.05)
+///     .seed(42)
+///     .build()?;
+/// # Ok(()) }
+/// ```
+pub struct BrokerBuilder {
+    seller: Seller,
+    trainer: Box<dyn Trainer + Send + Sync>,
+    mechanism: Box<dyn RandomizedMechanism + Send + Sync>,
+    config: BrokerConfig,
+    commission: f64,
+}
+
+impl BrokerBuilder {
+    /// Starts a builder for a seller's listing with default trainer
+    /// (ridge regression), mechanism (Gaussian) and [`BrokerConfig`].
+    pub fn new(seller: Seller) -> Self {
+        BrokerBuilder {
+            seller,
+            trainer: Box::new(LinearRegressionTrainer::ridge(1e-6)),
+            mechanism: Box::new(GaussianMechanism),
+            config: BrokerConfig::default(),
+            commission: 0.0,
+        }
+    }
+
+    /// Sets the trainer.
+    pub fn trainer(mut self, trainer: impl Trainer + Send + Sync + 'static) -> Self {
+        self.trainer = Box::new(trainer);
+        self
+    }
+
+    /// Sets an already-boxed trainer (for dynamic selection).
+    pub fn boxed_trainer(mut self, trainer: Box<dyn Trainer + Send + Sync>) -> Self {
+        self.trainer = trainer;
+        self
+    }
+
+    /// Sets the randomized mechanism.
+    pub fn mechanism(
+        mut self,
+        mechanism: impl RandomizedMechanism + Send + Sync + 'static,
+    ) -> Self {
+        self.mechanism = Box::new(mechanism);
+        self
+    }
+
+    /// Sets an already-boxed mechanism (for dynamic selection).
+    pub fn boxed_mechanism(
+        mut self,
+        mechanism: Box<dyn RandomizedMechanism + Send + Sync>,
+    ) -> Self {
+        self.mechanism = mechanism;
+        self
+    }
+
+    /// Replaces the whole configuration.
+    pub fn config(mut self, config: BrokerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the number of menu price points (validated `≥ 2` at build).
+    pub fn n_price_points(mut self, n: usize) -> Self {
+        self.config.n_price_points = n;
+        self
+    }
+
+    /// Sets the Monte-Carlo samples per δ for error-curve estimation
+    /// (validated `≥ 1` at build).
+    pub fn error_curve_samples(mut self, n: usize) -> Self {
+        self.config.error_curve_samples = n;
+        self
+    }
+
+    /// Sets the seed of the broker's deterministic noise streams.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the commission rate (validated in `[0, 1)` at build).
+    pub fn commission(mut self, rate: f64) -> Self {
+        self.commission = rate;
+        self
+    }
+
+    /// Validates the configuration and constructs the broker.
+    pub fn build(self) -> Result<Broker> {
+        if self.config.n_price_points < 2 {
+            return Err(MarketError::InvalidConfig {
+                reason: format!(
+                    "n_price_points must be at least 2, got {}",
+                    self.config.n_price_points
+                ),
+            });
+        }
+        if self.config.error_curve_samples < 1 {
+            return Err(MarketError::InvalidConfig {
+                reason: "error_curve_samples must be at least 1".to_string(),
+            });
+        }
+        if !(self.commission.is_finite() && (0.0..1.0).contains(&self.commission)) {
+            return Err(MarketError::InvalidConfig {
+                reason: format!("commission rate must be in [0, 1), got {}", self.commission),
+            });
+        }
+        let seed = self.config.seed;
+        Ok(Broker {
+            seller: self.seller,
+            trainer: self.trainer,
+            mechanism: self.mechanism,
+            config: self.config,
+            commission: self.commission,
+            optimal: RwLock::new(None),
+            current: AtomicPtr::new(std::ptr::null_mut()),
+            history: Mutex::new(Vec::new()),
+            shards: (0..LEDGER_SHARDS)
+                .map(|_| Mutex::new(LedgerShard::new()))
+                .collect(),
+            tx_counter: AtomicU64::new(0),
+            curve_rng: Mutex::new(seeded_rng(split_stream(seed, u64::MAX))),
+        })
+    }
+}
+
 /// The broker.
 pub struct Broker {
     seller: Seller,
@@ -86,39 +416,46 @@ pub struct Broker {
     /// "gets a cut from the seller for each sale".
     commission: f64,
     optimal: RwLock<Option<LinearModel>>,
-    market: RwLock<Option<Market>>,
-    ledger: Mutex<Ledger>,
-    rng: Mutex<NimbusRng>,
-}
-
-/// Posted market state.
-#[derive(Debug, Clone)]
-struct Market {
-    problem: RevenueProblem,
-    pricing: PiecewiseLinearPricing,
-    expected_revenue: f64,
+    /// The currently published snapshot (null before `open_market`).
+    /// Readers do one Acquire load; writers publish with a Release store.
+    current: AtomicPtr<MarketSnapshot>,
+    /// Owns every snapshot ever published, keeping the target of `current`
+    /// alive for the broker's lifetime. Locked only while publishing.
+    history: Mutex<Vec<Arc<MarketSnapshot>>>,
+    /// Striped write-side ledger; merged on read by [`Broker::ledger`].
+    shards: Vec<Mutex<LedgerShard>>,
+    /// Globally unique transaction ids, also the label of each sale's
+    /// private RNG stream.
+    tx_counter: AtomicU64,
+    /// RNG for Monte-Carlo error-curve estimation only — never touched by
+    /// the quote/commit serving path.
+    curve_rng: Mutex<NimbusRng>,
 }
 
 impl Broker {
+    /// Starts a validating [`BrokerBuilder`] for a seller's listing.
+    pub fn builder(seller: Seller) -> BrokerBuilder {
+        BrokerBuilder::new(seller)
+    }
+
     /// Creates a broker for a seller's listing.
+    ///
+    /// Legacy positional constructor; delegates to [`BrokerBuilder`] and
+    /// panics if `config` fails validation (`n_price_points ≥ 2`,
+    /// `error_curve_samples ≥ 1`). Prefer [`Broker::builder`], which
+    /// surfaces the problem as a [`MarketError::InvalidConfig`] instead.
     pub fn new(
         seller: Seller,
         trainer: Box<dyn Trainer + Send + Sync>,
         mechanism: Box<dyn RandomizedMechanism + Send + Sync>,
         config: BrokerConfig,
     ) -> Self {
-        let seed = config.seed;
-        Broker {
-            seller,
-            trainer,
-            mechanism,
-            config,
-            commission: 0.0,
-            optimal: RwLock::new(None),
-            market: RwLock::new(None),
-            ledger: Mutex::new(Ledger::new()),
-            rng: Mutex::new(seeded_rng(seed)),
-        }
+        BrokerBuilder::new(seller)
+            .boxed_trainer(trainer)
+            .boxed_mechanism(mechanism)
+            .config(config)
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The seller whose dataset this broker sells.
@@ -128,7 +465,7 @@ impl Broker {
 
     /// Sets the broker's commission rate (fraction of each sale kept by the
     /// broker; the remainder is the seller's proceeds). Panics outside
-    /// `[0, 1)`.
+    /// `[0, 1)`; [`BrokerBuilder::commission`] is the non-panicking path.
     pub fn with_commission(mut self, rate: f64) -> Self {
         assert!(
             (0.0..1.0).contains(&rate),
@@ -173,10 +510,16 @@ impl Broker {
         self.optimal.read().is_some()
     }
 
-    /// Opens the market: builds the revenue problem from the seller's
-    /// curves, optimizes prices with the Algorithm 1 DP, and posts the
-    /// piecewise-linear pricing function. Returns the expected revenue.
+    /// Opens the market: trains the optimal model (if not already cached),
+    /// builds the revenue problem from the seller's curves, optimizes
+    /// prices with the Algorithm 1 DP, and atomically publishes the
+    /// resulting immutable [`MarketSnapshot`]. Returns the expected
+    /// revenue.
+    ///
+    /// Re-opening publishes a fresh snapshot with the next epoch;
+    /// outstanding quotes against the old epoch are rejected at commit.
     pub fn open_market(&self) -> Result<f64> {
+        let optimal = self.optimal_model()?;
         let problem = self
             .seller
             .curves()
@@ -189,48 +532,153 @@ impl Broker {
                 .zip(solution.prices.iter().copied())
                 .collect(),
         )?;
+        let (x_lo, x_hi) = pricing.support();
         let expected = solution.revenue;
-        *self.market.write() = Some(Market {
+        let mut history = self.history.lock();
+        let snapshot = Arc::new(MarketSnapshot {
             problem,
             pricing,
+            optimal,
             expected_revenue: expected,
+            epoch: history.len() as u64 + 1,
+            x_lo,
+            x_hi,
         });
+        let ptr = Arc::as_ptr(&snapshot) as *mut MarketSnapshot;
+        history.push(snapshot);
+        // Release pairs with the Acquire in `snapshot()`: a reader that
+        // sees `ptr` also sees the fully initialized snapshot behind it.
+        self.current.store(ptr, Ordering::Release);
         Ok(expected)
+    }
+
+    /// The currently published snapshot (`None` before `open_market`).
+    /// One atomic load; no lock.
+    pub fn snapshot(&self) -> Option<&MarketSnapshot> {
+        let ptr = self.current.load(Ordering::Acquire);
+        if ptr.is_null() {
+            None
+        } else {
+            // SAFETY: `ptr` came from `Arc::as_ptr` on an Arc that
+            // `self.history` holds (append-only, never cleared) for as long
+            // as `self` lives, so the target outlives the returned `&self`
+            // borrow. The Release store in `open_market` happened-before
+            // this Acquire load, so the snapshot is fully initialized.
+            Some(unsafe { &*ptr })
+        }
+    }
+
+    fn published(&self) -> Result<&MarketSnapshot> {
+        self.snapshot().ok_or(MarketError::MarketNotOpen)
     }
 
     /// Whether [`Broker::open_market`] has been called.
     pub fn is_open(&self) -> bool {
-        self.market.read().is_some()
+        self.snapshot().is_some()
     }
 
     /// The posted `(inverse NCP, price)` menu.
     pub fn posted_menu(&self) -> Result<Vec<(f64, f64)>> {
-        let guard = self.market.read();
-        let market = guard.as_ref().ok_or(MarketError::MarketNotOpen)?;
-        Ok(market
-            .pricing
-            .breakpoints()
-            .iter()
-            .copied()
-            .zip(market.pricing.values().iter().copied())
-            .collect())
+        Ok(self.published()?.menu())
     }
 
     /// Expected revenue of the posted prices under the market-research
     /// demand model.
     pub fn expected_revenue(&self) -> Result<f64> {
-        let guard = self.market.read();
-        Ok(guard
-            .as_ref()
-            .ok_or(MarketError::MarketNotOpen)?
-            .expected_revenue)
+        Ok(self.published()?.expected_revenue())
     }
 
-    /// Price quote at an arbitrary inverse NCP.
+    /// Price quote at an arbitrary inverse NCP. Lock-free.
     pub fn quote(&self, x: f64) -> Result<f64> {
-        let guard = self.market.read();
-        let market = guard.as_ref().ok_or(MarketError::MarketNotOpen)?;
-        Ok(market.pricing.price(InverseNcp::new(x)?))
+        self.published()?.price_at(x)
+    }
+
+    /// Resolves a purchase request to a committable [`Quote`] against the
+    /// current snapshot. Lock-free; no side effects.
+    pub fn quote_request(&self, request: PurchaseRequest) -> Result<Quote> {
+        self.published()?.quote(request)
+    }
+
+    /// Redeems a [`Quote`]: checks the payment against the (re-derived)
+    /// posted price, perturbs the optimal model on the transaction's
+    /// private RNG stream and records the sale on a ledger stripe.
+    ///
+    /// The quote must carry the epoch of the currently published snapshot;
+    /// a quote issued before a re-`open_market()` fails with
+    /// [`MarketError::QuoteExpired`]. The price is re-derived from the
+    /// snapshot rather than trusted from the quote, so a tampered quote
+    /// cannot underpay.
+    pub fn commit(&self, quote: Quote, payment: f64) -> Result<Sale> {
+        let snapshot = self.published()?;
+        if quote.snapshot_epoch != snapshot.epoch() {
+            return Err(MarketError::QuoteExpired {
+                quoted: quote.snapshot_epoch,
+                current: snapshot.epoch(),
+            });
+        }
+        let price = snapshot.price_at(quote.x)?;
+        if payment + 1e-12 < price {
+            return Err(MarketError::InsufficientPayment {
+                price,
+                offered: payment,
+            });
+        }
+        let ncp = InverseNcp::new(quote.x)?.ncp();
+        let tx_id = self.tx_counter.fetch_add(1, Ordering::Relaxed);
+        // The sale's noise depends only on (seed, tx id, x): reproducible
+        // under any thread interleaving, contention-free across threads.
+        let mut rng = seeded_rng(split_stream(self.config.seed, tx_id));
+        let model = self.mechanism.perturb(snapshot.optimal(), ncp, &mut rng)?;
+        let transaction = self.shards[tx_id as usize % LEDGER_SHARDS]
+            .lock()
+            .record_assigned(tx_id, quote.x, price, ncp.delta());
+        Ok(Sale {
+            model,
+            inverse_ncp: quote.x,
+            price,
+            expected_square_error: ncp.delta(),
+            transaction,
+        })
+    }
+
+    /// Resolves a purchase request to `(inverse NCP, price)` without
+    /// buying.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `quote_request`, which returns a committable Quote"
+    )]
+    pub fn resolve(&self, request: PurchaseRequest) -> Result<(f64, f64)> {
+        let quote = self.quote_request(request)?;
+        Ok((quote.x, quote.price))
+    }
+
+    /// Executes a purchase in one step.
+    #[deprecated(since = "0.2.0", note = "use `quote_request` + `commit`")]
+    pub fn purchase(&self, request: PurchaseRequest, payment: f64) -> Result<Sale> {
+        let quote = self.quote_request(request)?;
+        self.commit(quote, payment)
+    }
+
+    /// Quotes and commits every request, fanning out over scoped threads
+    /// (up to available parallelism). Per-request failures come back as
+    /// per-slot `Err`s in input order; successful sales draw their noise
+    /// from their own transaction's RNG stream, so results are
+    /// reproducible for a given arrival order of transaction ids.
+    pub fn purchase_batch(&self, requests: &[PurchaseRequest]) -> Vec<Result<Sale>> {
+        self.purchase_batch_with(requests, None)
+    }
+
+    /// [`Broker::purchase_batch`] with an explicit thread cap (used by the
+    /// throughput benchmark to compare 1-, 4- and 8-thread serving).
+    pub fn purchase_batch_with(
+        &self,
+        requests: &[PurchaseRequest],
+        max_threads: Option<usize>,
+    ) -> Vec<Result<Sale>> {
+        parallel_map(requests.to_vec(), max_threads, |request| {
+            let quote = self.quote_request(request)?;
+            self.commit(quote, quote.price)
+        })
     }
 
     /// Builds the buyer-facing price–error curve for an arbitrary error
@@ -239,137 +687,39 @@ impl Broker {
     where
         F: FnMut(&LinearModel) -> nimbus_core::Result<f64>,
     {
-        let optimal = self.optimal_model()?;
-        let guard = self.market.read();
-        let market = guard.as_ref().ok_or(MarketError::MarketNotOpen)?;
-        let deltas: Vec<Ncp> = market
-            .problem
+        let snapshot = self.published()?;
+        let deltas: Vec<Ncp> = snapshot
+            .problem()
             .parameters()
             .iter()
             .map(|&x| Ok(InverseNcp::new(x)?.ncp()))
             .collect::<Result<Vec<_>>>()?;
-        let mut rng = self.rng.lock();
+        let mut rng = self.curve_rng.lock();
         let curve = ErrorCurve::estimate(
             self.mechanism.as_ref(),
-            &optimal,
+            snapshot.optimal(),
             &mut evaluate,
             &deltas,
             self.config.error_curve_samples,
             &mut rng,
         )?;
-        PriceErrorCurve::new(&curve, &market.pricing).map_err(Into::into)
+        PriceErrorCurve::new(&curve, snapshot.pricing()).map_err(Into::into)
     }
 
-    /// Resolves a purchase request to `(inverse NCP, price)` without buying.
-    pub fn resolve(&self, request: PurchaseRequest) -> Result<(f64, f64)> {
-        let guard = self.market.read();
-        let market = guard.as_ref().ok_or(MarketError::MarketNotOpen)?;
-        let params = market.problem.parameters();
-        let x_lo = params[0];
-        let x_hi = *params.last().expect("non-empty problem");
-        let price = |x: f64| -> Result<f64> {
-            Ok(market.pricing.price(InverseNcp::new(x)?))
-        };
-        match request {
-            PurchaseRequest::AtInverseNcp(x) => {
-                if !(x > 0.0 && x.is_finite()) {
-                    return Err(nimbus_core::CoreError::InvalidNcp { value: x }.into());
-                }
-                Ok((x, price(x)?))
-            }
-            PurchaseRequest::ErrorBudget(e) => {
-                if !(e > 0.0 && e.is_finite()) {
-                    return Err(nimbus_core::CoreError::BudgetUnsatisfiable {
-                        kind: "error",
-                        budget: e,
-                    }
-                    .into());
-                }
-                // Under square loss, expected error = δ = 1/x (Lemma 3).
-                // The cheapest feasible version is the noisiest: x = 1/e,
-                // clamped up to the menu floor.
-                let x = (1.0 / e).max(x_lo);
-                if x > x_hi {
-                    return Err(nimbus_core::CoreError::BudgetUnsatisfiable {
-                        kind: "error",
-                        budget: e,
-                    }
-                    .into());
-                }
-                Ok((x, price(x)?))
-            }
-            PurchaseRequest::PriceBudget(budget) => {
-                if !(budget >= 0.0 && budget.is_finite()) {
-                    return Err(nimbus_core::CoreError::BudgetUnsatisfiable {
-                        kind: "price",
-                        budget,
-                    }
-                    .into());
-                }
-                if price(x_lo)? > budget {
-                    return Err(nimbus_core::CoreError::BudgetUnsatisfiable {
-                        kind: "price",
-                        budget,
-                    }
-                    .into());
-                }
-                // Most accurate affordable version: binary search on the
-                // monotone posted curve.
-                let mut lo = x_lo;
-                let mut hi = x_hi;
-                if price(hi)? <= budget {
-                    return Ok((hi, price(hi)?));
-                }
-                for _ in 0..96 {
-                    let mid = 0.5 * (lo + hi);
-                    if price(mid)? <= budget {
-                        lo = mid;
-                    } else {
-                        hi = mid;
-                    }
-                }
-                Ok((lo, price(lo)?))
-            }
-        }
-    }
-
-    /// Executes a purchase: resolves the request, checks the payment,
-    /// perturbs the optimal model and records the transaction.
-    pub fn purchase(&self, request: PurchaseRequest, payment: f64) -> Result<Sale> {
-        let (x, price) = self.resolve(request)?;
-        if payment + 1e-12 < price {
-            return Err(MarketError::InsufficientPayment {
-                price,
-                offered: payment,
-            });
-        }
-        let optimal = self.optimal_model()?;
-        let ncp = InverseNcp::new(x)?.ncp();
-        let model = {
-            let mut rng = self.rng.lock();
-            self.mechanism.perturb(&optimal, ncp, &mut rng)?
-        };
-        let transaction = {
-            let mut ledger = self.ledger.lock();
-            ledger.record(x, price, ncp.delta())
-        };
-        Ok(Sale {
-            model,
-            inverse_ncp: x,
-            price,
-            expected_square_error: ncp.delta(),
-            transaction,
-        })
+    /// A merged, sequence-ordered copy of the sharded ledger.
+    pub fn ledger(&self) -> Ledger {
+        let shards: Vec<LedgerShard> = self.shards.iter().map(|s| s.lock().clone()).collect();
+        Ledger::from_shards(shards.iter())
     }
 
     /// Total revenue collected so far.
     pub fn collected_revenue(&self) -> f64 {
-        self.ledger.lock().total_revenue()
+        self.shards.iter().map(|s| s.lock().total_revenue()).sum()
     }
 
     /// Number of completed sales.
     pub fn sales_count(&self) -> usize {
-        self.ledger.lock().count()
+        self.shards.iter().map(|s| s.lock().count()).sum()
     }
 }
 
@@ -377,9 +727,7 @@ impl Broker {
 mod tests {
     use super::*;
     use crate::curves::{DemandCurve, MarketCurves, ValueCurve};
-    use nimbus_core::GaussianMechanism;
     use nimbus_data::catalog::{DatasetSpec, PaperDataset};
-    use nimbus_ml::LinearRegressionTrainer;
 
     fn test_broker() -> Broker {
         let (tt, _) = DatasetSpec::scaled(PaperDataset::Simulated1, 600)
@@ -387,16 +735,61 @@ mod tests {
             .unwrap();
         let curves = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform);
         let seller = Seller::new("test", tt, curves);
-        Broker::new(
-            seller,
+        Broker::builder(seller)
+            .trainer(LinearRegressionTrainer::ridge(1e-6))
+            .mechanism(GaussianMechanism)
+            .n_price_points(50)
+            .error_curve_samples(50)
+            .seed(42)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_validates_config() {
+        let (tt, _) = DatasetSpec::scaled(PaperDataset::Simulated1, 100)
+            .materialize(7)
+            .unwrap();
+        let curves = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform);
+        let build = |f: fn(BrokerBuilder) -> BrokerBuilder| {
+            f(Broker::builder(Seller::new("v", tt.clone(), curves))).build()
+        };
+        assert!(matches!(
+            build(|b| b.n_price_points(1)),
+            Err(MarketError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            build(|b| b.error_curve_samples(0)),
+            Err(MarketError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            build(|b| b.commission(1.0)),
+            Err(MarketError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            build(|b| b.commission(-0.1)),
+            Err(MarketError::InvalidConfig { .. })
+        ));
+        assert!(build(|b| b).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid broker configuration")]
+    fn legacy_new_panics_on_invalid_config() {
+        let (tt, _) = DatasetSpec::scaled(PaperDataset::Simulated1, 100)
+            .materialize(7)
+            .unwrap();
+        let curves = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform);
+        let _ = Broker::new(
+            Seller::new("bad", tt, curves),
             Box::new(LinearRegressionTrainer::ridge(1e-6)),
             Box::new(GaussianMechanism),
             BrokerConfig {
-                n_price_points: 50,
+                n_price_points: 0,
                 error_curve_samples: 50,
-                seed: 42,
+                seed: 1,
             },
-        )
+        );
     }
 
     #[test]
@@ -413,18 +806,20 @@ mod tests {
     fn market_must_open_before_sales() {
         let broker = test_broker();
         assert!(!broker.is_open());
+        assert!(broker.snapshot().is_none());
         assert!(matches!(
             broker.quote(10.0),
             Err(MarketError::MarketNotOpen)
         ));
         assert!(matches!(
-            broker.purchase(PurchaseRequest::AtInverseNcp(10.0), 1e9),
+            broker.quote_request(PurchaseRequest::AtInverseNcp(10.0)),
             Err(MarketError::MarketNotOpen)
         ));
         let revenue = broker.open_market().unwrap();
         assert!(revenue > 0.0);
         assert!(broker.is_open());
         assert!(broker.quote(10.0).is_ok());
+        assert_eq!(broker.snapshot().unwrap().epoch(), 1);
     }
 
     #[test]
@@ -438,32 +833,86 @@ mod tests {
             assert!(w[1].1 >= w[0].1 - 1e-9);
             assert!(w[1].1 / w[1].0 <= w[0].1 / w[0].0 + 1e-9);
         }
+        // The snapshot itself certifies the relaxed constraints.
+        assert!(broker
+            .snapshot()
+            .unwrap()
+            .pricing()
+            .satisfies_relaxed_constraints(1e-9));
     }
 
     #[test]
-    fn purchase_at_point_returns_noisy_model() {
+    fn quote_then_commit_returns_noisy_model() {
         let broker = test_broker();
         broker.open_market().unwrap();
         let optimal = broker.optimal_model().unwrap();
-        let sale = broker
-            .purchase(PurchaseRequest::AtInverseNcp(10.0), 1e9)
+        let quote = broker
+            .quote_request(PurchaseRequest::AtInverseNcp(10.0))
             .unwrap();
+        assert_eq!(quote.snapshot_epoch, 1);
+        assert!((quote.delta - 0.1).abs() < 1e-12);
+        assert!((quote.expected_error - 0.1).abs() < 1e-12);
+        let sale = broker.commit(quote, quote.price).unwrap();
         assert_eq!(sale.model.dim(), optimal.dim());
         assert!((sale.expected_square_error - 0.1).abs() < 1e-12);
         // The instance differs from the optimum (noise was added).
         assert!(sale.model.distance_squared(&optimal).unwrap() > 0.0);
         assert_eq!(broker.sales_count(), 1);
         assert!((broker.collected_revenue() - sale.price).abs() < 1e-12);
+        assert_eq!(broker.ledger().count(), 1);
+    }
+
+    #[test]
+    fn stale_quote_is_rejected_after_reopen() {
+        let broker = test_broker();
+        broker.open_market().unwrap();
+        let quote = broker
+            .quote_request(PurchaseRequest::AtInverseNcp(10.0))
+            .unwrap();
+        broker.open_market().unwrap();
+        assert_eq!(broker.snapshot().unwrap().epoch(), 2);
+        assert!(matches!(
+            broker.commit(quote, f64::INFINITY),
+            Err(MarketError::QuoteExpired {
+                quoted: 1,
+                current: 2
+            })
+        ));
+        // A fresh quote against the new snapshot commits fine.
+        let fresh = broker
+            .quote_request(PurchaseRequest::AtInverseNcp(10.0))
+            .unwrap();
+        assert!(broker.commit(fresh, fresh.price).is_ok());
+    }
+
+    #[test]
+    fn tampered_quote_cannot_underpay() {
+        let broker = test_broker();
+        broker.open_market().unwrap();
+        let mut quote = broker
+            .quote_request(PurchaseRequest::AtInverseNcp(50.0))
+            .unwrap();
+        assert!(quote.price > 0.0);
+        // Buyer edits the price field; commit re-derives from the snapshot.
+        let real_price = quote.price;
+        quote.price = 0.0;
+        assert!(matches!(
+            broker.commit(quote, real_price / 2.0),
+            Err(MarketError::InsufficientPayment { .. })
+        ));
+        assert_eq!(broker.sales_count(), 0);
     }
 
     #[test]
     fn insufficient_payment_is_rejected() {
         let broker = test_broker();
         broker.open_market().unwrap();
-        let (_, price) = broker.resolve(PurchaseRequest::AtInverseNcp(50.0)).unwrap();
-        assert!(price > 0.0);
+        let quote = broker
+            .quote_request(PurchaseRequest::AtInverseNcp(50.0))
+            .unwrap();
+        assert!(quote.price > 0.0);
         assert!(matches!(
-            broker.purchase(PurchaseRequest::AtInverseNcp(50.0), price / 2.0),
+            broker.commit(quote, quote.price / 2.0),
             Err(MarketError::InsufficientPayment { .. })
         ));
         assert_eq!(broker.sales_count(), 0);
@@ -474,13 +923,19 @@ mod tests {
         let broker = test_broker();
         broker.open_market().unwrap();
         // Budget e = 0.05 → x = 20.
-        let (x, _) = broker.resolve(PurchaseRequest::ErrorBudget(0.05)).unwrap();
-        assert!((x - 20.0).abs() < 1e-9);
+        let q = broker
+            .quote_request(PurchaseRequest::ErrorBudget(0.05))
+            .unwrap();
+        assert!((q.x - 20.0).abs() < 1e-9);
         // Very loose budget clamps to the menu floor x = 1.
-        let (x, _) = broker.resolve(PurchaseRequest::ErrorBudget(100.0)).unwrap();
-        assert!((x - 1.0).abs() < 1e-9);
+        let q = broker
+            .quote_request(PurchaseRequest::ErrorBudget(100.0))
+            .unwrap();
+        assert!((q.x - 1.0).abs() < 1e-9);
         // Impossible accuracy (x would exceed 100).
-        assert!(broker.resolve(PurchaseRequest::ErrorBudget(0.001)).is_err());
+        assert!(broker
+            .quote_request(PurchaseRequest::ErrorBudget(0.001))
+            .is_err());
     }
 
     #[test]
@@ -490,20 +945,27 @@ mod tests {
         let menu = broker.posted_menu().unwrap();
         let (x_max, p_max) = *menu.last().unwrap();
         // Unlimited budget buys the best version.
-        let (x, p) = broker
-            .resolve(PurchaseRequest::PriceBudget(p_max * 2.0))
+        let q = broker
+            .quote_request(PurchaseRequest::PriceBudget(p_max * 2.0))
             .unwrap();
-        assert!((x - x_max).abs() < 1e-9);
-        assert!((p - p_max).abs() < 1e-9);
+        assert!((q.x - x_max).abs() < 1e-9);
+        assert!((q.price - p_max).abs() < 1e-9);
         // Mid budget: the resolved price must not exceed the budget, and
         // bumping x must exceed it.
         let budget = p_max / 2.0;
-        let (x, p) = broker.resolve(PurchaseRequest::PriceBudget(budget)).unwrap();
-        assert!(p <= budget + 1e-9);
-        let bumped = broker.quote(x + 0.5).unwrap();
-        assert!(bumped >= budget - 1e-6, "binary search not tight: {bumped} vs {budget}");
+        let q = broker
+            .quote_request(PurchaseRequest::PriceBudget(budget))
+            .unwrap();
+        assert!(q.price <= budget + 1e-9);
+        let bumped = broker.quote(q.x + 0.5).unwrap();
+        assert!(
+            bumped >= budget - 1e-6,
+            "binary search not tight: {bumped} vs {budget}"
+        );
         // No budget at all.
-        assert!(broker.resolve(PurchaseRequest::PriceBudget(0.0)).is_err());
+        assert!(broker
+            .quote_request(PurchaseRequest::PriceBudget(0.0))
+            .is_err());
     }
 
     #[test]
@@ -512,9 +974,7 @@ mod tests {
         broker.open_market().unwrap();
         let test_set = broker.seller().dataset().test.clone();
         let curve = broker
-            .price_error_curve(move |m| {
-                nimbus_ml::metrics::mse(m, &test_set).map_err(Into::into)
-            })
+            .price_error_curve(move |m| nimbus_ml::metrics::mse(m, &test_set).map_err(Into::into))
             .unwrap();
         assert_eq!(curve.len(), 50);
         // More accurate versions cost more.
@@ -526,19 +986,17 @@ mod tests {
     fn commission_splits_revenue() {
         let broker = test_broker().with_commission(0.2);
         broker.open_market().unwrap();
-        broker
-            .purchase(PurchaseRequest::AtInverseNcp(30.0), f64::INFINITY)
-            .unwrap();
-        broker
-            .purchase(PurchaseRequest::AtInverseNcp(60.0), f64::INFINITY)
-            .unwrap();
+        for x in [30.0, 60.0] {
+            let q = broker
+                .quote_request(PurchaseRequest::AtInverseNcp(x))
+                .unwrap();
+            broker.commit(q, f64::INFINITY).unwrap();
+        }
         let total = broker.collected_revenue();
         assert!(total > 0.0);
         assert!((broker.broker_cut() - 0.2 * total).abs() < 1e-12);
         assert!((broker.seller_proceeds() - 0.8 * total).abs() < 1e-12);
-        assert!(
-            (broker.broker_cut() + broker.seller_proceeds() - total).abs() < 1e-12
-        );
+        assert!((broker.broker_cut() + broker.seller_proceeds() - total).abs() < 1e-12);
     }
 
     #[test]
@@ -548,25 +1006,85 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn legacy_purchase_and_resolve_still_work() {
+        // Compile-and-behavior check for the deprecated wrappers that keep
+        // pre-redesign call sites working.
+        let broker = test_broker();
+        broker.open_market().unwrap();
+        let (x, price) = broker.resolve(PurchaseRequest::AtInverseNcp(10.0)).unwrap();
+        assert!((x - 10.0).abs() < 1e-12);
+        let sale = broker
+            .purchase(PurchaseRequest::AtInverseNcp(10.0), f64::INFINITY)
+            .unwrap();
+        assert!((sale.price - price).abs() < 1e-12);
+        assert_eq!(broker.sales_count(), 1);
+    }
+
+    #[test]
+    fn purchase_batch_fans_out_and_preserves_order() {
+        let broker = test_broker();
+        broker.open_market().unwrap();
+        let requests: Vec<PurchaseRequest> = (0..64)
+            .map(|i| PurchaseRequest::AtInverseNcp(1.0 + (i % 99) as f64))
+            .collect();
+        let sales = broker.purchase_batch(&requests);
+        assert_eq!(sales.len(), 64);
+        for (i, s) in sales.iter().enumerate() {
+            let sale = s.as_ref().expect("posted-price batch purchase succeeds");
+            assert!((sale.inverse_ncp - (1.0 + (i % 99) as f64)).abs() < 1e-12);
+        }
+        assert_eq!(broker.sales_count(), 64);
+        // Transaction ids are exactly 0..64, each exactly once.
+        let ledger = broker.ledger();
+        let seqs: Vec<u64> = ledger.transactions().iter().map(|t| t.sequence).collect();
+        assert_eq!(seqs, (0..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn sale_noise_depends_only_on_transaction_id() {
+        // Two brokers with the same seed serve the same requests; sales
+        // with equal transaction ids must carry bitwise-identical models.
+        let a = test_broker();
+        let b = test_broker();
+        a.open_market().unwrap();
+        b.open_market().unwrap();
+        for x in [5.0, 17.0, 42.0] {
+            let qa = a.quote_request(PurchaseRequest::AtInverseNcp(x)).unwrap();
+            let qb = b.quote_request(PurchaseRequest::AtInverseNcp(x)).unwrap();
+            let sa = a.commit(qa, qa.price).unwrap();
+            let sb = b.commit(qb, qb.price).unwrap();
+            assert_eq!(sa.transaction.sequence, sb.transaction.sequence);
+            assert_eq!(sa.model.weights().as_slice(), sb.model.weights().as_slice());
+        }
+    }
+
+    #[test]
     fn concurrent_purchases_are_consistent() {
         let broker = std::sync::Arc::new(test_broker());
         broker.open_market().unwrap();
-        broker.optimal_model().unwrap();
         let threads = 4;
         let per_thread = 25;
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..threads {
                 let b = broker.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 0..per_thread {
                         let x = 1.0 + ((t * per_thread + i) % 99) as f64;
-                        b.purchase(PurchaseRequest::AtInverseNcp(x), 1e9).unwrap();
+                        let q = b.quote_request(PurchaseRequest::AtInverseNcp(x)).unwrap();
+                        b.commit(q, q.price).unwrap();
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(broker.sales_count(), threads * per_thread);
         assert!(broker.collected_revenue() > 0.0);
+        // Merged ledger has every transaction id exactly once, in order.
+        let ledger = broker.ledger();
+        let seqs: Vec<u64> = ledger.transactions().iter().map(|t| t.sequence).collect();
+        assert_eq!(
+            seqs,
+            (0..(threads * per_thread) as u64).collect::<Vec<u64>>()
+        );
     }
 }

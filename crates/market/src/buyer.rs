@@ -97,12 +97,8 @@ mod tests {
     use nimbus_randkit::seeded_rng;
 
     fn problem() -> RevenueProblem {
-        RevenueProblem::from_slices(
-            &[1.0, 2.0, 3.0],
-            &[0.2, 0.5, 0.3],
-            &[10.0, 20.0, 30.0],
-        )
-        .unwrap()
+        RevenueProblem::from_slices(&[1.0, 2.0, 3.0], &[0.2, 0.5, 0.3], &[10.0, 20.0, 30.0])
+            .unwrap()
     }
 
     #[test]

@@ -110,7 +110,11 @@ impl ValueCurve {
 
     fn validate(&self) -> Result<()> {
         let (v_min, v_max) = match self {
-            ValueCurve::Convex { v_min, v_max, power } => {
+            ValueCurve::Convex {
+                v_min,
+                v_max,
+                power,
+            } => {
                 if !(power.is_finite() && *power > 1.0) {
                     return Err(MarketError::InvalidCurve {
                         reason: "convex power must exceed 1",
@@ -118,7 +122,11 @@ impl ValueCurve {
                 }
                 (*v_min, *v_max)
             }
-            ValueCurve::Concave { v_min, v_max, power } => {
+            ValueCurve::Concave {
+                v_min,
+                v_max,
+                power,
+            } => {
                 if !(*power > 0.0 && *power < 1.0) {
                     return Err(MarketError::InvalidCurve {
                         reason: "concave power must be in (0, 1)",
@@ -153,8 +161,16 @@ impl ValueCurve {
     pub fn value_at(&self, t: f64) -> f64 {
         let t = t.clamp(0.0, 1.0);
         match *self {
-            ValueCurve::Convex { v_min, v_max, power } => v_min + (v_max - v_min) * t.powf(power),
-            ValueCurve::Concave { v_min, v_max, power } => v_min + (v_max - v_min) * t.powf(power),
+            ValueCurve::Convex {
+                v_min,
+                v_max,
+                power,
+            } => v_min + (v_max - v_min) * t.powf(power),
+            ValueCurve::Concave {
+                v_min,
+                v_max,
+                power,
+            } => v_min + (v_max - v_min) * t.powf(power),
             ValueCurve::Linear { v_min, v_max } => v_min + (v_max - v_min) * t,
             ValueCurve::Sigmoid {
                 v_min,
@@ -210,11 +226,12 @@ impl DemandCurve {
     fn validate(&self) -> Result<()> {
         match self {
             DemandCurve::MidPeaked { width } | DemandCurve::BimodalExtremes { width }
-                if !(*width > 0.0 && width.is_finite()) => {
-                    return Err(MarketError::InvalidCurve {
-                        reason: "demand bump width must be positive",
-                    });
-                }
+                if !(*width > 0.0 && width.is_finite()) =>
+            {
+                return Err(MarketError::InvalidCurve {
+                    reason: "demand bump width must be positive",
+                });
+            }
             _ => {}
         }
         Ok(())
@@ -378,7 +395,9 @@ mod tests {
 
     #[test]
     fn bimodal_peaks_at_extremes() {
-        let w = DemandCurve::BimodalExtremes { width: 0.1 }.weights(41).unwrap();
+        let w = DemandCurve::BimodalExtremes { width: 0.1 }
+            .weights(41)
+            .unwrap();
         assert!(w[0] > w[20] * 5.0);
         assert!(w[40] > w[20] * 5.0);
     }

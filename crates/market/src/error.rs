@@ -14,6 +14,19 @@ pub enum MarketError {
         /// The payment offered.
         offered: f64,
     },
+    /// A quote was committed against a snapshot that has since been
+    /// superseded by a newer `open_market()` call.
+    QuoteExpired {
+        /// Epoch the quote was priced against.
+        quoted: u64,
+        /// Epoch of the currently published snapshot.
+        current: u64,
+    },
+    /// Broker configuration rejected at build time.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
     /// Curve parameters were invalid.
     InvalidCurve {
         /// Human-readable reason.
@@ -38,6 +51,13 @@ impl fmt::Display for MarketError {
             MarketError::MarketNotOpen => write!(f, "market is not open: no pricing configured"),
             MarketError::InsufficientPayment { price, offered } => {
                 write!(f, "payment {offered} below posted price {price}")
+            }
+            MarketError::QuoteExpired { quoted, current } => write!(
+                f,
+                "quote priced against snapshot epoch {quoted} but epoch {current} is now posted"
+            ),
+            MarketError::InvalidConfig { reason } => {
+                write!(f, "invalid broker configuration: {reason}")
             }
             MarketError::InvalidCurve { reason } => write!(f, "invalid market curve: {reason}"),
             MarketError::EmptyPopulation => write!(f, "buyer population is empty"),

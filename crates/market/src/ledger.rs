@@ -1,4 +1,14 @@
 //! The broker's transaction ledger.
+//!
+//! Two representations back the broker's accounting:
+//!
+//! * [`Ledger`] — the classic append-only, sequence-ordered record, used
+//!   standalone and as the merged read-side view;
+//! * [`LedgerShard`] — one stripe of the broker's sharded write path.
+//!   Concurrent sales hash their (globally unique, atomically assigned)
+//!   transaction id onto a stripe, so writers contend only 1/N of the time.
+//!   [`Ledger::from_shards`] merges stripes back into a sequence-ordered
+//!   [`Ledger`] on demand.
 
 /// One completed sale.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,6 +70,70 @@ impl Ledger {
             Some(self.total_revenue() / self.transactions.len() as f64)
         }
     }
+
+    /// Merges striped shards into one sequence-ordered ledger. Sequence
+    /// numbers come pre-assigned by the broker's atomic counter, so the
+    /// merge is a sort, not a renumbering.
+    pub fn from_shards<'a>(shards: impl IntoIterator<Item = &'a LedgerShard>) -> Self {
+        let mut transactions: Vec<Transaction> = shards
+            .into_iter()
+            .flat_map(|s| s.transactions().iter().copied())
+            .collect();
+        transactions.sort_by_key(|t| t.sequence);
+        Ledger { transactions }
+    }
+}
+
+/// One stripe of the broker's sharded ledger.
+///
+/// Unlike [`Ledger`], a shard does not assign sequence numbers: the broker
+/// hands each sale a globally unique transaction id from an atomic counter
+/// and records it on the stripe `id % N`. That keeps ids unique and totals
+/// exact under any thread interleaving, while writers only contend with the
+/// ~1/N of sales that hash to the same stripe.
+#[derive(Debug, Clone, Default)]
+pub struct LedgerShard {
+    transactions: Vec<Transaction>,
+}
+
+impl LedgerShard {
+    /// Creates an empty stripe.
+    pub fn new() -> Self {
+        LedgerShard::default()
+    }
+
+    /// Records a sale under a broker-assigned sequence number.
+    pub fn record_assigned(
+        &mut self,
+        sequence: u64,
+        inverse_ncp: f64,
+        price: f64,
+        expected_error: f64,
+    ) -> Transaction {
+        let tx = Transaction {
+            sequence,
+            inverse_ncp,
+            price,
+            expected_error,
+        };
+        self.transactions.push(tx);
+        tx
+    }
+
+    /// Transactions on this stripe, in local arrival order.
+    pub fn transactions(&self) -> &[Transaction] {
+        &self.transactions
+    }
+
+    /// Number of sales on this stripe.
+    pub fn count(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Revenue collected on this stripe.
+    pub fn total_revenue(&self) -> f64 {
+        self.transactions.iter().map(|t| t.price).sum()
+    }
 }
 
 #[cfg(test)]
@@ -75,6 +149,23 @@ mod tests {
         assert_eq!(t1.sequence, 1);
         assert_eq!(l.count(), 2);
         assert_eq!(l.transactions()[1].price, 8.0);
+    }
+
+    #[test]
+    fn shards_merge_in_sequence_order() {
+        let mut a = LedgerShard::new();
+        let mut b = LedgerShard::new();
+        // Interleaved ids landing on two stripes, recorded out of order.
+        b.record_assigned(1, 20.0, 8.0, 0.05);
+        a.record_assigned(2, 30.0, 9.0, 0.03);
+        a.record_assigned(0, 10.0, 5.0, 0.1);
+        let merged = Ledger::from_shards([&a, &b]);
+        let seqs: Vec<u64> = merged.transactions().iter().map(|t| t.sequence).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(merged.count(), 3);
+        assert!((merged.total_revenue() - 22.0).abs() < 1e-12);
+        assert!((a.total_revenue() + b.total_revenue() - 22.0).abs() < 1e-12);
+        assert_eq!(a.count() + b.count(), 3);
     }
 
     #[test]

@@ -8,11 +8,42 @@
 //! * the [`broker::Broker`] trains the optimal model once (caching it
 //!   behind a lock — the one-time cost of §4), transforms the curves
 //!   through the error-inverse, optimizes prices with `nimbus-optim`, and
-//!   serves buyers through the three §3.2 purchase options, recording every
-//!   sale in a [`ledger::Ledger`];
+//!   serves buyers through the three §3.2 purchase options via an explicit
+//!   quote→commit protocol, recording every sale in a sharded
+//!   [`ledger::Ledger`];
 //! * [`buyer::BuyerPopulation`] draws buyers from the demand curve, each
 //!   with a valuation from the value curve, who decide to buy iff the
 //!   posted price does not exceed their valuation.
+//!
+//! # Concurrency model
+//!
+//! The broker is built for a read-mostly serving workload: the posted menu
+//! is immutable between `open_market()` calls, while many buyers quote and
+//! purchase concurrently. Three mechanisms make the hot path scale with
+//! cores instead of serializing on locks:
+//!
+//! 1. **Snapshot publication.** `Broker::open_market()` bundles the revenue
+//!    problem, the optimized price table and the trained optimal model into
+//!    an immutable [`broker::MarketSnapshot`] and publishes it through an
+//!    atomic pointer. Every read — `quote`, `quote_request`, `posted_menu`,
+//!    `expected_revenue` — is one atomic load, **no lock**. Superseded
+//!    snapshots stay alive in an append-only history for the broker's
+//!    lifetime, and each carries an epoch: a [`broker::Quote`] issued
+//!    against epoch `k` is rejected with [`MarketError::QuoteExpired`] if
+//!    epoch `k+1` has been posted by the time the buyer commits.
+//! 2. **Striped ledger.** Commits record onto one of N
+//!    `Mutex<`[`ledger::LedgerShard`]`>` stripes chosen by transaction id;
+//!    [`Broker::ledger`](broker::Broker::ledger) merges the stripes into a
+//!    sequence-ordered [`ledger::Ledger`] on demand.
+//! 3. **Per-transaction RNG streams.** Each sale's transaction id comes
+//!    from an atomic counter and seeds its own
+//!    `seeded_rng(split_stream(seed, id))`, so the noise a buyer receives
+//!    is a pure function of `(seed, transaction id, x)` — reproducible
+//!    under any thread interleaving, with zero shared RNG state on the
+//!    serving path.
+//!
+//! [`broker::Broker::purchase_batch`] fans a slice of requests over
+//! [`parallel::parallel_map`] to exploit all of this from a single call.
 //!
 //! [`simulation`] runs strategy comparisons (MBP vs Lin/MaxC/MedC/OptC vs
 //! the exact brute force) on a shared population — the machinery behind
@@ -37,11 +68,13 @@ pub mod seller;
 pub mod simulation;
 pub mod transform;
 
-pub use broker::{Broker, BrokerConfig, PurchaseRequest, Sale};
+pub use broker::{
+    Broker, BrokerBuilder, BrokerConfig, MarketSnapshot, PurchaseRequest, Quote, Sale,
+};
 pub use buyer::{Buyer, BuyerPopulation};
 pub use curves::{DemandCurve, MarketCurves, ValueCurve};
 pub use error::MarketError;
-pub use ledger::{Ledger, Transaction};
+pub use ledger::{Ledger, LedgerShard, Transaction};
 pub use marketplace::{Marketplace, MenuEntry};
 pub use persist::PostedMarket;
 pub use seller::Seller;

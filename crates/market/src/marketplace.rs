@@ -7,7 +7,7 @@
 //! buyers first pick a model from the menu (the first step of the §3.2
 //! interaction) and then purchase a version of it.
 
-use crate::broker::{Broker, PurchaseRequest, Sale};
+use crate::broker::{Broker, PurchaseRequest, Quote, Sale};
 use crate::{MarketError, Result};
 use std::collections::BTreeMap;
 
@@ -98,14 +98,22 @@ impl Marketplace {
             .ok_or(MarketError::MarketNotOpen)
     }
 
-    /// Buys a version of the named model.
-    pub fn purchase(
-        &self,
-        name: &str,
-        request: PurchaseRequest,
-        payment: f64,
-    ) -> Result<Sale> {
-        self.broker(name)?.purchase(request, payment)
+    /// Quotes a purchase request against the named model's snapshot.
+    pub fn quote_request(&self, name: &str, request: PurchaseRequest) -> Result<Quote> {
+        self.broker(name)?.quote_request(request)
+    }
+
+    /// Redeems a quote from [`Marketplace::quote_request`] at the named
+    /// listing.
+    pub fn commit(&self, name: &str, quote: Quote, payment: f64) -> Result<Sale> {
+        self.broker(name)?.commit(quote, payment)
+    }
+
+    /// Buys a version of the named model (quote + commit in one step).
+    pub fn purchase(&self, name: &str, request: PurchaseRequest, payment: f64) -> Result<Sale> {
+        let broker = self.broker(name)?;
+        let quote = broker.quote_request(request)?;
+        broker.commit(quote, payment)
     }
 
     /// Total revenue collected across every listing.
@@ -137,10 +145,11 @@ mod tests {
             .materialize(seed)
             .unwrap();
         Broker::new(
-            Seller::new("reg", tt, MarketCurves::new(
-                ValueCurve::standard_concave(),
-                DemandCurve::Uniform,
-            )),
+            Seller::new(
+                "reg",
+                tt,
+                MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform),
+            ),
             Box::new(LinearRegressionTrainer::ridge(1e-6)),
             Box::new(GaussianMechanism),
             BrokerConfig {
@@ -156,10 +165,14 @@ mod tests {
             .materialize(seed)
             .unwrap();
         Broker::new(
-            Seller::new("cls", tt, MarketCurves::new(
-                ValueCurve::standard_sigmoid(),
-                DemandCurve::MidPeaked { width: 0.2 },
-            )),
+            Seller::new(
+                "cls",
+                tt,
+                MarketCurves::new(
+                    ValueCurve::standard_sigmoid(),
+                    DemandCurve::MidPeaked { width: 0.2 },
+                ),
+            ),
             Box::new(LogisticRegressionTrainer::new(1e-4)),
             Box::new(GaussianMechanism),
             BrokerConfig {
@@ -173,10 +186,20 @@ mod tests {
     #[test]
     fn menu_lists_all_models() {
         let mut mp = Marketplace::new();
-        mp.list("ols-on-simulated1", regression_broker(1), "linear_regression", "gaussian")
-            .unwrap();
-        mp.list("logreg-on-simulated2", classification_broker(2), "logistic_regression", "gaussian")
-            .unwrap();
+        mp.list(
+            "ols-on-simulated1",
+            regression_broker(1),
+            "linear_regression",
+            "gaussian",
+        )
+        .unwrap();
+        mp.list(
+            "logreg-on-simulated2",
+            classification_broker(2),
+            "logistic_regression",
+            "gaussian",
+        )
+        .unwrap();
         let menu = mp.menu();
         assert_eq!(menu.len(), 2);
         assert!(menu.iter().all(|e| e.open));
@@ -190,8 +213,13 @@ mod tests {
         let mut mp = Marketplace::new();
         mp.list("reg", regression_broker(3), "linear_regression", "gaussian")
             .unwrap();
-        mp.list("cls", classification_broker(4), "logistic_regression", "gaussian")
-            .unwrap();
+        mp.list(
+            "cls",
+            classification_broker(4),
+            "logistic_regression",
+            "gaussian",
+        )
+        .unwrap();
         let reg_sale = mp
             .purchase("reg", PurchaseRequest::AtInverseNcp(10.0), f64::INFINITY)
             .unwrap();
@@ -201,9 +229,21 @@ mod tests {
         assert_eq!(reg_sale.model.dim(), 20);
         assert_eq!(cls_sale.model.dim(), 20);
         assert_eq!(mp.total_sales(), 2);
-        assert!(
-            (mp.total_collected_revenue() - (reg_sale.price + cls_sale.price)).abs() < 1e-9
-        );
+        assert!((mp.total_collected_revenue() - (reg_sale.price + cls_sale.price)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quote_then_commit_through_the_marketplace() {
+        let mut mp = Marketplace::new();
+        mp.list("reg", regression_broker(9), "linear_regression", "gaussian")
+            .unwrap();
+        let quote = mp
+            .quote_request("reg", PurchaseRequest::AtInverseNcp(8.0))
+            .unwrap();
+        assert!(quote.price > 0.0);
+        let sale = mp.commit("reg", quote, quote.price).unwrap();
+        assert!((sale.inverse_ncp - 8.0).abs() < 1e-12);
+        assert_eq!(mp.total_sales(), 1);
     }
 
     #[test]

@@ -27,10 +27,12 @@ impl PostedMarket {
     /// Bundles a problem with its posted prices; lengths must match.
     pub fn new(problem: RevenueProblem, prices: Vec<f64>) -> Result<Self> {
         if prices.len() != problem.len() {
-            return Err(MarketError::Optim(nimbus_optim::OptimError::LengthMismatch {
-                prices: prices.len(),
-                points: problem.len(),
-            }));
+            return Err(MarketError::Optim(
+                nimbus_optim::OptimError::LengthMismatch {
+                    prices: prices.len(),
+                    points: problem.len(),
+                },
+            ));
         }
         Ok(PostedMarket { problem, prices })
     }
@@ -127,10 +129,7 @@ mod tests {
         for (a, b) in loaded.prices.iter().zip(&market.prices) {
             assert!((a - b).abs() < 1e-9);
         }
-        assert_eq!(
-            loaded.problem.parameters(),
-            market.problem.parameters()
-        );
+        assert_eq!(loaded.problem.parameters(), market.problem.parameters());
         std::fs::remove_file(&path).ok();
     }
 

@@ -89,14 +89,16 @@ pub fn price_with(strategy: PricingStrategy, problem: &RevenueProblem) -> Result
     })
 }
 
-/// Prices `problem` with every listed strategy.
+/// Prices `problem` with every listed strategy, fanning the independent
+/// solves out over scoped threads (the brute force dominates the wall
+/// clock, so the DP and baselines finish in its shadow). Outcomes keep the
+/// input strategy order.
 pub fn compare_strategies(
     problem: &RevenueProblem,
     strategies: &[PricingStrategy],
 ) -> Result<Vec<StrategyOutcome>> {
-    strategies
-        .iter()
-        .map(|&s| price_with(s, problem))
+    crate::parallel::parallel_map(strategies.to_vec(), None, |s| price_with(s, problem))
+        .into_iter()
         .collect()
 }
 
@@ -189,7 +191,11 @@ mod tests {
         let a: Vec<f64> = (1..=n).map(|j| 10.0 * j as f64).collect();
         let v: Vec<f64> = (0..n)
             .map(|j| {
-                let t = if n == 1 { 0.5 } else { j as f64 / (n - 1) as f64 };
+                let t = if n == 1 {
+                    0.5
+                } else {
+                    j as f64 / (n - 1) as f64
+                };
                 value.value_at(t)
             })
             .collect();
@@ -218,11 +224,7 @@ mod tests {
         // at v_min = 2 at x = 1 rather than passing through the origin, so
         // the unit price rises briefly at the very left edge and the DP
         // must shave a little there.
-        let full: f64 = problem
-            .points()
-            .iter()
-            .map(|p| p.b * p.v)
-            .sum();
+        let full: f64 = problem.points().iter().map(|p| p.b * p.v).sum();
         assert!(
             mbp.revenue >= 0.95 * full,
             "revenue {} below 95% of full extraction {}",
@@ -253,7 +255,9 @@ mod tests {
     fn naive_convex_pricing_is_attackable() {
         let problem = convex_market(20);
         let demo = arbitrage_demo(&problem).unwrap();
-        let attack = demo.attack.expect("convex valuation pricing must admit arbitrage");
+        let attack = demo
+            .attack
+            .expect("convex valuation pricing must admit arbitrage");
         assert!(attack.savings() > 0.0);
         assert!(attack.combined_inverse_ncp() >= attack.target - 1e-9);
         // The attack buys strictly more than one instance.

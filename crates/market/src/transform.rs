@@ -100,8 +100,7 @@ mod tests {
         let curve = square_loss_curve();
         // Value: $100 at zero error, linearly down to $0 at error 1.
         // Demand: uniform over errors.
-        let problem =
-            transform_research(&curve, |e| 100.0 * (1.0 - e), |_| 1.0).unwrap();
+        let problem = transform_research(&curve, |e| 100.0 * (1.0 - e), |_| 1.0).unwrap();
         assert_eq!(problem.len(), 20);
         // Ascending x with ascending v.
         let a = problem.parameters();
@@ -137,12 +136,8 @@ mod tests {
     fn non_monotone_research_is_repaired() {
         let curve = square_loss_curve();
         // A wiggly value function: not monotone in error.
-        let problem = transform_research(
-            &curve,
-            |e| 50.0 + 10.0 * (e * 40.0).sin(),
-            |_| 1.0,
-        )
-        .unwrap();
+        let problem =
+            transform_research(&curve, |e| 50.0 + 10.0 * (e * 40.0).sin(), |_| 1.0).unwrap();
         let v = problem.valuations();
         assert!(v.windows(2).all(|w| w[1] >= w[0] - 1e-12));
     }
@@ -158,8 +153,7 @@ mod tests {
     #[test]
     fn end_to_end_with_revenue_dp() {
         let curve = square_loss_curve();
-        let problem =
-            transform_research(&curve, |e| 100.0 * (1.0 - e).max(0.0), |_| 1.0).unwrap();
+        let problem = transform_research(&curve, |e| 100.0 * (1.0 - e).max(0.0), |_| 1.0).unwrap();
         let dp = nimbus_optim::solve_revenue_dp(&problem).unwrap();
         assert!(dp.revenue > 0.0);
         // Prices respect the relaxed constraints on the transformed axis.

@@ -1,0 +1,166 @@
+//! Concurrency guarantees of the snapshot-serving broker.
+//!
+//! The redesign's contract: after `open_market()` the serving path is a pure
+//! read of one immutable snapshot, sale noise is a function of
+//! `(seed, transaction id)` alone, and the striped ledger merges to the same
+//! books regardless of thread interleaving. These tests drive 8 threads
+//! against one broker and then *replay the same transaction ids
+//! sequentially* on a fresh broker — the two runs must agree to the bit.
+
+use nimbus_core::arbitrage::check_arbitrage_free;
+use nimbus_core::GaussianMechanism;
+use nimbus_data::catalog::{DatasetSpec, PaperDataset};
+use nimbus_market::curves::{DemandCurve, MarketCurves, ValueCurve};
+use nimbus_market::{Broker, PurchaseRequest, Seller};
+use nimbus_ml::LinearRegressionTrainer;
+
+const THREADS: usize = 8;
+const PURCHASES_PER_THREAD: usize = 100;
+
+fn build_broker(seed: u64) -> Broker {
+    let (dataset, _) = DatasetSpec::scaled(PaperDataset::Simulated1, 1_200)
+        .materialize(seed)
+        .unwrap();
+    let curves = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform);
+    Broker::builder(Seller::new("conc", dataset, curves))
+        .trainer(LinearRegressionTrainer::ridge(1e-6))
+        .mechanism(GaussianMechanism)
+        .n_price_points(40)
+        .error_curve_samples(20)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+/// The x each (thread, iteration) pair asks for — any deterministic spread
+/// over the menu's support works; what matters is that threads interleave.
+fn requested_x(thread: usize, i: usize) -> f64 {
+    1.0 + ((thread * PURCHASES_PER_THREAD + i * 7) % 99) as f64
+}
+
+#[test]
+fn eight_threads_match_sequential_replay_exactly() {
+    let seed = 21;
+    let broker = build_broker(seed);
+    broker.open_market().unwrap();
+
+    // Phase 1: 8 threads x 100 purchases, racing on one broker. Each sale
+    // records (transaction id, x, delivered weights).
+    let mut concurrent: Vec<(u64, f64, Vec<f64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let broker = &broker;
+                scope.spawn(move || {
+                    (0..PURCHASES_PER_THREAD)
+                        .map(|i| {
+                            let x = requested_x(t, i);
+                            let quote = broker
+                                .quote_request(PurchaseRequest::AtInverseNcp(x))
+                                .unwrap();
+                            let sale = broker.commit(quote, quote.price).unwrap();
+                            (
+                                sale.transaction.sequence,
+                                sale.inverse_ncp,
+                                sale.model.weights().as_slice().to_vec(),
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    concurrent.sort_by_key(|(seq, _, _)| *seq);
+
+    // Transaction ids are dense: every id in 0..800 was assigned once.
+    let total = THREADS * PURCHASES_PER_THREAD;
+    assert_eq!(concurrent.len(), total);
+    for (expect, (seq, _, _)) in concurrent.iter().enumerate() {
+        assert_eq!(*seq, expect as u64);
+    }
+
+    // The merged ledger agrees with what the buyers saw.
+    let ledger = broker.ledger();
+    assert_eq!(ledger.count(), total);
+    let seen_revenue: f64 = broker.collected_revenue();
+    assert!((ledger.total_revenue() - seen_revenue).abs() < 1e-9);
+
+    // Phase 2: sequential replay. A fresh broker with the same seed is asked
+    // for the same x's *in transaction-id order*; ids are re-assigned
+    // 0,1,2,... so every sale must reproduce the concurrent run bit-for-bit
+    // — noise is a pure function of (seed, transaction id, x).
+    let replay = build_broker(seed);
+    replay.open_market().unwrap();
+    for (seq, x, weights) in &concurrent {
+        let quote = replay
+            .quote_request(PurchaseRequest::AtInverseNcp(*x))
+            .unwrap();
+        let sale = replay.commit(quote, quote.price).unwrap();
+        assert_eq!(sale.transaction.sequence, *seq);
+        assert_eq!(
+            sale.model.weights().as_slice(),
+            weights.as_slice(),
+            "weights diverged at transaction {seq}"
+        );
+    }
+    assert_eq!(replay.sales_count(), broker.sales_count());
+    // Entry-by-entry the two merged ledgers are bitwise identical…
+    for (c, s) in ledger
+        .transactions()
+        .iter()
+        .zip(replay.ledger().transactions())
+    {
+        assert_eq!(c.sequence, s.sequence);
+        assert_eq!(c.inverse_ncp, s.inverse_ncp);
+        assert_eq!(c.price, s.price);
+    }
+    // …while the running totals accumulate in shard-arrival order, which
+    // the race reorders, so the sums agree only up to f64 reassociation.
+    assert!(
+        (replay.collected_revenue() - broker.collected_revenue()).abs() < 1e-6,
+        "ledger totals diverged: sequential {} vs concurrent {}",
+        replay.collected_revenue(),
+        broker.collected_revenue()
+    );
+
+    // And the snapshot the threads were served from is still arbitrage-free.
+    let snapshot = broker.snapshot().unwrap();
+    let grid: Vec<f64> = snapshot.menu().iter().map(|(x, _)| *x).collect();
+    let report = check_arbitrage_free(snapshot.pricing(), &grid, 1e-9).unwrap();
+    assert!(report.is_arbitrage_free(), "{report:?}");
+}
+
+#[test]
+fn purchase_batch_multithreaded_matches_single_threaded_books() {
+    let requests: Vec<PurchaseRequest> = (0..THREADS * PURCHASES_PER_THREAD)
+        .map(|i| match i % 3 {
+            0 => PurchaseRequest::AtInverseNcp(1.0 + (i % 99) as f64),
+            1 => PurchaseRequest::ErrorBudget(1.0 / (1.0 + (i % 80) as f64)),
+            _ => PurchaseRequest::PriceBudget(10.0 + (i % 60) as f64),
+        })
+        .collect();
+
+    let wide = build_broker(33);
+    wide.open_market().unwrap();
+    let wide_sales = wide.purchase_batch_with(&requests, Some(THREADS));
+    assert!(wide_sales.iter().all(|s| s.is_ok()));
+
+    let narrow = build_broker(33);
+    narrow.open_market().unwrap();
+    let narrow_sales = narrow.purchase_batch_with(&requests, Some(1));
+
+    // Prices come from the immutable snapshot (never from the racing
+    // transaction counter), so each request costs the same under either
+    // thread count, and the two ledgers record the same multiset of sales.
+    for (w, n) in wide_sales.iter().zip(&narrow_sales) {
+        let (w, n) = (w.as_ref().unwrap(), n.as_ref().unwrap());
+        assert_eq!(w.price, n.price);
+        assert_eq!(w.inverse_ncp, n.inverse_ncp);
+    }
+    // Totals only up to f64 reassociation: shard sums accumulate in
+    // arrival order, which differs across thread counts.
+    assert!((wide.collected_revenue() - narrow.collected_revenue()).abs() < 1e-6);
+}

@@ -11,15 +11,21 @@ use proptest::prelude::*;
 fn any_value_curve() -> impl Strategy<Value = ValueCurve> {
     prop_oneof![
         (0.1..20.0f64, 20.0..200.0f64, 1.1..6.0f64).prop_map(|(v_min, v_max, power)| {
-            ValueCurve::Convex { v_min, v_max, power }
+            ValueCurve::Convex {
+                v_min,
+                v_max,
+                power,
+            }
         }),
         (0.1..20.0f64, 20.0..200.0f64, 0.1..0.9f64).prop_map(|(v_min, v_max, power)| {
-            ValueCurve::Concave { v_min, v_max, power }
+            ValueCurve::Concave {
+                v_min,
+                v_max,
+                power,
+            }
         }),
-        (0.1..20.0f64, 20.0..200.0f64).prop_map(|(v_min, v_max)| ValueCurve::Linear {
-            v_min,
-            v_max
-        }),
+        (0.1..20.0f64, 20.0..200.0f64)
+            .prop_map(|(v_min, v_max)| ValueCurve::Linear { v_min, v_max }),
         (0.1..20.0f64, 20.0..200.0f64, 0.1..0.9f64, 2.0..20.0f64).prop_map(
             |(v_min, v_max, midpoint, steepness)| ValueCurve::Sigmoid {
                 v_min,
@@ -126,12 +132,17 @@ fn broker_resolve_is_consistent_with_quote_across_the_menu() {
     broker.open_market().unwrap();
     for i in 1..=30 {
         let x = 1.0 + (i as f64 / 30.0) * 99.0;
-        let (rx, price) = broker.resolve(PurchaseRequest::AtInverseNcp(x)).unwrap();
-        assert_eq!(rx, x);
-        assert!((price - broker.quote(x).unwrap()).abs() < 1e-12);
+        let q = broker
+            .quote_request(PurchaseRequest::AtInverseNcp(x))
+            .unwrap();
+        assert_eq!(q.x, x);
+        assert!((q.delta - 1.0 / x).abs() < 1e-12);
+        assert!((q.price - broker.quote(x).unwrap()).abs() < 1e-12);
         // Error budgets resolve to prices no greater than buying 1/e directly.
         let e = 1.0 / x;
-        let (_, budget_price) = broker.resolve(PurchaseRequest::ErrorBudget(e)).unwrap();
-        assert!(budget_price <= price + 1e-9);
+        let bq = broker
+            .quote_request(PurchaseRequest::ErrorBudget(e))
+            .unwrap();
+        assert!(bq.price <= q.price + 1e-9);
     }
 }

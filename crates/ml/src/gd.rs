@@ -144,10 +144,9 @@ mod tests {
     use nimbus_linalg::{Matrix, Vector};
 
     fn reg_data() -> Dataset {
-        let x = Matrix::from_row_major(5, 2, vec![
-            1.0, 1.0, 2.0, 1.0, 3.0, 1.0, 4.0, 1.0, 5.0, 1.0,
-        ])
-        .unwrap();
+        let x =
+            Matrix::from_row_major(5, 2, vec![1.0, 1.0, 2.0, 1.0, 3.0, 1.0, 4.0, 1.0, 5.0, 1.0])
+                .unwrap();
         // y = 3 x1 - 2 (with the constant column as intercept).
         let y = Vector::from_vec(vec![1.0, 4.0, 7.0, 10.0, 13.0]);
         Dataset::new(x, y, Task::Regression).unwrap()

@@ -28,8 +28,8 @@ pub mod linreg;
 pub mod logreg;
 pub mod loss;
 pub mod metrics;
-pub mod model_selection;
 pub mod model;
+pub mod model_selection;
 pub mod streaming;
 pub mod svm;
 

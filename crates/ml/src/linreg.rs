@@ -86,10 +86,9 @@ mod tests {
     use nimbus_linalg::{Matrix, Vector};
 
     fn exact_data() -> Dataset {
-        let x = Matrix::from_row_major(5, 2, vec![
-            1.0, 1.0, 2.0, 1.0, 3.0, 1.0, 4.0, 1.0, 5.0, 1.0,
-        ])
-        .unwrap();
+        let x =
+            Matrix::from_row_major(5, 2, vec![1.0, 1.0, 2.0, 1.0, 3.0, 1.0, 4.0, 1.0, 5.0, 1.0])
+                .unwrap();
         let y = Vector::from_vec(vec![1.0, 4.0, 7.0, 10.0, 13.0]);
         Dataset::new(x, y, Task::Regression).unwrap()
     }
@@ -104,8 +103,7 @@ mod tests {
 
     #[test]
     fn recovers_planted_hyperplane() {
-        let (data, truth) =
-            generate_regression(&RegressionSpec::simulated1(2_000, 8), 42).unwrap();
+        let (data, truth) = generate_regression(&RegressionSpec::simulated1(2_000, 8), 42).unwrap();
         let model = LinearRegressionTrainer::ols().train(&data).unwrap();
         for j in 0..8 {
             assert!(
@@ -144,9 +142,12 @@ mod tests {
             &trainer.loss(),
             &data,
             LinearModel::zeros(4),
+            // 1e-10 on the gradient norm is beyond what backtracking GD
+            // reliably reaches in f64 on every data draw; 1e-8 is ample for
+            // the 1e-5 weight agreement asserted below.
             &GdConfig {
                 max_iters: 50_000,
-                tolerance: 1e-10,
+                tolerance: 1e-8,
                 ..GdConfig::default()
             },
         )
@@ -186,12 +187,7 @@ mod tests {
             .train(&data)
             .is_err());
         assert!(LinearRegressionTrainer::ridge(-1.0).train(&data).is_err());
-        let empty = Dataset::new(
-            Matrix::zeros(0, 2),
-            Vector::zeros(0),
-            Task::Regression,
-        )
-        .unwrap();
+        let empty = Dataset::new(Matrix::zeros(0, 2), Vector::zeros(0), Task::Regression).unwrap();
         assert!(matches!(
             LinearRegressionTrainer::ols().train(&empty),
             Err(MlError::EmptyDataset)
@@ -212,10 +208,7 @@ mod tests {
     #[test]
     fn collinear_features_survive_via_jitter() {
         // Duplicate column: XᵀX is singular; OLS still returns a finite fit.
-        let x = Matrix::from_row_major(4, 2, vec![
-            1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0,
-        ])
-        .unwrap();
+        let x = Matrix::from_row_major(4, 2, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0]).unwrap();
         let y = Vector::from_vec(vec![2.0, 4.0, 6.0, 8.0]);
         let d = Dataset::new(x, y, Task::Regression).unwrap();
         let model = LinearRegressionTrainer::ols().train(&d).unwrap();

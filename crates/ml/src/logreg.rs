@@ -229,8 +229,7 @@ mod tests {
         let (data, truth) =
             generate_classification(&ClassificationSpec::simulated2(5_000, 5), 31).unwrap();
         let model = LogisticRegressionTrainer::new(1e-4).train(&data).unwrap();
-        let cos = model.weights().dot(&truth).unwrap()
-            / (model.weights().norm2() * truth.norm2());
+        let cos = model.weights().dot(&truth).unwrap() / (model.weights().norm2() * truth.norm2());
         assert!(cos > 0.95, "cosine similarity {cos}");
     }
 

@@ -386,8 +386,7 @@ mod tests {
         let plain = SquaredLoss::plain();
         let ridge = SquaredLoss::ridge(0.5);
         let m = LinearModel::new(Vector::from_vec(vec![3.0]));
-        let diff =
-            ridge.value(&m, &reg_data()).unwrap() - plain.value(&m, &reg_data()).unwrap();
+        let diff = ridge.value(&m, &reg_data()).unwrap() - plain.value(&m, &reg_data()).unwrap();
         assert!((diff - 0.5 * 9.0).abs() < 1e-12);
     }
 
@@ -511,8 +510,7 @@ mod tests {
             loss.value(&m, &reg_data()),
             Err(MlError::DimensionMismatch { .. })
         ));
-        let empty =
-            Dataset::new(Matrix::zeros(0, 1), Vector::zeros(0), Task::Regression).unwrap();
+        let empty = Dataset::new(Matrix::zeros(0, 1), Vector::zeros(0), Task::Regression).unwrap();
         let m1 = LinearModel::zeros(1);
         assert!(matches!(
             loss.value(&m1, &empty),

@@ -90,7 +90,10 @@ mod tests {
         // A model predicting ~0 has R² = 1 - MSE/Var(y); check sign logic.
         let m = LinearModel::new(Vector::from_vec(vec![0.0]));
         let r2 = r_squared(&m, &reg_data()).unwrap();
-        assert!(r2 < 0.0, "zero model on centered-away targets has negative R²");
+        assert!(
+            r2 < 0.0,
+            "zero model on centered-away targets has negative R²"
+        );
     }
 
     #[test]

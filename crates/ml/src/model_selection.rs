@@ -178,8 +178,7 @@ mod tests {
 
     #[test]
     fn generic_cv_works_for_classification() {
-        let (ds, _) =
-            generate_classification(&ClassificationSpec::simulated2(300, 4), 7).unwrap();
+        let (ds, _) = generate_classification(&ClassificationSpec::simulated2(300, 4), 7).unwrap();
         let mut rng = seeded_rng(9);
         let report = k_fold_cv(
             &ds,

@@ -145,7 +145,11 @@ impl LeastSquaresAccumulator {
         for a in 0..self.d {
             for b in a..self.d {
                 let g = self.gram_upper[idx];
-                quad += if a == b { w[a] * w[a] * g } else { 2.0 * w[a] * w[b] * g };
+                quad += if a == b {
+                    w[a] * w[a] * g
+                } else {
+                    2.0 * w[a] * w[b] * g
+                };
                 idx += 1;
             }
         }

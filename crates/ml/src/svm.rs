@@ -155,8 +155,7 @@ mod tests {
             generate_classification(&ClassificationSpec::simulated2(3_000, 5), 13).unwrap();
         let trainer = PegasosSvmTrainer::new(1e-3, 3);
         let model = trainer.train(&data).unwrap();
-        let cos = model.weights().dot(&truth).unwrap()
-            / (model.weights().norm2() * truth.norm2());
+        let cos = model.weights().dot(&truth).unwrap() / (model.weights().norm2() * truth.norm2());
         assert!(cos > 0.9, "cosine similarity {cos}");
         let err = ZeroOneLoss.value(&model, &data).unwrap();
         assert!(err < 0.12, "0/1 error {err}");
@@ -195,8 +194,12 @@ mod tests {
             average: false,
             ..avg_trainer
         };
-        let avg_obj = hinge.value(&avg_trainer.train(&data).unwrap(), &data).unwrap();
-        let raw_obj = hinge.value(&raw_trainer.train(&data).unwrap(), &data).unwrap();
+        let avg_obj = hinge
+            .value(&avg_trainer.train(&data).unwrap(), &data)
+            .unwrap();
+        let raw_obj = hinge
+            .value(&raw_trainer.train(&data).unwrap(), &data)
+            .unwrap();
         // The averaged iterate should not be substantially worse.
         assert!(avg_obj <= raw_obj + 0.05, "avg {avg_obj} raw {raw_obj}");
     }

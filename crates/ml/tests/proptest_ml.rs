@@ -9,9 +9,13 @@ use nimbus_ml::{LinearModel, LinearRegressionTrainer, Trainer};
 use proptest::prelude::*;
 
 fn cls_dataset() -> Dataset {
-    let x = Matrix::from_row_major(6, 2, vec![
-        -2.0, 1.0, -1.0, 0.5, -0.5, -1.0, 0.5, 1.0, 1.0, -0.5, 2.0, 0.0,
-    ])
+    let x = Matrix::from_row_major(
+        6,
+        2,
+        vec![
+            -2.0, 1.0, -1.0, 0.5, -0.5, -1.0, 0.5, 1.0, 1.0, -0.5, 2.0, 0.0,
+        ],
+    )
     .unwrap();
     let y = Vector::from_vec(vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
     Dataset::new(x, y, Task::BinaryClassification).unwrap()

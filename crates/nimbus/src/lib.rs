@@ -36,19 +36,24 @@
 //! let curves = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform);
 //! let seller = Seller::new("acme-data", dataset, curves);
 //!
-//! // The broker trains once, optimizes arbitrage-free prices, and opens.
-//! let broker = Broker::new(
-//!     seller,
-//!     Box::new(LinearRegressionTrainer::ridge(1e-6)),
-//!     Box::new(GaussianMechanism),
-//!     BrokerConfig { n_price_points: 20, error_curve_samples: 50, seed: 1 },
-//! );
+//! // The broker is configured through a validating builder; it trains
+//! // once, optimizes arbitrage-free prices, and publishes an immutable
+//! // market snapshot that serves all buyer reads lock-free.
+//! let broker = Broker::builder(seller)
+//!     .trainer(LinearRegressionTrainer::ridge(1e-6))
+//!     .mechanism(GaussianMechanism)
+//!     .n_price_points(20)
+//!     .error_curve_samples(50)
+//!     .seed(1)
+//!     .build()
+//!     .unwrap();
 //! broker.open_market().unwrap();
 //!
-//! // A buyer purchases under an error budget and receives a noisy model.
-//! let sale = broker
-//!     .purchase(PurchaseRequest::ErrorBudget(0.05), f64::INFINITY)
-//!     .unwrap();
+//! // A buyer asks for a quote under an error budget, then commits the
+//! // quoted offer and receives a noisy model.
+//! let quote = broker.quote_request(PurchaseRequest::ErrorBudget(0.05)).unwrap();
+//! assert!(quote.expected_error <= 0.05 + 1e-12);
+//! let sale = broker.commit(quote, quote.price).unwrap();
 //! assert!(sale.expected_square_error <= 0.05 + 1e-12);
 //! ```
 
@@ -70,21 +75,24 @@ pub mod prelude {
     };
     pub use nimbus_data::{
         catalog::{DatasetSpec, PaperDataset},
-        synthetic::{generate_classification, generate_regression, ClassificationSpec, RegressionSpec},
+        synthetic::{
+            generate_classification, generate_regression, ClassificationSpec, RegressionSpec,
+        },
         train_test_split, Dataset, Standardizer, Task, TrainTest,
     };
     pub use nimbus_market::{
         curves::{DemandCurve, MarketCurves, ValueCurve},
         simulation::{compare_strategies, price_with, PricingStrategy},
-        Broker, BrokerConfig, Buyer, BuyerPopulation, Marketplace, PurchaseRequest, Sale, Seller,
+        Broker, BrokerBuilder, BrokerConfig, Buyer, BuyerPopulation, MarketSnapshot, Marketplace,
+        PurchaseRequest, Quote, Sale, Seller,
     };
     pub use nimbus_ml::{
         metrics, LinearModel, LinearRegressionTrainer, LogisticRegressionTrainer,
         PegasosSvmTrainer, Trainer,
     };
     pub use nimbus_optim::{
-        affordability_ratio, revenue, solve_revenue_brute_force, solve_revenue_dp,
-        Baseline, BaselineKind, InterpolationProblem, PricePoint, RevenueProblem,
+        affordability_ratio, revenue, solve_revenue_brute_force, solve_revenue_dp, Baseline,
+        BaselineKind, InterpolationProblem, PricePoint, RevenueProblem,
     };
     pub use nimbus_randkit::{seeded_rng, split_stream, NimbusRng};
 }

@@ -70,11 +70,8 @@ impl Baseline {
                 if pts.len() == 1 {
                     vec![first.v]
                 } else {
-                    let line =
-                        LinearPricing::through(first.a, first.v, last.a, last.v)?;
-                    pts.iter()
-                        .map(|p| line.price_at_raw(p.a))
-                        .collect()
+                    let line = LinearPricing::through(first.a, first.v, last.a, last.v)?;
+                    pts.iter().map(|p| line.price_at_raw(p.a)).collect()
                 }
             }
             BaselineKind::MaxC => {

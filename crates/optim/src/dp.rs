@@ -196,8 +196,7 @@ mod tests {
 
     #[test]
     fn zero_valuations_give_zero_revenue() {
-        let problem =
-            RevenueProblem::from_slices(&[1.0, 2.0], &[1.0, 1.0], &[0.0, 0.0]).unwrap();
+        let problem = RevenueProblem::from_slices(&[1.0, 2.0], &[1.0, 1.0], &[0.0, 0.0]).unwrap();
         let sol = solve_revenue_dp(&problem).unwrap();
         assert_eq!(sol.revenue, 0.0);
         assert!(sol.prices.iter().all(|&z| z == 0.0));

@@ -64,10 +64,9 @@ impl fmt::Display for OptimError {
                 f,
                 "valuations must be non-decreasing in the inverse NCP; violated at index {index}"
             ),
-            OptimError::TooLarge { n, limit } => write!(
-                f,
-                "brute-force solver limited to {limit} points, got {n}"
-            ),
+            OptimError::TooLarge { n, limit } => {
+                write!(f, "brute-force solver limited to {limit} points, got {n}")
+            }
             OptimError::NotGridRational => write!(
                 f,
                 "points cannot be scaled to a common integer grid for exact covering"

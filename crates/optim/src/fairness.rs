@@ -37,10 +37,7 @@ pub struct FrontierPoint {
 
 /// Sweeps the Lagrangian frontier for the given multipliers (sorted
 /// ascending internally). Returns one exact DP solution per `λ`.
-pub fn fairness_frontier(
-    problem: &RevenueProblem,
-    lambdas: &[f64],
-) -> Result<Vec<FrontierPoint>> {
+pub fn fairness_frontier(problem: &RevenueProblem, lambdas: &[f64]) -> Result<Vec<FrontierPoint>> {
     if lambdas.is_empty() {
         return Err(OptimError::EmptyProblem);
     }
@@ -99,13 +96,7 @@ pub fn maximize_revenue_with_affordability_floor(
     // Upper bound: a bonus exceeding the largest valuation always makes
     // serving every group optimal.
     let mut lo = 0.0f64;
-    let mut hi = problem
-        .valuations()
-        .last()
-        .copied()
-        .unwrap_or(1.0)
-        .max(1.0)
-        * 4.0;
+    let mut hi = problem.valuations().last().copied().unwrap_or(1.0).max(1.0) * 4.0;
     let mut best: Option<FrontierPoint> = None;
     for _ in 0..64 {
         let mid = 0.5 * (lo + hi);

@@ -64,10 +64,7 @@ pub fn unbounded_subset_sum(weights: &[u64], target: u64) -> bool {
 /// become points `(w_j, w_j)` plus the probe point `(K, K + 1/2)`. The
 /// interpolation is feasible iff **no** unbounded subset sum hits `K`.
 pub fn theorem7_reduction(weights: &[u64], k: u64) -> Result<InterpolationProblem> {
-    let mut pts: Vec<(f64, f64)> = weights
-        .iter()
-        .map(|&w| (w as f64, w as f64))
-        .collect();
+    let mut pts: Vec<(f64, f64)> = weights.iter().map(|&w| (w as f64, w as f64)).collect();
     pts.push((k as f64, k as f64 + 0.5));
     InterpolationProblem::new(pts)
 }
@@ -139,11 +136,8 @@ mod tests {
 
     #[test]
     fn irrational_grid_is_rejected() {
-        let p = InterpolationProblem::new(vec![
-            (std::f64::consts::SQRT_2, 1.0),
-            (2.0, 2.0),
-        ])
-        .unwrap();
+        let p =
+            InterpolationProblem::new(vec![(std::f64::consts::SQRT_2, 1.0), (2.0, 2.0)]).unwrap();
         assert!(subadditive_interpolation_feasible(&p).is_err());
     }
 

@@ -164,10 +164,9 @@ mod tests {
         // feasible perturbation must not do better.
         let a = vec![1.0, 2.0, 3.0];
         let targets = [1.0, 8.0, 6.0];
-        let problem = InterpolationProblem::new(
-            a.iter().copied().zip(targets.iter().copied()).collect(),
-        )
-        .unwrap();
+        let problem =
+            InterpolationProblem::new(a.iter().copied().zip(targets.iter().copied()).collect())
+                .unwrap();
         let z = interpolate_l2(&problem).unwrap();
         let base = -tpi_l2(&z, &problem).unwrap();
 
@@ -200,13 +199,9 @@ mod tests {
 
     #[test]
     fn l1_solution_is_feasible_and_not_worse_than_l2_start() {
-        let problem = InterpolationProblem::new(vec![
-            (1.0, 2.0),
-            (2.0, 10.0),
-            (3.0, 9.0),
-            (4.0, 30.0),
-        ])
-        .unwrap();
+        let problem =
+            InterpolationProblem::new(vec![(1.0, 2.0), (2.0, 10.0), (3.0, 9.0), (4.0, 30.0)])
+                .unwrap();
         let l2 = interpolate_l2(&problem).unwrap();
         let l1 = interpolate_l1(&problem, 200).unwrap();
         assert!(satisfies_relaxed_constraints(

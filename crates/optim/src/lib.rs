@@ -35,9 +35,9 @@
 //!   per-sale bonus inside the same `O(n²)` DP.
 
 pub mod baselines;
-pub mod fairness;
 pub mod dp;
 pub mod error;
+pub mod fairness;
 pub mod feasibility;
 pub mod interpolation;
 pub mod milp;
@@ -46,8 +46,8 @@ pub mod problem;
 
 pub use baselines::{Baseline, BaselineKind};
 pub use dp::{solve_revenue_dp, solve_revenue_dp_with_sale_bonus};
-pub use fairness::{fairness_frontier, maximize_revenue_with_affordability_floor, FrontierPoint};
 pub use error::OptimError;
+pub use fairness::{fairness_frontier, maximize_revenue_with_affordability_floor, FrontierPoint};
 pub use milp::solve_revenue_brute_force;
 pub use objective::{affordability_ratio, revenue, tpi_l1, tpi_l2};
 pub use problem::{InterpolationProblem, PricePoint, RevenueProblem};

@@ -157,7 +157,7 @@ mod tests {
         assert_eq!(dp[5], 7.0); // 2+3
         assert_eq!(dp[6], 8.0); // 3+3
         assert_eq!(dp[7], 10.0); // 2+2+3
-        // Monotone non-decreasing.
+                                 // Monotone non-decreasing.
         assert!(dp.windows(2).all(|w| w[1] >= w[0]));
     }
 
@@ -169,7 +169,11 @@ mod tests {
         assert_eq!(bf.subsets_examined, 15);
         // Exact subadditive optimum on Figure 5: prices (100, 150, 250,
         // 300) with revenue 200 (p(3) ≤ p(1)+p(2), p(4) ≤ 2·p(2)).
-        assert!((bf.revenue - 200.0).abs() < 1e-9, "bf revenue {}", bf.revenue);
+        assert!(
+            (bf.revenue - 200.0).abs() < 1e-9,
+            "bf revenue {}",
+            bf.revenue
+        );
         assert_eq!(bf.prices, vec![100.0, 150.0, 250.0, 300.0]);
         // Proposition 3 sandwich: CSA/2 ≤ CMBP ≤ CSA.
         assert!(dp.revenue <= bf.revenue + 1e-9);
@@ -234,7 +238,9 @@ mod tests {
         // instances with convex-ish valuation curves (the hard case).
         let mut state = 0x1234_5678_9abc_def0u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         for trial in 0..25 {
@@ -246,7 +252,9 @@ mod tests {
                 acc += next() * 30.0;
                 v.push((acc * 4.0).round() / 4.0);
             }
-            let b: Vec<f64> = (0..n).map(|_| (next() * 4.0).round() / 4.0 + 0.25).collect();
+            let b: Vec<f64> = (0..n)
+                .map(|_| (next() * 4.0).round() / 4.0 + 0.25)
+                .collect();
             let problem = RevenueProblem::from_slices(&a, &b, &v).unwrap();
             let dp = solve_revenue_dp(&problem).unwrap();
             let bf = solve_revenue_brute_force(&problem).unwrap();

@@ -57,7 +57,12 @@ impl StandardNormal {
     }
 
     /// Allocates and returns an isotropic Gaussian vector of length `d`.
-    pub fn isotropic_vec<R: Rng + ?Sized>(&mut self, rng: &mut R, std_dev: f64, d: usize) -> Vec<f64> {
+    pub fn isotropic_vec<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        std_dev: f64,
+        d: usize,
+    ) -> Vec<f64> {
         let mut v = vec![0.0; d];
         self.fill_isotropic(rng, std_dev, &mut v);
         v
@@ -79,7 +84,11 @@ mod tests {
             stats.push(sampler.sample(&mut rng));
         }
         assert!(stats.mean().abs() < 0.01, "mean {}", stats.mean());
-        assert!((stats.variance() - 1.0).abs() < 0.02, "var {}", stats.variance());
+        assert!(
+            (stats.variance() - 1.0).abs() < 0.02,
+            "var {}",
+            stats.variance()
+        );
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Property-based tests for the random-distribution toolkit.
 
 use nimbus_randkit::uniform::{shuffle_indices, uniform_in, uniform_index};
-use nimbus_randkit::{seeded_rng, split_stream, Laplace, RunningStats, StandardNormal, WeightedIndex};
+use nimbus_randkit::{
+    seeded_rng, split_stream, Laplace, RunningStats, StandardNormal, WeightedIndex,
+};
 use proptest::prelude::*;
 
 proptest! {

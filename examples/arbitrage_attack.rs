@@ -21,10 +21,9 @@ fn main() {
     let params = problem.parameters();
 
     // --- The naive market: prices = valuations -------------------------
-    let naive = PiecewiseLinearPricing::new(
-        params.iter().copied().zip(problem.valuations()).collect(),
-    )
-    .expect("pricing");
+    let naive =
+        PiecewiseLinearPricing::new(params.iter().copied().zip(problem.valuations()).collect())
+            .expect("pricing");
     let target = *params.last().unwrap();
     let attack = arbitrage::find_attack(&naive, target, &params, 1_000)
         .expect("search")
@@ -32,12 +31,16 @@ fn main() {
     println!("naive pricing attack against the x = {target} version:");
     println!("  posted price      : {:.2}", attack.target_price);
     println!("  buy instead       : {:?}", attack.purchases);
-    println!("  total cost        : {:.2} (saves {:.2})", attack.total_cost, attack.savings());
+    println!(
+        "  total cost        : {:.2} (saves {:.2})",
+        attack.total_cost,
+        attack.savings()
+    );
 
     // --- Execute it with real noisy models ------------------------------
-    let optimal = LinearModel::new(
-        nimbus::linalg::Vector::from_vec((0..8).map(|i| (i as f64 * 0.7).sin() * 3.0).collect()),
-    );
+    let optimal = LinearModel::new(nimbus::linalg::Vector::from_vec(
+        (0..8).map(|i| (i as f64 * 0.7).sin() * 3.0).collect(),
+    ));
     let mut rng = seeded_rng(5);
     let mut instances = Vec::new();
     for &(x, count) in &attack.purchases {
@@ -84,10 +87,8 @@ fn main() {
 
     // --- The MBP market is immune ---------------------------------------
     let dp = solve_revenue_dp(&problem).expect("dp");
-    let mbp = PiecewiseLinearPricing::new(
-        params.iter().copied().zip(dp.prices).collect(),
-    )
-    .expect("pricing");
+    let mbp = PiecewiseLinearPricing::new(params.iter().copied().zip(dp.prices).collect())
+        .expect("pricing");
     match arbitrage::find_attack(&mbp, target, &params, 1_000).expect("search") {
         Some(a) => println!("\nUNEXPECTED: attack against MBP prices found: {a:?}"),
         None => println!(

@@ -42,7 +42,10 @@ fn main() {
     for delta in [0.01, 0.1, 1.0] {
         let ncp = Ncp::new(delta).unwrap();
         for (name, mech) in [
-            ("K1 additive-uniform", &UniformMechanism as &dyn RandomizedMechanism),
+            (
+                "K1 additive-uniform",
+                &UniformMechanism as &dyn RandomizedMechanism,
+            ),
             ("K2 multiplicative", &MultiplicativeUniformMechanism),
         ] {
             let reps = 30_000;
@@ -69,12 +72,9 @@ fn main() {
         .map(|i| Ncp::new(i as f64 * 0.05).unwrap())
         .collect();
     let error_curve = ErrorCurve::analytic_square_loss(&deltas).expect("curve");
-    let problem = nimbus::market::transform_research(
-        &error_curve,
-        |err| 50.0 / (1.0 + 10.0 * err),
-        |_| 1.0,
-    )
-    .expect("transform");
+    let problem =
+        nimbus::market::transform_research(&error_curve, |err| 50.0 / (1.0 + 10.0 * err), |_| 1.0)
+            .expect("transform");
     let dp = solve_revenue_dp(&problem).expect("dp");
     println!("\nposted versions (excerpt):");
     for (p, z) in problem.points().iter().zip(&dp.prices).step_by(5) {

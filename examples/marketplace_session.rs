@@ -21,16 +21,14 @@ fn main() {
     );
     let seller = Seller::new("forest-bureau", dataset, curves);
 
-    let broker = Broker::new(
-        seller,
-        Box::new(LogisticRegressionTrainer::new(1e-4)),
-        Box::new(GaussianMechanism),
-        BrokerConfig {
-            n_price_points: 60,
-            error_curve_samples: 100,
-            seed: 99,
-        },
-    );
+    let broker = Broker::builder(seller)
+        .trainer(LogisticRegressionTrainer::new(1e-4))
+        .mechanism(GaussianMechanism)
+        .n_price_points(60)
+        .error_curve_samples(100)
+        .seed(99)
+        .build()
+        .expect("valid broker configuration");
     broker.open_market().expect("open");
     println!(
         "market open; expected revenue {:.2}",
@@ -52,21 +50,17 @@ fn main() {
     }
 
     // A population of buyers sampled from the demand curve walks in.
-    let problem = broker
-        .seller()
-        .curves()
-        .build_problem(60)
-        .expect("problem");
+    let problem = broker.seller().curves().build_problem(60).expect("problem");
     let mut rng = seeded_rng(2024);
     let population = BuyerPopulation::sample(&problem, 500, &mut rng).expect("population");
 
     let mut served = 0usize;
     for buyer in population.buyers() {
-        let quote = broker.quote(buyer.desired_x).expect("quote");
-        if buyer.will_buy(quote) {
-            broker
-                .purchase(PurchaseRequest::AtInverseNcp(buyer.desired_x), quote)
-                .expect("purchase");
+        let quote = broker
+            .quote_request(PurchaseRequest::AtInverseNcp(buyer.desired_x))
+            .expect("quote");
+        if buyer.will_buy(quote.price) {
+            broker.commit(quote, quote.price).expect("purchase");
             served += 1;
         }
     }
@@ -79,9 +73,10 @@ fn main() {
     );
 
     // Every served buyer got a usable model: spot-check the last sale.
-    let sale = broker
-        .purchase(PurchaseRequest::AtInverseNcp(60.0), f64::INFINITY)
-        .expect("final purchase");
+    let quote = broker
+        .quote_request(PurchaseRequest::AtInverseNcp(60.0))
+        .expect("final quote");
+    let sale = broker.commit(quote, quote.price).expect("final purchase");
     let acc = metrics::accuracy(&sale.model, &test_set).expect("evaluate");
     println!("spot check: purchased model test accuracy {:.3}", acc);
 }

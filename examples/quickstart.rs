@@ -1,8 +1,9 @@
-//! Quickstart: the complete model-based-pricing loop in ~60 lines.
+//! Quickstart: the complete model-based-pricing loop in ~70 lines.
 //!
 //! A seller lists a dataset, the broker trains the optimal model once and
-//! posts arbitrage-free prices, and three buyers purchase model instances
-//! under the three interaction options of the paper's §3.2.
+//! publishes an immutable snapshot of arbitrage-free prices, and three
+//! buyers quote and commit purchases under the three interaction options of
+//! the paper's §3.2.
 //!
 //! Run with: `cargo run -p nimbus --example quickstart`
 
@@ -21,34 +22,41 @@ fn main() {
     let curves = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform);
     let seller = Seller::new("acme-data", dataset, curves);
 
-    // --- Broker: train once, optimize prices, open the market ----------
-    let broker = Broker::new(
-        seller,
-        Box::new(LinearRegressionTrainer::ridge(1e-6)),
-        Box::new(GaussianMechanism),
-        BrokerConfig::default(),
-    );
+    // --- Broker: validated build, train once, publish the snapshot -----
+    let broker = Broker::builder(seller)
+        .trainer(LinearRegressionTrainer::ridge(1e-6))
+        .mechanism(GaussianMechanism)
+        .seed(42)
+        .build()
+        .expect("valid broker configuration");
     let expected_revenue = broker.open_market().expect("open market");
     println!("market open; expected revenue per unit demand: {expected_revenue:.2}");
 
     let menu = broker.posted_menu().expect("menu");
     println!("posted menu (excerpt):");
     for (x, price) in menu.iter().step_by(menu.len() / 5) {
-        println!("  1/NCP = {x:>5.1}  (expected square loss {:>6.4})  price {price:>6.2}", 1.0 / x);
+        println!(
+            "  1/NCP = {x:>5.1}  (expected square loss {:>6.4})  price {price:>6.2}",
+            1.0 / x
+        );
     }
 
     // --- Buyer option 1: pick a point on the curve ---------------------
-    let sale = broker
-        .purchase(PurchaseRequest::AtInverseNcp(50.0), f64::INFINITY)
-        .expect("buy at point");
+    let quote = broker
+        .quote_request(PurchaseRequest::AtInverseNcp(50.0))
+        .expect("quote at point");
+    let sale = broker.commit(quote, quote.price).expect("buy at point");
     println!(
         "\nbuyer#1 bought version x=50: price {:.2}, E[square loss] {:.4}",
         sale.price, sale.expected_square_error
     );
 
     // --- Buyer option 2: an error budget --------------------------------
+    let quote = broker
+        .quote_request(PurchaseRequest::ErrorBudget(0.05))
+        .expect("quote with error budget");
     let sale = broker
-        .purchase(PurchaseRequest::ErrorBudget(0.05), f64::INFINITY)
+        .commit(quote, quote.price)
         .expect("buy with error budget");
     println!(
         "buyer#2 (error budget 0.05) got x={:.1} for {:.2}",
@@ -57,9 +65,10 @@ fn main() {
 
     // --- Buyer option 3: a price budget ---------------------------------
     let budget = sale.price / 2.0;
-    let sale = broker
-        .purchase(PurchaseRequest::PriceBudget(budget), budget)
-        .expect("buy with price budget");
+    let quote = broker
+        .quote_request(PurchaseRequest::PriceBudget(budget))
+        .expect("quote with price budget");
+    let sale = broker.commit(quote, budget).expect("buy with price budget");
     println!(
         "buyer#3 (price budget {budget:.2}) got x={:.1}, E[square loss] {:.4}",
         sale.inverse_ncp, sale.expected_square_error

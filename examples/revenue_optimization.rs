@@ -37,8 +37,14 @@ fn main() {
     // Algorithm 1 (the O(n²) DP) vs Algorithm 2 (the exponential optimum).
     let dp = solve_revenue_dp(&problem).unwrap();
     let bf = solve_revenue_brute_force(&problem).unwrap();
-    println!("\nAlgorithm 1 DP    : prices {:?} → revenue {:.2}", dp.prices, dp.revenue);
-    println!("Algorithm 2 exact : prices {:?} → revenue {:.2}", bf.prices, bf.revenue);
+    println!(
+        "\nAlgorithm 1 DP    : prices {:?} → revenue {:.2}",
+        dp.prices, dp.revenue
+    );
+    println!(
+        "Algorithm 2 exact : prices {:?} → revenue {:.2}",
+        bf.prices, bf.revenue
+    );
     println!(
         "approximation quality: {:.1}% (Proposition 3 guarantees ≥ 50%)",
         100.0 * dp.revenue / bf.revenue
@@ -46,17 +52,17 @@ fn main() {
 
     // Price interpolation: the seller *wants* specific prices; project them
     // onto the arbitrage-free cone.
-    let wanted = InterpolationProblem::new(vec![
-        (1.0, 100.0),
-        (2.0, 150.0),
-        (3.0, 280.0),
-        (4.0, 350.0),
-    ])
-    .unwrap();
+    let wanted =
+        InterpolationProblem::new(vec![(1.0, 100.0), (2.0, 150.0), (3.0, 280.0), (4.0, 350.0)])
+            .unwrap();
     let feasible = subadditive_interpolation_feasible(&wanted).unwrap();
     println!(
         "\nSUBADDITIVE INTERPOLATION: desired prices are {}",
-        if feasible { "feasible" } else { "INFEASIBLE (as expected)" }
+        if feasible {
+            "feasible"
+        } else {
+            "INFEASIBLE (as expected)"
+        }
     );
     let l2 = interpolate_l2(&wanted).unwrap();
     let l1 = interpolate_l1(&wanted, 300).unwrap();
@@ -65,7 +71,11 @@ fn main() {
 
     // And the resulting posted curve is provably attack-free.
     let pricing = PiecewiseLinearPricing::new(
-        problem.parameters().into_iter().zip(dp.prices.clone()).collect(),
+        problem
+            .parameters()
+            .into_iter()
+            .zip(dp.prices.clone())
+            .collect(),
     )
     .unwrap();
     let grid: Vec<f64> = (1..=40).map(|i| i as f64 * 0.1).collect();

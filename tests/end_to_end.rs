@@ -9,16 +9,19 @@ fn build_broker(seed: u64) -> Broker {
     let (dataset, _) = spec.materialize(seed).unwrap();
     let curves = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform);
     let seller = Seller::new("e2e", dataset, curves);
-    Broker::new(
-        seller,
-        Box::new(LinearRegressionTrainer::ridge(1e-6)),
-        Box::new(GaussianMechanism),
-        BrokerConfig {
-            n_price_points: 40,
-            error_curve_samples: 60,
-            seed,
-        },
-    )
+    Broker::builder(seller)
+        .trainer(LinearRegressionTrainer::ridge(1e-6))
+        .mechanism(GaussianMechanism)
+        .n_price_points(40)
+        .error_curve_samples(60)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+fn buy(broker: &Broker, request: PurchaseRequest) -> Sale {
+    let quote = broker.quote_request(request).unwrap();
+    broker.commit(quote, quote.price).unwrap()
 }
 
 #[test]
@@ -31,27 +34,20 @@ fn full_market_flow() {
     let menu = broker.posted_menu().unwrap();
     let pricing = PiecewiseLinearPricing::new(menu.clone()).unwrap();
     let grid: Vec<f64> = menu.iter().map(|(x, _)| *x).collect();
-    assert!(
-        check_arbitrage_free(&pricing, &grid, 1e-9)
-            .unwrap()
-            .is_arbitrage_free()
-    );
+    assert!(check_arbitrage_free(&pricing, &grid, 1e-9)
+        .unwrap()
+        .is_arbitrage_free());
 
-    // Sales through all three options.
-    let s1 = broker
-        .purchase(PurchaseRequest::AtInverseNcp(10.0), f64::INFINITY)
-        .unwrap();
-    let s2 = broker
-        .purchase(PurchaseRequest::ErrorBudget(0.1), f64::INFINITY)
-        .unwrap();
+    // Sales through all three options, via quote -> commit.
+    let s1 = buy(&broker, PurchaseRequest::AtInverseNcp(10.0));
+    let s2 = buy(&broker, PurchaseRequest::ErrorBudget(0.1));
     let budget = s1.price;
-    let s3 = broker
-        .purchase(PurchaseRequest::PriceBudget(budget), budget)
+    let q3 = broker
+        .quote_request(PurchaseRequest::PriceBudget(budget))
         .unwrap();
+    let s3 = broker.commit(q3, budget).unwrap();
     assert_eq!(broker.sales_count(), 3);
-    assert!(
-        (broker.collected_revenue() - (s1.price + s2.price + s3.price)).abs() < 1e-9
-    );
+    assert!((broker.collected_revenue() - (s1.price + s2.price + s3.price)).abs() < 1e-9);
 
     // Error budgets are honored in expectation semantics.
     assert!(s2.expected_square_error <= 0.1 + 1e-12);
@@ -63,12 +59,8 @@ fn full_market_flow() {
 fn noisier_versions_cost_less_and_err_more() {
     let broker = build_broker(13);
     broker.open_market().unwrap();
-    let cheap = broker
-        .purchase(PurchaseRequest::AtInverseNcp(2.0), f64::INFINITY)
-        .unwrap();
-    let sharp = broker
-        .purchase(PurchaseRequest::AtInverseNcp(90.0), f64::INFINITY)
-        .unwrap();
+    let cheap = buy(&broker, PurchaseRequest::AtInverseNcp(2.0));
+    let sharp = buy(&broker, PurchaseRequest::AtInverseNcp(90.0));
     assert!(cheap.price < sharp.price);
     assert!(cheap.expected_square_error > sharp.expected_square_error);
 
@@ -79,12 +71,8 @@ fn noisier_versions_cost_less_and_err_more() {
     let mut cheap_mse = 0.0;
     let mut sharp_mse = 0.0;
     for _ in 0..reps {
-        let c = broker
-            .purchase(PurchaseRequest::AtInverseNcp(2.0), f64::INFINITY)
-            .unwrap();
-        let s = broker
-            .purchase(PurchaseRequest::AtInverseNcp(90.0), f64::INFINITY)
-            .unwrap();
+        let c = buy(&broker, PurchaseRequest::AtInverseNcp(2.0));
+        let s = buy(&broker, PurchaseRequest::AtInverseNcp(90.0));
         cheap_mse += metrics::mse(&c.model, &test).unwrap();
         sharp_mse += metrics::mse(&s.model, &test).unwrap();
     }
@@ -126,20 +114,16 @@ fn classification_market_end_to_end() {
         ValueCurve::standard_sigmoid(),
         DemandCurve::MidPeaked { width: 0.2 },
     );
-    let broker = Broker::new(
-        Seller::new("cls", dataset, curves),
-        Box::new(LogisticRegressionTrainer::new(1e-4)),
-        Box::new(GaussianMechanism),
-        BrokerConfig {
-            n_price_points: 30,
-            error_curve_samples: 40,
-            seed: 5,
-        },
-    );
-    broker.open_market().unwrap();
-    let sale = broker
-        .purchase(PurchaseRequest::AtInverseNcp(80.0), f64::INFINITY)
+    let broker = Broker::builder(Seller::new("cls", dataset, curves))
+        .trainer(LogisticRegressionTrainer::new(1e-4))
+        .mechanism(GaussianMechanism)
+        .n_price_points(30)
+        .error_curve_samples(40)
+        .seed(5)
+        .build()
         .unwrap();
+    broker.open_market().unwrap();
+    let sale = buy(&broker, PurchaseRequest::AtInverseNcp(80.0));
     // A lightly noised logistic model still classifies far above chance.
     let acc = metrics::accuracy(&sale.model, &test).unwrap();
     assert!(acc > 0.8, "accuracy {acc}");

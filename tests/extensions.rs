@@ -59,7 +59,9 @@ fn error_domain_research_to_market_end_to_end() {
     // the 0/1 error, transform, optimize, and check arbitrage-freeness.
     let spec = DatasetSpec::scaled(PaperDataset::Simulated2, 2_000);
     let (tt, _) = spec.materialize(3).unwrap();
-    let model = LogisticRegressionTrainer::new(1e-4).train(&tt.train).unwrap();
+    let model = LogisticRegressionTrainer::new(1e-4)
+        .train(&tt.train)
+        .unwrap();
     let test = tt.test.clone();
     let deltas: Vec<Ncp> = (1..=12)
         .map(|i| Ncp::new(0.01 * 1.6f64.powi(i)).unwrap())
@@ -77,19 +79,15 @@ fn error_domain_research_to_market_end_to_end() {
 
     // Research over the 0/1 error: a model at Bayes error is worth $200,
     // decaying steeply; demand uniform.
-    let problem = nimbus::market::transform_research(
-        &curve,
-        |err| 200.0 * (-6.0 * err).exp(),
-        |_| 1.0,
-    )
-    .unwrap();
+    let problem =
+        nimbus::market::transform_research(&curve, |err| 200.0 * (-6.0 * err).exp(), |_| 1.0)
+            .unwrap();
     assert_eq!(problem.len(), curve.len());
     let dp = solve_revenue_dp(&problem).unwrap();
     assert!(dp.revenue > 0.0);
-    let pricing = PiecewiseLinearPricing::new(
-        problem.parameters().into_iter().zip(dp.prices).collect(),
-    )
-    .unwrap();
+    let pricing =
+        PiecewiseLinearPricing::new(problem.parameters().into_iter().zip(dp.prices).collect())
+            .unwrap();
     let grid = problem.parameters();
     assert!(check_arbitrage_free(&pricing, &grid, 1e-7)
         .unwrap()
@@ -121,20 +119,19 @@ fn example1_average_market_is_well_behaved() {
     // Example 1 end-to-end: a 1-dimensional "average" model priced through
     // the analytic square-loss curve; the DP output is arbitrage-free and
     // the multiplicative mechanism keeps the Lemma 3 identity.
-    let deltas: Vec<Ncp> = (1..=10).map(|i| Ncp::new(i as f64 * 0.1).unwrap()).collect();
+    let deltas: Vec<Ncp> = (1..=10)
+        .map(|i| Ncp::new(i as f64 * 0.1).unwrap())
+        .collect();
     let curve = ErrorCurve::analytic_square_loss(&deltas).unwrap();
     let problem =
         nimbus::market::transform_research(&curve, |e| 20.0 / (1.0 + 5.0 * e), |_| 1.0).unwrap();
     let dp = solve_revenue_dp(&problem).unwrap();
-    let pricing = PiecewiseLinearPricing::new(
-        problem.parameters().into_iter().zip(dp.prices).collect(),
-    )
-    .unwrap();
-    assert!(
-        check_arbitrage_free(&pricing, &problem.parameters(), 1e-9)
-            .unwrap()
-            .is_arbitrage_free()
-    );
+    let pricing =
+        PiecewiseLinearPricing::new(problem.parameters().into_iter().zip(dp.prices).collect())
+            .unwrap();
+    assert!(check_arbitrage_free(&pricing, &problem.parameters(), 1e-9)
+        .unwrap()
+        .is_arbitrage_free());
 
     let optimal = LinearModel::new(nimbus::linalg::Vector::from_vec(vec![42.0]));
     let mech = nimbus::core::mechanism::MultiplicativeUniformMechanism;

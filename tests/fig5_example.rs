@@ -73,10 +73,9 @@ fn dp_and_bf_prices_are_both_well_behaved() {
         solve_revenue_dp(&problem).unwrap().prices,
         solve_revenue_brute_force(&problem).unwrap().prices,
     ] {
-        let pricing = PiecewiseLinearPricing::new(
-            problem.parameters().into_iter().zip(prices).collect(),
-        )
-        .unwrap();
+        let pricing =
+            PiecewiseLinearPricing::new(problem.parameters().into_iter().zip(prices).collect())
+                .unwrap();
         assert!(check_arbitrage_free(&pricing, &grid, 1e-9)
             .unwrap()
             .is_arbitrage_free());

@@ -65,7 +65,9 @@ fn lemma8_relaxed_constraints_imply_subadditivity() {
         // Constant unit price (boundary of the constraint).
         (1..=8).map(|i| (i as f64, 3.0 * i as f64)).collect(),
         // Strictly decreasing unit price.
-        (1..=8).map(|i| (i as f64, 10.0 * (i as f64).sqrt())).collect(),
+        (1..=8)
+            .map(|i| (i as f64, 10.0 * (i as f64).sqrt()))
+            .collect(),
         // Flat prices (monotone boundary).
         (1..=8).map(|i| (i as f64, 7.0)).collect(),
     ];
@@ -126,7 +128,9 @@ fn theorem4_convex_hinge_error_is_monotone_in_delta() {
     let (ds, _) = generate_classification(&ClassificationSpec::simulated2(600, 4), 3).unwrap();
     let mut rng = seeded_rng(5);
     let tt = train_test_split(&ds, 0.75, &mut rng).unwrap();
-    let model = LogisticRegressionTrainer::new(1e-3).train(&tt.train).unwrap();
+    let model = LogisticRegressionTrainer::new(1e-3)
+        .train(&tt.train)
+        .unwrap();
     let hinge = nimbus::ml::HingeLoss::new(1e-9).unwrap();
     use nimbus::ml::Loss;
 
@@ -167,7 +171,10 @@ fn laplace_mechanism_satisfies_both_market_restrictions() {
     .unwrap();
     assert!(report.is_unbiased_within(5.0));
 
-    let grid: Vec<Ncp> = [0.1, 0.4, 1.6].iter().map(|&d| Ncp::new(d).unwrap()).collect();
+    let grid: Vec<Ncp> = [0.1, 0.4, 1.6]
+        .iter()
+        .map(|&d| Ncp::new(d).unwrap())
+        .collect();
     let m = model.clone();
     let mono = check_error_monotonicity(
         &LaplaceMechanism,

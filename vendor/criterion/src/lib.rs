@@ -1,0 +1,261 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace benches use
+//! (`criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group` with `sample_size` / `bench_with_input` / `finish`,
+//! `BenchmarkId`, `black_box`) on a simple median-of-samples timer.
+//!
+//! Behavior matches criterion where it matters to the harness:
+//!
+//! * `cargo bench` runs each bench with warmup and prints
+//!   `name  time: [median ns/iter]` lines;
+//! * `cargo test` (which invokes bench executables with `--test`) runs each
+//!   bench body exactly once, so benches stay compile- and run-checked
+//!   without burning CI time.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one bench within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter, `name/param`.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a bench name: a `BenchmarkId` or a plain string.
+pub trait IntoBenchmarkId {
+    /// The rendered bench name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Per-iteration timer handed to bench closures.
+pub struct Bencher {
+    test_mode: bool,
+    samples: usize,
+    /// Median per-iteration time measured by the last `iter` call.
+    measured: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median per-iteration duration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.measured = Some(Duration::ZERO);
+            return;
+        }
+        // Warmup and calibration: find how many iterations fill ~5ms.
+        let mut iters_per_sample: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample = (iters_per_sample * 2).min(1 << 20);
+        }
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            per_iter.push(start.elapsed() / iters_per_sample as u32);
+        }
+        per_iter.sort();
+        self.measured = Some(per_iter[per_iter.len() / 2]);
+    }
+}
+
+fn run_bench(name: &str, test_mode: bool, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        test_mode,
+        samples,
+        measured: None,
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("test-mode ok: {name}");
+    } else {
+        match bencher.measured {
+            Some(t) => println!("{name:<55} time: [{t:?}/iter]"),
+            None => println!("{name:<55} (no measurement: bench never called iter)"),
+        }
+    }
+}
+
+/// The bench harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench executables with `--test` under `cargo test`
+        // and with `--bench` under `cargo bench`.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone bench.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(&id.into_id(), self.test_mode, 10, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benches.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples: 10,
+        }
+    }
+}
+
+/// A group of related benches sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per bench.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Runs a bench parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_bench(&name, self.criterion.test_mode, self.samples, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Runs an unparameterized bench inside the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_bench(&name, self.criterion.test_mode, self.samples, &mut f);
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a bench group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_in_bench_mode() {
+        let mut b = Bencher {
+            test_mode: false,
+            samples: 3,
+            measured: None,
+        };
+        let mut counter = 0u64;
+        b.iter(|| {
+            counter = counter.wrapping_add(1);
+            counter
+        });
+        assert!(b.measured.is_some());
+        assert!(counter > 0);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut b = Bencher {
+            test_mode: true,
+            samples: 10,
+            measured: None,
+        };
+        let mut calls = 0;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("dp", 100).into_id(), "dp/100");
+        assert_eq!(BenchmarkId::from_parameter(8).into_id(), "8");
+    }
+}

@@ -1,0 +1,72 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the scoped-thread API the workspace uses (`crossbeam::scope`
+//! with `Scope::spawn`) on top of `std::thread::scope`, which has subsumed
+//! crossbeam's scoped threads since Rust 1.63. One behavioral difference:
+//! if a spawned thread panics, `std::thread::scope` propagates the panic at
+//! the end of the scope instead of returning `Err`, so the `Err` arm of the
+//! returned `Result` is never taken here. Every call site in the workspace
+//! immediately `unwrap()`s/`expect()`s the result, so the observable
+//! behavior (a panic) is identical.
+
+/// A handle for spawning scoped threads, mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope again so it
+    /// can spawn nested threads, as in crossbeam.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.0;
+        inner.spawn(move || f(&Scope(inner)))
+    }
+}
+
+/// Creates a scope in which threads may borrow from the enclosing stack
+/// frame; all spawned threads are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope(s))))
+}
+
+/// `crossbeam::thread` module alias for callers that use the long path.
+pub mod thread {
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = [1u64, 2, 3, 4];
+        let sum = std::sync::atomic::AtomicU64::new(0);
+        scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    let part: u64 = chunk.iter().sum();
+                    sum.fetch_add(part, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.into_inner(), 10);
+    }
+
+    #[test]
+    fn nested_spawn_compiles() {
+        let out = scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+}

@@ -1,13 +1,16 @@
 //! Error-curve estimation (the Figure 6 inner loop) and the price
-//! interpolation solvers.
+//! interpolation solvers, plus serial-vs-parallel Monte-Carlo estimation
+//! across the error metrics a broker can be configured with.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nimbus_core::{ErrorCurve, GaussianMechanism, Ncp};
+use nimbus_data::catalog::{DatasetSpec, PaperDataset};
 use nimbus_linalg::Vector;
-use nimbus_ml::LinearModel;
+use nimbus_ml::{
+    ErrorMetric, LinearModel, LogisticRegressionTrainer, LossMetric, SquareDistanceMetric, Trainer,
+};
 use nimbus_optim::interpolation::{interpolate_l1, interpolate_l2};
 use nimbus_optim::InterpolationProblem;
-use nimbus_randkit::seeded_rng;
 use std::hint::black_box;
 
 fn bench_error_curve_estimation(c: &mut Criterion) {
@@ -22,7 +25,6 @@ fn bench_error_curve_estimation(c: &mut Criterion) {
     for samples in [100usize, 500] {
         group.bench_with_input(BenchmarkId::from_parameter(samples), &samples, |b, &s| {
             b.iter(|| {
-                let mut rng = seeded_rng(3);
                 let m = model.clone();
                 ErrorCurve::estimate(
                     &GaussianMechanism,
@@ -30,11 +32,76 @@ fn bench_error_curve_estimation(c: &mut Criterion) {
                     |h| h.distance_squared(&m).map_err(Into::into),
                     &deltas,
                     s,
-                    &mut rng,
+                    3,
                 )
                 .unwrap()
             })
         });
+    }
+    group.finish();
+}
+
+/// Serial vs parallel Monte-Carlo curve estimation for the three broker
+/// metrics. The parallel estimator is bitwise-identical to the serial one
+/// (per-δ seed streams), so this measures pure wall-clock speedup. On a
+/// single-CPU host the two are at parity (modulo thread-spawn overhead);
+/// the speedup scales with physical cores up to the δ-point count.
+fn bench_serial_vs_parallel_metrics(c: &mut Criterion) {
+    let (tt, _) = DatasetSpec::scaled(PaperDataset::Simulated2, 1_000)
+        .materialize(7)
+        .expect("materialize");
+    let model = LogisticRegressionTrainer::new(1e-4)
+        .train(&tt.train)
+        .expect("train");
+    let metrics: Vec<(&str, Box<dyn ErrorMetric>)> = vec![
+        ("square", Box::new(SquareDistanceMetric::new(model.clone()))),
+        ("logistic", Box::new(LossMetric::logistic(tt.test.clone()))),
+        ("zero_one", Box::new(LossMetric::zero_one(tt.test.clone()))),
+    ];
+    let mut group = c.benchmark_group("mc_curve_serial_vs_parallel");
+    group.sample_size(10);
+    let samples = 64usize;
+    for points in [8usize, 32] {
+        let deltas: Vec<Ncp> = (1..=points)
+            .map(|i| Ncp::new(i as f64 / points as f64).unwrap())
+            .collect();
+        for (name, metric) in &metrics {
+            group.bench_with_input(
+                BenchmarkId::new(format!("serial/{name}"), points),
+                &deltas,
+                |b, d| {
+                    b.iter(|| {
+                        ErrorCurve::estimate(
+                            &GaussianMechanism,
+                            black_box(&model),
+                            |h| metric.evaluate(h).map_err(Into::into),
+                            d,
+                            samples,
+                            3,
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("parallel8/{name}"), points),
+                &deltas,
+                |b, d| {
+                    b.iter(|| {
+                        ErrorCurve::estimate_parallel(
+                            &GaussianMechanism,
+                            black_box(&model),
+                            |h| metric.evaluate(h).map_err(Into::into),
+                            d,
+                            samples,
+                            3,
+                            Some(8),
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }
@@ -65,5 +132,10 @@ fn bench_interpolation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_error_curve_estimation, bench_interpolation);
+criterion_group!(
+    benches,
+    bench_error_curve_estimation,
+    bench_serial_vs_parallel_metrics,
+    bench_interpolation
+);
 criterion_main!(benches);

@@ -5,12 +5,14 @@
 
 use crate::parse::{usage, BuyRequest, Command};
 use nimbus::core::arbitrage::find_attack;
+use nimbus::ml::{ErrorMetric, LossMetric};
 use nimbus::prelude::ErrorCurve;
 use nimbus::prelude::*;
 use std::fmt::Write as _;
 
-/// Boxed evaluation closure for buyer-side error functions.
-type EvalFn = Box<dyn FnMut(&LinearModel) -> nimbus::core::Result<f64>>;
+/// Boxed evaluation closure for buyer-side error functions. `Sync` so the
+/// deterministic curve estimator may fan points out across threads.
+type EvalFn = Box<dyn Fn(&LinearModel) -> nimbus::core::Result<f64> + Sync>;
 
 /// Executes a parsed command, returning the text to print.
 pub fn run_command(command: Command) -> Result<String, String> {
@@ -25,8 +27,9 @@ pub fn run_command(command: Command) -> Result<String, String> {
         Command::Buy {
             dataset,
             request,
+            metric,
             seed,
-        } => buy(&dataset, request, seed),
+        } => buy(&dataset, request, &metric, seed),
         Command::Attack {
             value,
             points,
@@ -83,23 +86,67 @@ fn lookup_demand(shape: &str) -> Result<DemandCurve, String> {
     }
 }
 
-fn build_broker(dataset: PaperDataset, seed: u64) -> Result<Broker, String> {
+/// Builds the `ErrorMetric` the market should price against, or `None` for
+/// the closed-form square-distance default.
+fn lookup_metric(
+    metric: &str,
+    dataset: PaperDataset,
+    test: nimbus::data::Dataset,
+) -> Result<Option<Box<dyn ErrorMetric>>, String> {
+    let name = metric.to_ascii_lowercase();
+    match name.as_str() {
+        "square" => Ok(None),
+        "logistic" | "zero_one" | "zero-one" | "hinge" => {
+            if !matches!(dataset.task(), Task::BinaryClassification) {
+                return Err(format!(
+                    "metric {name:?} needs a binary-classification dataset; {} is regression",
+                    dataset.name()
+                ));
+            }
+            let boxed: Box<dyn ErrorMetric> = match name.as_str() {
+                "logistic" => Box::new(LossMetric::logistic(test)),
+                "hinge" => Box::new(LossMetric::hinge(test, 1e-4).map_err(|e| e.to_string())?),
+                _ => Box::new(LossMetric::zero_one(test)),
+            };
+            Ok(Some(boxed))
+        }
+        other => Err(format!(
+            "unknown metric {other:?}; available: square, logistic, zero_one, hinge"
+        )),
+    }
+}
+
+/// Human-facing label for a sale's expected-error line.
+fn metric_label(metric: &str) -> String {
+    match metric {
+        "square" => "E[square loss]".to_string(),
+        "logistic" => "E[logistic loss]".to_string(),
+        "zero_one" => "E[0/1 error]".to_string(),
+        "hinge" => "E[hinge loss]".to_string(),
+        other => format!("E[{other}]"),
+    }
+}
+
+fn build_broker(dataset: PaperDataset, metric: &str, seed: u64) -> Result<Broker, String> {
     let spec = DatasetSpec::scaled(dataset, 4_000);
     let (tt, _) = spec.materialize(seed).map_err(|e| e.to_string())?;
+    let metric = lookup_metric(metric, dataset, tt.test.clone())?;
     let curves = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform);
     let seller = Seller::new(dataset.name(), tt, curves);
     let trainer: Box<dyn Trainer + Send + Sync> = match dataset.task() {
         Task::Regression => Box::new(LinearRegressionTrainer::ridge(1e-6)),
         Task::BinaryClassification => Box::new(LogisticRegressionTrainer::new(1e-4)),
     };
-    let broker = Broker::builder(seller)
+    let mut builder = Broker::builder(seller)
         .boxed_trainer(trainer)
         .mechanism(GaussianMechanism)
         .n_price_points(50)
         .error_curve_samples(50)
-        .seed(seed)
-        .build()
-        .map_err(|e| e.to_string())?;
+        .seed(seed);
+    if let Some(m) = metric {
+        builder = builder.boxed_error_metric(m);
+    }
+    let broker = builder.build().map_err(|e| e.to_string())?;
     broker.open_market().map_err(|e| e.to_string())?;
     Ok(broker)
 }
@@ -110,7 +157,7 @@ fn demo(dataset_name: &str, seed: u64) -> Result<String, String> {
     let _ = writeln!(out, "=== Nimbus demo on {} ===", dataset.name());
 
     let start = std::time::Instant::now();
-    let broker = build_broker(dataset, seed)?;
+    let broker = build_broker(dataset, "square", seed)?;
     let optimal = broker.optimal_model().map_err(|e| e.to_string())?;
     let _ = writeln!(
         out,
@@ -147,7 +194,7 @@ fn demo(dataset_name: &str, seed: u64) -> Result<String, String> {
                 let _ = writeln!(
                     out,
                     "buyer ({label}): got x={:.1} for {:.2} (E[sq loss] {:.4})",
-                    sale.inverse_ncp, sale.price, sale.expected_square_error
+                    sale.inverse_ncp, sale.price, sale.expected_error
                 );
             }
             Err(e) => {
@@ -219,9 +266,9 @@ fn price(value: &str, demand: &str, points: usize) -> Result<String, String> {
     Ok(out)
 }
 
-fn buy(dataset_name: &str, request: BuyRequest, seed: u64) -> Result<String, String> {
+fn buy(dataset_name: &str, request: BuyRequest, metric: &str, seed: u64) -> Result<String, String> {
     let dataset = lookup_dataset(dataset_name)?;
-    let broker = build_broker(dataset, seed)?;
+    let broker = build_broker(dataset, metric, seed)?;
     let req = match request {
         BuyRequest::ErrorBudget(e) => PurchaseRequest::ErrorBudget(e),
         BuyRequest::PriceBudget(p) => PurchaseRequest::PriceBudget(p),
@@ -235,7 +282,12 @@ fn buy(dataset_name: &str, request: BuyRequest, seed: u64) -> Result<String, Str
     let _ = writeln!(out, "purchased from the {} market:", dataset.name());
     let _ = writeln!(out, "  version       : 1/NCP = {:.2}", sale.inverse_ncp);
     let _ = writeln!(out, "  price         : {:.2}", sale.price);
-    let _ = writeln!(out, "  E[square loss]: {:.5}", sale.expected_square_error);
+    let _ = writeln!(
+        out,
+        "  {:<14}: {:.5}",
+        metric_label(sale.metric),
+        sale.expected_error
+    );
     let _ = writeln!(
         out,
         "  model         : {} weights, first = {:.4}",
@@ -348,15 +400,13 @@ fn error_curve(dataset_name: &str, samples: usize, seed: u64) -> Result<String, 
     let deltas: Vec<Ncp> = (0..12)
         .map(|i| Ncp::new(1.0 / (1.0 + 9.0 * i as f64)).expect("positive"))
         .collect();
-    let mut rng = seeded_rng(seed);
-    let mut eval = eval;
     let curve = ErrorCurve::estimate(
         &GaussianMechanism,
         &model,
-        &mut eval,
+        eval,
         &deltas,
         samples.max(10),
-        &mut rng,
+        seed,
     )
     .map_err(|e| e.to_string())?;
     let mut out = String::new();
@@ -422,6 +472,50 @@ mod tests {
         let out = run(&["buy", "--error-budget", "0.1", "--dataset", "CASP"]).unwrap();
         assert!(out.contains("E[square loss]"));
         assert!(out.contains("CASP"));
+    }
+
+    #[test]
+    fn buy_with_classification_metrics() {
+        let zero_one = run(&[
+            "buy",
+            "--error-budget",
+            "0.45",
+            "--dataset",
+            "Simulated2",
+            "--metric",
+            "zero_one",
+        ])
+        .unwrap();
+        assert!(zero_one.contains("E[0/1 error]"), "{zero_one}");
+        assert!(zero_one.contains("Simulated2"));
+        let logistic = run(&[
+            "buy",
+            "--error-budget",
+            "0.69",
+            "--dataset",
+            "Simulated2",
+            "--metric",
+            "logistic",
+        ])
+        .unwrap();
+        assert!(logistic.contains("E[logistic loss]"), "{logistic}");
+    }
+
+    #[test]
+    fn buy_rejects_bad_metric_combinations() {
+        let err = run(&[
+            "buy",
+            "--at",
+            "5",
+            "--dataset",
+            "CASP",
+            "--metric",
+            "logistic",
+        ])
+        .unwrap_err();
+        assert!(err.contains("binary-classification"), "{err}");
+        let err = run(&["buy", "--at", "5", "--metric", "nope"]).unwrap_err();
+        assert!(err.contains("unknown metric"), "{err}");
     }
 
     #[test]

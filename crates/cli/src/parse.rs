@@ -27,6 +27,9 @@ pub enum Command {
         dataset: String,
         /// The buyer's request.
         request: BuyRequest,
+        /// Error metric the market prices against:
+        /// square | logistic | zero_one | hinge.
+        metric: String,
         /// Base seed.
         seed: u64,
     },
@@ -122,7 +125,8 @@ pub fn usage() -> String {
      nimbus demo   [--dataset NAME] [--seed N]\n  \
      nimbus price  [--value convex|concave|linear|sigmoid] \
      [--demand uniform|mid_peaked|bimodal|increasing|decreasing] [--points N]\n  \
-     nimbus buy    (--error-budget E | --price-budget P | --at X) [--dataset NAME] [--seed N]\n  \
+     nimbus buy    (--error-budget E | --price-budget P | --at X) [--dataset NAME] \
+     [--metric square|logistic|zero_one|hinge] [--seed N]\n  \
      nimbus attack [--value SHAPE] [--points N] [--naive]\n  \
      nimbus fairness [--value SHAPE] [--points N] [--tau T]\n  \
      nimbus curve  [--dataset NAME] [--samples N] [--seed N]\n  \
@@ -184,6 +188,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
         }
         "buy" => {
             let mut dataset = "Simulated1".to_string();
+            let mut metric = "square".to_string();
             let mut seed = 7u64;
             let mut request: Option<BuyRequest> = None;
             let set = |r: BuyRequest, request: &mut Option<BuyRequest>| {
@@ -197,6 +202,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
             while let Some(flag) = iter.next() {
                 match flag.as_str() {
                     "--dataset" => dataset = take_value(&mut iter, "--dataset")?,
+                    "--metric" => metric = take_value(&mut iter, "--metric")?,
                     "--seed" => seed = parse_num(&mut iter, "--seed")?,
                     "--error-budget" => {
                         let e = parse_num(&mut iter, "--error-budget")?;
@@ -217,6 +223,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
             Ok(Command::Buy {
                 dataset,
                 request,
+                metric,
                 seed,
             })
         }
@@ -328,6 +335,29 @@ mod tests {
             Command::Buy {
                 dataset: "Simulated1".into(),
                 request: BuyRequest::PriceBudget(30.0),
+                metric: "square".into(),
+                seed: 7
+            }
+        );
+    }
+
+    #[test]
+    fn buy_metric_flag() {
+        assert_eq!(
+            parse(&[
+                "buy",
+                "--error-budget",
+                "0.2",
+                "--dataset",
+                "SUSY",
+                "--metric",
+                "zero_one",
+            ])
+            .unwrap(),
+            Command::Buy {
+                dataset: "SUSY".into(),
+                request: BuyRequest::ErrorBudget(0.2),
+                metric: "zero_one".into(),
                 seed: 7
             }
         );

@@ -261,6 +261,44 @@ where
     check_arbitrage_free(&composed, &xs, tol)
 }
 
+/// Re-verifies a pricing function *after* the error-inverse map `φ` has been
+/// threaded through it — the Theorem 6 sanity check the broker runs before
+/// publishing a snapshot for a non-square metric.
+///
+/// Buyers of a general metric name an error budget `e`; the broker serves
+/// the NCP `δ = φ(e)` and charges `pricing` at `x = 1/δ`. Arbitrage lives in
+/// model space, where Theorem 5's criterion is stated over `x`, so the
+/// buyer-facing grid must be pushed through `φ` first: for every grid error
+/// level of `error_curve` (the smoothed `E[ε]` values), this maps it back to
+/// its `x = 1/φ(e)` and checks monotonicity + subadditivity of `pricing` on
+/// the resulting grid. Flat (isotonically pooled) stretches of the curve
+/// collapse to a single `x`, exactly as they collapse for buyers.
+pub fn check_arbitrage_free_after_phi<P>(
+    pricing: &P,
+    error_curve: &crate::ErrorCurve,
+    tol: f64,
+) -> Result<ArbitrageReport>
+where
+    P: PricingFunction + ?Sized,
+{
+    if error_curve.is_empty() {
+        return Err(CoreError::EmptyCurve);
+    }
+    let mut xs: Vec<f64> = Vec::with_capacity(error_curve.len());
+    for point in error_curve.points() {
+        let ncp = error_curve.error_inverse(point.smoothed_error)?;
+        let x = 1.0 / ncp.delta();
+        // Pooled stretches of the smoothed curve map to one δ; skip repeats.
+        if xs
+            .last()
+            .is_none_or(|&last| (x - last).abs() > 1e-12 * x.abs().max(1.0))
+        {
+            xs.push(x);
+        }
+    }
+    check_arbitrage_free(pricing, &xs, tol)
+}
+
 /// Combines independently purchased noisy instances into a single unbiased
 /// instance of lower variance — the function `g` from Theorem 5's proof.
 ///
@@ -439,6 +477,45 @@ mod tests {
         // Pricing convex in x (superadditive): p = 1/err² = x² under ε_s.
         let report =
             check_arbitrage_free_via_error_curve(|err| 1.0 / (err * err), &curve, 1e-9).unwrap();
+        assert!(!report.subadditivity_violations.is_empty());
+    }
+
+    #[test]
+    fn phi_recheck_accepts_concave_and_flags_convex_pricing() {
+        // A noisy, non-monotone raw curve: isotonic smoothing pools the dip,
+        // and φ pushes the pooled error levels back onto a clean x grid.
+        let raw = vec![
+            (0.25, 0.27, 0.01),
+            (0.5, 0.46, 0.01),
+            (1.0, 0.95, 0.02),
+            (2.0, 1.85, 0.02),
+            (2.5, 1.80, 0.02), // dip — pooled with the previous point
+            (4.0, 4.10, 0.03),
+        ];
+        let curve = crate::ErrorCurve::from_raw(raw).unwrap();
+        let good = crate::pricing::PiecewiseLinearPricing::new(
+            (1..=50)
+                .map(|i| {
+                    let x = i as f64 * 0.2;
+                    (x, 30.0 * x.sqrt())
+                })
+                .collect(),
+        )
+        .unwrap();
+        let report = check_arbitrage_free_after_phi(&good, &curve, 1e-9).unwrap();
+        assert!(report.is_arbitrage_free(), "{report:?}");
+
+        // Convex-in-x pricing is superadditive and must be flagged after φ.
+        let bad = crate::pricing::PiecewiseLinearPricing::new(
+            (1..=50)
+                .map(|i| {
+                    let x = i as f64 * 0.2;
+                    (x, x * x)
+                })
+                .collect(),
+        )
+        .unwrap();
+        let report = check_arbitrage_free_after_phi(&bad, &curve, 1e-9).unwrap();
         assert!(!report.subadditivity_violations.is_empty());
     }
 

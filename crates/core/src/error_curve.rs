@@ -8,12 +8,23 @@
 //! models per δ, average the observed error (this is exactly the 2000-model
 //! procedure of §6.1 / Figure 6) — then smooths the estimates isotonically
 //! so the empirical inverse `φ` (Theorem 6) is well defined.
+//!
+//! # Determinism
+//!
+//! Each δ point draws its samples from a private RNG stream
+//! `seeded_rng(split_stream(seed, i))`, where `i` is the point's index in
+//! the δ-ascending grid. The estimate is therefore a pure function of
+//! `(mechanism, optimal, ε, grid, samples, seed)` — and because the streams
+//! are independent, [`ErrorCurve::estimate_parallel`] fans the points out
+//! over scoped threads and still produces a curve bitwise-identical to the
+//! sequential [`ErrorCurve::estimate`].
 
 use crate::isotonic::isotonic_increasing;
 use crate::mechanism::RandomizedMechanism;
+use crate::parallel::parallel_map;
 use crate::{CoreError, Ncp, Result};
 use nimbus_ml::LinearModel;
-use nimbus_randkit::{NimbusRng, RunningStats};
+use nimbus_randkit::{seeded_rng, split_stream, RunningStats};
 
 /// One estimated point of the error curve.
 #[derive(Debug, Clone, Copy)]
@@ -42,57 +53,120 @@ impl ErrorCurve {
     ///
     /// `evaluate` is the buyer's error function `ε(·, D)` partially applied
     /// to the dataset — e.g. test-set square loss, logistic loss or 0/1
-    /// error from `nimbus-ml`.
+    /// error from `nimbus-ml`. Each grid point samples from its own RNG
+    /// stream derived from `(seed, point index)`, so the result is
+    /// deterministic for a fixed seed and independent of evaluation order.
     pub fn estimate<M, F>(
         mechanism: &M,
         optimal: &LinearModel,
-        mut evaluate: F,
+        evaluate: F,
         deltas: &[Ncp],
         samples: usize,
-        rng: &mut NimbusRng,
+        seed: u64,
     ) -> Result<ErrorCurve>
     where
         M: RandomizedMechanism + ?Sized,
-        F: FnMut(&LinearModel) -> Result<f64>,
+        F: Fn(&LinearModel) -> Result<f64> + Sync,
     {
+        let sorted = Self::sorted_grid(deltas, samples)?;
+        let raw = sorted
+            .into_iter()
+            .enumerate()
+            .map(|(i, ncp)| {
+                Self::estimate_point(mechanism, optimal, &evaluate, ncp, samples, seed, i)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Self::from_raw(raw)
+    }
+
+    /// [`ErrorCurve::estimate`] with the δ points fanned out over up to
+    /// `max_threads` scoped threads (available parallelism when `None`).
+    ///
+    /// Because every point owns its RNG stream `split_stream(seed, i)`, the
+    /// result is **bitwise identical** to the sequential estimate for the
+    /// same seed — thread scheduling cannot leak into the samples.
+    pub fn estimate_parallel<M, F>(
+        mechanism: &M,
+        optimal: &LinearModel,
+        evaluate: F,
+        deltas: &[Ncp],
+        samples: usize,
+        seed: u64,
+        max_threads: Option<usize>,
+    ) -> Result<ErrorCurve>
+    where
+        M: RandomizedMechanism + Sync + ?Sized,
+        F: Fn(&LinearModel) -> Result<f64> + Sync,
+    {
+        let sorted = Self::sorted_grid(deltas, samples)?;
+        let indexed: Vec<(usize, Ncp)> = sorted.into_iter().enumerate().collect();
+        let raw = parallel_map(indexed, max_threads, |(i, ncp)| {
+            Self::estimate_point(mechanism, optimal, &evaluate, ncp, samples, seed, i)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>>>()?;
+        Self::from_raw(raw)
+    }
+
+    /// Validates and δ-ascending-sorts the grid shared by both estimators.
+    fn sorted_grid(deltas: &[Ncp], samples: usize) -> Result<Vec<Ncp>> {
         if deltas.is_empty() || samples == 0 {
             return Err(CoreError::EmptyCurve);
         }
-        let mut order: Vec<usize> = (0..deltas.len()).collect();
-        order.sort_by(|&a, &b| {
-            deltas[a]
-                .delta()
-                .partial_cmp(&deltas[b].delta())
-                .expect("NCPs are finite")
-        });
+        let mut sorted = deltas.to_vec();
+        sorted.sort_by(|a, b| a.delta().partial_cmp(&b.delta()).expect("NCPs are finite"));
+        Ok(sorted)
+    }
 
-        let mut raw = Vec::with_capacity(deltas.len());
-        for &i in &order {
-            let ncp = deltas[i];
-            let mut stats = RunningStats::new();
-            for _ in 0..samples {
-                let noisy = mechanism.perturb(optimal, ncp, rng)?;
-                stats.push(evaluate(&noisy)?);
-            }
-            raw.push((ncp.delta(), stats.mean(), stats.standard_error()));
+    /// One grid point's Monte-Carlo mean and standard error, sampled from
+    /// the point's private stream `split_stream(seed, index)`.
+    fn estimate_point<M, F>(
+        mechanism: &M,
+        optimal: &LinearModel,
+        evaluate: &F,
+        ncp: Ncp,
+        samples: usize,
+        seed: u64,
+        index: usize,
+    ) -> Result<(f64, f64, f64)>
+    where
+        M: RandomizedMechanism + ?Sized,
+        F: Fn(&LinearModel) -> Result<f64>,
+    {
+        let mut rng = seeded_rng(split_stream(seed, index as u64));
+        let mut stats = RunningStats::new();
+        for _ in 0..samples {
+            let noisy = mechanism.perturb(optimal, ncp, &mut rng)?;
+            stats.push(evaluate(&noisy)?);
         }
+        Ok((ncp.delta(), stats.mean(), stats.standard_error()))
+    }
+
+    /// Builds an exact curve from a closed-form expected-error map
+    /// `δ ↦ E[ε(h^δ)]`, with zero Monte-Carlo uncertainty.
+    pub fn from_closed_form<F>(deltas: &[Ncp], expected_error: F) -> Result<ErrorCurve>
+    where
+        F: Fn(f64) -> f64,
+    {
+        if deltas.is_empty() {
+            return Err(CoreError::EmptyCurve);
+        }
+        let mut raw: Vec<(f64, f64, f64)> = deltas
+            .iter()
+            .map(|d| (d.delta(), expected_error(d.delta()), 0.0))
+            .collect();
+        raw.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite deltas"));
         Self::from_raw(raw)
     }
 
     /// Builds the exact analytic curve for the square loss, where
     /// `E[ε_s(h^δ)] = δ` (Lemma 3) with zero Monte-Carlo uncertainty.
     pub fn analytic_square_loss(deltas: &[Ncp]) -> Result<ErrorCurve> {
-        if deltas.is_empty() {
-            return Err(CoreError::EmptyCurve);
-        }
-        let mut raw: Vec<(f64, f64, f64)> =
-            deltas.iter().map(|d| (d.delta(), d.delta(), 0.0)).collect();
-        raw.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite deltas"));
-        Self::from_raw(raw)
+        Self::from_closed_form(deltas, |delta| delta)
     }
 
     /// Builds a curve from raw `(δ, mean, stderr)` triples (sorted by δ).
-    fn from_raw(raw: Vec<(f64, f64, f64)>) -> Result<ErrorCurve> {
+    pub(crate) fn from_raw(raw: Vec<(f64, f64, f64)>) -> Result<ErrorCurve> {
         for (i, (d, m, _)) in raw.iter().enumerate() {
             if !(d.is_finite() && *d > 0.0) {
                 return Err(CoreError::InvalidCurvePoint {
@@ -202,7 +276,6 @@ mod tests {
     use crate::mechanism::GaussianMechanism;
     use crate::square_loss::square_loss;
     use nimbus_linalg::Vector;
-    use nimbus_randkit::seeded_rng;
 
     fn deltas(values: &[f64]) -> Vec<Ncp> {
         values.iter().map(|&v| Ncp::new(v).unwrap()).collect()
@@ -223,7 +296,6 @@ mod tests {
     fn monte_carlo_square_loss_matches_lemma3() {
         let optimal = LinearModel::new(Vector::from_vec(vec![1.0, -2.0, 0.5, 3.0]));
         let grid = deltas(&[0.5, 1.0, 2.0, 4.0, 8.0]);
-        let mut rng = seeded_rng(9);
         let opt = optimal.clone();
         let c = ErrorCurve::estimate(
             &GaussianMechanism,
@@ -231,7 +303,7 @@ mod tests {
             |h| square_loss(h, &opt),
             &grid,
             8_000,
-            &mut rng,
+            9,
         )
         .unwrap();
         for p in c.points() {
@@ -249,7 +321,6 @@ mod tests {
     fn estimate_sorts_unordered_grids() {
         let optimal = LinearModel::new(Vector::from_vec(vec![1.0, 1.0]));
         let grid = deltas(&[4.0, 1.0, 2.0]);
-        let mut rng = seeded_rng(2);
         let opt = optimal.clone();
         let c = ErrorCurve::estimate(
             &GaussianMechanism,
@@ -257,7 +328,7 @@ mod tests {
             |h| square_loss(h, &opt),
             &grid,
             200,
-            &mut rng,
+            2,
         )
         .unwrap();
         let ds: Vec<f64> = c.points().iter().map(|p| p.delta).collect();
@@ -301,7 +372,6 @@ mod tests {
     fn rejects_empty_and_bad_inputs() {
         assert!(ErrorCurve::analytic_square_loss(&[]).is_err());
         let optimal = LinearModel::new(Vector::from_vec(vec![1.0]));
-        let mut rng = seeded_rng(1);
         let opt = optimal.clone();
         let r = ErrorCurve::estimate(
             &GaussianMechanism,
@@ -309,8 +379,55 @@ mod tests {
             |h| square_loss(h, &opt),
             &deltas(&[1.0]),
             0,
-            &mut rng,
+            1,
         );
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn parallel_estimate_is_bitwise_identical_to_sequential() {
+        let optimal = LinearModel::new(Vector::from_vec(vec![1.0, -2.0, 0.5]));
+        let grid = deltas(&[0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0]);
+        let opt = optimal.clone();
+        let eval = |h: &LinearModel| square_loss(h, &opt);
+        let seq = ErrorCurve::estimate(&GaussianMechanism, &optimal, eval, &grid, 400, 77).unwrap();
+        for threads in [Some(1), Some(3), Some(8), None] {
+            let par = ErrorCurve::estimate_parallel(
+                &GaussianMechanism,
+                &optimal,
+                eval,
+                &grid,
+                400,
+                77,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(seq.len(), par.len());
+            for (a, b) in seq.points().iter().zip(par.points()) {
+                assert_eq!(a.delta.to_bits(), b.delta.to_bits());
+                assert_eq!(a.mean_error.to_bits(), b.mean_error.to_bits());
+                assert_eq!(a.std_error.to_bits(), b.std_error.to_bits());
+                assert_eq!(a.smoothed_error.to_bits(), b.smoothed_error.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn seed_fully_determines_the_estimate() {
+        let optimal = LinearModel::new(Vector::from_vec(vec![2.0, 1.0]));
+        let grid = deltas(&[0.5, 1.0, 2.0]);
+        let opt = optimal.clone();
+        let eval = |h: &LinearModel| square_loss(h, &opt);
+        let a = ErrorCurve::estimate(&GaussianMechanism, &optimal, eval, &grid, 100, 5).unwrap();
+        let b = ErrorCurve::estimate(&GaussianMechanism, &optimal, eval, &grid, 100, 5).unwrap();
+        let c = ErrorCurve::estimate(&GaussianMechanism, &optimal, eval, &grid, 100, 6).unwrap();
+        for (p, q) in a.points().iter().zip(b.points()) {
+            assert_eq!(p.mean_error.to_bits(), q.mean_error.to_bits());
+        }
+        assert!(a
+            .points()
+            .iter()
+            .zip(c.points())
+            .any(|(p, q)| p.mean_error != q.mean_error));
     }
 }

@@ -20,8 +20,16 @@
 //!   `E[ε_s(h^δ)] = δ`.
 //! * [`properties`] — empirical verifiers for the mechanism restrictions
 //!   (unbiasedness and monotonicity of expected error in δ).
-//! * [`error_curve`] — Monte-Carlo estimation of `δ ↦ E[ε(h^δ, D)]`, its
-//!   isotonic smoothing, and the error-inverse map `φ` of Theorem 6.
+//! * [`error_curve`] — Monte-Carlo estimation of `δ ↦ E[ε(h^δ, D)]` (with a
+//!   deterministic parallel estimator whose per-δ RNG streams make it
+//!   bitwise-identical to the sequential path), its isotonic smoothing, and
+//!   the error-inverse map `φ` of Theorem 6.
+//! * [`curve_provider`] — [`CurveProvider`], the dispatch from an
+//!   `nimbus-ml` [`ErrorMetric`](nimbus_ml::ErrorMetric) to its curve:
+//!   exact closed form when the metric has one (square loss, Lemma 3),
+//!   parallel Monte Carlo otherwise.
+//! * [`parallel`] — the crossbeam-scoped, order-preserving [`parallel_map`]
+//!   shared by curve estimation and the market/experiment layers.
 //! * [`isotonic`] — weighted pool-adjacent-violators regression (shared
 //!   with the revenue optimizer in `nimbus-optim`).
 //! * [`pricing`] — the [`pricing::PricingFunction`] abstraction over the
@@ -36,21 +44,25 @@
 //!   purchase options (pick a point, error budget, price budget).
 
 pub mod arbitrage;
+pub mod curve_provider;
 pub mod error;
 pub mod error_curve;
 pub mod isotonic;
 pub mod mechanism;
 pub mod ncp;
+pub mod parallel;
 pub mod price_error_curve;
 pub mod pricing;
 pub mod properties;
 pub mod square_loss;
 
 pub use arbitrage::{is_arbitrage_free_on_points, ArbitrageAttack, ArbitrageReport};
+pub use curve_provider::CurveProvider;
 pub use error::CoreError;
 pub use error_curve::{ErrorCurve, ErrorCurvePoint};
 pub use mechanism::{GaussianMechanism, LaplaceMechanism, RandomizedMechanism, UniformMechanism};
 pub use ncp::{inverse_ncp_grid, InverseNcp, Ncp};
+pub use parallel::parallel_map;
 pub use price_error_curve::{PriceErrorCurve, PriceErrorPoint, PurchaseChoice};
 pub use pricing::{ConstantPricing, LinearPricing, PiecewiseLinearPricing, PricingFunction};
 

@@ -1,0 +1,119 @@
+//! Small crossbeam-scoped parallel map shared by curve estimation and the
+//! market/experiment layers.
+//!
+//! Monte-Carlo error-curve estimation, batch purchasing and the figure
+//! experiments all fan out many independent CPU-bound work items (δ points,
+//! purchase requests, dataset × loss configurations). A static block
+//! partition over scoped threads is all the machinery needed — no work
+//! stealing, no channels — and, because the partition is deterministic and
+//! order-preserving, callers that derive per-item RNG streams get results
+//! bitwise-identical to a sequential loop.
+
+/// Applies `f` to every item, fanning out over up to `max_threads` scoped
+/// threads (defaults to available parallelism when `None`). Preserves input
+/// order in the output.
+pub fn parallel_map<T, R, F>(items: Vec<T>, max_threads: Option<usize>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = max_threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, n);
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Pre-size the output with placeholder slots so threads can write their
+    // partition in place without coordination.
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    {
+        let f = &f;
+        // Pair each input chunk with its output chunk; both move into the
+        // spawned closure.
+        let mut item_iter: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let mut remaining = items;
+        while !remaining.is_empty() {
+            let take = chunk.min(remaining.len());
+            let rest = remaining.split_off(take);
+            item_iter.push(remaining);
+            remaining = rest;
+        }
+        crossbeam::scope(|s| {
+            let mut out_slices: Vec<&mut [Option<R>]> = Vec::with_capacity(item_iter.len());
+            let mut rest = &mut slots[..];
+            for part in &item_iter {
+                let (head, tail) = rest.split_at_mut(part.len());
+                out_slices.push(head);
+                rest = tail;
+            }
+            for (part, out) in item_iter.into_iter().zip(out_slices) {
+                s.spawn(move |_| {
+                    for (slot, item) in out.iter_mut().zip(part) {
+                        *slot = Some(f(item));
+                    }
+                });
+            }
+        })
+        .expect("worker threads must not panic");
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot written"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = parallel_map(items, Some(7), |x| x * 2);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let out = parallel_map(vec![1, 2, 3], Some(1), |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), None, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = parallel_map(vec![5], Some(16), |x| x * x);
+        assert_eq!(out, vec![25]);
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let items: Vec<usize> = (0..64).collect();
+        parallel_map(items, Some(4), |x| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            x
+        });
+        assert!(ids.lock().unwrap().len() > 1, "expected parallel execution");
+    }
+}

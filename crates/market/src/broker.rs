@@ -7,16 +7,31 @@
 //!    `h*_λ(D)` behind a lock (the "train once, sell many" economics of
 //!    §4 that make real-time interaction possible).
 //! 3. **Market opening** — transforms the curves onto the inverse-NCP axis,
-//!    builds the [`RevenueProblem`], runs the Algorithm 1 DP and publishes
-//!    the result as an immutable [`MarketSnapshot`].
+//!    builds the [`RevenueProblem`], runs the Algorithm 1 DP, re-verifies
+//!    arbitrage-freeness of the posted table *after* the error-inverse map
+//!    `φ` ([`nimbus_core::arbitrage::check_arbitrage_free_after_phi`]), and
+//!    publishes the result as an immutable [`MarketSnapshot`].
 //! 4. **Sales** — serves the three §3.2 buyer options through an explicit
 //!    quote→commit protocol: [`Broker::quote_request`] resolves a
 //!    [`PurchaseRequest`] to a priced [`Quote`] against the published
 //!    snapshot, and [`Broker::commit`] exchanges the quote plus payment for
-//!    a noisy model instance. Budget arithmetic is quoted in square-loss
-//!    units, where Lemma 3 gives the exact identity
-//!    `expected error = δ = 1/x`; buyers with a different `ε` first build a
-//!    [`nimbus_core::PriceErrorCurve`] via [`Broker::price_error_curve`].
+//!    a noisy model instance.
+//!
+//! # Error metrics and φ
+//!
+//! Budget arithmetic is quoted in the broker's configured
+//! [`ErrorMetric`]. The default is the square-loss
+//! distance, where Lemma 3 gives the exact identity
+//! `expected error = δ = 1/x` and the snapshot's error curve is analytic.
+//! [`BrokerBuilder::error_metric`] switches the listing to any other metric
+//! (logistic, hinge, 0/1): `open_market()` then estimates the metric's
+//! monotone error curve by deterministic parallel Monte Carlo
+//! ([`nimbus_core::CurveProvider`]), caches it in the snapshot, and every
+//! error budget is resolved through the empirical inverse `φ` of Theorem 6.
+//! Quotes and sales are tagged with the metric name so buyers always know
+//! which `ε` the `expected_error` field is denominated in. One-off curves
+//! for a different `ε` are still available via
+//! [`Broker::price_error_curve`] / [`Broker::price_error_curve_for`].
 //!
 //! # Concurrency model
 //!
@@ -38,19 +53,22 @@
 //!   independent stream `seeded_rng(split_stream(seed, transaction_id))`,
 //!   so the model a buyer receives depends only on `(seed, transaction id,
 //!   x)` — never on thread interleaving — and concurrent sales share no RNG
-//!   state at all. The only remaining RNG lock guards Monte-Carlo
-//!   error-curve estimation, which is off the serving path.
+//!   state at all. Monte-Carlo error-curve estimation is equally
+//!   deterministic: each δ point owns a stream derived from
+//!   `(seed, point index)`, so the parallel estimator is bitwise-identical
+//!   to a sequential one and the broker holds no RNG state at all.
 
 use crate::ledger::{Ledger, LedgerShard, Transaction};
 use crate::parallel::parallel_map;
 use crate::seller::Seller;
 use crate::{MarketError, Result};
+use nimbus_core::arbitrage::check_arbitrage_free_after_phi;
 use nimbus_core::mechanism::RandomizedMechanism;
 use nimbus_core::pricing::{PiecewiseLinearPricing, PricingFunction};
-use nimbus_core::{ErrorCurve, GaussianMechanism, InverseNcp, Ncp, PriceErrorCurve};
-use nimbus_ml::{LinearModel, LinearRegressionTrainer, Trainer};
+use nimbus_core::{CurveProvider, ErrorCurve, GaussianMechanism, InverseNcp, Ncp, PriceErrorCurve};
+use nimbus_ml::{ErrorMetric, LinearModel, LinearRegressionTrainer, Trainer};
 use nimbus_optim::{solve_revenue_dp, RevenueProblem};
-use nimbus_randkit::{seeded_rng, split_stream, NimbusRng};
+use nimbus_randkit::{seeded_rng, split_stream};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -84,7 +102,9 @@ impl Default for BrokerConfig {
 pub enum PurchaseRequest {
     /// Option 1: a specific point on the curve, by inverse NCP.
     AtInverseNcp(f64),
-    /// Option 2: cheapest version with expected square loss ≤ budget.
+    /// Option 2: cheapest version whose expected error — in the broker's
+    /// configured metric — is ≤ budget. Resolved through the snapshot's
+    /// error curve and its inverse `φ` (Theorem 6).
     ErrorBudget(f64),
     /// Option 3: most accurate version with price ≤ budget.
     PriceBudget(f64),
@@ -104,9 +124,12 @@ pub struct Quote {
     pub delta: f64,
     /// Posted price of the version.
     pub price: f64,
-    /// Expected square loss of the version (`= δ` under square loss,
-    /// Lemma 3).
+    /// Expected error of the version under the broker's configured metric,
+    /// read off the snapshot's error curve (`= δ` for the square-loss
+    /// default, Lemma 3).
     pub expected_error: f64,
+    /// Name of the metric `expected_error` is denominated in.
+    pub metric: &'static str,
     /// Epoch of the snapshot this quote was priced against.
     pub snapshot_epoch: u64,
 }
@@ -120,8 +143,13 @@ pub struct Sale {
     pub inverse_ncp: f64,
     /// Price charged.
     pub price: f64,
-    /// Expected square loss of the instance (`= δ`, Lemma 3).
-    pub expected_square_error: f64,
+    /// Expected error of the instance under the broker's configured metric
+    /// (`= δ` for the square-loss default, Lemma 3). Before the metric
+    /// layer this field was named `expected_square_error`; it is now tagged
+    /// by [`Sale::metric`] instead of being hard-wired to the square loss.
+    pub expected_error: f64,
+    /// Name of the metric `expected_error` is denominated in.
+    pub metric: &'static str,
     /// The ledger entry.
     pub transaction: Transaction,
 }
@@ -137,6 +165,11 @@ pub struct MarketSnapshot {
     problem: RevenueProblem,
     pricing: PiecewiseLinearPricing,
     optimal: LinearModel,
+    /// The metric's monotone error curve over the menu's δ grid — analytic
+    /// for the square-loss default, Monte-Carlo estimated otherwise. Cached
+    /// here so error-budget resolution (via `φ`) stays lock-free.
+    curve: ErrorCurve,
+    metric_name: &'static str,
     expected_revenue: f64,
     epoch: u64,
     x_lo: f64,
@@ -157,6 +190,16 @@ impl MarketSnapshot {
     /// The trained optimal model `h*_λ(D)` instances are perturbed from.
     pub fn optimal(&self) -> &LinearModel {
         &self.optimal
+    }
+
+    /// The cached error curve `δ ↦ E[ε(h^δ, D)]` of the broker's metric.
+    pub fn error_curve(&self) -> &ErrorCurve {
+        &self.curve
+    }
+
+    /// Name of the metric all expected errors are denominated in.
+    pub fn metric_name(&self) -> &'static str {
+        self.metric_name
     }
 
     /// Expected revenue of the posted prices under the demand model.
@@ -203,17 +246,22 @@ impl MarketSnapshot {
                     }
                     .into());
                 }
-                // Under square loss, expected error = δ = 1/x (Lemma 3).
-                // The cheapest feasible version is the noisiest: x = 1/e,
-                // clamped up to the menu floor.
-                let x = (1.0 / e).max(self.x_lo);
-                if x > self.x_hi {
-                    return Err(nimbus_core::CoreError::BudgetUnsatisfiable {
-                        kind: "error",
-                        budget: e,
-                    }
-                    .into());
-                }
+                // The cheapest feasible version is the noisiest whose
+                // expected error still meets the budget: δ = φ(e), with φ
+                // the inverse of the snapshot's error curve (Theorem 6).
+                // For the square-loss default the curve is the Lemma 3
+                // identity and this reduces to x = 1/e exactly.
+                let pts = self.curve.points();
+                let loosest_error = pts[pts.len() - 1].smoothed_error;
+                let x = if e >= loosest_error {
+                    // Looser than anything on the menu: clamp to the floor.
+                    self.x_lo
+                } else {
+                    // Errors below the curve's range surface here as
+                    // BudgetUnsatisfiable — tighter than the best version.
+                    let ncp = self.curve.error_inverse(e)?;
+                    (1.0 / ncp.delta()).clamp(self.x_lo, self.x_hi)
+                };
                 Ok((x, self.price_at(x)?))
             }
             PurchaseRequest::PriceBudget(budget) => {
@@ -251,15 +299,18 @@ impl MarketSnapshot {
         }
     }
 
-    /// Resolves a purchase request to a committable [`Quote`].
+    /// Resolves a purchase request to a committable [`Quote`]. The quote's
+    /// expected error is read off the snapshot's cached error curve for the
+    /// broker's metric.
     pub fn quote(&self, request: PurchaseRequest) -> Result<Quote> {
         let (x, price) = self.resolve(request)?;
-        let delta = InverseNcp::new(x)?.ncp().delta();
+        let ncp = InverseNcp::new(x)?.ncp();
         Ok(Quote {
             x,
-            delta,
+            delta: ncp.delta(),
             price,
-            expected_error: delta,
+            expected_error: self.curve.expected_error_at(ncp),
+            metric: self.metric_name,
             snapshot_epoch: self.epoch,
         })
     }
@@ -289,18 +340,21 @@ pub struct BrokerBuilder {
     seller: Seller,
     trainer: Box<dyn Trainer + Send + Sync>,
     mechanism: Box<dyn RandomizedMechanism + Send + Sync>,
+    metric: Option<Box<dyn ErrorMetric>>,
     config: BrokerConfig,
     commission: f64,
 }
 
 impl BrokerBuilder {
     /// Starts a builder for a seller's listing with default trainer
-    /// (ridge regression), mechanism (Gaussian) and [`BrokerConfig`].
+    /// (ridge regression), mechanism (Gaussian), metric (square-loss
+    /// distance) and [`BrokerConfig`].
     pub fn new(seller: Seller) -> Self {
         BrokerBuilder {
             seller,
             trainer: Box::new(LinearRegressionTrainer::ridge(1e-6)),
             mechanism: Box::new(GaussianMechanism),
+            metric: None,
             config: BrokerConfig::default(),
             commission: 0.0,
         }
@@ -333,6 +387,23 @@ impl BrokerBuilder {
         mechanism: Box<dyn RandomizedMechanism + Send + Sync>,
     ) -> Self {
         self.mechanism = mechanism;
+        self
+    }
+
+    /// Sets the buyer-facing error metric the market is denominated in.
+    ///
+    /// The default (square-loss distance to the optimum) prices off the
+    /// exact Lemma 3 curve. Any other metric makes `open_market()` estimate
+    /// the metric's error curve by deterministic parallel Monte Carlo and
+    /// resolve error budgets through its inverse `φ` (Theorem 6).
+    pub fn error_metric(mut self, metric: impl ErrorMetric + 'static) -> Self {
+        self.metric = Some(Box::new(metric));
+        self
+    }
+
+    /// Sets an already-boxed error metric (for dynamic selection).
+    pub fn boxed_error_metric(mut self, metric: Box<dyn ErrorMetric>) -> Self {
+        self.metric = Some(metric);
         self
     }
 
@@ -387,11 +458,11 @@ impl BrokerBuilder {
                 reason: format!("commission rate must be in [0, 1), got {}", self.commission),
             });
         }
-        let seed = self.config.seed;
         Ok(Broker {
             seller: self.seller,
             trainer: self.trainer,
             mechanism: self.mechanism,
+            metric: self.metric,
             config: self.config,
             commission: self.commission,
             optimal: RwLock::new(None),
@@ -401,7 +472,6 @@ impl BrokerBuilder {
                 .map(|_| Mutex::new(LedgerShard::new()))
                 .collect(),
             tx_counter: AtomicU64::new(0),
-            curve_rng: Mutex::new(seeded_rng(split_stream(seed, u64::MAX))),
         })
     }
 }
@@ -411,6 +481,9 @@ pub struct Broker {
     seller: Seller,
     trainer: Box<dyn Trainer + Send + Sync>,
     mechanism: Box<dyn RandomizedMechanism + Send + Sync>,
+    /// The buyer-facing metric the market is denominated in; `None` means
+    /// the square-loss default with its analytic Lemma 3 curve.
+    metric: Option<Box<dyn ErrorMetric>>,
     config: BrokerConfig,
     /// The broker's commission rate in [0, 1) — Figure 1(B): the broker
     /// "gets a cut from the seller for each sale".
@@ -427,9 +500,6 @@ pub struct Broker {
     /// Globally unique transaction ids, also the label of each sale's
     /// private RNG stream.
     tx_counter: AtomicU64,
-    /// RNG for Monte-Carlo error-curve estimation only — never touched by
-    /// the quote/commit serving path.
-    curve_rng: Mutex<NimbusRng>,
 }
 
 impl Broker {
@@ -510,20 +580,84 @@ impl Broker {
         self.optimal.read().is_some()
     }
 
+    /// The menu's δ grid: the reciprocals of an `n`-point uniform inverse-NCP
+    /// grid over the seller's `[x_lo, x_hi]` support.
+    fn menu_deltas(&self) -> Result<Vec<Ncp>> {
+        let curves = self.seller.curves();
+        let n = self.config.n_price_points;
+        (0..n)
+            .map(|i| {
+                let t = if n == 1 {
+                    0.5
+                } else {
+                    i as f64 / (n - 1) as f64
+                };
+                let x = curves.x_lo + (curves.x_hi - curves.x_lo) * t;
+                Ok(InverseNcp::new(x)?.ncp())
+            })
+            .collect()
+    }
+
     /// Opens the market: trains the optimal model (if not already cached),
-    /// builds the revenue problem from the seller's curves, optimizes
-    /// prices with the Algorithm 1 DP, and atomically publishes the
+    /// builds the metric's error curve and the revenue problem, optimizes
+    /// prices with the Algorithm 1 DP, re-verifies arbitrage-freeness of
+    /// the posted table after the φ map, and atomically publishes the
     /// resulting immutable [`MarketSnapshot`]. Returns the expected
     /// revenue.
+    ///
+    /// For the square-loss default the error curve is the analytic Lemma 3
+    /// identity and the market research is sampled directly on the
+    /// inverse-NCP grid. With [`BrokerBuilder::error_metric`] set, the
+    /// curve is Monte-Carlo estimated (deterministically, in parallel) and
+    /// the research curves are transformed through it via
+    /// [`RevenueProblem::on_phi_grid`].
     ///
     /// Re-opening publishes a fresh snapshot with the next epoch;
     /// outstanding quotes against the old epoch are rejected at commit.
     pub fn open_market(&self) -> Result<f64> {
         let optimal = self.optimal_model()?;
-        let problem = self
-            .seller
-            .curves()
-            .build_problem(self.config.n_price_points)?;
+        let curves = *self.seller.curves();
+        let (problem, curve, metric_name) = match self.metric.as_deref() {
+            None => {
+                let problem = curves.build_problem(self.config.n_price_points)?;
+                let deltas: Vec<Ncp> = problem
+                    .parameters()
+                    .iter()
+                    .map(|&x| Ok(InverseNcp::new(x)?.ncp()))
+                    .collect::<Result<Vec<_>>>()?;
+                let curve = ErrorCurve::analytic_square_loss(&deltas)?;
+                (problem, curve, "square")
+            }
+            Some(metric) => {
+                let deltas = self.menu_deltas()?;
+                let provider = CurveProvider::new(
+                    self.config.error_curve_samples,
+                    split_stream(self.config.seed, u64::MAX),
+                );
+                let curve =
+                    provider.curve_for(metric, self.mechanism.as_ref(), &optimal, &deltas)?;
+                // Market research speaks in normalized quality t ∈ [0, 1];
+                // map the metric's observed error range onto it (t = 1 at
+                // the lowest error) before transforming onto the φ grid.
+                let pts = curve.points();
+                let (e_lo, e_hi) = (pts[0].smoothed_error, pts[pts.len() - 1].smoothed_error);
+                let range = e_hi - e_lo;
+                let t_of = move |e: f64| {
+                    if range > 0.0 {
+                        (e_hi - e) / range
+                    } else {
+                        0.5
+                    }
+                };
+                let (value, demand) = (curves.value, curves.demand);
+                let problem = RevenueProblem::on_phi_grid(
+                    &curve,
+                    move |e| value.value_at(t_of(e)),
+                    move |e| demand.mass_at(t_of(e)),
+                )?;
+                (problem, curve, metric.name())
+            }
+        };
         let solution = solve_revenue_dp(&problem)?;
         let pricing = PiecewiseLinearPricing::new(
             problem
@@ -532,6 +666,15 @@ impl Broker {
                 .zip(solution.prices.iter().copied())
                 .collect(),
         )?;
+        // Theorem 6 sanity check: the posted table must stay monotone and
+        // subadditive once buyer-facing error levels are pushed back
+        // through φ onto the inverse-NCP axis.
+        let report = check_arbitrage_free_after_phi(&pricing, &curve, 1e-6)?;
+        if !report.is_arbitrage_free() {
+            return Err(MarketError::InvalidCurve {
+                reason: "posted price table failed the post-φ arbitrage re-check",
+            });
+        }
         let (x_lo, x_hi) = pricing.support();
         let expected = solution.revenue;
         let mut history = self.history.lock();
@@ -539,6 +682,8 @@ impl Broker {
             problem,
             pricing,
             optimal,
+            curve,
+            metric_name,
             expected_revenue: expected,
             epoch: history.len() as u64 + 1,
             x_lo,
@@ -629,34 +774,18 @@ impl Broker {
         // under any thread interleaving, contention-free across threads.
         let mut rng = seeded_rng(split_stream(self.config.seed, tx_id));
         let model = self.mechanism.perturb(snapshot.optimal(), ncp, &mut rng)?;
+        let expected_error = snapshot.error_curve().expected_error_at(ncp);
         let transaction = self.shards[tx_id as usize % LEDGER_SHARDS]
             .lock()
-            .record_assigned(tx_id, quote.x, price, ncp.delta());
+            .record_assigned(tx_id, quote.x, price, expected_error);
         Ok(Sale {
             model,
             inverse_ncp: quote.x,
             price,
-            expected_square_error: ncp.delta(),
+            expected_error,
+            metric: snapshot.metric_name(),
             transaction,
         })
-    }
-
-    /// Resolves a purchase request to `(inverse NCP, price)` without
-    /// buying.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `quote_request`, which returns a committable Quote"
-    )]
-    pub fn resolve(&self, request: PurchaseRequest) -> Result<(f64, f64)> {
-        let quote = self.quote_request(request)?;
-        Ok((quote.x, quote.price))
-    }
-
-    /// Executes a purchase in one step.
-    #[deprecated(since = "0.2.0", note = "use `quote_request` + `commit`")]
-    pub fn purchase(&self, request: PurchaseRequest, payment: f64) -> Result<Sale> {
-        let quote = self.quote_request(request)?;
-        self.commit(quote, payment)
     }
 
     /// Quotes and commits every request, fanning out over scoped threads
@@ -682,10 +811,14 @@ impl Broker {
     }
 
     /// Builds the buyer-facing price–error curve for an arbitrary error
-    /// function `ε` (Monte-Carlo estimated with the broker's mechanism).
-    pub fn price_error_curve<F>(&self, mut evaluate: F) -> Result<PriceErrorCurve>
+    /// function `ε`, Monte-Carlo estimated with the broker's mechanism.
+    ///
+    /// Estimation fans out over scoped threads with per-δ RNG streams
+    /// derived from the broker's seed, so the curve is deterministic for a
+    /// given configuration and independent of thread scheduling.
+    pub fn price_error_curve<F>(&self, evaluate: F) -> Result<PriceErrorCurve>
     where
-        F: FnMut(&LinearModel) -> nimbus_core::Result<f64>,
+        F: Fn(&LinearModel) -> nimbus_core::Result<f64> + Sync,
     {
         let snapshot = self.published()?;
         let deltas: Vec<Ncp> = snapshot
@@ -694,15 +827,35 @@ impl Broker {
             .iter()
             .map(|&x| Ok(InverseNcp::new(x)?.ncp()))
             .collect::<Result<Vec<_>>>()?;
-        let mut rng = self.curve_rng.lock();
-        let curve = ErrorCurve::estimate(
+        let curve = ErrorCurve::estimate_parallel(
             self.mechanism.as_ref(),
             snapshot.optimal(),
-            &mut evaluate,
+            evaluate,
             &deltas,
             self.config.error_curve_samples,
-            &mut rng,
+            split_stream(self.config.seed, u64::MAX),
+            None,
         )?;
+        PriceErrorCurve::new(&curve, snapshot.pricing()).map_err(Into::into)
+    }
+
+    /// [`Broker::price_error_curve`] for a first-class [`ErrorMetric`] —
+    /// exact (closed-form) when the metric provides one, deterministic
+    /// parallel Monte Carlo otherwise.
+    pub fn price_error_curve_for(&self, metric: &dyn ErrorMetric) -> Result<PriceErrorCurve> {
+        let snapshot = self.published()?;
+        let deltas: Vec<Ncp> = snapshot
+            .problem()
+            .parameters()
+            .iter()
+            .map(|&x| Ok(InverseNcp::new(x)?.ncp()))
+            .collect::<Result<Vec<_>>>()?;
+        let provider = CurveProvider::new(
+            self.config.error_curve_samples,
+            split_stream(self.config.seed, u64::MAX),
+        );
+        let curve =
+            provider.curve_for(metric, self.mechanism.as_ref(), snapshot.optimal(), &deltas)?;
         PriceErrorCurve::new(&curve, snapshot.pricing()).map_err(Into::into)
     }
 
@@ -850,11 +1003,13 @@ mod tests {
             .quote_request(PurchaseRequest::AtInverseNcp(10.0))
             .unwrap();
         assert_eq!(quote.snapshot_epoch, 1);
+        assert_eq!(quote.metric, "square");
         assert!((quote.delta - 0.1).abs() < 1e-12);
         assert!((quote.expected_error - 0.1).abs() < 1e-12);
         let sale = broker.commit(quote, quote.price).unwrap();
         assert_eq!(sale.model.dim(), optimal.dim());
-        assert!((sale.expected_square_error - 0.1).abs() < 1e-12);
+        assert_eq!(sale.metric, "square");
+        assert!((sale.expected_error - 0.1).abs() < 1e-12);
         // The instance differs from the optimum (noise was added).
         assert!(sale.model.distance_squared(&optimal).unwrap() > 0.0);
         assert_eq!(broker.sales_count(), 1);
@@ -1005,20 +1160,97 @@ mod tests {
         let _ = test_broker().with_commission(1.0);
     }
 
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_purchase_and_resolve_still_work() {
-        // Compile-and-behavior check for the deprecated wrappers that keep
-        // pre-redesign call sites working.
-        let broker = test_broker();
-        broker.open_market().unwrap();
-        let (x, price) = broker.resolve(PurchaseRequest::AtInverseNcp(10.0)).unwrap();
-        assert!((x - 10.0).abs() < 1e-12);
-        let sale = broker
-            .purchase(PurchaseRequest::AtInverseNcp(10.0), f64::INFINITY)
+    fn classification_broker(
+        metric_for: fn(nimbus_data::Dataset) -> nimbus_ml::LossMetric,
+    ) -> Broker {
+        let (tt, _) = DatasetSpec::scaled(PaperDataset::Simulated2, 600)
+            .materialize(11)
             .unwrap();
-        assert!((sale.price - price).abs() < 1e-12);
-        assert_eq!(broker.sales_count(), 1);
+        let test_set = tt.test.clone();
+        let curves = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform);
+        let seller = Seller::new("cls", tt, curves);
+        Broker::builder(seller)
+            .trainer(nimbus_ml::LogisticRegressionTrainer::new(1e-4))
+            .mechanism(GaussianMechanism)
+            .error_metric(metric_for(test_set))
+            .n_price_points(40)
+            .error_curve_samples(60)
+            .seed(42)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn metric_market_prices_through_phi() {
+        for (metric_for, name) in [
+            (
+                nimbus_ml::LossMetric::logistic
+                    as fn(nimbus_data::Dataset) -> nimbus_ml::LossMetric,
+                "logistic",
+            ),
+            (nimbus_ml::LossMetric::zero_one, "zero_one"),
+        ] {
+            let broker = classification_broker(metric_for);
+            let revenue = broker.open_market().unwrap();
+            assert!(revenue > 0.0, "{name}: revenue {revenue}");
+            let snapshot = broker.snapshot().unwrap();
+            assert_eq!(snapshot.metric_name(), name);
+            // The cached curve is monotone (smoothed) over the menu grid.
+            let sm: Vec<f64> = snapshot
+                .error_curve()
+                .points()
+                .iter()
+                .map(|p| p.smoothed_error)
+                .collect();
+            assert!(sm.windows(2).all(|w| w[1] >= w[0] - 1e-12), "{name}");
+
+            // An error budget inside the curve's range resolves through φ:
+            // the quoted version's expected error meets the budget.
+            let (e_lo, e_hi) = (sm[0], sm[sm.len() - 1]);
+            let budget = 0.5 * (e_lo + e_hi);
+            let quote = broker
+                .quote_request(PurchaseRequest::ErrorBudget(budget))
+                .unwrap();
+            assert_eq!(quote.metric, name);
+            assert!(
+                quote.expected_error <= budget + 1e-9,
+                "{name}: {} > {budget}",
+                quote.expected_error
+            );
+            let sale = broker.commit(quote, quote.price).unwrap();
+            assert_eq!(sale.metric, name);
+            assert!((sale.expected_error - quote.expected_error).abs() < 1e-12);
+
+            // Budgets tighter than the best version are unsatisfiable.
+            if e_lo > 1e-6 {
+                assert!(broker
+                    .quote_request(PurchaseRequest::ErrorBudget(e_lo / 10.0))
+                    .is_err());
+            }
+            // Very loose budgets clamp to the menu floor.
+            let loose = broker
+                .quote_request(PurchaseRequest::ErrorBudget(e_hi * 10.0))
+                .unwrap();
+            assert!((loose.x - 1.0).abs() < 1e-9, "{name}");
+        }
+    }
+
+    #[test]
+    fn metric_market_reopen_is_deterministic() {
+        let a = classification_broker(nimbus_ml::LossMetric::logistic);
+        let b = classification_broker(nimbus_ml::LossMetric::logistic);
+        let ra = a.open_market().unwrap();
+        let rb = b.open_market().unwrap();
+        assert_eq!(
+            ra.to_bits(),
+            rb.to_bits(),
+            "MC curve must be seed-determined"
+        );
+        let ca = a.snapshot().unwrap().error_curve().points().to_vec();
+        let cb = b.snapshot().unwrap().error_curve().points().to_vec();
+        for (p, q) in ca.iter().zip(&cb) {
+            assert_eq!(p.mean_error.to_bits(), q.mean_error.to_bits());
+        }
     }
 
     #[test]

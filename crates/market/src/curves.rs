@@ -237,8 +237,9 @@ impl DemandCurve {
         Ok(())
     }
 
-    /// Unnormalized mass at normalized quality `t ∈ [0, 1]`.
-    fn mass_at(&self, t: f64) -> f64 {
+    /// Unnormalized mass at normalized quality `t ∈ [0, 1]`. Public so the
+    /// broker can resample demand on a φ-mapped error grid.
+    pub fn mass_at(&self, t: f64) -> f64 {
         match *self {
             DemandCurve::Uniform => 1.0,
             DemandCurve::MidPeaked { width } => {

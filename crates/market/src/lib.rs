@@ -51,8 +51,10 @@
 //! [`transform`] implements the Figure 2(a)→(b) pipeline: market research
 //! expressed over *model error* is mapped onto the inverse-NCP axis through
 //! the (analytic or Monte-Carlo) error-transformation curve.
-//! [`parallel`] adds a small crossbeam-scoped map used to fan experiment
-//! sweeps across cores. [`persist`] round-trips a posted market through
+//! [`parallel`] re-exports the order-preserving crossbeam-scoped map (now
+//! hosted in `nimbus-core`, which also uses it for deterministic parallel
+//! error-curve estimation) used to fan experiment sweeps across cores.
+//! [`persist`] round-trips a posted market through
 //! CSV, re-validating arbitrage-freeness on load. [`marketplace`] hosts a
 //! menu of models (§3.1), one broker per listing.
 

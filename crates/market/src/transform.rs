@@ -3,24 +3,14 @@
 //! Market research naturally expresses buyer value and demand **as functions
 //! of model error** ("a model with 5% misclassification is worth $80 to this
 //! segment"). The optimizer, however, works over the inverse NCP `x = 1/δ`.
-//! The bridge is the error-transformation curve `δ ↦ E[ε(h^δ, D)]` of
-//! [`nimbus_core::ErrorCurve`] — estimated analytically for the square loss
-//! or by Monte Carlo for any other `ε` — whose monotonicity (Theorem 4)
-//! makes the composition well defined:
-//!
-//! ```text
-//! v(x) = value_of_error( E[ε(h^{1/x})] ),   b(x) ∝ demand_of_error( … )
-//! ```
-//!
-//! Because the expected error is non-increasing in `x` and buyer value is
-//! non-increasing in error, the transformed valuation is non-decreasing in
-//! `x` — exactly the §5.3 assumption the revenue DP requires. Monte-Carlo
-//! plateaus can introduce ties; a final isotonic pass guarantees validity.
+//! The bridge — pushing the research through the monotone error curve onto
+//! the φ-mapped grid — lives with the problem type it produces:
+//! [`RevenueProblem::on_phi_grid`] in `nimbus-optim`. This module keeps the
+//! market-level entry point, which simply delegates and lifts the error.
 
-use crate::{MarketError, Result};
-use nimbus_core::isotonic::isotonic_increasing;
+use crate::Result;
 use nimbus_core::ErrorCurve;
-use nimbus_optim::{PricePoint, RevenueProblem};
+use nimbus_optim::RevenueProblem;
 
 /// Transforms error-domain market research onto the inverse-NCP axis.
 ///
@@ -31,6 +21,8 @@ use nimbus_optim::{PricePoint, RevenueProblem};
 ///   non-increasing in the error (violations are isotonically repaired).
 /// * `demand_of_error` — non-negative demand mass at a given expected
 ///   error; normalized to sum to 1 across the menu.
+///
+/// Delegates to [`RevenueProblem::on_phi_grid`].
 pub fn transform_research<FV, FD>(
     error_curve: &ErrorCurve,
     value_of_error: FV,
@@ -40,46 +32,7 @@ where
     FV: Fn(f64) -> f64,
     FD: Fn(f64) -> f64,
 {
-    if error_curve.is_empty() {
-        return Err(MarketError::InvalidCurve {
-            reason: "error curve has no points",
-        });
-    }
-    // Error-curve points are sorted by δ ascending = x descending; walk in
-    // reverse for ascending x.
-    let mut points: Vec<(f64, f64, f64)> = Vec::with_capacity(error_curve.len());
-    for ep in error_curve.points().iter().rev() {
-        let v = value_of_error(ep.smoothed_error);
-        let b = demand_of_error(ep.smoothed_error);
-        if !(v.is_finite() && b.is_finite() && b >= 0.0) {
-            return Err(MarketError::InvalidCurve {
-                reason: "research curves must return finite values and non-negative demand",
-            });
-        }
-        points.push((ep.inverse, v.max(0.0), b));
-    }
-    let total_demand: f64 = points.iter().map(|p| p.2).sum();
-    if total_demand <= 0.0 {
-        return Err(MarketError::InvalidCurve {
-            reason: "demand curve is identically zero on the menu",
-        });
-    }
-    // Repair any non-monotonicity in the transformed valuations (e.g. from
-    // a slightly non-monotone research function) by isotonic projection.
-    let values: Vec<f64> = points.iter().map(|p| p.1).collect();
-    let weights = vec![1.0; values.len()];
-    let monotone_values = isotonic_increasing(&values, &weights);
-
-    let price_points: Vec<PricePoint> = points
-        .iter()
-        .zip(monotone_values)
-        .map(|(&(a, _, b), v)| PricePoint {
-            a,
-            b: b / total_demand,
-            v,
-        })
-        .collect();
-    RevenueProblem::new(price_points).map_err(Into::into)
+    RevenueProblem::on_phi_grid(error_curve, value_of_error, demand_of_error).map_err(Into::into)
 }
 
 #[cfg(test)]
@@ -88,7 +41,7 @@ mod tests {
     use nimbus_core::Ncp;
 
     fn square_loss_curve() -> ErrorCurve {
-        // δ grid 0.01..1 → x grid 1..100, E[ε_s] = δ.
+        // δ grid 0.05..1 → x grid 1..20, E[ε_s] = δ.
         let deltas: Vec<Ncp> = (1..=20)
             .map(|i| Ncp::new(i as f64 * 0.05).unwrap())
             .collect();

@@ -10,6 +10,10 @@
 //!   weight vectors, which is what the Gaussian mechanism perturbs.
 //! * [`loss`] — the error functions of Table 2 with values, gradients and
 //!   (where used) Hessians, plus the 0/1 loss for evaluation.
+//! * [`error_metric`] — the losses repackaged as buyer-facing
+//!   [`ErrorMetric`]s: an `ε` bound to its evaluation data, with an
+//!   optional closed-form expected error (Lemma 3 for the square loss)
+//!   consumed by the error-curve and pricing layers.
 //! * [`linreg`] — ordinary least squares / ridge via the normal equations
 //!   (one Cholesky solve — the broker's one-time training cost), plus a
 //!   gradient-descent path for cross-checking.
@@ -23,6 +27,7 @@
 //!   model-selection future-work item, for choosing `μ`).
 
 pub mod error;
+pub mod error_metric;
 pub mod gd;
 pub mod linreg;
 pub mod logreg;
@@ -34,6 +39,7 @@ pub mod streaming;
 pub mod svm;
 
 pub use error::MlError;
+pub use error_metric::{ErrorMetric, LossMetric, SquareDistanceMetric};
 pub use linreg::LinearRegressionTrainer;
 pub use logreg::LogisticRegressionTrainer;
 pub use loss::{HingeLoss, LogisticLoss, Loss, SquaredLoss, ZeroOneLoss};

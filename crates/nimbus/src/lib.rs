@@ -20,8 +20,8 @@
 //! | [`linalg`] | `nimbus-linalg` | dense vectors/matrices, Cholesky |
 //! | [`randkit`] | `nimbus-randkit` | seedable normal/Laplace/uniform/discrete sampling |
 //! | [`data`] | `nimbus-data` | datasets, splits, CSV, Table 3 generators |
-//! | [`ml`] | `nimbus-ml` | losses, linear/logistic/SVM trainers, metrics |
-//! | [`core`] | `nimbus-core` | **the MBP contribution**: mechanisms, error curves, pricing, arbitrage |
+//! | [`ml`] | `nimbus-ml` | losses, linear/logistic/SVM trainers, metrics, error metrics |
+//! | [`core`] | `nimbus-core` | **the MBP contribution**: mechanisms, error curves + φ, curve provider, pricing, arbitrage |
 //! | [`optim`] | `nimbus-optim` | revenue DP, brute force, baselines, interpolation |
 //! | [`market`] | `nimbus-market` | seller/broker/buyer agents, end-to-end simulation |
 //!
@@ -50,12 +50,22 @@
 //! broker.open_market().unwrap();
 //!
 //! // A buyer asks for a quote under an error budget, then commits the
-//! // quoted offer and receives a noisy model.
+//! // quoted offer and receives a noisy model. The budget is interpreted
+//! // under the broker's error metric (square distance by default) by
+//! // pushing it through the φ error-inverse map of the snapshot's curve.
 //! let quote = broker.quote_request(PurchaseRequest::ErrorBudget(0.05)).unwrap();
+//! assert_eq!(quote.metric, "square");
 //! assert!(quote.expected_error <= 0.05 + 1e-12);
 //! let sale = broker.commit(quote, quote.price).unwrap();
-//! assert!(sale.expected_square_error <= 0.05 + 1e-12);
+//! assert!(sale.expected_error <= 0.05 + 1e-12);
 //! ```
+//!
+//! To price against a buyer-facing loss instead — logistic, hinge, or 0/1
+//! classification error — configure the broker with an error metric:
+//! `Broker::builder(seller).error_metric(LossMetric::zero_one(test_set))`.
+//! The broker then estimates the metric's error curve with a deterministic
+//! parallel Monte-Carlo sweep, maps market research through φ, and
+//! re-verifies arbitrage-freeness on the φ-mapped grid before publishing.
 
 pub use nimbus_core as core;
 pub use nimbus_data as data;
@@ -68,10 +78,13 @@ pub use nimbus_randkit as randkit;
 /// One-stop imports for the common Nimbus workflow.
 pub mod prelude {
     pub use nimbus_core::{
-        arbitrage::{check_arbitrage_free, combine_instances, find_attack},
-        inverse_ncp_grid, ConstantPricing, ErrorCurve, GaussianMechanism, InverseNcp,
-        LaplaceMechanism, LinearPricing, Ncp, PiecewiseLinearPricing, PriceErrorCurve,
-        PricingFunction, RandomizedMechanism, UniformMechanism,
+        arbitrage::{
+            check_arbitrage_free, check_arbitrage_free_after_phi, combine_instances, find_attack,
+        },
+        inverse_ncp_grid, parallel_map, ConstantPricing, CurveProvider, ErrorCurve,
+        GaussianMechanism, InverseNcp, LaplaceMechanism, LinearPricing, Ncp,
+        PiecewiseLinearPricing, PriceErrorCurve, PricingFunction, RandomizedMechanism,
+        UniformMechanism,
     };
     pub use nimbus_data::{
         catalog::{DatasetSpec, PaperDataset},
@@ -87,8 +100,8 @@ pub mod prelude {
         PurchaseRequest, Quote, Sale, Seller,
     };
     pub use nimbus_ml::{
-        metrics, LinearModel, LinearRegressionTrainer, LogisticRegressionTrainer,
-        PegasosSvmTrainer, Trainer,
+        metrics, ErrorMetric, LinearModel, LinearRegressionTrainer, LogisticRegressionTrainer,
+        LossMetric, PegasosSvmTrainer, SquareDistanceMetric, Trainer,
     };
     pub use nimbus_optim::{
         affordability_ratio, revenue, solve_revenue_brute_force, solve_revenue_dp, Baseline,

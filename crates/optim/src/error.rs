@@ -37,6 +37,13 @@ pub enum OptimError {
     /// The inputs could not be scaled to a common integer grid for the
     /// exact covering DP.
     NotGridRational,
+    /// Error-domain market research could not be transformed onto the
+    /// inverse-NCP grid (non-finite values, negative or identically zero
+    /// demand).
+    DegenerateResearch {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
     /// Length mismatch between prices and problem points.
     LengthMismatch {
         /// Number of prices supplied.
@@ -71,6 +78,9 @@ impl fmt::Display for OptimError {
                 f,
                 "points cannot be scaled to a common integer grid for exact covering"
             ),
+            OptimError::DegenerateResearch { reason } => {
+                write!(f, "degenerate market research: {reason}")
+            }
             OptimError::LengthMismatch { prices, points } => {
                 write!(f, "{prices} prices supplied for {points} points")
             }

@@ -1,6 +1,8 @@
 //! Problem instances for the revenue optimizer.
 
 use crate::{OptimError, Result};
+use nimbus_core::isotonic::isotonic_increasing;
+use nimbus_core::ErrorCurve;
 
 /// One version on sale: the inverse-NCP parameter `a`, the demand mass `b`
 /// ("how many buyers want exactly this version") and the buyer valuation `v`
@@ -144,6 +146,76 @@ impl RevenueProblem {
         self.points.iter().map(|p| p.b).sum()
     }
 
+    /// Builds a revenue problem from **error-domain** market research by
+    /// pushing it through an error-transformation curve (Figure 2(a)→(b)).
+    ///
+    /// Market research speaks in buyer-facing error levels ("a model with 5%
+    /// misclassification is worth $80"); the optimizer works over `x = 1/δ`.
+    /// The monotone `error_curve` for the buyer's metric `ε` — analytic for
+    /// the square loss, Monte-Carlo estimated otherwise — bridges the two:
+    /// its δ grid becomes the version menu, and at each version
+    ///
+    /// ```text
+    /// v(x) = value_of_error( E[ε(h^{1/x})] ),   b(x) ∝ demand_of_error( … )
+    /// ```
+    ///
+    /// Because the expected error is non-increasing in `x` and buyer value
+    /// is non-increasing in error, the transformed valuations come out
+    /// non-decreasing in `x` — the §5.3 assumption [`RevenueProblem::new`]
+    /// enforces. Monte-Carlo plateaus and wiggly research functions can
+    /// still produce local violations; a final isotonic pass repairs them.
+    /// Demand is normalized to sum to 1 across the menu.
+    pub fn on_phi_grid<FV, FD>(
+        error_curve: &ErrorCurve,
+        value_of_error: FV,
+        demand_of_error: FD,
+    ) -> Result<Self>
+    where
+        FV: Fn(f64) -> f64,
+        FD: Fn(f64) -> f64,
+    {
+        if error_curve.is_empty() {
+            return Err(OptimError::DegenerateResearch {
+                reason: "error curve has no points",
+            });
+        }
+        // Error-curve points are sorted by δ ascending = x descending; walk
+        // in reverse for ascending x.
+        let mut points: Vec<(f64, f64, f64)> = Vec::with_capacity(error_curve.len());
+        for ep in error_curve.points().iter().rev() {
+            let v = value_of_error(ep.smoothed_error);
+            let b = demand_of_error(ep.smoothed_error);
+            if !(v.is_finite() && b.is_finite() && b >= 0.0) {
+                return Err(OptimError::DegenerateResearch {
+                    reason: "research curves must return finite values and non-negative demand",
+                });
+            }
+            points.push((ep.inverse, v.max(0.0), b));
+        }
+        let total_demand: f64 = points.iter().map(|p| p.2).sum();
+        if total_demand <= 0.0 {
+            return Err(OptimError::DegenerateResearch {
+                reason: "demand curve is identically zero on the menu",
+            });
+        }
+        // Repair any non-monotonicity in the transformed valuations (e.g.
+        // from a slightly non-monotone research function).
+        let values: Vec<f64> = points.iter().map(|p| p.1).collect();
+        let weights = vec![1.0; values.len()];
+        let monotone_values = isotonic_increasing(&values, &weights);
+
+        let price_points: Vec<PricePoint> = points
+            .iter()
+            .zip(monotone_values)
+            .map(|(&(a, _, b), v)| PricePoint {
+                a,
+                b: b / total_demand,
+                v,
+            })
+            .collect();
+        RevenueProblem::new(price_points)
+    }
+
     /// The paper's Figure 5 worked example: `a = (1,2,3,4)`, `b = 0.25`
     /// each, `v = (100, 150, 280, 350)`.
     pub fn figure5_example() -> RevenueProblem {
@@ -263,6 +335,37 @@ mod tests {
         assert_eq!(p.len(), 4);
         assert_eq!(p.total_demand(), 1.0);
         assert_eq!(p.points()[2].v, 280.0);
+    }
+
+    #[test]
+    fn phi_grid_transforms_error_research() {
+        // δ grid 0.05..1.0 → x grid 1..20, E[ε_s] = δ (Lemma 3).
+        let deltas: Vec<nimbus_core::Ncp> = (1..=20)
+            .map(|i| nimbus_core::Ncp::new(i as f64 * 0.05).unwrap())
+            .collect();
+        let curve = ErrorCurve::analytic_square_loss(&deltas).unwrap();
+        let problem = RevenueProblem::on_phi_grid(&curve, |e| 100.0 * (1.0 - e), |_| 1.0).unwrap();
+        assert_eq!(problem.len(), 20);
+        let a = problem.parameters();
+        assert!(a.windows(2).all(|w| w[1] > w[0]), "ascending x");
+        let v = problem.valuations();
+        assert!(v.windows(2).all(|w| w[1] >= w[0]), "monotone valuations");
+        assert!((v.last().unwrap() - 95.0).abs() < 1e-9);
+        assert!((problem.total_demand() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi_grid_rejects_degenerate_research() {
+        let deltas: Vec<nimbus_core::Ncp> = (1..=5)
+            .map(|i| nimbus_core::Ncp::new(i as f64).unwrap())
+            .collect();
+        let curve = ErrorCurve::analytic_square_loss(&deltas).unwrap();
+        assert!(matches!(
+            RevenueProblem::on_phi_grid(&curve, |_| f64::NAN, |_| 1.0),
+            Err(OptimError::DegenerateResearch { .. })
+        ));
+        assert!(RevenueProblem::on_phi_grid(&curve, |_| 1.0, |_| 0.0).is_err());
+        assert!(RevenueProblem::on_phi_grid(&curve, |_| 1.0, |_| -1.0).is_err());
     }
 
     #[test]

@@ -48,7 +48,7 @@ fn main() {
     let sale = broker.commit(quote, quote.price).expect("buy at point");
     println!(
         "\nbuyer#1 bought version x=50: price {:.2}, E[square loss] {:.4}",
-        sale.price, sale.expected_square_error
+        sale.price, sale.expected_error
     );
 
     // --- Buyer option 2: an error budget --------------------------------
@@ -71,7 +71,7 @@ fn main() {
     let sale = broker.commit(quote, budget).expect("buy with price budget");
     println!(
         "buyer#3 (price budget {budget:.2}) got x={:.1}, E[square loss] {:.4}",
-        sale.inverse_ncp, sale.expected_square_error
+        sale.inverse_ncp, sale.expected_error
     );
 
     println!(

@@ -50,7 +50,7 @@ fn full_market_flow() {
     assert!((broker.collected_revenue() - (s1.price + s2.price + s3.price)).abs() < 1e-9);
 
     // Error budgets are honored in expectation semantics.
-    assert!(s2.expected_square_error <= 0.1 + 1e-12);
+    assert!(s2.expected_error <= 0.1 + 1e-12);
     // Price budgets are honored exactly.
     assert!(s3.price <= budget + 1e-9);
 }
@@ -62,7 +62,7 @@ fn noisier_versions_cost_less_and_err_more() {
     let cheap = buy(&broker, PurchaseRequest::AtInverseNcp(2.0));
     let sharp = buy(&broker, PurchaseRequest::AtInverseNcp(90.0));
     assert!(cheap.price < sharp.price);
-    assert!(cheap.expected_square_error > sharp.expected_square_error);
+    assert!(cheap.expected_error > sharp.expected_error);
 
     // And the actual delivered models reflect it on the test set, in
     // expectation over repeated purchases.
@@ -127,6 +127,43 @@ fn classification_market_end_to_end() {
     // A lightly noised logistic model still classifies far above chance.
     let acc = metrics::accuracy(&sale.model, &test).unwrap();
     assert!(acc > 0.8, "accuracy {acc}");
+}
+
+#[test]
+fn metric_market_error_budget_end_to_end() {
+    // A broker configured with the 0/1 metric prices the menu through the
+    // Monte-Carlo curve and φ; an error-budget purchase resolves against
+    // the same curve, and the posted prices stay arbitrage-free.
+    let spec = DatasetSpec::scaled(PaperDataset::Simulated2, 2_000);
+    let (dataset, _) = spec.materialize(41).unwrap();
+    let test = dataset.test.clone();
+    let curves = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform);
+    let broker = Broker::builder(Seller::new("cls-metric", dataset, curves))
+        .trainer(LogisticRegressionTrainer::new(1e-4))
+        .mechanism(GaussianMechanism)
+        .n_price_points(24)
+        .error_curve_samples(40)
+        .seed(9)
+        .error_metric(nimbus::ml::LossMetric::zero_one(test))
+        .build()
+        .unwrap();
+    broker.open_market().unwrap();
+
+    let quote = broker
+        .quote_request(PurchaseRequest::ErrorBudget(0.45))
+        .unwrap();
+    assert_eq!(quote.metric, "zero_one");
+    assert!(quote.expected_error <= 0.45 + 1e-9);
+    let sale = broker.commit(quote, quote.price).unwrap();
+    assert_eq!(sale.metric, "zero_one");
+    assert!((sale.expected_error - quote.expected_error).abs() < 1e-12);
+
+    let menu = broker.posted_menu().unwrap();
+    let pricing = PiecewiseLinearPricing::new(menu.clone()).unwrap();
+    let xs: Vec<f64> = menu.iter().map(|(x, _)| *x).collect();
+    assert!(check_arbitrage_free(&pricing, &xs, 1e-6)
+        .unwrap()
+        .is_arbitrage_free());
 }
 
 #[test]

@@ -66,14 +66,13 @@ fn error_domain_research_to_market_end_to_end() {
     let deltas: Vec<Ncp> = (1..=12)
         .map(|i| Ncp::new(0.01 * 1.6f64.powi(i)).unwrap())
         .collect();
-    let mut rng = seeded_rng(11);
     let curve = ErrorCurve::estimate(
         &GaussianMechanism,
         &model,
         |h| nimbus::ml::metrics::zero_one_error(h, &test).map_err(Into::into),
         &deltas,
         150,
-        &mut rng,
+        11,
     )
     .unwrap();
 

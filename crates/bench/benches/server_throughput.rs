@@ -1,0 +1,147 @@
+//! Loopback serving throughput: the full TCP path (framing, admission,
+//! worker pool, broker snapshot reads, striped ledger) under N client
+//! threads × M requests each.
+//!
+//! Two regimes:
+//! * `within capacity` — the admission queues dwarf the client count, so
+//!   every request is served; the number is end-to-end requests/second
+//!   through real sockets.
+//! * `flood` — one worker, queue of one, a deliberate per-request service
+//!   delay: most connections must be shed with `BUSY`. What's measured is
+//!   that overload resolves quickly and explicitly (shed rate printed),
+//!   not slowly by queueing.
+//!
+//! Each benchmark prints one summary line (throughput + shed rate) from a
+//! warm-up run before criterion measures, so the numbers survive even when
+//! the vendored criterion shim runs bodies once.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nimbus_core::GaussianMechanism;
+use nimbus_data::catalog::{DatasetSpec, PaperDataset};
+use nimbus_market::curves::{DemandCurve, MarketCurves, ValueCurve};
+use nimbus_market::{Broker, Seller};
+use nimbus_ml::LinearRegressionTrainer;
+use nimbus_server::loadgen::{run_load, LoadConfig, LoadMode, LoadReport};
+use nimbus_server::{ClientConfig, NimbusServer, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn make_open_broker() -> Arc<Broker> {
+    let (dataset, _) = DatasetSpec::scaled(PaperDataset::Simulated1, 2_000)
+        .materialize(5)
+        .expect("dataset");
+    let curves = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform);
+    let broker = Broker::builder(Seller::new("bench", dataset, curves))
+        .trainer(LinearRegressionTrainer::ridge(1e-6))
+        .mechanism(GaussianMechanism)
+        .n_price_points(50)
+        .error_curve_samples(50)
+        .seed(5)
+        .build()
+        .expect("valid config");
+    broker.open_market().expect("market opens");
+    Arc::new(broker)
+}
+
+fn summarize(label: &str, report: &LoadReport) {
+    println!(
+        "{label}: {} ok / {} busy / {} errors in {:?} -> {:.0} req/s, shed rate {:.1}%",
+        report.ok,
+        report.busy,
+        report.errors,
+        report.elapsed,
+        report.throughput(),
+        100.0 * report.shed_rate()
+    );
+}
+
+fn bench_within_capacity(c: &mut Criterion) {
+    let server = NimbusServer::start(
+        make_open_broker(),
+        "bench",
+        "127.0.0.1:0",
+        ServerConfig {
+            shards: 2,
+            workers_per_shard: 4,
+            queue_capacity: 64,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    let mut group = c.benchmark_group("server_loopback");
+    group.sample_size(10);
+    for (threads, mode, tag) in [
+        (1usize, LoadMode::Quote, "quote"),
+        (4, LoadMode::Quote, "quote"),
+        (8, LoadMode::Quote, "quote"),
+        (4, LoadMode::Buy, "buy"),
+    ] {
+        let config = LoadConfig {
+            threads,
+            requests_per_thread: 256,
+            mode,
+            client: ClientConfig::default(),
+        };
+        let warmup = run_load(addr, &config);
+        assert_eq!(warmup.ok, warmup.attempted, "within capacity: no sheds");
+        summarize(&format!("server_loopback/{tag}/{threads}t"), &warmup);
+        group.bench_with_input(
+            BenchmarkId::new(tag, format!("{threads}t")),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let report = run_load(addr, config);
+                    assert_eq!(report.errors, 0);
+                    report.ok
+                })
+            },
+        );
+    }
+    group.finish();
+    server.shutdown();
+}
+
+fn bench_flood_shedding(c: &mut Criterion) {
+    // One slow worker and a queue of one: a 16-thread flood must shed.
+    let server = NimbusServer::start(
+        make_open_broker(),
+        "bench-flood",
+        "127.0.0.1:0",
+        ServerConfig {
+            shards: 1,
+            workers_per_shard: 1,
+            queue_capacity: 1,
+            handle_delay: Some(Duration::from_millis(2)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+    let config = LoadConfig {
+        threads: 16,
+        requests_per_thread: 16,
+        mode: LoadMode::Quote,
+        client: ClientConfig::default(),
+    };
+    let warmup = run_load(addr, &config);
+    assert!(warmup.busy > 0, "flood must shed");
+    assert_eq!(warmup.errors, 0, "sheds are typed BUSY, never resets");
+    summarize("server_flood/16t", &warmup);
+
+    let mut group = c.benchmark_group("server_flood");
+    group.sample_size(10);
+    group.bench_function("16_threads_vs_1_worker", |b| {
+        b.iter(|| {
+            let report = run_load(addr, &config);
+            assert_eq!(report.errors, 0);
+            (report.ok, report.busy)
+        })
+    });
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_within_capacity, bench_flood_shedding);
+criterion_main!(benches);

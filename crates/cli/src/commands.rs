@@ -3,7 +3,7 @@
 //! Each command returns its report as a `String` (testable without stdout
 //! capture). All markets are built from the same stack the experiments use.
 
-use crate::parse::{usage, BuyRequest, Command};
+use crate::parse::{usage, BuyRequest, ClientAction, Command};
 use nimbus::core::arbitrage::find_attack;
 use nimbus::ml::{ErrorMetric, LossMetric};
 use nimbus::prelude::ErrorCurve;
@@ -41,6 +41,16 @@ pub fn run_command(command: Command) -> Result<String, String> {
             samples,
             seed,
         } => error_curve(&dataset, samples, seed),
+        Command::Serve {
+            addr,
+            dataset,
+            metric,
+            seed,
+            shards,
+            workers,
+            queue,
+        } => serve(&addr, &dataset, &metric, seed, shards, workers, queue),
+        Command::Client { addr, action } => client(&addr, action),
     }
 }
 
@@ -442,6 +452,187 @@ fn error_curve(dataset_name: &str, samples: usize, seed: u64) -> Result<String, 
     Ok(out)
 }
 
+/// Builds the broker for one listing and starts the TCP service on `addr`.
+/// Shared by [`serve`] (which then blocks forever) and the tests (which
+/// shut the returned handle down).
+pub(crate) fn start_listing_server(
+    addr: &str,
+    dataset_name: &str,
+    metric: &str,
+    seed: u64,
+    shards: usize,
+    workers: usize,
+    queue: usize,
+) -> Result<NimbusServer, String> {
+    let dataset = lookup_dataset(dataset_name)?;
+    let broker = build_broker(dataset, metric, seed)?;
+    let config = ServerConfig {
+        shards,
+        workers_per_shard: workers,
+        queue_capacity: queue,
+        ..ServerConfig::default()
+    };
+    NimbusServer::start(std::sync::Arc::new(broker), dataset.name(), addr, config)
+        .map_err(|e| e.to_string())
+}
+
+/// `nimbus serve`: build the market, bind, and serve until killed.
+fn serve(
+    addr: &str,
+    dataset: &str,
+    metric: &str,
+    seed: u64,
+    shards: usize,
+    workers: usize,
+    queue: usize,
+) -> Result<String, String> {
+    let server = start_listing_server(addr, dataset, metric, seed, shards, workers, queue)?;
+    println!(
+        "nimbus-server: listing {dataset:?} ({metric} metric) on {} \
+         [{shards} shard(s) x {workers} worker(s), queue {queue}]",
+        server.local_addr()
+    );
+    println!("serving until the process is killed (Ctrl-C)");
+    // Park forever: the accept loop and workers own the serving; Ctrl-C
+    // tears the process (and with it the socket) down.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `nimbus client <action>`.
+fn client(addr: &str, action: ClientAction) -> Result<String, String> {
+    let config = ClientConfig::default();
+    let mut out = String::new();
+    match action {
+        ClientAction::Menu => {
+            let mut conn = NimbusClient::connect(addr, &config).map_err(|e| e.to_string())?;
+            let menu = conn.menu().map_err(|e| e.to_string())?;
+            let _ = writeln!(
+                out,
+                "menu from {addr} (epoch {}, {} metric, {} versions):",
+                menu.epoch,
+                menu.metric,
+                menu.points.len()
+            );
+            for (x, p) in menu.points.iter().step_by((menu.points.len() / 10).max(1)) {
+                let _ = writeln!(out, "  1/NCP {x:>8.2}  price {p:>8.2}");
+            }
+        }
+        ClientAction::Info => {
+            let mut conn = NimbusClient::connect(addr, &config).map_err(|e| e.to_string())?;
+            let info = conn.info().map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "listing {:?} at {addr}:", info.listing);
+            let _ = writeln!(out, "  metric           : {}", info.metric);
+            let _ = writeln!(out, "  snapshot epoch   : {}", info.epoch);
+            let _ = writeln!(
+                out,
+                "  menu             : {} versions on 1/NCP in [{:.2}, {:.2}]",
+                info.menu_len, info.x_lo, info.x_hi
+            );
+            let _ = writeln!(out, "  expected revenue : {:.2}", info.expected_revenue);
+            let _ = writeln!(
+                out,
+                "  ledger           : {} sales, revenue {:.2}",
+                info.sales, info.revenue
+            );
+        }
+        ClientAction::Stats => {
+            let mut conn = NimbusClient::connect(addr, &config).map_err(|e| e.to_string())?;
+            let stats = conn.stats().map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "server stats at {addr}:");
+            let _ = writeln!(out, "  connections      : {}", stats.connections);
+            let _ = writeln!(out, "  busy rejections  : {}", stats.busy_rejections);
+            let _ = writeln!(out, "  protocol errors  : {}", stats.protocol_errors);
+            let _ = writeln!(
+                out,
+                "  {:<8} {:>10} {:>8} {:>12} {:>12}",
+                "op", "requests", "errors", "p50 (µs ≤)", "p99 (µs ≤)"
+            );
+            for op in &stats.ops {
+                let _ = writeln!(
+                    out,
+                    "  {:<8} {:>10} {:>8} {:>12} {:>12}",
+                    op.op, op.requests, op.errors, op.p50_micros, op.p99_micros
+                );
+            }
+        }
+        ClientAction::Buy(request) => {
+            let mut conn = NimbusClient::connect(addr, &config).map_err(|e| e.to_string())?;
+            let req = match request {
+                BuyRequest::ErrorBudget(e) => PurchaseRequest::ErrorBudget(e),
+                BuyRequest::PriceBudget(p) => PurchaseRequest::PriceBudget(p),
+                BuyRequest::AtInverseNcp(x) => PurchaseRequest::AtInverseNcp(x),
+            };
+            let quote = conn.quote(req).map_err(|e| e.to_string())?;
+            let sale = conn
+                .commit(&quote, quote.price)
+                .map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "purchased over the wire from {addr}:");
+            let _ = writeln!(out, "  version       : 1/NCP = {:.2}", sale.inverse_ncp);
+            let _ = writeln!(out, "  price         : {:.2}", sale.price);
+            let _ = writeln!(
+                out,
+                "  {:<14}: {:.5}",
+                metric_label(&sale.metric),
+                sale.expected_error
+            );
+            let _ = writeln!(
+                out,
+                "  model         : {} weights delivered, first = {:.4}",
+                sale.weights.len(),
+                sale.weights.first().copied().unwrap_or(f64::NAN)
+            );
+            let _ = writeln!(out, "  transaction   : #{}", sale.transaction);
+        }
+        ClientAction::Load {
+            threads,
+            requests,
+            buy,
+        } => {
+            let resolved: std::net::SocketAddr = {
+                use std::net::ToSocketAddrs;
+                addr.to_socket_addrs()
+                    .map_err(|e| e.to_string())?
+                    .next()
+                    .ok_or_else(|| format!("address {addr:?} resolved to nothing"))?
+            };
+            let load = LoadConfig {
+                threads,
+                requests_per_thread: requests,
+                mode: if buy { LoadMode::Buy } else { LoadMode::Quote },
+                client: config,
+            };
+            let report = run_load(resolved, &load);
+            let _ = writeln!(
+                out,
+                "load against {addr}: {threads} thread(s) x {requests} {} request(s)",
+                if buy { "buy" } else { "quote" }
+            );
+            let _ = writeln!(
+                out,
+                "  ok / busy / errors : {} / {} / {}",
+                report.ok, report.busy, report.errors
+            );
+            let _ = writeln!(out, "  elapsed            : {:?}", report.elapsed);
+            let _ = writeln!(
+                out,
+                "  throughput         : {:.0} req/s",
+                report.throughput()
+            );
+            let _ = writeln!(
+                out,
+                "  shed rate          : {:.1}%",
+                100.0 * report.shed_rate()
+            );
+            if buy {
+                let _ = writeln!(out, "  revenue observed   : {:.2}", report.revenue);
+            }
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -568,6 +759,51 @@ mod tests {
         assert!(reg.contains("test MSE"), "{reg}");
         let cls = run(&["curve", "--dataset", "SUSY", "--samples", "20"]).unwrap();
         assert!(cls.contains("0/1 error"), "{cls}");
+    }
+
+    #[test]
+    fn client_commands_against_in_process_server() {
+        // `serve` itself blocks forever, so the test drives the same
+        // builder the command uses and points `nimbus client` at it.
+        let server =
+            start_listing_server("127.0.0.1:0", "Simulated1", "square", 3, 1, 2, 32).unwrap();
+        let addr = server.local_addr().to_string();
+
+        let menu = run(&["client", "menu", "--addr", &addr]).unwrap();
+        assert!(menu.contains("epoch"), "{menu}");
+        assert!(menu.contains("price"), "{menu}");
+
+        let buy = run(&["client", "buy", "--at", "25", "--addr", &addr]).unwrap();
+        assert!(buy.contains("purchased over the wire"), "{buy}");
+        assert!(buy.contains("weights delivered"), "{buy}");
+
+        let load = run(&[
+            "client",
+            "load",
+            "--threads",
+            "2",
+            "--requests",
+            "5",
+            "--buy",
+            "--addr",
+            &addr,
+        ])
+        .unwrap();
+        assert!(load.contains("throughput"), "{load}");
+        assert!(load.contains("revenue observed"), "{load}");
+
+        let info = run(&["client", "info", "--addr", &addr]).unwrap();
+        // 1 CLI buy + 2×5 load buys landed in the ledger.
+        assert!(info.contains("11 sales"), "{info}");
+
+        let stats = run(&["client", "stats", "--addr", &addr]).unwrap();
+        assert!(stats.contains("commit"), "{stats}");
+        assert!(stats.contains("busy rejections"), "{stats}");
+        server.shutdown();
+
+        // With the server gone, client commands fail with an error string
+        // instead of hanging.
+        assert!(run(&["client", "menu", "--addr", &addr]).is_err());
     }
 
     #[test]

@@ -4,14 +4,20 @@
 //! market: pick a dataset and curves, watch the broker train and post an
 //! arbitrage-free price curve, buy model versions under budgets, and try
 //! (and fail) to arbitrage the posted prices. This crate packages that walk
-//! as a `nimbus` binary with four subcommands:
+//! as a `nimbus` binary:
 //!
 //! ```text
 //! nimbus demo   [--dataset NAME] [--seed N]          # the full guided tour
 //! nimbus price  [--value SHAPE] [--demand SHAPE] [--points N]
 //! nimbus buy    (--error-budget E | --price-budget P | --at X) [--dataset NAME]
 //! nimbus attack [--value SHAPE] [--points N]         # search posted prices for arbitrage
+//! nimbus serve  [--addr HOST:PORT] [--dataset NAME]  # the broker as a TCP service
+//! nimbus client menu|info|stats|buy|load [--addr HOST:PORT]
 //! ```
+//!
+//! `serve`/`client` speak the `nimbus-server` wire protocol: the full
+//! quote→commit epoch protocol over TCP, with bounded admission queues
+//! that shed overload as typed `BUSY` responses.
 //!
 //! Parsing is hand-rolled (the workspace's no-new-dependencies rule) and
 //! fully unit-tested; command execution returns strings so the logic is

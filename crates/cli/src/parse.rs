@@ -60,8 +60,54 @@ pub enum Command {
         /// Base seed.
         seed: u64,
     },
+    /// Serve a dataset's market over TCP.
+    Serve {
+        /// Listen address (`host:port`; port 0 picks an ephemeral port).
+        addr: String,
+        /// Table 3 dataset name.
+        dataset: String,
+        /// Error metric the market prices against.
+        metric: String,
+        /// Base seed.
+        seed: u64,
+        /// Admission shards.
+        shards: usize,
+        /// Worker threads per shard.
+        workers: usize,
+        /// Pending-connection bound per shard.
+        queue: usize,
+    },
+    /// Talk to a running server.
+    Client {
+        /// Server address (`host:port`).
+        addr: String,
+        /// What to ask the server.
+        action: ClientAction,
+    },
     /// Print usage.
     Help,
+}
+
+/// Actions of the `client` subcommand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClientAction {
+    /// Fetch the posted price menu.
+    Menu,
+    /// Fetch listing metadata and ledger accounting.
+    Info,
+    /// Fetch the server's serving statistics.
+    Stats,
+    /// Quote then commit one purchase.
+    Buy(BuyRequest),
+    /// Run the loopback load generator against the server.
+    Load {
+        /// Concurrent client threads.
+        threads: usize,
+        /// Requests per thread.
+        requests: usize,
+        /// Full purchases instead of read-only quotes.
+        buy: bool,
+    },
 }
 
 /// The three §3.2 purchase options, CLI-side.
@@ -95,6 +141,8 @@ pub enum ParseError {
     },
     /// `buy` requires exactly one of the three request flags.
     AmbiguousBuyRequest,
+    /// `client` requires an action.
+    MissingClientAction,
 }
 
 impl fmt::Display for ParseError {
@@ -113,6 +161,10 @@ impl fmt::Display for ParseError {
                 f,
                 "buy requires exactly one of --error-budget, --price-budget, --at"
             ),
+            ParseError::MissingClientAction => write!(
+                f,
+                "client requires an action: menu | info | stats | buy | load"
+            ),
         }
     }
 }
@@ -130,9 +182,17 @@ pub fn usage() -> String {
      nimbus attack [--value SHAPE] [--points N] [--naive]\n  \
      nimbus fairness [--value SHAPE] [--points N] [--tau T]\n  \
      nimbus curve  [--dataset NAME] [--samples N] [--seed N]\n  \
+     nimbus serve  [--addr HOST:PORT] [--dataset NAME] [--metric M] [--seed N] \
+     [--shards K] [--workers W] [--queue Q]\n  \
+     nimbus client menu|info|stats [--addr HOST:PORT]\n  \
+     nimbus client buy (--error-budget E | --price-budget P | --at X) [--addr HOST:PORT]\n  \
+     nimbus client load [--threads N] [--requests M] [--buy] [--addr HOST:PORT]\n  \
      nimbus help"
         .to_string()
 }
+
+/// Default address `serve` binds and `client` dials.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7654";
 
 fn take_value<I: Iterator<Item = String>>(iter: &mut I, flag: &str) -> Result<String, ParseError> {
     iter.next()
@@ -277,6 +337,113 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 seed,
             })
         }
+        "serve" => {
+            let mut addr = DEFAULT_ADDR.to_string();
+            let mut dataset = "Simulated1".to_string();
+            let mut metric = "square".to_string();
+            let mut seed = 7u64;
+            let mut shards = 2usize;
+            let mut workers = 2usize;
+            let mut queue = 64usize;
+            while let Some(flag) = iter.next() {
+                match flag.as_str() {
+                    "--addr" => addr = take_value(&mut iter, "--addr")?,
+                    "--dataset" => dataset = take_value(&mut iter, "--dataset")?,
+                    "--metric" => metric = take_value(&mut iter, "--metric")?,
+                    "--seed" => seed = parse_num(&mut iter, "--seed")?,
+                    "--shards" => shards = parse_num(&mut iter, "--shards")?,
+                    "--workers" => workers = parse_num(&mut iter, "--workers")?,
+                    "--queue" => queue = parse_num(&mut iter, "--queue")?,
+                    other => return Err(ParseError::UnknownFlag(other.to_string())),
+                }
+            }
+            Ok(Command::Serve {
+                addr,
+                dataset,
+                metric,
+                seed,
+                shards,
+                workers,
+                queue,
+            })
+        }
+        "client" => {
+            let action_word = iter.next().ok_or(ParseError::MissingClientAction)?;
+            let mut addr = DEFAULT_ADDR.to_string();
+            match action_word.as_str() {
+                "menu" | "info" | "stats" => {
+                    while let Some(flag) = iter.next() {
+                        match flag.as_str() {
+                            "--addr" => addr = take_value(&mut iter, "--addr")?,
+                            other => return Err(ParseError::UnknownFlag(other.to_string())),
+                        }
+                    }
+                    let action = match action_word.as_str() {
+                        "menu" => ClientAction::Menu,
+                        "info" => ClientAction::Info,
+                        _ => ClientAction::Stats,
+                    };
+                    Ok(Command::Client { addr, action })
+                }
+                "buy" => {
+                    let mut request: Option<BuyRequest> = None;
+                    let set = |r: BuyRequest, request: &mut Option<BuyRequest>| {
+                        if request.is_some() {
+                            Err(ParseError::AmbiguousBuyRequest)
+                        } else {
+                            *request = Some(r);
+                            Ok(())
+                        }
+                    };
+                    while let Some(flag) = iter.next() {
+                        match flag.as_str() {
+                            "--addr" => addr = take_value(&mut iter, "--addr")?,
+                            "--error-budget" => {
+                                let e = parse_num(&mut iter, "--error-budget")?;
+                                set(BuyRequest::ErrorBudget(e), &mut request)?;
+                            }
+                            "--price-budget" => {
+                                let p = parse_num(&mut iter, "--price-budget")?;
+                                set(BuyRequest::PriceBudget(p), &mut request)?;
+                            }
+                            "--at" => {
+                                let x = parse_num(&mut iter, "--at")?;
+                                set(BuyRequest::AtInverseNcp(x), &mut request)?;
+                            }
+                            other => return Err(ParseError::UnknownFlag(other.to_string())),
+                        }
+                    }
+                    let request = request.ok_or(ParseError::AmbiguousBuyRequest)?;
+                    Ok(Command::Client {
+                        addr,
+                        action: ClientAction::Buy(request),
+                    })
+                }
+                "load" => {
+                    let mut threads = 4usize;
+                    let mut requests = 64usize;
+                    let mut buy = false;
+                    while let Some(flag) = iter.next() {
+                        match flag.as_str() {
+                            "--addr" => addr = take_value(&mut iter, "--addr")?,
+                            "--threads" => threads = parse_num(&mut iter, "--threads")?,
+                            "--requests" => requests = parse_num(&mut iter, "--requests")?,
+                            "--buy" => buy = true,
+                            other => return Err(ParseError::UnknownFlag(other.to_string())),
+                        }
+                    }
+                    Ok(Command::Client {
+                        addr,
+                        action: ClientAction::Load {
+                            threads,
+                            requests,
+                            buy,
+                        },
+                    })
+                }
+                other => Err(ParseError::UnknownCommand(format!("client {other}"))),
+            }
+        }
         other => Err(ParseError::UnknownCommand(other.to_string())),
     }
 }
@@ -393,6 +560,115 @@ mod tests {
                 seed: 7
             }
         );
+    }
+
+    #[test]
+    fn serve_defaults_and_flags() {
+        assert_eq!(
+            parse(&["serve"]).unwrap(),
+            Command::Serve {
+                addr: DEFAULT_ADDR.into(),
+                dataset: "Simulated1".into(),
+                metric: "square".into(),
+                seed: 7,
+                shards: 2,
+                workers: 2,
+                queue: 64
+            }
+        );
+        assert_eq!(
+            parse(&[
+                "serve",
+                "--addr",
+                "0.0.0.0:9000",
+                "--dataset",
+                "CASP",
+                "--shards",
+                "4",
+                "--workers",
+                "3",
+                "--queue",
+                "8",
+                "--seed",
+                "11",
+            ])
+            .unwrap(),
+            Command::Serve {
+                addr: "0.0.0.0:9000".into(),
+                dataset: "CASP".into(),
+                metric: "square".into(),
+                seed: 11,
+                shards: 4,
+                workers: 3,
+                queue: 8
+            }
+        );
+    }
+
+    #[test]
+    fn client_actions() {
+        assert_eq!(
+            parse(&["client", "menu"]).unwrap(),
+            Command::Client {
+                addr: DEFAULT_ADDR.into(),
+                action: ClientAction::Menu
+            }
+        );
+        assert_eq!(
+            parse(&["client", "stats", "--addr", "10.0.0.1:7"]).unwrap(),
+            Command::Client {
+                addr: "10.0.0.1:7".into(),
+                action: ClientAction::Stats
+            }
+        );
+        assert_eq!(
+            parse(&["client", "buy", "--at", "25"]).unwrap(),
+            Command::Client {
+                addr: DEFAULT_ADDR.into(),
+                action: ClientAction::Buy(BuyRequest::AtInverseNcp(25.0))
+            }
+        );
+        assert_eq!(
+            parse(&[
+                "client",
+                "load",
+                "--threads",
+                "8",
+                "--requests",
+                "10",
+                "--buy"
+            ])
+            .unwrap(),
+            Command::Client {
+                addr: DEFAULT_ADDR.into(),
+                action: ClientAction::Load {
+                    threads: 8,
+                    requests: 10,
+                    buy: true
+                }
+            }
+        );
+    }
+
+    #[test]
+    fn client_error_cases() {
+        assert_eq!(parse(&["client"]), Err(ParseError::MissingClientAction));
+        assert_eq!(
+            parse(&["client", "buy"]),
+            Err(ParseError::AmbiguousBuyRequest)
+        );
+        assert_eq!(
+            parse(&["client", "buy", "--at", "5", "--price-budget", "3"]),
+            Err(ParseError::AmbiguousBuyRequest)
+        );
+        assert!(matches!(
+            parse(&["client", "frobnicate"]),
+            Err(ParseError::UnknownCommand(_))
+        ));
+        assert!(matches!(
+            parse(&["serve", "--bogus"]),
+            Err(ParseError::UnknownFlag(_))
+        ));
     }
 
     #[test]

@@ -98,7 +98,7 @@ impl Default for BrokerConfig {
 }
 
 /// A buyer's purchase request (the three options of §3.2).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PurchaseRequest {
     /// Option 1: a specific point on the curve, by inverse NCP.
     AtInverseNcp(f64),
@@ -734,12 +734,19 @@ impl Broker {
     }
 
     /// Price quote at an arbitrary inverse NCP. Lock-free.
+    ///
+    /// Routes through the same [`MarketSnapshot::quote`] path as
+    /// [`Broker::quote_request`] — `quote(x)` is exactly
+    /// `quote_request(PurchaseRequest::AtInverseNcp(x))` reduced to the
+    /// price, so the two can never disagree on validation or rounding.
     pub fn quote(&self, x: f64) -> Result<f64> {
-        self.published()?.price_at(x)
+        Ok(self.quote_request(PurchaseRequest::AtInverseNcp(x))?.price)
     }
 
     /// Resolves a purchase request to a committable [`Quote`] against the
-    /// current snapshot. Lock-free; no side effects.
+    /// current snapshot. Lock-free; no side effects. The single internal
+    /// quoting path: [`Broker::quote`] and the network serving layer both
+    /// funnel through here.
     pub fn quote_request(&self, request: PurchaseRequest) -> Result<Quote> {
         self.published()?.quote(request)
     }
@@ -754,6 +761,9 @@ impl Broker {
     /// snapshot rather than trusted from the quote, so a tampered quote
     /// cannot underpay.
     pub fn commit(&self, quote: Quote, payment: f64) -> Result<Sale> {
+        if !(payment.is_finite() && payment >= 0.0) {
+            return Err(MarketError::InvalidPayment { offered: payment });
+        }
         let snapshot = self.published()?;
         if quote.snapshot_epoch != snapshot.epoch() {
             return Err(MarketError::QuoteExpired {
@@ -786,6 +796,31 @@ impl Broker {
             metric: snapshot.metric_name(),
             transaction,
         })
+    }
+
+    /// Redeems a quote transported out-of-process by its `(x, epoch)`
+    /// identity — the hook behind the network serving layer's `COMMIT`.
+    ///
+    /// An in-process [`Quote`] cannot cross a wire (its metric tag is a
+    /// static borrow), and [`Broker::commit`] never trusts the quote's
+    /// price/error fields anyway: it re-derives both from the published
+    /// snapshot. So a remote commit only needs the two fields that carry
+    /// meaning — the quoted inverse NCP and the snapshot epoch it was
+    /// priced against — and gets the same epoch check, payment validation
+    /// and price re-derivation as a local one.
+    pub fn commit_at(&self, x: f64, snapshot_epoch: u64, payment: f64) -> Result<Sale> {
+        let metric = self.published()?.metric_name();
+        self.commit(
+            Quote {
+                x,
+                delta: if x > 0.0 { 1.0 / x } else { f64::NAN },
+                price: f64::NAN,
+                expected_error: f64::NAN,
+                metric,
+                snapshot_epoch,
+            },
+            payment,
+        )
     }
 
     /// Quotes and commits every request, fanning out over scoped threads
@@ -874,6 +909,33 @@ impl Broker {
     pub fn sales_count(&self) -> usize {
         self.shards.iter().map(|s| s.lock().count()).sum()
     }
+
+    /// One consistent-enough accounting snapshot for monitoring surfaces
+    /// (the `INFO` op of the network serving layer, dashboards, logs).
+    /// Epoch and expected revenue are read from the published snapshot;
+    /// sales and revenue are summed across the ledger stripes.
+    pub fn market_stats(&self) -> MarketStats {
+        let snapshot = self.snapshot();
+        MarketStats {
+            epoch: snapshot.map(MarketSnapshot::epoch),
+            expected_revenue: snapshot.map(MarketSnapshot::expected_revenue),
+            sales: self.sales_count(),
+            revenue: self.collected_revenue(),
+        }
+    }
+}
+
+/// Aggregate broker accounting, served to monitoring clients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarketStats {
+    /// Epoch of the published snapshot (`None` before `open_market`).
+    pub epoch: Option<u64>,
+    /// Expected revenue of the posted prices (`None` before `open_market`).
+    pub expected_revenue: Option<f64>,
+    /// Completed sales so far.
+    pub sales: usize,
+    /// Revenue collected so far.
+    pub revenue: f64,
 }
 
 #[cfg(test)]
@@ -1027,7 +1089,7 @@ mod tests {
         broker.open_market().unwrap();
         assert_eq!(broker.snapshot().unwrap().epoch(), 2);
         assert!(matches!(
-            broker.commit(quote, f64::INFINITY),
+            broker.commit(quote, quote.price * 2.0),
             Err(MarketError::QuoteExpired {
                 quoted: 1,
                 current: 2
@@ -1056,6 +1118,95 @@ mod tests {
             Err(MarketError::InsufficientPayment { .. })
         ));
         assert_eq!(broker.sales_count(), 0);
+    }
+
+    #[test]
+    fn commit_at_matches_in_process_commit_semantics() {
+        let broker = test_broker();
+        broker.open_market().unwrap();
+        let quote = broker
+            .quote_request(PurchaseRequest::AtInverseNcp(25.0))
+            .unwrap();
+        let sale = broker
+            .commit_at(25.0, quote.snapshot_epoch, quote.price)
+            .unwrap();
+        assert!((sale.price - quote.price).abs() < 1e-12);
+        assert!((sale.expected_error - quote.expected_error).abs() < 1e-12);
+        // Wrong epoch and underpayment fail exactly like a local commit.
+        assert!(matches!(
+            broker.commit_at(25.0, quote.snapshot_epoch + 1, quote.price),
+            Err(MarketError::QuoteExpired { .. })
+        ));
+        assert!(matches!(
+            broker.commit_at(25.0, quote.snapshot_epoch, quote.price / 2.0),
+            Err(MarketError::InsufficientPayment { .. })
+        ));
+        assert!(broker
+            .commit_at(f64::NAN, quote.snapshot_epoch, 1e9)
+            .is_err());
+    }
+
+    #[test]
+    fn non_finite_or_negative_payment_is_rejected() {
+        let broker = test_broker();
+        broker.open_market().unwrap();
+        let quote = broker
+            .quote_request(PurchaseRequest::AtInverseNcp(50.0))
+            .unwrap();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0, -0.001] {
+            assert!(
+                matches!(
+                    broker.commit(quote, bad),
+                    Err(MarketError::InvalidPayment { .. })
+                ),
+                "payment {bad} must be rejected as invalid"
+            );
+        }
+        assert_eq!(broker.sales_count(), 0);
+        // The validation runs even before the market-open check.
+        let closed = test_broker();
+        assert!(matches!(
+            closed.commit(quote, f64::NAN),
+            Err(MarketError::InvalidPayment { .. })
+        ));
+    }
+
+    #[test]
+    fn quote_and_quote_request_share_one_path() {
+        let broker = test_broker();
+        broker.open_market().unwrap();
+        for x in [1.0, 7.5, 42.0, 99.0] {
+            let via_scalar = broker.quote(x).unwrap();
+            let via_request = broker
+                .quote_request(PurchaseRequest::AtInverseNcp(x))
+                .unwrap();
+            assert_eq!(via_scalar.to_bits(), via_request.price.to_bits());
+        }
+        // Both reject invalid x with the same typed error.
+        for bad in [0.0, -3.0, f64::NAN] {
+            assert!(broker.quote(bad).is_err());
+            assert!(broker
+                .quote_request(PurchaseRequest::AtInverseNcp(bad))
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn market_stats_reflect_ledger_and_epoch() {
+        let broker = test_broker();
+        let stats = broker.market_stats();
+        assert_eq!(stats.epoch, None);
+        assert_eq!(stats.sales, 0);
+        broker.open_market().unwrap();
+        let q = broker
+            .quote_request(PurchaseRequest::AtInverseNcp(10.0))
+            .unwrap();
+        broker.commit(q, q.price).unwrap();
+        let stats = broker.market_stats();
+        assert_eq!(stats.epoch, Some(1));
+        assert_eq!(stats.sales, 1);
+        assert!((stats.revenue - q.price).abs() < 1e-12);
+        assert!(stats.expected_revenue.unwrap() > 0.0);
     }
 
     #[test]
@@ -1145,7 +1296,7 @@ mod tests {
             let q = broker
                 .quote_request(PurchaseRequest::AtInverseNcp(x))
                 .unwrap();
-            broker.commit(q, f64::INFINITY).unwrap();
+            broker.commit(q, q.price + 1.0).unwrap();
         }
         let total = broker.collected_revenue();
         assert!(total > 0.0);

@@ -14,6 +14,13 @@ pub enum MarketError {
         /// The payment offered.
         offered: f64,
     },
+    /// A commit carried a payment that is not a finite, non-negative
+    /// amount (NaN, ±∞ or negative). Rejected before any price
+    /// comparison so nonsense arithmetic can never record a sale.
+    InvalidPayment {
+        /// The payment offered.
+        offered: f64,
+    },
     /// A quote was committed against a snapshot that has since been
     /// superseded by a newer `open_market()` call.
     QuoteExpired {
@@ -51,6 +58,9 @@ impl fmt::Display for MarketError {
             MarketError::MarketNotOpen => write!(f, "market is not open: no pricing configured"),
             MarketError::InsufficientPayment { price, offered } => {
                 write!(f, "payment {offered} below posted price {price}")
+            }
+            MarketError::InvalidPayment { offered } => {
+                write!(f, "payment {offered} is not a finite, non-negative amount")
             }
             MarketError::QuoteExpired { quoted, current } => write!(
                 f,
@@ -118,6 +128,9 @@ mod tests {
         }
         .to_string()
         .contains("below"));
+        assert!(MarketError::InvalidPayment { offered: f64::NAN }
+            .to_string()
+            .contains("not a finite"));
     }
 
     #[test]

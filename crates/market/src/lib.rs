@@ -71,7 +71,7 @@ pub mod simulation;
 pub mod transform;
 
 pub use broker::{
-    Broker, BrokerBuilder, BrokerConfig, MarketSnapshot, PurchaseRequest, Quote, Sale,
+    Broker, BrokerBuilder, BrokerConfig, MarketSnapshot, MarketStats, PurchaseRequest, Quote, Sale,
 };
 pub use buyer::{Buyer, BuyerPopulation};
 pub use curves::{DemandCurve, MarketCurves, ValueCurve};

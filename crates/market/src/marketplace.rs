@@ -221,10 +221,10 @@ mod tests {
         )
         .unwrap();
         let reg_sale = mp
-            .purchase("reg", PurchaseRequest::AtInverseNcp(10.0), f64::INFINITY)
+            .purchase("reg", PurchaseRequest::AtInverseNcp(10.0), 1e12)
             .unwrap();
         let cls_sale = mp
-            .purchase("cls", PurchaseRequest::AtInverseNcp(10.0), f64::INFINITY)
+            .purchase("cls", PurchaseRequest::AtInverseNcp(10.0), 1e12)
             .unwrap();
         assert_eq!(reg_sale.model.dim(), 20);
         assert_eq!(cls_sale.model.dim(), 20);
@@ -261,7 +261,7 @@ mod tests {
         let mut mp = Marketplace::new();
         mp.list("m", regression_broker(5), "linear_regression", "gaussian")
             .unwrap();
-        mp.purchase("m", PurchaseRequest::AtInverseNcp(5.0), f64::INFINITY)
+        mp.purchase("m", PurchaseRequest::AtInverseNcp(5.0), 1e12)
             .unwrap();
         assert_eq!(mp.total_sales(), 1);
         // Replace: ledger resets with the new broker.

@@ -11,7 +11,7 @@ use nimbus_core::arbitrage::check_arbitrage_free;
 use nimbus_core::GaussianMechanism;
 use nimbus_data::catalog::{DatasetSpec, PaperDataset};
 use nimbus_market::curves::{DemandCurve, MarketCurves, ValueCurve};
-use nimbus_market::{Broker, PurchaseRequest, Seller};
+use nimbus_market::{Broker, MarketError, PurchaseRequest, Seller};
 use nimbus_ml::LinearRegressionTrainer;
 
 const THREADS: usize = 8;
@@ -131,6 +131,110 @@ fn eight_threads_match_sequential_replay_exactly() {
     let grid: Vec<f64> = snapshot.menu().iter().map(|(x, _)| *x).collect();
     let report = check_arbitrage_free(snapshot.pricing(), &grid, 1e-9).unwrap();
     assert!(report.is_arbitrage_free(), "{report:?}");
+}
+
+/// Satellite to the serving layer: one writer thread per ledger stripe.
+/// With 16 threads racing and dense transaction ids, every one of the 16
+/// stripes takes writes; the merged books must still match a sequential
+/// replay of the same purchases.
+#[test]
+fn sixteen_threads_commit_through_every_ledger_stripe() {
+    const THREADS_16: usize = 16;
+    const PER_THREAD: usize = 32;
+    let broker = build_broker(63);
+    broker.open_market().unwrap();
+
+    let mut sales: Vec<(u64, f64, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS_16)
+            .map(|t| {
+                let broker = &broker;
+                scope.spawn(move || {
+                    (0..PER_THREAD)
+                        .map(|i| {
+                            let x = 1.0 + ((t * PER_THREAD + i * 5) % 99) as f64;
+                            let quote = broker
+                                .quote_request(PurchaseRequest::AtInverseNcp(x))
+                                .unwrap();
+                            let sale = broker.commit(quote, quote.price).unwrap();
+                            (sale.transaction.sequence, sale.inverse_ncp, sale.price)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    sales.sort_by_key(|(seq, _, _)| *seq);
+
+    let total = THREADS_16 * PER_THREAD;
+    let ledger = broker.ledger();
+    assert_eq!(ledger.count(), total);
+
+    // Dense ids 0..512 mean every residue class mod 16 — i.e. every ledger
+    // stripe — recorded exactly `total / 16` transactions.
+    let mut per_stripe = [0usize; 16];
+    for (seq, _, _) in &sales {
+        per_stripe[(*seq % 16) as usize] += 1;
+    }
+    assert!(
+        per_stripe.iter().all(|&n| n == total / 16),
+        "{per_stripe:?}"
+    );
+
+    // Sequential replay in transaction-id order: same sale count, same
+    // per-transaction books, totals equal up to f64 reassociation.
+    let replay = build_broker(63);
+    replay.open_market().unwrap();
+    for (seq, x, price) in &sales {
+        let quote = replay
+            .quote_request(PurchaseRequest::AtInverseNcp(*x))
+            .unwrap();
+        let sale = replay.commit(quote, quote.price).unwrap();
+        assert_eq!(sale.transaction.sequence, *seq);
+        assert_eq!(sale.price, *price, "price diverged at transaction {seq}");
+    }
+    assert_eq!(replay.sales_count(), broker.sales_count());
+    assert!((replay.collected_revenue() - broker.collected_revenue()).abs() < 1e-6);
+    assert!((ledger.total_revenue() - replay.ledger().total_revenue()).abs() < 1e-6);
+}
+
+/// The quote→commit epoch protocol: a quote priced before `open_market()`
+/// re-runs is pinned to the superseded snapshot and must fail with the
+/// typed epoch mismatch — never silently honor stale prices.
+#[test]
+fn quote_from_before_market_reopen_fails_with_epoch_mismatch() {
+    let broker = build_broker(77);
+    broker.open_market().unwrap();
+    let first_epoch = broker.snapshot().unwrap().epoch();
+    let stale = broker
+        .quote_request(PurchaseRequest::AtInverseNcp(10.0))
+        .unwrap();
+    assert_eq!(stale.snapshot_epoch, first_epoch);
+
+    // Re-open: a new snapshot (new epoch) replaces the one quoted against.
+    broker.open_market().unwrap();
+    let current_epoch = broker.snapshot().unwrap().epoch();
+    assert!(current_epoch > first_epoch);
+
+    match broker.commit(stale, stale.price) {
+        Err(MarketError::QuoteExpired { quoted, current }) => {
+            assert_eq!(quoted, first_epoch);
+            assert_eq!(current, current_epoch);
+        }
+        other => panic!("expected QuoteExpired, got {other:?}"),
+    }
+    assert_eq!(broker.sales_count(), 0, "a stale quote must record no sale");
+
+    // A quote against the new snapshot commits fine.
+    let fresh = broker
+        .quote_request(PurchaseRequest::AtInverseNcp(10.0))
+        .unwrap();
+    assert_eq!(fresh.snapshot_epoch, current_epoch);
+    broker.commit(fresh, fresh.price).unwrap();
+    assert_eq!(broker.sales_count(), 1);
 }
 
 #[test]

@@ -24,6 +24,7 @@
 //! | [`core`] | `nimbus-core` | **the MBP contribution**: mechanisms, error curves + φ, curve provider, pricing, arbitrage |
 //! | [`optim`] | `nimbus-optim` | revenue DP, brute force, baselines, interpolation |
 //! | [`market`] | `nimbus-market` | seller/broker/buyer agents, end-to-end simulation |
+//! | [`server`] | `nimbus-server` | TCP broker service: wire protocol, admission control, client, load generator |
 //!
 //! ## Quickstart
 //!
@@ -74,6 +75,7 @@ pub use nimbus_market as market;
 pub use nimbus_ml as ml;
 pub use nimbus_optim as optim;
 pub use nimbus_randkit as randkit;
+pub use nimbus_server as server;
 
 /// One-stop imports for the common Nimbus workflow.
 pub mod prelude {
@@ -108,6 +110,10 @@ pub mod prelude {
         BaselineKind, InterpolationProblem, PricePoint, RevenueProblem,
     };
     pub use nimbus_randkit::{seeded_rng, split_stream, NimbusRng};
+    pub use nimbus_server::{
+        loadgen::{run_load, LoadConfig, LoadMode},
+        ClientConfig, NimbusClient, NimbusServer, ServerConfig,
+    };
 }
 
 pub use nimbus_core::ncp::inverse_ncp_grid;

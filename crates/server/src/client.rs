@@ -1,0 +1,136 @@
+//! Blocking client for the Nimbus wire protocol.
+//!
+//! One [`NimbusClient`] owns one TCP connection and issues synchronous
+//! request/response calls. A server-side `BUSY` frame (admission-control
+//! shedding) surfaces as the typed [`ServerError::Busy`]; any other error
+//! frame surfaces as [`ServerError::Remote`] with its machine-readable
+//! [`crate::wire::ErrorCode`]. Connect, read and write are all bounded by
+//! [`ClientConfig`] timeouts — a hung server costs the caller at most one
+//! timeout, never a stuck thread.
+
+use crate::error::ServerError;
+use crate::wire::{self, InfoMsg, MenuMsg, QuoteMsg, Request, Response, SaleMsg, StatsMsg};
+use crate::Result;
+use nimbus_market::PurchaseRequest;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side socket timeouts.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Response read timeout.
+    pub read_timeout: Duration,
+    /// Request write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A blocking connection to a [`crate::NimbusServer`].
+pub struct NimbusClient {
+    stream: TcpStream,
+}
+
+impl NimbusClient {
+    /// Connects to `addr` under `config`'s timeouts.
+    pub fn connect(addr: impl ToSocketAddrs, config: &ClientConfig) -> Result<NimbusClient> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let mut last_err: Option<std::io::Error> = None;
+        for candidate in addrs {
+            match TcpStream::connect_timeout(&candidate, config.connect_timeout) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(config.read_timeout))?;
+                    stream.set_write_timeout(Some(config.write_timeout))?;
+                    let _ = stream.set_nodelay(true);
+                    return Ok(NimbusClient { stream });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err
+            .unwrap_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "address resolved to nothing",
+                )
+            })
+            .into())
+    }
+
+    /// One synchronous round trip; typed errors come back as `Err`.
+    fn call(&mut self, request: &Request) -> Result<Response> {
+        wire::write_frame(&mut self.stream, &request.encode())?;
+        let payload = wire::read_frame(&mut self.stream)?;
+        match Response::decode(&payload)? {
+            Response::Busy => Err(ServerError::Busy),
+            Response::Error { code, message } => Err(ServerError::Remote { code, message }),
+            ok => Ok(ok),
+        }
+    }
+
+    /// Fetches the posted `(inverse NCP, price)` menu.
+    pub fn menu(&mut self) -> Result<MenuMsg> {
+        match self.call(&Request::Menu)? {
+            Response::Menu(m) => Ok(m),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Prices a purchase request; the quote pins the snapshot epoch.
+    pub fn quote(&mut self, request: PurchaseRequest) -> Result<QuoteMsg> {
+        match self.call(&Request::Quote(request))? {
+            Response::Quote(q) => Ok(q),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Redeems a quote with a payment; the sale carries the noisy weights.
+    pub fn commit(&mut self, quote: &QuoteMsg, payment: f64) -> Result<SaleMsg> {
+        match self.call(&Request::Commit {
+            x: quote.x,
+            snapshot_epoch: quote.snapshot_epoch,
+            payment,
+        })? {
+            Response::Commit(s) => Ok(s),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Quote then commit at exactly the quoted price.
+    pub fn buy(&mut self, request: PurchaseRequest) -> Result<SaleMsg> {
+        let quote = self.quote(request)?;
+        self.commit(&quote, quote.price)
+    }
+
+    /// Fetches listing metadata and ledger accounting.
+    pub fn info(&mut self) -> Result<InfoMsg> {
+        match self.call(&Request::Info)? {
+            Response::Info(i) => Ok(i),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the server's serving statistics.
+    pub fn stats(&mut self) -> Result<StatsMsg> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(response: &Response) -> ServerError {
+    ServerError::Protocol {
+        reason: format!("response variant does not match the request: {response:?}"),
+    }
+}

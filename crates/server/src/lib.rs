@@ -1,0 +1,66 @@
+//! # nimbus-server — the broker as a networked service
+//!
+//! The SIGMOD'19 Nimbus demo is a *service*: buyers drive live purchase
+//! sessions against a running broker, not a library. This crate is that
+//! serving layer, built on std TCP alone (the workspace vendors no async
+//! runtime or serialization crates):
+//!
+//! * [`wire`] — a hand-rolled, length-prefixed, explicitly versioned
+//!   binary protocol covering the full quote→commit epoch protocol:
+//!   `MENU`, `QUOTE`, `COMMIT` (weight vectors included in the reply),
+//!   `INFO` and `STATS`, plus typed `BUSY` and error frames.
+//! * [`server`] — [`NimbusServer`]: a sharded thread-pool accept loop
+//!   with bounded admission queues that shed load with `BUSY` instead of
+//!   stalling, per-connection read/write timeouts, graceful shutdown that
+//!   drains in-flight requests, and an atomic per-op stats registry.
+//! * [`client`] — [`NimbusClient`]: a blocking connection with typed
+//!   errors (`Busy` vs `Remote { code, .. }`) and full timeouts.
+//! * [`loadgen`] — the N-threads × M-requests loopback load generator
+//!   behind the `server_throughput` bench and `nimbus client load`.
+//! * [`stats`] — [`StatsRegistry`]: lock-free counters and fixed-bucket
+//!   latency histograms (p50/p99) served by `STATS`.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use nimbus_server::{ClientConfig, NimbusClient, NimbusServer, ServerConfig};
+//! use nimbus_market::PurchaseRequest;
+//! use std::sync::Arc;
+//!
+//! # fn doc(broker: nimbus_market::Broker) -> nimbus_server::Result<()> {
+//! // Server side: the broker must have an open market.
+//! let server = NimbusServer::start(
+//!     Arc::new(broker),
+//!     "acme-data",
+//!     "127.0.0.1:0",
+//!     ServerConfig::default(),
+//! )?;
+//! let addr = server.local_addr();
+//!
+//! // Client side: quote → commit, epochs checked end to end.
+//! let mut client = NimbusClient::connect(addr, &ClientConfig::default())?;
+//! let quote = client.quote(PurchaseRequest::ErrorBudget(0.05))?;
+//! let sale = client.commit(&quote, quote.price)?;
+//! assert_eq!(sale.weights.is_empty(), false);
+//! server.shutdown();
+//! # Ok(()) }
+//! ```
+
+pub mod client;
+pub mod error;
+pub mod loadgen;
+pub mod server;
+pub mod stats;
+pub mod wire;
+
+pub use client::{ClientConfig, NimbusClient};
+pub use error::ServerError;
+pub use loadgen::{run_load, LoadConfig, LoadMode, LoadReport};
+pub use server::{NimbusServer, ServerConfig};
+pub use stats::{LatencyHistogram, Op, StatsRegistry};
+pub use wire::{
+    ErrorCode, InfoMsg, MenuMsg, OpStatsMsg, QuoteMsg, Request, Response, SaleMsg, StatsMsg,
+};
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, ServerError>;

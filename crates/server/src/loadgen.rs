@@ -1,0 +1,169 @@
+//! Loopback load generator: N client threads × M requests against one
+//! server, reporting throughput and admission-control shed rate.
+//!
+//! Shared by the `server_throughput` bench, the `nimbus client load` CLI
+//! subcommand and the end-to-end tests. Each thread opens its own
+//! connection and issues its requests back to back; when a connection is
+//! shed (`BUSY`) or fails, the thread reconnects and keeps going, counting
+//! every outcome. The report therefore reconciles exactly:
+//! `attempted == ok + busy + errors`, and for [`LoadMode::Buy`] the
+//! client-observed revenue can be checked against the server-side ledger.
+
+use crate::client::{ClientConfig, NimbusClient};
+use crate::Result;
+use nimbus_market::PurchaseRequest;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// What each load-generator request does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Read-only pricing: one `QUOTE` per request.
+    Quote,
+    /// Full purchase: `QUOTE` then `COMMIT` at the quoted price.
+    Buy,
+}
+
+/// Load-generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadConfig {
+    /// Concurrent client threads.
+    pub threads: usize,
+    /// Requests issued per thread.
+    pub requests_per_thread: usize,
+    /// Per-request mode.
+    pub mode: LoadMode,
+    /// Socket timeouts for every connection.
+    pub client: ClientConfig,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            threads: 4,
+            requests_per_thread: 64,
+            mode: LoadMode::Quote,
+            client: ClientConfig::default(),
+        }
+    }
+}
+
+/// Aggregate outcome of one load run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LoadReport {
+    /// Requests attempted (`threads × requests_per_thread`).
+    pub attempted: u64,
+    /// Requests that completed successfully.
+    pub ok: u64,
+    /// Requests answered with the typed `BUSY` shed.
+    pub busy: u64,
+    /// Requests that failed any other way (timeouts, resets, remote errors).
+    pub errors: u64,
+    /// Sum of client-observed sale prices (only grows in [`LoadMode::Buy`]).
+    pub revenue: f64,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+}
+
+impl LoadReport {
+    /// Successful requests per second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.ok as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// Fraction of attempts shed with `BUSY`.
+    pub fn shed_rate(&self) -> f64 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            self.busy as f64 / self.attempted as f64
+        }
+    }
+}
+
+/// The request issued for attempt `i` of thread `t`: a deterministic
+/// spread over the menu support, same shape as the in-process throughput
+/// bench.
+fn request_for(thread: usize, i: usize, per_thread: usize) -> PurchaseRequest {
+    PurchaseRequest::AtInverseNcp(1.0 + ((thread * per_thread + i) % 99) as f64)
+}
+
+/// Runs the load: `threads × requests_per_thread` requests against
+/// `addr`, each thread on its own connection(s).
+pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
+    let started = Instant::now();
+    let per_thread: Vec<LoadReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.threads)
+            .map(|t| scope.spawn(move || thread_load(addr, config, t)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load thread panicked"))
+            .collect()
+    });
+    let mut total = LoadReport {
+        elapsed: started.elapsed(),
+        ..LoadReport::default()
+    };
+    for r in per_thread {
+        total.attempted += r.attempted;
+        total.ok += r.ok;
+        total.busy += r.busy;
+        total.errors += r.errors;
+        total.revenue += r.revenue;
+    }
+    total
+}
+
+fn thread_load(addr: SocketAddr, config: &LoadConfig, thread: usize) -> LoadReport {
+    let mut report = LoadReport::default();
+    let mut client: Option<NimbusClient> = None;
+    for i in 0..config.requests_per_thread {
+        report.attempted += 1;
+        let outcome = attempt(&mut client, addr, config, thread, i);
+        match outcome {
+            Ok(price) => {
+                report.ok += 1;
+                report.revenue += price;
+            }
+            Err(e) => {
+                // The connection state is unknown after any failure;
+                // reconnect before the next attempt.
+                client = None;
+                if e.is_busy() {
+                    report.busy += 1;
+                } else {
+                    report.errors += 1;
+                }
+            }
+        }
+    }
+    report
+}
+
+/// One request on a cached connection (re-established on demand).
+/// Returns the sale price for `Buy`, `0.0` for `Quote`.
+fn attempt(
+    client: &mut Option<NimbusClient>,
+    addr: SocketAddr,
+    config: &LoadConfig,
+    thread: usize,
+    i: usize,
+) -> Result<f64> {
+    if client.is_none() {
+        *client = Some(NimbusClient::connect(addr, &config.client)?);
+    }
+    let conn = client.as_mut().expect("connection just established");
+    let request = request_for(thread, i, config.requests_per_thread);
+    match config.mode {
+        LoadMode::Quote => {
+            conn.quote(request)?;
+            Ok(0.0)
+        }
+        LoadMode::Buy => Ok(conn.buy(request)?.price),
+    }
+}

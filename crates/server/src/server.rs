@@ -1,0 +1,506 @@
+//! The broker service: a sharded thread-pool TCP server over std.
+//!
+//! # Architecture
+//!
+//! ```text
+//!                 ┌─────────────┐      shard 0: bounded queue ─ workers
+//!   TCP accept ──▶│ accept loop │─┬──▶ shard 1: bounded queue ─ workers
+//!   (non-block    └─────────────┘ │            …
+//!    poll loop)        │          └──▶ shard K: bounded queue ─ workers
+//!                      └── queue full ⇒ typed BUSY frame + close
+//! ```
+//!
+//! * **Sharded admission.** Accepted connections round-robin onto `K`
+//!   shards, each a bounded `Mutex<VecDeque<TcpStream>> + Condvar` queue
+//!   drained by its own worker threads. Sharding keeps queue locks short
+//!   and independent; a stall in one shard's workers cannot block
+//!   admission to the others.
+//! * **Load shedding, not stalling.** When a shard's queue is at
+//!   capacity the connection is *shed*: a detached rejector writes one
+//!   typed `BUSY` frame, drains the peer briefly (so the frame survives
+//!   the close on loopback), and hangs up. The accept loop never blocks
+//!   on a slow client, and a flood beyond `shards × queue_capacity`
+//!   resolves as explicit `BUSY` responses instead of unbounded queueing.
+//! * **Timeouts everywhere.** Every served connection gets read and write
+//!   timeouts, so a dead or byzantine peer costs a worker at most one
+//!   timeout interval; shed connections use an even shorter drain timeout.
+//! * **Graceful shutdown.** [`NimbusServer::shutdown`] flips one atomic
+//!   flag. The accept loop exits at its next poll; workers finish the
+//!   request currently in flight (responses are never truncated), answer
+//!   queued-but-unserved connections with a `ShuttingDown` error frame,
+//!   and join. Total shutdown time is bounded by the read timeout.
+//! * **Stats.** Every handled request lands in the shared
+//!   [`StatsRegistry`] (atomic counters + fixed-bucket latency
+//!   histograms), served back over the wire by `STATS`.
+//!
+//! The broker side is exactly the in-process API: `MENU`/`QUOTE` are
+//! lock-free snapshot reads, `COMMIT` routes through
+//! [`Broker::commit_at`] and therefore gets the same epoch check, payment
+//! validation and price re-derivation as a local caller.
+
+use crate::error::ServerError;
+use crate::stats::{Op, StatsRegistry};
+use crate::wire::{self, ErrorCode, InfoMsg, MenuMsg, QuoteMsg, Request, Response, SaleMsg};
+use crate::Result;
+use nimbus_market::{Broker, Quote};
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Cap on concurrently detached rejector threads; sheds beyond it are
+/// dropped without the courtesy `BUSY` frame (the peer sees a reset).
+const MAX_REJECTORS: usize = 256;
+
+/// Server tuning knobs, validated by [`NimbusServer::start`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Number of admission shards (`≥ 1`).
+    pub shards: usize,
+    /// Worker threads per shard (`≥ 1`).
+    pub workers_per_shard: usize,
+    /// Pending-connection bound per shard (`≥ 1`); beyond it, shed.
+    pub queue_capacity: usize,
+    /// Per-connection read timeout (also bounds shutdown latency).
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Accept-loop poll interval while the listener is idle.
+    pub accept_poll: Duration,
+    /// Artificial service time per request, for load and shedding tests.
+    pub handle_delay: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            shards: 2,
+            workers_per_shard: 2,
+            queue_capacity: 16,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            accept_poll: Duration::from_millis(2),
+            handle_delay: None,
+        }
+    }
+}
+
+/// One admission shard: a bounded queue of accepted connections.
+struct Shard {
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+}
+
+struct Inner {
+    broker: Arc<Broker>,
+    listing: String,
+    config: ServerConfig,
+    stats: Arc<StatsRegistry>,
+    stop: AtomicBool,
+    shards: Vec<Shard>,
+    rejectors: AtomicUsize,
+}
+
+/// A running broker service bound to a TCP address.
+///
+/// Dropping the handle shuts the server down gracefully (equivalent to
+/// [`NimbusServer::shutdown`]).
+pub struct NimbusServer {
+    inner: Arc<Inner>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl NimbusServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `broker` — which must already have an open market — under `config`.
+    pub fn start(
+        broker: Arc<Broker>,
+        listing: impl Into<String>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> Result<NimbusServer> {
+        if config.shards < 1 || config.workers_per_shard < 1 || config.queue_capacity < 1 {
+            return Err(ServerError::InvalidConfig {
+                reason: format!(
+                    "shards ({}), workers_per_shard ({}) and queue_capacity ({}) must all be ≥ 1",
+                    config.shards, config.workers_per_shard, config.queue_capacity
+                ),
+            });
+        }
+        if config.read_timeout.is_zero()
+            || config.write_timeout.is_zero()
+            || config.accept_poll.is_zero()
+        {
+            return Err(ServerError::InvalidConfig {
+                reason: "timeouts and the accept poll interval must be non-zero".to_string(),
+            });
+        }
+        if !broker.is_open() {
+            return Err(nimbus_market::MarketError::MarketNotOpen.into());
+        }
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let inner = Arc::new(Inner {
+            broker,
+            listing: listing.into(),
+            config,
+            stats: Arc::new(StatsRegistry::new()),
+            stop: AtomicBool::new(false),
+            shards: (0..config.shards)
+                .map(|_| Shard {
+                    queue: Mutex::new(VecDeque::new()),
+                    available: Condvar::new(),
+                })
+                .collect(),
+            rejectors: AtomicUsize::new(0),
+        });
+
+        let mut workers = Vec::with_capacity(config.shards * config.workers_per_shard);
+        for shard_idx in 0..config.shards {
+            for worker_idx in 0..config.workers_per_shard {
+                let inner = inner.clone();
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("nimbus-worker-{shard_idx}-{worker_idx}"))
+                        .spawn(move || worker_loop(&inner, shard_idx))
+                        .expect("spawn worker thread"),
+                );
+            }
+        }
+        let accept = {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("nimbus-accept".to_string())
+                .spawn(move || accept_loop(&inner, listener))
+                .expect("spawn accept thread")
+        };
+
+        Ok(NimbusServer {
+            inner,
+            local_addr,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared stats registry (same counters `STATS` serves).
+    pub fn stats(&self) -> Arc<StatsRegistry> {
+        self.inner.stats.clone()
+    }
+
+    /// The broker being served.
+    pub fn broker(&self) -> Arc<Broker> {
+        self.inner.broker.clone()
+    }
+
+    /// Gracefully shuts down: stop accepting, finish in-flight requests,
+    /// answer queued connections with `ShuttingDown`, join every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        for shard in &self.inner.shards {
+            shard.available.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NimbusServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
+    let mut next_shard = 0usize;
+    while !inner.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                inner.stats.connection_accepted();
+                let shard_idx = next_shard % inner.shards.len();
+                next_shard = next_shard.wrapping_add(1);
+                if let Some(rejected) = try_enqueue(inner, shard_idx, stream) {
+                    shed(inner, rejected);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(inner.config.accept_poll);
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. EMFILE): back off briefly
+                // rather than spinning.
+                std::thread::sleep(inner.config.accept_poll);
+            }
+        }
+    }
+}
+
+/// Enqueues onto the shard's bounded queue; gives the stream back when the
+/// queue is full so the caller can shed it.
+fn try_enqueue(inner: &Inner, shard_idx: usize, stream: TcpStream) -> Option<TcpStream> {
+    let shard = &inner.shards[shard_idx];
+    let mut queue = shard.queue.lock().expect("shard queue poisoned");
+    if queue.len() >= inner.config.queue_capacity {
+        return Some(stream);
+    }
+    queue.push_back(stream);
+    drop(queue);
+    shard.available.notify_one();
+    None
+}
+
+/// Sheds one connection with a typed `BUSY` frame on a detached rejector
+/// thread so the accept loop never blocks on the peer. The rejector
+/// drains the peer's request bytes before closing: dropping a socket with
+/// unread input resets the connection, which could destroy the `BUSY`
+/// frame in flight.
+fn shed(inner: &Arc<Inner>, stream: TcpStream) {
+    inner.stats.busy_rejection();
+    if inner.rejectors.fetch_add(1, Ordering::SeqCst) >= MAX_REJECTORS {
+        inner.rejectors.fetch_sub(1, Ordering::SeqCst);
+        return; // hard-drop: the flood is beyond even the shed budget
+    }
+    let inner = inner.clone();
+    let _ = std::thread::Builder::new()
+        .name("nimbus-reject".to_string())
+        .spawn(move || {
+            let drain_timeout = inner.config.read_timeout.min(Duration::from_millis(250));
+            let _ = stream.set_write_timeout(Some(inner.config.write_timeout));
+            let _ = stream.set_read_timeout(Some(drain_timeout));
+            let mut stream = stream;
+            let _ = wire::write_frame(&mut stream, &Response::Busy.encode());
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            let mut sink = [0u8; 256];
+            while let Ok(n) = std::io::Read::read(&mut stream, &mut sink) {
+                if n == 0 {
+                    break;
+                }
+            }
+            inner.rejectors.fetch_sub(1, Ordering::SeqCst);
+        });
+}
+
+fn worker_loop(inner: &Arc<Inner>, shard_idx: usize) {
+    let shard = &inner.shards[shard_idx];
+    loop {
+        let next = {
+            let mut queue = shard.queue.lock().expect("shard queue poisoned");
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if inner.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shard
+                    .available
+                    .wait(queue)
+                    .expect("shard queue poisoned while waiting");
+            }
+        };
+        match next {
+            None => break,
+            Some(mut stream) => {
+                if inner.stop.load(Ordering::SeqCst) {
+                    // Shutdown drain: the connection was admitted but not
+                    // yet served — answer it honestly instead of hanging up.
+                    let _ = stream.set_write_timeout(Some(inner.config.write_timeout));
+                    let _ = wire::write_frame(
+                        &mut stream,
+                        &Response::Error {
+                            code: ErrorCode::ShuttingDown,
+                            message: "server is draining for shutdown".to_string(),
+                        }
+                        .encode(),
+                    );
+                } else {
+                    serve_connection(inner, stream);
+                }
+            }
+        }
+    }
+}
+
+/// Serves one connection's request/response loop until the peer hangs up,
+/// a timeout fires, a protocol violation occurs, or shutdown begins.
+fn serve_connection(inner: &Inner, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    if stream
+        .set_read_timeout(Some(inner.config.read_timeout))
+        .is_err()
+        || stream
+            .set_write_timeout(Some(inner.config.write_timeout))
+            .is_err()
+    {
+        return;
+    }
+    loop {
+        // Shutdown drains between requests: the response to a request
+        // already read is always written before the connection closes.
+        if inner.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let payload = match wire::read_frame_opt(&mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => break, // clean close between frames
+            Err(ServerError::FrameTooLarge { len }) => {
+                inner.stats.protocol_error();
+                let _ = wire::write_frame(
+                    &mut stream,
+                    &Response::Error {
+                        code: ErrorCode::BadFrame,
+                        message: format!(
+                            "frame of {len} bytes exceeds the {} byte limit",
+                            wire::MAX_FRAME_LEN
+                        ),
+                    }
+                    .encode(),
+                );
+                break; // framing is lost past an oversized announcement
+            }
+            Err(_) => break, // timeout / reset / truncated frame
+        };
+        let started = Instant::now();
+        let (response, recorded) = handle_payload(inner, &payload);
+        match recorded {
+            Some((op, ok)) => inner.stats.record(op, ok, started.elapsed()),
+            None => inner.stats.protocol_error(),
+        }
+        if wire::write_frame(&mut stream, &response.encode()).is_err() {
+            break;
+        }
+        // A malformed frame poisons the stream's framing assumptions; stop
+        // reading from it after answering.
+        if recorded.is_none() {
+            break;
+        }
+    }
+}
+
+/// Decodes and executes one request payload. Returns the response plus
+/// `Some((op, ok))` when the payload decoded to a request, `None` for
+/// protocol errors.
+fn handle_payload(inner: &Inner, payload: &[u8]) -> (Response, Option<(Op, bool)>) {
+    let request = match Request::decode(payload) {
+        Ok(request) => request,
+        Err(ServerError::UnsupportedVersion { got }) => {
+            return (
+                Response::Error {
+                    code: ErrorCode::UnsupportedVersion,
+                    message: format!("server speaks version {}, got {got}", wire::VERSION),
+                },
+                None,
+            );
+        }
+        Err(e) => {
+            return (
+                Response::Error {
+                    code: ErrorCode::BadFrame,
+                    message: e.to_string(),
+                },
+                None,
+            );
+        }
+    };
+    if let Some(delay) = inner.config.handle_delay {
+        std::thread::sleep(delay);
+    }
+    let op = match request {
+        Request::Menu => Op::Menu,
+        Request::Quote(_) => Op::Quote,
+        Request::Commit { .. } => Op::Commit,
+        Request::Info => Op::Info,
+        Request::Stats => Op::Stats,
+    };
+    let result = execute(inner, request);
+    match result {
+        Ok(response) => (response, Some((op, true))),
+        Err(e) => (
+            Response::Error {
+                code: ErrorCode::for_market_error(&e),
+                message: e.to_string(),
+            },
+            Some((op, false)),
+        ),
+    }
+}
+
+fn execute(inner: &Inner, request: Request) -> nimbus_market::Result<Response> {
+    let broker = &inner.broker;
+    match request {
+        Request::Menu => {
+            let snapshot = broker
+                .snapshot()
+                .ok_or(nimbus_market::MarketError::MarketNotOpen)?;
+            Ok(Response::Menu(MenuMsg {
+                epoch: snapshot.epoch(),
+                metric: snapshot.metric_name().to_string(),
+                points: snapshot.menu(),
+            }))
+        }
+        Request::Quote(purchase) => {
+            let quote: Quote = broker.quote_request(purchase)?;
+            Ok(Response::Quote(QuoteMsg {
+                x: quote.x,
+                delta: quote.delta,
+                price: quote.price,
+                expected_error: quote.expected_error,
+                metric: quote.metric.to_string(),
+                snapshot_epoch: quote.snapshot_epoch,
+            }))
+        }
+        Request::Commit {
+            x,
+            snapshot_epoch,
+            payment,
+        } => {
+            let sale = broker.commit_at(x, snapshot_epoch, payment)?;
+            Ok(Response::Commit(SaleMsg {
+                inverse_ncp: sale.inverse_ncp,
+                price: sale.price,
+                expected_error: sale.expected_error,
+                metric: sale.metric.to_string(),
+                transaction: sale.transaction.sequence,
+                weights: sale.model.weights().as_slice().to_vec(),
+            }))
+        }
+        Request::Info => {
+            let snapshot = broker
+                .snapshot()
+                .ok_or(nimbus_market::MarketError::MarketNotOpen)?;
+            let stats = broker.market_stats();
+            let (x_lo, x_hi) = snapshot.support();
+            Ok(Response::Info(InfoMsg {
+                listing: inner.listing.clone(),
+                metric: snapshot.metric_name().to_string(),
+                epoch: snapshot.epoch(),
+                menu_len: snapshot.menu().len() as u64,
+                x_lo,
+                x_hi,
+                expected_revenue: stats.expected_revenue.unwrap_or(0.0),
+                sales: stats.sales as u64,
+                revenue: stats.revenue,
+            }))
+        }
+        Request::Stats => Ok(Response::Stats(inner.stats.snapshot())),
+    }
+}

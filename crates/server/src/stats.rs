@@ -1,0 +1,252 @@
+//! Lock-free serving statistics: per-op counters and latency histograms.
+//!
+//! Every worker thread records into shared atomics — no mutex sits on the
+//! hot path, so `STATS` observability never serializes serving. Latency
+//! uses a fixed power-of-two bucket histogram over microseconds: bucket
+//! `i` covers `[2^i, 2^(i+1))` µs, the last bucket absorbing everything
+//! slower. Quantiles are read as the *upper bound* of the bucket holding
+//! the requested rank, so a reported p99 is a guaranteed upper estimate at
+//! 2× resolution — plenty for load shedding and regression tracking, at
+//! the cost of one `fetch_add` per request.
+//!
+//! Counter reads are `Relaxed` snapshots: totals observed concurrently
+//! with traffic may be mid-update relative to each other, which is the
+//! usual (and here acceptable) contract for monitoring counters.
+
+use crate::wire::{OpStatsMsg, StatsMsg};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of histogram buckets: `[1µs, 2µs, 4µs, …, ~2.1s, +∞)`.
+pub const N_LATENCY_BUCKETS: usize = 22;
+
+/// The five wire operations, in registry order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `MENU`.
+    Menu = 0,
+    /// `QUOTE`.
+    Quote = 1,
+    /// `COMMIT`.
+    Commit = 2,
+    /// `INFO`.
+    Info = 3,
+    /// `STATS`.
+    Stats = 4,
+}
+
+impl Op {
+    /// All operations, in registry order.
+    pub const ALL: [Op; 5] = [Op::Menu, Op::Quote, Op::Commit, Op::Info, Op::Stats];
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Menu => "menu",
+            Op::Quote => "quote",
+            Op::Commit => "commit",
+            Op::Info => "info",
+            Op::Stats => "stats",
+        }
+    }
+}
+
+/// Fixed-bucket latency histogram (power-of-two µs buckets).
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; N_LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().max(1) as u64;
+        let idx = (63 - micros.leading_zeros()) as usize;
+        self.buckets[idx.min(N_LATENCY_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Upper bucket bound (µs) of the `q`-quantile, `0` when empty.
+    /// `q` is clamped to `[0, 1]`.
+    pub fn quantile_upper_micros(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << N_LATENCY_BUCKETS
+    }
+}
+
+/// One operation's counters.
+#[derive(Debug, Default)]
+pub struct OpCounters {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+/// The server's shared statistics registry.
+#[derive(Debug, Default)]
+pub struct StatsRegistry {
+    connections: AtomicU64,
+    busy_rejections: AtomicU64,
+    protocol_errors: AtomicU64,
+    ops: [OpCounters; 5],
+}
+
+impl StatsRegistry {
+    /// Creates an all-zero registry.
+    pub fn new() -> Self {
+        StatsRegistry::default()
+    }
+
+    /// Records one handled request for `op`. `ok = false` means the
+    /// request was answered with a typed error frame.
+    pub fn record(&self, op: Op, ok: bool, latency: Duration) {
+        let counters = &self.ops[op as usize];
+        counters.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        counters.latency.record(latency);
+    }
+
+    /// Records an accepted connection.
+    pub fn connection_accepted(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection shed with `BUSY` at admission.
+    pub fn busy_rejection(&self) {
+        self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a frame that failed to decode.
+    pub fn protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections shed so far (test/bench hook).
+    pub fn busy_rejections(&self) -> u64 {
+        self.busy_rejections.load(Ordering::Relaxed)
+    }
+
+    /// Requests handled for one op so far (test/bench hook).
+    pub fn requests(&self, op: Op) -> u64 {
+        self.ops[op as usize].requests.load(Ordering::Relaxed)
+    }
+
+    /// Renders the registry as the `STATS` wire message.
+    pub fn snapshot(&self) -> StatsMsg {
+        StatsMsg {
+            connections: self.connections.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            ops: Op::ALL
+                .iter()
+                .map(|&op| {
+                    let c = &self.ops[op as usize];
+                    OpStatsMsg {
+                        op: op.name().to_string(),
+                        requests: c.requests.load(Ordering::Relaxed),
+                        errors: c.errors.load(Ordering::Relaxed),
+                        p50_micros: c.latency.quantile_upper_micros(0.50),
+                        p99_micros: c.latency.quantile_upper_micros(0.99),
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        let h = LatencyHistogram::default();
+        // 100 obs at ~3µs (bucket [2,4) → upper bound 4) and one at ~1ms.
+        for _ in 0..100 {
+            h.record(Duration::from_micros(3));
+        }
+        h.record(Duration::from_micros(1000));
+        assert_eq!(h.count(), 101);
+        assert_eq!(h.quantile_upper_micros(0.50), 4);
+        // p99 rank = ceil(0.99 * 101) = 100 → still in the 3µs bucket.
+        assert_eq!(h.quantile_upper_micros(0.99), 4);
+        // p100 reaches the 1ms observation: bucket [512, 1024) → 1024.
+        assert_eq!(h.quantile_upper_micros(1.0), 1024);
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_upper_micros(0.5), 0);
+        h.record(Duration::ZERO); // clamps to 1µs
+        h.record(Duration::from_secs(3600)); // clamps to the overflow bucket
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile_upper_micros(0.0), 2);
+        assert_eq!(h.quantile_upper_micros(1.0), 1u64 << N_LATENCY_BUCKETS);
+    }
+
+    #[test]
+    fn registry_counts_per_op_and_renders_snapshot() {
+        let reg = StatsRegistry::new();
+        reg.connection_accepted();
+        reg.connection_accepted();
+        reg.busy_rejection();
+        reg.protocol_error();
+        for _ in 0..5 {
+            reg.record(Op::Quote, true, Duration::from_micros(10));
+        }
+        reg.record(Op::Quote, false, Duration::from_micros(10));
+        reg.record(Op::Commit, true, Duration::from_micros(100));
+        let snap = reg.snapshot();
+        assert_eq!(snap.connections, 2);
+        assert_eq!(snap.busy_rejections, 1);
+        assert_eq!(snap.protocol_errors, 1);
+        assert_eq!(snap.ops.len(), 5);
+        let quote = snap.ops.iter().find(|o| o.op == "quote").unwrap();
+        assert_eq!(quote.requests, 6);
+        assert_eq!(quote.errors, 1);
+        assert!(quote.p50_micros >= 16);
+        let menu = snap.ops.iter().find(|o| o.op == "menu").unwrap();
+        assert_eq!(menu.requests, 0);
+        assert_eq!(menu.p50_micros, 0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let reg = std::sync::Arc::new(StatsRegistry::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let reg = reg.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        reg.record(Op::Quote, true, Duration::from_micros(5));
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.requests(Op::Quote), 8000);
+        assert_eq!(reg.snapshot().ops[Op::Quote as usize].requests, 8000);
+    }
+}

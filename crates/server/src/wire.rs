@@ -1,0 +1,958 @@
+//! The Nimbus wire protocol: hand-rolled, length-prefixed, versioned.
+//!
+//! The build environment vendors no serialization or async crates, so the
+//! protocol is a small explicit binary format over std TCP:
+//!
+//! ```text
+//! frame   := u32_be payload_len | payload           (len ≤ MAX_FRAME_LEN)
+//! payload := 'N' 'B' version:u8 opcode:u8 body
+//! ```
+//!
+//! Every integer is big-endian; an `f64` travels as its IEEE-754 bit
+//! pattern in a `u64` (bitwise round-trip, NaN-safe); a string is
+//! `u16_be len | utf8 bytes` capped at [`MAX_STRING_LEN`]; an `f64` vector
+//! is `u32_be len | f64*` capped at [`MAX_VEC_LEN`]. Decoders reject
+//! trailing bytes, so a frame means exactly one message.
+//!
+//! # Operations
+//!
+//! | opcode | request | response |
+//! |---|---|---|
+//! | `0x01` / `0x81` | `MENU` | posted `(inverse NCP, price)` table + epoch |
+//! | `0x02` / `0x82` | `QUOTE` (one of the three §3.2 purchase options) | priced [`QuoteMsg`] pinned to a snapshot epoch |
+//! | `0x03` / `0x83` | `COMMIT` (quoted x, epoch, payment) | [`SaleMsg`] **including the noisy weight vector** |
+//! | `0x04` / `0x84` | `INFO` | listing metadata + ledger accounting |
+//! | `0x05` / `0x85` | `STATS` | per-op request/error counters + p50/p99 latency |
+//! | — / `0xBB` | — | `BUSY`: shed by admission control |
+//! | — / `0xEE` | — | typed error: [`ErrorCode`] + message |
+//!
+//! The quote→commit epoch protocol crosses the wire intact: `QUOTE`
+//! returns the snapshot epoch the price was derived from, `COMMIT` sends
+//! it back, and a re-opened market answers with
+//! [`ErrorCode::QuoteExpired`] exactly like the in-process API.
+//!
+//! Versioning is explicit and checked on both sides: a payload whose
+//! version byte differs from [`VERSION`] decodes to
+//! [`ServerError::UnsupportedVersion`], which the server answers with a
+//! typed error frame (the error frame itself is always encoded at the
+//! server's version).
+
+use crate::error::ServerError;
+use crate::Result;
+use nimbus_market::{MarketError, PurchaseRequest};
+use std::io::{Read, Write};
+
+/// Leading magic bytes of every payload.
+pub const MAGIC: [u8; 2] = *b"NB";
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Hard cap on a frame's payload length (framing limit: a peer cannot make
+/// the other side allocate more than this per frame).
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+/// Cap on an encoded string.
+pub const MAX_STRING_LEN: usize = 1 << 10;
+/// Cap on an encoded `f64` vector (covers menus and weight vectors).
+pub const MAX_VEC_LEN: usize = 1 << 16;
+
+// Request opcodes.
+const OP_MENU: u8 = 0x01;
+const OP_QUOTE: u8 = 0x02;
+const OP_COMMIT: u8 = 0x03;
+const OP_INFO: u8 = 0x04;
+const OP_STATS: u8 = 0x05;
+// Response opcodes.
+const OP_R_MENU: u8 = 0x81;
+const OP_R_QUOTE: u8 = 0x82;
+const OP_R_COMMIT: u8 = 0x83;
+const OP_R_INFO: u8 = 0x84;
+const OP_R_STATS: u8 = 0x85;
+const OP_R_BUSY: u8 = 0xBB;
+const OP_R_ERROR: u8 = 0xEE;
+
+/// Machine-readable error codes carried by error frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// Malformed frame (magic, truncation, trailing bytes, caps).
+    BadFrame = 1,
+    /// Version byte mismatch.
+    UnsupportedVersion = 2,
+    /// Opcode not in the table above.
+    UnknownOpcode = 3,
+    /// Broker has no published snapshot.
+    MarketNotOpen = 4,
+    /// Commit carried a superseded snapshot epoch.
+    QuoteExpired = 5,
+    /// Payment below the re-derived posted price.
+    InsufficientPayment = 6,
+    /// Payment not a finite, non-negative amount.
+    InvalidPayment = 7,
+    /// Error/price budget unsatisfiable on the posted menu.
+    Unsatisfiable = 8,
+    /// Request parameters invalid (e.g. non-positive inverse NCP).
+    InvalidRequest = 9,
+    /// Server is draining for shutdown.
+    ShuttingDown = 10,
+    /// Anything else on the server side.
+    Internal = 11,
+}
+
+impl ErrorCode {
+    fn from_u16(raw: u16) -> Option<ErrorCode> {
+        use ErrorCode::*;
+        Some(match raw {
+            1 => BadFrame,
+            2 => UnsupportedVersion,
+            3 => UnknownOpcode,
+            4 => MarketNotOpen,
+            5 => QuoteExpired,
+            6 => InsufficientPayment,
+            7 => InvalidPayment,
+            8 => Unsatisfiable,
+            9 => InvalidRequest,
+            10 => ShuttingDown,
+            11 => Internal,
+            _ => return None,
+        })
+    }
+
+    /// Maps a broker-side failure onto its wire code.
+    pub fn for_market_error(e: &MarketError) -> ErrorCode {
+        match e {
+            MarketError::MarketNotOpen => ErrorCode::MarketNotOpen,
+            MarketError::QuoteExpired { .. } => ErrorCode::QuoteExpired,
+            MarketError::InsufficientPayment { .. } => ErrorCode::InsufficientPayment,
+            MarketError::InvalidPayment { .. } => ErrorCode::InvalidPayment,
+            MarketError::Core(nimbus_core::CoreError::BudgetUnsatisfiable { .. }) => {
+                ErrorCode::Unsatisfiable
+            }
+            MarketError::Core(_) => ErrorCode::InvalidRequest,
+            _ => ErrorCode::Internal,
+        }
+    }
+}
+
+/// A client→server message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Request {
+    /// Fetch the posted menu.
+    Menu,
+    /// Price one of the three §3.2 purchase options.
+    Quote(PurchaseRequest),
+    /// Redeem a quote by `(x, epoch)` identity with a payment.
+    Commit {
+        /// Quoted inverse NCP.
+        x: f64,
+        /// Snapshot epoch the quote was priced against.
+        snapshot_epoch: u64,
+        /// Payment offered.
+        payment: f64,
+    },
+    /// Fetch listing metadata and ledger accounting.
+    Info,
+    /// Fetch the server's per-op serving statistics.
+    Stats,
+}
+
+impl Request {
+    /// Stable lowercase operation name (stats registry key).
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Menu => "menu",
+            Request::Quote(_) => "quote",
+            Request::Commit { .. } => "commit",
+            Request::Info => "info",
+            Request::Stats => "stats",
+        }
+    }
+}
+
+/// `MENU` response body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MenuMsg {
+    /// Epoch of the snapshot the menu was read from.
+    pub epoch: u64,
+    /// Metric the market is denominated in.
+    pub metric: String,
+    /// The posted `(inverse NCP, price)` table.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// `QUOTE` response body — the wire image of a broker `Quote`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuoteMsg {
+    /// Inverse NCP of the quoted version.
+    pub x: f64,
+    /// Noise control parameter δ = 1/x.
+    pub delta: f64,
+    /// Posted price.
+    pub price: f64,
+    /// Expected error under the market's metric.
+    pub expected_error: f64,
+    /// Metric name the error is denominated in.
+    pub metric: String,
+    /// Epoch the quote is pinned to; `COMMIT` must echo it.
+    pub snapshot_epoch: u64,
+}
+
+/// `COMMIT` response body — the completed sale, weights included.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaleMsg {
+    /// Inverse NCP of the version sold.
+    pub inverse_ncp: f64,
+    /// Price charged (re-derived server-side).
+    pub price: f64,
+    /// Expected error of the delivered instance.
+    pub expected_error: f64,
+    /// Metric name.
+    pub metric: String,
+    /// Ledger transaction id.
+    pub transaction: u64,
+    /// The noisy model's weight vector.
+    pub weights: Vec<f64>,
+}
+
+/// `INFO` response body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InfoMsg {
+    /// Listing (seller/dataset) name.
+    pub listing: String,
+    /// Metric the market is denominated in.
+    pub metric: String,
+    /// Published snapshot epoch.
+    pub epoch: u64,
+    /// Number of posted menu points.
+    pub menu_len: u64,
+    /// Menu support, low end.
+    pub x_lo: f64,
+    /// Menu support, high end.
+    pub x_hi: f64,
+    /// Expected revenue of the posted prices.
+    pub expected_revenue: f64,
+    /// Completed sales so far.
+    pub sales: u64,
+    /// Revenue collected so far.
+    pub revenue: f64,
+}
+
+/// One operation's row in a `STATS` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpStatsMsg {
+    /// Operation name.
+    pub op: String,
+    /// Requests handled (ok + error).
+    pub requests: u64,
+    /// Requests answered with a typed error.
+    pub errors: u64,
+    /// p50 service latency, upper bucket bound in µs (0 when empty).
+    pub p50_micros: u64,
+    /// p99 service latency, upper bucket bound in µs (0 when empty).
+    pub p99_micros: u64,
+}
+
+/// `STATS` response body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsMsg {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Connections shed with `BUSY` at admission.
+    pub busy_rejections: u64,
+    /// Frames that failed to decode.
+    pub protocol_errors: u64,
+    /// Per-operation counters, in registry order.
+    pub ops: Vec<OpStatsMsg>,
+}
+
+/// A server→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Posted menu.
+    Menu(MenuMsg),
+    /// Priced quote.
+    Quote(QuoteMsg),
+    /// Completed sale.
+    Commit(SaleMsg),
+    /// Listing metadata.
+    Info(InfoMsg),
+    /// Serving statistics.
+    Stats(StatsMsg),
+    /// Shed by admission control (or drained at shutdown).
+    Busy,
+    /// Typed failure.
+    Error {
+        /// Machine-readable code.
+        code: ErrorCode,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Primitive encoding
+// ---------------------------------------------------------------------------
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn with_opcode(opcode: u8) -> Enc {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&MAGIC);
+        buf.push(VERSION);
+        buf.push(opcode);
+        Enc { buf }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        debug_assert!(s.len() <= MAX_STRING_LEN);
+        let bytes = &s.as_bytes()[..s.len().min(MAX_STRING_LEN)];
+        self.u16(bytes.len() as u16);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    fn f64s(&mut self, vs: &[f64]) {
+        debug_assert!(vs.len() <= MAX_VEC_LEN);
+        self.u32(vs.len() as u32);
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+
+    fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Dec<'a> {
+    fn bad(reason: impl Into<String>) -> ServerError {
+        ServerError::Protocol {
+            reason: reason.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.buf.len() < n {
+            return Err(Dec::bad(format!(
+                "truncated body: wanted {n} more bytes, have {}",
+                self.buf.len()
+            )));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let len = self.u16()? as usize;
+        if len > MAX_STRING_LEN {
+            return Err(Dec::bad(format!("string of {len} bytes exceeds cap")));
+        }
+        String::from_utf8(self.take(len)?.to_vec())
+            .map_err(|_| Dec::bad("string is not valid UTF-8"))
+    }
+
+    fn f64s(&mut self) -> Result<Vec<f64>> {
+        let len = self.u32()? as usize;
+        if len > MAX_VEC_LEN {
+            return Err(Dec::bad(format!("vector of {len} f64s exceeds cap")));
+        }
+        (0..len).map(|_| self.f64()).collect()
+    }
+
+    fn finish(self) -> Result<()> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(Dec::bad(format!("{} trailing bytes", self.buf.len())))
+        }
+    }
+}
+
+/// Strips and validates the `magic | version | opcode` header, returning
+/// the opcode and the body decoder.
+fn open_payload(payload: &[u8]) -> Result<(u8, Dec<'_>)> {
+    let mut dec = Dec { buf: payload };
+    let magic = dec.take(2)?;
+    if magic != MAGIC {
+        return Err(Dec::bad(format!("bad magic bytes {magic:02x?}")));
+    }
+    let version = dec.u8()?;
+    if version != VERSION {
+        return Err(ServerError::UnsupportedVersion { got: version });
+    }
+    let opcode = dec.u8()?;
+    Ok((opcode, dec))
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(ServerError::FrameTooLarge {
+            len: payload.len() as u64,
+        });
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on clean EOF before any
+/// byte of the length prefix (the peer hung up between frames).
+pub fn read_frame_opt(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut len_buf[filled..])?;
+        if n == 0 {
+            return if filled == 0 {
+                Ok(None)
+            } else {
+                Err(ServerError::ConnectionClosed)
+            };
+        }
+        filled += n;
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(ServerError::FrameTooLarge { len: len as u64 });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ServerError::ConnectionClosed
+        } else {
+            ServerError::Io(e)
+        }
+    })?;
+    Ok(Some(payload))
+}
+
+/// Reads one frame, treating clean EOF as [`ServerError::ConnectionClosed`]
+/// (client side: a response was expected).
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>> {
+    read_frame_opt(r)?.ok_or(ServerError::ConnectionClosed)
+}
+
+// ---------------------------------------------------------------------------
+// Request encode/decode
+// ---------------------------------------------------------------------------
+
+const REQ_AT: u8 = 1;
+const REQ_ERROR_BUDGET: u8 = 2;
+const REQ_PRICE_BUDGET: u8 = 3;
+
+impl Request {
+    /// Encodes into a complete payload (header + body).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Menu => Enc::with_opcode(OP_MENU).finish(),
+            Request::Quote(req) => {
+                let mut e = Enc::with_opcode(OP_QUOTE);
+                let (kind, v) = match req {
+                    PurchaseRequest::AtInverseNcp(x) => (REQ_AT, *x),
+                    PurchaseRequest::ErrorBudget(b) => (REQ_ERROR_BUDGET, *b),
+                    PurchaseRequest::PriceBudget(b) => (REQ_PRICE_BUDGET, *b),
+                };
+                e.u8(kind);
+                e.f64(v);
+                e.finish()
+            }
+            Request::Commit {
+                x,
+                snapshot_epoch,
+                payment,
+            } => {
+                let mut e = Enc::with_opcode(OP_COMMIT);
+                e.f64(*x);
+                e.u64(*snapshot_epoch);
+                e.f64(*payment);
+                e.finish()
+            }
+            Request::Info => Enc::with_opcode(OP_INFO).finish(),
+            Request::Stats => Enc::with_opcode(OP_STATS).finish(),
+        }
+    }
+
+    /// Decodes a payload into a request.
+    pub fn decode(payload: &[u8]) -> Result<Request> {
+        let (opcode, mut d) = open_payload(payload)?;
+        let req = match opcode {
+            OP_MENU => Request::Menu,
+            OP_QUOTE => {
+                let kind = d.u8()?;
+                let v = d.f64()?;
+                Request::Quote(match kind {
+                    REQ_AT => PurchaseRequest::AtInverseNcp(v),
+                    REQ_ERROR_BUDGET => PurchaseRequest::ErrorBudget(v),
+                    REQ_PRICE_BUDGET => PurchaseRequest::PriceBudget(v),
+                    other => {
+                        return Err(Dec::bad(format!("unknown purchase-request kind {other}")))
+                    }
+                })
+            }
+            OP_COMMIT => Request::Commit {
+                x: d.f64()?,
+                snapshot_epoch: d.u64()?,
+                payment: d.f64()?,
+            },
+            OP_INFO => Request::Info,
+            OP_STATS => Request::Stats,
+            other => {
+                return Err(Dec::bad(format!("unknown request opcode {other:#04x}")));
+            }
+        };
+        d.finish()?;
+        Ok(req)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response encode/decode
+// ---------------------------------------------------------------------------
+
+impl Response {
+    /// Encodes into a complete payload (header + body).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Menu(m) => {
+                let mut e = Enc::with_opcode(OP_R_MENU);
+                e.u64(m.epoch);
+                e.str(&m.metric);
+                e.u32(m.points.len() as u32);
+                for &(x, p) in &m.points {
+                    e.f64(x);
+                    e.f64(p);
+                }
+                e.finish()
+            }
+            Response::Quote(q) => {
+                let mut e = Enc::with_opcode(OP_R_QUOTE);
+                e.f64(q.x);
+                e.f64(q.delta);
+                e.f64(q.price);
+                e.f64(q.expected_error);
+                e.str(&q.metric);
+                e.u64(q.snapshot_epoch);
+                e.finish()
+            }
+            Response::Commit(s) => {
+                let mut e = Enc::with_opcode(OP_R_COMMIT);
+                e.f64(s.inverse_ncp);
+                e.f64(s.price);
+                e.f64(s.expected_error);
+                e.str(&s.metric);
+                e.u64(s.transaction);
+                e.f64s(&s.weights);
+                e.finish()
+            }
+            Response::Info(i) => {
+                let mut e = Enc::with_opcode(OP_R_INFO);
+                e.str(&i.listing);
+                e.str(&i.metric);
+                e.u64(i.epoch);
+                e.u64(i.menu_len);
+                e.f64(i.x_lo);
+                e.f64(i.x_hi);
+                e.f64(i.expected_revenue);
+                e.u64(i.sales);
+                e.f64(i.revenue);
+                e.finish()
+            }
+            Response::Stats(s) => {
+                let mut e = Enc::with_opcode(OP_R_STATS);
+                e.u64(s.connections);
+                e.u64(s.busy_rejections);
+                e.u64(s.protocol_errors);
+                e.u16(s.ops.len() as u16);
+                for op in &s.ops {
+                    e.str(&op.op);
+                    e.u64(op.requests);
+                    e.u64(op.errors);
+                    e.u64(op.p50_micros);
+                    e.u64(op.p99_micros);
+                }
+                e.finish()
+            }
+            Response::Busy => Enc::with_opcode(OP_R_BUSY).finish(),
+            Response::Error { code, message } => {
+                let mut e = Enc::with_opcode(OP_R_ERROR);
+                e.u16(*code as u16);
+                e.str(message);
+                e.finish()
+            }
+        }
+    }
+
+    /// Decodes a payload into a response.
+    pub fn decode(payload: &[u8]) -> Result<Response> {
+        let (opcode, mut d) = open_payload(payload)?;
+        let resp = match opcode {
+            OP_R_MENU => {
+                let epoch = d.u64()?;
+                let metric = d.str()?;
+                let len = d.u32()? as usize;
+                if len > MAX_VEC_LEN {
+                    return Err(Dec::bad(format!("menu of {len} points exceeds cap")));
+                }
+                let points = (0..len)
+                    .map(|_| Ok((d.f64()?, d.f64()?)))
+                    .collect::<Result<Vec<_>>>()?;
+                Response::Menu(MenuMsg {
+                    epoch,
+                    metric,
+                    points,
+                })
+            }
+            OP_R_QUOTE => Response::Quote(QuoteMsg {
+                x: d.f64()?,
+                delta: d.f64()?,
+                price: d.f64()?,
+                expected_error: d.f64()?,
+                metric: d.str()?,
+                snapshot_epoch: d.u64()?,
+            }),
+            OP_R_COMMIT => Response::Commit(SaleMsg {
+                inverse_ncp: d.f64()?,
+                price: d.f64()?,
+                expected_error: d.f64()?,
+                metric: d.str()?,
+                transaction: d.u64()?,
+                weights: d.f64s()?,
+            }),
+            OP_R_INFO => Response::Info(InfoMsg {
+                listing: d.str()?,
+                metric: d.str()?,
+                epoch: d.u64()?,
+                menu_len: d.u64()?,
+                x_lo: d.f64()?,
+                x_hi: d.f64()?,
+                expected_revenue: d.f64()?,
+                sales: d.u64()?,
+                revenue: d.f64()?,
+            }),
+            OP_R_STATS => {
+                let connections = d.u64()?;
+                let busy_rejections = d.u64()?;
+                let protocol_errors = d.u64()?;
+                let n = d.u16()? as usize;
+                let ops = (0..n)
+                    .map(|_| {
+                        Ok(OpStatsMsg {
+                            op: d.str()?,
+                            requests: d.u64()?,
+                            errors: d.u64()?,
+                            p50_micros: d.u64()?,
+                            p99_micros: d.u64()?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Response::Stats(StatsMsg {
+                    connections,
+                    busy_rejections,
+                    protocol_errors,
+                    ops,
+                })
+            }
+            OP_R_BUSY => Response::Busy,
+            OP_R_ERROR => {
+                let raw = d.u16()?;
+                let code = ErrorCode::from_u16(raw)
+                    .ok_or_else(|| Dec::bad(format!("unknown error code {raw}")))?;
+                Response::Error {
+                    code,
+                    message: d.str()?,
+                }
+            }
+            other => {
+                return Err(Dec::bad(format!("unknown response opcode {other:#04x}")));
+            }
+        };
+        d.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let decoded = Request::decode(&req.encode()).unwrap();
+        assert_eq!(decoded, req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let decoded = Response::decode(&resp.encode()).unwrap();
+        assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        roundtrip_request(Request::Menu);
+        roundtrip_request(Request::Info);
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Quote(PurchaseRequest::AtInverseNcp(42.5)));
+        roundtrip_request(Request::Quote(PurchaseRequest::ErrorBudget(0.05)));
+        roundtrip_request(Request::Quote(PurchaseRequest::PriceBudget(17.0)));
+        roundtrip_request(Request::Commit {
+            x: 99.0,
+            snapshot_epoch: 3,
+            payment: 12.75,
+        });
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        roundtrip_response(Response::Busy);
+        roundtrip_response(Response::Error {
+            code: ErrorCode::QuoteExpired,
+            message: "stale epoch".into(),
+        });
+        roundtrip_response(Response::Menu(MenuMsg {
+            epoch: 2,
+            metric: "square".into(),
+            points: vec![(1.0, 0.5), (50.0, 20.25), (100.0, 30.0)],
+        }));
+        roundtrip_response(Response::Quote(QuoteMsg {
+            x: 20.0,
+            delta: 0.05,
+            price: 14.5,
+            expected_error: 0.05,
+            metric: "logistic".into(),
+            snapshot_epoch: 7,
+        }));
+        roundtrip_response(Response::Commit(SaleMsg {
+            inverse_ncp: 20.0,
+            price: 14.5,
+            expected_error: 0.05,
+            metric: "square".into(),
+            transaction: 123,
+            weights: vec![0.25, -1.5, 3.125, f64::MIN_POSITIVE],
+        }));
+        roundtrip_response(Response::Info(InfoMsg {
+            listing: "Simulated1".into(),
+            metric: "square".into(),
+            epoch: 1,
+            menu_len: 50,
+            x_lo: 1.0,
+            x_hi: 100.0,
+            expected_revenue: 31.5,
+            sales: 12,
+            revenue: 340.0,
+        }));
+        roundtrip_response(Response::Stats(StatsMsg {
+            connections: 10,
+            busy_rejections: 3,
+            protocol_errors: 1,
+            ops: vec![OpStatsMsg {
+                op: "quote".into(),
+                requests: 100,
+                errors: 2,
+                p50_micros: 64,
+                p99_micros: 1024,
+            }],
+        }));
+    }
+
+    #[test]
+    fn nan_payloads_survive_bitwise() {
+        let payload = Request::Commit {
+            x: f64::NAN,
+            snapshot_epoch: 0,
+            payment: f64::NEG_INFINITY,
+        }
+        .encode();
+        match Request::decode(&payload).unwrap() {
+            Request::Commit { x, payment, .. } => {
+                assert!(x.is_nan());
+                assert_eq!(payment, f64::NEG_INFINITY);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_and_opcode_are_typed() {
+        let mut payload = Request::Menu.encode();
+        payload[0] = b'X';
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(ServerError::Protocol { .. })
+        ));
+
+        let mut payload = Request::Menu.encode();
+        payload[2] = VERSION + 1;
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(ServerError::UnsupportedVersion { got }) if got == VERSION + 1
+        ));
+
+        let mut payload = Request::Menu.encode();
+        payload[3] = 0x7F;
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(ServerError::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_and_trailing_bytes_are_rejected() {
+        let payload = Request::Commit {
+            x: 1.0,
+            snapshot_epoch: 1,
+            payment: 1.0,
+        }
+        .encode();
+        assert!(matches!(
+            Request::decode(&payload[..payload.len() - 1]),
+            Err(ServerError::Protocol { .. })
+        ));
+        let mut extended = payload;
+        extended.push(0);
+        assert!(matches!(
+            Request::decode(&extended),
+            Err(ServerError::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn framing_round_trips_and_enforces_the_cap() {
+        let payload = Request::Quote(PurchaseRequest::ErrorBudget(0.25)).encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        // Two frames back to back parse independently.
+        write_frame(&mut buf, &payload).unwrap();
+        let mut reader = &buf[..];
+        assert_eq!(read_frame(&mut reader).unwrap(), payload);
+        assert_eq!(read_frame_opt(&mut reader).unwrap().unwrap(), payload);
+        assert!(read_frame_opt(&mut reader).unwrap().is_none());
+
+        // An announced length beyond the cap is rejected without allocating.
+        let huge = ((MAX_FRAME_LEN + 1) as u32).to_be_bytes();
+        assert!(matches!(
+            read_frame(&mut &huge[..]),
+            Err(ServerError::FrameTooLarge { .. })
+        ));
+        // Writing an oversized frame is refused up front.
+        assert!(matches!(
+            write_frame(&mut Vec::new(), &vec![0u8; MAX_FRAME_LEN + 1]),
+            Err(ServerError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn mid_frame_eof_is_connection_closed() {
+        let payload = Request::Menu.encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        // Cut inside the length prefix and inside the payload.
+        assert!(matches!(
+            read_frame(&mut &buf[..2]),
+            Err(ServerError::ConnectionClosed)
+        ));
+        assert!(matches!(
+            read_frame(&mut &buf[..buf.len() - 1]),
+            Err(ServerError::ConnectionClosed)
+        ));
+    }
+
+    #[test]
+    fn market_errors_map_to_codes() {
+        use nimbus_market::MarketError;
+        assert_eq!(
+            ErrorCode::for_market_error(&MarketError::MarketNotOpen),
+            ErrorCode::MarketNotOpen
+        );
+        assert_eq!(
+            ErrorCode::for_market_error(&MarketError::QuoteExpired {
+                quoted: 1,
+                current: 2
+            }),
+            ErrorCode::QuoteExpired
+        );
+        assert_eq!(
+            ErrorCode::for_market_error(&MarketError::InvalidPayment { offered: -1.0 }),
+            ErrorCode::InvalidPayment
+        );
+        assert_eq!(
+            ErrorCode::for_market_error(&MarketError::InsufficientPayment {
+                price: 2.0,
+                offered: 1.0
+            }),
+            ErrorCode::InsufficientPayment
+        );
+        assert_eq!(
+            ErrorCode::for_market_error(&MarketError::Core(
+                nimbus_core::CoreError::BudgetUnsatisfiable {
+                    kind: "error",
+                    budget: 0.001
+                }
+            )),
+            ErrorCode::Unsatisfiable
+        );
+    }
+
+    #[test]
+    fn every_error_code_round_trips() {
+        for raw in 1..=11u16 {
+            let code = ErrorCode::from_u16(raw).unwrap();
+            assert_eq!(code as u16, raw);
+            roundtrip_response(Response::Error {
+                code,
+                message: format!("code {raw}"),
+            });
+        }
+        assert!(ErrorCode::from_u16(0).is_none());
+        assert!(ErrorCode::from_u16(999).is_none());
+    }
+}

@@ -1,0 +1,374 @@
+//! End-to-end serving tests: a real `NimbusServer` on an ephemeral
+//! loopback port, driven by real TCP clients.
+//!
+//! The core reconciliation: revenue in the broker's striped ledger must
+//! equal the sum of prices the *clients* observed over the wire — the
+//! serving layer adds no money and loses none. On top of that: admission
+//! floods resolve as typed `BUSY` frames (never hangs), stale quotes fail
+//! with the epoch error, malformed frames get typed protocol errors, and
+//! graceful shutdown never truncates an in-flight response.
+
+use nimbus_core::GaussianMechanism;
+use nimbus_data::catalog::{DatasetSpec, PaperDataset};
+use nimbus_market::curves::{DemandCurve, MarketCurves, ValueCurve};
+use nimbus_market::{Broker, PurchaseRequest, Seller};
+use nimbus_ml::LinearRegressionTrainer;
+use nimbus_server::loadgen::{run_load, LoadConfig, LoadMode};
+use nimbus_server::wire::{self, ErrorCode, Response};
+use nimbus_server::{ClientConfig, NimbusClient, NimbusServer, ServerConfig, ServerError};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn build_broker(seed: u64) -> Arc<Broker> {
+    let (dataset, _) = DatasetSpec::scaled(PaperDataset::Simulated1, 600)
+        .materialize(seed)
+        .unwrap();
+    let curves = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform);
+    let broker = Broker::builder(Seller::new("e2e", dataset, curves))
+        .trainer(LinearRegressionTrainer::ridge(1e-6))
+        .mechanism(GaussianMechanism)
+        .n_price_points(24)
+        .error_curve_samples(12)
+        .seed(seed)
+        .build()
+        .unwrap();
+    broker.open_market().unwrap();
+    Arc::new(broker)
+}
+
+fn start_server(broker: Arc<Broker>, config: ServerConfig) -> NimbusServer {
+    NimbusServer::start(broker, "e2e-listing", "127.0.0.1:0", config).unwrap()
+}
+
+fn fast_client() -> ClientConfig {
+    ClientConfig {
+        connect_timeout: Duration::from_secs(2),
+        read_timeout: Duration::from_secs(10),
+        write_timeout: Duration::from_secs(5),
+    }
+}
+
+/// The acceptance gate: concurrent buyers over loopback TCP, then the
+/// broker-side ledger must equal the client-observed books exactly.
+#[test]
+fn concurrent_buyers_reconcile_with_ledger() {
+    let broker = build_broker(41);
+    let server = start_server(
+        broker.clone(),
+        ServerConfig {
+            shards: 2,
+            workers_per_shard: 4,
+            queue_capacity: 64,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+
+    let report = run_load(
+        addr,
+        &LoadConfig {
+            threads: 8,
+            requests_per_thread: 25,
+            mode: LoadMode::Buy,
+            client: fast_client(),
+        },
+    );
+
+    // Capacity (2 shards × 64) dwarfs 8 connections: nothing is shed and
+    // nothing fails.
+    assert_eq!(report.attempted, 200);
+    assert_eq!(
+        report.ok, 200,
+        "busy={} errors={}",
+        report.busy, report.errors
+    );
+    assert_eq!(report.busy, 0);
+    assert_eq!(report.errors, 0);
+    assert!(report.throughput() > 0.0);
+
+    // Ledger revenue == sum of prices the clients saw over the wire
+    // (shard totals accumulate in arrival order → f64 reassociation only).
+    assert_eq!(broker.sales_count(), 200);
+    assert!(
+        (broker.collected_revenue() - report.revenue).abs() < 1e-6,
+        "ledger {} vs client-observed {}",
+        broker.collected_revenue(),
+        report.revenue
+    );
+
+    // The server's own stats agree: one commit per buy, zero shed.
+    let stats = server.stats().snapshot();
+    let commit = stats.ops.iter().find(|o| o.op == "commit").unwrap();
+    assert_eq!(commit.requests, 200);
+    assert_eq!(commit.errors, 0);
+    assert_eq!(stats.busy_rejections, 0);
+    server.shutdown();
+}
+
+/// One scripted session covering every opcode, checked against the
+/// broker's in-process state.
+#[test]
+fn full_session_menu_quote_commit_info_stats() {
+    let broker = build_broker(7);
+    let server = start_server(broker.clone(), ServerConfig::default());
+    let mut client = NimbusClient::connect(server.local_addr(), &fast_client()).unwrap();
+
+    let snapshot = broker.snapshot().unwrap();
+    let menu = client.menu().unwrap();
+    assert_eq!(menu.epoch, snapshot.epoch());
+    assert_eq!(menu.metric, snapshot.metric_name());
+    assert_eq!(menu.points, snapshot.menu());
+
+    // Wire quote matches the in-process quote bit for bit.
+    let wire_quote = client.quote(PurchaseRequest::AtInverseNcp(10.0)).unwrap();
+    let local_quote = broker
+        .quote_request(PurchaseRequest::AtInverseNcp(10.0))
+        .unwrap();
+    assert_eq!(wire_quote.x, local_quote.x);
+    assert_eq!(wire_quote.price, local_quote.price);
+    assert_eq!(wire_quote.expected_error, local_quote.expected_error);
+    assert_eq!(wire_quote.snapshot_epoch, local_quote.snapshot_epoch);
+
+    // Commit delivers the noisy weights over the wire.
+    let sale = client.commit(&wire_quote, wire_quote.price).unwrap();
+    assert_eq!(sale.price, wire_quote.price);
+    assert!(!sale.weights.is_empty());
+    assert!(sale.weights.iter().all(|w| w.is_finite()));
+    let ledger = broker.ledger();
+    assert_eq!(ledger.count(), 1);
+    assert_eq!(sale.transaction, ledger.transactions()[0].sequence);
+
+    // The error-budget and price-budget purchase options also cross the wire.
+    let budgeted = client.buy(PurchaseRequest::PriceBudget(1e9)).unwrap();
+    assert!(budgeted.price <= 1e9);
+
+    let info = client.info().unwrap();
+    assert_eq!(info.listing, "e2e-listing");
+    assert_eq!(info.epoch, snapshot.epoch());
+    assert_eq!(info.menu_len, snapshot.menu().len() as u64);
+    assert_eq!(info.sales, 2);
+    assert!((info.revenue - broker.collected_revenue()).abs() < 1e-9);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.connections, 1);
+    let commits = stats.ops.iter().find(|o| o.op == "commit").unwrap();
+    assert_eq!(commits.requests, 2);
+    assert!(commits.p99_micros >= commits.p50_micros);
+    server.shutdown();
+}
+
+/// Flooding past `shards × queue_capacity` must shed with typed `BUSY`
+/// frames — no hangs, no resets, and the non-shed traffic still completes.
+#[test]
+fn flood_beyond_admission_bound_sheds_busy() {
+    let broker = build_broker(13);
+    let server = start_server(
+        broker.clone(),
+        ServerConfig {
+            shards: 1,
+            workers_per_shard: 1,
+            queue_capacity: 1,
+            handle_delay: Some(Duration::from_millis(25)),
+            ..ServerConfig::default()
+        },
+    );
+
+    let report = run_load(
+        server.local_addr(),
+        &LoadConfig {
+            threads: 16,
+            requests_per_thread: 4,
+            mode: LoadMode::Quote,
+            client: fast_client(),
+        },
+    );
+
+    assert_eq!(report.attempted, 64);
+    assert_eq!(report.ok + report.busy + report.errors, report.attempted);
+    assert!(
+        report.ok > 0,
+        "the admitted connections must still be served"
+    );
+    assert!(
+        report.busy > 0,
+        "1 worker × queue of 1 against 16 threads must shed"
+    );
+    assert_eq!(
+        report.errors, 0,
+        "shedding must be the typed BUSY frame, never a reset or timeout"
+    );
+    assert!(report.shed_rate() > 0.0);
+    assert_eq!(server.stats().busy_rejections(), report.busy);
+    server.shutdown();
+}
+
+/// The quote→commit epoch protocol over the wire: a quote priced before
+/// `open_market()` re-runs must fail with the typed epoch error, and
+/// payment validation errors arrive typed too.
+#[test]
+fn stale_quotes_and_bad_payments_fail_typed() {
+    let broker = build_broker(29);
+    let server = start_server(broker.clone(), ServerConfig::default());
+    let mut client = NimbusClient::connect(server.local_addr(), &fast_client()).unwrap();
+
+    let quote = client.quote(PurchaseRequest::AtInverseNcp(5.0)).unwrap();
+
+    // Underpay: typed InsufficientPayment, no sale recorded.
+    match client.commit(&quote, quote.price / 2.0) {
+        Err(ServerError::Remote { code, .. }) => assert_eq!(code, ErrorCode::InsufficientPayment),
+        other => panic!("expected InsufficientPayment, got {other:?}"),
+    }
+    // Nonsense payment: typed InvalidPayment.
+    match client.commit(&quote, f64::NAN) {
+        Err(ServerError::Remote { code, .. }) => assert_eq!(code, ErrorCode::InvalidPayment),
+        other => panic!("expected InvalidPayment, got {other:?}"),
+    }
+
+    // Re-open the market: the published epoch moves on…
+    broker.open_market().unwrap();
+    // …and the old quote is dead, even at full payment.
+    match client.commit(&quote, quote.price) {
+        Err(ServerError::Remote { code, message }) => {
+            assert_eq!(code, ErrorCode::QuoteExpired);
+            assert!(message.contains("epoch"), "{message}");
+        }
+        other => panic!("expected QuoteExpired, got {other:?}"),
+    }
+    assert_eq!(broker.sales_count(), 0);
+
+    // A fresh quote against the new epoch works.
+    let sale = client.buy(PurchaseRequest::AtInverseNcp(5.0)).unwrap();
+    assert!(sale.price > 0.0);
+    server.shutdown();
+}
+
+/// Protocol violations get typed error frames, bounded by the framing
+/// limits — a garbage payload and an oversized length prefix both answer
+/// with `BadFrame` and then the server hangs up, without harming other
+/// connections.
+#[test]
+fn malformed_frames_get_typed_errors() {
+    let broker = build_broker(3);
+    let server = start_server(broker.clone(), ServerConfig::default());
+    let addr = server.local_addr();
+
+    // Garbage payload inside a well-formed frame.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        wire::write_frame(&mut stream, b"this is not a nimbus payload").unwrap();
+        let payload = wire::read_frame(&mut stream).unwrap();
+        match Response::decode(&payload).unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadFrame),
+            other => panic!("expected BadFrame error frame, got {other:?}"),
+        }
+        // Framing is poisoned: the server closes after answering.
+        let mut rest = Vec::new();
+        assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0);
+    }
+
+    // Wrong version byte: typed UnsupportedVersion.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut payload = Vec::from(wire::MAGIC);
+        payload.extend_from_slice(&[wire::VERSION + 1, 0x01]);
+        wire::write_frame(&mut stream, &payload).unwrap();
+        let reply = wire::read_frame(&mut stream).unwrap();
+        match Response::decode(&reply).unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::UnsupportedVersion),
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    // Oversized length prefix: answered with BadFrame before any
+    // allocation, then the connection is closed.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let huge = (wire::MAX_FRAME_LEN as u32 + 1).to_be_bytes();
+        stream.write_all(&huge).unwrap();
+        let payload = wire::read_frame(&mut stream).unwrap();
+        match Response::decode(&payload).unwrap() {
+            Response::Error { code, message } => {
+                assert_eq!(code, ErrorCode::BadFrame);
+                assert!(message.contains("exceeds"), "{message}");
+            }
+            other => panic!("expected BadFrame error frame, got {other:?}"),
+        }
+        let mut rest = Vec::new();
+        assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0);
+    }
+
+    // A well-behaved client on the same server is unaffected.
+    let mut client = NimbusClient::connect(addr, &fast_client()).unwrap();
+    assert!(client.menu().is_ok());
+    let stats = server.stats().snapshot();
+    assert!(stats.protocol_errors >= 3);
+    server.shutdown();
+}
+
+/// Graceful shutdown under live purchase traffic: in-flight responses are
+/// never truncated, so every sale the ledger recorded was delivered to a
+/// client — the books still reconcile after the plug is pulled.
+#[test]
+fn graceful_shutdown_drains_in_flight_buyers() {
+    let broker = build_broker(59);
+    let server = start_server(
+        broker.clone(),
+        ServerConfig {
+            shards: 2,
+            workers_per_shard: 2,
+            queue_capacity: 32,
+            handle_delay: Some(Duration::from_millis(2)),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+
+    let (report, ()) = std::thread::scope(|scope| {
+        let load = scope.spawn(move || {
+            run_load(
+                addr,
+                &LoadConfig {
+                    threads: 4,
+                    requests_per_thread: 200,
+                    mode: LoadMode::Buy,
+                    client: fast_client(),
+                },
+            )
+        });
+        // Let some purchases land, then pull the plug mid-run.
+        std::thread::sleep(Duration::from_millis(150));
+        server.shutdown();
+        (load.join().unwrap(), ())
+    });
+
+    assert_eq!(report.attempted, 800);
+    assert!(report.ok > 0, "some purchases must have completed");
+    assert!(
+        report.ok < 800,
+        "shutdown raced the run and should have cut it short"
+    );
+    // Every ledger entry was delivered: client-observed revenue covers the
+    // ledger exactly (a commit whose response was never written cannot
+    // exist, by the drain guarantee).
+    assert_eq!(broker.sales_count() as u64, report.ok);
+    assert!(
+        (broker.collected_revenue() - report.revenue).abs() < 1e-6,
+        "ledger {} vs client-observed {}",
+        broker.collected_revenue(),
+        report.revenue
+    );
+
+    // The port is closed: fresh connections are refused or reset, never hung.
+    assert!(NimbusClient::connect(addr, &fast_client()).is_err());
+}

@@ -1,0 +1,117 @@
+//! Durability-path microbenchmarks: the write-ahead sale journal.
+//!
+//! Three costs matter to the serving path:
+//! * `append` — one framed, checksummed sale record plus the fsync ACK
+//!   barrier. This sits on the COMMIT critical path, so it is the number
+//!   that bounds journalled purchase throughput.
+//! * `append/compacting` — the same, with automatic checkpoint compaction
+//!   enabled, to show the amortized rewrite cost.
+//! * `replay` — `Journal::open` on a log of N sales: the restart cost.
+//!
+//! Each benchmark prints one summary line from a warm-up pass before
+//! criterion measures, so the numbers survive even when the vendored
+//! criterion shim runs bodies once.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nimbus_market::{FaultPlan, Journal, SaleRecord, Transaction};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn temp_journal(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "nimbus-bench-journal-{name}-{}.journal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn record(sequence: u64) -> SaleRecord {
+    SaleRecord {
+        transaction: Transaction {
+            sequence,
+            inverse_ncp: 10.0 + sequence as f64,
+            price: 3.25 * (sequence + 1) as f64,
+            expected_error: 0.05 / (sequence + 1) as f64,
+        },
+        snapshot_epoch: 1,
+        // Every other sale carries an idempotency nonce, like mixed
+        // plain/idempotent client traffic.
+        nonce: sequence.is_multiple_of(2).then_some(0x5EED_0000 + sequence),
+    }
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("journal_append");
+    group.sample_size(10);
+    for (checkpoint_every, tag) in [(0u64, "append"), (256, "append/compacting")] {
+        let path = temp_journal(tag.replace('/', "-").as_str());
+        let (mut journal, _) =
+            Journal::open(&path, checkpoint_every, FaultPlan::new()).expect("journal opens");
+
+        // Warm-up pass: print an honest appends/second once.
+        let warmup = 512u64;
+        let start = Instant::now();
+        for i in 0..warmup {
+            journal.append_sale(&record(i)).expect("append");
+        }
+        let elapsed = start.elapsed();
+        println!(
+            "journal_append/{tag}: {warmup} fsynced appends in {elapsed:?} -> {:.0} appends/s",
+            warmup as f64 / elapsed.as_secs_f64()
+        );
+
+        let mut next = warmup;
+        group.bench_function(BenchmarkId::new(tag, "fsync"), |b| {
+            b.iter(|| {
+                journal.append_sale(&record(next)).expect("append");
+                next += 1;
+                next
+            })
+        });
+        drop(journal);
+        let _ = std::fs::remove_file(&path);
+    }
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("journal_replay");
+    group.sample_size(10);
+    for n in [256u64, 2_048] {
+        let path = temp_journal(&format!("replay-{n}"));
+        {
+            let (mut journal, _) =
+                Journal::open(&path, 0, FaultPlan::new()).expect("journal opens");
+            for i in 0..n {
+                journal.append_sale(&record(i)).expect("append");
+            }
+        }
+
+        let start = Instant::now();
+        let (journal, recovery) = Journal::open(&path, 0, FaultPlan::new()).expect("reopen");
+        let elapsed = start.elapsed();
+        assert_eq!(recovery.transactions.len() as u64, n);
+        assert!(recovery.truncated.is_none());
+        drop(journal);
+        println!(
+            "journal_replay/{n}: replayed {n} sales in {elapsed:?} -> {:.0} sales/s",
+            n as f64 / elapsed.as_secs_f64()
+        );
+
+        group.bench_with_input(BenchmarkId::new("open", n), &n, |b, &n| {
+            b.iter(|| {
+                let (journal, recovery) =
+                    Journal::open(&path, 0, FaultPlan::new()).expect("reopen");
+                assert_eq!(recovery.transactions.len() as u64, n);
+                drop(journal);
+                recovery.next_tx_id
+            })
+        });
+        let _ = std::fs::remove_file(&path);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_append, bench_replay);
+criterion_main!(benches);

@@ -83,6 +83,7 @@ fn bench_within_capacity(c: &mut Criterion) {
             requests_per_thread: 256,
             mode,
             client: ClientConfig::default(),
+            busy_retries: 0,
         };
         let warmup = run_load(addr, &config);
         assert_eq!(warmup.ok, warmup.attempted, "within capacity: no sheds");
@@ -124,6 +125,7 @@ fn bench_flood_shedding(c: &mut Criterion) {
         requests_per_thread: 16,
         mode: LoadMode::Quote,
         client: ClientConfig::default(),
+        busy_retries: 0,
     };
     let warmup = run_load(addr, &config);
     assert!(warmup.busy > 0, "flood must shed");

@@ -49,7 +49,17 @@ pub fn run_command(command: Command) -> Result<String, String> {
             shards,
             workers,
             queue,
-        } => serve(&addr, &dataset, &metric, seed, shards, workers, queue),
+            journal,
+        } => serve(
+            &addr,
+            &dataset,
+            &metric,
+            seed,
+            shards,
+            workers,
+            queue,
+            journal.as_deref(),
+        ),
         Command::Client { addr, action } => client(&addr, action),
     }
 }
@@ -137,7 +147,12 @@ fn metric_label(metric: &str) -> String {
     }
 }
 
-fn build_broker(dataset: PaperDataset, metric: &str, seed: u64) -> Result<Broker, String> {
+fn build_broker(
+    dataset: PaperDataset,
+    metric: &str,
+    seed: u64,
+    journal: Option<&str>,
+) -> Result<Broker, String> {
     let spec = DatasetSpec::scaled(dataset, 4_000);
     let (tt, _) = spec.materialize(seed).map_err(|e| e.to_string())?;
     let metric = lookup_metric(metric, dataset, tt.test.clone())?;
@@ -153,6 +168,9 @@ fn build_broker(dataset: PaperDataset, metric: &str, seed: u64) -> Result<Broker
         .n_price_points(50)
         .error_curve_samples(50)
         .seed(seed);
+    if let Some(path) = journal {
+        builder = builder.journal(path);
+    }
     if let Some(m) = metric {
         builder = builder.boxed_error_metric(m);
     }
@@ -167,7 +185,7 @@ fn demo(dataset_name: &str, seed: u64) -> Result<String, String> {
     let _ = writeln!(out, "=== Nimbus demo on {} ===", dataset.name());
 
     let start = std::time::Instant::now();
-    let broker = build_broker(dataset, "square", seed)?;
+    let broker = build_broker(dataset, "square", seed, None)?;
     let optimal = broker.optimal_model().map_err(|e| e.to_string())?;
     let _ = writeln!(
         out,
@@ -278,7 +296,7 @@ fn price(value: &str, demand: &str, points: usize) -> Result<String, String> {
 
 fn buy(dataset_name: &str, request: BuyRequest, metric: &str, seed: u64) -> Result<String, String> {
     let dataset = lookup_dataset(dataset_name)?;
-    let broker = build_broker(dataset, metric, seed)?;
+    let broker = build_broker(dataset, metric, seed, None)?;
     let req = match request {
         BuyRequest::ErrorBudget(e) => PurchaseRequest::ErrorBudget(e),
         BuyRequest::PriceBudget(p) => PurchaseRequest::PriceBudget(p),
@@ -455,6 +473,7 @@ fn error_curve(dataset_name: &str, samples: usize, seed: u64) -> Result<String, 
 /// Builds the broker for one listing and starts the TCP service on `addr`.
 /// Shared by [`serve`] (which then blocks forever) and the tests (which
 /// shut the returned handle down).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn start_listing_server(
     addr: &str,
     dataset_name: &str,
@@ -463,9 +482,10 @@ pub(crate) fn start_listing_server(
     shards: usize,
     workers: usize,
     queue: usize,
+    journal: Option<&str>,
 ) -> Result<NimbusServer, String> {
     let dataset = lookup_dataset(dataset_name)?;
-    let broker = build_broker(dataset, metric, seed)?;
+    let broker = build_broker(dataset, metric, seed, journal)?;
     let config = ServerConfig {
         shards,
         workers_per_shard: workers,
@@ -477,6 +497,7 @@ pub(crate) fn start_listing_server(
 }
 
 /// `nimbus serve`: build the market, bind, and serve until killed.
+#[allow(clippy::too_many_arguments)]
 fn serve(
     addr: &str,
     dataset: &str,
@@ -485,13 +506,30 @@ fn serve(
     shards: usize,
     workers: usize,
     queue: usize,
+    journal: Option<&str>,
 ) -> Result<String, String> {
-    let server = start_listing_server(addr, dataset, metric, seed, shards, workers, queue)?;
+    let server =
+        start_listing_server(addr, dataset, metric, seed, shards, workers, queue, journal)?;
     println!(
         "nimbus-server: listing {dataset:?} ({metric} metric) on {} \
          [{shards} shard(s) x {workers} worker(s), queue {queue}]",
         server.local_addr()
     );
+    if let Some(path) = journal {
+        match server.broker().recovery() {
+            Some(rec) if !rec.transactions.is_empty() || rec.truncated.is_some() => println!(
+                "journal {path:?}: recovered {} sale(s), revenue {:.2}, next transaction #{}{}",
+                rec.transactions.len(),
+                rec.total_revenue(),
+                rec.next_tx_id,
+                match &rec.truncated {
+                    Some(e) => format!(" (salvaged a torn tail: {e})"),
+                    None => String::new(),
+                }
+            ),
+            _ => println!("journal {path:?}: fresh log"),
+        }
+    }
     println!("serving until the process is killed (Ctrl-C)");
     // Park forever: the accept loop and workers own the serving; Ctrl-C
     // tears the process (and with it the socket) down.
@@ -537,13 +575,18 @@ fn client(addr: &str, action: ClientAction) -> Result<String, String> {
                 info.sales, info.revenue
             );
         }
-        ClientAction::Stats => {
+        ClientAction::Stats { text } => {
             let mut conn = NimbusClient::connect(addr, &config).map_err(|e| e.to_string())?;
             let stats = conn.stats().map_err(|e| e.to_string())?;
+            if text {
+                out.push_str(&render_prometheus(&stats));
+                return Ok(out);
+            }
             let _ = writeln!(out, "server stats at {addr}:");
             let _ = writeln!(out, "  connections      : {}", stats.connections);
             let _ = writeln!(out, "  busy rejections  : {}", stats.busy_rejections);
             let _ = writeln!(out, "  protocol errors  : {}", stats.protocol_errors);
+            let _ = writeln!(out, "  queue depth      : {}", stats.queue_depth);
             let _ = writeln!(
                 out,
                 "  {:<8} {:>10} {:>8} {:>12} {:>12}",
@@ -589,6 +632,7 @@ fn client(addr: &str, action: ClientAction) -> Result<String, String> {
             threads,
             requests,
             buy,
+            retries,
         } => {
             let resolved: std::net::SocketAddr = {
                 use std::net::ToSocketAddrs;
@@ -602,6 +646,7 @@ fn client(addr: &str, action: ClientAction) -> Result<String, String> {
                 requests_per_thread: requests,
                 mode: if buy { LoadMode::Buy } else { LoadMode::Quote },
                 client: config,
+                busy_retries: retries,
             };
             let report = run_load(resolved, &load);
             let _ = writeln!(
@@ -614,6 +659,7 @@ fn client(addr: &str, action: ClientAction) -> Result<String, String> {
                 "  ok / busy / errors : {} / {} / {}",
                 report.ok, report.busy, report.errors
             );
+            let _ = writeln!(out, "  retried sheds      : {}", report.busy_retried);
             let _ = writeln!(out, "  elapsed            : {:?}", report.elapsed);
             let _ = writeln!(
                 out,
@@ -766,7 +812,7 @@ mod tests {
         // `serve` itself blocks forever, so the test drives the same
         // builder the command uses and points `nimbus client` at it.
         let server =
-            start_listing_server("127.0.0.1:0", "Simulated1", "square", 3, 1, 2, 32).unwrap();
+            start_listing_server("127.0.0.1:0", "Simulated1", "square", 3, 1, 2, 32, None).unwrap();
         let addr = server.local_addr().to_string();
 
         let menu = run(&["client", "menu", "--addr", &addr]).unwrap();

@@ -76,6 +76,9 @@ pub enum Command {
         workers: usize,
         /// Pending-connection bound per shard.
         queue: usize,
+        /// Optional write-ahead sale journal path: sales are made durable
+        /// before they are acknowledged, and replayed on restart.
+        journal: Option<String>,
     },
     /// Talk to a running server.
     Client {
@@ -96,7 +99,10 @@ pub enum ClientAction {
     /// Fetch listing metadata and ledger accounting.
     Info,
     /// Fetch the server's serving statistics.
-    Stats,
+    Stats {
+        /// Render Prometheus text exposition format instead of the table.
+        text: bool,
+    },
     /// Quote then commit one purchase.
     Buy(BuyRequest),
     /// Run the loopback load generator against the server.
@@ -107,6 +113,9 @@ pub enum ClientAction {
         requests: usize,
         /// Full purchases instead of read-only quotes.
         buy: bool,
+        /// Retries per request after a `BUSY` shed (honoring the server's
+        /// retry hint) before counting it as shed.
+        retries: u32,
     },
 }
 
@@ -183,10 +192,12 @@ pub fn usage() -> String {
      nimbus fairness [--value SHAPE] [--points N] [--tau T]\n  \
      nimbus curve  [--dataset NAME] [--samples N] [--seed N]\n  \
      nimbus serve  [--addr HOST:PORT] [--dataset NAME] [--metric M] [--seed N] \
-     [--shards K] [--workers W] [--queue Q]\n  \
-     nimbus client menu|info|stats [--addr HOST:PORT]\n  \
+     [--shards K] [--workers W] [--queue Q] [--journal PATH]\n  \
+     nimbus client menu|info [--addr HOST:PORT]\n  \
+     nimbus client stats [--text] [--addr HOST:PORT]\n  \
      nimbus client buy (--error-budget E | --price-budget P | --at X) [--addr HOST:PORT]\n  \
-     nimbus client load [--threads N] [--requests M] [--buy] [--addr HOST:PORT]\n  \
+     nimbus client load [--threads N] [--requests M] [--buy] [--busy-retries R] \
+     [--addr HOST:PORT]\n  \
      nimbus help"
         .to_string()
 }
@@ -345,6 +356,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
             let mut shards = 2usize;
             let mut workers = 2usize;
             let mut queue = 64usize;
+            let mut journal: Option<String> = None;
             while let Some(flag) = iter.next() {
                 match flag.as_str() {
                     "--addr" => addr = take_value(&mut iter, "--addr")?,
@@ -354,6 +366,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                     "--shards" => shards = parse_num(&mut iter, "--shards")?,
                     "--workers" => workers = parse_num(&mut iter, "--workers")?,
                     "--queue" => queue = parse_num(&mut iter, "--queue")?,
+                    "--journal" => journal = Some(take_value(&mut iter, "--journal")?),
                     other => return Err(ParseError::UnknownFlag(other.to_string())),
                 }
             }
@@ -365,6 +378,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 shards,
                 workers,
                 queue,
+                journal,
             })
         }
         "client" => {
@@ -372,16 +386,18 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
             let mut addr = DEFAULT_ADDR.to_string();
             match action_word.as_str() {
                 "menu" | "info" | "stats" => {
+                    let mut text = false;
                     while let Some(flag) = iter.next() {
                         match flag.as_str() {
                             "--addr" => addr = take_value(&mut iter, "--addr")?,
+                            "--text" if action_word == "stats" => text = true,
                             other => return Err(ParseError::UnknownFlag(other.to_string())),
                         }
                     }
                     let action = match action_word.as_str() {
                         "menu" => ClientAction::Menu,
                         "info" => ClientAction::Info,
-                        _ => ClientAction::Stats,
+                        _ => ClientAction::Stats { text },
                     };
                     Ok(Command::Client { addr, action })
                 }
@@ -423,12 +439,14 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                     let mut threads = 4usize;
                     let mut requests = 64usize;
                     let mut buy = false;
+                    let mut retries = 0u32;
                     while let Some(flag) = iter.next() {
                         match flag.as_str() {
                             "--addr" => addr = take_value(&mut iter, "--addr")?,
                             "--threads" => threads = parse_num(&mut iter, "--threads")?,
                             "--requests" => requests = parse_num(&mut iter, "--requests")?,
                             "--buy" => buy = true,
+                            "--busy-retries" => retries = parse_num(&mut iter, "--busy-retries")?,
                             other => return Err(ParseError::UnknownFlag(other.to_string())),
                         }
                     }
@@ -438,6 +456,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                             threads,
                             requests,
                             buy,
+                            retries,
                         },
                     })
                 }
@@ -573,7 +592,8 @@ mod tests {
                 seed: 7,
                 shards: 2,
                 workers: 2,
-                queue: 64
+                queue: 64,
+                journal: None
             }
         );
         assert_eq!(
@@ -600,7 +620,8 @@ mod tests {
                 seed: 11,
                 shards: 4,
                 workers: 3,
-                queue: 8
+                queue: 8,
+                journal: None
             }
         );
     }
@@ -618,7 +639,7 @@ mod tests {
             parse(&["client", "stats", "--addr", "10.0.0.1:7"]).unwrap(),
             Command::Client {
                 addr: "10.0.0.1:7".into(),
-                action: ClientAction::Stats
+                action: ClientAction::Stats { text: false }
             }
         );
         assert_eq!(
@@ -644,7 +665,57 @@ mod tests {
                 action: ClientAction::Load {
                     threads: 8,
                     requests: 10,
-                    buy: true
+                    buy: true,
+                    retries: 0
+                }
+            }
+        );
+    }
+
+    #[test]
+    fn serve_journal_flag() {
+        assert_eq!(
+            parse(&["serve", "--journal", "/tmp/sales.journal"]).unwrap(),
+            Command::Serve {
+                addr: DEFAULT_ADDR.into(),
+                dataset: "Simulated1".into(),
+                metric: "square".into(),
+                seed: 7,
+                shards: 2,
+                workers: 2,
+                queue: 64,
+                journal: Some("/tmp/sales.journal".into())
+            }
+        );
+        assert_eq!(
+            parse(&["serve", "--journal"]),
+            Err(ParseError::MissingValue("--journal".into()))
+        );
+    }
+
+    #[test]
+    fn client_stats_text_and_load_retries() {
+        assert_eq!(
+            parse(&["client", "stats", "--text"]).unwrap(),
+            Command::Client {
+                addr: DEFAULT_ADDR.into(),
+                action: ClientAction::Stats { text: true }
+            }
+        );
+        // --text is a stats-only flag.
+        assert!(matches!(
+            parse(&["client", "menu", "--text"]),
+            Err(ParseError::UnknownFlag(_))
+        ));
+        assert_eq!(
+            parse(&["client", "load", "--busy-retries", "5"]).unwrap(),
+            Command::Client {
+                addr: DEFAULT_ADDR.into(),
+                action: ClientAction::Load {
+                    threads: 4,
+                    requests: 64,
+                    buy: false,
+                    retries: 5
                 }
             }
         );

@@ -58,6 +58,7 @@
 //!   `(seed, point index)`, so the parallel estimator is bitwise-identical
 //!   to a sequential one and the broker holds no RNG state at all.
 
+use crate::journal::{FaultPlan, Journal, Recovery, SaleRecord};
 use crate::ledger::{Ledger, LedgerShard, Transaction};
 use crate::parallel::parallel_map;
 use crate::seller::Seller;
@@ -70,6 +71,8 @@ use nimbus_ml::{ErrorMetric, LinearModel, LinearRegressionTrainer, Trainer};
 use nimbus_optim::{solve_revenue_dp, RevenueProblem};
 use nimbus_randkit::{seeded_rng, split_stream};
 use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -343,6 +346,9 @@ pub struct BrokerBuilder {
     metric: Option<Box<dyn ErrorMetric>>,
     config: BrokerConfig,
     commission: f64,
+    journal_path: Option<PathBuf>,
+    journal_checkpoint_every: u64,
+    journal_faults: FaultPlan,
 }
 
 impl BrokerBuilder {
@@ -357,7 +363,35 @@ impl BrokerBuilder {
             metric: None,
             config: BrokerConfig::default(),
             commission: 0.0,
+            journal_path: None,
+            journal_checkpoint_every: 256,
+            journal_faults: FaultPlan::new(),
         }
+    }
+
+    /// Journals every committed sale to the write-ahead log at `path`,
+    /// fsynced before the sale is acknowledged. On [`BrokerBuilder::build`]
+    /// an existing journal is replayed: the ledger shards, the monotone
+    /// transaction-id sequence and the idempotency table are restored, and
+    /// epochs of snapshots published by [`Broker::open_market`] continue
+    /// above the highest journaled epoch.
+    pub fn journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal_path = Some(path.into());
+        self
+    }
+
+    /// Compacts the journal into one checkpoint record after this many
+    /// sale appends (`0` disables automatic compaction; default 256).
+    pub fn journal_checkpoint_every(mut self, every: u64) -> Self {
+        self.journal_checkpoint_every = every;
+        self
+    }
+
+    /// Routes every journal write through an injected [`FaultPlan`] —
+    /// the hook behind the crash/recovery tests.
+    pub fn journal_faults(mut self, plan: FaultPlan) -> Self {
+        self.journal_faults = plan;
+        self
     }
 
     /// Sets the trainer.
@@ -458,6 +492,33 @@ impl BrokerBuilder {
                 reason: format!("commission rate must be in [0, 1), got {}", self.commission),
             });
         }
+        let shards: Vec<Mutex<LedgerShard>> = (0..LEDGER_SHARDS)
+            .map(|_| Mutex::new(LedgerShard::new()))
+            .collect();
+        let mut dedup: HashMap<(u64, u64), u64> = HashMap::new();
+        let mut next_tx = 0u64;
+        let mut epoch_base = 0u64;
+        let mut journal = None;
+        let mut recovery = None;
+        if let Some(path) = self.journal_path {
+            let (j, rec) = Journal::open(path, self.journal_checkpoint_every, self.journal_faults)?;
+            // Rebuild the books exactly as the pre-crash broker held them:
+            // every replayed sale back on its stripe, the id sequence
+            // resuming past the highest journaled id, and the idempotency
+            // table primed so retried commits dedup instead of re-selling.
+            for t in &rec.transactions {
+                shards[t.sequence as usize % LEDGER_SHARDS]
+                    .lock()
+                    .record_assigned(t.sequence, t.inverse_ncp, t.price, t.expected_error);
+            }
+            for &(epoch, nonce, tx_id) in &rec.dedup {
+                dedup.insert((epoch, nonce), tx_id);
+            }
+            next_tx = rec.next_tx_id;
+            epoch_base = rec.max_epoch;
+            journal = Some(Mutex::new(j));
+            recovery = Some(rec);
+        }
         Ok(Broker {
             seller: self.seller,
             trainer: self.trainer,
@@ -468,10 +529,12 @@ impl BrokerBuilder {
             optimal: RwLock::new(None),
             current: AtomicPtr::new(std::ptr::null_mut()),
             history: Mutex::new(Vec::new()),
-            shards: (0..LEDGER_SHARDS)
-                .map(|_| Mutex::new(LedgerShard::new()))
-                .collect(),
-            tx_counter: AtomicU64::new(0),
+            shards,
+            tx_counter: AtomicU64::new(next_tx),
+            journal,
+            dedup: Mutex::new(dedup),
+            epoch_base,
+            recovery,
         })
     }
 }
@@ -500,6 +563,19 @@ pub struct Broker {
     /// Globally unique transaction ids, also the label of each sale's
     /// private RNG stream.
     tx_counter: AtomicU64,
+    /// Optional write-ahead journal; when present, every sale is appended
+    /// and fsynced *before* the commit returns (the ACK barrier).
+    journal: Option<Mutex<Journal>>,
+    /// Idempotency table `(quote epoch, client nonce) → transaction id`.
+    /// Keyed commits serialize on this lock; plain commits never touch it.
+    dedup: Mutex<HashMap<(u64, u64), u64>>,
+    /// Highest snapshot epoch replayed from the journal: newly published
+    /// snapshots continue above it, so epochs are monotone across restarts
+    /// and every pre-crash quote fails with `QuoteExpired` rather than
+    /// committing against a rebuilt (different) snapshot.
+    epoch_base: u64,
+    /// What the journal replayed at build time (`None` without a journal).
+    recovery: Option<Recovery>,
 }
 
 impl Broker {
@@ -685,7 +761,7 @@ impl Broker {
             curve,
             metric_name,
             expected_revenue: expected,
-            epoch: history.len() as u64 + 1,
+            epoch: self.epoch_base + history.len() as u64 + 1,
             x_lo,
             x_hi,
         });
@@ -761,6 +837,14 @@ impl Broker {
     /// snapshot rather than trusted from the quote, so a tampered quote
     /// cannot underpay.
     pub fn commit(&self, quote: Quote, payment: f64) -> Result<Sale> {
+        self.commit_with_nonce(quote, payment, None)
+    }
+
+    /// The single commit path: validates, perturbs, journals (when a
+    /// journal is configured — the append is fsynced before the sale is
+    /// acknowledged, so a journal failure fails the commit and nothing is
+    /// recorded), then records the sale on a ledger stripe.
+    fn commit_with_nonce(&self, quote: Quote, payment: f64, nonce: Option<u64>) -> Result<Sale> {
         if !(payment.is_finite() && payment >= 0.0) {
             return Err(MarketError::InvalidPayment { offered: payment });
         }
@@ -785,6 +869,18 @@ impl Broker {
         let mut rng = seeded_rng(split_stream(self.config.seed, tx_id));
         let model = self.mechanism.perturb(snapshot.optimal(), ncp, &mut rng)?;
         let expected_error = snapshot.error_curve().expected_error_at(ncp);
+        if let Some(journal) = &self.journal {
+            journal.lock().append_sale(&SaleRecord {
+                transaction: Transaction {
+                    sequence: tx_id,
+                    inverse_ncp: quote.x,
+                    price,
+                    expected_error,
+                },
+                snapshot_epoch: snapshot.epoch(),
+                nonce,
+            })?;
+        }
         let transaction = self.shards[tx_id as usize % LEDGER_SHARDS]
             .lock()
             .record_assigned(tx_id, quote.x, price, expected_error);
@@ -821,6 +917,99 @@ impl Broker {
             },
             payment,
         )
+    }
+
+    /// [`Broker::commit_at`] with an idempotency key — the hook behind a
+    /// *retried* `COMMIT` after a lost ACK.
+    ///
+    /// The key is `(snapshot_epoch, nonce)`. A first commit under a key
+    /// behaves exactly like [`Broker::commit_at`], additionally journaling
+    /// the key with the sale; a repeat of the same key returns the
+    /// *original* sale — same transaction id, price, and bitwise-identical
+    /// noisy model (sale noise is a pure function of `(seed, transaction
+    /// id, x)`) — without charging again. The dedup table survives
+    /// restarts because it is replayed from the journal, so a retry that
+    /// lands on a recovered broker still dedups. The key lookup runs
+    /// *before* the epoch check: a retry of a sale that committed just
+    /// before a re-`open_market()` (or a crash) replays rather than
+    /// failing `QuoteExpired`. Keyed commits serialize on the dedup lock;
+    /// plain commits are unaffected.
+    pub fn commit_at_idempotent(
+        &self,
+        x: f64,
+        snapshot_epoch: u64,
+        payment: f64,
+        nonce: u64,
+    ) -> Result<Sale> {
+        let metric = self.published()?.metric_name();
+        let mut dedup = self.dedup.lock();
+        if let Some(&tx_id) = dedup.get(&(snapshot_epoch, nonce)) {
+            return self.replay_sale(tx_id);
+        }
+        let sale = self.commit_with_nonce(
+            Quote {
+                x,
+                delta: if x > 0.0 { 1.0 / x } else { f64::NAN },
+                price: f64::NAN,
+                expected_error: f64::NAN,
+                metric,
+                snapshot_epoch,
+            },
+            payment,
+            Some(nonce),
+        )?;
+        dedup.insert((snapshot_epoch, nonce), sale.transaction.sequence);
+        Ok(sale)
+    }
+
+    /// Reconstructs the exact [`Sale`] of an already-recorded transaction:
+    /// the ledger row is read back off its stripe and the noisy model is
+    /// re-derived from the transaction's private RNG stream, which depends
+    /// only on `(seed, transaction id, x)` — identical across threads,
+    /// re-opens and restarts (training is deterministic).
+    fn replay_sale(&self, tx_id: u64) -> Result<Sale> {
+        let transaction = self.shards[tx_id as usize % LEDGER_SHARDS]
+            .lock()
+            .transactions()
+            .iter()
+            .copied()
+            .find(|t| t.sequence == tx_id)
+            .ok_or_else(|| MarketError::InvalidConfig {
+                reason: format!("idempotency table points at unknown transaction {tx_id}"),
+            })?;
+        let snapshot = self.published()?;
+        let ncp = InverseNcp::new(transaction.inverse_ncp)?.ncp();
+        let mut rng = seeded_rng(split_stream(self.config.seed, tx_id));
+        let model = self.mechanism.perturb(snapshot.optimal(), ncp, &mut rng)?;
+        Ok(Sale {
+            model,
+            inverse_ncp: transaction.inverse_ncp,
+            price: transaction.price,
+            expected_error: transaction.expected_error,
+            metric: snapshot.metric_name(),
+            transaction,
+        })
+    }
+
+    /// Whether this broker journals its sales.
+    pub fn has_journal(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// What the journal replayed when this broker was built (`None`
+    /// without a journal; an empty recovery for a fresh journal).
+    pub fn recovery(&self) -> Option<&Recovery> {
+        self.recovery.as_ref()
+    }
+
+    /// Forces a journal checkpoint — the log is compacted to one record
+    /// holding the full books. Used by the serving layer's graceful
+    /// shutdown; a no-op without a journal.
+    pub fn checkpoint_journal(&self) -> Result<()> {
+        match &self.journal {
+            Some(journal) => journal.lock().checkpoint().map_err(Into::into),
+            None => Ok(()),
+        }
     }
 
     /// Quotes and commits every request, fanning out over scoped threads

@@ -42,6 +42,9 @@ pub enum MarketError {
     /// Population generation was asked for zero buyers or given an empty
     /// market.
     EmptyPopulation,
+    /// The write-ahead journal refused or failed an operation; the sale
+    /// was not made durable and must not be acknowledged.
+    Journal(crate::journal::JournalError),
     /// Underlying data error.
     Data(nimbus_data::DataError),
     /// Underlying ML error.
@@ -71,6 +74,7 @@ impl fmt::Display for MarketError {
             }
             MarketError::InvalidCurve { reason } => write!(f, "invalid market curve: {reason}"),
             MarketError::EmptyPopulation => write!(f, "buyer population is empty"),
+            MarketError::Journal(e) => write!(f, "journal error: {e}"),
             MarketError::Data(e) => write!(f, "data error: {e}"),
             MarketError::Ml(e) => write!(f, "ml error: {e}"),
             MarketError::Core(e) => write!(f, "core error: {e}"),
@@ -82,12 +86,19 @@ impl fmt::Display for MarketError {
 impl std::error::Error for MarketError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            MarketError::Journal(e) => Some(e),
             MarketError::Data(e) => Some(e),
             MarketError::Ml(e) => Some(e),
             MarketError::Core(e) => Some(e),
             MarketError::Optim(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<crate::journal::JournalError> for MarketError {
+    fn from(e: crate::journal::JournalError) -> Self {
+        MarketError::Journal(e)
     }
 }
 

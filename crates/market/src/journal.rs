@@ -1,0 +1,1088 @@
+//! Crash-safe write-ahead journal of committed sales.
+//!
+//! The broker's striped ledger is volatile: a crashed `nimbus serve`
+//! forgets its revenue books and transaction sequence. This module is the
+//! durability layer behind `BrokerBuilder::journal(path)` — an append-only,
+//! checksummed, length-prefixed log written *before* a sale is
+//! acknowledged, so every commit a buyer ever saw an ACK for can be
+//! replayed after process death.
+//!
+//! # File format
+//!
+//! ```text
+//! +----------------+----------------------------------------------+
+//! | "NIMBUSJ1" (8) | record | record | record | ...               |
+//! +----------------+----------------------------------------------+
+//!
+//! record := len:u32 | crc32(payload):u32 | payload[len]
+//!
+//! payload := 0x01 SALE  tx_id:u64 epoch:u64 x:f64 price:f64 err:f64
+//!                       has_nonce:u8 [nonce:u64]
+//!          | 0x02 CHECKPOINT  next_tx:u64 max_epoch:u64
+//!                             n_tx:u32  (seq:u64 x:f64 price:f64 err:f64)*
+//!                             n_key:u32 (epoch:u64 nonce:u64 tx_id:u64)*
+//! ```
+//!
+//! All integers and float bit patterns are big-endian, matching the wire
+//! protocol. The CRC is CRC-32/ISO-HDLC (the IEEE polynomial used by zip
+//! and Ethernet), implemented in-crate — the workspace vendors no
+//! checksum crate.
+//!
+//! # Recovery contract
+//!
+//! [`Journal::open`] scans the log front to back and stops at the first
+//! record that is torn (length prefix or body runs past EOF), corrupt
+//! (checksum mismatch, unknown tag, malformed body) or semantically
+//! invalid (duplicate transaction id, snapshot-epoch regression). The
+//! valid prefix is salvaged — the file is truncated back to it so the next
+//! append produces a clean log — and the typed [`JournalError`] that ended
+//! the scan is reported in [`Recovery::truncated`]. A `CHECKPOINT` record
+//! *replaces* all state accumulated before it, which is what makes
+//! compaction (rewrite-the-log-as-one-checkpoint, then rename into place)
+//! safe: either the old log or the new one is fully present, never a mix.
+//!
+//! # Fault injection
+//!
+//! Every byte the journal writes goes through a [`FaultyFile`], which
+//! consults a shared [`FaultPlan`]: fail the nth write outright, write
+//! half of it and then fail (a torn record), fail the nth fsync, or flip
+//! one bit in the nth write (silent corruption caught by the checksum on
+//! recovery). Plans are cheap `Arc` clones, so one plan can govern every
+//! handle a journal opens across compactions and test restarts.
+
+use crate::ledger::Transaction;
+use std::collections::HashSet;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Leading bytes of every journal file.
+pub const MAGIC: [u8; 8] = *b"NIMBUSJ1";
+
+/// Hard cap on one record's payload; anything larger is treated as a
+/// corrupt length prefix rather than an allocation request.
+pub const MAX_RECORD_LEN: u32 = 1 << 20;
+
+const TAG_SALE: u8 = 0x01;
+const TAG_CHECKPOINT: u8 = 0x02;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE), table-driven, std-only.
+// ---------------------------------------------------------------------------
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = build_crc_table();
+
+/// CRC-32/ISO-HDLC over `bytes` (the classic zip/Ethernet CRC).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Typed failures of the journal layer.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The file exists but does not start with the journal magic — refuse
+    /// to touch it rather than truncate something that isn't ours.
+    NotAJournal {
+        /// Path of the offending file.
+        path: PathBuf,
+    },
+    /// A record's length prefix or body runs past end of file (torn tail).
+    TruncatedRecord {
+        /// Byte offset of the record that tore.
+        offset: u64,
+    },
+    /// A record's checksum does not match its payload.
+    BadChecksum {
+        /// Byte offset of the corrupt record.
+        offset: u64,
+    },
+    /// A record decoded but its body is malformed (unknown tag, short
+    /// body, trailing bytes).
+    BadRecord {
+        /// Byte offset of the malformed record.
+        offset: u64,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+    /// A sale record re-uses a transaction id already replayed.
+    DuplicateTransaction {
+        /// Byte offset of the duplicate.
+        offset: u64,
+        /// The repeated transaction id.
+        tx_id: u64,
+    },
+    /// A sale record's snapshot epoch went backwards — epochs are monotone
+    /// across the broker's lifetime, including restarts.
+    EpochRegression {
+        /// Byte offset of the regressing record.
+        offset: u64,
+        /// Highest epoch seen before it.
+        previous: u64,
+        /// The epoch it carried.
+        got: u64,
+    },
+    /// A record's length prefix exceeds [`MAX_RECORD_LEN`].
+    RecordTooLarge {
+        /// Byte offset of the record.
+        offset: u64,
+        /// The claimed payload length.
+        len: u32,
+    },
+    /// A previous append failed and the journal could not restore its
+    /// durable tail; further appends are refused.
+    Poisoned,
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal i/o: {e}"),
+            JournalError::NotAJournal { path } => {
+                write!(f, "{} is not a nimbus journal (bad magic)", path.display())
+            }
+            JournalError::TruncatedRecord { offset } => {
+                write!(f, "torn record at byte {offset}")
+            }
+            JournalError::BadChecksum { offset } => {
+                write!(f, "checksum mismatch at byte {offset}")
+            }
+            JournalError::BadRecord { offset, reason } => {
+                write!(f, "malformed record at byte {offset}: {reason}")
+            }
+            JournalError::DuplicateTransaction { offset, tx_id } => {
+                write!(f, "duplicate transaction id {tx_id} at byte {offset}")
+            }
+            JournalError::EpochRegression {
+                offset,
+                previous,
+                got,
+            } => write!(
+                f,
+                "snapshot epoch regressed from {previous} to {got} at byte {offset}"
+            ),
+            JournalError::RecordTooLarge { offset, len } => {
+                write!(f, "record at byte {offset} claims {len} bytes")
+            }
+            JournalError::Poisoned => {
+                write!(f, "journal poisoned by an unrecoverable append failure")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct FaultState {
+    writes: AtomicU64,
+    syncs: AtomicU64,
+    fail_write_at: AtomicU64,
+    short_write_at: AtomicU64,
+    flip_bit_at: AtomicU64,
+    fail_sync_at: AtomicU64,
+}
+
+/// A shared plan of injected filesystem faults.
+///
+/// Counters are 1-based and count *calls*, which for the journal means
+/// records: the nth write is the nth record framed to disk (compaction
+/// rewrites count too, since they share the plan). A threshold of 0
+/// disables that fault. Clones share state, so the plan survives the
+/// journal reopening handles.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    inner: Arc<FaultState>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults armed.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Fail the `n`th write outright (nothing reaches the file).
+    pub fn fail_nth_write(self, n: u64) -> Self {
+        self.inner.fail_write_at.store(n, Ordering::SeqCst);
+        self
+    }
+
+    /// Write only half of the `n`th write, then fail — a torn record.
+    pub fn short_nth_write(self, n: u64) -> Self {
+        self.inner.short_write_at.store(n, Ordering::SeqCst);
+        self
+    }
+
+    /// Silently flip one bit in the middle of the `n`th write.
+    pub fn flip_bit_in_nth_write(self, n: u64) -> Self {
+        self.inner.flip_bit_at.store(n, Ordering::SeqCst);
+        self
+    }
+
+    /// Fail the `n`th fsync (data may or may not be durable).
+    pub fn fail_nth_sync(self, n: u64) -> Self {
+        self.inner.fail_sync_at.store(n, Ordering::SeqCst);
+        self
+    }
+
+    /// Writes issued through this plan so far.
+    pub fn writes_observed(&self) -> u64 {
+        self.inner.writes.load(Ordering::SeqCst)
+    }
+
+    fn injected(kind: &str) -> io::Error {
+        io::Error::other(format!("injected fault: {kind}"))
+    }
+}
+
+/// A file handle that routes writes and syncs through a [`FaultPlan`].
+#[derive(Debug)]
+pub struct FaultyFile {
+    file: File,
+    plan: FaultPlan,
+}
+
+impl FaultyFile {
+    /// Wraps `file` so writes and syncs consult `plan`.
+    pub fn new(file: File, plan: FaultPlan) -> Self {
+        FaultyFile { file, plan }
+    }
+
+    /// Writes `buf` in full, subject to the plan's armed faults.
+    pub fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        let n = self.plan.inner.writes.fetch_add(1, Ordering::SeqCst) + 1;
+        if n == self.plan.inner.fail_write_at.load(Ordering::SeqCst) {
+            return Err(FaultPlan::injected("write failure"));
+        }
+        if n == self.plan.inner.short_write_at.load(Ordering::SeqCst) {
+            self.file.write_all(&buf[..buf.len() / 2])?;
+            let _ = self.file.sync_data();
+            return Err(FaultPlan::injected("short write"));
+        }
+        if n == self.plan.inner.flip_bit_at.load(Ordering::SeqCst) && !buf.is_empty() {
+            let mut corrupt = buf.to_vec();
+            let mid = corrupt.len() / 2;
+            corrupt[mid] ^= 0x40;
+            return self.file.write_all(&corrupt);
+        }
+        self.file.write_all(buf)
+    }
+
+    /// Flushes file data to stable storage, subject to the plan.
+    pub fn sync_data(&mut self) -> io::Result<()> {
+        let n = self.plan.inner.syncs.fetch_add(1, Ordering::SeqCst) + 1;
+        if n == self.plan.inner.fail_sync_at.load(Ordering::SeqCst) {
+            return Err(FaultPlan::injected("fsync failure"));
+        }
+        self.file.sync_data()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+/// One committed sale as journaled: the ledger row, the snapshot epoch it
+/// was priced against, and the client's idempotency nonce if it sent one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaleRecord {
+    /// The ledger transaction (id, inverse NCP, price, expected error).
+    pub transaction: Transaction,
+    /// Epoch of the snapshot the sale committed against.
+    pub snapshot_epoch: u64,
+    /// Client idempotency nonce; the dedup key is `(snapshot_epoch, nonce)`.
+    pub nonce: Option<u64>,
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_be_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_be_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_be_bytes(b.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Encodes a sale payload (tag byte included, no frame header).
+pub fn encode_sale_payload(record: &SaleRecord) -> Vec<u8> {
+    let mut out = Vec::with_capacity(50);
+    out.push(TAG_SALE);
+    put_u64(&mut out, record.transaction.sequence);
+    put_u64(&mut out, record.snapshot_epoch);
+    put_f64(&mut out, record.transaction.inverse_ncp);
+    put_f64(&mut out, record.transaction.price);
+    put_f64(&mut out, record.transaction.expected_error);
+    match record.nonce {
+        Some(nonce) => {
+            out.push(1);
+            put_u64(&mut out, nonce);
+        }
+        None => out.push(0),
+    }
+    out
+}
+
+/// Frames a payload as it appears on disk: `len | crc | payload`.
+pub fn frame_record(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    put_u32(&mut out, payload.len() as u32);
+    put_u32(&mut out, crc32(payload));
+    out.extend_from_slice(payload);
+    out
+}
+
+fn encode_checkpoint_payload(state: &State) -> Vec<u8> {
+    let mut out = Vec::with_capacity(17 + 32 * state.transactions.len());
+    out.push(TAG_CHECKPOINT);
+    put_u64(&mut out, state.next_tx);
+    put_u64(&mut out, state.max_epoch);
+    put_u32(&mut out, state.transactions.len() as u32);
+    for t in &state.transactions {
+        put_u64(&mut out, t.sequence);
+        put_f64(&mut out, t.inverse_ncp);
+        put_f64(&mut out, t.price);
+        put_f64(&mut out, t.expected_error);
+    }
+    put_u32(&mut out, state.dedup.len() as u32);
+    for &(epoch, nonce, tx_id) in &state.dedup {
+        put_u64(&mut out, epoch);
+        put_u64(&mut out, nonce);
+        put_u64(&mut out, tx_id);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+/// Everything a broker needs to resume its books after a restart.
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// Replayed transactions in journal (= commit) order.
+    pub transactions: Vec<Transaction>,
+    /// Replayed idempotency keys: `(snapshot_epoch, nonce, tx_id)`.
+    pub dedup: Vec<(u64, u64, u64)>,
+    /// The next transaction id to hand out (max replayed id + 1).
+    pub next_tx_id: u64,
+    /// The highest snapshot epoch any replayed sale committed against.
+    pub max_epoch: u64,
+    /// Length of the valid prefix, in bytes (including the magic header).
+    pub valid_bytes: u64,
+    /// The typed error that ended the scan, if the log had a bad tail.
+    /// The file has already been truncated back to `valid_bytes`.
+    pub truncated: Option<JournalError>,
+}
+
+impl Recovery {
+    /// Revenue across all replayed sales. Folds from `+0.0` (std's `Sum`
+    /// starts at `-0.0`) so an empty recovery reports plain zero.
+    pub fn total_revenue(&self) -> f64 {
+        self.transactions.iter().fold(0.0, |acc, t| acc + t.price)
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct State {
+    transactions: Vec<Transaction>,
+    dedup: Vec<(u64, u64, u64)>,
+    next_tx: u64,
+    max_epoch: u64,
+}
+
+impl State {
+    fn apply_sale(&mut self, record: &SaleRecord) {
+        self.transactions.push(record.transaction);
+        self.next_tx = self.next_tx.max(record.transaction.sequence + 1);
+        self.max_epoch = self.max_epoch.max(record.snapshot_epoch);
+        if let Some(nonce) = record.nonce {
+            self.dedup
+                .push((record.snapshot_epoch, nonce, record.transaction.sequence));
+        }
+    }
+}
+
+/// Scans `bytes` (after the magic) and returns the replayed state, the
+/// valid byte count and the error (if any) that stopped the scan.
+fn scan(bytes: &[u8]) -> (State, u64, Option<JournalError>) {
+    let mut state = State::default();
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut pos: usize = 0;
+    let err = loop {
+        if pos == bytes.len() {
+            break None;
+        }
+        let offset = (MAGIC.len() + pos) as u64;
+        if bytes.len() - pos < 8 {
+            break Some(JournalError::TruncatedRecord { offset });
+        }
+        let len = u32::from_be_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        if len > MAX_RECORD_LEN {
+            break Some(JournalError::RecordTooLarge { offset, len });
+        }
+        let crc = u32::from_be_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        let body_start = pos + 8;
+        let body_end = match body_start.checked_add(len as usize) {
+            Some(end) if end <= bytes.len() => end,
+            _ => break Some(JournalError::TruncatedRecord { offset }),
+        };
+        let payload = &bytes[body_start..body_end];
+        if crc32(payload) != crc {
+            break Some(JournalError::BadChecksum { offset });
+        }
+        match decode_payload(payload, offset, &mut state, &mut seen) {
+            Ok(()) => pos = body_end,
+            Err(e) => break Some(e),
+        }
+    };
+    let valid = if err.is_some() {
+        (MAGIC.len() + pos) as u64
+    } else {
+        (MAGIC.len() + bytes.len()) as u64
+    };
+    (state, valid, err)
+}
+
+fn decode_payload(
+    payload: &[u8],
+    offset: u64,
+    state: &mut State,
+    seen: &mut HashSet<u64>,
+) -> Result<(), JournalError> {
+    let bad = |reason| JournalError::BadRecord { offset, reason };
+    let mut c = Cursor::new(payload);
+    match c.u8().ok_or(bad("empty payload"))? {
+        TAG_SALE => {
+            let tx_id = c.u64().ok_or(bad("short sale record"))?;
+            let epoch = c.u64().ok_or(bad("short sale record"))?;
+            let inverse_ncp = c.f64().ok_or(bad("short sale record"))?;
+            let price = c.f64().ok_or(bad("short sale record"))?;
+            let expected_error = c.f64().ok_or(bad("short sale record"))?;
+            let nonce = match c.u8().ok_or(bad("short sale record"))? {
+                0 => None,
+                1 => Some(c.u64().ok_or(bad("short sale record"))?),
+                _ => return Err(bad("bad nonce flag")),
+            };
+            if !c.done() {
+                return Err(bad("trailing bytes in sale record"));
+            }
+            if !seen.insert(tx_id) {
+                return Err(JournalError::DuplicateTransaction { offset, tx_id });
+            }
+            if epoch < state.max_epoch {
+                return Err(JournalError::EpochRegression {
+                    offset,
+                    previous: state.max_epoch,
+                    got: epoch,
+                });
+            }
+            state.apply_sale(&SaleRecord {
+                transaction: Transaction {
+                    sequence: tx_id,
+                    inverse_ncp,
+                    price,
+                    expected_error,
+                },
+                snapshot_epoch: epoch,
+                nonce,
+            });
+            Ok(())
+        }
+        TAG_CHECKPOINT => {
+            let next_tx = c.u64().ok_or(bad("short checkpoint"))?;
+            let max_epoch = c.u64().ok_or(bad("short checkpoint"))?;
+            let n_tx = c.u32().ok_or(bad("short checkpoint"))? as usize;
+            let mut fresh = State {
+                next_tx,
+                max_epoch,
+                ..State::default()
+            };
+            let mut fresh_seen = HashSet::with_capacity(n_tx);
+            for _ in 0..n_tx {
+                let sequence = c.u64().ok_or(bad("short checkpoint"))?;
+                let inverse_ncp = c.f64().ok_or(bad("short checkpoint"))?;
+                let price = c.f64().ok_or(bad("short checkpoint"))?;
+                let expected_error = c.f64().ok_or(bad("short checkpoint"))?;
+                if !fresh_seen.insert(sequence) {
+                    return Err(JournalError::DuplicateTransaction {
+                        offset,
+                        tx_id: sequence,
+                    });
+                }
+                if sequence >= next_tx {
+                    return Err(bad("checkpoint transaction beyond next_tx"));
+                }
+                fresh.transactions.push(Transaction {
+                    sequence,
+                    inverse_ncp,
+                    price,
+                    expected_error,
+                });
+            }
+            let n_key = c.u32().ok_or(bad("short checkpoint"))? as usize;
+            for _ in 0..n_key {
+                let epoch = c.u64().ok_or(bad("short checkpoint"))?;
+                let nonce = c.u64().ok_or(bad("short checkpoint"))?;
+                let tx_id = c.u64().ok_or(bad("short checkpoint"))?;
+                fresh.dedup.push((epoch, nonce, tx_id));
+            }
+            if !c.done() {
+                return Err(bad("trailing bytes in checkpoint"));
+            }
+            *state = fresh;
+            *seen = fresh_seen;
+            Ok(())
+        }
+        _ => Err(bad("unknown record tag")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The journal proper
+// ---------------------------------------------------------------------------
+
+/// An open write-ahead journal: an append handle plus the in-memory mirror
+/// of everything durably on disk (the mirror is what checkpoints write).
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: FaultyFile,
+    plan: FaultPlan,
+    durable_len: u64,
+    state: State,
+    appends_since_checkpoint: u64,
+    checkpoint_every: u64,
+    poisoned: bool,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path` and replays it.
+    ///
+    /// `checkpoint_every` compacts the log after that many sale appends
+    /// since the last checkpoint (`0` disables automatic compaction).
+    /// A bad tail is salvaged and reported in [`Recovery::truncated`];
+    /// a file that is not a journal at all is a hard error.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        checkpoint_every: u64,
+        plan: FaultPlan,
+    ) -> Result<(Journal, Recovery), JournalError> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        let (state, valid_bytes, truncated) = if bytes.is_empty() {
+            // Fresh journal: stamp the header.
+            file.write_all(&MAGIC)?;
+            file.sync_data()?;
+            (State::default(), MAGIC.len() as u64, None)
+        } else if bytes.len() < MAGIC.len() {
+            if MAGIC.starts_with(&bytes) {
+                // A crash tore the header itself; restart it.
+                file.set_len(0)?;
+                file.seek(SeekFrom::Start(0))?;
+                file.write_all(&MAGIC)?;
+                file.sync_data()?;
+                (
+                    State::default(),
+                    MAGIC.len() as u64,
+                    Some(JournalError::TruncatedRecord { offset: 0 }),
+                )
+            } else {
+                return Err(JournalError::NotAJournal { path });
+            }
+        } else if bytes[..MAGIC.len()] != MAGIC {
+            return Err(JournalError::NotAJournal { path });
+        } else {
+            let (state, valid, err) = scan(&bytes[MAGIC.len()..]);
+            if err.is_some() {
+                file.set_len(valid)?;
+            }
+            (state, valid, err)
+        };
+
+        file.sync_data()?;
+        file.seek(SeekFrom::Start(valid_bytes))?;
+        let recovery = Recovery {
+            transactions: state.transactions.clone(),
+            dedup: state.dedup.clone(),
+            next_tx_id: state.next_tx,
+            max_epoch: state.max_epoch,
+            valid_bytes,
+            truncated,
+        };
+        Ok((
+            Journal {
+                path,
+                file: FaultyFile::new(file, plan.clone()),
+                plan,
+                durable_len: valid_bytes,
+                state,
+                appends_since_checkpoint: 0,
+                checkpoint_every,
+                poisoned: false,
+            },
+            recovery,
+        ))
+    }
+
+    /// Path this journal writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Bytes durably framed so far (header included).
+    pub fn durable_len(&self) -> u64 {
+        self.durable_len
+    }
+
+    /// Sales currently mirrored in memory (i.e. replayable from disk).
+    pub fn sales(&self) -> usize {
+        self.state.transactions.len()
+    }
+
+    /// Whether an unrecoverable append failure disabled this journal.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Appends one sale and fsyncs before returning — the ACK barrier.
+    ///
+    /// On failure the sale is *not* durable and the broker must not
+    /// acknowledge it: the journal truncates back to its last durable
+    /// length so the log stays clean, poisoning itself only if even that
+    /// repair fails.
+    pub fn append_sale(&mut self, record: &SaleRecord) -> Result<(), JournalError> {
+        if self.poisoned {
+            return Err(JournalError::Poisoned);
+        }
+        // Journaled epochs must be non-decreasing (recovery treats a
+        // regression as corruption). A commit that raced a re-open and
+        // lost is refused here — by the time its older epoch reaches the
+        // journal, a newer snapshot has already sold, so the quote is
+        // stale and the buyer should re-quote.
+        if record.snapshot_epoch < self.state.max_epoch {
+            return Err(JournalError::EpochRegression {
+                offset: self.durable_len,
+                previous: self.state.max_epoch,
+                got: record.snapshot_epoch,
+            });
+        }
+        let frame = frame_record(&encode_sale_payload(record));
+        if let Err(e) = self
+            .file
+            .write_all(&frame)
+            .and_then(|()| self.file.sync_data())
+        {
+            self.repair();
+            return Err(e.into());
+        }
+        self.durable_len += frame.len() as u64;
+        self.state.apply_sale(record);
+        self.appends_since_checkpoint += 1;
+        if self.checkpoint_every > 0 && self.appends_since_checkpoint >= self.checkpoint_every {
+            // Compaction is an optimization: if it fails the old log is
+            // still complete, so the error is deliberately swallowed.
+            let _ = self.checkpoint();
+        }
+        Ok(())
+    }
+
+    /// Rewrites the log as `magic + one checkpoint record`, atomically
+    /// (write a temp file, fsync, rename over the journal). On any error
+    /// the existing log is left untouched and remains authoritative.
+    pub fn checkpoint(&mut self) -> Result<(), JournalError> {
+        if self.poisoned {
+            return Err(JournalError::Poisoned);
+        }
+        let tmp = self.path.with_extension("journal.tmp");
+        let result = (|| -> Result<u64, JournalError> {
+            let frame = frame_record(&encode_checkpoint_payload(&self.state));
+            let raw = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)?;
+            let mut out = FaultyFile::new(raw, self.plan.clone());
+            out.write_all(&MAGIC)?;
+            out.write_all(&frame)?;
+            out.sync_data()?;
+            std::fs::rename(&tmp, &self.path)?;
+            Ok((MAGIC.len() + frame.len()) as u64)
+        })();
+        match result {
+            Ok(new_len) => {
+                // The rename replaced the inode under our append handle;
+                // reopen on the new file.
+                let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+                file.seek(SeekFrom::End(0))?;
+                self.file = FaultyFile::new(file, self.plan.clone());
+                self.durable_len = new_len;
+                self.appends_since_checkpoint = 0;
+                Ok(())
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// After a failed append, restore the file to its last durable length
+    /// so the next append starts from a clean tail.
+    fn repair(&mut self) {
+        let restored = (|| -> io::Result<()> {
+            let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+            file.set_len(self.durable_len)?;
+            file.sync_data()?;
+            file.seek(SeekFrom::Start(self.durable_len))?;
+            self.file = FaultyFile::new(file, self.plan.clone());
+            Ok(())
+        })();
+        if restored.is_err() {
+            self.poisoned = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering as AtomicOrdering};
+
+    fn temp_path(name: &str) -> PathBuf {
+        static COUNTER: AtomicU32 = AtomicU32::new(0);
+        let n = COUNTER.fetch_add(1, AtomicOrdering::SeqCst);
+        std::env::temp_dir().join(format!(
+            "nimbus-journal-{}-{}-{}.journal",
+            std::process::id(),
+            name,
+            n
+        ))
+    }
+
+    fn sale(tx_id: u64, epoch: u64, nonce: Option<u64>) -> SaleRecord {
+        SaleRecord {
+            transaction: Transaction {
+                sequence: tx_id,
+                inverse_ncp: 10.0 + tx_id as f64,
+                price: 2.5 * (tx_id + 1) as f64,
+                expected_error: 0.1 / (tx_id + 1) as f64,
+            },
+            snapshot_epoch: epoch,
+            nonce,
+        }
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn fresh_journal_roundtrips_sales() {
+        let path = temp_path("roundtrip");
+        {
+            let (mut j, rec) = Journal::open(&path, 0, FaultPlan::new()).unwrap();
+            assert!(rec.transactions.is_empty());
+            assert_eq!(rec.next_tx_id, 0);
+            j.append_sale(&sale(0, 1, None)).unwrap();
+            j.append_sale(&sale(1, 1, Some(0xDEAD))).unwrap();
+            j.append_sale(&sale(2, 2, None)).unwrap();
+            assert_eq!(j.sales(), 3);
+        }
+        let (_, rec) = Journal::open(&path, 0, FaultPlan::new()).unwrap();
+        assert!(rec.truncated.is_none());
+        assert_eq!(rec.transactions.len(), 3);
+        assert_eq!(rec.transactions[1], sale(1, 1, None).transaction);
+        assert_eq!(rec.next_tx_id, 3);
+        assert_eq!(rec.max_epoch, 2);
+        assert_eq!(rec.dedup, vec![(1, 0xDEAD, 1)]);
+        assert!((rec.total_revenue() - (2.5 + 5.0 + 7.5)).abs() < 1e-12);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_preserves_state() {
+        let path = temp_path("checkpoint");
+        let grown = {
+            let (mut j, _) = Journal::open(&path, 0, FaultPlan::new()).unwrap();
+            for i in 0..20 {
+                let nonce = if i < 2 { Some(1000 + i) } else { None };
+                j.append_sale(&sale(i, 1, nonce)).unwrap();
+            }
+            let grown = j.durable_len();
+            j.checkpoint().unwrap();
+            assert!(j.durable_len() < grown);
+            // The journal stays appendable after compaction.
+            j.append_sale(&sale(20, 2, None)).unwrap();
+            grown
+        };
+        let (j, rec) = Journal::open(&path, 0, FaultPlan::new()).unwrap();
+        assert!(rec.truncated.is_none());
+        assert_eq!(rec.transactions.len(), 21);
+        assert_eq!(rec.next_tx_id, 21);
+        assert_eq!(rec.max_epoch, 2);
+        assert_eq!(rec.dedup.len(), 2);
+        assert!(j.durable_len() < grown);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn automatic_checkpoint_bounds_file_size() {
+        let path = temp_path("auto-checkpoint");
+        let (mut j, _) = Journal::open(&path, 4, FaultPlan::new()).unwrap();
+        for i in 0..100 {
+            j.append_sale(&sale(i, 1, None)).unwrap();
+        }
+        // 100 appends at ~50 bytes each would be ~5 KB; compaction keeps
+        // the live log near one checkpoint of 100 rows (~3.2 KB) instead
+        // of the full append history.
+        let uncompacted = 100 * frame_record(&encode_sale_payload(&sale(0, 1, None))).len() as u64;
+        assert!(j.durable_len() < uncompacted);
+        drop(j);
+        let (_, rec) = Journal::open(&path, 0, FaultPlan::new()).unwrap();
+        assert_eq!(rec.transactions.len(), 100);
+        assert_eq!(rec.next_tx_id, 100);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_salvaged_and_log_stays_usable() {
+        let path = temp_path("torn");
+        {
+            let (mut j, _) = Journal::open(&path, 0, FaultPlan::new()).unwrap();
+            j.append_sale(&sale(0, 1, None)).unwrap();
+            j.append_sale(&sale(1, 1, None)).unwrap();
+        }
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        // Simulate a crash mid-append: half a record at the tail.
+        let frame = frame_record(&encode_sale_payload(&sale(2, 1, None)));
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&frame[..frame.len() / 2]).unwrap();
+        drop(f);
+        let (mut j, rec) = Journal::open(&path, 0, FaultPlan::new()).unwrap();
+        assert!(matches!(
+            rec.truncated,
+            Some(JournalError::TruncatedRecord { offset }) if offset == clean_len
+        ));
+        assert_eq!(rec.transactions.len(), 2);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len);
+        // Appending after salvage produces a clean log.
+        j.append_sale(&sale(2, 1, None)).unwrap();
+        drop(j);
+        let (_, rec) = Journal::open(&path, 0, FaultPlan::new()).unwrap();
+        assert!(rec.truncated.is_none());
+        assert_eq!(rec.transactions.len(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_is_caught_by_checksum_on_recovery() {
+        let path = temp_path("bitflip");
+        // The magic header goes through the raw handle, so appends count
+        // from write 1: corrupt the second sale.
+        let plan = FaultPlan::new().flip_bit_in_nth_write(2);
+        {
+            let (mut j, _) = Journal::open(&path, 0, plan).unwrap();
+            j.append_sale(&sale(0, 1, None)).unwrap();
+            j.append_sale(&sale(1, 1, None)).unwrap(); // silently corrupted
+            j.append_sale(&sale(2, 1, None)).unwrap();
+        }
+        let (_, rec) = Journal::open(&path, 0, FaultPlan::new()).unwrap();
+        assert!(matches!(
+            rec.truncated,
+            Some(JournalError::BadChecksum { .. })
+        ));
+        // Only the prefix before the corruption survives.
+        assert_eq!(rec.transactions.len(), 1);
+        assert_eq!(rec.next_tx_id, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failed_write_is_not_acked_and_journal_recovers() {
+        let path = temp_path("failwrite");
+        let plan = FaultPlan::new().fail_nth_write(2);
+        let (mut j, _) = Journal::open(&path, 0, plan).unwrap();
+        j.append_sale(&sale(0, 1, None)).unwrap();
+        assert!(matches!(
+            j.append_sale(&sale(1, 1, None)),
+            Err(JournalError::Io(_))
+        ));
+        assert!(!j.is_poisoned());
+        // The journal repaired its tail; the next append succeeds.
+        j.append_sale(&sale(2, 1, None)).unwrap();
+        drop(j);
+        let (_, rec) = Journal::open(&path, 0, FaultPlan::new()).unwrap();
+        assert!(rec.truncated.is_none());
+        let ids: Vec<u64> = rec.transactions.iter().map(|t| t.sequence).collect();
+        assert_eq!(ids, vec![0, 2]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn short_write_leaves_no_partial_record_behind() {
+        let path = temp_path("shortwrite");
+        let plan = FaultPlan::new().short_nth_write(1);
+        let (mut j, _) = Journal::open(&path, 0, plan).unwrap();
+        assert!(j.append_sale(&sale(0, 1, None)).is_err());
+        j.append_sale(&sale(1, 1, None)).unwrap();
+        drop(j);
+        let (_, rec) = Journal::open(&path, 0, FaultPlan::new()).unwrap();
+        assert!(rec.truncated.is_none());
+        let ids: Vec<u64> = rec.transactions.iter().map(|t| t.sequence).collect();
+        assert_eq!(ids, vec![1]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fsync_failure_fails_the_append() {
+        let path = temp_path("fsync");
+        let plan = FaultPlan::new().fail_nth_sync(1);
+        let (mut j, _) = Journal::open(&path, 0, plan).unwrap();
+        assert!(matches!(
+            j.append_sale(&sale(0, 1, None)),
+            Err(JournalError::Io(_))
+        ));
+        j.append_sale(&sale(1, 1, None)).unwrap();
+        drop(j);
+        let (_, rec) = Journal::open(&path, 0, FaultPlan::new()).unwrap();
+        let ids: Vec<u64> = rec.transactions.iter().map(|t| t.sequence).collect();
+        assert_eq!(ids, vec![1]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn refuses_files_that_are_not_journals() {
+        let path = temp_path("notajournal");
+        std::fs::write(&path, b"hello world, definitely not a journal").unwrap();
+        assert!(matches!(
+            Journal::open(&path, 0, FaultPlan::new()),
+            Err(JournalError::NotAJournal { .. })
+        ));
+        // The file was not destroyed by the refusal.
+        assert!(std::fs::read(&path).unwrap().starts_with(b"hello"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = JournalError::EpochRegression {
+            offset: 42,
+            previous: 3,
+            got: 1,
+        };
+        assert!(e.to_string().contains("regressed"));
+        assert!(JournalError::Poisoned.to_string().contains("poisoned"));
+        assert!(JournalError::BadChecksum { offset: 9 }
+            .to_string()
+            .contains("checksum"));
+    }
+}

@@ -71,15 +71,20 @@ impl Ledger {
         }
     }
 
-    /// Merges striped shards into one sequence-ordered ledger. Sequence
-    /// numbers come pre-assigned by the broker's atomic counter, so the
-    /// merge is a sort, not a renumbering.
+    /// Merges striped shards into one ledger ordered by global transaction
+    /// id — i.e. replay order equals commit order, regardless of how the
+    /// broker's concurrent writers interleaved onto stripes (a stripe's
+    /// local order is arrival order, which under contention is *not* id
+    /// order even within the stripe). Sequence numbers come pre-assigned
+    /// by the broker's atomic counter and are globally unique, so the
+    /// merge is a sort on them, not a renumbering; `sort_unstable` is safe
+    /// because no two transactions share an id.
     pub fn from_shards<'a>(shards: impl IntoIterator<Item = &'a LedgerShard>) -> Self {
         let mut transactions: Vec<Transaction> = shards
             .into_iter()
             .flat_map(|s| s.transactions().iter().copied())
             .collect();
-        transactions.sort_by_key(|t| t.sequence);
+        transactions.sort_unstable_by_key(|t| t.sequence);
         Ledger { transactions }
     }
 }
@@ -166,6 +171,34 @@ mod tests {
         assert!((merged.total_revenue() - 22.0).abs() < 1e-12);
         assert!((a.total_revenue() + b.total_revenue() - 22.0).abs() < 1e-12);
         assert_eq!(a.count() + b.count(), 3);
+    }
+
+    #[test]
+    fn replay_order_equals_commit_order() {
+        // Commit order is transaction-id order. Scatter ids over stripes
+        // with deliberately shuffled arrival order — within stripes too,
+        // as happens when two commits on one stripe race — and assert the
+        // merged ledger replays exactly in id order.
+        let n_shards = 4;
+        let mut shards: Vec<LedgerShard> = (0..n_shards).map(|_| LedgerShard::new()).collect();
+        let ids: Vec<u64> = vec![7, 0, 13, 2, 9, 4, 15, 6, 1, 8, 3, 10, 5, 12, 11, 14];
+        for &id in &ids {
+            shards[(id % n_shards as u64) as usize].record_assigned(id, id as f64, 1.0, 0.1);
+        }
+        // Stripe 1 received 13 before 9 before 1 — arrival order is not
+        // id order inside the stripe.
+        let stripe1: Vec<u64> = shards[1]
+            .transactions()
+            .iter()
+            .map(|t| t.sequence)
+            .collect();
+        assert_eq!(stripe1, vec![13, 9, 1, 5]);
+        let merged = Ledger::from_shards(shards.iter());
+        let seqs: Vec<u64> = merged.transactions().iter().map(|t| t.sequence).collect();
+        assert_eq!(seqs, (0..16).collect::<Vec<u64>>());
+        for t in merged.transactions() {
+            assert_eq!(t.inverse_ncp, t.sequence as f64);
+        }
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod broker;
 pub mod buyer;
 pub mod curves;
 pub mod error;
+pub mod journal;
 pub mod ledger;
 pub mod marketplace;
 pub mod parallel;
@@ -76,6 +77,7 @@ pub use broker::{
 pub use buyer::{Buyer, BuyerPopulation};
 pub use curves::{DemandCurve, MarketCurves, ValueCurve};
 pub use error::MarketError;
+pub use journal::{FaultPlan, FaultyFile, Journal, JournalError, Recovery, SaleRecord};
 pub use ledger::{Ledger, LedgerShard, Transaction};
 pub use marketplace::{Marketplace, MenuEntry};
 pub use persist::PostedMarket;

@@ -98,8 +98,8 @@ pub mod prelude {
     pub use nimbus_market::{
         curves::{DemandCurve, MarketCurves, ValueCurve},
         simulation::{compare_strategies, price_with, PricingStrategy},
-        Broker, BrokerBuilder, BrokerConfig, Buyer, BuyerPopulation, MarketSnapshot, Marketplace,
-        PurchaseRequest, Quote, Sale, Seller,
+        Broker, BrokerBuilder, BrokerConfig, Buyer, BuyerPopulation, FaultPlan, Journal,
+        JournalError, MarketSnapshot, Marketplace, PurchaseRequest, Quote, Recovery, Sale, Seller,
     };
     pub use nimbus_ml::{
         metrics, ErrorMetric, LinearModel, LinearRegressionTrainer, LogisticRegressionTrainer,
@@ -112,7 +112,7 @@ pub mod prelude {
     pub use nimbus_randkit::{seeded_rng, split_stream, NimbusRng};
     pub use nimbus_server::{
         loadgen::{run_load, LoadConfig, LoadMode},
-        ClientConfig, NimbusClient, NimbusServer, ServerConfig,
+        render_prometheus, ClientConfig, NimbusClient, NimbusServer, RetryPolicy, ServerConfig,
     };
 }
 

@@ -1,12 +1,27 @@
 //! Blocking client for the Nimbus wire protocol.
 //!
-//! One [`NimbusClient`] owns one TCP connection and issues synchronous
-//! request/response calls. A server-side `BUSY` frame (admission-control
-//! shedding) surfaces as the typed [`ServerError::Busy`]; any other error
-//! frame surfaces as [`ServerError::Remote`] with its machine-readable
+//! One [`NimbusClient`] owns one TCP connection (re-established on demand
+//! after a failure) and issues synchronous request/response calls. A
+//! server-side `BUSY` frame (admission-control shedding) and transient
+//! transport faults are retried under the configured [`RetryPolicy`] with
+//! exponential backoff and jitter; once the budget is exhausted they
+//! surface as typed errors. Any other error frame surfaces as
+//! [`ServerError::Remote`] with its machine-readable
 //! [`crate::wire::ErrorCode`]. Connect, read and write are all bounded by
 //! [`ClientConfig`] timeouts — a hung server costs the caller at most one
-//! timeout, never a stuck thread.
+//! timeout per attempt, never a stuck thread.
+//!
+//! # Retry safety
+//!
+//! Read-only requests (`MENU`, `QUOTE`, `INFO`, `STATS`) are always safe
+//! to retry. A plain [`NimbusClient::commit`] is *not*: if the ACK is
+//! lost the client cannot tell a failed commit from a successful one, so
+//! it is only retried when the failure provably happened before the
+//! request was sent. [`NimbusClient::commit_idempotent`] closes that gap:
+//! it attaches an idempotency key (quote epoch + a client nonce), which
+//! the broker's write-ahead journal deduplicates — a retried commit after
+//! a lost ACK replays the recorded [`SaleMsg`] instead of charging twice.
+//! [`NimbusClient::buy`] uses the idempotent path.
 
 use crate::error::ServerError;
 use crate::wire::{self, InfoMsg, MenuMsg, QuoteMsg, Request, Response, SaleMsg, StatsMsg};
@@ -15,7 +30,48 @@ use nimbus_market::PurchaseRequest;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-/// Client-side socket timeouts.
+/// Bounded-retry schedule for `BUSY` sheds and transient transport
+/// faults: attempt `k` (1-based) backs off `base_backoff · 2^(k-1)`
+/// capped at `max_backoff`, jittered uniformly into the upper half of
+/// that window. A server `retry_after_ms` hint raises (never lowers) the
+/// wait.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (`1` disables retries; `0` is
+    /// treated as `1`).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Jitter / nonce seed. `0` (the default) derives a per-client seed
+    /// from wall-clock entropy; fix it for deterministic tests.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every failure surfaces on the first attempt. Load
+    /// generators that do their own shed accounting use this.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// Client-side socket timeouts and retry schedule.
 #[derive(Debug, Clone, Copy)]
 pub struct ClientConfig {
     /// TCP connect timeout.
@@ -24,6 +80,8 @@ pub struct ClientConfig {
     pub read_timeout: Duration,
     /// Request write timeout.
     pub write_timeout: Duration,
+    /// Retry schedule for `BUSY` and transient transport failures.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ClientConfig {
@@ -32,55 +90,60 @@ impl Default for ClientConfig {
             connect_timeout: Duration::from_secs(2),
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(5),
+            retry: RetryPolicy::default(),
         }
     }
 }
 
 /// A blocking connection to a [`crate::NimbusServer`].
 pub struct NimbusClient {
-    stream: TcpStream,
+    addrs: Vec<SocketAddr>,
+    config: ClientConfig,
+    stream: Option<TcpStream>,
+    rng_state: u64,
+}
+
+/// Where in the request lifecycle an attempt failed — decides whether a
+/// non-idempotent request may be retried.
+enum Failure {
+    /// The request never left this process (connect or resolution).
+    BeforeSend(ServerError),
+    /// The request may have reached the server (write or read failed).
+    AfterSend(ServerError),
+}
+
+impl Failure {
+    fn into_error(self) -> ServerError {
+        match self {
+            Failure::BeforeSend(e) | Failure::AfterSend(e) => e,
+        }
+    }
 }
 
 impl NimbusClient {
     /// Connects to `addr` under `config`'s timeouts.
     pub fn connect(addr: impl ToSocketAddrs, config: &ClientConfig) -> Result<NimbusClient> {
         let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
-        let mut last_err: Option<std::io::Error> = None;
-        for candidate in addrs {
-            match TcpStream::connect_timeout(&candidate, config.connect_timeout) {
-                Ok(stream) => {
-                    stream.set_read_timeout(Some(config.read_timeout))?;
-                    stream.set_write_timeout(Some(config.write_timeout))?;
-                    let _ = stream.set_nodelay(true);
-                    return Ok(NimbusClient { stream });
-                }
-                Err(e) => last_err = Some(e),
-            }
+        if addrs.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )
+            .into());
         }
-        Err(last_err
-            .unwrap_or_else(|| {
-                std::io::Error::new(
-                    std::io::ErrorKind::InvalidInput,
-                    "address resolved to nothing",
-                )
-            })
-            .into())
-    }
-
-    /// One synchronous round trip; typed errors come back as `Err`.
-    fn call(&mut self, request: &Request) -> Result<Response> {
-        wire::write_frame(&mut self.stream, &request.encode())?;
-        let payload = wire::read_frame(&mut self.stream)?;
-        match Response::decode(&payload)? {
-            Response::Busy => Err(ServerError::Busy),
-            Response::Error { code, message } => Err(ServerError::Remote { code, message }),
-            ok => Ok(ok),
-        }
+        let mut client = NimbusClient {
+            addrs,
+            config: *config,
+            stream: None,
+            rng_state: seed_entropy(config.retry.seed),
+        };
+        client.ensure_connected().map_err(Failure::into_error)?;
+        Ok(client)
     }
 
     /// Fetches the posted `(inverse NCP, price)` menu.
     pub fn menu(&mut self) -> Result<MenuMsg> {
-        match self.call(&Request::Menu)? {
+        match self.call(&Request::Menu, true)? {
             Response::Menu(m) => Ok(m),
             other => Err(unexpected(&other)),
         }
@@ -88,33 +151,55 @@ impl NimbusClient {
 
     /// Prices a purchase request; the quote pins the snapshot epoch.
     pub fn quote(&mut self, request: PurchaseRequest) -> Result<QuoteMsg> {
-        match self.call(&Request::Quote(request))? {
+        match self.call(&Request::Quote(request), true)? {
             Response::Quote(q) => Ok(q),
             other => Err(unexpected(&other)),
         }
     }
 
     /// Redeems a quote with a payment; the sale carries the noisy weights.
+    ///
+    /// Without an idempotency key, this is only retried when the failure
+    /// provably happened before the request was sent — prefer
+    /// [`NimbusClient::commit_idempotent`] under lossy conditions.
     pub fn commit(&mut self, quote: &QuoteMsg, payment: f64) -> Result<SaleMsg> {
-        match self.call(&Request::Commit {
+        let request = Request::Commit {
             x: quote.x,
             snapshot_epoch: quote.snapshot_epoch,
             payment,
-        })? {
+            nonce: None,
+        };
+        match self.call(&request, false)? {
             Response::Commit(s) => Ok(s),
             other => Err(unexpected(&other)),
         }
     }
 
-    /// Quote then commit at exactly the quoted price.
+    /// Redeems a quote under a fresh idempotency key, so retries after a
+    /// lost ACK replay the journalled sale exactly once instead of
+    /// charging twice.
+    pub fn commit_idempotent(&mut self, quote: &QuoteMsg, payment: f64) -> Result<SaleMsg> {
+        let request = Request::Commit {
+            x: quote.x,
+            snapshot_epoch: quote.snapshot_epoch,
+            payment,
+            nonce: Some(self.next_nonce()),
+        };
+        match self.call(&request, true)? {
+            Response::Commit(s) => Ok(s),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Quote then commit at exactly the quoted price, idempotently.
     pub fn buy(&mut self, request: PurchaseRequest) -> Result<SaleMsg> {
         let quote = self.quote(request)?;
-        self.commit(&quote, quote.price)
+        self.commit_idempotent(&quote, quote.price)
     }
 
     /// Fetches listing metadata and ledger accounting.
     pub fn info(&mut self) -> Result<InfoMsg> {
-        match self.call(&Request::Info)? {
+        match self.call(&Request::Info, true)? {
             Response::Info(i) => Ok(i),
             other => Err(unexpected(&other)),
         }
@@ -122,15 +207,181 @@ impl NimbusClient {
 
     /// Fetches the server's serving statistics.
     pub fn stats(&mut self) -> Result<StatsMsg> {
-        match self.call(&Request::Stats)? {
+        match self.call(&Request::Stats, true)? {
             Response::Stats(s) => Ok(s),
             other => Err(unexpected(&other)),
         }
     }
+
+    /// One request with bounded retries. `idempotent` gates whether
+    /// attempts that may have reached the server can be retried.
+    fn call(&mut self, request: &Request, idempotent: bool) -> Result<Response> {
+        let max_attempts = self.config.retry.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let budget_left = attempt < max_attempts;
+            match self.call_once(request) {
+                Ok(Response::Busy { retry_after_ms }) => {
+                    // The server hangs up after a BUSY frame; reconnect on
+                    // the next attempt.
+                    self.stream = None;
+                    if !budget_left {
+                        return Err(ServerError::Busy { retry_after_ms });
+                    }
+                    self.backoff(attempt, Some(retry_after_ms));
+                }
+                Ok(Response::Error { code, message }) => {
+                    return Err(ServerError::Remote { code, message });
+                }
+                Ok(ok) => return Ok(ok),
+                Err(failure) => {
+                    self.stream = None;
+                    let retryable = match &failure {
+                        Failure::BeforeSend(e) => transient(e),
+                        Failure::AfterSend(e) => idempotent && transient(e),
+                    };
+                    if !budget_left || !retryable {
+                        return Err(failure.into_error());
+                    }
+                    self.backoff(attempt, None);
+                }
+            }
+        }
+    }
+
+    /// One synchronous round trip over the current (or a fresh)
+    /// connection.
+    fn call_once(&mut self, request: &Request) -> std::result::Result<Response, Failure> {
+        self.ensure_connected()?;
+        let stream = self.stream.as_mut().expect("connected above");
+        wire::write_frame(stream, &request.encode()).map_err(Failure::AfterSend)?;
+        let payload = wire::read_frame(stream).map_err(Failure::AfterSend)?;
+        Response::decode(&payload).map_err(Failure::AfterSend)
+    }
+
+    fn ensure_connected(&mut self) -> std::result::Result<(), Failure> {
+        if self.stream.is_some() {
+            return Ok(());
+        }
+        let mut last_err: Option<std::io::Error> = None;
+        for candidate in &self.addrs {
+            match TcpStream::connect_timeout(candidate, self.config.connect_timeout) {
+                Ok(stream) => {
+                    stream
+                        .set_read_timeout(Some(self.config.read_timeout))
+                        .map_err(|e| Failure::BeforeSend(e.into()))?;
+                    stream
+                        .set_write_timeout(Some(self.config.write_timeout))
+                        .map_err(|e| Failure::BeforeSend(e.into()))?;
+                    let _ = stream.set_nodelay(true);
+                    self.stream = Some(stream);
+                    return Ok(());
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(Failure::BeforeSend(
+            last_err
+                .expect("connect loop saw at least one address")
+                .into(),
+        ))
+    }
+
+    /// Sleeps the jittered exponential backoff for retry `attempt`
+    /// (1-based); a server hint raises the wait but never lowers it.
+    fn backoff(&mut self, attempt: u32, hint_ms: Option<u32>) {
+        let retry = self.config.retry;
+        let exp = retry
+            .base_backoff
+            .saturating_mul(1u32 << (attempt - 1).min(16));
+        let cap = exp.min(retry.max_backoff).max(Duration::from_millis(1));
+        // Uniform jitter in [cap/2, cap]: decorrelates clients that were
+        // shed by the same queue-full episode.
+        let half = cap / 2;
+        let jitter_ns = self.next_u64() % (half.as_nanos().max(1) as u64);
+        let mut wait = half + Duration::from_nanos(jitter_ns);
+        if let Some(ms) = hint_ms {
+            wait = wait.max(Duration::from_millis(ms as u64));
+        }
+        std::thread::sleep(wait);
+    }
+
+    fn next_nonce(&mut self) -> u64 {
+        self.next_u64()
+    }
+
+    /// splitmix64 step over the client's private state.
+    fn next_u64(&mut self) -> u64 {
+        self.rng_state = self.rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix_finalize(self.rng_state)
+    }
+}
+
+fn splitmix_finalize(v: u64) -> u64 {
+    let mut z = v;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seeds the jitter/nonce stream: a fixed non-zero seed is deterministic;
+/// seed 0 mixes wall-clock nanos with the process id so concurrent
+/// clients draw distinct nonces.
+fn seed_entropy(seed: u64) -> u64 {
+    if seed != 0 {
+        return splitmix_finalize(seed);
+    }
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    splitmix_finalize(nanos ^ (u64::from(std::process::id()) << 32))
+}
+
+/// Whether an error is a transient transport fault worth retrying, as
+/// opposed to a protocol violation or typed server error.
+fn transient(e: &ServerError) -> bool {
+    matches!(e, ServerError::Io(_) | ServerError::ConnectionClosed)
 }
 
 fn unexpected(response: &Response) -> ServerError {
     ServerError::Protocol {
         reason: format!("response variant does not match the request: {response:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_policy_defaults_are_bounded() {
+        let p = RetryPolicy::default();
+        assert!(p.max_attempts >= 2);
+        assert!(p.base_backoff <= p.max_backoff);
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+    }
+
+    #[test]
+    fn seeded_nonce_streams_are_deterministic_and_distinct() {
+        let a1 = splitmix_finalize(7u64.wrapping_add(0x9E37_79B9_7F4A_7C15));
+        let mut state = splitmix_finalize(7);
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        assert_ne!(splitmix_finalize(state), a1); // chained state, not a pure fn of the seed
+        assert_eq!(seed_entropy(42), seed_entropy(42));
+        assert_ne!(seed_entropy(42), seed_entropy(43));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(transient(&ServerError::ConnectionClosed));
+        assert!(transient(
+            &std::io::Error::new(std::io::ErrorKind::TimedOut, "slow").into()
+        ));
+        assert!(!transient(&ServerError::Busy { retry_after_ms: 1 }));
+        assert!(!transient(&ServerError::Protocol {
+            reason: "bad".into()
+        }));
     }
 }

@@ -14,7 +14,12 @@ pub enum ServerError {
     ConnectionClosed,
     /// The server shed this connection at admission: its bounded queue was
     /// full, so it answered with a typed `BUSY` frame instead of stalling.
-    Busy,
+    /// Surfaces once the client's retry budget (if any) is exhausted.
+    Busy {
+        /// Server's advisory back-off hint in milliseconds (0 from v1
+        /// peers, which do not send one).
+        retry_after_ms: u32,
+    },
     /// A frame violated the wire protocol (bad magic, truncated body,
     /// trailing bytes, unknown opcode, string/vector over its cap).
     Protocol {
@@ -51,7 +56,7 @@ pub enum ServerError {
 impl ServerError {
     /// Whether this is the typed admission-control rejection.
     pub fn is_busy(&self) -> bool {
-        matches!(self, ServerError::Busy)
+        matches!(self, ServerError::Busy { .. })
     }
 }
 
@@ -60,7 +65,12 @@ impl fmt::Display for ServerError {
         match self {
             ServerError::Io(e) => write!(f, "i/o error: {e}"),
             ServerError::ConnectionClosed => write!(f, "connection closed by peer"),
-            ServerError::Busy => write!(f, "server busy: admission queue full"),
+            ServerError::Busy { retry_after_ms } => {
+                write!(
+                    f,
+                    "server busy: admission queue full (retry after {retry_after_ms} ms)"
+                )
+            }
             ServerError::Protocol { reason } => write!(f, "protocol error: {reason}"),
             ServerError::UnsupportedVersion { got } => {
                 write!(
@@ -115,8 +125,10 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(ServerError::Busy.to_string().contains("admission queue"));
-        assert!(ServerError::Busy.is_busy());
+        let busy = ServerError::Busy { retry_after_ms: 25 };
+        assert!(busy.to_string().contains("admission queue"));
+        assert!(busy.to_string().contains("25 ms"));
+        assert!(busy.is_busy());
         assert!(!ServerError::ConnectionClosed.is_busy());
         assert!(ServerError::UnsupportedVersion { got: 9 }
             .to_string()

@@ -14,7 +14,10 @@
 //!   stalling, per-connection read/write timeouts, graceful shutdown that
 //!   drains in-flight requests, and an atomic per-op stats registry.
 //! * [`client`] — [`NimbusClient`]: a blocking connection with typed
-//!   errors (`Busy` vs `Remote { code, .. }`) and full timeouts.
+//!   errors (`Busy` vs `Remote { code, .. }`), full timeouts, bounded
+//!   [`RetryPolicy`] backoff on sheds and transient faults, and
+//!   idempotent commits keyed by a client nonce so a retried purchase
+//!   after a lost ACK is deduplicated by the broker's sale journal.
 //! * [`loadgen`] — the N-threads × M-requests loopback load generator
 //!   behind the `server_throughput` bench and `nimbus client load`.
 //! * [`stats`] — [`StatsRegistry`]: lock-free counters and fixed-bucket
@@ -53,11 +56,11 @@ pub mod server;
 pub mod stats;
 pub mod wire;
 
-pub use client::{ClientConfig, NimbusClient};
+pub use client::{ClientConfig, NimbusClient, RetryPolicy};
 pub use error::ServerError;
 pub use loadgen::{run_load, LoadConfig, LoadMode, LoadReport};
 pub use server::{NimbusServer, ServerConfig};
-pub use stats::{LatencyHistogram, Op, StatsRegistry};
+pub use stats::{render_prometheus, LatencyHistogram, Op, StatsRegistry};
 pub use wire::{
     ErrorCode, InfoMsg, MenuMsg, OpStatsMsg, QuoteMsg, Request, Response, SaleMsg, StatsMsg,
 };

@@ -5,11 +5,16 @@
 //! subcommand and the end-to-end tests. Each thread opens its own
 //! connection and issues its requests back to back; when a connection is
 //! shed (`BUSY`) or fails, the thread reconnects and keeps going, counting
-//! every outcome. The report therefore reconciles exactly:
-//! `attempted == ok + busy + errors`, and for [`LoadMode::Buy`] the
-//! client-observed revenue can be checked against the server-side ledger.
+//! every outcome. With [`LoadConfig::busy_retries`] > 0, a shed request
+//! is retried after honoring the server's `retry_after_ms` hint; retried
+//! sheds are counted separately from final ones. The report therefore
+//! reconciles exactly: `attempted == ok + busy + errors` and the server's
+//! `busy_rejections` counter equals `busy + busy_retried`; for
+//! [`LoadMode::Buy`] the client-observed revenue can be checked against
+//! the server-side ledger.
 
-use crate::client::{ClientConfig, NimbusClient};
+use crate::client::{ClientConfig, NimbusClient, RetryPolicy};
+use crate::error::ServerError;
 use crate::Result;
 use nimbus_market::PurchaseRequest;
 use std::net::SocketAddr;
@@ -33,8 +38,14 @@ pub struct LoadConfig {
     pub requests_per_thread: usize,
     /// Per-request mode.
     pub mode: LoadMode,
-    /// Socket timeouts for every connection.
+    /// Socket timeouts for every connection. The retry policy inside is
+    /// overridden to [`RetryPolicy::none`]: the load generator does its
+    /// own shed accounting and must see every `BUSY` individually.
     pub client: ClientConfig,
+    /// Times a shed request is retried (after the server's
+    /// `retry_after_ms` hint) before counting as a final `busy`. `0`
+    /// preserves the classic one-shot accounting.
+    pub busy_retries: u32,
 }
 
 impl Default for LoadConfig {
@@ -44,6 +55,7 @@ impl Default for LoadConfig {
             requests_per_thread: 64,
             mode: LoadMode::Quote,
             client: ClientConfig::default(),
+            busy_retries: 0,
         }
     }
 }
@@ -55,8 +67,11 @@ pub struct LoadReport {
     pub attempted: u64,
     /// Requests that completed successfully.
     pub ok: u64,
-    /// Requests answered with the typed `BUSY` shed.
+    /// Requests whose final outcome was the typed `BUSY` shed.
     pub busy: u64,
+    /// `BUSY` sheds that were absorbed by a retry (the request itself
+    /// went on to succeed or fail some other way).
+    pub busy_retried: u64,
     /// Requests that failed any other way (timeouts, resets, remote errors).
     pub errors: u64,
     /// Sum of client-observed sale prices (only grows in [`LoadMode::Buy`]).
@@ -113,6 +128,7 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
         total.attempted += r.attempted;
         total.ok += r.ok;
         total.busy += r.busy;
+        total.busy_retried += r.busy_retried;
         total.errors += r.errors;
         total.revenue += r.revenue;
     }
@@ -124,20 +140,33 @@ fn thread_load(addr: SocketAddr, config: &LoadConfig, thread: usize) -> LoadRepo
     let mut client: Option<NimbusClient> = None;
     for i in 0..config.requests_per_thread {
         report.attempted += 1;
-        let outcome = attempt(&mut client, addr, config, thread, i);
-        match outcome {
-            Ok(price) => {
-                report.ok += 1;
-                report.revenue += price;
-            }
-            Err(e) => {
-                // The connection state is unknown after any failure;
-                // reconnect before the next attempt.
-                client = None;
-                if e.is_busy() {
-                    report.busy += 1;
-                } else {
-                    report.errors += 1;
+        let mut sheds_left = config.busy_retries;
+        loop {
+            let outcome = attempt(&mut client, addr, config, thread, i);
+            match outcome {
+                Ok(price) => {
+                    report.ok += 1;
+                    report.revenue += price;
+                    break;
+                }
+                Err(e) => {
+                    // The connection state is unknown after any failure;
+                    // reconnect before the next attempt.
+                    client = None;
+                    if let ServerError::Busy { retry_after_ms } = e {
+                        if sheds_left > 0 {
+                            sheds_left -= 1;
+                            report.busy_retried += 1;
+                            std::thread::sleep(Duration::from_millis(
+                                u64::from(retry_after_ms).max(1),
+                            ));
+                            continue;
+                        }
+                        report.busy += 1;
+                    } else {
+                        report.errors += 1;
+                    }
+                    break;
                 }
             }
         }
@@ -155,7 +184,13 @@ fn attempt(
     i: usize,
 ) -> Result<f64> {
     if client.is_none() {
-        *client = Some(NimbusClient::connect(addr, &config.client)?);
+        // Force off the client's internal retries: the generator counts
+        // and paces every shed itself.
+        let config = ClientConfig {
+            retry: RetryPolicy::none(),
+            ..config.client
+        };
+        *client = Some(NimbusClient::connect(addr, &config)?);
     }
     let conn = client.as_mut().expect("connection just established");
     let request = request_for(thread, i, config.requests_per_thread);

@@ -71,6 +71,10 @@ pub struct ServerConfig {
     pub accept_poll: Duration,
     /// Artificial service time per request, for load and shedding tests.
     pub handle_delay: Option<Duration>,
+    /// Back-off hint carried in `BUSY` frames: how long a shed client
+    /// should wait before retrying. Purely advisory; milliseconds on the
+    /// wire (saturating at `u32::MAX` ms).
+    pub retry_after_hint: Duration,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +87,7 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(5),
             accept_poll: Duration::from_millis(2),
             handle_delay: None,
+            retry_after_hint: Duration::from_millis(25),
         }
     }
 }
@@ -221,6 +226,12 @@ impl NimbusServer {
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        // With every worker joined, no commit is in flight: compact the
+        // sale journal so the next boot replays one checkpoint record
+        // instead of the whole append history. Best-effort — the log is
+        // already durable record-by-record, a failed compaction loses
+        // nothing.
+        let _ = self.inner.broker.checkpoint_journal();
     }
 }
 
@@ -287,7 +298,12 @@ fn shed(inner: &Arc<Inner>, stream: TcpStream) {
             let _ = stream.set_write_timeout(Some(inner.config.write_timeout));
             let _ = stream.set_read_timeout(Some(drain_timeout));
             let mut stream = stream;
-            let _ = wire::write_frame(&mut stream, &Response::Busy.encode());
+            let retry_after_ms = inner
+                .config
+                .retry_after_hint
+                .as_millis()
+                .min(u32::MAX as u128) as u32;
+            let _ = wire::write_frame(&mut stream, &Response::Busy { retry_after_ms }.encode());
             let _ = stream.shutdown(std::net::Shutdown::Write);
             let mut sink = [0u8; 256];
             while let Ok(n) = std::io::Read::read(&mut stream, &mut sink) {
@@ -472,8 +488,14 @@ fn execute(inner: &Inner, request: Request) -> nimbus_market::Result<Response> {
             x,
             snapshot_epoch,
             payment,
+            nonce,
         } => {
-            let sale = broker.commit_at(x, snapshot_epoch, payment)?;
+            // A nonce makes the commit idempotent: a retry after a lost
+            // ACK replays the journalled sale instead of double-charging.
+            let sale = match nonce {
+                Some(nonce) => broker.commit_at_idempotent(x, snapshot_epoch, payment, nonce)?,
+                None => broker.commit_at(x, snapshot_epoch, payment)?,
+            };
             Ok(Response::Commit(SaleMsg {
                 inverse_ncp: sale.inverse_ncp,
                 price: sale.price,
@@ -501,6 +523,16 @@ fn execute(inner: &Inner, request: Request) -> nimbus_market::Result<Response> {
                 revenue: stats.revenue,
             }))
         }
-        Request::Stats => Ok(Response::Stats(inner.stats.snapshot())),
+        Request::Stats => {
+            let mut msg = inner.stats.snapshot();
+            // Queue depth is instantaneous state, not a counter, so it is
+            // read from the shards at serve time rather than the registry.
+            msg.queue_depth = inner
+                .shards
+                .iter()
+                .map(|s| s.queue.lock().map(|q| q.len() as u64).unwrap_or(0))
+                .sum();
+            Ok(Response::Stats(msg))
+        }
     }
 }

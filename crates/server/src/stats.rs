@@ -159,6 +159,9 @@ impl StatsRegistry {
             connections: self.connections.load(Ordering::Relaxed),
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            // Queue depth is server-side instantaneous state; the serving
+            // layer overwrites it when answering `STATS`.
+            queue_depth: 0,
             ops: Op::ALL
                 .iter()
                 .map(|&op| {
@@ -174,6 +177,118 @@ impl StatsRegistry {
                 .collect(),
         }
     }
+}
+
+/// Renders a `STATS` reply in the Prometheus text exposition format
+/// (`# HELP` / `# TYPE` comments plus one sample per line), suitable for
+/// piping into a scrape file or node-exporter textfile collector.
+///
+/// All series are prefixed `nimbus_`. Monotone counters keep the
+/// `_total` suffix convention; `nimbus_queue_depth` and
+/// `nimbus_shed_rate` are gauges (the latter is shed connections as a
+/// fraction of all accepted-or-shed connections, 0 when idle).
+pub fn render_prometheus(stats: &StatsMsg) -> String {
+    use std::fmt::Write as _;
+    fn metric(out: &mut String, name: &str, kind: &str, help: &str) {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "# HELP nimbus_{name} {help}");
+        let _ = writeln!(out, "# TYPE nimbus_{name} {kind}");
+    }
+    let mut out = String::new();
+    metric(
+        &mut out,
+        "connections_total",
+        "counter",
+        "Connections accepted for service.",
+    );
+    let _ = writeln!(out, "nimbus_connections_total {}", stats.connections);
+    metric(
+        &mut out,
+        "busy_rejections_total",
+        "counter",
+        "Connections shed with BUSY at admission.",
+    );
+    let _ = writeln!(
+        out,
+        "nimbus_busy_rejections_total {}",
+        stats.busy_rejections
+    );
+    metric(
+        &mut out,
+        "protocol_errors_total",
+        "counter",
+        "Frames that failed to decode.",
+    );
+    let _ = writeln!(
+        out,
+        "nimbus_protocol_errors_total {}",
+        stats.protocol_errors
+    );
+    metric(
+        &mut out,
+        "queue_depth",
+        "gauge",
+        "Connections admitted but not yet picked up by a worker.",
+    );
+    let _ = writeln!(out, "nimbus_queue_depth {}", stats.queue_depth);
+    metric(
+        &mut out,
+        "shed_rate",
+        "gauge",
+        "Shed connections as a fraction of accepted plus shed.",
+    );
+    let offered = stats.connections + stats.busy_rejections;
+    let shed_rate = if offered == 0 {
+        0.0
+    } else {
+        stats.busy_rejections as f64 / offered as f64
+    };
+    let _ = writeln!(out, "nimbus_shed_rate {shed_rate}");
+    metric(
+        &mut out,
+        "requests_total",
+        "counter",
+        "Requests handled, labelled by wire op.",
+    );
+    for op in &stats.ops {
+        let _ = writeln!(
+            out,
+            "nimbus_requests_total{{op=\"{}\"}} {}",
+            op.op, op.requests
+        );
+    }
+    metric(
+        &mut out,
+        "request_errors_total",
+        "counter",
+        "Requests answered with a typed error frame, labelled by wire op.",
+    );
+    for op in &stats.ops {
+        let _ = writeln!(
+            out,
+            "nimbus_request_errors_total{{op=\"{}\"}} {}",
+            op.op, op.errors
+        );
+    }
+    metric(
+        &mut out,
+        "request_latency_upper_micros",
+        "gauge",
+        "Upper-bound latency estimate in microseconds, labelled by op and quantile.",
+    );
+    for op in &stats.ops {
+        let _ = writeln!(
+            out,
+            "nimbus_request_latency_upper_micros{{op=\"{}\",quantile=\"0.5\"}} {}",
+            op.op, op.p50_micros
+        );
+        let _ = writeln!(
+            out,
+            "nimbus_request_latency_upper_micros{{op=\"{}\",quantile=\"0.99\"}} {}",
+            op.op, op.p99_micros
+        );
+    }
+    out
 }
 
 #[cfg(test)]

@@ -20,10 +20,10 @@
 //! |---|---|---|
 //! | `0x01` / `0x81` | `MENU` | posted `(inverse NCP, price)` table + epoch |
 //! | `0x02` / `0x82` | `QUOTE` (one of the three §3.2 purchase options) | priced [`QuoteMsg`] pinned to a snapshot epoch |
-//! | `0x03` / `0x83` | `COMMIT` (quoted x, epoch, payment) | [`SaleMsg`] **including the noisy weight vector** |
+//! | `0x03` / `0x83` | `COMMIT` (quoted x, epoch, payment, optional idempotency nonce) | [`SaleMsg`] **including the noisy weight vector** |
 //! | `0x04` / `0x84` | `INFO` | listing metadata + ledger accounting |
-//! | `0x05` / `0x85` | `STATS` | per-op request/error counters + p50/p99 latency |
-//! | — / `0xBB` | — | `BUSY`: shed by admission control |
+//! | `0x05` / `0x85` | `STATS` | per-op request/error counters + p50/p99 latency + queue depth |
+//! | — / `0xBB` | — | `BUSY`: shed by admission control, with a `retry_after_ms` hint |
 //! | — / `0xEE` | — | typed error: [`ErrorCode`] + message |
 //!
 //! The quote→commit epoch protocol crosses the wire intact: `QUOTE`
@@ -31,8 +31,12 @@
 //! it back, and a re-opened market answers with
 //! [`ErrorCode::QuoteExpired`] exactly like the in-process API.
 //!
-//! Versioning is explicit and checked on both sides: a payload whose
-//! version byte differs from [`VERSION`] decodes to
+//! Versioning is explicit and checked on both sides: encoders always
+//! stamp [`VERSION`], decoders accept [`MIN_VERSION`]`..=`[`VERSION`] and
+//! default the fields a version predates. Version 2 added three fields —
+//! the `COMMIT` idempotency nonce (v1 decodes to `None`), the `BUSY`
+//! `retry_after_ms` hint (v1 decodes to `0`) and the `STATS` queue-depth
+//! gauge (v1 decodes to `0`). Anything outside the window decodes to
 //! [`ServerError::UnsupportedVersion`], which the server answers with a
 //! typed error frame (the error frame itself is always encoded at the
 //! server's version).
@@ -44,8 +48,10 @@ use std::io::{Read, Write};
 
 /// Leading magic bytes of every payload.
 pub const MAGIC: [u8; 2] = *b"NB";
-/// Protocol version this build speaks.
-pub const VERSION: u8 = 1;
+/// Protocol version this build encodes.
+pub const VERSION: u8 = 2;
+/// Oldest protocol version this build still decodes.
+pub const MIN_VERSION: u8 = 1;
 /// Hard cap on a frame's payload length (framing limit: a peer cannot make
 /// the other side allocate more than this per frame).
 pub const MAX_FRAME_LEN: usize = 1 << 20;
@@ -95,6 +101,9 @@ pub enum ErrorCode {
     ShuttingDown = 10,
     /// Anything else on the server side.
     Internal = 11,
+    /// The write-ahead journal refused or failed the commit; the sale was
+    /// not made durable and was not recorded.
+    Durability = 12,
 }
 
 impl ErrorCode {
@@ -112,6 +121,7 @@ impl ErrorCode {
             9 => InvalidRequest,
             10 => ShuttingDown,
             11 => Internal,
+            12 => Durability,
             _ => return None,
         })
     }
@@ -127,6 +137,7 @@ impl ErrorCode {
                 ErrorCode::Unsatisfiable
             }
             MarketError::Core(_) => ErrorCode::InvalidRequest,
+            MarketError::Journal(_) => ErrorCode::Durability,
             _ => ErrorCode::Internal,
         }
     }
@@ -147,6 +158,11 @@ pub enum Request {
         snapshot_epoch: u64,
         /// Payment offered.
         payment: f64,
+        /// Idempotency nonce (v2): with `Some`, the server dedups the key
+        /// `(snapshot_epoch, nonce)`, so a retried commit after a lost ACK
+        /// replays the original sale instead of charging twice. `None`
+        /// (and every v1 commit) is a plain non-idempotent commit.
+        nonce: Option<u64>,
     },
     /// Fetch listing metadata and ledger accounting.
     Info,
@@ -259,6 +275,9 @@ pub struct StatsMsg {
     pub busy_rejections: u64,
     /// Frames that failed to decode.
     pub protocol_errors: u64,
+    /// Connections currently parked in the admission queues, summed over
+    /// shards at snapshot time (v2; v1 decodes to 0).
+    pub queue_depth: u64,
     /// Per-operation counters, in registry order.
     pub ops: Vec<OpStatsMsg>,
 }
@@ -277,7 +296,11 @@ pub enum Response {
     /// Serving statistics.
     Stats(StatsMsg),
     /// Shed by admission control (or drained at shutdown).
-    Busy,
+    Busy {
+        /// Server's hint for how long to back off before retrying, in
+        /// milliseconds (v2; v1 decodes to 0 = no hint).
+        retry_after_ms: u32,
+    },
     /// Typed failure.
     Error {
         /// Machine-readable code.
@@ -414,19 +437,21 @@ impl<'a> Dec<'a> {
 }
 
 /// Strips and validates the `magic | version | opcode` header, returning
-/// the opcode and the body decoder.
-fn open_payload(payload: &[u8]) -> Result<(u8, Dec<'_>)> {
+/// the negotiated version, the opcode and the body decoder. Versions in
+/// [`MIN_VERSION`]`..=`[`VERSION`] are accepted; body decoders branch on
+/// the version to default fields the peer's version predates.
+fn open_payload(payload: &[u8]) -> Result<(u8, u8, Dec<'_>)> {
     let mut dec = Dec { buf: payload };
     let magic = dec.take(2)?;
     if magic != MAGIC {
         return Err(Dec::bad(format!("bad magic bytes {magic:02x?}")));
     }
     let version = dec.u8()?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(ServerError::UnsupportedVersion { got: version });
     }
     let opcode = dec.u8()?;
-    Ok((opcode, dec))
+    Ok((version, opcode, dec))
 }
 
 // ---------------------------------------------------------------------------
@@ -511,11 +536,19 @@ impl Request {
                 x,
                 snapshot_epoch,
                 payment,
+                nonce,
             } => {
                 let mut e = Enc::with_opcode(OP_COMMIT);
                 e.f64(*x);
                 e.u64(*snapshot_epoch);
                 e.f64(*payment);
+                match nonce {
+                    Some(n) => {
+                        e.u8(1);
+                        e.u64(*n);
+                    }
+                    None => e.u8(0),
+                }
                 e.finish()
             }
             Request::Info => Enc::with_opcode(OP_INFO).finish(),
@@ -525,7 +558,7 @@ impl Request {
 
     /// Decodes a payload into a request.
     pub fn decode(payload: &[u8]) -> Result<Request> {
-        let (opcode, mut d) = open_payload(payload)?;
+        let (version, opcode, mut d) = open_payload(payload)?;
         let req = match opcode {
             OP_MENU => Request::Menu,
             OP_QUOTE => {
@@ -540,11 +573,28 @@ impl Request {
                     }
                 })
             }
-            OP_COMMIT => Request::Commit {
-                x: d.f64()?,
-                snapshot_epoch: d.u64()?,
-                payment: d.f64()?,
-            },
+            OP_COMMIT => {
+                let x = d.f64()?;
+                let snapshot_epoch = d.u64()?;
+                let payment = d.f64()?;
+                let nonce = if version >= 2 {
+                    match d.u8()? {
+                        0 => None,
+                        1 => Some(d.u64()?),
+                        other => {
+                            return Err(Dec::bad(format!("bad commit nonce flag {other}")));
+                        }
+                    }
+                } else {
+                    None
+                };
+                Request::Commit {
+                    x,
+                    snapshot_epoch,
+                    payment,
+                    nonce,
+                }
+            }
             OP_INFO => Request::Info,
             OP_STATS => Request::Stats,
             other => {
@@ -613,6 +663,7 @@ impl Response {
                 e.u64(s.connections);
                 e.u64(s.busy_rejections);
                 e.u64(s.protocol_errors);
+                e.u64(s.queue_depth);
                 e.u16(s.ops.len() as u16);
                 for op in &s.ops {
                     e.str(&op.op);
@@ -623,7 +674,11 @@ impl Response {
                 }
                 e.finish()
             }
-            Response::Busy => Enc::with_opcode(OP_R_BUSY).finish(),
+            Response::Busy { retry_after_ms } => {
+                let mut e = Enc::with_opcode(OP_R_BUSY);
+                e.u32(*retry_after_ms);
+                e.finish()
+            }
             Response::Error { code, message } => {
                 let mut e = Enc::with_opcode(OP_R_ERROR);
                 e.u16(*code as u16);
@@ -635,7 +690,7 @@ impl Response {
 
     /// Decodes a payload into a response.
     pub fn decode(payload: &[u8]) -> Result<Response> {
-        let (opcode, mut d) = open_payload(payload)?;
+        let (version, opcode, mut d) = open_payload(payload)?;
         let resp = match opcode {
             OP_R_MENU => {
                 let epoch = d.u64()?;
@@ -684,6 +739,7 @@ impl Response {
                 let connections = d.u64()?;
                 let busy_rejections = d.u64()?;
                 let protocol_errors = d.u64()?;
+                let queue_depth = if version >= 2 { d.u64()? } else { 0 };
                 let n = d.u16()? as usize;
                 let ops = (0..n)
                     .map(|_| {
@@ -700,10 +756,13 @@ impl Response {
                     connections,
                     busy_rejections,
                     protocol_errors,
+                    queue_depth,
                     ops,
                 })
             }
-            OP_R_BUSY => Response::Busy,
+            OP_R_BUSY => Response::Busy {
+                retry_after_ms: if version >= 2 { d.u32()? } else { 0 },
+            },
             OP_R_ERROR => {
                 let raw = d.u16()?;
                 let code = ErrorCode::from_u16(raw)
@@ -748,12 +807,19 @@ mod tests {
             x: 99.0,
             snapshot_epoch: 3,
             payment: 12.75,
+            nonce: None,
+        });
+        roundtrip_request(Request::Commit {
+            x: 99.0,
+            snapshot_epoch: 3,
+            payment: 12.75,
+            nonce: Some(0xDEAD_BEEF_CAFE_F00D),
         });
     }
 
     #[test]
     fn responses_round_trip() {
-        roundtrip_response(Response::Busy);
+        roundtrip_response(Response::Busy { retry_after_ms: 25 });
         roundtrip_response(Response::Error {
             code: ErrorCode::QuoteExpired,
             message: "stale epoch".into(),
@@ -794,6 +860,7 @@ mod tests {
             connections: 10,
             busy_rejections: 3,
             protocol_errors: 1,
+            queue_depth: 7,
             ops: vec![OpStatsMsg {
                 op: "quote".into(),
                 requests: 100,
@@ -810,6 +877,7 @@ mod tests {
             x: f64::NAN,
             snapshot_epoch: 0,
             payment: f64::NEG_INFINITY,
+            nonce: None,
         }
         .encode();
         match Request::decode(&payload).unwrap() {
@@ -851,6 +919,7 @@ mod tests {
             x: 1.0,
             snapshot_epoch: 1,
             payment: 1.0,
+            nonce: Some(1),
         }
         .encode();
         assert!(matches!(
@@ -943,8 +1012,51 @@ mod tests {
     }
 
     #[test]
+    fn v1_peers_still_decode() {
+        // A v1 COMMIT has no nonce flag byte: magic, version 1, opcode,
+        // then exactly x | epoch | payment.
+        let mut payload = vec![b'N', b'B', 1, 0x03];
+        payload.extend_from_slice(&42.5f64.to_bits().to_be_bytes());
+        payload.extend_from_slice(&9u64.to_be_bytes());
+        payload.extend_from_slice(&12.75f64.to_bits().to_be_bytes());
+        assert_eq!(
+            Request::decode(&payload).unwrap(),
+            Request::Commit {
+                x: 42.5,
+                snapshot_epoch: 9,
+                payment: 12.75,
+                nonce: None,
+            }
+        );
+
+        // A v1 BUSY is a bare header; the retry hint defaults to zero.
+        let payload = vec![b'N', b'B', 1, 0xBB];
+        assert_eq!(
+            Response::decode(&payload).unwrap(),
+            Response::Busy { retry_after_ms: 0 }
+        );
+
+        // A v1 STATS body lacks the queue-depth gauge.
+        let mut payload = vec![b'N', b'B', 1, 0x85];
+        payload.extend_from_slice(&4u64.to_be_bytes()); // connections
+        payload.extend_from_slice(&2u64.to_be_bytes()); // busy_rejections
+        payload.extend_from_slice(&1u64.to_be_bytes()); // protocol_errors
+        payload.extend_from_slice(&0u16.to_be_bytes()); // no per-op rows
+        assert_eq!(
+            Response::decode(&payload).unwrap(),
+            Response::Stats(StatsMsg {
+                connections: 4,
+                busy_rejections: 2,
+                protocol_errors: 1,
+                queue_depth: 0,
+                ops: vec![],
+            })
+        );
+    }
+
+    #[test]
     fn every_error_code_round_trips() {
-        for raw in 1..=11u16 {
+        for raw in 1..=12u16 {
             let code = ErrorCode::from_u16(raw).unwrap();
             assert_eq!(code as u16, raw);
             roundtrip_response(Response::Error {

@@ -15,7 +15,9 @@ use nimbus_market::{Broker, PurchaseRequest, Seller};
 use nimbus_ml::LinearRegressionTrainer;
 use nimbus_server::loadgen::{run_load, LoadConfig, LoadMode};
 use nimbus_server::wire::{self, ErrorCode, Response};
-use nimbus_server::{ClientConfig, NimbusClient, NimbusServer, ServerConfig, ServerError};
+use nimbus_server::{
+    ClientConfig, NimbusClient, NimbusServer, RetryPolicy, ServerConfig, ServerError,
+};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
@@ -47,6 +49,8 @@ fn fast_client() -> ClientConfig {
         connect_timeout: Duration::from_secs(2),
         read_timeout: Duration::from_secs(10),
         write_timeout: Duration::from_secs(5),
+        // These tests account for every BUSY themselves.
+        retry: RetryPolicy::none(),
     }
 }
 
@@ -73,6 +77,7 @@ fn concurrent_buyers_reconcile_with_ledger() {
             requests_per_thread: 25,
             mode: LoadMode::Buy,
             client: fast_client(),
+            busy_retries: 0,
         },
     );
 
@@ -182,6 +187,7 @@ fn flood_beyond_admission_bound_sheds_busy() {
             requests_per_thread: 4,
             mode: LoadMode::Quote,
             client: fast_client(),
+            busy_retries: 0,
         },
     );
 
@@ -343,6 +349,7 @@ fn graceful_shutdown_drains_in_flight_buyers() {
                     requests_per_thread: 200,
                     mode: LoadMode::Buy,
                     client: fast_client(),
+                    busy_retries: 0,
                 },
             )
         });
@@ -371,4 +378,85 @@ fn graceful_shutdown_drains_in_flight_buyers() {
 
     // The port is closed: fresh connections are refused or reset, never hung.
     assert!(NimbusClient::connect(addr, &fast_client()).is_err());
+}
+
+/// Satellite: shed requests that honor the server's `retry_after_ms` hint
+/// eventually get through, and the accounting still reconciles — the
+/// server's shed counter equals final sheds plus absorbed (retried) ones.
+#[test]
+fn busy_retries_honor_the_hint_and_reconcile() {
+    let broker = build_broker(17);
+    let server = start_server(
+        broker.clone(),
+        ServerConfig {
+            shards: 1,
+            workers_per_shard: 1,
+            queue_capacity: 1,
+            handle_delay: Some(Duration::from_millis(10)),
+            retry_after_hint: Duration::from_millis(15),
+            ..ServerConfig::default()
+        },
+    );
+
+    let report = run_load(
+        server.local_addr(),
+        &LoadConfig {
+            threads: 12,
+            requests_per_thread: 4,
+            mode: LoadMode::Quote,
+            client: fast_client(),
+            busy_retries: 32,
+        },
+    );
+
+    assert_eq!(report.attempted, 48);
+    assert_eq!(report.ok + report.busy + report.errors, report.attempted);
+    assert!(
+        report.busy_retried > 0,
+        "a 1-worker queue of 1 against 12 threads must shed at least once"
+    );
+    assert!(
+        report.ok > report.attempted / 2,
+        "retries should recover most sheds: ok={} busy={} retried={}",
+        report.ok,
+        report.busy,
+        report.busy_retried
+    );
+    // Every BUSY the server sent is accounted for exactly once, as either
+    // a final shed or an absorbed retry.
+    assert_eq!(
+        server.stats().busy_rejections(),
+        report.busy + report.busy_retried
+    );
+    server.shutdown();
+}
+
+/// Satellite: the `STATS` reply carries the live queue-depth gauge and
+/// renders to Prometheus text with the expected series.
+#[test]
+fn stats_text_export_has_gauges() {
+    let broker = build_broker(23);
+    let server = start_server(broker.clone(), ServerConfig::default());
+    let mut client = NimbusClient::connect(server.local_addr(), &fast_client()).unwrap();
+    client.buy(PurchaseRequest::AtInverseNcp(5.0)).unwrap();
+
+    let stats = client.stats().unwrap();
+    // Idle server: nothing should be waiting in the admission queues.
+    assert_eq!(stats.queue_depth, 0);
+
+    let text = nimbus_server::render_prometheus(&stats);
+    for series in [
+        "# TYPE nimbus_connections_total counter",
+        "# TYPE nimbus_queue_depth gauge",
+        "# TYPE nimbus_shed_rate gauge",
+        "nimbus_connections_total 1",
+        "nimbus_queue_depth 0",
+        "nimbus_shed_rate 0",
+        "nimbus_requests_total{op=\"quote\"} 1",
+        "nimbus_requests_total{op=\"commit\"} 1",
+        "nimbus_request_latency_upper_micros{op=\"commit\",quantile=\"0.99\"}",
+    ] {
+        assert!(text.contains(series), "missing `{series}` in:\n{text}");
+    }
+    server.shutdown();
 }

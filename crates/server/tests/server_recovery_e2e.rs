@@ -1,0 +1,216 @@
+//! Crash-safety end to end: a journalled server is cut down mid-load,
+//! restarted on the same journal, and the replayed ledger must reconcile
+//! *exactly* — same transaction count, same ids, same total revenue —
+//! with what clients were acknowledged over the wire. Plus the lost-ACK
+//! story: a commit retried with the same idempotency key after a restart
+//! replays the journalled sale instead of charging twice.
+
+use nimbus_core::GaussianMechanism;
+use nimbus_data::catalog::{DatasetSpec, PaperDataset};
+use nimbus_market::curves::{DemandCurve, MarketCurves, ValueCurve};
+use nimbus_market::{Broker, PurchaseRequest, Seller};
+use nimbus_ml::LinearRegressionTrainer;
+use nimbus_server::loadgen::{run_load, LoadConfig, LoadMode};
+use nimbus_server::{ClientConfig, NimbusClient, NimbusServer, RetryPolicy, ServerConfig};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn temp_journal(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "nimbus-server-recovery-{name}-{}.journal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn journaled_broker(seed: u64, journal: &Path) -> Arc<Broker> {
+    let (dataset, _) = DatasetSpec::scaled(PaperDataset::Simulated1, 600)
+        .materialize(seed)
+        .unwrap();
+    let curves = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform);
+    let broker = Broker::builder(Seller::new("recovery-e2e", dataset, curves))
+        .trainer(LinearRegressionTrainer::ridge(1e-6))
+        .mechanism(GaussianMechanism)
+        .n_price_points(24)
+        .error_curve_samples(12)
+        .seed(seed)
+        .journal(journal)
+        .build()
+        .unwrap();
+    broker.open_market().unwrap();
+    Arc::new(broker)
+}
+
+fn client_config(seed: u64) -> ClientConfig {
+    ClientConfig {
+        retry: RetryPolicy {
+            seed,
+            ..RetryPolicy::default()
+        },
+        ..ClientConfig::default()
+    }
+}
+
+/// The acceptance gate: a journalled server cut down under live purchase
+/// traffic, restarted on the same log, must replay a ledger whose
+/// transaction count, ids and total revenue exactly match the commits
+/// clients were ACKed — and keep selling from where it left off.
+#[test]
+fn killed_server_recovers_every_acked_commit() {
+    let journal = temp_journal("kill-restart");
+
+    // Boot 1: serve purchases and pull the plug mid-load.
+    let broker = journaled_broker(61, &journal);
+    let server = NimbusServer::start(
+        broker.clone(),
+        "recovery-e2e",
+        "127.0.0.1:0",
+        ServerConfig {
+            shards: 2,
+            workers_per_shard: 2,
+            queue_capacity: 32,
+            handle_delay: Some(Duration::from_millis(1)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let report = std::thread::scope(|scope| {
+        let load = scope.spawn(move || {
+            run_load(
+                addr,
+                &LoadConfig {
+                    threads: 4,
+                    requests_per_thread: 100,
+                    mode: LoadMode::Buy,
+                    client: client_config(0),
+                    busy_retries: 0,
+                },
+            )
+        });
+        std::thread::sleep(Duration::from_millis(120));
+        server.shutdown();
+        load.join().unwrap()
+    });
+    assert!(
+        report.ok > 0,
+        "some purchases must have landed before the cut"
+    );
+    let acked: Vec<_> = broker.ledger().transactions().to_vec();
+    assert_eq!(acked.len() as u64, report.ok);
+    drop(broker);
+
+    // Boot 2: a fresh broker process on the same journal.
+    let broker = journaled_broker(61, &journal);
+    let recovery = broker
+        .recovery()
+        .expect("journalled broker reports recovery");
+    assert!(
+        recovery.truncated.is_none(),
+        "clean shutdown leaves no torn tail"
+    );
+
+    // Exact reconciliation: count, ids and revenue of the replayed ledger
+    // match the client-ACKed books bit for bit.
+    let replayed = broker.ledger();
+    assert_eq!(replayed.count() as u64, report.ok);
+    let replayed_ids: Vec<u64> = replayed.transactions().iter().map(|t| t.sequence).collect();
+    let acked_ids: Vec<u64> = acked.iter().map(|t| t.sequence).collect();
+    assert_eq!(replayed_ids, acked_ids);
+    for (r, a) in replayed.transactions().iter().zip(&acked) {
+        assert_eq!(r.price.to_bits(), a.price.to_bits());
+    }
+    // Summed in the same (id) order, revenue matches bit for bit; the
+    // broker's stripe-order total only reassociates f64 addition.
+    let acked_revenue: f64 = acked.iter().map(|t| t.price).sum();
+    assert_eq!(replayed.total_revenue().to_bits(), acked_revenue.to_bits());
+    assert!((replayed.total_revenue() - report.revenue).abs() < 1e-6);
+    assert!((broker.collected_revenue() - report.revenue).abs() < 1e-6);
+
+    // The restarted server keeps selling: new epoch, fresh ids continue
+    // the recovered sequence.
+    let server = NimbusServer::start(
+        broker.clone(),
+        "recovery-e2e",
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut client = NimbusClient::connect(server.local_addr(), &client_config(0)).unwrap();
+    let sale = client.buy(PurchaseRequest::AtInverseNcp(10.0)).unwrap();
+    assert_eq!(sale.transaction, report.ok);
+    assert_eq!(broker.sales_count() as u64, report.ok + 1);
+    server.shutdown();
+    let _ = std::fs::remove_file(&journal);
+}
+
+/// The lost-ACK scenario: a commit whose response never arrived is
+/// retried with the same idempotency key — across a server restart — and
+/// yields the same sale exactly once in the journal.
+#[test]
+fn same_nonce_retry_across_restart_charges_once() {
+    let journal = temp_journal("lost-ack");
+
+    // Boot 1: one idempotent purchase lands; pretend its ACK was lost.
+    let broker = journaled_broker(67, &journal);
+    let server = NimbusServer::start(
+        broker.clone(),
+        "recovery-e2e",
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    // A fixed retry seed pins the client's nonce stream, so a second
+    // client with the same seed re-sends the *same* idempotency key —
+    // exactly what a crashed-and-restarted buyer replaying its intent log
+    // would do.
+    let mut client = NimbusClient::connect(addr, &client_config(99)).unwrap();
+    let quote = client.quote(PurchaseRequest::AtInverseNcp(10.0)).unwrap();
+    let first = client.commit_idempotent(&quote, quote.price).unwrap();
+    assert_eq!(broker.sales_count(), 1);
+    server.shutdown();
+    drop(client);
+    drop(broker);
+
+    // Boot 2: same journal, later epoch. The retried commit presents the
+    // old epoch and the same nonce.
+    let broker = journaled_broker(67, &journal);
+    assert_eq!(broker.sales_count(), 1);
+    let server = NimbusServer::start(
+        broker.clone(),
+        "recovery-e2e",
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut retry_client = NimbusClient::connect(server.local_addr(), &client_config(99)).unwrap();
+    let replayed = retry_client.commit_idempotent(&quote, quote.price).unwrap();
+
+    // Same sale, not a second one: id, price and weights all match, and
+    // the books did not grow.
+    assert_eq!(replayed.transaction, first.transaction);
+    assert_eq!(replayed.price.to_bits(), first.price.to_bits());
+    assert_eq!(replayed.weights.len(), first.weights.len());
+    for (r, f) in replayed.weights.iter().zip(&first.weights) {
+        assert_eq!(r.to_bits(), f.to_bits());
+    }
+    assert_eq!(broker.sales_count(), 1);
+    assert_eq!(broker.collected_revenue().to_bits(), first.price.to_bits());
+
+    // A *different* nonce at the dead epoch is not deduplicated: it gets
+    // the honest epoch rejection.
+    let err = retry_client
+        .commit_idempotent(&quote, quote.price)
+        .unwrap_err();
+    match err {
+        nimbus_server::ServerError::Remote { code, .. } => {
+            assert_eq!(code, nimbus_server::ErrorCode::QuoteExpired);
+        }
+        other => panic!("expected a remote QuoteExpired, got {other:?}"),
+    }
+    server.shutdown();
+    let _ = std::fs::remove_file(&journal);
+}

@@ -1,0 +1,136 @@
+//! Findings and their two renderings: rustc-style text and JSON.
+
+use std::fmt::Write as _;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name (kebab-case), e.g. `no-panic`.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// The offending source line, if available (for the caret rendering).
+    pub snippet: String,
+}
+
+impl Finding {
+    /// A finding without a snippet (attached later by the driver).
+    pub fn new(rule: &str, file: &str, line: u32, col: u32, message: impl Into<String>) -> Finding {
+        Finding {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            line,
+            col,
+            message: message.into(),
+            snippet: String::new(),
+        }
+    }
+
+    /// Renders one finding rustc-style:
+    ///
+    /// ```text
+    /// error[nimbus-audit::no-panic]: `unwrap()` in the serving hot path
+    ///   --> crates/server/src/client.rs:257:43
+    ///    |
+    /// 257 |         let stream = self.stream.as_mut().unwrap();
+    ///     |                                           ^
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "error[nimbus-audit::{}]: {}", self.rule, self.message);
+        let _ = writeln!(out, "  --> {}:{}:{}", self.file, self.line, self.col);
+        if !self.snippet.is_empty() {
+            let gutter = self.line.to_string();
+            let pad = " ".repeat(gutter.len());
+            let _ = writeln!(out, "{pad} |");
+            let _ = writeln!(out, "{gutter} | {}", self.snippet);
+            // Column is in characters; the snippet is printed verbatim, so
+            // place the caret by character count.
+            let caret_pad: String = self
+                .snippet
+                .chars()
+                .take(self.col.saturating_sub(1) as usize)
+                .map(|c| if c == '\t' { '\t' } else { ' ' })
+                .collect();
+            let _ = writeln!(out, "{pad} | {caret_pad}^");
+        }
+        out
+    }
+}
+
+/// Renders findings as a JSON document:
+/// `{"findings":[…],"count":N}`.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":{},\"file\":{},\"line\":{},\"col\":{},\"message\":{},\"snippet\":{}}}",
+            json_string(&f.rule),
+            json_string(&f.file),
+            f.line,
+            f.col,
+            json_string(&f.message),
+            json_string(&f.snippet),
+        );
+    }
+    let _ = write!(out, "],\"count\":{}}}", findings.len());
+    out
+}
+
+/// JSON string escaping per RFC 8259.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_has_location_and_caret() {
+        let f = Finding {
+            rule: "no-panic".into(),
+            file: "crates/server/src/x.rs".into(),
+            line: 12,
+            col: 5,
+            message: "`unwrap()` in the serving hot path".into(),
+            snippet: "    a.unwrap();".into(),
+        };
+        let text = f.render();
+        assert!(text.contains("error[nimbus-audit::no-panic]"));
+        assert!(text.contains("--> crates/server/src/x.rs:12:5"));
+        assert!(text.contains("12 |     a.unwrap();"));
+        assert!(text.lines().last().is_some_and(|l| l.ends_with("    ^")));
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -1,0 +1,33 @@
+//! `nimbus-audit` — a workspace invariant linter for the Nimbus serving
+//! path.
+//!
+//! The market's paper-level guarantees rest on code-level invariants the
+//! compiler cannot see: arbitrage-freeness and idempotent replay require
+//! noise to be a pure function of `(seed, tx_id, x)` (no ambient clocks,
+//! RNG, or hash-order dependence), and the lock-free snapshot plus WAL
+//! serving path must stay panic-free under load. This crate pins the
+//! implementation to that spec on every CI run:
+//!
+//! ```text
+//! cargo run -p nimbus-audit -- check          # human diagnostics
+//! cargo run -p nimbus-audit -- check --json   # machine-readable
+//! ```
+//!
+//! See [`rules`] for the rule set and scopes, [`suppress`] for the
+//! mandatory-reason suppression syntax, and [`wire_sync`] for the
+//! DESIGN.md protocol-table cross-check. The lexer underneath
+//! ([`lexer`]) is a purpose-built Rust tokenizer that never matches
+//! rule patterns inside comments, strings, raw strings, or char
+//! literals.
+
+pub mod diagnostics;
+pub mod json;
+pub mod lexer;
+pub mod rules;
+pub mod suppress;
+pub mod testmap;
+pub mod wire_sync;
+pub mod workspace;
+
+pub use diagnostics::{render_json, Finding};
+pub use workspace::{audit_workspace, find_root, AuditReport};

@@ -1,0 +1,103 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! nimbus-audit check [--root DIR] [--json]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+use nimbus_audit::{audit_workspace, find_root, render_json};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+nimbus-audit — workspace invariant linter for the Nimbus serving path
+
+USAGE:
+    nimbus-audit check [--root DIR] [--json]
+
+RULES:
+    determinism    no wall-clock / ambient RNG / env reads / HashMap order
+                   in the deterministic quote-commit-noise modules
+    no-panic       no unwrap/expect/panic!/todo!/unimplemented!/indexing
+                   in the non-test serving hot path
+    unsafe-safety  every `unsafe` carries an adjacent // SAFETY: comment
+    float-eq       no ==/!= against float literals in pricing code
+    wire-sync      wire.rs opcode + ErrorCode tables match DESIGN.md
+
+SUPPRESSION (reason mandatory):
+    // nimbus-audit: allow(rule-name) — why this is sound
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut command: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => root = Some(PathBuf::from(dir)),
+                    None => {
+                        eprintln!("error: --root needs a directory argument\n\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "check" if command.is_none() => command = Some("check".to_string()),
+            "--help" | "-h" | "help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    if command.as_deref() != Some("check") {
+        eprintln!("error: expected the `check` subcommand\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let root = match root.or_else(|| std::env::current_dir().ok().and_then(|cwd| find_root(&cwd))) {
+        Some(r) => r,
+        None => {
+            eprintln!("error: no workspace root found (run inside the repo or pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match audit_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: audit failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", render_json(&report.findings));
+    } else {
+        for f in &report.findings {
+            eprint!("{}", f.render());
+            eprintln!();
+        }
+        eprintln!(
+            "nimbus-audit: {} file(s) scanned, {} finding(s), {} suppression(s) honored",
+            report.files_scanned,
+            report.findings.len(),
+            report.suppressions_used
+        );
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,183 @@
+//! Marks the line ranges of test-only code so rules can skip it.
+//!
+//! Two sources of "test code":
+//!
+//! * whole files under `tests/`, `benches/`, or `examples/` directories;
+//! * items behind `#[cfg(test)]` (including `#[cfg(all(test, …))]`) or
+//!   `#[test]` attributes — typically the `mod tests { … }` tail of a
+//!   module, found by matching the braces of the attributed item.
+//!
+//! `#[cfg(not(test))]` is *not* test code: the scan skips `not(…)` groups
+//! when looking for the `test` marker.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Inclusive 1-based line ranges of test-only code in one file.
+#[derive(Debug, Default, Clone)]
+pub struct TestMap {
+    ranges: Vec<(u32, u32)>,
+    whole_file: bool,
+}
+
+impl TestMap {
+    /// A map marking the entire file as test code.
+    pub fn whole_file() -> Self {
+        TestMap {
+            ranges: Vec::new(),
+            whole_file: true,
+        }
+    }
+
+    /// Whether `line` falls inside test-only code.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.whole_file || self.ranges.iter().any(|&(s, e)| (s..=e).contains(&line))
+    }
+
+    /// Builds the map from a token stream (comments included or not —
+    /// they are skipped internally).
+    pub fn from_tokens(tokens: &[Token]) -> Self {
+        let code: Vec<&Token> = tokens
+            .iter()
+            .filter(|t| t.kind != TokenKind::Comment)
+            .collect();
+        let mut ranges = Vec::new();
+        let mut i = 0;
+        while i < code.len() {
+            if code[i].text == "#" && code.get(i + 1).is_some_and(|t| t.text == "[") {
+                let (attr_tokens, after_attr) = attribute_group(&code, i + 2);
+                if attr_is_test(&attr_tokens) {
+                    let start_line = code[i].line;
+                    let end = item_end(&code, after_attr);
+                    let end_line = code
+                        .get(end.saturating_sub(1))
+                        .map(|t| t.line)
+                        .unwrap_or(start_line);
+                    ranges.push((start_line, end_line));
+                    i = end;
+                    continue;
+                }
+                i = after_attr;
+            } else {
+                i += 1;
+            }
+        }
+        TestMap {
+            ranges,
+            whole_file: false,
+        }
+    }
+}
+
+/// Collects the tokens inside `#[ … ]` starting just past the `[`;
+/// returns them plus the index just past the closing `]`.
+fn attribute_group<'a>(code: &[&'a Token], mut i: usize) -> (Vec<&'a Token>, usize) {
+    let mut depth = 1usize;
+    let mut inner = Vec::new();
+    while i < code.len() && depth > 0 {
+        match code[i].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (inner, i + 1);
+                }
+            }
+            _ => {}
+        }
+        inner.push(code[i]);
+        i += 1;
+    }
+    (inner, i)
+}
+
+/// Whether an attribute token stream marks a test item: a bare `test`
+/// (`#[test]`, `#[tokio::test]`) or a `cfg(…)` whose predicate mentions
+/// `test` outside of any `not(…)` group.
+fn attr_is_test(attr: &[&Token]) -> bool {
+    let mut i = 0;
+    while i < attr.len() {
+        let t = attr[i];
+        if t.kind == TokenKind::Ident && t.text == "not" {
+            // Skip the balanced `not( … )` group entirely.
+            if attr.get(i + 1).is_some_and(|t| t.text == "(") {
+                let mut depth = 0usize;
+                i += 1;
+                while i < attr.len() {
+                    match attr[i].text.as_str() {
+                        "(" => depth += 1,
+                        ")" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+        } else if t.kind == TokenKind::Ident && t.text == "test" {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Index just past the end of the item starting at `i`: skips any further
+/// attributes, then runs to the first `;` at depth 0 or through the
+/// matching `}` of the first `{`.
+fn item_end(code: &[&Token], mut i: usize) -> usize {
+    while i < code.len() && code[i].text == "#" && code.get(i + 1).is_some_and(|t| t.text == "[") {
+        let (_, after) = attribute_group(code, i + 2);
+        i = after;
+    }
+    let mut depth = 0usize;
+    while i < code.len() {
+        match code[i].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            ";" if depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let src = "fn live() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { b.unwrap(); }\n}\nfn live2() {}\n";
+        let map = TestMap::from_tokens(&lex(src));
+        assert!(!map.is_test_line(1));
+        assert!(map.is_test_line(2));
+        assert!(map.is_test_line(4));
+        assert!(!map.is_test_line(6));
+    }
+
+    #[test]
+    fn cfg_not_test_is_live_code() {
+        let src = "#[cfg(not(test))]\nfn shipped() {}\n#[cfg(all(test, unix))]\nfn gated() {}\n";
+        let map = TestMap::from_tokens(&lex(src));
+        assert!(!map.is_test_line(2));
+        assert!(map.is_test_line(4));
+    }
+
+    #[test]
+    fn test_attribute_fn() {
+        let src = "#[test]\nfn check() { x.unwrap(); }\nfn live() {}\n";
+        let map = TestMap::from_tokens(&lex(src));
+        assert!(map.is_test_line(2));
+        assert!(!map.is_test_line(3));
+    }
+}

@@ -1,0 +1,321 @@
+//! Rule `wire-sync`: the wire protocol's opcode and error-code tables in
+//! code must match the tables documented in `DESIGN.md`.
+//!
+//! From the Rust side it lexes `crates/server/src/wire.rs` (and
+//! `error.rs`, in case constants migrate) and extracts:
+//!
+//! * `const OP_<NAME>: u8 = 0x…;` — opcode constants (`OP_` stripped);
+//! * the `enum ErrorCode { Variant = n, … }` discriminants.
+//!
+//! From the docs side it parses `DESIGN.md` markdown table rows of the
+//! shapes `` | `0xNN` | `NAME` | `` and `` | n | `Variant` | ``. Any
+//! one-sided entry or value drift is a finding — pointing at the exact
+//! `DESIGN.md` row or source constant, so the fix is one edit away.
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::Finding;
+
+/// A named numeric entry with the location it was declared at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// Uppercase opcode name (`MENU`, `R_BUSY`) or ErrorCode variant.
+    pub name: String,
+    /// Numeric value.
+    pub value: u64,
+    /// File the entry came from.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// Opcode constants (`OP_` prefix stripped) from lexed Rust source.
+pub fn opcodes_from_source(file: &str, src: &str) -> Vec<Entry> {
+    let tokens: Vec<Token> = lex(src)
+        .into_iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .collect();
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        // const OP_X : u8 = <int> ;
+        let window = |k: usize| tokens.get(i + k);
+        let is = |k: usize, s: &str| window(k).is_some_and(|t| t.text == s);
+        if tokens[i].text == "const"
+            && window(1).is_some_and(|t| t.kind == TokenKind::Ident && t.text.starts_with("OP_"))
+            && is(2, ":")
+            && is(3, "u8")
+            && is(4, "=")
+            && window(5).is_some_and(|t| t.kind == TokenKind::Int)
+        {
+            if let (Some(name_tok), Some(val_tok)) = (window(1), window(5)) {
+                if let Some(value) = parse_int(&val_tok.text) {
+                    out.push(Entry {
+                        name: name_tok.text.trim_start_matches("OP_").to_string(),
+                        value,
+                        file: file.to_string(),
+                        line: name_tok.line,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `ErrorCode` enum discriminants from lexed Rust source.
+pub fn error_codes_from_source(file: &str, src: &str) -> Vec<Entry> {
+    let tokens: Vec<Token> = lex(src)
+        .into_iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].text == "enum" && tokens.get(i + 1).is_some_and(|t| t.text == "ErrorCode") {
+            // Walk the brace-delimited body collecting `Variant = n`.
+            let mut j = i + 2;
+            let mut depth = 0usize;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if depth == 1
+                    && tokens[j].kind == TokenKind::Ident
+                    && tokens.get(j + 1).is_some_and(|t| t.text == "=")
+                    && tokens.get(j + 2).is_some_and(|t| t.kind == TokenKind::Int)
+                {
+                    if let Some(value) = tokens.get(j + 2).and_then(|t| parse_int(&t.text)) {
+                        out.push(Entry {
+                            name: tokens[j].text.clone(),
+                            value,
+                            file: file.to_string(),
+                            line: tokens[j].line,
+                        });
+                    }
+                }
+                j += 1;
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    out
+}
+
+fn parse_int(text: &str) -> Option<u64> {
+    let t = text.replace('_', "");
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(
+            hex.trim_end_matches(|c: char| c.is_ascii_alphabetic() && !c.is_ascii_hexdigit()),
+            16,
+        )
+        .ok()
+    } else {
+        t.trim_end_matches(|c: char| c.is_ascii_alphabetic())
+            .parse()
+            .ok()
+    }
+}
+
+/// Parses the two protocol tables out of `DESIGN.md`: returns
+/// `(opcode rows, error-code rows)`.
+pub fn tables_from_design(file: &str, md: &str) -> (Vec<Entry>, Vec<Entry>) {
+    let mut opcodes = Vec::new();
+    let mut errors = Vec::new();
+    let mut in_code_fence = false;
+    for (idx, raw) in md.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with("```") {
+            in_code_fence = !in_code_fence;
+            continue;
+        }
+        if in_code_fence || !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line
+            .trim_matches('|')
+            .split('|')
+            .map(|c| c.trim().trim_matches('`').trim())
+            .collect();
+        if cells.len() < 2 || cells[1].is_empty() {
+            continue;
+        }
+        let name_ok = cells[1]
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_');
+        if !name_ok {
+            continue;
+        }
+        let lineno = idx as u32 + 1;
+        if let Some(hex) = cells[0]
+            .strip_prefix("0x")
+            .or_else(|| cells[0].strip_prefix("0X"))
+        {
+            if let Ok(value) = u64::from_str_radix(hex, 16) {
+                opcodes.push(Entry {
+                    name: cells[1].to_string(),
+                    value,
+                    file: file.to_string(),
+                    line: lineno,
+                });
+            }
+        } else if let Ok(value) = cells[0].parse::<u64>() {
+            errors.push(Entry {
+                name: cells[1].to_string(),
+                value,
+                file: file.to_string(),
+                line: lineno,
+            });
+        }
+    }
+    (opcodes, errors)
+}
+
+/// Cross-checks code entries against documented entries, both directions.
+pub fn cross_check(kind: &str, in_code: &[Entry], in_docs: &[Entry], out: &mut Vec<Finding>) {
+    for c in in_code {
+        match in_docs.iter().find(|d| d.name == c.name) {
+            None => out.push(Finding::new(
+                "wire-sync",
+                &c.file,
+                c.line,
+                1,
+                format!(
+                    "{kind} `{}` (= {:#x}) is not documented in DESIGN.md's protocol table",
+                    c.name, c.value
+                ),
+            )),
+            Some(d) if d.value != c.value => out.push(Finding::new(
+                "wire-sync",
+                &d.file,
+                d.line,
+                1,
+                format!(
+                    "{kind} `{}` drifted: code says {:#x} ({}:{}), DESIGN.md says {:#x}",
+                    c.name, c.value, c.file, c.line, d.value
+                ),
+            )),
+            _ => {}
+        }
+    }
+    for d in in_docs {
+        if !in_code.iter().any(|c| c.name == d.name) {
+            out.push(Finding::new(
+                "wire-sync",
+                &d.file,
+                d.line,
+                1,
+                format!(
+                    "{kind} `{}` (= {:#x}) is documented in DESIGN.md but absent from the code",
+                    d.name, d.value
+                ),
+            ));
+        }
+    }
+}
+
+/// Full wire-sync check over in-memory sources. `rust_sources` is
+/// `(path, contents)` for `wire.rs` and `error.rs`.
+pub fn check_wire_sync(rust_sources: &[(&str, &str)], design: (&str, &str)) -> Vec<Finding> {
+    let mut opcodes = Vec::new();
+    let mut codes = Vec::new();
+    for (path, src) in rust_sources {
+        opcodes.extend(opcodes_from_source(path, src));
+        codes.extend(error_codes_from_source(path, src));
+    }
+    let (doc_opcodes, doc_codes) = tables_from_design(design.0, design.1);
+    let mut findings = Vec::new();
+    if opcodes.is_empty() {
+        findings.push(Finding::new(
+            "wire-sync",
+            rust_sources.first().map(|(p, _)| *p).unwrap_or("wire.rs"),
+            1,
+            1,
+            "no `const OP_*: u8` opcode constants found — wire.rs moved or changed shape",
+        ));
+    }
+    if codes.is_empty() {
+        findings.push(Finding::new(
+            "wire-sync",
+            rust_sources.first().map(|(p, _)| *p).unwrap_or("wire.rs"),
+            1,
+            1,
+            "no `enum ErrorCode` discriminants found — wire.rs moved or changed shape",
+        ));
+    }
+    cross_check("opcode", &opcodes, &doc_opcodes, &mut findings);
+    cross_check("error code", &codes, &doc_codes, &mut findings);
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WIRE: &str = "
+const OP_MENU: u8 = 0x01;
+const OP_R_BUSY: u8 = 0xBB;
+pub enum ErrorCode {
+    /// Malformed frame.
+    BadFrame = 1,
+    Internal = 11,
+}
+";
+
+    #[test]
+    fn extracts_code_entries() {
+        let ops = opcodes_from_source("wire.rs", WIRE);
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].name, "MENU");
+        assert_eq!(ops[0].value, 0x01);
+        assert_eq!(ops[1].value, 0xBB);
+        let codes = error_codes_from_source("wire.rs", WIRE);
+        assert_eq!(codes.len(), 2);
+        assert_eq!(
+            codes[1],
+            Entry {
+                name: "Internal".into(),
+                value: 11,
+                file: "wire.rs".into(),
+                line: 7,
+            }
+        );
+    }
+
+    #[test]
+    fn in_sync_tables_are_clean() {
+        let md = "| opcode | message |\n|---|---|\n| `0x01` | `MENU` |\n| `0xBB` | `R_BUSY` |\n\n| code | error |\n|---|---|\n| 1 | `BadFrame` |\n| 11 | `Internal` |\n";
+        let findings = check_wire_sync(&[("wire.rs", WIRE)], ("DESIGN.md", md));
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn drifted_opcode_is_flagged() {
+        let md =
+            "| `0x02` | `MENU` |\n| `0xBB` | `R_BUSY` |\n| 1 | `BadFrame` |\n| 11 | `Internal` |\n";
+        let findings = check_wire_sync(&[("wire.rs", WIRE)], ("DESIGN.md", md));
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("drifted"));
+        assert_eq!(findings[0].file, "DESIGN.md");
+    }
+
+    #[test]
+    fn missing_entries_both_directions() {
+        let md =
+            "| `0x01` | `MENU` |\n| `0x07` | `GHOST` |\n| 1 | `BadFrame` |\n| 11 | `Internal` |\n";
+        let findings = check_wire_sync(&[("wire.rs", WIRE)], ("DESIGN.md", md));
+        let msgs: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+        assert!(msgs
+            .iter()
+            .any(|m| m.contains("`R_BUSY`") && m.contains("not documented")));
+        assert!(msgs
+            .iter()
+            .any(|m| m.contains("`GHOST`") && m.contains("absent from the code")));
+    }
+}

@@ -1,0 +1,148 @@
+//! Walks the workspace and drives every rule over it.
+
+use crate::rules;
+use crate::wire_sync;
+use crate::Finding;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Result of auditing a whole workspace.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    /// Unsuppressed findings, sorted by file then line.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Suppressions that actually silenced a finding.
+    pub suppressions_used: usize,
+}
+
+impl AuditReport {
+    /// Whether the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Directories under the root that are walked for Rust sources.
+const SCAN_ROOTS: &[&str] = &["crates", "vendor", "examples", "tests"];
+
+/// Path components that end a walk: build output and the audit's own
+/// deliberately-violating fixture corpus.
+const SKIP_COMPONENTS: &[&str] = &["target", "fixtures"];
+
+/// Audits the workspace rooted at `root`. Walks `crates/`, `vendor/`,
+/// `examples/` and `tests/` for `.rs` files, runs the token rules on
+/// each, then cross-checks the wire tables against `DESIGN.md`.
+pub fn audit_workspace(root: &Path) -> io::Result<AuditReport> {
+    let mut report = AuditReport::default();
+    let mut files = Vec::new();
+    for dir in SCAN_ROOTS {
+        let dir = root.join(dir);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+
+    for path in &files {
+        let rel = relative(root, path);
+        let src = fs::read_to_string(path)?;
+        let (findings, used) = rules::check_file(&rel, &src);
+        report.findings.extend(findings);
+        report.suppressions_used += used;
+        report.files_scanned += 1;
+    }
+
+    // Wire-table sync: code vs DESIGN.md.
+    let wire = root.join("crates/server/src/wire.rs");
+    let error = root.join("crates/server/src/error.rs");
+    let design = root.join("DESIGN.md");
+    if wire.is_file() && design.is_file() {
+        let wire_src = fs::read_to_string(&wire)?;
+        let error_src = if error.is_file() {
+            fs::read_to_string(&error)?
+        } else {
+            String::new()
+        };
+        let design_src = fs::read_to_string(&design)?;
+        let mut findings = wire_sync::check_wire_sync(
+            &[
+                ("crates/server/src/wire.rs", &wire_src),
+                ("crates/server/src/error.rs", &error_src),
+            ],
+            ("DESIGN.md", &design_src),
+        );
+        for f in &mut findings {
+            let src = if f.file == "DESIGN.md" {
+                &design_src
+            } else if f.file.ends_with("error.rs") {
+                &error_src
+            } else {
+                &wire_src
+            };
+            rules::attach_snippets(src, std::slice::from_mut(f));
+        }
+        report.findings.extend(findings);
+    } else {
+        report.findings.push(Finding::new(
+            "wire-sync",
+            "DESIGN.md",
+            1,
+            1,
+            "cannot cross-check protocol tables: crates/server/src/wire.rs or DESIGN.md missing",
+        ));
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    Ok(report)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_COMPONENTS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Finds the workspace root: walks up from `start` until a `Cargo.toml`
+/// containing a `[workspace]` table appears.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

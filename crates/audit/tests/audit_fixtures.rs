@@ -1,0 +1,290 @@
+//! Fixture-corpus tests: every rule's hit / miss / suppression cases,
+//! the JSON round-trip, and wire-table drift detection.
+//!
+//! Fixtures live under `tests/fixtures/<rule>/`. They are checked through
+//! [`nimbus_audit::rules::check_file`] with pseudo-paths that put them in
+//! the rule's scope (the real workspace walk skips `fixtures/`
+//! directories, so the deliberate violations never pollute the gate).
+
+use nimbus_audit::json::{self, Value};
+use nimbus_audit::rules::check_file;
+use nimbus_audit::wire_sync::check_wire_sync;
+use nimbus_audit::{render_json, Finding};
+use std::fs;
+use std::path::PathBuf;
+
+fn fixture(rel: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Lines on which findings of `rule` were reported.
+fn lines_of(findings: &[Finding], rule: &str) -> Vec<u32> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+// ---------------------------------------------------------------- no-panic
+
+#[test]
+fn no_panic_hit_flags_every_marker() {
+    let (findings, used) = check_file("crates/server/src/fixture.rs", &fixture("no_panic/hit.rs"));
+    assert_eq!(used, 0);
+    assert_eq!(lines_of(&findings, "no-panic"), vec![3, 4, 6, 9, 12, 14]);
+    assert_eq!(findings.len(), 6, "{findings:#?}");
+    // Findings carry their source line for the caret rendering.
+    assert!(findings.iter().all(|f| !f.snippet.is_empty()));
+}
+
+#[test]
+fn no_panic_miss_is_clean() {
+    let (findings, used) = check_file("crates/server/src/fixture.rs", &fixture("no_panic/miss.rs"));
+    assert_eq!(used, 0);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn no_panic_out_of_scope_path_is_clean() {
+    // The same violating source outside the hot path produces nothing.
+    let (findings, _) = check_file("crates/optim/src/fixture.rs", &fixture("no_panic/hit.rs"));
+    assert!(lines_of(&findings, "no-panic").is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn no_panic_suppressions_and_reasonless_rejection() {
+    let (findings, used) = check_file(
+        "crates/server/src/fixture.rs",
+        &fixture("no_panic/suppressed.rs"),
+    );
+    // Two reasoned suppressions (line-above and same-line forms) fired.
+    assert_eq!(used, 2);
+    // The reasonless suppression on line 7 silences nothing: it is itself
+    // a finding, and the indexing below it still fires.
+    assert_eq!(lines_of(&findings, "suppression"), vec![7]);
+    assert_eq!(lines_of(&findings, "no-panic"), vec![8]);
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+}
+
+// ------------------------------------------------------------- determinism
+
+#[test]
+fn determinism_hit_flags_every_marker() {
+    let (findings, used) = check_file(
+        "crates/core/src/mechanism.rs",
+        &fixture("determinism/hit.rs"),
+    );
+    assert_eq!(used, 0);
+    // Line 2 (`use …::{HashMap, HashSet}`) dedupes to one finding.
+    assert_eq!(
+        lines_of(&findings, "determinism"),
+        vec![2, 6, 7, 8, 9, 10, 11]
+    );
+    assert_eq!(findings.len(), 7, "{findings:#?}");
+}
+
+#[test]
+fn determinism_miss_is_clean() {
+    let (findings, used) = check_file(
+        "crates/core/src/mechanism.rs",
+        &fixture("determinism/miss.rs"),
+    );
+    assert_eq!(used, 0);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn determinism_only_applies_to_designated_files() {
+    let (findings, _) = check_file(
+        "crates/core/src/menu.rs", // real module, not on the deterministic list
+        &fixture("determinism/hit.rs"),
+    );
+    assert!(
+        lines_of(&findings, "determinism").is_empty(),
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn determinism_suppression_with_reason_is_honored() {
+    let (findings, used) = check_file(
+        "crates/core/src/mechanism.rs",
+        &fixture("determinism/suppressed.rs"),
+    );
+    assert_eq!(used, 1);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+// ---------------------------------------------------------------- float-eq
+
+#[test]
+fn float_eq_hit_flags_literal_comparisons() {
+    let (findings, used) = check_file("crates/optim/src/fixture.rs", &fixture("float_eq/hit.rs"));
+    assert_eq!(used, 0);
+    assert_eq!(lines_of(&findings, "float-eq"), vec![3, 6, 9, 10]);
+    assert_eq!(findings.len(), 4, "{findings:#?}");
+}
+
+#[test]
+fn float_eq_miss_is_clean() {
+    let (findings, used) = check_file("crates/optim/src/fixture.rs", &fixture("float_eq/miss.rs"));
+    assert_eq!(used, 0);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn float_eq_suppression_with_reason_is_honored() {
+    let (findings, used) = check_file(
+        "crates/optim/src/fixture.rs",
+        &fixture("float_eq/suppressed.rs"),
+    );
+    assert_eq!(used, 1);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+// ----------------------------------------------------------- unsafe-safety
+
+#[test]
+fn unsafe_safety_hit_flags_unjustified_unsafe() {
+    // unsafe-safety is workspace-wide: any path is in scope.
+    let (findings, used) = check_file(
+        "crates/market/src/fixture.rs",
+        &fixture("unsafe_safety/hit.rs"),
+    );
+    assert_eq!(used, 0);
+    assert_eq!(lines_of(&findings, "unsafe-safety"), vec![4, 7]);
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+}
+
+#[test]
+fn unsafe_safety_miss_accepts_adjacent_justifications() {
+    let (findings, used) = check_file(
+        "crates/market/src/fixture.rs",
+        &fixture("unsafe_safety/miss.rs"),
+    );
+    assert_eq!(used, 0);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn unsafe_safety_suppression_with_reason_is_honored() {
+    let (findings, used) = check_file(
+        "crates/market/src/fixture.rs",
+        &fixture("unsafe_safety/suppressed.rs"),
+    );
+    assert_eq!(used, 1);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+// ------------------------------------------------------------------- lexer
+
+#[test]
+fn lexer_edge_cases_yield_exactly_the_one_real_violation() {
+    // The fixture buries forbidden markers in raw strings (1 and 2 hashes),
+    // byte strings, raw byte strings, nested block comments, char escapes,
+    // and `//`-in-string traps — then commits one real `unwrap()`. Finding
+    // exactly that one proves the lexer resynchronizes after every trick.
+    let (findings, used) = check_file(
+        "crates/server/src/fixture.rs",
+        &fixture("lexer/edge_cases.rs"),
+    );
+    assert_eq!(used, 0);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, "no-panic");
+    assert_eq!(findings[0].line, 20);
+    assert!(findings[0].snippet.contains("REAL-VIOLATION-LINE"));
+}
+
+// ------------------------------------------------------------------- JSON
+
+#[test]
+fn json_output_round_trips() {
+    let (findings, _) = check_file("crates/server/src/fixture.rs", &fixture("no_panic/hit.rs"));
+    assert!(!findings.is_empty());
+    let rendered = render_json(&findings);
+    let parsed = json::parse(&rendered).expect("emitter output must parse");
+
+    assert_eq!(
+        parsed.get("count").and_then(Value::as_u64),
+        Some(findings.len() as u64)
+    );
+    let arr = parsed
+        .get("findings")
+        .and_then(Value::as_arr)
+        .expect("findings array");
+    assert_eq!(arr.len(), findings.len());
+    for (v, f) in arr.iter().zip(&findings) {
+        assert_eq!(v.get("rule").and_then(Value::as_str), Some(f.rule.as_str()));
+        assert_eq!(v.get("file").and_then(Value::as_str), Some(f.file.as_str()));
+        assert_eq!(v.get("line").and_then(Value::as_u64), Some(f.line as u64));
+        assert_eq!(v.get("col").and_then(Value::as_u64), Some(f.col as u64));
+        assert_eq!(
+            v.get("message").and_then(Value::as_str),
+            Some(f.message.as_str())
+        );
+        assert_eq!(
+            v.get("snippet").and_then(Value::as_str),
+            Some(f.snippet.as_str())
+        );
+    }
+}
+
+// -------------------------------------------------------------- wire-sync
+
+#[test]
+fn wire_sync_in_sync_fixture_is_clean() {
+    let wire = fixture("wire_sync/wire.rs");
+    let ok = fixture("wire_sync/DESIGN_ok.md");
+    let findings = check_wire_sync(&[("wire.rs", &wire)], ("DESIGN.md", &ok));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn wire_sync_drift_fixture_reports_every_divergence() {
+    let wire = fixture("wire_sync/wire.rs");
+    let drift = fixture("wire_sync/DESIGN_drift.md");
+    let findings = check_wire_sync(&[("wire.rs", &wire)], ("DESIGN.md", &drift));
+    let msgs: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+
+    // 0x07 vs 0x02: value drift, anchored at the DESIGN.md row.
+    let quote = findings
+        .iter()
+        .find(|f| f.message.contains("`QUOTE`"))
+        .expect("drifted QUOTE reported");
+    assert!(quote.message.contains("drifted"), "{msgs:?}");
+    assert_eq!(quote.file, "DESIGN.md");
+
+    // GHOST documented but absent from code.
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("`GHOST`") && m.contains("absent from the code")),
+        "{msgs:?}"
+    );
+    // UnknownOpcode in code but dropped from the docs, anchored at source.
+    let missing = findings
+        .iter()
+        .find(|f| f.message.contains("`UnknownOpcode`"))
+        .expect("undocumented error code reported");
+    assert!(missing.message.contains("not documented"), "{msgs:?}");
+    assert_eq!(missing.file, "wire.rs");
+
+    assert_eq!(findings.len(), 3, "{findings:#?}");
+}
+
+#[test]
+fn wire_sync_fenced_rows_are_ignored() {
+    // DESIGN_ok.md carries a decoy `0x99 | INSIDE_FENCE` row inside a
+    // ```-fence; if table parsing ever reads through fences, that row
+    // becomes a spurious "absent from the code" finding.
+    let wire = fixture("wire_sync/wire.rs");
+    let ok = fixture("wire_sync/DESIGN_ok.md");
+    let findings = check_wire_sync(&[("wire.rs", &wire)], ("DESIGN.md", &ok));
+    assert!(
+        findings.iter().all(|f| !f.message.contains("INSIDE_FENCE")),
+        "{findings:#?}"
+    );
+}

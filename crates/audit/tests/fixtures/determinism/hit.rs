@@ -1,0 +1,14 @@
+// Fixture: every determinism marker fires in a deterministic module.
+use std::collections::{HashMap, HashSet};
+use std::time::{Instant, SystemTime};
+
+fn noise_path() -> u64 {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    let mut rng = thread_rng();
+    let seen: HashSet<u64> = HashSet::new();
+    let table: HashMap<u64, u64> = HashMap::new();
+    let home = std::env::var("HOME");
+    let _ = (t0, wall, rng, seen, table, home);
+    0
+}

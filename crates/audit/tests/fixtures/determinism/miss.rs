@@ -1,0 +1,27 @@
+// Fixture: deterministic idiom — seeded streams, ordered maps, injected
+// clocks — plus markers hidden in strings/comments/tests that must not fire.
+use std::collections::{BTreeMap, BTreeSet};
+
+fn noise_path(seed: u64, tx_id: u64, clock: &dyn Fn() -> u64) -> u64 {
+    // Instant::now() would be wrong here; the caller supplies `clock`.
+    let msg = "SystemTime::now and thread_rng and HashMap in a string";
+    let started = clock();
+    let mut dedup: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    dedup.insert((seed, tx_id), started);
+    seen.insert(tx_id);
+    let _ = msg;
+    seed ^ tx_id
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_use_the_wall_clock() {
+        let t = Instant::now();
+        let set: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let _ = (t, set, std::env::var("HOME"));
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: a reasoned suppression for a keyed-lookup-only map.
+fn dedup_table() -> usize {
+    // nimbus-audit: allow(determinism) — keyed lookups only; iteration order never observed
+    let table: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    table.len()
+}

@@ -1,0 +1,16 @@
+// Fixture: float-literal equality in pricing code must fire.
+fn price(total: f64, norm2: f64) -> f64 {
+    if total == 0.0 {
+        return 0.0;
+    }
+    if norm2 != 1.0 {
+        return total;
+    }
+    let exact = 2.5e-3 == total;
+    let suffixed = total != 1f64;
+    if exact || suffixed {
+        total
+    } else {
+        norm2
+    }
+}

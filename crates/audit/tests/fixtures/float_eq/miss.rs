@@ -1,0 +1,22 @@
+// Fixture: tolerance comparisons, integer equality, grid-value equality
+// between non-literals, ranges, and tuple access must not fire.
+fn price(total: f64, n: usize, points: &[(f64, f64)]) -> bool {
+    let close = (total - 1.0).abs() < 1e-9; // tolerance idiom, no ==
+    let ints = n == 0 || n != 3;
+    // Float == between two *expressions* is outside the literal heuristic:
+    let grid = points.len() > 1 && points[0].0 == points[1].0;
+    let ranged = (0..n).len() == n;
+    let msg = "1.0 == x inside a string";
+    let _ = msg;
+    close && ints && grid && ranged
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exactness_asserts_are_test_only() {
+        // Bitwise-identical replay checks legitimately use float ==.
+        assert!(1.0 == 1.0);
+        assert!(0.5 != 0.25);
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: a reasoned suppression for an exact-zero sentinel guard.
+fn price(total: f64) -> f64 {
+    // nimbus-audit: allow(float-eq) — exact-zero guard: total is a sum of non-negative masses
+    if total == 0.0 {
+        return 0.0;
+    }
+    1.0 / total
+}

@@ -1,0 +1,34 @@
+// Fixture: lexer edge cases. Every forbidden marker below is inside a
+// string, raw string, byte string, char context, or comment — EXCEPT the
+// single real `unwrap()` at the clearly marked line near the end, which
+// proves the lexer resynchronizes after each tricky construct.
+fn edge_cases(opt: Option<u32>) -> u32 {
+    let raw_hashes = r#"unwrap() and panic!("x") inside r#-string"#;
+    let raw_more = r##"nested "quote"# then unwrap() still string"##;
+    let byte_str = b"panic!() in a byte string";
+    let raw_byte = br#"expect("x") in a raw byte string"#;
+    /* block comment with unwrap()
+       /* nested block comment with panic!() */
+       still the outer comment: expect("x")
+    */
+    let lifetime_not_char: &'static str = "x";
+    let ch: char = 'a';
+    let escaped: char = '\'';
+    let unicode: char = '\u{1F600}';
+    let slashes = "//unwrap() this is not a comment";
+    let backslash_quote = "escaped \" then unwrap() still string";
+    let real = opt.unwrap(); // REAL-VIOLATION-LINE
+    let _ = (
+        raw_hashes,
+        raw_more,
+        byte_str,
+        raw_byte,
+        lifetime_not_char,
+        ch,
+        escaped,
+        unicode,
+        slashes,
+        backslash_quote,
+    );
+    real
+}

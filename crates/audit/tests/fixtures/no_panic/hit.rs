@@ -1,0 +1,15 @@
+// Fixture: every no-panic marker in non-test hot-path code must fire.
+fn serve(opt: Option<u32>, v: Vec<u32>, i: usize) -> u32 {
+    let a = opt.unwrap();
+    let b = opt.expect("present");
+    if a > b {
+        panic!("impossible");
+    }
+    if b == 0 {
+        todo!();
+    }
+    if a == 0 {
+        unimplemented!();
+    }
+    v[i]
+}

@@ -1,0 +1,28 @@
+// Fixture: typed-error style code, plus every trap that must NOT fire:
+// markers inside strings, raw strings, comments, and test modules;
+// `unwrap_or`-family lookalikes; non-index uses of `[`.
+fn serve(opt: Option<u32>, v: &[u32], i: usize) -> Result<u32, String> {
+    // unwrap() in a comment is fine; so is v[i] indexing here.
+    let doc = "calling unwrap() or panic!() or v[i] in a string";
+    let raw = r#"expect("quoted") and x[0] stay strings"#;
+    let bytes = b"unwrap()";
+    let a = opt.ok_or("missing")?;
+    let b = opt.unwrap_or(0);
+    let c = opt.unwrap_or_else(|| 1);
+    let d = v.get(i).copied().ok_or("out of bounds")?;
+    let arr = [0u8; 4]; // array literal, not indexing
+    let [x, y] = [a, b]; // slice pattern after `let`, not indexing
+    let _ = (doc, raw, bytes, c, arr, x, y);
+    Ok(a + d)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v = vec![1, 2];
+        assert_eq!(v[0], 1);
+        Some(3).unwrap();
+        panic!("fine in tests");
+    }
+}

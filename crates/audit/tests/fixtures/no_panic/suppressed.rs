@@ -1,0 +1,10 @@
+// Fixture: reasoned suppressions silence findings; a reasonless one is
+// itself a finding and silences nothing.
+fn serve(shards: &[u32], tx_id: u64) -> u32 {
+    // nimbus-audit: allow(no-panic) — index is tx_id % len, always in bounds
+    let a = shards[(tx_id % shards.len() as u64) as usize];
+    let b = shards[0]; // nimbus-audit: allow(no-panic) — fixture: same-line form
+    // nimbus-audit: allow(no-panic)
+    let c = shards[1];
+    a + b + c
+}

@@ -1,0 +1,9 @@
+// Fixture: unsafe without an adjacent SAFETY comment must fire.
+fn read(ptr: *const u32) -> u32 {
+    // This comment talks about something else entirely.
+    unsafe { *ptr }
+}
+
+unsafe fn no_justification(ptr: *const u32) -> u32 {
+    *ptr
+}

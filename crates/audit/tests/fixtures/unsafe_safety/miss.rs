@@ -1,0 +1,20 @@
+// Fixture: properly justified unsafe in its three adjacent forms.
+fn read(ptr: *const u32) -> u32 {
+    // SAFETY: `ptr` came from a live Box the caller still owns, so the
+    // target is valid for reads for the duration of this call (multi-line
+    // justification blocks count as long as they are contiguous).
+    unsafe { *ptr }
+}
+
+fn read_same_line(ptr: *const u32) -> u32 {
+    unsafe { *ptr } // SAFETY: caller contract — ptr is non-null and aligned
+}
+
+// SAFETY: the function's contract requires `ptr` valid for reads.
+unsafe fn justified_fn(ptr: *const u32) -> u32 {
+    *ptr
+}
+
+fn mentions_unsafe_in_string() -> &'static str {
+    "the word unsafe in a string is not a token"
+}

@@ -1,0 +1,6 @@
+// Fixture: an unsafe block may be suppressed with a reason (e.g. vendored
+// shim code awaiting a proper SAFETY audit).
+fn read(ptr: *const u32) -> u32 {
+    // nimbus-audit: allow(unsafe-safety) — vendored shim, audited upstream
+    unsafe { *ptr }
+}

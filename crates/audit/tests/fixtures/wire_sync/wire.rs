@@ -1,0 +1,15 @@
+// Fixture: miniature wire module for wire-sync table extraction.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+pub const OP_MENU: u8 = 0x01;
+pub const OP_QUOTE: u8 = 0x02;
+pub const OP_R_MENU: u8 = 0x81;
+pub const OP_R_ERROR: u8 = 0xEE;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    BadFrame = 1,
+    UnknownOpcode = 3,
+    Internal = 11,
+}

@@ -137,6 +137,7 @@ impl RandomizedMechanism for MultiplicativeUniformMechanism {
 
     fn perturb(&self, optimal: &LinearModel, ncp: Ncp, rng: &mut NimbusRng) -> Result<LinearModel> {
         let norm2 = optimal.weights().norm2_squared();
+        // nimbus-audit: allow(float-eq) — exact-zero guard on a sum of squares
         if norm2 == 0.0 {
             return Err(CoreError::InvalidAttack {
                 reason: "multiplicative noise requires a non-zero optimal model",

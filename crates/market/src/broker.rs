@@ -71,7 +71,7 @@ use nimbus_ml::{ErrorMetric, LinearModel, LinearRegressionTrainer, Trainer};
 use nimbus_optim::{solve_revenue_dp, RevenueProblem};
 use nimbus_randkit::{seeded_rng, split_stream};
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -255,6 +255,7 @@ impl MarketSnapshot {
                 // For the square-loss default the curve is the Lemma 3
                 // identity and this reduces to x = 1/e exactly.
                 let pts = self.curve.points();
+                // nimbus-audit: allow(no-panic) — config validation enforces ≥ 2 curve points
                 let loosest_error = pts[pts.len() - 1].smoothed_error;
                 let x = if e >= loosest_error {
                     // Looser than anything on the menu: clamp to the floor.
@@ -495,7 +496,7 @@ impl BrokerBuilder {
         let shards: Vec<Mutex<LedgerShard>> = (0..LEDGER_SHARDS)
             .map(|_| Mutex::new(LedgerShard::new()))
             .collect();
-        let mut dedup: HashMap<(u64, u64), u64> = HashMap::new();
+        let mut dedup: BTreeMap<(u64, u64), u64> = BTreeMap::new();
         let mut next_tx = 0u64;
         let mut epoch_base = 0u64;
         let mut journal = None;
@@ -507,6 +508,7 @@ impl BrokerBuilder {
             // resuming past the highest journaled id, and the idempotency
             // table primed so retried commits dedup instead of re-selling.
             for t in &rec.transactions {
+                // nimbus-audit: allow(no-panic) — index is sequence % LEDGER_SHARDS
                 shards[t.sequence as usize % LEDGER_SHARDS]
                     .lock()
                     .record_assigned(t.sequence, t.inverse_ncp, t.price, t.expected_error);
@@ -568,7 +570,7 @@ pub struct Broker {
     journal: Option<Mutex<Journal>>,
     /// Idempotency table `(quote epoch, client nonce) → transaction id`.
     /// Keyed commits serialize on this lock; plain commits never touch it.
-    dedup: Mutex<HashMap<(u64, u64), u64>>,
+    dedup: Mutex<BTreeMap<(u64, u64), u64>>,
     /// Highest snapshot epoch replayed from the journal: newly published
     /// snapshots continue above it, so epochs are monotone across restarts
     /// and every pre-crash quote fails with `QuoteExpired` rather than
@@ -590,6 +592,7 @@ impl Broker {
     /// panics if `config` fails validation (`n_price_points ≥ 2`,
     /// `error_curve_samples ≥ 1`). Prefer [`Broker::builder`], which
     /// surfaces the problem as a [`MarketError::InvalidConfig`] instead.
+    #[allow(clippy::panic)] // the panic is this constructor's documented contract
     pub fn new(
         seller: Seller,
         trainer: Box<dyn Trainer + Send + Sync>,
@@ -601,6 +604,7 @@ impl Broker {
             .boxed_mechanism(mechanism)
             .config(config)
             .build()
+            // nimbus-audit: allow(no-panic) — documented panicking legacy constructor
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -716,6 +720,7 @@ impl Broker {
                 // map the metric's observed error range onto it (t = 1 at
                 // the lowest error) before transforming onto the φ grid.
                 let pts = curve.points();
+                // nimbus-audit: allow(no-panic) — provider returns ≥ 1 sampled point
                 let (e_lo, e_hi) = (pts[0].smoothed_error, pts[pts.len() - 1].smoothed_error);
                 let range = e_hi - e_lo;
                 let t_of = move |e: f64| {
@@ -881,6 +886,7 @@ impl Broker {
                 nonce,
             })?;
         }
+        // nimbus-audit: allow(no-panic) — index is tx_id % LEDGER_SHARDS
         let transaction = self.shards[tx_id as usize % LEDGER_SHARDS]
             .lock()
             .record_assigned(tx_id, quote.x, price, expected_error);
@@ -968,6 +974,7 @@ impl Broker {
     /// only on `(seed, transaction id, x)` — identical across threads,
     /// re-opens and restarts (training is deterministic).
     fn replay_sale(&self, tx_id: u64) -> Result<Sale> {
+        // nimbus-audit: allow(no-panic) — index is tx_id % LEDGER_SHARDS
         let transaction = self.shards[tx_id as usize % LEDGER_SHARDS]
             .lock()
             .transactions()

@@ -1,3 +1,7 @@
+// Unit tests exercise failure paths where `unwrap`/`panic!` are the
+// point; the serving-path hygiene lints apply to shipped code only.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::panic))]
+
 //! End-to-end marketplace simulation — the Nimbus demo flow.
 //!
 //! Wires every layer of the reproduction together into the three-agent
@@ -60,6 +64,7 @@
 
 pub mod broker;
 pub mod buyer;
+pub mod clock;
 pub mod curves;
 pub mod error;
 pub mod journal;

@@ -10,7 +10,7 @@ use nimbus_optim::{
     affordability_ratio, revenue, solve_revenue_brute_force, solve_revenue_dp, RevenueProblem,
 };
 use nimbus_randkit::NimbusRng;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// A pricing strategy under comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,15 +69,29 @@ pub struct StrategyOutcome {
     pub runtime: Duration,
 }
 
-/// Prices `problem` with `strategy`, timing the computation.
+/// Prices `problem` with `strategy`, timing the computation on the wall
+/// clock. Convenience wrapper over [`price_with_clock`].
 pub fn price_with(strategy: PricingStrategy, problem: &RevenueProblem) -> Result<StrategyOutcome> {
-    let start = Instant::now();
+    let clock = crate::clock::wall_clock();
+    price_with_clock(strategy, problem, &clock)
+}
+
+/// Prices `problem` with `strategy`, timing the computation on a
+/// caller-supplied [`crate::clock::Clock`]. With [`crate::clock::null_clock`]
+/// the outcome is a pure function of `(strategy, problem)` — no ambient
+/// time reaches this module.
+pub fn price_with_clock(
+    strategy: PricingStrategy,
+    problem: &RevenueProblem,
+    clock: crate::clock::Clock<'_>,
+) -> Result<StrategyOutcome> {
+    let start = clock();
     let prices = match strategy {
         PricingStrategy::Mbp => solve_revenue_dp(problem)?.prices,
         PricingStrategy::BruteForce => solve_revenue_brute_force(problem)?.prices,
         PricingStrategy::Baseline(kind) => Baseline::fit(kind, problem)?.prices,
     };
-    let runtime = start.elapsed();
+    let runtime = clock().saturating_sub(start);
     let revenue = revenue(&prices, problem)?;
     let affordability = affordability_ratio(&prices, problem)?;
     Ok(StrategyOutcome {

@@ -118,6 +118,7 @@ impl PriceAtRaw for LinearPricing {
 /// `v_j ≥ p`, maximized subject to staying ≥ 50%.
 fn median_affordable_price(problem: &RevenueProblem) -> f64 {
     let total = problem.total_demand();
+    // nimbus-audit: allow(float-eq) — exact-zero guard on a sum of non-negative masses
     if total == 0.0 {
         return 0.0;
     }

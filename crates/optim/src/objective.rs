@@ -43,6 +43,7 @@ pub fn revenue(prices: &[f64], problem: &RevenueProblem) -> Result<f64> {
 pub fn affordability_ratio(prices: &[f64], problem: &RevenueProblem) -> Result<f64> {
     check_lengths(prices, problem.len())?;
     let total = problem.total_demand();
+    // nimbus-audit: allow(float-eq) — exact-zero guard on a sum of non-negative masses
     if total == 0.0 {
         return Ok(0.0);
     }

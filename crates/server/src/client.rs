@@ -253,39 +253,46 @@ impl NimbusClient {
     /// One synchronous round trip over the current (or a fresh)
     /// connection.
     fn call_once(&mut self, request: &Request) -> std::result::Result<Response, Failure> {
-        self.ensure_connected()?;
-        let stream = self.stream.as_mut().expect("connected above");
+        let stream = self.ensure_connected()?;
         wire::write_frame(stream, &request.encode()).map_err(Failure::AfterSend)?;
         let payload = wire::read_frame(stream).map_err(Failure::AfterSend)?;
         Response::decode(&payload).map_err(Failure::AfterSend)
     }
 
-    fn ensure_connected(&mut self) -> std::result::Result<(), Failure> {
-        if self.stream.is_some() {
-            return Ok(());
-        }
+    /// Returns the live connection, dialing every configured address in
+    /// order if there is none.
+    fn ensure_connected(&mut self) -> std::result::Result<&mut TcpStream, Failure> {
         let mut last_err: Option<std::io::Error> = None;
-        for candidate in &self.addrs {
-            match TcpStream::connect_timeout(candidate, self.config.connect_timeout) {
-                Ok(stream) => {
-                    stream
-                        .set_read_timeout(Some(self.config.read_timeout))
-                        .map_err(|e| Failure::BeforeSend(e.into()))?;
-                    stream
-                        .set_write_timeout(Some(self.config.write_timeout))
-                        .map_err(|e| Failure::BeforeSend(e.into()))?;
-                    let _ = stream.set_nodelay(true);
-                    self.stream = Some(stream);
-                    return Ok(());
+        if self.stream.is_none() {
+            for candidate in &self.addrs {
+                match TcpStream::connect_timeout(candidate, self.config.connect_timeout) {
+                    Ok(stream) => {
+                        stream
+                            .set_read_timeout(Some(self.config.read_timeout))
+                            .map_err(|e| Failure::BeforeSend(e.into()))?;
+                        stream
+                            .set_write_timeout(Some(self.config.write_timeout))
+                            .map_err(|e| Failure::BeforeSend(e.into()))?;
+                        let _ = stream.set_nodelay(true);
+                        self.stream = Some(stream);
+                        break;
+                    }
+                    Err(e) => last_err = Some(e),
                 }
-                Err(e) => last_err = Some(e),
             }
         }
-        Err(Failure::BeforeSend(
-            last_err
-                .expect("connect loop saw at least one address")
-                .into(),
-        ))
+        match self.stream.as_mut() {
+            Some(stream) => Ok(stream),
+            None => {
+                let err = last_err.unwrap_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::AddrNotAvailable,
+                        "no addresses to dial",
+                    )
+                });
+                Err(Failure::BeforeSend(err.into()))
+            }
+        }
     }
 
     /// Sleeps the jittered exponential backoff for retry `attempt`

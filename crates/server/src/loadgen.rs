@@ -117,7 +117,12 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("load thread panicked"))
+            .map(|h| match h.join() {
+                Ok(report) => report,
+                // Surface the worker's own panic payload instead of
+                // minting a second, less informative one here.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
     let mut total = LoadReport {
@@ -183,16 +188,18 @@ fn attempt(
     thread: usize,
     i: usize,
 ) -> Result<f64> {
-    if client.is_none() {
-        // Force off the client's internal retries: the generator counts
-        // and paces every shed itself.
-        let config = ClientConfig {
-            retry: RetryPolicy::none(),
-            ..config.client
-        };
-        *client = Some(NimbusClient::connect(addr, &config)?);
-    }
-    let conn = client.as_mut().expect("connection just established");
+    let conn = match client {
+        Some(conn) => conn,
+        None => {
+            // Force off the client's internal retries: the generator
+            // counts and paces every shed itself.
+            let config = ClientConfig {
+                retry: RetryPolicy::none(),
+                ..config.client
+            };
+            client.insert(NimbusClient::connect(addr, &config)?)
+        }
+    };
     let request = request_for(thread, i, config.requests_per_thread);
     match config.mode {
         LoadMode::Quote => {

@@ -167,29 +167,54 @@ impl NimbusServer {
         });
 
         let mut workers = Vec::with_capacity(config.shards * config.workers_per_shard);
-        for shard_idx in 0..config.shards {
+        let mut spawn_err: Option<std::io::Error> = None;
+        'spawn: for shard_idx in 0..config.shards {
             for worker_idx in 0..config.workers_per_shard {
                 let inner = inner.clone();
-                workers.push(
-                    std::thread::Builder::new()
-                        .name(format!("nimbus-worker-{shard_idx}-{worker_idx}"))
-                        .spawn(move || worker_loop(&inner, shard_idx))
-                        .expect("spawn worker thread"),
-                );
+                let spawned = std::thread::Builder::new()
+                    .name(format!("nimbus-worker-{shard_idx}-{worker_idx}"))
+                    .spawn(move || worker_loop(&inner, shard_idx));
+                match spawned {
+                    Ok(handle) => workers.push(handle),
+                    Err(e) => {
+                        spawn_err = Some(e);
+                        break 'spawn;
+                    }
+                }
             }
         }
-        let accept = {
+        let accept = if spawn_err.is_none() {
             let inner = inner.clone();
-            std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name("nimbus-accept".to_string())
-                .spawn(move || accept_loop(&inner, listener))
-                .expect("spawn accept thread")
+                .spawn(move || accept_loop(&inner, listener));
+            match spawned {
+                Ok(handle) => Some(handle),
+                Err(e) => {
+                    spawn_err = Some(e);
+                    None
+                }
+            }
+        } else {
+            None
         };
+        if let Some(e) = spawn_err {
+            // Unwind the partial spawn: wake and join whatever started, so
+            // no orphaned worker outlives the failed constructor.
+            inner.stop.store(true, Ordering::SeqCst);
+            for shard in &inner.shards {
+                shard.available.notify_all();
+            }
+            for handle in workers {
+                let _ = handle.join();
+            }
+            return Err(e.into());
+        }
 
         Ok(NimbusServer {
             inner,
             local_addr,
-            accept: Some(accept),
+            accept,
             workers,
         })
     }
@@ -268,8 +293,14 @@ fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
 /// Enqueues onto the shard's bounded queue; gives the stream back when the
 /// queue is full so the caller can shed it.
 fn try_enqueue(inner: &Inner, shard_idx: usize, stream: TcpStream) -> Option<TcpStream> {
+    // nimbus-audit: allow(no-panic) — shard_idx is next_shard % shards.len()
     let shard = &inner.shards[shard_idx];
-    let mut queue = shard.queue.lock().expect("shard queue poisoned");
+    // A panicking worker poisons the queue lock; the queue itself (a
+    // VecDeque of sockets) is still structurally sound, so keep serving.
+    let mut queue = match shard.queue.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
     if queue.len() >= inner.config.queue_capacity {
         return Some(stream);
     }
@@ -316,10 +347,14 @@ fn shed(inner: &Arc<Inner>, stream: TcpStream) {
 }
 
 fn worker_loop(inner: &Arc<Inner>, shard_idx: usize) {
+    // nimbus-audit: allow(no-panic) — spawned with shard_idx in 0..shards.len()
     let shard = &inner.shards[shard_idx];
     loop {
         let next = {
-            let mut queue = shard.queue.lock().expect("shard queue poisoned");
+            let mut queue = match shard.queue.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
             loop {
                 if let Some(stream) = queue.pop_front() {
                     break Some(stream);
@@ -327,10 +362,10 @@ fn worker_loop(inner: &Arc<Inner>, shard_idx: usize) {
                 if inner.stop.load(Ordering::SeqCst) {
                     break None;
                 }
-                queue = shard
-                    .available
-                    .wait(queue)
-                    .expect("shard queue poisoned while waiting");
+                queue = match shard.available.wait(queue) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
             }
         };
         match next {

@@ -349,6 +349,7 @@ impl Enc {
 
     fn str(&mut self, s: &str) {
         debug_assert!(s.len() <= MAX_STRING_LEN);
+        // nimbus-audit: allow(no-panic) — upper bound is min(len, cap), always ≤ len
         let bytes = &s.as_bytes()[..s.len().min(MAX_STRING_LEN)];
         self.u16(bytes.len() as u16);
         self.buf.extend_from_slice(bytes);
@@ -395,15 +396,27 @@ impl<'a> Dec<'a> {
     }
 
     fn u16(&mut self) -> Result<u16> {
-        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+        let bytes = self.take(2)?;
+        bytes
+            .try_into()
+            .map(u16::from_be_bytes)
+            .map_err(|_| Dec::bad("u16 field"))
     }
 
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+        let bytes = self.take(4)?;
+        bytes
+            .try_into()
+            .map(u32::from_be_bytes)
+            .map_err(|_| Dec::bad("u32 field"))
     }
 
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+        let bytes = self.take(8)?;
+        bytes
+            .try_into()
+            .map(u64::from_be_bytes)
+            .map_err(|_| Dec::bad("u64 field"))
     }
 
     fn f64(&mut self) -> Result<f64> {
@@ -477,6 +490,7 @@ pub fn read_frame_opt(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
     let mut len_buf = [0u8; 4];
     let mut filled = 0;
     while filled < 4 {
+        // nimbus-audit: allow(no-panic) — loop guard keeps filled < 4 = len_buf.len()
         let n = r.read(&mut len_buf[filled..])?;
         if n == 0 {
             return if filled == 0 {

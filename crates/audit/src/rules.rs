@@ -35,6 +35,7 @@ pub const DETERMINISTIC_FILES: &[&str] = &[
     "crates/market/src/broker.rs",
     "crates/market/src/journal.rs",
     "crates/market/src/ledger.rs",
+    "crates/market/src/marketplace.rs",
     "crates/market/src/simulation.rs",
 ];
 
@@ -46,6 +47,7 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "crates/market/src/broker.rs",
     "crates/market/src/journal.rs",
     "crates/market/src/ledger.rs",
+    "crates/market/src/marketplace.rs",
 ];
 
 /// Pricing code under float discipline.

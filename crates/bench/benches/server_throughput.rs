@@ -1,11 +1,14 @@
 //! Loopback serving throughput: the full TCP path (framing, admission,
-//! worker pool, broker snapshot reads, striped ledger) under N client
-//! threads × M requests each.
+//! worker pool, listing routing, broker snapshot reads, striped ledger)
+//! under N client threads × M requests each.
 //!
-//! Two regimes:
+//! Three regimes:
 //! * `within capacity` — the admission queues dwarf the client count, so
 //!   every request is served; the number is end-to-end requests/second
-//!   through real sockets.
+//!   through real sockets against a single-listing marketplace.
+//! * `multi-listing` — the same load spread over an 8-listing marketplace
+//!   with a uniform per-listing mix, so every request exercises the
+//!   lock-free directory lookup and a distinct listing's snapshot.
 //! * `flood` — one worker, queue of one, a deliberate per-request service
 //!   delay: most connections must be shed with `BUSY`. What's measured is
 //!   that overload resolves quickly and explicitly (shed rate printed),
@@ -13,34 +16,80 @@
 //!
 //! Each benchmark prints one summary line (throughput + shed rate) from a
 //! warm-up run before criterion measures, so the numbers survive even when
-//! the vendored criterion shim runs bodies once.
+//! the vendored criterion shim runs bodies once. When the
+//! `NIMBUS_BENCH_JSON` environment variable names a path, the warm-up
+//! summaries are also persisted there as a JSON document (the CI step
+//! writes `BENCH_pr6.json`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nimbus_core::GaussianMechanism;
 use nimbus_data::catalog::{DatasetSpec, PaperDataset};
 use nimbus_market::curves::{DemandCurve, MarketCurves, ValueCurve};
-use nimbus_market::{Broker, Seller};
+use nimbus_market::{ListingBuilder, Marketplace, Seller};
 use nimbus_ml::LinearRegressionTrainer;
 use nimbus_server::loadgen::{run_load, LoadConfig, LoadMode, LoadReport};
 use nimbus_server::{ClientConfig, NimbusServer, ServerConfig};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
-fn make_open_broker() -> Arc<Broker> {
+/// Builders for `n` published listings named `bench-0..bench-n`, all
+/// backed by the same materialized dataset (the marketplace builds them
+/// in parallel).
+fn listing_builders(n: usize) -> Vec<ListingBuilder> {
     let (dataset, _) = DatasetSpec::scaled(PaperDataset::Simulated1, 2_000)
         .materialize(5)
         .expect("dataset");
-    let curves = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform);
-    let broker = Broker::builder(Seller::new("bench", dataset, curves))
-        .trainer(LinearRegressionTrainer::ridge(1e-6))
-        .mechanism(GaussianMechanism)
-        .n_price_points(50)
-        .error_curve_samples(50)
-        .seed(5)
-        .build()
-        .expect("valid config");
-    broker.open_market().expect("market opens");
-    Arc::new(broker)
+    (0..n)
+        .map(|i| {
+            let curves = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform);
+            let seller = Seller::new(format!("bench-{i}"), dataset.clone(), curves);
+            ListingBuilder::new(format!("bench-{i}"), seller)
+                .trainer(LinearRegressionTrainer::ridge(1e-6))
+                .mechanism(GaussianMechanism)
+                .n_price_points(50)
+                .error_curve_samples(50)
+                .seed(5 + i as u64)
+        })
+        .collect()
+}
+
+fn make_marketplace(listings: usize) -> Arc<Marketplace> {
+    Arc::new(Marketplace::open_listings(listing_builders(listings)).expect("valid config"))
+}
+
+/// Warm-up summaries collected for the optional JSON artifact.
+fn recorded() -> &'static Mutex<Vec<String>> {
+    static RECORDS: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    RECORDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn record(label: &str, listings: usize, threads: usize, report: &LoadReport) {
+    let entry = format!(
+        "    {{\"label\": \"{label}\", \"listings\": {listings}, \"threads\": {threads}, \
+         \"ok\": {}, \"busy\": {}, \"errors\": {}, \"elapsed_secs\": {:.6}, \
+         \"throughput_rps\": {:.1}, \"shed_rate\": {:.4}}}",
+        report.ok,
+        report.busy,
+        report.errors,
+        report.elapsed.as_secs_f64(),
+        report.throughput(),
+        report.shed_rate()
+    );
+    recorded().lock().expect("records lock").push(entry);
+}
+
+/// Writes the collected summaries to `$NIMBUS_BENCH_JSON`, if set.
+fn flush_bench_json() {
+    let Ok(path) = std::env::var("NIMBUS_BENCH_JSON") else {
+        return;
+    };
+    let entries = recorded().lock().expect("records lock");
+    let doc = format!(
+        "{{\n  \"bench\": \"server_throughput\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write(&path, doc).expect("write bench json");
+    println!("bench summaries written to {path}");
 }
 
 fn summarize(label: &str, report: &LoadReport) {
@@ -57,8 +106,8 @@ fn summarize(label: &str, report: &LoadReport) {
 
 fn bench_within_capacity(c: &mut Criterion) {
     let server = NimbusServer::start(
-        make_open_broker(),
-        "bench",
+        make_marketplace(1),
+        "bench-0",
         "127.0.0.1:0",
         ServerConfig {
             shards: 2,
@@ -84,12 +133,75 @@ fn bench_within_capacity(c: &mut Criterion) {
             mode,
             client: ClientConfig::default(),
             busy_retries: 0,
+            mix: Vec::new(),
         };
         let warmup = run_load(addr, &config);
         assert_eq!(warmup.ok, warmup.attempted, "within capacity: no sheds");
         summarize(&format!("server_loopback/{tag}/{threads}t"), &warmup);
+        record(&format!("single_listing/{tag}"), 1, threads, &warmup);
         group.bench_with_input(
             BenchmarkId::new(tag, format!("{threads}t")),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let report = run_load(addr, config);
+                    assert_eq!(report.errors, 0);
+                    report.ok
+                })
+            },
+        );
+    }
+    group.finish();
+    server.shutdown();
+}
+
+fn bench_multi_listing_routing(c: &mut Criterion) {
+    const LISTINGS: usize = 8;
+    let marketplace = make_marketplace(LISTINGS);
+    let names = marketplace.names();
+    assert_eq!(names.len(), LISTINGS);
+    let server = NimbusServer::start(
+        marketplace,
+        "bench-0",
+        "127.0.0.1:0",
+        ServerConfig {
+            shards: 2,
+            workers_per_shard: 4,
+            queue_capacity: 64,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    let mut group = c.benchmark_group("server_multi_listing");
+    group.sample_size(10);
+    for (threads, mode, tag) in [
+        (4usize, LoadMode::Quote, "quote"),
+        (4, LoadMode::Buy, "buy"),
+    ] {
+        let config = LoadConfig {
+            threads,
+            requests_per_thread: 256,
+            mode,
+            client: ClientConfig::default(),
+            busy_retries: 0,
+            mix: names.iter().map(|n| (n.clone(), 1)).collect(),
+        };
+        let warmup = run_load(addr, &config);
+        assert_eq!(warmup.ok, warmup.attempted, "within capacity: no sheds");
+        assert_eq!(
+            warmup.per_listing.len(),
+            LISTINGS,
+            "uniform mix must reach every listing"
+        );
+        summarize(
+            &format!("server_multi_listing/{tag}/{threads}t/{LISTINGS}l"),
+            &warmup,
+        );
+        record(&format!("mix_8_listings/{tag}"), LISTINGS, threads, &warmup);
+        group.bench_with_input(
+            BenchmarkId::new(tag, format!("{threads}t_{LISTINGS}l")),
             &config,
             |b, config| {
                 b.iter(|| {
@@ -107,8 +219,8 @@ fn bench_within_capacity(c: &mut Criterion) {
 fn bench_flood_shedding(c: &mut Criterion) {
     // One slow worker and a queue of one: a 16-thread flood must shed.
     let server = NimbusServer::start(
-        make_open_broker(),
-        "bench-flood",
+        make_marketplace(1),
+        "bench-0",
         "127.0.0.1:0",
         ServerConfig {
             shards: 1,
@@ -126,11 +238,13 @@ fn bench_flood_shedding(c: &mut Criterion) {
         mode: LoadMode::Quote,
         client: ClientConfig::default(),
         busy_retries: 0,
+        mix: Vec::new(),
     };
     let warmup = run_load(addr, &config);
     assert!(warmup.busy > 0, "flood must shed");
     assert_eq!(warmup.errors, 0, "sheds are typed BUSY, never resets");
     summarize("server_flood/16t", &warmup);
+    record("flood/quote", 1, 16, &warmup);
 
     let mut group = c.benchmark_group("server_flood");
     group.sample_size(10);
@@ -143,7 +257,14 @@ fn bench_flood_shedding(c: &mut Criterion) {
     });
     group.finish();
     server.shutdown();
+    // Last benchmark in the group: persist the collected summaries.
+    flush_bench_json();
 }
 
-criterion_group!(benches, bench_within_capacity, bench_flood_shedding);
+criterion_group!(
+    benches,
+    bench_within_capacity,
+    bench_multi_listing_routing,
+    bench_flood_shedding
+);
 criterion_main!(benches);

@@ -43,22 +43,24 @@ pub fn run_command(command: Command) -> Result<String, String> {
         } => error_curve(&dataset, samples, seed),
         Command::Serve {
             addr,
-            dataset,
+            datasets,
             metric,
             seed,
             shards,
             workers,
             queue,
             journal,
+            journal_dir,
         } => serve(
             &addr,
-            &dataset,
+            &datasets,
             &metric,
             seed,
             shards,
             workers,
             queue,
             journal.as_deref(),
+            journal_dir.as_deref(),
         ),
         Command::Client { addr, action } => client(&addr, action),
     }
@@ -470,64 +472,162 @@ fn error_curve(dataset_name: &str, samples: usize, seed: u64) -> Result<String, 
     Ok(out)
 }
 
-/// Builds the broker for one listing and starts the TCP service on `addr`.
-/// Shared by [`serve`] (which then blocks forever) and the tests (which
-/// shut the returned handle down).
+/// Builds one listing's validating builder with the same market stack the
+/// experiments use. The listing is named after its dataset.
+fn listing_builder(
+    dataset: PaperDataset,
+    metric: &str,
+    seed: u64,
+) -> Result<ListingBuilder, String> {
+    let spec = DatasetSpec::scaled(dataset, 4_000);
+    let (tt, _) = spec.materialize(seed).map_err(|e| e.to_string())?;
+    let metric = lookup_metric(metric, dataset, tt.test.clone())?;
+    let curves = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform);
+    let seller = Seller::new(dataset.name(), tt, curves);
+    let (trainer, kind): (Box<dyn Trainer + Send + Sync>, &'static str) = match dataset.task() {
+        Task::Regression => (
+            Box::new(LinearRegressionTrainer::ridge(1e-6)),
+            "linear_regression",
+        ),
+        Task::BinaryClassification => (
+            Box::new(LogisticRegressionTrainer::new(1e-4)),
+            "logistic_regression",
+        ),
+    };
+    let mut builder = ListingBuilder::new(dataset.name(), seller)
+        .model_kind(kind)
+        .boxed_trainer(trainer)
+        .mechanism(GaussianMechanism)
+        .n_price_points(50)
+        .error_curve_samples(50)
+        .seed(seed);
+    if let Some(m) = metric {
+        builder = builder.boxed_error_metric(m);
+    }
+    Ok(builder)
+}
+
+/// Builds the marketplace for `datasets` (one published listing each) and
+/// starts the TCP service on `addr`. The first dataset is the default
+/// listing. Shared by [`serve`] (which then blocks forever) and the tests
+/// (which shut the returned handle down).
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn start_listing_server(
+pub(crate) fn start_marketplace_server(
     addr: &str,
-    dataset_name: &str,
+    dataset_names: &[String],
     metric: &str,
     seed: u64,
     shards: usize,
     workers: usize,
     queue: usize,
     journal: Option<&str>,
+    journal_dir: Option<&str>,
 ) -> Result<NimbusServer, String> {
-    let dataset = lookup_dataset(dataset_name)?;
-    let broker = build_broker(dataset, metric, seed, journal)?;
+    if dataset_names.is_empty() {
+        return Err("serve needs at least one --dataset".to_string());
+    }
+    if journal.is_some() && dataset_names.len() > 1 {
+        return Err(
+            "--journal is single-listing only; use --journal-dir for a multi-listing serve"
+                .to_string(),
+        );
+    }
+    let mut builders = Vec::with_capacity(dataset_names.len());
+    let mut default_listing = String::new();
+    for name in dataset_names {
+        let dataset = lookup_dataset(name)?;
+        if default_listing.is_empty() {
+            default_listing = dataset.name().to_string();
+        }
+        let mut builder = listing_builder(dataset, metric, seed)?;
+        if let Some(path) = journal {
+            builder = builder.journal(path);
+        }
+        if let Some(dir) = journal_dir {
+            builder = builder.journal_root(dir);
+        }
+        builders.push(builder);
+    }
+    let marketplace = Marketplace::open_listings(builders).map_err(|e| e.to_string())?;
     let config = ServerConfig {
         shards,
         workers_per_shard: workers,
         queue_capacity: queue,
         ..ServerConfig::default()
     };
-    NimbusServer::start(std::sync::Arc::new(broker), dataset.name(), addr, config)
-        .map_err(|e| e.to_string())
+    NimbusServer::start(
+        std::sync::Arc::new(marketplace),
+        default_listing,
+        addr,
+        config,
+    )
+    .map_err(|e| e.to_string())
 }
 
-/// `nimbus serve`: build the market, bind, and serve until killed.
+/// `nimbus serve`: build the marketplace, bind, and serve until killed.
 #[allow(clippy::too_many_arguments)]
 fn serve(
     addr: &str,
-    dataset: &str,
+    datasets: &[String],
     metric: &str,
     seed: u64,
     shards: usize,
     workers: usize,
     queue: usize,
     journal: Option<&str>,
+    journal_dir: Option<&str>,
 ) -> Result<String, String> {
-    let server =
-        start_listing_server(addr, dataset, metric, seed, shards, workers, queue, journal)?;
+    let server = start_marketplace_server(
+        addr,
+        datasets,
+        metric,
+        seed,
+        shards,
+        workers,
+        queue,
+        journal,
+        journal_dir,
+    )?;
+    let marketplace = server.marketplace();
     println!(
-        "nimbus-server: listing {dataset:?} ({metric} metric) on {} \
+        "nimbus-server: {} listing(s) ({metric} metric) on {} \
          [{shards} shard(s) x {workers} worker(s), queue {queue}]",
+        marketplace.len(),
         server.local_addr()
     );
-    if let Some(path) = journal {
-        match server.broker().recovery() {
-            Some(rec) if !rec.transactions.is_empty() || rec.truncated.is_some() => println!(
-                "journal {path:?}: recovered {} sale(s), revenue {:.2}, next transaction #{}{}",
-                rec.transactions.len(),
-                rec.total_revenue(),
-                rec.next_tx_id,
-                match &rec.truncated {
-                    Some(e) => format!(" (salvaged a torn tail: {e})"),
-                    None => String::new(),
-                }
-            ),
-            _ => println!("journal {path:?}: fresh log"),
+    for entry in marketplace.menu() {
+        println!(
+            "  listing {:?}: {} ({}), expected revenue {:.2}{}",
+            entry.name,
+            entry.model_kind,
+            entry.state.name(),
+            entry.expected_revenue,
+            if entry.name == server.default_listing() {
+                " [default]"
+            } else {
+                ""
+            }
+        );
+    }
+    if journal.is_some() || journal_dir.is_some() {
+        for name in marketplace.names() {
+            let Ok((broker, _)) = marketplace.broker(&name) else {
+                continue;
+            };
+            match broker.recovery() {
+                Some(rec) if !rec.transactions.is_empty() || rec.truncated.is_some() => println!(
+                    "journal for {name:?}: recovered {} sale(s), revenue {:.2}, \
+                     next transaction #{}{}",
+                    rec.transactions.len(),
+                    rec.total_revenue(),
+                    rec.next_tx_id,
+                    match &rec.truncated {
+                        Some(e) => format!(" (salvaged a torn tail: {e})"),
+                        None => String::new(),
+                    }
+                ),
+                _ => println!("journal for {name:?}: fresh log"),
+            }
         }
     }
     println!("serving until the process is killed (Ctrl-C)");
@@ -543,9 +643,13 @@ fn client(addr: &str, action: ClientAction) -> Result<String, String> {
     let config = ClientConfig::default();
     let mut out = String::new();
     match action {
-        ClientAction::Menu => {
+        ClientAction::Menu { listing } => {
             let mut conn = NimbusClient::connect(addr, &config).map_err(|e| e.to_string())?;
-            let menu = conn.menu().map_err(|e| e.to_string())?;
+            let menu = match &listing {
+                Some(name) => conn.menu_on(name),
+                None => conn.menu(),
+            }
+            .map_err(|e| e.to_string())?;
             let _ = writeln!(
                 out,
                 "menu from {addr} (epoch {}, {} metric, {} versions):",
@@ -557,9 +661,13 @@ fn client(addr: &str, action: ClientAction) -> Result<String, String> {
                 let _ = writeln!(out, "  1/NCP {x:>8.2}  price {p:>8.2}");
             }
         }
-        ClientAction::Info => {
+        ClientAction::Info { listing } => {
             let mut conn = NimbusClient::connect(addr, &config).map_err(|e| e.to_string())?;
-            let info = conn.info().map_err(|e| e.to_string())?;
+            let info = match &listing {
+                Some(name) => conn.info_on(name),
+                None => conn.info(),
+            }
+            .map_err(|e| e.to_string())?;
             let _ = writeln!(out, "listing {:?} at {addr}:", info.listing);
             let _ = writeln!(out, "  metric           : {}", info.metric);
             let _ = writeln!(out, "  snapshot epoch   : {}", info.epoch);
@@ -574,6 +682,43 @@ fn client(addr: &str, action: ClientAction) -> Result<String, String> {
                 "  ledger           : {} sales, revenue {:.2}",
                 info.sales, info.revenue
             );
+        }
+        ClientAction::Listings => {
+            let mut conn = NimbusClient::connect(addr, &config).map_err(|e| e.to_string())?;
+            let listings = conn.listings().map_err(|e| e.to_string())?;
+            let _ = writeln!(
+                out,
+                "{} listing(s) at {addr} (default {:?}):",
+                listings.listings.len(),
+                listings.default_listing
+            );
+            let _ = writeln!(
+                out,
+                "  {:<20} {:<20} {:<10} {:>6} {:>10}",
+                "listing", "model", "state", "open", "E[revenue]"
+            );
+            for l in &listings.listings {
+                let _ = writeln!(
+                    out,
+                    "  {:<20} {:<20} {:<10} {:>6} {:>10.2}",
+                    l.name, l.model_kind, l.state, l.open, l.expected_revenue
+                );
+            }
+        }
+        ClientAction::Publish { listing } => {
+            let mut conn = NimbusClient::connect(addr, &config).map_err(|e| e.to_string())?;
+            let (epoch, expected_revenue) = conn.publish(&listing).map_err(|e| e.to_string())?;
+            let _ = writeln!(
+                out,
+                "published {listing:?}: epoch {epoch} is live (expected revenue {:.2}); \
+                 quotes from earlier epochs are now void",
+                expected_revenue
+            );
+        }
+        ClientAction::Retire { listing } => {
+            let mut conn = NimbusClient::connect(addr, &config).map_err(|e| e.to_string())?;
+            conn.retire(&listing).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "retired {listing:?}: it no longer quotes or sells");
         }
         ClientAction::Stats { text } => {
             let mut conn = NimbusClient::connect(addr, &config).map_err(|e| e.to_string())?;
@@ -600,14 +745,18 @@ fn client(addr: &str, action: ClientAction) -> Result<String, String> {
                 );
             }
         }
-        ClientAction::Buy(request) => {
+        ClientAction::Buy { request, listing } => {
             let mut conn = NimbusClient::connect(addr, &config).map_err(|e| e.to_string())?;
             let req = match request {
                 BuyRequest::ErrorBudget(e) => PurchaseRequest::ErrorBudget(e),
                 BuyRequest::PriceBudget(p) => PurchaseRequest::PriceBudget(p),
                 BuyRequest::AtInverseNcp(x) => PurchaseRequest::AtInverseNcp(x),
             };
-            let quote = conn.quote(req).map_err(|e| e.to_string())?;
+            let quote = match &listing {
+                Some(name) => conn.quote_on(name, req),
+                None => conn.quote(req),
+            }
+            .map_err(|e| e.to_string())?;
             let sale = conn
                 .commit(&quote, quote.price)
                 .map_err(|e| e.to_string())?;
@@ -633,6 +782,7 @@ fn client(addr: &str, action: ClientAction) -> Result<String, String> {
             requests,
             buy,
             retries,
+            mix,
         } => {
             let resolved: std::net::SocketAddr = {
                 use std::net::ToSocketAddrs;
@@ -647,6 +797,7 @@ fn client(addr: &str, action: ClientAction) -> Result<String, String> {
                 mode: if buy { LoadMode::Buy } else { LoadMode::Quote },
                 client: config,
                 busy_retries: retries,
+                mix,
             };
             let report = run_load(resolved, &load);
             let _ = writeln!(
@@ -673,6 +824,15 @@ fn client(addr: &str, action: ClientAction) -> Result<String, String> {
             );
             if buy {
                 let _ = writeln!(out, "  revenue observed   : {:.2}", report.revenue);
+            }
+            for slice in &report.per_listing {
+                let _ = writeln!(
+                    out,
+                    "  listing {:<12}: {} ok, revenue {:.2}",
+                    format!("{:?}", slice.listing),
+                    slice.ok,
+                    slice.revenue
+                );
             }
         }
     }
@@ -811,17 +971,38 @@ mod tests {
     fn client_commands_against_in_process_server() {
         // `serve` itself blocks forever, so the test drives the same
         // builder the command uses and points `nimbus client` at it.
+        let datasets = vec!["Simulated1".to_string(), "Simulated2".to_string()];
         let server =
-            start_listing_server("127.0.0.1:0", "Simulated1", "square", 3, 1, 2, 32, None).unwrap();
+            start_marketplace_server("127.0.0.1:0", &datasets, "square", 3, 1, 2, 32, None, None)
+                .unwrap();
         let addr = server.local_addr().to_string();
 
         let menu = run(&["client", "menu", "--addr", &addr]).unwrap();
         assert!(menu.contains("epoch"), "{menu}");
         assert!(menu.contains("price"), "{menu}");
 
+        let listings = run(&["client", "listings", "--addr", &addr]).unwrap();
+        assert!(listings.contains("Simulated1"), "{listings}");
+        assert!(listings.contains("Simulated2"), "{listings}");
+        assert!(listings.contains("default \"Simulated1\""), "{listings}");
+
         let buy = run(&["client", "buy", "--at", "25", "--addr", &addr]).unwrap();
         assert!(buy.contains("purchased over the wire"), "{buy}");
         assert!(buy.contains("weights delivered"), "{buy}");
+
+        // Routed buy against the second listing.
+        let routed = run(&[
+            "client",
+            "buy",
+            "--at",
+            "25",
+            "--listing",
+            "Simulated2",
+            "--addr",
+            &addr,
+        ])
+        .unwrap();
+        assert!(routed.contains("purchased over the wire"), "{routed}");
 
         let load = run(&[
             "client",
@@ -831,16 +1012,57 @@ mod tests {
             "--requests",
             "5",
             "--buy",
+            "--mix",
+            "Simulated1=1,Simulated2=1",
             "--addr",
             &addr,
         ])
         .unwrap();
         assert!(load.contains("throughput"), "{load}");
         assert!(load.contains("revenue observed"), "{load}");
+        assert!(load.contains("listing \"Simulated1\""), "{load}");
+        assert!(load.contains("listing \"Simulated2\""), "{load}");
 
+        // 1 unrouted CLI buy + the Simulated1 half of the 2×5 load buys.
         let info = run(&["client", "info", "--addr", &addr]).unwrap();
-        // 1 CLI buy + 2×5 load buys landed in the ledger.
-        assert!(info.contains("11 sales"), "{info}");
+        assert!(info.contains("6 sales"), "{info}");
+        let info2 = run(&["client", "info", "--listing", "Simulated2", "--addr", &addr]).unwrap();
+        // 1 routed CLI buy + the Simulated2 half of the load buys.
+        assert!(info2.contains("6 sales"), "{info2}");
+
+        // Live lifecycle: re-publish bumps the epoch, retire sheds.
+        let published = run(&[
+            "client",
+            "publish",
+            "--listing",
+            "Simulated2",
+            "--addr",
+            &addr,
+        ])
+        .unwrap();
+        assert!(published.contains("epoch"), "{published}");
+        let retired = run(&[
+            "client",
+            "retire",
+            "--listing",
+            "Simulated2",
+            "--addr",
+            &addr,
+        ])
+        .unwrap();
+        assert!(retired.contains("retired"), "{retired}");
+        let err = run(&[
+            "client",
+            "buy",
+            "--at",
+            "25",
+            "--listing",
+            "Simulated2",
+            "--addr",
+            &addr,
+        ])
+        .unwrap_err();
+        assert!(err.contains("retired"), "{err}");
 
         let stats = run(&["client", "stats", "--addr", &addr]).unwrap();
         assert!(stats.contains("commit"), "{stats}");

@@ -60,13 +60,14 @@ pub enum Command {
         /// Base seed.
         seed: u64,
     },
-    /// Serve a dataset's market over TCP.
+    /// Serve a marketplace of dataset listings over TCP.
     Serve {
         /// Listen address (`host:port`; port 0 picks an ephemeral port).
         addr: String,
-        /// Table 3 dataset name.
-        dataset: String,
-        /// Error metric the market prices against.
+        /// Table 3 dataset names, one listing each (`--dataset` repeats).
+        /// The first is the default listing v1/v2 peers are routed to.
+        datasets: Vec<String>,
+        /// Error metric the markets price against.
         metric: String,
         /// Base seed.
         seed: u64,
@@ -76,9 +77,14 @@ pub enum Command {
         workers: usize,
         /// Pending-connection bound per shard.
         queue: usize,
-        /// Optional write-ahead sale journal path: sales are made durable
-        /// before they are acknowledged, and replayed on restart.
+        /// Optional write-ahead sale journal path for a single-listing
+        /// serve: sales are made durable before they are acknowledged,
+        /// and replayed on restart.
         journal: Option<String>,
+        /// Optional journal directory: every listing journals to
+        /// `<dir>/<listing>/journal.log` and all of them are recovered
+        /// on restart.
+        journal_dir: Option<String>,
     },
     /// Talk to a running server.
     Client {
@@ -92,19 +98,43 @@ pub enum Command {
 }
 
 /// Actions of the `client` subcommand.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ClientAction {
     /// Fetch the posted price menu.
-    Menu,
+    Menu {
+        /// Listing to route to (`None` = the server's default listing).
+        listing: Option<String>,
+    },
     /// Fetch listing metadata and ledger accounting.
-    Info,
+    Info {
+        /// Listing to route to (`None` = the server's default listing).
+        listing: Option<String>,
+    },
+    /// Enumerate every listing the marketplace hosts.
+    Listings,
     /// Fetch the server's serving statistics.
     Stats {
         /// Render Prometheus text exposition format instead of the table.
         text: bool,
     },
     /// Quote then commit one purchase.
-    Buy(BuyRequest),
+    Buy {
+        /// The buyer's request.
+        request: BuyRequest,
+        /// Listing to route to (`None` = the server's default listing).
+        listing: Option<String>,
+    },
+    /// (Re-)publish a listing: a new pricing epoch goes live and every
+    /// outstanding quote against the old epoch is invalidated.
+    Publish {
+        /// Listing to publish.
+        listing: String,
+    },
+    /// Retire a listing: it permanently stops quoting and selling.
+    Retire {
+        /// Listing to retire.
+        listing: String,
+    },
     /// Run the loopback load generator against the server.
     Load {
         /// Concurrent client threads.
@@ -116,6 +146,9 @@ pub enum ClientAction {
         /// Retries per request after a `BUSY` shed (honoring the server's
         /// retry hint) before counting it as shed.
         retries: u32,
+        /// Weighted per-listing traffic mix (`name=weight` pairs);
+        /// empty = all traffic on the default listing.
+        mix: Vec<(String, u32)>,
     },
 }
 
@@ -172,7 +205,8 @@ impl fmt::Display for ParseError {
             ),
             ParseError::MissingClientAction => write!(
                 f,
-                "client requires an action: menu | info | stats | buy | load"
+                "client requires an action: menu | info | listings | stats | buy | \
+                 publish | retire | load"
             ),
         }
     }
@@ -191,13 +225,16 @@ pub fn usage() -> String {
      nimbus attack [--value SHAPE] [--points N] [--naive]\n  \
      nimbus fairness [--value SHAPE] [--points N] [--tau T]\n  \
      nimbus curve  [--dataset NAME] [--samples N] [--seed N]\n  \
-     nimbus serve  [--addr HOST:PORT] [--dataset NAME] [--metric M] [--seed N] \
-     [--shards K] [--workers W] [--queue Q] [--journal PATH]\n  \
-     nimbus client menu|info [--addr HOST:PORT]\n  \
+     nimbus serve  [--addr HOST:PORT] [--dataset NAME]... [--metric M] [--seed N] \
+     [--shards K] [--workers W] [--queue Q] [--journal PATH | --journal-dir DIR]\n  \
+     nimbus client menu|info [--listing NAME] [--addr HOST:PORT]\n  \
+     nimbus client listings [--addr HOST:PORT]\n  \
      nimbus client stats [--text] [--addr HOST:PORT]\n  \
-     nimbus client buy (--error-budget E | --price-budget P | --at X) [--addr HOST:PORT]\n  \
-     nimbus client load [--threads N] [--requests M] [--buy] [--busy-retries R] \
+     nimbus client buy (--error-budget E | --price-budget P | --at X) [--listing NAME] \
      [--addr HOST:PORT]\n  \
+     nimbus client publish|retire --listing NAME [--addr HOST:PORT]\n  \
+     nimbus client load [--threads N] [--requests M] [--buy] [--busy-retries R] \
+     [--mix NAME=W,NAME=W] [--addr HOST:PORT]\n  \
      nimbus help"
         .to_string()
 }
@@ -219,6 +256,34 @@ fn parse_num<T: std::str::FromStr, I: Iterator<Item = String>>(
         flag: flag.to_string(),
         value: raw,
     })
+}
+
+/// Parses a `--mix` spec: comma-separated `name=weight` pairs (a bare
+/// `name` means weight 1).
+fn parse_mix(raw: &str) -> Result<Vec<(String, u32)>, ParseError> {
+    let bad = || ParseError::BadValue {
+        flag: "--mix".to_string(),
+        value: raw.to_string(),
+    };
+    let mut mix = Vec::new();
+    for part in raw.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            return Err(bad());
+        }
+        match part.split_once('=') {
+            None => mix.push((part.to_string(), 1)),
+            Some((name, weight)) => {
+                let name = name.trim();
+                let weight: u32 = weight.trim().parse().map_err(|_| bad())?;
+                if name.is_empty() {
+                    return Err(bad());
+                }
+                mix.push((name.to_string(), weight));
+            }
+        }
+    }
+    Ok(mix)
 }
 
 /// Parses the argument list (without the program name).
@@ -350,59 +415,90 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
         }
         "serve" => {
             let mut addr = DEFAULT_ADDR.to_string();
-            let mut dataset = "Simulated1".to_string();
+            let mut datasets: Vec<String> = Vec::new();
             let mut metric = "square".to_string();
             let mut seed = 7u64;
             let mut shards = 2usize;
             let mut workers = 2usize;
             let mut queue = 64usize;
             let mut journal: Option<String> = None;
+            let mut journal_dir: Option<String> = None;
             while let Some(flag) = iter.next() {
                 match flag.as_str() {
                     "--addr" => addr = take_value(&mut iter, "--addr")?,
-                    "--dataset" => dataset = take_value(&mut iter, "--dataset")?,
+                    "--dataset" => datasets.push(take_value(&mut iter, "--dataset")?),
                     "--metric" => metric = take_value(&mut iter, "--metric")?,
                     "--seed" => seed = parse_num(&mut iter, "--seed")?,
                     "--shards" => shards = parse_num(&mut iter, "--shards")?,
                     "--workers" => workers = parse_num(&mut iter, "--workers")?,
                     "--queue" => queue = parse_num(&mut iter, "--queue")?,
                     "--journal" => journal = Some(take_value(&mut iter, "--journal")?),
+                    "--journal-dir" => journal_dir = Some(take_value(&mut iter, "--journal-dir")?),
                     other => return Err(ParseError::UnknownFlag(other.to_string())),
                 }
             }
+            if datasets.is_empty() {
+                datasets.push("Simulated1".to_string());
+            }
             Ok(Command::Serve {
                 addr,
-                dataset,
+                datasets,
                 metric,
                 seed,
                 shards,
                 workers,
                 queue,
                 journal,
+                journal_dir,
             })
         }
         "client" => {
             let action_word = iter.next().ok_or(ParseError::MissingClientAction)?;
             let mut addr = DEFAULT_ADDR.to_string();
             match action_word.as_str() {
-                "menu" | "info" | "stats" => {
+                "menu" | "info" | "stats" | "listings" => {
                     let mut text = false;
+                    let mut listing: Option<String> = None;
+                    let takes_listing = matches!(action_word.as_str(), "menu" | "info");
                     while let Some(flag) = iter.next() {
                         match flag.as_str() {
                             "--addr" => addr = take_value(&mut iter, "--addr")?,
                             "--text" if action_word == "stats" => text = true,
+                            "--listing" if takes_listing => {
+                                listing = Some(take_value(&mut iter, "--listing")?)
+                            }
                             other => return Err(ParseError::UnknownFlag(other.to_string())),
                         }
                     }
                     let action = match action_word.as_str() {
-                        "menu" => ClientAction::Menu,
-                        "info" => ClientAction::Info,
+                        "menu" => ClientAction::Menu { listing },
+                        "info" => ClientAction::Info { listing },
+                        "listings" => ClientAction::Listings,
                         _ => ClientAction::Stats { text },
+                    };
+                    Ok(Command::Client { addr, action })
+                }
+                "publish" | "retire" => {
+                    let mut listing: Option<String> = None;
+                    while let Some(flag) = iter.next() {
+                        match flag.as_str() {
+                            "--addr" => addr = take_value(&mut iter, "--addr")?,
+                            "--listing" => listing = Some(take_value(&mut iter, "--listing")?),
+                            other => return Err(ParseError::UnknownFlag(other.to_string())),
+                        }
+                    }
+                    let listing =
+                        listing.ok_or_else(|| ParseError::MissingValue("--listing".to_string()))?;
+                    let action = if action_word == "publish" {
+                        ClientAction::Publish { listing }
+                    } else {
+                        ClientAction::Retire { listing }
                     };
                     Ok(Command::Client { addr, action })
                 }
                 "buy" => {
                     let mut request: Option<BuyRequest> = None;
+                    let mut listing: Option<String> = None;
                     let set = |r: BuyRequest, request: &mut Option<BuyRequest>| {
                         if request.is_some() {
                             Err(ParseError::AmbiguousBuyRequest)
@@ -414,6 +510,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                     while let Some(flag) = iter.next() {
                         match flag.as_str() {
                             "--addr" => addr = take_value(&mut iter, "--addr")?,
+                            "--listing" => listing = Some(take_value(&mut iter, "--listing")?),
                             "--error-budget" => {
                                 let e = parse_num(&mut iter, "--error-budget")?;
                                 set(BuyRequest::ErrorBudget(e), &mut request)?;
@@ -432,7 +529,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                     let request = request.ok_or(ParseError::AmbiguousBuyRequest)?;
                     Ok(Command::Client {
                         addr,
-                        action: ClientAction::Buy(request),
+                        action: ClientAction::Buy { request, listing },
                     })
                 }
                 "load" => {
@@ -440,6 +537,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                     let mut requests = 64usize;
                     let mut buy = false;
                     let mut retries = 0u32;
+                    let mut mix: Vec<(String, u32)> = Vec::new();
                     while let Some(flag) = iter.next() {
                         match flag.as_str() {
                             "--addr" => addr = take_value(&mut iter, "--addr")?,
@@ -447,6 +545,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                             "--requests" => requests = parse_num(&mut iter, "--requests")?,
                             "--buy" => buy = true,
                             "--busy-retries" => retries = parse_num(&mut iter, "--busy-retries")?,
+                            "--mix" => mix = parse_mix(&take_value(&mut iter, "--mix")?)?,
                             other => return Err(ParseError::UnknownFlag(other.to_string())),
                         }
                     }
@@ -457,6 +556,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                             requests,
                             buy,
                             retries,
+                            mix,
                         },
                     })
                 }
@@ -587,13 +687,14 @@ mod tests {
             parse(&["serve"]).unwrap(),
             Command::Serve {
                 addr: DEFAULT_ADDR.into(),
-                dataset: "Simulated1".into(),
+                datasets: vec!["Simulated1".into()],
                 metric: "square".into(),
                 seed: 7,
                 shards: 2,
                 workers: 2,
                 queue: 64,
-                journal: None
+                journal: None,
+                journal_dir: None
             }
         );
         assert_eq!(
@@ -615,14 +716,48 @@ mod tests {
             .unwrap(),
             Command::Serve {
                 addr: "0.0.0.0:9000".into(),
-                dataset: "CASP".into(),
+                datasets: vec!["CASP".into()],
                 metric: "square".into(),
                 seed: 11,
                 shards: 4,
                 workers: 3,
                 queue: 8,
-                journal: None
+                journal: None,
+                journal_dir: None
             }
+        );
+    }
+
+    #[test]
+    fn serve_repeats_datasets_and_takes_a_journal_dir() {
+        let parsed = parse(&[
+            "serve",
+            "--dataset",
+            "Simulated1",
+            "--dataset",
+            "CASP",
+            "--dataset",
+            "SUSY",
+            "--journal-dir",
+            "/tmp/market",
+        ])
+        .unwrap();
+        match parsed {
+            Command::Serve {
+                datasets,
+                journal_dir,
+                journal,
+                ..
+            } => {
+                assert_eq!(datasets, vec!["Simulated1", "CASP", "SUSY"]);
+                assert_eq!(journal_dir.as_deref(), Some("/tmp/market"));
+                assert_eq!(journal, None);
+            }
+            other => panic!("expected serve, got {other:?}"),
+        }
+        assert_eq!(
+            parse(&["serve", "--journal-dir"]),
+            Err(ParseError::MissingValue("--journal-dir".into()))
         );
     }
 
@@ -632,7 +767,7 @@ mod tests {
             parse(&["client", "menu"]).unwrap(),
             Command::Client {
                 addr: DEFAULT_ADDR.into(),
-                action: ClientAction::Menu
+                action: ClientAction::Menu { listing: None }
             }
         );
         assert_eq!(
@@ -646,7 +781,10 @@ mod tests {
             parse(&["client", "buy", "--at", "25"]).unwrap(),
             Command::Client {
                 addr: DEFAULT_ADDR.into(),
-                action: ClientAction::Buy(BuyRequest::AtInverseNcp(25.0))
+                action: ClientAction::Buy {
+                    request: BuyRequest::AtInverseNcp(25.0),
+                    listing: None
+                }
             }
         );
         assert_eq!(
@@ -666,10 +804,101 @@ mod tests {
                     threads: 8,
                     requests: 10,
                     buy: true,
-                    retries: 0
+                    retries: 0,
+                    mix: vec![]
                 }
             }
         );
+    }
+
+    #[test]
+    fn client_listing_routing_flags() {
+        assert_eq!(
+            parse(&["client", "menu", "--listing", "CASP"]).unwrap(),
+            Command::Client {
+                addr: DEFAULT_ADDR.into(),
+                action: ClientAction::Menu {
+                    listing: Some("CASP".into())
+                }
+            }
+        );
+        assert_eq!(
+            parse(&["client", "buy", "--at", "25", "--listing", "SUSY"]).unwrap(),
+            Command::Client {
+                addr: DEFAULT_ADDR.into(),
+                action: ClientAction::Buy {
+                    request: BuyRequest::AtInverseNcp(25.0),
+                    listing: Some("SUSY".into())
+                }
+            }
+        );
+        assert_eq!(
+            parse(&["client", "listings"]).unwrap(),
+            Command::Client {
+                addr: DEFAULT_ADDR.into(),
+                action: ClientAction::Listings
+            }
+        );
+        // stats and listings take no --listing flag.
+        assert!(matches!(
+            parse(&["client", "stats", "--listing", "x"]),
+            Err(ParseError::UnknownFlag(_))
+        ));
+        assert!(matches!(
+            parse(&["client", "listings", "--listing", "x"]),
+            Err(ParseError::UnknownFlag(_))
+        ));
+    }
+
+    #[test]
+    fn client_publish_and_retire_require_a_listing() {
+        assert_eq!(
+            parse(&["client", "publish", "--listing", "CASP"]).unwrap(),
+            Command::Client {
+                addr: DEFAULT_ADDR.into(),
+                action: ClientAction::Publish {
+                    listing: "CASP".into()
+                }
+            }
+        );
+        assert_eq!(
+            parse(&["client", "retire", "--listing", "CASP", "--addr", "h:1"]).unwrap(),
+            Command::Client {
+                addr: "h:1".into(),
+                action: ClientAction::Retire {
+                    listing: "CASP".into()
+                }
+            }
+        );
+        assert_eq!(
+            parse(&["client", "publish"]),
+            Err(ParseError::MissingValue("--listing".into()))
+        );
+    }
+
+    #[test]
+    fn client_load_mix_parses_weights() {
+        assert_eq!(
+            parse(&["client", "load", "--mix", "a=3, b=1,c"]).unwrap(),
+            Command::Client {
+                addr: DEFAULT_ADDR.into(),
+                action: ClientAction::Load {
+                    threads: 4,
+                    requests: 64,
+                    buy: false,
+                    retries: 0,
+                    mix: vec![("a".into(), 3), ("b".into(), 1), ("c".into(), 1)]
+                }
+            }
+        );
+        assert!(matches!(
+            parse(&["client", "load", "--mix", "a=x"]),
+            Err(ParseError::BadValue { .. })
+        ));
+        assert!(matches!(
+            parse(&["client", "load", "--mix", ""]),
+            Err(ParseError::BadValue { .. })
+        ));
     }
 
     #[test]
@@ -678,13 +907,14 @@ mod tests {
             parse(&["serve", "--journal", "/tmp/sales.journal"]).unwrap(),
             Command::Serve {
                 addr: DEFAULT_ADDR.into(),
-                dataset: "Simulated1".into(),
+                datasets: vec!["Simulated1".into()],
                 metric: "square".into(),
                 seed: 7,
                 shards: 2,
                 workers: 2,
                 queue: 64,
-                journal: Some("/tmp/sales.journal".into())
+                journal: Some("/tmp/sales.journal".into()),
+                journal_dir: None
             }
         );
         assert_eq!(
@@ -715,7 +945,8 @@ mod tests {
                     threads: 4,
                     requests: 64,
                     buy: false,
-                    retries: 5
+                    retries: 5,
+                    mix: vec![]
                 }
             }
         );

@@ -7,6 +7,24 @@ use std::fmt;
 pub enum MarketError {
     /// The broker has not been set up (no pricing function yet).
     MarketNotOpen,
+    /// A marketplace request named a listing that does not exist.
+    UnknownListing {
+        /// The listing name the request carried.
+        name: String,
+    },
+    /// A listing was created under a name that is already taken. Names are
+    /// stable routing keys: refresh an existing listing by re-publishing
+    /// it, never by silently replacing its broker (and its ledger).
+    DuplicateListing {
+        /// The listing name that already exists.
+        name: String,
+    },
+    /// The listing exists but has been retired; it no longer quotes or
+    /// sells. Retirement is terminal.
+    ListingRetired {
+        /// The retired listing's name.
+        name: String,
+    },
     /// A purchase was rejected: the payment was below the posted price.
     InsufficientPayment {
         /// The posted price.
@@ -59,6 +77,15 @@ impl fmt::Display for MarketError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MarketError::MarketNotOpen => write!(f, "market is not open: no pricing configured"),
+            MarketError::UnknownListing { name } => {
+                write!(f, "no listing named {name:?} in this marketplace")
+            }
+            MarketError::DuplicateListing { name } => {
+                write!(f, "a listing named {name:?} already exists")
+            }
+            MarketError::ListingRetired { name } => {
+                write!(f, "listing {name:?} is retired and no longer sells")
+            }
             MarketError::InsufficientPayment { price, offered } => {
                 write!(f, "payment {offered} below posted price {price}")
             }

@@ -60,7 +60,9 @@
 //! error-curve estimation) used to fan experiment sweeps across cores.
 //! [`persist`] round-trips a posted market through
 //! CSV, re-validating arbitrage-freeness on load. [`marketplace`] hosts a
-//! menu of models (§3.1), one broker per listing.
+//! menu of models (§3.1), one broker per listing, behind a lock-free
+//! listing directory with a draft → published → retired lifecycle and
+//! per-listing journals recovered in parallel.
 
 pub mod broker;
 pub mod buyer;
@@ -84,7 +86,10 @@ pub use curves::{DemandCurve, MarketCurves, ValueCurve};
 pub use error::MarketError;
 pub use journal::{FaultPlan, FaultyFile, Journal, JournalError, Recovery, SaleRecord};
 pub use ledger::{Ledger, LedgerShard, Transaction};
-pub use marketplace::{Marketplace, MenuEntry};
+pub use marketplace::{
+    ListingBuilder, ListingMeta, ListingState, ListingStats, Marketplace, MarketplaceStats,
+    MenuEntry,
+};
 pub use persist::PostedMarket;
 pub use seller::Seller;
 pub use simulation::{compare_strategies, PricingStrategy, StrategyOutcome};

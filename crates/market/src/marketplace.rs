@@ -1,15 +1,108 @@
-//! The multi-model marketplace of §3.1.
+//! The multi-model marketplace of §3.1, grown into a concurrent routing
+//! layer for the serving stack.
 //!
 //! "The broker specifies a menu of ML models `M` she can support (e.g.
 //! logistic regression for classification and ordinary least squares for
-//! regression)." A [`Marketplace`] manages one [`Broker`] per listed model,
-//! each with its own dataset, trainer, mechanism and optimized price curve;
-//! buyers first pick a model from the menu (the first step of the §3.2
-//! interaction) and then purchase a version of it.
+//! regression)." A [`Marketplace`] manages one [`Broker`] per listing;
+//! buyers first pick a listing from the menu (the first step of the §3.2
+//! interaction) and then purchase a version of its model.
+//!
+//! # Concurrency model
+//!
+//! The marketplace sits on the serving hot path: every networked request
+//! resolves a listing name before it touches a broker. Lookup therefore
+//! uses the same snapshot-publication idiom as the broker itself — the
+//! listing directory is an immutable [`BTreeMap`] published through one
+//! `AtomicPtr`, so [`Marketplace::route`] is a single Acquire load plus a
+//! map lookup, **no lock**. Admin mutations (listing, publishing,
+//! retiring) serialize on a directory lock, build a new directory, and
+//! publish it with a Release store; superseded directories stay alive in
+//! an append-only history for the marketplace's lifetime, exactly like
+//! superseded market snapshots inside a broker.
+//!
+//! # Listing lifecycle
+//!
+//! Every listing walks a one-way state machine:
+//!
+//! ```text
+//! draft ──publish──▶ published ──retire──▶ retired
+//!                        │  ▲
+//!                        └──┘ publish (re-publish: new snapshot epoch,
+//!                                      outstanding quotes expire)
+//! ```
+//!
+//! * **Draft** listings exist in the directory but refuse to quote or
+//!   sell ([`MarketError::MarketNotOpen`]).
+//! * **Publishing** opens (or re-opens) the broker's market. Re-publishing
+//!   reuses the broker's epoch protocol: a new [`crate::MarketSnapshot`]
+//!   is posted, and every quote priced against the previous epoch dies
+//!   with [`MarketError::QuoteExpired`] at commit time.
+//! * **Retired** listings answer every request with
+//!   [`MarketError::ListingRetired`]; retirement is terminal. The ledger
+//!   and journal stay intact for audit.
+//!
+//! Listing names are stable routing keys: creating a second listing under
+//! an existing name is [`MarketError::DuplicateListing`], never a silent
+//! replace.
+//!
+//! # Per-listing journals
+//!
+//! Each listing may journal its sales independently. The canonical disk
+//! layout is one directory per listing under a common root —
+//! `<root>/<listing>/journal.log`, see [`Marketplace::journal_path_for`]
+//! and [`ListingBuilder::journal_root`] — and
+//! [`Marketplace::open_listings`] recovers all listings **in parallel**
+//! on startup (journal replay and the one-time model training both
+//! parallelize across listings).
 
-use crate::broker::{Broker, PurchaseRequest, Quote, Sale};
+use crate::broker::{Broker, BrokerBuilder, BrokerConfig, PurchaseRequest, Quote, Sale};
+use crate::journal::FaultPlan;
+use crate::parallel::parallel_map;
+use crate::seller::Seller;
 use crate::{MarketError, Result};
+use nimbus_core::RandomizedMechanism;
+use nimbus_ml::{ErrorMetric, Trainer};
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Arc;
+
+/// Where a listing is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ListingState {
+    /// Created but not yet published: visible to admins, refuses buyers.
+    Draft,
+    /// Live: quotes and sells against the broker's published snapshot.
+    Published,
+    /// Permanently withdrawn: every request is answered with
+    /// [`MarketError::ListingRetired`].
+    Retired,
+}
+
+impl ListingState {
+    /// Stable lowercase name (wire and metrics label).
+    pub fn name(self) -> &'static str {
+        match self {
+            ListingState::Draft => "draft",
+            ListingState::Published => "published",
+            ListingState::Retired => "retired",
+        }
+    }
+}
+
+/// Descriptive metadata for one listing, returned alongside its broker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ListingMeta {
+    /// The listing name buyers route by.
+    pub name: String,
+    /// Trainer identifier (e.g. `"linear_regression"`).
+    pub model_kind: &'static str,
+    /// Mechanism identifier (e.g. `"gaussian"`).
+    pub mechanism: &'static str,
+    /// Lifecycle state at snapshot time.
+    pub state: ListingState,
+}
 
 /// One entry of the broker's model menu.
 #[derive(Debug, Clone)]
@@ -20,189 +113,688 @@ pub struct MenuEntry {
     pub model_kind: &'static str,
     /// Mechanism identifier (e.g. `"gaussian"`).
     pub mechanism: &'static str,
-    /// Whether the market for this model is open.
+    /// Lifecycle state of the listing.
+    pub state: ListingState,
+    /// Whether the market for this model is open and serving.
     pub open: bool,
-    /// Expected revenue of the posted prices (0 until open).
+    /// Expected revenue of the posted prices (0 until published).
     pub expected_revenue: f64,
 }
 
-/// A marketplace hosting several model listings.
-#[derive(Default)]
-pub struct Marketplace {
-    listings: BTreeMap<String, ListedBroker>,
+/// Accounting for one listing inside a [`MarketplaceStats`] snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ListingStats {
+    /// Listing name.
+    pub name: String,
+    /// Lifecycle state at snapshot time.
+    pub state: ListingState,
+    /// Epoch of the listing's published snapshot (0 before first publish).
+    pub epoch: u64,
+    /// Expected revenue of the posted prices (0 before first publish).
+    pub expected_revenue: f64,
+    /// Completed sales so far.
+    pub sales: u64,
+    /// Revenue collected so far.
+    pub revenue: f64,
 }
 
-struct ListedBroker {
-    broker: Broker,
+/// One consistent accounting snapshot over the whole marketplace:
+/// per-listing counters and their aggregates, all read against a single
+/// listing directory (a listing cannot appear in the totals but be
+/// missing from the rows, or vice versa).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MarketplaceStats {
+    /// Per-listing accounting, in name order.
+    pub listings: Vec<ListingStats>,
+    /// Sales summed over every listing row above.
+    pub total_sales: u64,
+    /// Revenue summed over every listing row above.
+    pub total_revenue: f64,
+}
+
+/// One listed model: its broker plus routing metadata. Clones share the
+/// broker.
+#[derive(Clone)]
+struct Listing {
+    broker: Arc<Broker>,
     model_kind: &'static str,
     mechanism: &'static str,
+    state: ListingState,
+}
+
+impl Listing {
+    fn meta(&self, name: &str) -> ListingMeta {
+        ListingMeta {
+            name: name.to_string(),
+            model_kind: self.model_kind,
+            mechanism: self.mechanism,
+            state: self.state,
+        }
+    }
+}
+
+/// An immutable published view of the listing directory.
+struct Directory {
+    listings: BTreeMap<String, Listing>,
+}
+
+/// What a [`ListingBuilder`] wraps: either a broker configuration still
+/// to be built, or an adopted pre-built broker.
+enum ListingSource {
+    Build(Box<BrokerBuilder>),
+    Ready(Arc<Broker>),
+}
+
+/// Validating builder for one marketplace listing, mirroring
+/// [`BrokerBuilder`]: name, model configuration (trainer, mechanism,
+/// metric, pricing), and the journal path.
+///
+/// ```no_run
+/// # use nimbus_market::{Marketplace, marketplace::ListingBuilder, Seller};
+/// # fn doc(seller: Seller) -> nimbus_market::Result<()> {
+/// let market = Marketplace::new();
+/// market.list(
+///     ListingBuilder::new("acme-data", seller)
+///         .model_kind("linear_regression")
+///         .n_price_points(50)
+///         .seed(42),
+/// )?;
+/// # Ok(()) }
+/// ```
+pub struct ListingBuilder {
+    name: String,
+    source: ListingSource,
+    model_kind: &'static str,
+    mechanism_name: &'static str,
+    journal_root: Option<PathBuf>,
+    reconfigured_ready: bool,
+}
+
+impl ListingBuilder {
+    /// Starts a builder for a new listing over `seller`'s dataset, with
+    /// [`BrokerBuilder`]'s defaults (ridge trainer, Gaussian mechanism,
+    /// square-loss metric).
+    pub fn new(name: impl Into<String>, seller: Seller) -> Self {
+        ListingBuilder {
+            name: name.into(),
+            source: ListingSource::Build(Box::new(BrokerBuilder::new(seller))),
+            model_kind: "linear_regression",
+            mechanism_name: "gaussian",
+            journal_root: None,
+            reconfigured_ready: false,
+        }
+    }
+
+    /// Adopts an already-built broker (e.g. one that replayed its own
+    /// journal) instead of building one. Broker-configuration setters are
+    /// rejected at build time on an adopted broker.
+    pub fn from_broker(name: impl Into<String>, broker: Arc<Broker>) -> Self {
+        ListingBuilder {
+            name: name.into(),
+            source: ListingSource::Ready(broker),
+            model_kind: "linear_regression",
+            mechanism_name: "gaussian",
+            journal_root: None,
+            reconfigured_ready: false,
+        }
+    }
+
+    /// Sets the menu's trainer identifier (e.g. `"logistic_regression"`).
+    pub fn model_kind(mut self, kind: &'static str) -> Self {
+        self.model_kind = kind;
+        self
+    }
+
+    /// Sets the menu's mechanism identifier (e.g. `"laplace"`).
+    pub fn mechanism_name(mut self, name: &'static str) -> Self {
+        self.mechanism_name = name;
+        self
+    }
+
+    fn map_builder(mut self, f: impl FnOnce(BrokerBuilder) -> BrokerBuilder) -> Self {
+        match self.source {
+            ListingSource::Build(builder) => {
+                self.source = ListingSource::Build(Box::new(f(*builder)));
+            }
+            ListingSource::Ready(_) => self.reconfigured_ready = true,
+        }
+        self
+    }
+
+    /// Sets the trainer (see [`BrokerBuilder::trainer`]).
+    pub fn trainer(self, trainer: impl Trainer + Send + Sync + 'static) -> Self {
+        self.map_builder(|b| b.trainer(trainer))
+    }
+
+    /// Sets an already-boxed trainer (for dynamic selection).
+    pub fn boxed_trainer(self, trainer: Box<dyn Trainer + Send + Sync>) -> Self {
+        self.map_builder(|b| b.boxed_trainer(trainer))
+    }
+
+    /// Sets the randomized mechanism (see [`BrokerBuilder::mechanism`]).
+    pub fn mechanism(self, mechanism: impl RandomizedMechanism + Send + Sync + 'static) -> Self {
+        self.map_builder(|b| b.mechanism(mechanism))
+    }
+
+    /// Sets an already-boxed mechanism (for dynamic selection).
+    pub fn boxed_mechanism(self, mechanism: Box<dyn RandomizedMechanism + Send + Sync>) -> Self {
+        self.map_builder(|b| b.boxed_mechanism(mechanism))
+    }
+
+    /// Sets the buyer-facing error metric the market is denominated in.
+    pub fn error_metric(self, metric: impl ErrorMetric + 'static) -> Self {
+        self.map_builder(|b| b.error_metric(metric))
+    }
+
+    /// Sets an already-boxed error metric (for dynamic selection).
+    pub fn boxed_error_metric(self, metric: Box<dyn ErrorMetric>) -> Self {
+        self.map_builder(|b| b.boxed_error_metric(metric))
+    }
+
+    /// Replaces the whole broker configuration.
+    pub fn config(self, config: BrokerConfig) -> Self {
+        self.map_builder(|b| b.config(config))
+    }
+
+    /// Sets the number of menu price points.
+    pub fn n_price_points(self, n: usize) -> Self {
+        self.map_builder(|b| b.n_price_points(n))
+    }
+
+    /// Sets the Monte-Carlo samples per δ for error-curve estimation.
+    pub fn error_curve_samples(self, n: usize) -> Self {
+        self.map_builder(|b| b.error_curve_samples(n))
+    }
+
+    /// Sets the seed of the broker's deterministic noise streams.
+    pub fn seed(self, seed: u64) -> Self {
+        self.map_builder(|b| b.seed(seed))
+    }
+
+    /// Sets the commission rate.
+    pub fn commission(self, rate: f64) -> Self {
+        self.map_builder(|b| b.commission(rate))
+    }
+
+    /// Journals every committed sale to the write-ahead log at `path`.
+    pub fn journal(self, path: impl Into<PathBuf>) -> Self {
+        self.map_builder(|b| b.journal(path))
+    }
+
+    /// Journals under the marketplace's canonical per-listing layout:
+    /// `<root>/<listing>/journal.log`. The listing's directory is created
+    /// at build time; an existing journal there is replayed.
+    pub fn journal_root(mut self, root: impl Into<PathBuf>) -> Self {
+        self.journal_root = Some(root.into());
+        self
+    }
+
+    /// Compacts the journal after this many appends.
+    pub fn journal_checkpoint_every(self, every: u64) -> Self {
+        self.map_builder(|b| b.journal_checkpoint_every(every))
+    }
+
+    /// Routes journal writes through an injected [`FaultPlan`].
+    pub fn journal_faults(self, plan: FaultPlan) -> Self {
+        self.map_builder(|b| b.journal_faults(plan))
+    }
+
+    /// Validates and builds the listing (state: draft).
+    fn into_listing(self) -> Result<(String, Listing)> {
+        if self.name.is_empty() || self.name.len() > 256 {
+            return Err(MarketError::InvalidConfig {
+                reason: format!(
+                    "listing name must be 1..=256 bytes, got {} bytes",
+                    self.name.len()
+                ),
+            });
+        }
+        if self.name.contains(['/', '\\', '\0']) {
+            return Err(MarketError::InvalidConfig {
+                reason: format!(
+                    "listing name {:?} may not contain path separators or NUL",
+                    self.name
+                ),
+            });
+        }
+        if self.reconfigured_ready {
+            return Err(MarketError::InvalidConfig {
+                reason: format!(
+                    "listing {:?} adopts a pre-built broker; its configuration cannot be changed",
+                    self.name
+                ),
+            });
+        }
+        let broker = match self.source {
+            ListingSource::Ready(broker) => {
+                if self.journal_root.is_some() {
+                    return Err(MarketError::InvalidConfig {
+                        reason: format!(
+                            "listing {:?} adopts a pre-built broker; configure its journal via BrokerBuilder",
+                            self.name
+                        ),
+                    });
+                }
+                broker
+            }
+            ListingSource::Build(builder) => {
+                let builder = match self.journal_root {
+                    Some(root) => {
+                        let dir = root.join(&self.name);
+                        std::fs::create_dir_all(&dir).map_err(crate::journal::JournalError::Io)?;
+                        builder.journal(dir.join("journal.log"))
+                    }
+                    None => *builder,
+                };
+                Arc::new(builder.build()?)
+            }
+        };
+        Ok((
+            self.name,
+            Listing {
+                broker,
+                model_kind: self.model_kind,
+                mechanism: self.mechanism_name,
+                state: ListingState::Draft,
+            },
+        ))
+    }
+}
+
+/// A marketplace hosting several model listings behind lock-free routing.
+pub struct Marketplace {
+    /// The currently published directory. Readers do one Acquire load;
+    /// admin mutations publish a replacement with a Release store.
+    current: AtomicPtr<Directory>,
+    /// Owns every directory ever published, keeping the target of
+    /// `current` alive for the marketplace's lifetime. Locked only by
+    /// admin mutations, which thereby also serialize with each other.
+    history: Mutex<Vec<Arc<Directory>>>,
+}
+
+impl Default for Marketplace {
+    fn default() -> Self {
+        Marketplace::new()
+    }
 }
 
 impl Marketplace {
     /// Creates an empty marketplace.
     pub fn new() -> Self {
-        Marketplace::default()
+        let empty = Arc::new(Directory {
+            listings: BTreeMap::new(),
+        });
+        let ptr = Arc::as_ptr(&empty) as *mut Directory;
+        Marketplace {
+            current: AtomicPtr::new(ptr),
+            history: Mutex::new(vec![empty]),
+        }
     }
 
-    /// Lists a configured broker under `name`, opening its market
-    /// immediately. Returns the expected revenue. Re-listing an existing
-    /// name replaces the previous listing.
-    pub fn list(
-        &mut self,
-        name: impl Into<String>,
-        broker: Broker,
-        model_kind: &'static str,
-        mechanism: &'static str,
-    ) -> Result<f64> {
-        let revenue = broker.open_market()?;
-        self.listings.insert(
-            name.into(),
-            ListedBroker {
-                broker,
-                model_kind,
-                mechanism,
-            },
-        );
-        Ok(revenue)
+    /// Builds and publishes every listing **in parallel** — journal
+    /// replay and one-time model training are per-listing work — and
+    /// returns the marketplace serving all of them. This is the startup
+    /// path for a server recovering a `--journal-dir` tree.
+    pub fn open_listings(builders: Vec<ListingBuilder>) -> Result<Marketplace> {
+        let opened: Vec<Result<(String, Listing, f64)>> = parallel_map(builders, None, |builder| {
+            let (name, listing) = builder.into_listing()?;
+            if !listing.broker.is_open() {
+                listing.broker.open_market()?;
+            }
+            let listing = Listing {
+                state: ListingState::Published,
+                ..listing
+            };
+            Ok((name, listing, 0.0))
+        });
+        let market = Marketplace::new();
+        market.mutate(|listings| {
+            for result in opened {
+                let (name, listing, _) = result?;
+                if listings.contains_key(&name) {
+                    return Err(MarketError::DuplicateListing { name });
+                }
+                listings.insert(name, listing);
+            }
+            Ok(())
+        })?;
+        Ok(market)
+    }
+
+    /// The canonical per-listing journal path under a journal root:
+    /// `<root>/<listing>/journal.log`.
+    pub fn journal_path_for(root: &Path, listing: &str) -> PathBuf {
+        root.join(listing).join("journal.log")
+    }
+
+    /// Lists and immediately publishes a new listing, returning the
+    /// expected revenue of its posted prices. A name that already exists
+    /// is [`MarketError::DuplicateListing`] — refresh a live listing with
+    /// [`Marketplace::publish`] instead.
+    pub fn list(&self, builder: ListingBuilder) -> Result<f64> {
+        let (name, listing) = builder.into_listing()?;
+        if !listing.broker.is_open() {
+            listing.broker.open_market()?;
+        }
+        let expected = listing.broker.expected_revenue()?;
+        self.mutate(|listings| {
+            if listings.contains_key(&name) {
+                return Err(MarketError::DuplicateListing { name: name.clone() });
+            }
+            listings.insert(
+                name.clone(),
+                Listing {
+                    state: ListingState::Published,
+                    ..listing.clone()
+                },
+            );
+            Ok(())
+        })?;
+        Ok(expected)
+    }
+
+    /// Lists a new listing in the draft state: present in the directory,
+    /// not yet serving. Publish it with [`Marketplace::publish`].
+    pub fn draft(&self, builder: ListingBuilder) -> Result<()> {
+        let (name, listing) = builder.into_listing()?;
+        self.mutate(|listings| {
+            if listings.contains_key(&name) {
+                return Err(MarketError::DuplicateListing { name: name.clone() });
+            }
+            listings.insert(name.clone(), listing.clone());
+            Ok(())
+        })
+    }
+
+    /// Publishes (or re-publishes) a listing and returns the expected
+    /// revenue of the freshly posted prices.
+    ///
+    /// A draft goes live. A published listing is *re-published*: the
+    /// broker posts a new market snapshot with a higher epoch, so every
+    /// outstanding quote dies with [`MarketError::QuoteExpired`] at
+    /// commit time — the same invalidation a local `open_market()` call
+    /// performs. A retired listing refuses with
+    /// [`MarketError::ListingRetired`].
+    pub fn publish(&self, name: &str) -> Result<f64> {
+        self.mutate(|listings| {
+            let listing = match listings.get(name) {
+                None => {
+                    return Err(MarketError::UnknownListing {
+                        name: name.to_string(),
+                    })
+                }
+                Some(l) => l.clone(),
+            };
+            if listing.state == ListingState::Retired {
+                return Err(MarketError::ListingRetired {
+                    name: name.to_string(),
+                });
+            }
+            let expected = listing.broker.open_market()?;
+            listings.insert(
+                name.to_string(),
+                Listing {
+                    state: ListingState::Published,
+                    ..listing
+                },
+            );
+            Ok(expected)
+        })
+    }
+
+    /// Retires a listing: it stops quoting and selling permanently, while
+    /// its ledger (and journal) remain for audit. Retiring a retired
+    /// listing is [`MarketError::ListingRetired`].
+    pub fn retire(&self, name: &str) -> Result<()> {
+        self.mutate(|listings| {
+            let listing = match listings.get(name) {
+                None => {
+                    return Err(MarketError::UnknownListing {
+                        name: name.to_string(),
+                    })
+                }
+                Some(l) => l.clone(),
+            };
+            if listing.state == ListingState::Retired {
+                return Err(MarketError::ListingRetired {
+                    name: name.to_string(),
+                });
+            }
+            listings.insert(
+                name.to_string(),
+                Listing {
+                    state: ListingState::Retired,
+                    ..listing
+                },
+            );
+            Ok(())
+        })
     }
 
     /// The menu shown to buyers, in name order.
     pub fn menu(&self) -> Vec<MenuEntry> {
-        self.listings
+        self.directory()
+            .listings
             .iter()
             .map(|(name, l)| MenuEntry {
                 name: name.clone(),
                 model_kind: l.model_kind,
                 mechanism: l.mechanism,
-                open: l.broker.is_open(),
+                state: l.state,
+                open: l.state == ListingState::Published && l.broker.is_open(),
                 expected_revenue: l.broker.expected_revenue().unwrap_or(0.0),
             })
             .collect()
     }
 
-    /// Number of listings.
+    /// Listing names, in name order.
+    pub fn names(&self) -> Vec<String> {
+        self.directory().listings.keys().cloned().collect()
+    }
+
+    /// Number of listings (any state).
     pub fn len(&self) -> usize {
-        self.listings.len()
+        self.directory().listings.len()
     }
 
     /// Whether the marketplace has no listings.
     pub fn is_empty(&self) -> bool {
-        self.listings.is_empty()
+        self.directory().listings.is_empty()
     }
 
-    /// Borrow a listed broker for curve queries.
-    pub fn broker(&self, name: &str) -> Result<&Broker> {
-        self.listings
-            .get(name)
-            .map(|l| &l.broker)
-            .ok_or(MarketError::MarketNotOpen)
+    /// The named listing's broker plus its metadata, in any lifecycle
+    /// state (admin/introspection surface; buyers route with
+    /// [`Marketplace::route`]).
+    pub fn broker(&self, name: &str) -> Result<(Arc<Broker>, ListingMeta)> {
+        match self.directory().listings.get(name) {
+            None => Err(MarketError::UnknownListing {
+                name: name.to_string(),
+            }),
+            Some(l) => Ok((l.broker.clone(), l.meta(name))),
+        }
     }
 
-    /// Quotes a purchase request against the named model's snapshot.
+    /// Resolves a listing name to its serving broker — the hot path: one
+    /// atomic load, one map lookup, no lock. Only published listings
+    /// serve; drafts answer [`MarketError::MarketNotOpen`], retired
+    /// listings [`MarketError::ListingRetired`], unknown names
+    /// [`MarketError::UnknownListing`].
+    pub fn route(&self, name: &str) -> Result<Arc<Broker>> {
+        match self.directory().listings.get(name) {
+            None => Err(MarketError::UnknownListing {
+                name: name.to_string(),
+            }),
+            Some(l) => match l.state {
+                ListingState::Published => Ok(l.broker.clone()),
+                ListingState::Draft => Err(MarketError::MarketNotOpen),
+                ListingState::Retired => Err(MarketError::ListingRetired {
+                    name: name.to_string(),
+                }),
+            },
+        }
+    }
+
+    /// Quotes a purchase request against the named listing's snapshot.
     pub fn quote_request(&self, name: &str, request: PurchaseRequest) -> Result<Quote> {
-        self.broker(name)?.quote_request(request)
+        self.route(name)?.quote_request(request)
     }
 
     /// Redeems a quote from [`Marketplace::quote_request`] at the named
     /// listing.
     pub fn commit(&self, name: &str, quote: Quote, payment: f64) -> Result<Sale> {
-        self.broker(name)?.commit(quote, payment)
+        self.route(name)?.commit(quote, payment)
     }
 
     /// Buys a version of the named model (quote + commit in one step).
     pub fn purchase(&self, name: &str, request: PurchaseRequest, payment: f64) -> Result<Sale> {
-        let broker = self.broker(name)?;
+        let broker = self.route(name)?;
         let quote = broker.quote_request(request)?;
         broker.commit(quote, payment)
     }
 
-    /// Total revenue collected across every listing.
-    pub fn total_collected_revenue(&self) -> f64 {
-        self.listings
-            .values()
-            .map(|l| l.broker.collected_revenue())
-            .sum()
+    /// One consistent accounting snapshot: per-listing counters plus the
+    /// aggregates, all computed from a single published directory.
+    pub fn stats(&self) -> MarketplaceStats {
+        let mut out = MarketplaceStats::default();
+        for (name, l) in &self.directory().listings {
+            let stats = l.broker.market_stats();
+            let row = ListingStats {
+                name: name.clone(),
+                state: l.state,
+                epoch: stats.epoch.unwrap_or(0),
+                expected_revenue: stats.expected_revenue.unwrap_or(0.0),
+                sales: stats.sales as u64,
+                revenue: stats.revenue,
+            };
+            out.total_sales += row.sales;
+            out.total_revenue += row.revenue;
+            out.listings.push(row);
+        }
+        out
     }
 
-    /// Total completed sales across every listing.
+    /// Total revenue collected across every listing (one
+    /// [`Marketplace::stats`] snapshot).
+    pub fn total_collected_revenue(&self) -> f64 {
+        self.stats().total_revenue
+    }
+
+    /// Total completed sales across every listing (one
+    /// [`Marketplace::stats`] snapshot).
     pub fn total_sales(&self) -> usize {
-        self.listings.values().map(|l| l.broker.sales_count()).sum()
+        self.stats().total_sales as usize
+    }
+
+    /// Compacts every listing's journal (no-ops for unjournalled
+    /// listings). Attempts all listings; the first error is returned
+    /// after the sweep.
+    pub fn checkpoint_journals(&self) -> Result<()> {
+        let mut first_err = None;
+        for l in self.directory().listings.values() {
+            if let Err(e) = l.broker.checkpoint_journal() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// The currently published directory: one Acquire load, no lock.
+    fn directory(&self) -> &Directory {
+        let ptr = self.current.load(Ordering::Acquire);
+        // SAFETY: `ptr` came from `Arc::as_ptr` on an Arc that
+        // `self.history` holds (append-only, never cleared) for as long
+        // as `self` lives, so the target outlives the returned borrow.
+        // `new()` publishes a first directory before `self` exists, so
+        // the pointer is never null, and the Release store in `mutate`
+        // happened-before this Acquire load, so the directory behind it
+        // is fully initialized.
+        unsafe { &*ptr }
+    }
+
+    /// Runs one serialized admin mutation: clones the live directory,
+    /// applies `f`, and publishes the result. On error nothing is
+    /// published.
+    fn mutate<T>(&self, f: impl FnOnce(&mut BTreeMap<String, Listing>) -> Result<T>) -> Result<T> {
+        let mut history = self.history.lock();
+        let mut listings = match history.last() {
+            Some(dir) => dir.listings.clone(),
+            None => BTreeMap::new(),
+        };
+        let out = f(&mut listings)?;
+        let next = Arc::new(Directory { listings });
+        let ptr = Arc::as_ptr(&next) as *mut Directory;
+        history.push(next);
+        // Release pairs with the Acquire in `directory()`: a reader that
+        // sees `ptr` also sees the fully built directory behind it.
+        self.current.store(ptr, Ordering::Release);
+        Ok(out)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::broker::BrokerConfig;
     use crate::curves::{DemandCurve, MarketCurves, ValueCurve};
     use crate::seller::Seller;
     use nimbus_core::GaussianMechanism;
     use nimbus_data::catalog::{DatasetSpec, PaperDataset};
     use nimbus_ml::{LinearRegressionTrainer, LogisticRegressionTrainer};
 
-    fn regression_broker(seed: u64) -> Broker {
+    fn regression_seller(seed: u64) -> Seller {
         let (tt, _) = DatasetSpec::scaled(PaperDataset::Simulated1, 500)
             .materialize(seed)
             .unwrap();
-        Broker::new(
-            Seller::new(
-                "reg",
-                tt,
-                MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform),
-            ),
-            Box::new(LinearRegressionTrainer::ridge(1e-6)),
-            Box::new(GaussianMechanism),
-            BrokerConfig {
-                n_price_points: 20,
-                error_curve_samples: 20,
-                seed,
-            },
+        Seller::new(
+            "reg",
+            tt,
+            MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform),
         )
     }
 
-    fn classification_broker(seed: u64) -> Broker {
+    fn regression_listing(name: &str, seed: u64) -> ListingBuilder {
+        ListingBuilder::new(name, regression_seller(seed))
+            .trainer(LinearRegressionTrainer::ridge(1e-6))
+            .mechanism(GaussianMechanism)
+            .model_kind("linear_regression")
+            .n_price_points(20)
+            .error_curve_samples(20)
+            .seed(seed)
+    }
+
+    fn classification_listing(name: &str, seed: u64) -> ListingBuilder {
         let (tt, _) = DatasetSpec::scaled(PaperDataset::Simulated2, 500)
             .materialize(seed)
             .unwrap();
-        Broker::new(
-            Seller::new(
-                "cls",
-                tt,
-                MarketCurves::new(
-                    ValueCurve::standard_sigmoid(),
-                    DemandCurve::MidPeaked { width: 0.2 },
-                ),
+        let seller = Seller::new(
+            "cls",
+            tt,
+            MarketCurves::new(
+                ValueCurve::standard_sigmoid(),
+                DemandCurve::MidPeaked { width: 0.2 },
             ),
-            Box::new(LogisticRegressionTrainer::new(1e-4)),
-            Box::new(GaussianMechanism),
-            BrokerConfig {
-                n_price_points: 20,
-                error_curve_samples: 20,
-                seed,
-            },
-        )
+        );
+        ListingBuilder::new(name, seller)
+            .trainer(LogisticRegressionTrainer::new(1e-4))
+            .mechanism(GaussianMechanism)
+            .model_kind("logistic_regression")
+            .n_price_points(20)
+            .error_curve_samples(20)
+            .seed(seed)
     }
 
     #[test]
     fn menu_lists_all_models() {
-        let mut mp = Marketplace::new();
-        mp.list(
-            "ols-on-simulated1",
-            regression_broker(1),
-            "linear_regression",
-            "gaussian",
-        )
-        .unwrap();
-        mp.list(
-            "logreg-on-simulated2",
-            classification_broker(2),
-            "logistic_regression",
-            "gaussian",
-        )
-        .unwrap();
+        let mp = Marketplace::new();
+        mp.list(regression_listing("ols-on-simulated1", 1)).unwrap();
+        mp.list(classification_listing("logreg-on-simulated2", 2))
+            .unwrap();
         let menu = mp.menu();
         assert_eq!(menu.len(), 2);
         assert!(menu.iter().all(|e| e.open));
+        assert!(menu.iter().all(|e| e.state == ListingState::Published));
         assert!(menu.iter().all(|e| e.expected_revenue > 0.0));
         let names: Vec<&str> = menu.iter().map(|e| e.name.as_str()).collect();
         assert_eq!(names, vec!["logreg-on-simulated2", "ols-on-simulated1"]);
@@ -210,16 +802,9 @@ mod tests {
 
     #[test]
     fn purchases_route_to_the_right_broker() {
-        let mut mp = Marketplace::new();
-        mp.list("reg", regression_broker(3), "linear_regression", "gaussian")
-            .unwrap();
-        mp.list(
-            "cls",
-            classification_broker(4),
-            "logistic_regression",
-            "gaussian",
-        )
-        .unwrap();
+        let mp = Marketplace::new();
+        mp.list(regression_listing("reg", 3)).unwrap();
+        mp.list(classification_listing("cls", 4)).unwrap();
         let reg_sale = mp
             .purchase("reg", PurchaseRequest::AtInverseNcp(10.0), 1e12)
             .unwrap();
@@ -234,9 +819,8 @@ mod tests {
 
     #[test]
     fn quote_then_commit_through_the_marketplace() {
-        let mut mp = Marketplace::new();
-        mp.list("reg", regression_broker(9), "linear_regression", "gaussian")
-            .unwrap();
+        let mp = Marketplace::new();
+        mp.list(regression_listing("reg", 9)).unwrap();
         let quote = mp
             .quote_request("reg", PurchaseRequest::AtInverseNcp(8.0))
             .unwrap();
@@ -247,27 +831,242 @@ mod tests {
     }
 
     #[test]
-    fn unknown_model_is_rejected() {
+    fn unknown_listing_is_typed() {
         let mp = Marketplace::new();
-        assert!(mp.broker("nope").is_err());
-        assert!(mp
-            .purchase("nope", PurchaseRequest::AtInverseNcp(1.0), 1.0)
-            .is_err());
+        assert!(matches!(
+            mp.broker("nope"),
+            Err(MarketError::UnknownListing { name }) if name == "nope"
+        ));
+        assert!(matches!(
+            mp.purchase("nope", PurchaseRequest::AtInverseNcp(1.0), 1.0),
+            Err(MarketError::UnknownListing { .. })
+        ));
+        assert!(matches!(
+            mp.publish("nope"),
+            Err(MarketError::UnknownListing { .. })
+        ));
+        assert!(matches!(
+            mp.retire("nope"),
+            Err(MarketError::UnknownListing { .. })
+        ));
         assert!(mp.is_empty());
     }
 
     #[test]
-    fn relisting_replaces() {
-        let mut mp = Marketplace::new();
-        mp.list("m", regression_broker(5), "linear_regression", "gaussian")
-            .unwrap();
+    fn duplicate_listing_is_rejected_not_replaced() {
+        let mp = Marketplace::new();
+        mp.list(regression_listing("m", 5)).unwrap();
         mp.purchase("m", PurchaseRequest::AtInverseNcp(5.0), 1e12)
             .unwrap();
         assert_eq!(mp.total_sales(), 1);
-        // Replace: ledger resets with the new broker.
-        mp.list("m", regression_broker(6), "linear_regression", "gaussian")
-            .unwrap();
-        assert_eq!(mp.total_sales(), 0);
+        assert!(matches!(
+            mp.list(regression_listing("m", 6)),
+            Err(MarketError::DuplicateListing { name }) if name == "m"
+        ));
+        // The original listing (and its ledger) is untouched.
+        assert_eq!(mp.total_sales(), 1);
         assert_eq!(mp.len(), 1);
+    }
+
+    #[test]
+    fn draft_listings_refuse_buyers_until_published() {
+        let mp = Marketplace::new();
+        mp.draft(regression_listing("d", 7)).unwrap();
+        assert!(matches!(
+            mp.quote_request("d", PurchaseRequest::AtInverseNcp(5.0)),
+            Err(MarketError::MarketNotOpen)
+        ));
+        let menu = mp.menu();
+        assert_eq!(menu.len(), 1);
+        assert!(!menu[0].open);
+        assert_eq!(menu[0].state, ListingState::Draft);
+
+        let expected = mp.publish("d").unwrap();
+        assert!(expected > 0.0);
+        mp.purchase("d", PurchaseRequest::AtInverseNcp(5.0), 1e12)
+            .unwrap();
+        let (_, meta) = mp.broker("d").unwrap();
+        assert_eq!(meta.state, ListingState::Published);
+        assert_eq!(meta.model_kind, "linear_regression");
+        assert_eq!(meta.mechanism, "gaussian");
+    }
+
+    #[test]
+    fn republish_invalidates_outstanding_quotes() {
+        let mp = Marketplace::new();
+        mp.list(regression_listing("m", 11)).unwrap();
+        let stale = mp
+            .quote_request("m", PurchaseRequest::AtInverseNcp(4.0))
+            .unwrap();
+        mp.publish("m").unwrap();
+        assert!(matches!(
+            mp.commit("m", stale, stale.price),
+            Err(MarketError::QuoteExpired { .. })
+        ));
+        // A fresh quote against the new epoch commits fine.
+        let fresh = mp
+            .quote_request("m", PurchaseRequest::AtInverseNcp(4.0))
+            .unwrap();
+        assert!(fresh.snapshot_epoch > 1);
+        mp.commit("m", fresh, fresh.price).unwrap();
+    }
+
+    #[test]
+    fn retirement_is_terminal_and_typed() {
+        let mp = Marketplace::new();
+        mp.list(regression_listing("m", 13)).unwrap();
+        mp.retire("m").unwrap();
+        assert!(matches!(
+            mp.quote_request("m", PurchaseRequest::AtInverseNcp(2.0)),
+            Err(MarketError::ListingRetired { name }) if name == "m"
+        ));
+        assert!(matches!(
+            mp.publish("m"),
+            Err(MarketError::ListingRetired { .. })
+        ));
+        assert!(matches!(
+            mp.retire("m"),
+            Err(MarketError::ListingRetired { .. })
+        ));
+        // Metadata remains inspectable for audit.
+        let (_, meta) = mp.broker("m").unwrap();
+        assert_eq!(meta.state, ListingState::Retired);
+        assert_eq!(meta.state.name(), "retired");
+    }
+
+    #[test]
+    fn stats_snapshot_is_internally_consistent() {
+        let mp = Marketplace::new();
+        mp.list(regression_listing("a", 17)).unwrap();
+        mp.list(regression_listing("b", 19)).unwrap();
+        mp.purchase("a", PurchaseRequest::AtInverseNcp(3.0), 1e12)
+            .unwrap();
+        mp.purchase("b", PurchaseRequest::AtInverseNcp(3.0), 1e12)
+            .unwrap();
+        mp.purchase("b", PurchaseRequest::AtInverseNcp(6.0), 1e12)
+            .unwrap();
+        let stats = mp.stats();
+        assert_eq!(stats.listings.len(), 2);
+        assert_eq!(stats.total_sales, 3);
+        let row_sales: u64 = stats.listings.iter().map(|l| l.sales).sum();
+        let row_revenue: f64 = stats.listings.iter().map(|l| l.revenue).sum();
+        assert_eq!(stats.total_sales, row_sales);
+        assert!((stats.total_revenue - row_revenue).abs() < 1e-12);
+        assert!(stats.listings.iter().all(|l| l.epoch >= 1));
+        assert_eq!(mp.total_sales(), 3);
+    }
+
+    #[test]
+    fn open_listings_builds_and_publishes_in_parallel() {
+        let builders = vec![
+            regression_listing("p0", 21),
+            regression_listing("p1", 22),
+            classification_listing("p2", 23),
+        ];
+        let mp = Marketplace::open_listings(builders).unwrap();
+        assert_eq!(mp.names(), vec!["p0", "p1", "p2"]);
+        for name in mp.names() {
+            mp.purchase(&name, PurchaseRequest::AtInverseNcp(4.0), 1e12)
+                .unwrap();
+        }
+        assert_eq!(mp.total_sales(), 3);
+    }
+
+    #[test]
+    fn journal_root_uses_per_listing_layout() {
+        let root =
+            std::env::temp_dir().join(format!("nimbus-marketplace-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mp = Marketplace::new();
+        mp.list(regression_listing("j", 29).journal_root(&root))
+            .unwrap();
+        mp.purchase("j", PurchaseRequest::AtInverseNcp(5.0), 1e12)
+            .unwrap();
+        let path = Marketplace::journal_path_for(&root, "j");
+        assert_eq!(path, root.join("j").join("journal.log"));
+        assert!(path.is_file(), "journal written under <root>/<listing>/");
+        mp.checkpoint_journals().unwrap();
+
+        // A fresh marketplace over the same root replays the listing's
+        // sales from its own journal.
+        let mp2 = Marketplace::open_listings(vec![regression_listing("j", 29).journal_root(&root)])
+            .unwrap();
+        assert_eq!(mp2.total_sales(), 1);
+        let (broker, _) = mp2.broker("j").unwrap();
+        assert!(broker.recovery().is_some());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn invalid_listing_names_are_rejected() {
+        let mp = Marketplace::new();
+        assert!(matches!(
+            mp.list(regression_listing("", 31)),
+            Err(MarketError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            mp.list(regression_listing("a/b", 31)),
+            Err(MarketError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn adopted_broker_rejects_reconfiguration() {
+        let broker = Arc::new(
+            Broker::builder(regression_seller(37))
+                .trainer(LinearRegressionTrainer::ridge(1e-6))
+                .mechanism(GaussianMechanism)
+                .n_price_points(20)
+                .error_curve_samples(20)
+                .seed(37)
+                .build()
+                .unwrap(),
+        );
+        let mp = Marketplace::new();
+        assert!(matches!(
+            mp.list(ListingBuilder::from_broker("m", broker.clone()).seed(9)),
+            Err(MarketError::InvalidConfig { .. })
+        ));
+        mp.list(ListingBuilder::from_broker("m", broker)).unwrap();
+        mp.purchase("m", PurchaseRequest::AtInverseNcp(5.0), 1e12)
+            .unwrap();
+    }
+
+    #[test]
+    fn routing_stays_lock_free_under_concurrent_admin_churn() {
+        let mp = Arc::new(Marketplace::new());
+        mp.list(regression_listing("hot", 41)).unwrap();
+        std::thread::scope(|s| {
+            let admin = {
+                let mp = mp.clone();
+                s.spawn(move || {
+                    for i in 0..8 {
+                        mp.publish("hot").unwrap();
+                        mp.draft(regression_listing(&format!("churn-{i}"), 50 + i))
+                            .unwrap();
+                    }
+                })
+            };
+            for _ in 0..4 {
+                let mp = mp.clone();
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        // Quotes always succeed; commits may race a
+                        // re-publish and die with the epoch check — both
+                        // are valid outcomes, nothing may panic or block.
+                        let quote = mp
+                            .quote_request("hot", PurchaseRequest::AtInverseNcp(5.0))
+                            .unwrap();
+                        match mp.commit("hot", quote, quote.price) {
+                            Ok(_) => {}
+                            Err(MarketError::QuoteExpired { .. }) => {}
+                            Err(other) => panic!("unexpected error: {other}"),
+                        }
+                    }
+                });
+            }
+            admin.join().unwrap();
+        });
+        assert_eq!(mp.len(), 9);
     }
 }

@@ -99,7 +99,8 @@ pub mod prelude {
         curves::{DemandCurve, MarketCurves, ValueCurve},
         simulation::{compare_strategies, price_with, PricingStrategy},
         Broker, BrokerBuilder, BrokerConfig, Buyer, BuyerPopulation, FaultPlan, Journal,
-        JournalError, MarketSnapshot, Marketplace, PurchaseRequest, Quote, Recovery, Sale, Seller,
+        JournalError, ListingBuilder, ListingMeta, ListingState, ListingStats, MarketSnapshot,
+        Marketplace, MarketplaceStats, MenuEntry, PurchaseRequest, Quote, Recovery, Sale, Seller,
     };
     pub use nimbus_ml::{
         metrics, ErrorMetric, LinearModel, LinearRegressionTrainer, LogisticRegressionTrainer,
@@ -111,7 +112,7 @@ pub mod prelude {
     };
     pub use nimbus_randkit::{seeded_rng, split_stream, NimbusRng};
     pub use nimbus_server::{
-        loadgen::{run_load, LoadConfig, LoadMode},
+        loadgen::{run_load, ListingLoad, LoadConfig, LoadMode},
         render_prometheus, ClientConfig, NimbusClient, NimbusServer, RetryPolicy, ServerConfig,
     };
 }

@@ -24,7 +24,9 @@
 //! [`NimbusClient::buy`] uses the idempotent path.
 
 use crate::error::ServerError;
-use crate::wire::{self, InfoMsg, MenuMsg, QuoteMsg, Request, Response, SaleMsg, StatsMsg};
+use crate::wire::{
+    self, InfoMsg, ListingsMsg, MenuMsg, QuoteMsg, Request, Response, SaleMsg, StatsMsg,
+};
 use crate::Result;
 use nimbus_market::PurchaseRequest;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -141,29 +143,56 @@ impl NimbusClient {
         Ok(client)
     }
 
-    /// Fetches the posted `(inverse NCP, price)` menu.
+    /// Fetches the posted `(inverse NCP, price)` menu of the server's
+    /// default listing.
     pub fn menu(&mut self) -> Result<MenuMsg> {
-        match self.call(&Request::Menu, true)? {
+        self.menu_on_opt(None)
+    }
+
+    /// Fetches the posted menu of the named listing.
+    pub fn menu_on(&mut self, listing: &str) -> Result<MenuMsg> {
+        self.menu_on_opt(Some(listing.to_string()))
+    }
+
+    fn menu_on_opt(&mut self, listing: Option<String>) -> Result<MenuMsg> {
+        match self.call(&Request::Menu { listing }, true)? {
             Response::Menu(m) => Ok(m),
             other => Err(unexpected(&other)),
         }
     }
 
-    /// Prices a purchase request; the quote pins the snapshot epoch.
+    /// Prices a purchase request against the server's default listing;
+    /// the quote pins the snapshot epoch (and echoes the listing).
     pub fn quote(&mut self, request: PurchaseRequest) -> Result<QuoteMsg> {
-        match self.call(&Request::Quote(request), true)? {
+        self.quote_on_opt(None, request)
+    }
+
+    /// Prices a purchase request against the named listing.
+    pub fn quote_on(&mut self, listing: &str, request: PurchaseRequest) -> Result<QuoteMsg> {
+        self.quote_on_opt(Some(listing.to_string()), request)
+    }
+
+    fn quote_on_opt(
+        &mut self,
+        listing: Option<String>,
+        request: PurchaseRequest,
+    ) -> Result<QuoteMsg> {
+        match self.call(&Request::Quote { listing, request }, true)? {
             Response::Quote(q) => Ok(q),
             other => Err(unexpected(&other)),
         }
     }
 
     /// Redeems a quote with a payment; the sale carries the noisy weights.
+    /// The commit routes to the listing the quote echoes (the default
+    /// listing for quotes from pre-v3 servers).
     ///
     /// Without an idempotency key, this is only retried when the failure
     /// provably happened before the request was sent — prefer
     /// [`NimbusClient::commit_idempotent`] under lossy conditions.
     pub fn commit(&mut self, quote: &QuoteMsg, payment: f64) -> Result<SaleMsg> {
         let request = Request::Commit {
+            listing: quoted_listing(quote),
             x: quote.x,
             snapshot_epoch: quote.snapshot_epoch,
             payment,
@@ -177,9 +206,10 @@ impl NimbusClient {
 
     /// Redeems a quote under a fresh idempotency key, so retries after a
     /// lost ACK replay the journalled sale exactly once instead of
-    /// charging twice.
+    /// charging twice. Routes to the listing the quote echoes.
     pub fn commit_idempotent(&mut self, quote: &QuoteMsg, payment: f64) -> Result<SaleMsg> {
         let request = Request::Commit {
+            listing: quoted_listing(quote),
             x: quote.x,
             snapshot_epoch: quote.snapshot_epoch,
             payment,
@@ -191,16 +221,71 @@ impl NimbusClient {
         }
     }
 
-    /// Quote then commit at exactly the quoted price, idempotently.
+    /// Quote then commit at exactly the quoted price, idempotently,
+    /// against the server's default listing.
     pub fn buy(&mut self, request: PurchaseRequest) -> Result<SaleMsg> {
         let quote = self.quote(request)?;
         self.commit_idempotent(&quote, quote.price)
     }
 
-    /// Fetches listing metadata and ledger accounting.
+    /// Quote then commit at exactly the quoted price, idempotently,
+    /// against the named listing.
+    pub fn buy_on(&mut self, listing: &str, request: PurchaseRequest) -> Result<SaleMsg> {
+        let quote = self.quote_on(listing, request)?;
+        self.commit_idempotent(&quote, quote.price)
+    }
+
+    /// Fetches metadata and ledger accounting of the default listing.
     pub fn info(&mut self) -> Result<InfoMsg> {
-        match self.call(&Request::Info, true)? {
+        self.info_on_opt(None)
+    }
+
+    /// Fetches metadata and ledger accounting of the named listing.
+    pub fn info_on(&mut self, listing: &str) -> Result<InfoMsg> {
+        self.info_on_opt(Some(listing.to_string()))
+    }
+
+    fn info_on_opt(&mut self, listing: Option<String>) -> Result<InfoMsg> {
+        match self.call(&Request::Info { listing }, true)? {
             Response::Info(i) => Ok(i),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Enumerates the marketplace's listing directory.
+    pub fn listings(&mut self) -> Result<ListingsMsg> {
+        match self.call(&Request::Listings, true)? {
+            Response::Listings(l) => Ok(l),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Admin: publishes (or re-publishes) a listing, returning
+    /// `(epoch, expected_revenue)` of the freshly posted snapshot. A
+    /// re-publish invalidates every outstanding quote via the epoch check.
+    pub fn publish(&mut self, listing: &str) -> Result<(u64, f64)> {
+        let request = Request::Publish {
+            listing: listing.to_string(),
+        };
+        // Publishing is idempotent at the marketplace level (a repeated
+        // publish just posts another epoch), so retries are safe.
+        match self.call(&request, true)? {
+            Response::Publish {
+                epoch,
+                expected_revenue,
+                ..
+            } => Ok((epoch, expected_revenue)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Admin: retires a listing permanently.
+    pub fn retire(&mut self, listing: &str) -> Result<()> {
+        let request = Request::Retire {
+            listing: listing.to_string(),
+        };
+        match self.call(&request, false)? {
+            Response::Retire { .. } => Ok(()),
             other => Err(unexpected(&other)),
         }
     }
@@ -350,6 +435,16 @@ fn seed_entropy(seed: u64) -> u64 {
 /// opposed to a protocol violation or typed server error.
 fn transient(e: &ServerError) -> bool {
     matches!(e, ServerError::Io(_) | ServerError::ConnectionClosed)
+}
+
+/// The listing a commit should route back to: the one the quote echoed,
+/// or `None` (default listing) for quotes from pre-v3 servers.
+fn quoted_listing(quote: &QuoteMsg) -> Option<String> {
+    if quote.listing.is_empty() {
+        None
+    } else {
+        Some(quote.listing.clone())
+    }
 }
 
 fn unexpected(response: &Response) -> ServerError {

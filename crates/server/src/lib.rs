@@ -12,11 +12,18 @@
 //! * [`wire`] — a hand-rolled, length-prefixed, explicitly versioned
 //!   binary protocol covering the full quote→commit epoch protocol:
 //!   `MENU`, `QUOTE`, `COMMIT` (weight vectors included in the reply),
-//!   `INFO` and `STATS`, plus typed `BUSY` and error frames.
+//!   `INFO` and `STATS`, plus typed `BUSY` and error frames. Protocol v3
+//!   routes every call by listing name (`LISTINGS` enumerates the
+//!   marketplace; `PUBLISH`/`RETIRE` drive the listing lifecycle live),
+//!   while v1/v2 peers keep working against a configurable default
+//!   listing.
 //! * [`server`] — [`NimbusServer`]: a sharded thread-pool accept loop
-//!   with bounded admission queues that shed load with `BUSY` instead of
-//!   stalling, per-connection read/write timeouts, graceful shutdown that
-//!   drains in-flight requests, and an atomic per-op stats registry.
+//!   serving a whole [`nimbus_market::Marketplace`] (lock-free listing
+//!   routing on the hot path), with bounded admission queues that shed
+//!   load with `BUSY` instead of stalling, per-connection read/write
+//!   timeouts, graceful shutdown that drains in-flight requests and
+//!   checkpoints every listing journal, and an atomic per-op stats
+//!   registry.
 //! * [`client`] — [`NimbusClient`]: a blocking connection with typed
 //!   errors (`Busy` vs `Remote { code, .. }`), full timeouts, bounded
 //!   [`RetryPolicy`] backoff on sheds and transient faults, and
@@ -34,19 +41,22 @@
 //! use nimbus_market::PurchaseRequest;
 //! use std::sync::Arc;
 //!
-//! # fn doc(broker: nimbus_market::Broker) -> nimbus_server::Result<()> {
-//! // Server side: the broker must have an open market.
+//! # fn doc(marketplace: nimbus_market::Marketplace) -> nimbus_server::Result<()> {
+//! // Server side: a marketplace of published listings; the named
+//! // default listing is what v1/v2 peers (no listing field on the
+//! // wire) are routed to.
 //! let server = NimbusServer::start(
-//!     Arc::new(broker),
+//!     Arc::new(marketplace),
 //!     "acme-data",
 //!     "127.0.0.1:0",
 //!     ServerConfig::default(),
 //! )?;
 //! let addr = server.local_addr();
 //!
-//! // Client side: quote → commit, epochs checked end to end.
+//! // Client side: quote → commit, epochs checked end to end. The
+//! // `*_on` variants route explicitly by listing name.
 //! let mut client = NimbusClient::connect(addr, &ClientConfig::default())?;
-//! let quote = client.quote(PurchaseRequest::ErrorBudget(0.05))?;
+//! let quote = client.quote_on("acme-data", PurchaseRequest::ErrorBudget(0.05))?;
 //! let sale = client.commit(&quote, quote.price)?;
 //! assert_eq!(sale.weights.is_empty(), false);
 //! server.shutdown();
@@ -62,11 +72,12 @@ pub mod wire;
 
 pub use client::{ClientConfig, NimbusClient, RetryPolicy};
 pub use error::ServerError;
-pub use loadgen::{run_load, LoadConfig, LoadMode, LoadReport};
+pub use loadgen::{run_load, ListingLoad, LoadConfig, LoadMode, LoadReport};
 pub use server::{NimbusServer, ServerConfig};
 pub use stats::{render_prometheus, LatencyHistogram, Op, StatsRegistry};
 pub use wire::{
-    ErrorCode, InfoMsg, MenuMsg, OpStatsMsg, QuoteMsg, Request, Response, SaleMsg, StatsMsg,
+    ErrorCode, InfoMsg, ListingMsg, ListingStatsMsg, ListingsMsg, MenuMsg, OpStatsMsg, QuoteMsg,
+    Request, Response, SaleMsg, StatsMsg,
 };
 
 /// Convenience result alias for this crate.

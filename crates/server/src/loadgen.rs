@@ -12,11 +12,22 @@
 //! `busy_rejections` counter equals `busy + busy_retried`; for
 //! [`LoadMode::Buy`] the client-observed revenue can be checked against
 //! the server-side ledger.
+//!
+//! # Per-listing traffic mix
+//!
+//! [`LoadConfig::mix`] drives the marketplace routing path: each entry is
+//! a `(listing, weight)` pair, expanded into a deterministic ring that
+//! request `i` of thread `t` indexes by `(t·M + i) mod ring.len()`, so a
+//! mix of `[("a", 3), ("b", 1)]` sends 3 of every 4 requests to `"a"`.
+//! An empty mix preserves the classic behavior: every request goes to the
+//! server's default listing. [`LoadReport::per_listing`] breaks `ok` and
+//! `revenue` down by listing so each ledger reconciles independently.
 
 use crate::client::{ClientConfig, NimbusClient, RetryPolicy};
 use crate::error::ServerError;
 use crate::Result;
 use nimbus_market::PurchaseRequest;
+use std::collections::BTreeMap;
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
@@ -30,7 +41,7 @@ pub enum LoadMode {
 }
 
 /// Load-generator configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct LoadConfig {
     /// Concurrent client threads.
     pub threads: usize,
@@ -46,6 +57,9 @@ pub struct LoadConfig {
     /// `retry_after_ms` hint) before counting as a final `busy`. `0`
     /// preserves the classic one-shot accounting.
     pub busy_retries: u32,
+    /// Weighted per-listing traffic mix. Empty = every request targets
+    /// the server's default listing; entries with weight 0 are skipped.
+    pub mix: Vec<(String, u32)>,
 }
 
 impl Default for LoadConfig {
@@ -56,12 +70,24 @@ impl Default for LoadConfig {
             mode: LoadMode::Quote,
             client: ClientConfig::default(),
             busy_retries: 0,
+            mix: Vec::new(),
         }
     }
 }
 
+/// One listing's slice of a [`LoadReport`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ListingLoad {
+    /// Listing name (empty string = the server's default listing).
+    pub listing: String,
+    /// Requests that completed successfully against this listing.
+    pub ok: u64,
+    /// Client-observed revenue at this listing ([`LoadMode::Buy`] only).
+    pub revenue: f64,
+}
+
 /// Aggregate outcome of one load run.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LoadReport {
     /// Requests attempted (`threads × requests_per_thread`).
     pub attempted: u64,
@@ -76,6 +102,10 @@ pub struct LoadReport {
     pub errors: u64,
     /// Sum of client-observed sale prices (only grows in [`LoadMode::Buy`]).
     pub revenue: f64,
+    /// Per-listing breakdown of `ok`/`revenue`, in listing-name order.
+    /// Empty when the run used no mix (all traffic on the default
+    /// listing).
+    pub per_listing: Vec<ListingLoad>,
     /// Wall-clock duration of the whole run.
     pub elapsed: Duration,
 }
@@ -107,13 +137,38 @@ fn request_for(thread: usize, i: usize, per_thread: usize) -> PurchaseRequest {
     PurchaseRequest::AtInverseNcp(1.0 + ((thread * per_thread + i) % 99) as f64)
 }
 
+/// Expands the weighted mix into a deterministic target ring. One `None`
+/// entry (= the default listing) when the mix is empty or all-zero.
+fn expand_mix(mix: &[(String, u32)]) -> Vec<Option<String>> {
+    let mut ring = Vec::new();
+    for (listing, weight) in mix {
+        for _ in 0..*weight {
+            ring.push(Some(listing.clone()));
+        }
+    }
+    if ring.is_empty() {
+        ring.push(None);
+    }
+    ring
+}
+
+/// The listing targeted by attempt `i` of thread `t`.
+fn target_for(ring: &[Option<String>], thread: usize, i: usize, per_thread: usize) -> Option<&str> {
+    let idx = (thread * per_thread + i) % ring.len().max(1);
+    ring.get(idx).and_then(|t| t.as_deref())
+}
+
 /// Runs the load: `threads × requests_per_thread` requests against
 /// `addr`, each thread on its own connection(s).
 pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
     let started = Instant::now();
+    let ring = expand_mix(&config.mix);
     let per_thread: Vec<LoadReport> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..config.threads)
-            .map(|t| scope.spawn(move || thread_load(addr, config, t)))
+            .map(|t| {
+                let ring = &ring;
+                scope.spawn(move || thread_load(addr, config, ring, t))
+            })
             .collect();
         handles
             .into_iter()
@@ -129,6 +184,7 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
         elapsed: started.elapsed(),
         ..LoadReport::default()
     };
+    let mut by_listing: BTreeMap<String, (u64, f64)> = BTreeMap::new();
     for r in per_thread {
         total.attempted += r.attempted;
         total.ok += r.ok;
@@ -136,22 +192,49 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
         total.busy_retried += r.busy_retried;
         total.errors += r.errors;
         total.revenue += r.revenue;
+        for slice in r.per_listing {
+            let entry = by_listing.entry(slice.listing).or_insert((0, 0.0));
+            entry.0 += slice.ok;
+            entry.1 += slice.revenue;
+        }
     }
+    total.per_listing = by_listing
+        .into_iter()
+        .map(|(listing, (ok, revenue))| ListingLoad {
+            listing,
+            ok,
+            revenue,
+        })
+        .collect();
     total
 }
 
-fn thread_load(addr: SocketAddr, config: &LoadConfig, thread: usize) -> LoadReport {
+fn thread_load(
+    addr: SocketAddr,
+    config: &LoadConfig,
+    ring: &[Option<String>],
+    thread: usize,
+) -> LoadReport {
     let mut report = LoadReport::default();
+    let mut by_listing: BTreeMap<String, (u64, f64)> = BTreeMap::new();
     let mut client: Option<NimbusClient> = None;
     for i in 0..config.requests_per_thread {
         report.attempted += 1;
+        let target = target_for(ring, thread, i, config.requests_per_thread);
         let mut sheds_left = config.busy_retries;
         loop {
-            let outcome = attempt(&mut client, addr, config, thread, i);
+            let outcome = attempt(&mut client, addr, config, target, thread, i);
             match outcome {
                 Ok(price) => {
                     report.ok += 1;
                     report.revenue += price;
+                    if !config.mix.is_empty() {
+                        let entry = by_listing
+                            .entry(target.unwrap_or("").to_string())
+                            .or_insert((0, 0.0));
+                        entry.0 += 1;
+                        entry.1 += price;
+                    }
                     break;
                 }
                 Err(e) => {
@@ -176,6 +259,14 @@ fn thread_load(addr: SocketAddr, config: &LoadConfig, thread: usize) -> LoadRepo
             }
         }
     }
+    report.per_listing = by_listing
+        .into_iter()
+        .map(|(listing, (ok, revenue))| ListingLoad {
+            listing,
+            ok,
+            revenue,
+        })
+        .collect();
     report
 }
 
@@ -185,6 +276,7 @@ fn attempt(
     client: &mut Option<NimbusClient>,
     addr: SocketAddr,
     config: &LoadConfig,
+    target: Option<&str>,
     thread: usize,
     i: usize,
 ) -> Result<f64> {
@@ -201,11 +293,44 @@ fn attempt(
         }
     };
     let request = request_for(thread, i, config.requests_per_thread);
-    match config.mode {
-        LoadMode::Quote => {
+    match (config.mode, target) {
+        (LoadMode::Quote, None) => {
             conn.quote(request)?;
             Ok(0.0)
         }
-        LoadMode::Buy => Ok(conn.buy(request)?.price),
+        (LoadMode::Quote, Some(listing)) => {
+            conn.quote_on(listing, request)?;
+            Ok(0.0)
+        }
+        (LoadMode::Buy, None) => Ok(conn.buy(request)?.price),
+        (LoadMode::Buy, Some(listing)) => Ok(conn.buy_on(listing, request)?.price),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_mix_targets_the_default_listing() {
+        let ring = expand_mix(&[]);
+        assert_eq!(ring, vec![None]);
+        assert_eq!(target_for(&ring, 3, 17, 64), None);
+    }
+
+    #[test]
+    fn weighted_mix_expands_proportionally() {
+        let ring = expand_mix(&[("a".into(), 3), ("zero".into(), 0), ("b".into(), 1)]);
+        assert_eq!(ring.len(), 4);
+        let a = ring.iter().filter(|t| t.as_deref() == Some("a")).count();
+        let b = ring.iter().filter(|t| t.as_deref() == Some("b")).count();
+        assert_eq!((a, b), (3, 1));
+        // Deterministic: the same (thread, i) always targets the same listing.
+        assert_eq!(target_for(&ring, 1, 2, 8), target_for(&ring, 1, 2, 8));
+        // Across a full cycle every entry is hit per its weight.
+        let hits = (0..8)
+            .filter(|&i| target_for(&ring, 0, i, 8) == Some("b"))
+            .count();
+        assert_eq!(hits, 2);
     }
 }

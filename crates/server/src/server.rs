@@ -33,16 +33,27 @@
 //!   [`StatsRegistry`] (atomic counters + fixed-bucket latency
 //!   histograms), served back over the wire by `STATS`.
 //!
-//! The broker side is exactly the in-process API: `MENU`/`QUOTE` are
-//! lock-free snapshot reads, `COMMIT` routes through
-//! [`Broker::commit_at`] and therefore gets the same epoch check, payment
-//! validation and price re-derivation as a local caller.
+//! The market side is exactly the in-process API: requests resolve their
+//! listing through [`Marketplace::route`] (one atomic load, no lock),
+//! `MENU`/`QUOTE` are lock-free snapshot reads, and `COMMIT` routes
+//! through [`Broker::commit_at`] and therefore gets the same epoch check,
+//! payment validation and price re-derivation as a local caller. A
+//! request that names no listing (every v1/v2 request, and any v3 request
+//! with an empty listing field) resolves to the server's configured
+//! *default listing*. The `PUBLISH`/`RETIRE` admin opcodes drive the
+//! marketplace's listing lifecycle on the live server.
+//!
+//! [`Broker::commit_at`]: nimbus_market::Broker::commit_at
+//! [`Marketplace::route`]: nimbus_market::Marketplace::route
 
 use crate::error::ServerError;
 use crate::stats::{Op, StatsRegistry};
-use crate::wire::{self, ErrorCode, InfoMsg, MenuMsg, QuoteMsg, Request, Response, SaleMsg};
+use crate::wire::{
+    self, ErrorCode, InfoMsg, ListingMsg, ListingStatsMsg, ListingsMsg, MenuMsg, QuoteMsg, Request,
+    Response, SaleMsg,
+};
 use crate::Result;
-use nimbus_market::{Broker, Quote};
+use nimbus_market::{Marketplace, Quote};
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -99,8 +110,8 @@ struct Shard {
 }
 
 struct Inner {
-    broker: Arc<Broker>,
-    listing: String,
+    marketplace: Arc<Marketplace>,
+    default_listing: String,
     config: ServerConfig,
     stats: Arc<StatsRegistry>,
     stop: AtomicBool,
@@ -121,10 +132,12 @@ pub struct NimbusServer {
 
 impl NimbusServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
-    /// `broker` — which must already have an open market — under `config`.
+    /// `marketplace` under `config`. `default_listing` names the listing
+    /// that unscoped requests (and every v1/v2 peer) resolve to; it must
+    /// exist and be published when the server starts.
     pub fn start(
-        broker: Arc<Broker>,
-        listing: impl Into<String>,
+        marketplace: Arc<Marketplace>,
+        default_listing: impl Into<String>,
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> Result<NimbusServer> {
@@ -144,16 +157,17 @@ impl NimbusServer {
                 reason: "timeouts and the accept poll interval must be non-zero".to_string(),
             });
         }
-        if !broker.is_open() {
-            return Err(nimbus_market::MarketError::MarketNotOpen.into());
-        }
+        let default_listing = default_listing.into();
+        // The default listing is the compatibility anchor for v1/v2
+        // peers: it must be resolvable and serving before we accept.
+        marketplace.route(&default_listing)?;
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
         let inner = Arc::new(Inner {
-            broker,
-            listing: listing.into(),
+            marketplace,
+            default_listing,
             config,
             stats: Arc::new(StatsRegistry::new()),
             stop: AtomicBool::new(false),
@@ -229,9 +243,14 @@ impl NimbusServer {
         self.inner.stats.clone()
     }
 
-    /// The broker being served.
-    pub fn broker(&self) -> Arc<Broker> {
-        self.inner.broker.clone()
+    /// The marketplace being served.
+    pub fn marketplace(&self) -> Arc<Marketplace> {
+        self.inner.marketplace.clone()
+    }
+
+    /// The default listing unscoped (and v1/v2) requests resolve to.
+    pub fn default_listing(&self) -> &str {
+        &self.inner.default_listing
     }
 
     /// Gracefully shuts down: stop accepting, finish in-flight requests,
@@ -251,12 +270,12 @@ impl NimbusServer {
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
-        // With every worker joined, no commit is in flight: compact the
-        // sale journal so the next boot replays one checkpoint record
-        // instead of the whole append history. Best-effort — the log is
-        // already durable record-by-record, a failed compaction loses
-        // nothing.
-        let _ = self.inner.broker.checkpoint_journal();
+        // With every worker joined, no commit is in flight: compact every
+        // listing's sale journal so the next boot replays one checkpoint
+        // record instead of the whole append history. Best-effort — the
+        // logs are already durable record-by-record, a failed compaction
+        // loses nothing.
+        let _ = self.inner.marketplace.checkpoint_journals();
     }
 }
 
@@ -476,11 +495,14 @@ fn handle_payload(inner: &Inner, payload: &[u8]) -> (Response, Option<(Op, bool)
         std::thread::sleep(delay);
     }
     let op = match request {
-        Request::Menu => Op::Menu,
-        Request::Quote(_) => Op::Quote,
+        Request::Menu { .. } => Op::Menu,
+        Request::Quote { .. } => Op::Quote,
         Request::Commit { .. } => Op::Commit,
-        Request::Info => Op::Info,
+        Request::Info { .. } => Op::Info,
+        Request::Listings => Op::Listings,
         Request::Stats => Op::Stats,
+        Request::Publish { .. } => Op::Publish,
+        Request::Retire { .. } => Op::Retire,
     };
     let result = execute(inner, request);
     match result {
@@ -495,10 +517,17 @@ fn handle_payload(inner: &Inner, payload: &[u8]) -> (Response, Option<(Op, bool)
     }
 }
 
+/// Resolves a request's optional listing to a concrete name: `None` (and
+/// every v1/v2 request) means the server's default listing.
+fn resolve<'a>(inner: &'a Inner, listing: &'a Option<String>) -> &'a str {
+    listing.as_deref().unwrap_or(&inner.default_listing)
+}
+
 fn execute(inner: &Inner, request: Request) -> nimbus_market::Result<Response> {
-    let broker = &inner.broker;
+    let marketplace = &inner.marketplace;
     match request {
-        Request::Menu => {
+        Request::Menu { listing } => {
+            let broker = marketplace.route(resolve(inner, &listing))?;
             let snapshot = broker
                 .snapshot()
                 .ok_or(nimbus_market::MarketError::MarketNotOpen)?;
@@ -508,8 +537,12 @@ fn execute(inner: &Inner, request: Request) -> nimbus_market::Result<Response> {
                 points: snapshot.menu(),
             }))
         }
-        Request::Quote(purchase) => {
-            let quote: Quote = broker.quote_request(purchase)?;
+        Request::Quote {
+            listing,
+            request: purchase,
+        } => {
+            let name = resolve(inner, &listing);
+            let quote: Quote = marketplace.route(name)?.quote_request(purchase)?;
             Ok(Response::Quote(QuoteMsg {
                 x: quote.x,
                 delta: quote.delta,
@@ -517,14 +550,17 @@ fn execute(inner: &Inner, request: Request) -> nimbus_market::Result<Response> {
                 expected_error: quote.expected_error,
                 metric: quote.metric.to_string(),
                 snapshot_epoch: quote.snapshot_epoch,
+                listing: name.to_string(),
             }))
         }
         Request::Commit {
+            listing,
             x,
             snapshot_epoch,
             payment,
             nonce,
         } => {
+            let broker = marketplace.route(resolve(inner, &listing))?;
             // A nonce makes the commit idempotent: a retry after a lost
             // ACK replays the journalled sale instead of double-charging.
             let sale = match nonce {
@@ -540,14 +576,16 @@ fn execute(inner: &Inner, request: Request) -> nimbus_market::Result<Response> {
                 weights: sale.model.weights().as_slice().to_vec(),
             }))
         }
-        Request::Info => {
+        Request::Info { listing } => {
+            let name = resolve(inner, &listing);
+            let broker = marketplace.route(name)?;
             let snapshot = broker
                 .snapshot()
                 .ok_or(nimbus_market::MarketError::MarketNotOpen)?;
             let stats = broker.market_stats();
             let (x_lo, x_hi) = snapshot.support();
             Ok(Response::Info(InfoMsg {
-                listing: inner.listing.clone(),
+                listing: name.to_string(),
                 metric: snapshot.metric_name().to_string(),
                 epoch: snapshot.epoch(),
                 menu_len: snapshot.menu().len() as u64,
@@ -558,16 +596,72 @@ fn execute(inner: &Inner, request: Request) -> nimbus_market::Result<Response> {
                 revenue: stats.revenue,
             }))
         }
+        Request::Listings => {
+            let listings = marketplace
+                .menu()
+                .into_iter()
+                .map(|e| ListingMsg {
+                    name: e.name,
+                    model_kind: e.model_kind.to_string(),
+                    mechanism: e.mechanism.to_string(),
+                    state: e.state.name().to_string(),
+                    open: e.open,
+                    expected_revenue: e.expected_revenue,
+                })
+                .collect();
+            Ok(Response::Listings(ListingsMsg {
+                default_listing: inner.default_listing.clone(),
+                listings,
+            }))
+        }
         Request::Stats => {
             let mut msg = inner.stats.snapshot();
-            // Queue depth is instantaneous state, not a counter, so it is
-            // read from the shards at serve time rather than the registry.
+            // Queue depth and per-listing accounting are instantaneous
+            // state, not counters, so they are read at serve time rather
+            // than from the registry.
             msg.queue_depth = inner
                 .shards
                 .iter()
                 .map(|s| s.queue.lock().map(|q| q.len() as u64).unwrap_or(0))
                 .sum();
+            msg.listings = marketplace
+                .stats()
+                .listings
+                .into_iter()
+                .map(|row| ListingStatsMsg {
+                    listing: row.name,
+                    state: row.state.name().to_string(),
+                    epoch: row.epoch,
+                    sales: row.sales,
+                    revenue: row.revenue,
+                })
+                .collect();
             Ok(Response::Stats(msg))
+        }
+        Request::Publish { listing } => {
+            let expected_revenue = marketplace.publish(&listing)?;
+            let epoch = match marketplace.broker(&listing)?.0.snapshot() {
+                Some(snapshot) => snapshot.epoch(),
+                None => 0,
+            };
+            Ok(Response::Publish {
+                listing,
+                epoch,
+                expected_revenue,
+            })
+        }
+        Request::Retire { listing } => {
+            if listing == inner.default_listing {
+                // The default listing anchors v1/v2 interop; retiring it
+                // would orphan every unscoped peer.
+                return Err(nimbus_market::MarketError::InvalidConfig {
+                    reason: format!(
+                        "listing {listing:?} is the server's default listing and cannot be retired"
+                    ),
+                });
+            }
+            marketplace.retire(&listing)?;
+            Ok(Response::Retire { listing })
         }
     }
 }

@@ -20,7 +20,7 @@ use std::time::Duration;
 /// Number of histogram buckets: `[1µs, 2µs, 4µs, …, ~2.1s, +∞)`.
 pub const N_LATENCY_BUCKETS: usize = 22;
 
-/// The five wire operations, in registry order.
+/// The wire operations, in registry order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
     /// `MENU`.
@@ -33,11 +33,29 @@ pub enum Op {
     Info = 3,
     /// `STATS`.
     Stats = 4,
+    /// `LISTINGS`.
+    Listings = 5,
+    /// `PUBLISH`.
+    Publish = 6,
+    /// `RETIRE`.
+    Retire = 7,
 }
+
+/// Number of wire operations in the registry.
+pub const N_OPS: usize = 8;
 
 impl Op {
     /// All operations, in registry order.
-    pub const ALL: [Op; 5] = [Op::Menu, Op::Quote, Op::Commit, Op::Info, Op::Stats];
+    pub const ALL: [Op; N_OPS] = [
+        Op::Menu,
+        Op::Quote,
+        Op::Commit,
+        Op::Info,
+        Op::Stats,
+        Op::Listings,
+        Op::Publish,
+        Op::Retire,
+    ];
 
     /// Stable lowercase name.
     pub fn name(self) -> &'static str {
@@ -47,6 +65,9 @@ impl Op {
             Op::Commit => "commit",
             Op::Info => "info",
             Op::Stats => "stats",
+            Op::Listings => "listings",
+            Op::Publish => "publish",
+            Op::Retire => "retire",
         }
     }
 }
@@ -109,7 +130,7 @@ pub struct StatsRegistry {
     connections: AtomicU64,
     busy_rejections: AtomicU64,
     protocol_errors: AtomicU64,
-    ops: [OpCounters; 5],
+    ops: [OpCounters; N_OPS],
 }
 
 impl StatsRegistry {
@@ -162,9 +183,11 @@ impl StatsRegistry {
             connections: self.connections.load(Ordering::Relaxed),
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
-            // Queue depth is server-side instantaneous state; the serving
-            // layer overwrites it when answering `STATS`.
+            // Queue depth and the per-listing rows are server-side
+            // instantaneous state; the serving layer fills them in when
+            // answering `STATS`.
             queue_depth: 0,
+            listings: Vec::new(),
             ops: Op::ALL
                 .iter()
                 .map(|&op| {
@@ -292,6 +315,47 @@ pub fn render_prometheus(stats: &StatsMsg) -> String {
             op.op, op.p99_micros
         );
     }
+    if !stats.listings.is_empty() {
+        metric(
+            &mut out,
+            "listing_sales_total",
+            "counter",
+            "Completed sales, labelled by listing.",
+        );
+        for row in &stats.listings {
+            let _ = writeln!(
+                out,
+                "nimbus_listing_sales_total{{listing=\"{}\"}} {}",
+                row.listing, row.sales
+            );
+        }
+        metric(
+            &mut out,
+            "listing_revenue",
+            "counter",
+            "Revenue collected, labelled by listing.",
+        );
+        for row in &stats.listings {
+            let _ = writeln!(
+                out,
+                "nimbus_listing_revenue{{listing=\"{}\"}} {}",
+                row.listing, row.revenue
+            );
+        }
+        metric(
+            &mut out,
+            "listing_epoch",
+            "gauge",
+            "Published snapshot epoch (0 before first publish), labelled by listing.",
+        );
+        for row in &stats.listings {
+            let _ = writeln!(
+                out,
+                "nimbus_listing_epoch{{listing=\"{}\",state=\"{}\"}} {}",
+                row.listing, row.state, row.epoch
+            );
+        }
+    }
     out
 }
 
@@ -342,7 +406,8 @@ mod tests {
         assert_eq!(snap.connections, 2);
         assert_eq!(snap.busy_rejections, 1);
         assert_eq!(snap.protocol_errors, 1);
-        assert_eq!(snap.ops.len(), 5);
+        assert_eq!(snap.ops.len(), N_OPS);
+        assert!(snap.listings.is_empty());
         let quote = snap.ops.iter().find(|o| o.op == "quote").unwrap();
         assert_eq!(quote.requests, 6);
         assert_eq!(quote.errors, 1);
@@ -350,6 +415,29 @@ mod tests {
         let menu = snap.ops.iter().find(|o| o.op == "menu").unwrap();
         assert_eq!(menu.requests, 0);
         assert_eq!(menu.p50_micros, 0);
+    }
+
+    #[test]
+    fn prometheus_render_labels_listings() {
+        let mut snap = StatsRegistry::new().snapshot();
+        snap.listings.push(crate::wire::ListingStatsMsg {
+            listing: "acme-data".into(),
+            state: "published".into(),
+            epoch: 3,
+            sales: 7,
+            revenue: 123.5,
+        });
+        snap.listings.push(crate::wire::ListingStatsMsg {
+            listing: "old-data".into(),
+            state: "retired".into(),
+            epoch: 1,
+            sales: 2,
+            revenue: 9.0,
+        });
+        let text = render_prometheus(&snap);
+        assert!(text.contains("nimbus_listing_sales_total{listing=\"acme-data\"} 7"));
+        assert!(text.contains("nimbus_listing_revenue{listing=\"old-data\"} 9"));
+        assert!(text.contains("nimbus_listing_epoch{listing=\"acme-data\",state=\"published\"} 3"));
     }
 
     #[test]

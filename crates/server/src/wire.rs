@@ -18,28 +18,40 @@
 //!
 //! | opcode | request | response |
 //! |---|---|---|
-//! | `0x01` / `0x81` | `MENU` | posted `(inverse NCP, price)` table + epoch |
-//! | `0x02` / `0x82` | `QUOTE` (one of the three §3.2 purchase options) | priced [`QuoteMsg`] pinned to a snapshot epoch |
-//! | `0x03` / `0x83` | `COMMIT` (quoted x, epoch, payment, optional idempotency nonce) | [`SaleMsg`] **including the noisy weight vector** |
-//! | `0x04` / `0x84` | `INFO` | listing metadata + ledger accounting |
-//! | `0x05` / `0x85` | `STATS` | per-op request/error counters + p50/p99 latency + queue depth |
+//! | `0x01` / `0x81` | `MENU` (listing-scoped, v3) | posted `(inverse NCP, price)` table + epoch |
+//! | `0x02` / `0x82` | `QUOTE` (listing + one of the three §3.2 purchase options) | priced [`QuoteMsg`] pinned to a snapshot epoch |
+//! | `0x03` / `0x83` | `COMMIT` (listing, quoted x, epoch, payment, optional idempotency nonce) | [`SaleMsg`] **including the noisy weight vector** |
+//! | `0x04` / `0x84` | `INFO` (listing-scoped, v3) | listing metadata + ledger accounting |
+//! | `0x05` / `0x85` | `STATS` | per-op request/error counters + latency + per-listing accounting |
+//! | `0x06` / `0x86` | `LISTINGS` | the marketplace's listing directory, states included |
+//! | `0x10` / `0x90` | `PUBLISH` (admin) | listing (re-)published: new epoch + expected revenue |
+//! | `0x11` / `0x91` | `RETIRE` (admin) | listing retired, name echoed |
 //! | — / `0xBB` | — | `BUSY`: shed by admission control, with a `retry_after_ms` hint |
 //! | — / `0xEE` | — | typed error: [`ErrorCode`] + message |
 //!
 //! The quote→commit epoch protocol crosses the wire intact: `QUOTE`
 //! returns the snapshot epoch the price was derived from, `COMMIT` sends
 //! it back, and a re-opened market answers with
-//! [`ErrorCode::QuoteExpired`] exactly like the in-process API.
+//! [`ErrorCode::QuoteExpired`] exactly like the in-process API. A live
+//! `PUBLISH` of an already-published listing rides the same rail: it
+//! posts a new snapshot epoch, so every outstanding quote dies with
+//! [`ErrorCode::QuoteExpired`] at commit time. Requests against a retired
+//! listing answer [`ErrorCode::Retired`].
 //!
 //! Versioning is explicit and checked on both sides: encoders always
 //! stamp [`VERSION`], decoders accept [`MIN_VERSION`]`..=`[`VERSION`] and
 //! default the fields a version predates. Version 2 added three fields —
 //! the `COMMIT` idempotency nonce (v1 decodes to `None`), the `BUSY`
 //! `retry_after_ms` hint (v1 decodes to `0`) and the `STATS` queue-depth
-//! gauge (v1 decodes to `0`). Anything outside the window decodes to
-//! [`ServerError::UnsupportedVersion`], which the server answers with a
-//! typed error frame (the error frame itself is always encoded at the
-//! server's version).
+//! gauge (v1 decodes to `0`). Version 3 made the protocol
+//! marketplace-routed: `MENU`/`QUOTE`/`COMMIT`/`INFO` carry a listing
+//! name (empty = the server's configured default listing, which is also
+//! what every v1/v2 request resolves to), `QUOTE` responses echo the
+//! listing they priced, `STATS` carries per-listing accounting rows, and
+//! the `LISTINGS`/`PUBLISH`/`RETIRE` opcodes were added. Anything outside
+//! the window decodes to [`ServerError::UnsupportedVersion`], which the
+//! server answers with a typed error frame (the error frame itself is
+//! always encoded at the server's version).
 
 use crate::error::ServerError;
 use crate::Result;
@@ -49,7 +61,7 @@ use std::io::{Read, Write};
 /// Leading magic bytes of every payload.
 pub const MAGIC: [u8; 2] = *b"NB";
 /// Protocol version this build encodes.
-pub const VERSION: u8 = 2;
+pub const VERSION: u8 = 3;
 /// Oldest protocol version this build still decodes.
 pub const MIN_VERSION: u8 = 1;
 /// Hard cap on a frame's payload length (framing limit: a peer cannot make
@@ -66,12 +78,18 @@ const OP_QUOTE: u8 = 0x02;
 const OP_COMMIT: u8 = 0x03;
 const OP_INFO: u8 = 0x04;
 const OP_STATS: u8 = 0x05;
+const OP_LISTINGS: u8 = 0x06;
+const OP_PUBLISH: u8 = 0x10;
+const OP_RETIRE: u8 = 0x11;
 // Response opcodes.
 const OP_R_MENU: u8 = 0x81;
 const OP_R_QUOTE: u8 = 0x82;
 const OP_R_COMMIT: u8 = 0x83;
 const OP_R_INFO: u8 = 0x84;
 const OP_R_STATS: u8 = 0x85;
+const OP_R_LISTINGS: u8 = 0x86;
+const OP_R_PUBLISH: u8 = 0x90;
+const OP_R_RETIRE: u8 = 0x91;
 const OP_R_BUSY: u8 = 0xBB;
 const OP_R_ERROR: u8 = 0xEE;
 
@@ -104,6 +122,8 @@ pub enum ErrorCode {
     /// The write-ahead journal refused or failed the commit; the sale was
     /// not made durable and was not recorded.
     Durability = 12,
+    /// The named listing has been retired; it no longer quotes or sells.
+    Retired = 13,
 }
 
 impl ErrorCode {
@@ -122,6 +142,7 @@ impl ErrorCode {
             10 => ShuttingDown,
             11 => Internal,
             12 => Durability,
+            13 => Retired,
             _ => return None,
         })
     }
@@ -130,6 +151,10 @@ impl ErrorCode {
     pub fn for_market_error(e: &MarketError) -> ErrorCode {
         match e {
             MarketError::MarketNotOpen => ErrorCode::MarketNotOpen,
+            MarketError::ListingRetired { .. } => ErrorCode::Retired,
+            MarketError::UnknownListing { .. }
+            | MarketError::DuplicateListing { .. }
+            | MarketError::InvalidConfig { .. } => ErrorCode::InvalidRequest,
             MarketError::QuoteExpired { .. } => ErrorCode::QuoteExpired,
             MarketError::InsufficientPayment { .. } => ErrorCode::InsufficientPayment,
             MarketError::InvalidPayment { .. } => ErrorCode::InvalidPayment,
@@ -144,14 +169,29 @@ impl ErrorCode {
 }
 
 /// A client→server message.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Every listing-scoped request carries `listing: Option<String>`:
+/// `None` (and every v1/v2 request, which predates the field) resolves to
+/// the server's configured default listing, `Some(name)` routes to that
+/// listing by name.
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Fetch the posted menu.
-    Menu,
-    /// Price one of the three §3.2 purchase options.
-    Quote(PurchaseRequest),
+    /// Fetch the posted menu of a listing.
+    Menu {
+        /// Listing to read; `None` = the server's default listing.
+        listing: Option<String>,
+    },
+    /// Price one of the three §3.2 purchase options against a listing.
+    Quote {
+        /// Listing to quote; `None` = the server's default listing.
+        listing: Option<String>,
+        /// The purchase option to price.
+        request: PurchaseRequest,
+    },
     /// Redeem a quote by `(x, epoch)` identity with a payment.
     Commit {
+        /// Listing to commit at; `None` = the server's default listing.
+        listing: Option<String>,
         /// Quoted inverse NCP.
         x: f64,
         /// Snapshot epoch the quote was priced against.
@@ -164,21 +204,40 @@ pub enum Request {
         /// (and every v1 commit) is a plain non-idempotent commit.
         nonce: Option<u64>,
     },
-    /// Fetch listing metadata and ledger accounting.
-    Info,
+    /// Fetch a listing's metadata and ledger accounting.
+    Info {
+        /// Listing to describe; `None` = the server's default listing.
+        listing: Option<String>,
+    },
+    /// Enumerate the marketplace's listing directory (v3).
+    Listings,
     /// Fetch the server's per-op serving statistics.
     Stats,
+    /// Admin: publish (or re-publish) a listing. Re-publishing posts a
+    /// new snapshot epoch, invalidating every outstanding quote (v3).
+    Publish {
+        /// Listing to publish.
+        listing: String,
+    },
+    /// Admin: retire a listing permanently (v3).
+    Retire {
+        /// Listing to retire.
+        listing: String,
+    },
 }
 
 impl Request {
     /// Stable lowercase operation name (stats registry key).
     pub fn op_name(&self) -> &'static str {
         match self {
-            Request::Menu => "menu",
-            Request::Quote(_) => "quote",
+            Request::Menu { .. } => "menu",
+            Request::Quote { .. } => "quote",
             Request::Commit { .. } => "commit",
-            Request::Info => "info",
+            Request::Info { .. } => "info",
+            Request::Listings => "listings",
             Request::Stats => "stats",
+            Request::Publish { .. } => "publish",
+            Request::Retire { .. } => "retire",
         }
     }
 }
@@ -209,6 +268,51 @@ pub struct QuoteMsg {
     pub metric: String,
     /// Epoch the quote is pinned to; `COMMIT` must echo it.
     pub snapshot_epoch: u64,
+    /// Listing the quote was priced at (v3; empty when decoded from an
+    /// older peer). `COMMIT` should route back to the same listing.
+    pub listing: String,
+}
+
+/// One listing's row in a `LISTINGS` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ListingMsg {
+    /// Listing name buyers route by.
+    pub name: String,
+    /// Trainer identifier (e.g. `"linear_regression"`).
+    pub model_kind: String,
+    /// Mechanism identifier (e.g. `"gaussian"`).
+    pub mechanism: String,
+    /// Lifecycle state: `"draft"`, `"published"` or `"retired"`.
+    pub state: String,
+    /// Whether the listing currently serves buyers.
+    pub open: bool,
+    /// Expected revenue of the posted prices (0 until published).
+    pub expected_revenue: f64,
+}
+
+/// `LISTINGS` response body — the marketplace's listing directory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ListingsMsg {
+    /// The server's configured default listing (what v1/v2 peers and
+    /// unscoped requests resolve to).
+    pub default_listing: String,
+    /// Every listing, in name order, states included.
+    pub listings: Vec<ListingMsg>,
+}
+
+/// One listing's accounting row in a `STATS` response (v3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ListingStatsMsg {
+    /// Listing name.
+    pub listing: String,
+    /// Lifecycle state: `"draft"`, `"published"` or `"retired"`.
+    pub state: String,
+    /// Epoch of the published snapshot (0 before first publish).
+    pub epoch: u64,
+    /// Completed sales so far.
+    pub sales: u64,
+    /// Revenue collected so far.
+    pub revenue: f64,
 }
 
 /// `COMMIT` response body — the completed sale, weights included.
@@ -280,6 +384,9 @@ pub struct StatsMsg {
     pub queue_depth: u64,
     /// Per-operation counters, in registry order.
     pub ops: Vec<OpStatsMsg>,
+    /// Per-listing accounting rows from one consistent marketplace
+    /// snapshot (v3; older peers decode to empty).
+    pub listings: Vec<ListingStatsMsg>,
 }
 
 /// A server→client message.
@@ -293,8 +400,24 @@ pub enum Response {
     Commit(SaleMsg),
     /// Listing metadata.
     Info(InfoMsg),
+    /// The marketplace's listing directory.
+    Listings(ListingsMsg),
     /// Serving statistics.
     Stats(StatsMsg),
+    /// A listing was (re-)published.
+    Publish {
+        /// Listing name echoed back.
+        listing: String,
+        /// Epoch of the freshly posted snapshot.
+        epoch: u64,
+        /// Expected revenue of the freshly posted prices.
+        expected_revenue: f64,
+    },
+    /// A listing was retired.
+    Retire {
+        /// Listing name echoed back.
+        listing: String,
+    },
     /// Shed by admission control (or drained at shutdown).
     Busy {
         /// Server's hint for how long to back off before retrying, in
@@ -530,23 +653,48 @@ const REQ_AT: u8 = 1;
 const REQ_ERROR_BUDGET: u8 = 2;
 const REQ_PRICE_BUDGET: u8 = 3;
 
+/// Encodes an optional listing name; `None` travels as the empty string
+/// (listing names are validated non-empty, so the encoding is unambiguous).
+fn enc_listing(e: &mut Enc, listing: &Option<String>) {
+    match listing {
+        Some(name) => e.str(name),
+        None => e.str(""),
+    }
+}
+
+/// Decodes the trailing v3 listing field; absent (older peer) or empty
+/// means "the server's default listing".
+fn dec_listing(d: &mut Dec<'_>, version: u8) -> Result<Option<String>> {
+    if version < 3 {
+        return Ok(None);
+    }
+    let name = d.str()?;
+    Ok(if name.is_empty() { None } else { Some(name) })
+}
+
 impl Request {
     /// Encodes into a complete payload (header + body).
     pub fn encode(&self) -> Vec<u8> {
         match self {
-            Request::Menu => Enc::with_opcode(OP_MENU).finish(),
-            Request::Quote(req) => {
+            Request::Menu { listing } => {
+                let mut e = Enc::with_opcode(OP_MENU);
+                enc_listing(&mut e, listing);
+                e.finish()
+            }
+            Request::Quote { listing, request } => {
                 let mut e = Enc::with_opcode(OP_QUOTE);
-                let (kind, v) = match req {
+                let (kind, v) = match request {
                     PurchaseRequest::AtInverseNcp(x) => (REQ_AT, *x),
                     PurchaseRequest::ErrorBudget(b) => (REQ_ERROR_BUDGET, *b),
                     PurchaseRequest::PriceBudget(b) => (REQ_PRICE_BUDGET, *b),
                 };
                 e.u8(kind);
                 e.f64(v);
+                enc_listing(&mut e, listing);
                 e.finish()
             }
             Request::Commit {
+                listing,
                 x,
                 snapshot_epoch,
                 payment,
@@ -563,10 +711,26 @@ impl Request {
                     }
                     None => e.u8(0),
                 }
+                enc_listing(&mut e, listing);
                 e.finish()
             }
-            Request::Info => Enc::with_opcode(OP_INFO).finish(),
+            Request::Info { listing } => {
+                let mut e = Enc::with_opcode(OP_INFO);
+                enc_listing(&mut e, listing);
+                e.finish()
+            }
+            Request::Listings => Enc::with_opcode(OP_LISTINGS).finish(),
             Request::Stats => Enc::with_opcode(OP_STATS).finish(),
+            Request::Publish { listing } => {
+                let mut e = Enc::with_opcode(OP_PUBLISH);
+                e.str(listing);
+                e.finish()
+            }
+            Request::Retire { listing } => {
+                let mut e = Enc::with_opcode(OP_RETIRE);
+                e.str(listing);
+                e.finish()
+            }
         }
     }
 
@@ -574,18 +738,24 @@ impl Request {
     pub fn decode(payload: &[u8]) -> Result<Request> {
         let (version, opcode, mut d) = open_payload(payload)?;
         let req = match opcode {
-            OP_MENU => Request::Menu,
+            OP_MENU => Request::Menu {
+                listing: dec_listing(&mut d, version)?,
+            },
             OP_QUOTE => {
                 let kind = d.u8()?;
                 let v = d.f64()?;
-                Request::Quote(match kind {
+                let request = match kind {
                     REQ_AT => PurchaseRequest::AtInverseNcp(v),
                     REQ_ERROR_BUDGET => PurchaseRequest::ErrorBudget(v),
                     REQ_PRICE_BUDGET => PurchaseRequest::PriceBudget(v),
                     other => {
                         return Err(Dec::bad(format!("unknown purchase-request kind {other}")))
                     }
-                })
+                };
+                Request::Quote {
+                    listing: dec_listing(&mut d, version)?,
+                    request,
+                }
             }
             OP_COMMIT => {
                 let x = d.f64()?;
@@ -603,14 +773,20 @@ impl Request {
                     None
                 };
                 Request::Commit {
+                    listing: dec_listing(&mut d, version)?,
                     x,
                     snapshot_epoch,
                     payment,
                     nonce,
                 }
             }
-            OP_INFO => Request::Info,
+            OP_INFO => Request::Info {
+                listing: dec_listing(&mut d, version)?,
+            },
+            OP_LISTINGS => Request::Listings,
             OP_STATS => Request::Stats,
+            OP_PUBLISH => Request::Publish { listing: d.str()? },
+            OP_RETIRE => Request::Retire { listing: d.str()? },
             other => {
                 return Err(Dec::bad(format!("unknown request opcode {other:#04x}")));
             }
@@ -647,6 +823,7 @@ impl Response {
                 e.f64(q.expected_error);
                 e.str(&q.metric);
                 e.u64(q.snapshot_epoch);
+                e.str(&q.listing);
                 e.finish()
             }
             Response::Commit(s) => {
@@ -672,6 +849,20 @@ impl Response {
                 e.f64(i.revenue);
                 e.finish()
             }
+            Response::Listings(l) => {
+                let mut e = Enc::with_opcode(OP_R_LISTINGS);
+                e.str(&l.default_listing);
+                e.u16(l.listings.len() as u16);
+                for row in &l.listings {
+                    e.str(&row.name);
+                    e.str(&row.model_kind);
+                    e.str(&row.mechanism);
+                    e.str(&row.state);
+                    e.u8(u8::from(row.open));
+                    e.f64(row.expected_revenue);
+                }
+                e.finish()
+            }
             Response::Stats(s) => {
                 let mut e = Enc::with_opcode(OP_R_STATS);
                 e.u64(s.connections);
@@ -686,6 +877,30 @@ impl Response {
                     e.u64(op.p50_micros);
                     e.u64(op.p99_micros);
                 }
+                e.u16(s.listings.len() as u16);
+                for row in &s.listings {
+                    e.str(&row.listing);
+                    e.str(&row.state);
+                    e.u64(row.epoch);
+                    e.u64(row.sales);
+                    e.f64(row.revenue);
+                }
+                e.finish()
+            }
+            Response::Publish {
+                listing,
+                epoch,
+                expected_revenue,
+            } => {
+                let mut e = Enc::with_opcode(OP_R_PUBLISH);
+                e.str(listing);
+                e.u64(*epoch);
+                e.f64(*expected_revenue);
+                e.finish()
+            }
+            Response::Retire { listing } => {
+                let mut e = Enc::with_opcode(OP_R_RETIRE);
+                e.str(listing);
                 e.finish()
             }
             Response::Busy { retry_after_ms } => {
@@ -729,6 +944,11 @@ impl Response {
                 expected_error: d.f64()?,
                 metric: d.str()?,
                 snapshot_epoch: d.u64()?,
+                listing: if version >= 3 {
+                    d.str()?
+                } else {
+                    String::new()
+                },
             }),
             OP_R_COMMIT => Response::Commit(SaleMsg {
                 inverse_ncp: d.f64()?,
@@ -749,6 +969,26 @@ impl Response {
                 sales: d.u64()?,
                 revenue: d.f64()?,
             }),
+            OP_R_LISTINGS => {
+                let default_listing = d.str()?;
+                let n = d.u16()? as usize;
+                let listings = (0..n)
+                    .map(|_| {
+                        Ok(ListingMsg {
+                            name: d.str()?,
+                            model_kind: d.str()?,
+                            mechanism: d.str()?,
+                            state: d.str()?,
+                            open: d.u8()? != 0,
+                            expected_revenue: d.f64()?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Response::Listings(ListingsMsg {
+                    default_listing,
+                    listings,
+                })
+            }
             OP_R_STATS => {
                 let connections = d.u64()?;
                 let busy_rejections = d.u64()?;
@@ -766,14 +1006,37 @@ impl Response {
                         })
                     })
                     .collect::<Result<Vec<_>>>()?;
+                let listings = if version >= 3 {
+                    let n = d.u16()? as usize;
+                    (0..n)
+                        .map(|_| {
+                            Ok(ListingStatsMsg {
+                                listing: d.str()?,
+                                state: d.str()?,
+                                epoch: d.u64()?,
+                                sales: d.u64()?,
+                                revenue: d.f64()?,
+                            })
+                        })
+                        .collect::<Result<Vec<_>>>()?
+                } else {
+                    Vec::new()
+                };
                 Response::Stats(StatsMsg {
                     connections,
                     busy_rejections,
                     protocol_errors,
                     queue_depth,
                     ops,
+                    listings,
                 })
             }
+            OP_R_PUBLISH => Response::Publish {
+                listing: d.str()?,
+                epoch: d.u64()?,
+                expected_revenue: d.f64()?,
+            },
+            OP_R_RETIRE => Response::Retire { listing: d.str()? },
             OP_R_BUSY => Response::Busy {
                 retry_after_ms: if version >= 2 { d.u32()? } else { 0 },
             },
@@ -811,19 +1074,43 @@ mod tests {
 
     #[test]
     fn requests_round_trip() {
-        roundtrip_request(Request::Menu);
-        roundtrip_request(Request::Info);
+        roundtrip_request(Request::Menu { listing: None });
+        roundtrip_request(Request::Menu {
+            listing: Some("acme-data".into()),
+        });
+        roundtrip_request(Request::Info { listing: None });
+        roundtrip_request(Request::Info {
+            listing: Some("acme-data".into()),
+        });
+        roundtrip_request(Request::Listings);
         roundtrip_request(Request::Stats);
-        roundtrip_request(Request::Quote(PurchaseRequest::AtInverseNcp(42.5)));
-        roundtrip_request(Request::Quote(PurchaseRequest::ErrorBudget(0.05)));
-        roundtrip_request(Request::Quote(PurchaseRequest::PriceBudget(17.0)));
+        roundtrip_request(Request::Publish {
+            listing: "acme-data".into(),
+        });
+        roundtrip_request(Request::Retire {
+            listing: "acme-data".into(),
+        });
+        roundtrip_request(Request::Quote {
+            listing: None,
+            request: PurchaseRequest::AtInverseNcp(42.5),
+        });
+        roundtrip_request(Request::Quote {
+            listing: Some("acme-data".into()),
+            request: PurchaseRequest::ErrorBudget(0.05),
+        });
+        roundtrip_request(Request::Quote {
+            listing: None,
+            request: PurchaseRequest::PriceBudget(17.0),
+        });
         roundtrip_request(Request::Commit {
+            listing: None,
             x: 99.0,
             snapshot_epoch: 3,
             payment: 12.75,
             nonce: None,
         });
         roundtrip_request(Request::Commit {
+            listing: Some("acme-data".into()),
             x: 99.0,
             snapshot_epoch: 3,
             payment: 12.75,
@@ -850,7 +1137,37 @@ mod tests {
             expected_error: 0.05,
             metric: "logistic".into(),
             snapshot_epoch: 7,
+            listing: "acme-data".into(),
         }));
+        roundtrip_response(Response::Listings(ListingsMsg {
+            default_listing: "acme-data".into(),
+            listings: vec![
+                ListingMsg {
+                    name: "acme-data".into(),
+                    model_kind: "linear_regression".into(),
+                    mechanism: "gaussian".into(),
+                    state: "published".into(),
+                    open: true,
+                    expected_revenue: 31.5,
+                },
+                ListingMsg {
+                    name: "old-data".into(),
+                    model_kind: "logistic_regression".into(),
+                    mechanism: "gaussian".into(),
+                    state: "retired".into(),
+                    open: false,
+                    expected_revenue: 0.0,
+                },
+            ],
+        }));
+        roundtrip_response(Response::Publish {
+            listing: "acme-data".into(),
+            epoch: 4,
+            expected_revenue: 29.75,
+        });
+        roundtrip_response(Response::Retire {
+            listing: "old-data".into(),
+        });
         roundtrip_response(Response::Commit(SaleMsg {
             inverse_ncp: 20.0,
             price: 14.5,
@@ -882,12 +1199,20 @@ mod tests {
                 p50_micros: 64,
                 p99_micros: 1024,
             }],
+            listings: vec![ListingStatsMsg {
+                listing: "acme-data".into(),
+                state: "published".into(),
+                epoch: 2,
+                sales: 12,
+                revenue: 340.0,
+            }],
         }));
     }
 
     #[test]
     fn nan_payloads_survive_bitwise() {
         let payload = Request::Commit {
+            listing: None,
             x: f64::NAN,
             snapshot_epoch: 0,
             payment: f64::NEG_INFINITY,
@@ -905,21 +1230,21 @@ mod tests {
 
     #[test]
     fn bad_magic_version_and_opcode_are_typed() {
-        let mut payload = Request::Menu.encode();
+        let mut payload = Request::Menu { listing: None }.encode();
         payload[0] = b'X';
         assert!(matches!(
             Request::decode(&payload),
             Err(ServerError::Protocol { .. })
         ));
 
-        let mut payload = Request::Menu.encode();
+        let mut payload = Request::Menu { listing: None }.encode();
         payload[2] = VERSION + 1;
         assert!(matches!(
             Request::decode(&payload),
             Err(ServerError::UnsupportedVersion { got }) if got == VERSION + 1
         ));
 
-        let mut payload = Request::Menu.encode();
+        let mut payload = Request::Menu { listing: None }.encode();
         payload[3] = 0x7F;
         assert!(matches!(
             Request::decode(&payload),
@@ -930,6 +1255,7 @@ mod tests {
     #[test]
     fn truncated_and_trailing_bytes_are_rejected() {
         let payload = Request::Commit {
+            listing: Some("acme-data".into()),
             x: 1.0,
             snapshot_epoch: 1,
             payment: 1.0,
@@ -950,7 +1276,11 @@ mod tests {
 
     #[test]
     fn framing_round_trips_and_enforces_the_cap() {
-        let payload = Request::Quote(PurchaseRequest::ErrorBudget(0.25)).encode();
+        let payload = Request::Quote {
+            listing: None,
+            request: PurchaseRequest::ErrorBudget(0.25),
+        }
+        .encode();
         let mut buf = Vec::new();
         write_frame(&mut buf, &payload).unwrap();
         // Two frames back to back parse independently.
@@ -975,7 +1305,7 @@ mod tests {
 
     #[test]
     fn mid_frame_eof_is_connection_closed() {
-        let payload = Request::Menu.encode();
+        let payload = Request::Menu { listing: None }.encode();
         let mut buf = Vec::new();
         write_frame(&mut buf, &payload).unwrap();
         // Cut inside the length prefix and inside the payload.
@@ -1023,6 +1353,18 @@ mod tests {
             )),
             ErrorCode::Unsatisfiable
         );
+        assert_eq!(
+            ErrorCode::for_market_error(&MarketError::ListingRetired { name: "m".into() }),
+            ErrorCode::Retired
+        );
+        assert_eq!(
+            ErrorCode::for_market_error(&MarketError::UnknownListing { name: "m".into() }),
+            ErrorCode::InvalidRequest
+        );
+        assert_eq!(
+            ErrorCode::for_market_error(&MarketError::DuplicateListing { name: "m".into() }),
+            ErrorCode::InvalidRequest
+        );
     }
 
     #[test]
@@ -1036,6 +1378,7 @@ mod tests {
         assert_eq!(
             Request::decode(&payload).unwrap(),
             Request::Commit {
+                listing: None,
                 x: 42.5,
                 snapshot_epoch: 9,
                 payment: 12.75,
@@ -1064,13 +1407,94 @@ mod tests {
                 protocol_errors: 1,
                 queue_depth: 0,
                 ops: vec![],
+                listings: vec![],
+            })
+        );
+    }
+
+    #[test]
+    fn v2_peers_still_decode_against_the_default_listing() {
+        // A v2 MENU is a bare header: no listing field. It decodes to
+        // `listing: None`, which the server resolves to its default.
+        let payload = vec![b'N', b'B', 2, 0x01];
+        assert_eq!(
+            Request::decode(&payload).unwrap(),
+            Request::Menu { listing: None }
+        );
+
+        // A v2 QUOTE is kind + value, no listing.
+        let mut payload = vec![b'N', b'B', 2, 0x02, 1];
+        payload.extend_from_slice(&25.0f64.to_bits().to_be_bytes());
+        assert_eq!(
+            Request::decode(&payload).unwrap(),
+            Request::Quote {
+                listing: None,
+                request: PurchaseRequest::AtInverseNcp(25.0),
+            }
+        );
+
+        // A v2 COMMIT has the nonce flag but no listing field.
+        let mut payload = vec![b'N', b'B', 2, 0x03];
+        payload.extend_from_slice(&42.5f64.to_bits().to_be_bytes());
+        payload.extend_from_slice(&9u64.to_be_bytes());
+        payload.extend_from_slice(&12.75f64.to_bits().to_be_bytes());
+        payload.push(1);
+        payload.extend_from_slice(&7u64.to_be_bytes());
+        assert_eq!(
+            Request::decode(&payload).unwrap(),
+            Request::Commit {
+                listing: None,
+                x: 42.5,
+                snapshot_epoch: 9,
+                payment: 12.75,
+                nonce: Some(7),
+            }
+        );
+
+        // A v2 R_QUOTE lacks the echoed listing; it decodes to empty.
+        let mut payload = vec![b'N', b'B', 2, 0x82];
+        for v in [20.0f64, 0.05, 14.5, 0.05] {
+            payload.extend_from_slice(&v.to_bits().to_be_bytes());
+        }
+        payload.extend_from_slice(&(6u16).to_be_bytes());
+        payload.extend_from_slice(b"square");
+        payload.extend_from_slice(&3u64.to_be_bytes());
+        assert_eq!(
+            Response::decode(&payload).unwrap(),
+            Response::Quote(QuoteMsg {
+                x: 20.0,
+                delta: 0.05,
+                price: 14.5,
+                expected_error: 0.05,
+                metric: "square".into(),
+                snapshot_epoch: 3,
+                listing: String::new(),
+            })
+        );
+
+        // A v2 STATS body has the queue-depth gauge but no per-listing rows.
+        let mut payload = vec![b'N', b'B', 2, 0x85];
+        payload.extend_from_slice(&4u64.to_be_bytes()); // connections
+        payload.extend_from_slice(&2u64.to_be_bytes()); // busy_rejections
+        payload.extend_from_slice(&1u64.to_be_bytes()); // protocol_errors
+        payload.extend_from_slice(&6u64.to_be_bytes()); // queue_depth
+        payload.extend_from_slice(&0u16.to_be_bytes()); // no per-op rows
+        assert_eq!(
+            Response::decode(&payload).unwrap(),
+            Response::Stats(StatsMsg {
+                connections: 4,
+                busy_rejections: 2,
+                protocol_errors: 1,
+                queue_depth: 6,
+                ops: vec![],
+                listings: vec![],
             })
         );
     }
 
     #[test]
     fn every_error_code_round_trips() {
-        for raw in 1..=12u16 {
+        for raw in 1..=13u16 {
             let code = ErrorCode::from_u16(raw).unwrap();
             assert_eq!(code as u16, raw);
             roundtrip_response(Response::Error {

@@ -5,17 +5,19 @@
 //! End-to-end serving tests: a real `NimbusServer` on an ephemeral
 //! loopback port, driven by real TCP clients.
 //!
-//! The core reconciliation: revenue in the broker's striped ledger must
+//! The core reconciliation: revenue in each listing's striped ledger must
 //! equal the sum of prices the *clients* observed over the wire — the
 //! serving layer adds no money and loses none. On top of that: admission
 //! floods resolve as typed `BUSY` frames (never hangs), stale quotes fail
-//! with the epoch error, malformed frames get typed protocol errors, and
-//! graceful shutdown never truncates an in-flight response.
+//! with the epoch error, listing routing fails typed (unknown, retired),
+//! malformed frames get typed protocol errors, v2 peers interoperate on
+//! the default listing, and graceful shutdown never truncates an
+//! in-flight response.
 
 use nimbus_core::GaussianMechanism;
 use nimbus_data::catalog::{DatasetSpec, PaperDataset};
 use nimbus_market::curves::{DemandCurve, MarketCurves, ValueCurve};
-use nimbus_market::{Broker, PurchaseRequest, Seller};
+use nimbus_market::{Broker, ListingBuilder, Marketplace, PurchaseRequest, Seller};
 use nimbus_ml::LinearRegressionTrainer;
 use nimbus_server::loadgen::{run_load, LoadConfig, LoadMode};
 use nimbus_server::wire::{self, ErrorCode, Response};
@@ -27,25 +29,29 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
-fn build_broker(seed: u64) -> Arc<Broker> {
+fn listing(name: &str, seed: u64) -> ListingBuilder {
     let (dataset, _) = DatasetSpec::scaled(PaperDataset::Simulated1, 600)
         .materialize(seed)
         .unwrap();
     let curves = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform);
-    let broker = Broker::builder(Seller::new("e2e", dataset, curves))
+    ListingBuilder::new(name, Seller::new(name, dataset, curves))
         .trainer(LinearRegressionTrainer::ridge(1e-6))
         .mechanism(GaussianMechanism)
         .n_price_points(24)
         .error_curve_samples(12)
         .seed(seed)
-        .build()
-        .unwrap();
-    broker.open_market().unwrap();
-    Arc::new(broker)
 }
 
-fn start_server(broker: Arc<Broker>, config: ServerConfig) -> NimbusServer {
-    NimbusServer::start(broker, "e2e-listing", "127.0.0.1:0", config).unwrap()
+/// A marketplace hosting the single published listing `e2e-listing`.
+fn build_marketplace(seed: u64) -> (Arc<Marketplace>, Arc<Broker>) {
+    let marketplace = Marketplace::new();
+    marketplace.list(listing("e2e-listing", seed)).unwrap();
+    let broker = marketplace.route("e2e-listing").unwrap();
+    (Arc::new(marketplace), broker)
+}
+
+fn start_server(marketplace: Arc<Marketplace>, config: ServerConfig) -> NimbusServer {
+    NimbusServer::start(marketplace, "e2e-listing", "127.0.0.1:0", config).unwrap()
 }
 
 fn fast_client() -> ClientConfig {
@@ -62,9 +68,9 @@ fn fast_client() -> ClientConfig {
 /// broker-side ledger must equal the client-observed books exactly.
 #[test]
 fn concurrent_buyers_reconcile_with_ledger() {
-    let broker = build_broker(41);
+    let (marketplace, broker) = build_marketplace(41);
     let server = start_server(
-        broker.clone(),
+        marketplace,
         ServerConfig {
             shards: 2,
             workers_per_shard: 4,
@@ -82,6 +88,7 @@ fn concurrent_buyers_reconcile_with_ledger() {
             mode: LoadMode::Buy,
             client: fast_client(),
             busy_retries: 0,
+            mix: Vec::new(),
         },
     );
 
@@ -120,8 +127,8 @@ fn concurrent_buyers_reconcile_with_ledger() {
 /// broker's in-process state.
 #[test]
 fn full_session_menu_quote_commit_info_stats() {
-    let broker = build_broker(7);
-    let server = start_server(broker.clone(), ServerConfig::default());
+    let (marketplace, broker) = build_marketplace(7);
+    let server = start_server(marketplace, ServerConfig::default());
     let mut client = NimbusClient::connect(server.local_addr(), &fast_client()).unwrap();
 
     let snapshot = broker.snapshot().unwrap();
@@ -172,9 +179,9 @@ fn full_session_menu_quote_commit_info_stats() {
 /// frames — no hangs, no resets, and the non-shed traffic still completes.
 #[test]
 fn flood_beyond_admission_bound_sheds_busy() {
-    let broker = build_broker(13);
+    let (marketplace, _broker) = build_marketplace(13);
     let server = start_server(
-        broker.clone(),
+        marketplace,
         ServerConfig {
             shards: 1,
             workers_per_shard: 1,
@@ -192,6 +199,7 @@ fn flood_beyond_admission_bound_sheds_busy() {
             mode: LoadMode::Quote,
             client: fast_client(),
             busy_retries: 0,
+            mix: Vec::new(),
         },
     );
 
@@ -219,8 +227,8 @@ fn flood_beyond_admission_bound_sheds_busy() {
 /// payment validation errors arrive typed too.
 #[test]
 fn stale_quotes_and_bad_payments_fail_typed() {
-    let broker = build_broker(29);
-    let server = start_server(broker.clone(), ServerConfig::default());
+    let (marketplace, broker) = build_marketplace(29);
+    let server = start_server(marketplace.clone(), ServerConfig::default());
     let mut client = NimbusClient::connect(server.local_addr(), &fast_client()).unwrap();
 
     let quote = client.quote(PurchaseRequest::AtInverseNcp(5.0)).unwrap();
@@ -236,8 +244,8 @@ fn stale_quotes_and_bad_payments_fail_typed() {
         other => panic!("expected InvalidPayment, got {other:?}"),
     }
 
-    // Re-open the market: the published epoch moves on…
-    broker.open_market().unwrap();
+    // Live re-publish over the admin path: the published epoch moves on…
+    marketplace.publish("e2e-listing").unwrap();
     // …and the old quote is dead, even at full payment.
     match client.commit(&quote, quote.price) {
         Err(ServerError::Remote { code, message }) => {
@@ -260,8 +268,8 @@ fn stale_quotes_and_bad_payments_fail_typed() {
 /// connections.
 #[test]
 fn malformed_frames_get_typed_errors() {
-    let broker = build_broker(3);
-    let server = start_server(broker.clone(), ServerConfig::default());
+    let (marketplace, _broker) = build_marketplace(3);
+    let server = start_server(marketplace, ServerConfig::default());
     let addr = server.local_addr();
 
     // Garbage payload inside a well-formed frame.
@@ -331,9 +339,9 @@ fn malformed_frames_get_typed_errors() {
 /// client — the books still reconcile after the plug is pulled.
 #[test]
 fn graceful_shutdown_drains_in_flight_buyers() {
-    let broker = build_broker(59);
+    let (marketplace, broker) = build_marketplace(59);
     let server = start_server(
-        broker.clone(),
+        marketplace,
         ServerConfig {
             shards: 2,
             workers_per_shard: 2,
@@ -354,6 +362,7 @@ fn graceful_shutdown_drains_in_flight_buyers() {
                     mode: LoadMode::Buy,
                     client: fast_client(),
                     busy_retries: 0,
+                    mix: Vec::new(),
                 },
             )
         });
@@ -389,9 +398,9 @@ fn graceful_shutdown_drains_in_flight_buyers() {
 /// server's shed counter equals final sheds plus absorbed (retried) ones.
 #[test]
 fn busy_retries_honor_the_hint_and_reconcile() {
-    let broker = build_broker(17);
+    let (marketplace, _broker) = build_marketplace(17);
     let server = start_server(
-        broker.clone(),
+        marketplace,
         ServerConfig {
             shards: 1,
             workers_per_shard: 1,
@@ -410,6 +419,7 @@ fn busy_retries_honor_the_hint_and_reconcile() {
             mode: LoadMode::Quote,
             client: fast_client(),
             busy_retries: 32,
+            mix: Vec::new(),
         },
     );
 
@@ -439,8 +449,8 @@ fn busy_retries_honor_the_hint_and_reconcile() {
 /// renders to Prometheus text with the expected series.
 #[test]
 fn stats_text_export_has_gauges() {
-    let broker = build_broker(23);
-    let server = start_server(broker.clone(), ServerConfig::default());
+    let (marketplace, _broker) = build_marketplace(23);
+    let server = start_server(marketplace, ServerConfig::default());
     let mut client = NimbusClient::connect(server.local_addr(), &fast_client()).unwrap();
     client.buy(PurchaseRequest::AtInverseNcp(5.0)).unwrap();
 
@@ -462,5 +472,227 @@ fn stats_text_export_has_gauges() {
     ] {
         assert!(text.contains(series), "missing `{series}` in:\n{text}");
     }
+    server.shutdown();
+}
+
+/// Tentpole: listing routing fails typed at every step of the lifecycle.
+/// Unknown listings answer `InvalidRequest`, a second `list` under a taken
+/// name is rejected without disturbing the live listing, a hot re-publish
+/// voids outstanding quotes via the epoch protocol, retirement sheds with
+/// the dedicated `Retired` code and is terminal, and the server refuses to
+/// retire its own default listing out from under v1/v2 peers.
+#[test]
+fn listing_routing_and_lifecycle_error_paths() {
+    let (marketplace, _broker) = build_marketplace(67);
+    marketplace.list(listing("second", 68)).unwrap();
+    let server = start_server(marketplace.clone(), ServerConfig::default());
+    let mut client = NimbusClient::connect(server.local_addr(), &fast_client()).unwrap();
+
+    // Unknown listing: typed InvalidRequest naming the listing.
+    match client.quote_on("nope", PurchaseRequest::AtInverseNcp(5.0)) {
+        Err(ServerError::Remote { code, message }) => {
+            assert_eq!(code, ErrorCode::InvalidRequest);
+            assert!(message.contains("nope"), "{message}");
+        }
+        other => panic!("expected InvalidRequest, got {other:?}"),
+    }
+
+    // Duplicate publish: rejected, the existing listing keeps serving.
+    let err = marketplace.list(listing("second", 69)).unwrap_err();
+    assert!(err.to_string().contains("second"), "{err}");
+    assert!(client.menu_on("second").is_ok());
+
+    // Hot re-publish over the wire bumps the epoch; the quote taken
+    // before it dies with the epoch error, a fresh quote commits fine.
+    let stale = client
+        .quote_on("second", PurchaseRequest::AtInverseNcp(5.0))
+        .unwrap();
+    assert_eq!(stale.listing, "second");
+    let (epoch, expected_revenue) = client.publish("second").unwrap();
+    assert!(epoch > stale.snapshot_epoch);
+    assert!(expected_revenue.is_finite());
+    match client.commit(&stale, stale.price) {
+        Err(ServerError::Remote { code, .. }) => assert_eq!(code, ErrorCode::QuoteExpired),
+        other => panic!("expected QuoteExpired, got {other:?}"),
+    }
+    let fresh = client
+        .quote_on("second", PurchaseRequest::AtInverseNcp(5.0))
+        .unwrap();
+    assert_eq!(fresh.snapshot_epoch, epoch);
+    client.commit(&fresh, fresh.price).unwrap();
+
+    // Retirement: quotes issued before it die with the typed code, and
+    // every subsequent touch of the listing answers `Retired`.
+    let doomed = client
+        .quote_on("second", PurchaseRequest::AtInverseNcp(5.0))
+        .unwrap();
+    client.retire("second").unwrap();
+    match client.commit(&doomed, doomed.price) {
+        Err(ServerError::Remote { code, message }) => {
+            assert_eq!(code, ErrorCode::Retired);
+            assert!(message.contains("second"), "{message}");
+        }
+        other => panic!("expected Retired, got {other:?}"),
+    }
+    match client.menu_on("second") {
+        Err(ServerError::Remote { code, .. }) => assert_eq!(code, ErrorCode::Retired),
+        other => panic!("expected Retired, got {other:?}"),
+    }
+    // Terminal: a retired listing cannot be re-published.
+    match client.publish("second") {
+        Err(ServerError::Remote { code, .. }) => assert_eq!(code, ErrorCode::Retired),
+        other => panic!("expected Retired, got {other:?}"),
+    }
+
+    // The default listing is load-bearing for unscoped peers: refuse.
+    match client.retire("e2e-listing") {
+        Err(ServerError::Remote { code, message }) => {
+            assert_eq!(code, ErrorCode::InvalidRequest);
+            assert!(message.contains("default"), "{message}");
+        }
+        other => panic!("expected InvalidRequest, got {other:?}"),
+    }
+    assert!(client.menu().is_ok());
+    server.shutdown();
+}
+
+/// Tentpole: three listings served concurrently from one socket, routed
+/// by name under a weighted mix. Each listing's striped ledger reconciles
+/// exactly against the load generator's per-listing slice, and the
+/// marketplace-wide stats snapshot sums them consistently.
+#[test]
+fn multi_listing_buyers_route_and_reconcile_independently() {
+    let marketplace = Marketplace::new();
+    for (i, name) in ["alpha", "beta", "gamma"].iter().enumerate() {
+        marketplace.list(listing(name, 71 + i as u64)).unwrap();
+    }
+    let marketplace = Arc::new(marketplace);
+    let server = NimbusServer::start(
+        marketplace.clone(),
+        "alpha",
+        "127.0.0.1:0",
+        ServerConfig {
+            shards: 2,
+            workers_per_shard: 4,
+            queue_capacity: 64,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // The directory enumerates over the wire, default flagged.
+    let mut client = NimbusClient::connect(addr, &fast_client()).unwrap();
+    let listings = client.listings().unwrap();
+    assert_eq!(listings.default_listing, "alpha");
+    let names: Vec<&str> = listings.listings.iter().map(|l| l.name.as_str()).collect();
+    assert_eq!(names, ["alpha", "beta", "gamma"]);
+    assert!(listings
+        .listings
+        .iter()
+        .all(|l| l.state == "published" && l.open));
+
+    // 6 threads x 30 buys over a 3:2:1 mix (ring of 6 divides 30 evenly):
+    // alpha gets 90, beta 60, gamma 30.
+    let report = run_load(
+        addr,
+        &LoadConfig {
+            threads: 6,
+            requests_per_thread: 30,
+            mode: LoadMode::Buy,
+            client: fast_client(),
+            busy_retries: 0,
+            mix: vec![
+                ("alpha".to_string(), 3),
+                ("beta".to_string(), 2),
+                ("gamma".to_string(), 1),
+            ],
+        },
+    );
+    assert_eq!(report.ok, 180, "{report:?}");
+    assert_eq!(report.per_listing.len(), 3);
+    let expected = [("alpha", 90u64), ("beta", 60), ("gamma", 30)];
+    for ((name, want_ok), slice) in expected.iter().zip(&report.per_listing) {
+        assert_eq!(slice.listing, *name);
+        assert_eq!(slice.ok, *want_ok, "{name}");
+        // Each listing's own ledger holds exactly the money its buyers
+        // paid — routing never crosses revenue between listings.
+        let broker = marketplace.route(name).unwrap();
+        assert_eq!(broker.sales_count() as u64, slice.ok);
+        assert!(
+            (broker.collected_revenue() - slice.revenue).abs() < 1e-6,
+            "{name}: ledger {} vs clients {}",
+            broker.collected_revenue(),
+            slice.revenue,
+        );
+    }
+
+    // The marketplace snapshot sums the same rows it reports.
+    let stats = marketplace.stats();
+    assert_eq!(stats.total_sales, 180);
+    assert!((stats.total_revenue - report.revenue).abs() < 1e-6);
+
+    // Wire STATS carries the per-listing rows; Prometheus text labels them.
+    let wire_stats = client.stats().unwrap();
+    assert_eq!(wire_stats.listings.len(), 3);
+    let text = nimbus_server::render_prometheus(&wire_stats);
+    for name in ["alpha", "beta", "gamma"] {
+        assert!(
+            text.contains(&format!("nimbus_listing_sales_total{{listing=\"{name}\"}}")),
+            "missing listing series for {name} in:\n{text}"
+        );
+    }
+    server.shutdown();
+}
+
+/// Tentpole: a version-2 peer (no listing fields anywhere) still completes
+/// a full menu -> quote -> commit session; the server resolves every
+/// unscoped request to its default listing.
+#[test]
+fn v2_peers_interoperate_on_the_default_listing() {
+    let (marketplace, broker) = build_marketplace(83);
+    let server = start_server(marketplace, ServerConfig::default());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut rpc = |payload: &[u8]| -> Response {
+        wire::write_frame(&mut stream, payload).unwrap();
+        Response::decode(&wire::read_frame(&mut stream).unwrap()).unwrap()
+    };
+
+    // v2 MENU is a bare header; it reads the default listing's menu.
+    let menu = match rpc(&[b'N', b'B', 2, 0x01]) {
+        Response::Menu(m) => m,
+        other => panic!("expected menu, got {other:?}"),
+    };
+    assert!(!menu.points.is_empty());
+
+    // v2 QUOTE: request kind + value, no listing field.
+    let mut payload = vec![b'N', b'B', 2, 0x02, 1];
+    payload.extend_from_slice(&10.0f64.to_bits().to_be_bytes());
+    let quote = match rpc(&payload) {
+        Response::Quote(q) => q,
+        other => panic!("expected quote, got {other:?}"),
+    };
+    assert_eq!(quote.snapshot_epoch, menu.epoch);
+    // The v3 response names the listing the unscoped quote landed on.
+    assert_eq!(quote.listing, "e2e-listing");
+
+    // v2 COMMIT: x, epoch, payment, nonce flag — still no listing.
+    let mut payload = vec![b'N', b'B', 2, 0x03];
+    payload.extend_from_slice(&quote.x.to_bits().to_be_bytes());
+    payload.extend_from_slice(&quote.snapshot_epoch.to_be_bytes());
+    payload.extend_from_slice(&quote.price.to_bits().to_be_bytes());
+    payload.push(0);
+    let sale = match rpc(&payload) {
+        Response::Commit(s) => s,
+        other => panic!("expected sale, got {other:?}"),
+    };
+    assert!((sale.price - quote.price).abs() < 1e-9);
+
+    // The money landed in the default listing's ledger.
+    assert_eq!(broker.sales_count(), 1);
+    assert!((broker.collected_revenue() - quote.price).abs() < 1e-9);
     server.shutdown();
 }

@@ -5,14 +5,16 @@
 //! Crash-safety end to end: a journalled server is cut down mid-load,
 //! restarted on the same journal, and the replayed ledger must reconcile
 //! *exactly* — same transaction count, same ids, same total revenue —
-//! with what clients were acknowledged over the wire. Plus the lost-ACK
-//! story: a commit retried with the same idempotency key after a restart
-//! replays the journalled sale instead of charging twice.
+//! with what clients were acknowledged over the wire. The multi-listing
+//! variant journals three listings under one `--journal-dir`-style root
+//! and replays each ledger independently. Plus the lost-ACK story: a
+//! commit retried with the same idempotency key after a restart replays
+//! the journalled sale instead of charging twice.
 
 use nimbus_core::GaussianMechanism;
 use nimbus_data::catalog::{DatasetSpec, PaperDataset};
 use nimbus_market::curves::{DemandCurve, MarketCurves, ValueCurve};
-use nimbus_market::{Broker, PurchaseRequest, Seller};
+use nimbus_market::{Broker, ListingBuilder, Marketplace, PurchaseRequest, Seller};
 use nimbus_ml::LinearRegressionTrainer;
 use nimbus_server::loadgen::{run_load, LoadConfig, LoadMode};
 use nimbus_server::{ClientConfig, NimbusClient, NimbusServer, RetryPolicy, ServerConfig};
@@ -47,6 +49,17 @@ fn journaled_broker(seed: u64, journal: &Path) -> Arc<Broker> {
     Arc::new(broker)
 }
 
+/// Hosts an already-recovered broker as the sole listing of a fresh
+/// marketplace. Adoption neither rebuilds nor re-opens the broker, so the
+/// replayed ledger and epoch carry over untouched.
+fn host(broker: Arc<Broker>) -> Arc<Marketplace> {
+    let marketplace = Marketplace::new();
+    marketplace
+        .list(ListingBuilder::from_broker("recovery-e2e", broker))
+        .unwrap();
+    Arc::new(marketplace)
+}
+
 fn client_config(seed: u64) -> ClientConfig {
     ClientConfig {
         retry: RetryPolicy {
@@ -68,7 +81,7 @@ fn killed_server_recovers_every_acked_commit() {
     // Boot 1: serve purchases and pull the plug mid-load.
     let broker = journaled_broker(61, &journal);
     let server = NimbusServer::start(
-        broker.clone(),
+        host(broker.clone()),
         "recovery-e2e",
         "127.0.0.1:0",
         ServerConfig {
@@ -91,6 +104,7 @@ fn killed_server_recovers_every_acked_commit() {
                     mode: LoadMode::Buy,
                     client: client_config(0),
                     busy_retries: 0,
+                    mix: Vec::new(),
                 },
             )
         });
@@ -136,7 +150,7 @@ fn killed_server_recovers_every_acked_commit() {
     // The restarted server keeps selling: new epoch, fresh ids continue
     // the recovered sequence.
     let server = NimbusServer::start(
-        broker.clone(),
+        host(broker.clone()),
         "recovery-e2e",
         "127.0.0.1:0",
         ServerConfig::default(),
@@ -160,7 +174,7 @@ fn same_nonce_retry_across_restart_charges_once() {
     // Boot 1: one idempotent purchase lands; pretend its ACK was lost.
     let broker = journaled_broker(67, &journal);
     let server = NimbusServer::start(
-        broker.clone(),
+        host(broker.clone()),
         "recovery-e2e",
         "127.0.0.1:0",
         ServerConfig::default(),
@@ -184,7 +198,7 @@ fn same_nonce_retry_across_restart_charges_once() {
     let broker = journaled_broker(67, &journal);
     assert_eq!(broker.sales_count(), 1);
     let server = NimbusServer::start(
-        broker.clone(),
+        host(broker.clone()),
         "recovery-e2e",
         "127.0.0.1:0",
         ServerConfig::default(),
@@ -217,4 +231,138 @@ fn same_nonce_retry_across_restart_charges_once() {
     }
     server.shutdown();
     let _ = std::fs::remove_file(&journal);
+}
+
+/// A listing builder journalling under `<root>/<name>/journal.log` — the
+/// layout `nimbus serve --journal-dir` uses.
+fn rooted_listing(name: &str, seed: u64, root: &Path) -> ListingBuilder {
+    let (dataset, _) = DatasetSpec::scaled(PaperDataset::Simulated1, 600)
+        .materialize(seed)
+        .unwrap();
+    let curves = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform);
+    ListingBuilder::new(name, Seller::new(name, dataset, curves))
+        .trainer(LinearRegressionTrainer::ridge(1e-6))
+        .mechanism(GaussianMechanism)
+        .n_price_points(24)
+        .error_curve_samples(12)
+        .seed(seed)
+        .journal_root(root)
+}
+
+/// Tentpole acceptance: a marketplace journalling three listings under one
+/// root is cut down under a routed mixed load, rebooted on the same root,
+/// and every listing's replayed ledger must reconcile independently —
+/// per-listing counts, ids and revenue each matching that listing's
+/// client-ACKed slice, never bleeding into a sibling's books.
+#[test]
+fn killed_marketplace_recovers_every_listing_independently() {
+    let root = std::env::temp_dir().join(format!(
+        "nimbus-marketplace-recovery-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    let names = ["alpha-journal", "beta-journal", "gamma-journal"];
+    let builders = |root: &Path| {
+        names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| rooted_listing(n, 71 + i as u64, root))
+            .collect::<Vec<_>>()
+    };
+
+    // Boot 1: three journalled listings under a routed buy mix; pull the
+    // plug mid-load.
+    let marketplace = Arc::new(Marketplace::open_listings(builders(&root)).unwrap());
+    let server = NimbusServer::start(
+        marketplace.clone(),
+        names[0],
+        "127.0.0.1:0",
+        ServerConfig {
+            shards: 2,
+            workers_per_shard: 2,
+            queue_capacity: 32,
+            handle_delay: Some(Duration::from_millis(1)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let report = std::thread::scope(|scope| {
+        let load = scope.spawn(move || {
+            run_load(
+                addr,
+                &LoadConfig {
+                    threads: 6,
+                    requests_per_thread: 100,
+                    mode: LoadMode::Buy,
+                    client: client_config(0),
+                    busy_retries: 0,
+                    mix: names.iter().map(|n| (n.to_string(), 1)).collect(),
+                },
+            )
+        });
+        std::thread::sleep(Duration::from_millis(150));
+        server.shutdown();
+        load.join().unwrap()
+    });
+    assert!(
+        report.ok > 0,
+        "some purchases must have landed before the cut"
+    );
+    // Each listing's ACKed books, straight off the wire reports.
+    let mut acked_ids = Vec::new();
+    for name in names {
+        let broker = marketplace.route(name).unwrap();
+        let ids: Vec<u64> = broker
+            .ledger()
+            .transactions()
+            .iter()
+            .map(|t| t.sequence)
+            .collect();
+        acked_ids.push(ids);
+    }
+    let acked = report.per_listing.clone();
+    drop(marketplace);
+
+    // The journals landed in the documented per-listing layout.
+    for name in names {
+        assert!(
+            Marketplace::journal_path_for(&root, name).is_file(),
+            "missing journal for {name}"
+        );
+    }
+
+    // Boot 2: same root, fresh marketplace. Recovery runs per listing (in
+    // parallel), and each ledger replays only its own log.
+    let marketplace = Marketplace::open_listings(builders(&root)).unwrap();
+    for (i, name) in names.iter().enumerate() {
+        let broker = marketplace.route(name).unwrap();
+        let recovery = broker
+            .recovery()
+            .expect("journalled listing reports recovery");
+        assert!(recovery.truncated.is_none(), "{name}: torn tail");
+        let (acked_ok, acked_revenue) = acked
+            .iter()
+            .find(|s| s.listing == *name)
+            .map(|s| (s.ok, s.revenue))
+            .unwrap_or((0, 0.0));
+        assert_eq!(broker.sales_count() as u64, acked_ok, "{name}");
+        assert!(
+            (broker.collected_revenue() - acked_revenue).abs() < 1e-6,
+            "{name}: ledger {} vs clients {acked_revenue}",
+            broker.collected_revenue(),
+        );
+        let replayed_ids: Vec<u64> = broker
+            .ledger()
+            .transactions()
+            .iter()
+            .map(|t| t.sequence)
+            .collect();
+        assert_eq!(replayed_ids, acked_ids[i], "{name}");
+    }
+    // The marketplace-wide snapshot sums exactly what clients were ACKed.
+    let stats = marketplace.stats();
+    assert_eq!(stats.total_sales, report.ok);
+    assert!((stats.total_revenue - report.revenue).abs() < 1e-6);
+    let _ = std::fs::remove_dir_all(&root);
 }

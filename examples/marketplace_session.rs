@@ -1,8 +1,13 @@
 //! A full marketplace session: a classification dataset (the CovType
-//! stand-in), a logistic-regression broker, a sampled buyer population, and
-//! the realized revenue/affordability ledger — the scenario the paper's
-//! introduction motivates, where buyers with very different budgets all get
-//! *some* version of the model.
+//! stand-in), a logistic-regression listing, a sampled buyer population,
+//! and the realized revenue/affordability ledger — the scenario the
+//! paper's introduction motivates, where buyers with very different
+//! budgets all get *some* version of the model.
+//!
+//! The session runs through the marketplace layer: sellers describe their
+//! listings with [`ListingBuilder`], the marketplace builds and publishes
+//! them, and every buyer interaction routes by listing name — the same
+//! path `nimbus serve` exposes over TCP.
 //!
 //! Run with: `cargo run -p nimbus --example marketplace_session`
 
@@ -21,18 +26,50 @@ fn main() {
     );
     let seller = Seller::new("forest-bureau", dataset, curves);
 
-    let broker = Broker::builder(seller)
-        .trainer(LogisticRegressionTrainer::new(1e-4))
-        .mechanism(GaussianMechanism)
-        .n_price_points(60)
-        .error_curve_samples(100)
-        .seed(99)
-        .build()
-        .expect("valid broker configuration");
-    broker.open_market().expect("open");
+    // A second seller lists a regression dataset in the same marketplace.
+    let (housing, _) = DatasetSpec::scaled(PaperDataset::Simulated1, 2_000)
+        .materialize(11)
+        .expect("dataset");
+    let housing_seller = Seller::new(
+        "metro-housing",
+        housing,
+        MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform),
+    );
+
+    let marketplace = Marketplace::open_listings(vec![
+        ListingBuilder::new("forest-cover", seller)
+            .model_kind("logistic_regression")
+            .trainer(LogisticRegressionTrainer::new(1e-4))
+            .mechanism(GaussianMechanism)
+            .n_price_points(60)
+            .error_curve_samples(100)
+            .seed(99),
+        ListingBuilder::new("metro-housing", housing_seller)
+            .trainer(LinearRegressionTrainer::ridge(1e-6))
+            .n_price_points(40)
+            .seed(5),
+    ])
+    .expect("valid listing configurations");
+
+    println!("marketplace menu:");
+    for entry in marketplace.menu() {
+        println!(
+            "  {:<14} {:<20} {:<10} E[revenue] {:>7.2}",
+            entry.name,
+            entry.model_kind,
+            entry.state.name(),
+            entry.expected_revenue
+        );
+    }
+
+    // Everything below routes by listing name, exactly like wire peers do.
+    let (broker, meta) = marketplace.broker("forest-cover").expect("listing");
     println!(
-        "market open; expected revenue {:.2}",
-        broker.expected_revenue().unwrap()
+        "\nrouted to {:?} ({} via {}, {})",
+        meta.name,
+        meta.model_kind,
+        meta.mechanism,
+        meta.state.name()
     );
 
     // Buyer-facing curve in the buyer's own error metric (0/1 test error),
@@ -56,11 +93,16 @@ fn main() {
 
     let mut served = 0usize;
     for buyer in population.buyers() {
-        let quote = broker
-            .quote_request(PurchaseRequest::AtInverseNcp(buyer.desired_x))
+        let quote = marketplace
+            .quote_request(
+                "forest-cover",
+                PurchaseRequest::AtInverseNcp(buyer.desired_x),
+            )
             .expect("quote");
         if buyer.will_buy(quote.price) {
-            broker.commit(quote, quote.price).expect("purchase");
+            marketplace
+                .commit("forest-cover", quote, quote.price)
+                .expect("purchase");
             served += 1;
         }
     }
@@ -73,10 +115,21 @@ fn main() {
     );
 
     // Every served buyer got a usable model: spot-check the last sale.
-    let quote = broker
-        .quote_request(PurchaseRequest::AtInverseNcp(60.0))
+    let quote = marketplace
+        .quote_request("forest-cover", PurchaseRequest::AtInverseNcp(60.0))
         .expect("final quote");
-    let sale = broker.commit(quote, quote.price).expect("final purchase");
+    let sale = marketplace
+        .commit("forest-cover", quote, quote.price)
+        .expect("final purchase");
     let acc = metrics::accuracy(&sale.model, &test_set).expect("evaluate");
     println!("spot check: purchased model test accuracy {:.3}", acc);
+
+    // The whole marketplace reconciles in one consistent snapshot.
+    let stats = marketplace.stats();
+    println!(
+        "\nmarketplace ledger: {} sale(s), revenue {:.2} across {} listing(s)",
+        stats.total_sales,
+        stats.total_revenue,
+        stats.listings.len()
+    );
 }

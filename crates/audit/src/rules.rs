@@ -28,7 +28,8 @@ pub const RULE_NAMES: &[&str] = &[
 
 /// Files whose code must be deterministic: the quote/commit/noise path
 /// and everything replay depends on. `market::simulation` qualifies since
-/// its wall-clock moved behind a caller-supplied clock closure.
+/// its wall-clock moved behind a caller-supplied clock closure, and
+/// `server::event` since its deadline timers run on an injected clock.
 pub const DETERMINISTIC_FILES: &[&str] = &[
     "crates/core/src/mechanism.rs",
     "crates/core/src/curve_provider.rs",
@@ -37,6 +38,7 @@ pub const DETERMINISTIC_FILES: &[&str] = &[
     "crates/market/src/ledger.rs",
     "crates/market/src/marketplace.rs",
     "crates/market/src/simulation.rs",
+    "crates/server/src/event.rs",
 ];
 
 /// The serving hot path: panic here kills a worker thread under load.

@@ -2,7 +2,7 @@
 //! worker pool, listing routing, broker snapshot reads, striped ledger)
 //! under N client threads × M requests each.
 //!
-//! Three regimes:
+//! Five regimes:
 //! * `within capacity` — the admission queues dwarf the client count, so
 //!   every request is served; the number is end-to-end requests/second
 //!   through real sockets against a single-listing marketplace.
@@ -13,13 +13,21 @@
 //!   delay: most connections must be shed with `BUSY`. What's measured is
 //!   that overload resolves quickly and explicitly (shed rate printed),
 //!   not slowly by queueing.
+//! * `journalled commit` — the same buy load against a *journalled*
+//!   listing, three ways: fsync-per-commit baseline, group commit
+//!   (coalesced fsyncs), and group commit + pipelined `BATCH_COMMIT`
+//!   frames. Every regime has identical durability (ACK ⇒ fsynced); the
+//!   spread is the amortized ACK barrier.
+//! * `idle connections` — quote latency with hundreds (or, with
+//!   `NIMBUS_BENCH_10K=1`, ten thousand) of idle sockets parked on the
+//!   event loop; p99 must not degrade with the herd.
 //!
 //! Each benchmark prints one summary line (throughput + shed rate) from a
 //! warm-up run before criterion measures, so the numbers survive even when
 //! the vendored criterion shim runs bodies once. When the
 //! `NIMBUS_BENCH_JSON` environment variable names a path, the warm-up
 //! summaries are also persisted there as a JSON document (the CI step
-//! writes `BENCH_pr6.json`).
+//! writes `BENCH_pr7.json`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nimbus_core::GaussianMechanism;
@@ -29,6 +37,7 @@ use nimbus_market::{ListingBuilder, Marketplace, Seller};
 use nimbus_ml::LinearRegressionTrainer;
 use nimbus_server::loadgen::{run_load, LoadConfig, LoadMode, LoadReport};
 use nimbus_server::{ClientConfig, NimbusServer, ServerConfig};
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
@@ -67,29 +76,41 @@ fn record(label: &str, listings: usize, threads: usize, report: &LoadReport) {
     let entry = format!(
         "    {{\"label\": \"{label}\", \"listings\": {listings}, \"threads\": {threads}, \
          \"ok\": {}, \"busy\": {}, \"errors\": {}, \"elapsed_secs\": {:.6}, \
-         \"throughput_rps\": {:.1}, \"shed_rate\": {:.4}}}",
+         \"throughput_rps\": {:.1}, \"shed_rate\": {:.4}, \
+         \"open_connections\": {}, \"p50_us\": {}, \"p99_us\": {}}}",
         report.ok,
         report.busy,
         report.errors,
         report.elapsed.as_secs_f64(),
         report.throughput(),
-        report.shed_rate()
+        report.shed_rate(),
+        report.open_connections,
+        report.p50_micros,
+        report.p99_micros
     );
     recorded().lock().expect("records lock").push(entry);
 }
 
-/// Writes the collected summaries to `$NIMBUS_BENCH_JSON`, if set.
+/// Writes the collected summaries to `$NIMBUS_BENCH_JSON`, if set. A
+/// relative path is anchored at the workspace root (criterion runs with
+/// the package directory as CWD, which is not where CI looks).
 fn flush_bench_json() {
     let Ok(path) = std::env::var("NIMBUS_BENCH_JSON") else {
         return;
     };
+    let mut target = PathBuf::from(&path);
+    if target.is_relative() {
+        target = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(target);
+    }
     let entries = recorded().lock().expect("records lock");
     let doc = format!(
         "{{\n  \"bench\": \"server_throughput\",\n  \"results\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
-    std::fs::write(&path, doc).expect("write bench json");
-    println!("bench summaries written to {path}");
+    std::fs::write(&target, doc).expect("write bench json");
+    println!("bench summaries written to {}", target.display());
 }
 
 fn summarize(label: &str, report: &LoadReport) {
@@ -134,6 +155,7 @@ fn bench_within_capacity(c: &mut Criterion) {
             client: ClientConfig::default(),
             busy_retries: 0,
             mix: Vec::new(),
+            ..LoadConfig::default()
         };
         let warmup = run_load(addr, &config);
         assert_eq!(warmup.ok, warmup.attempted, "within capacity: no sheds");
@@ -187,6 +209,7 @@ fn bench_multi_listing_routing(c: &mut Criterion) {
             client: ClientConfig::default(),
             busy_retries: 0,
             mix: names.iter().map(|n| (n.clone(), 1)).collect(),
+            ..LoadConfig::default()
         };
         let warmup = run_load(addr, &config);
         assert_eq!(warmup.ok, warmup.attempted, "within capacity: no sheds");
@@ -216,6 +239,178 @@ fn bench_multi_listing_routing(c: &mut Criterion) {
     server.shutdown();
 }
 
+/// A single journalled listing rooted at a fresh scratch directory.
+fn journalled_marketplace(
+    tag: &str,
+    group_commit: Option<Duration>,
+) -> (Arc<Marketplace>, PathBuf) {
+    let root =
+        std::env::temp_dir().join(format!("nimbus-bench-journal-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut builder = listing_builders(1).remove(0).journal_root(&root);
+    if let Some(window) = group_commit {
+        builder = builder.journal_group_commit_window(window);
+    }
+    let marketplace =
+        Arc::new(Marketplace::open_listings(vec![builder]).expect("valid journalled config"));
+    (marketplace, root)
+}
+
+fn bench_journalled_commits(c: &mut Criterion) {
+    // Same durability everywhere (ACK implies the sale is fsynced); what
+    // varies is how many commits share one write+fsync. The third variant
+    // compounds group commit with v4 BATCH_COMMIT frames so a batch of 16
+    // costs one round trip *and* (typically) one fsync.
+    let variants: [(&str, Option<Duration>, usize, usize); 3] = [
+        ("fsync_per_commit", None, 1, 1),
+        ("group_commit", Some(Duration::from_micros(500)), 1, 1),
+        (
+            "group_commit_batched",
+            Some(Duration::from_micros(500)),
+            16,
+            16,
+        ),
+    ];
+    let mut group = c.benchmark_group("server_journalled_commit");
+    group.sample_size(10);
+    let mut throughputs = Vec::new();
+    for (tag, window, pipeline, batch) in variants {
+        let (marketplace, root) = journalled_marketplace(tag, window);
+        let server = NimbusServer::start(
+            marketplace,
+            "bench-0",
+            "127.0.0.1:0",
+            ServerConfig {
+                shards: 2,
+                workers_per_shard: 4,
+                queue_capacity: 64,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("server starts");
+        let addr = server.local_addr();
+        let config = LoadConfig {
+            threads: 4,
+            requests_per_thread: 256,
+            mode: LoadMode::Buy,
+            client: ClientConfig::default(),
+            busy_retries: 4,
+            mix: Vec::new(),
+            pipeline_depth: pipeline,
+            batch_size: batch,
+            ..LoadConfig::default()
+        };
+        let warmup = run_load(addr, &config);
+        assert_eq!(warmup.errors, 0, "journalled commits must not error");
+        assert_eq!(warmup.ok, warmup.attempted, "journalled commits all land");
+        summarize(&format!("server_journalled_commit/{tag}"), &warmup);
+        record(&format!("journal/{tag}"), 1, 4, &warmup);
+        throughputs.push((tag, warmup.throughput()));
+        group.bench_with_input(BenchmarkId::new("buy", tag), &config, |b, config| {
+            b.iter(|| {
+                let report = run_load(addr, config);
+                assert_eq!(report.errors, 0);
+                report.ok
+            })
+        });
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    group.finish();
+    if let (Some((_, base)), Some((_, best))) = (throughputs.first(), throughputs.last()) {
+        println!(
+            "server_journalled_commit: group commit + BATCH_COMMIT is {:.1}x \
+             fsync-per-commit at equal durability",
+            best / base
+        );
+    }
+}
+
+fn bench_idle_connection_herd(c: &mut Criterion) {
+    // The event loop parks idle sockets for free: quote latency with a
+    // herd of idle connections must stay close to the small-fleet number.
+    // The default herd is 512 so the regime always runs; NIMBUS_BENCH_10K=1
+    // scales it to ten thousand (raising RLIMIT_NOFILE first).
+    // Every loopback connection costs *two* fds in this process (client
+    // end + accepted server end), so size the herd from the fd budget we
+    // actually obtained, with headroom for journals, pollers and load
+    // connections.
+    let herd = if std::env::var("NIMBUS_BENCH_10K").is_ok_and(|v| v == "1") {
+        let limit = nimbus_server::sys::raise_nofile_limit(24_576).expect("raise nofile limit");
+        (limit.saturating_sub(1_024) as usize / 2).min(10_000)
+    } else {
+        nimbus_server::sys::raise_nofile_limit(4_096).expect("raise nofile limit");
+        512
+    };
+    let server = NimbusServer::start(
+        make_marketplace(1),
+        "bench-0",
+        "127.0.0.1:0",
+        ServerConfig {
+            shards: 2,
+            workers_per_shard: 4,
+            queue_capacity: 64,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    let mut group = c.benchmark_group("server_idle_herd");
+    group.sample_size(10);
+    let mut p99s = Vec::new();
+    for (tag, idle) in [("64_conns", 60usize), ("herd", herd)] {
+        let label = if tag == "herd" {
+            format!("{}_conns", herd + 4)
+        } else {
+            tag.to_string()
+        };
+        let config = LoadConfig {
+            threads: 4,
+            requests_per_thread: 256,
+            mode: LoadMode::Quote,
+            client: ClientConfig::default(),
+            busy_retries: 0,
+            mix: Vec::new(),
+            pipeline_depth: 8,
+            idle_connections: idle,
+            ..LoadConfig::default()
+        };
+        let warmup = run_load(addr, &config);
+        assert_eq!(
+            warmup.ok, warmup.attempted,
+            "idle herd must not shed quotes"
+        );
+        assert_eq!(warmup.open_connections, (4 + idle) as u64);
+        summarize(&format!("server_idle_herd/{label}"), &warmup);
+        println!(
+            "server_idle_herd/{label}: p50 {} us, p99 {} us",
+            warmup.p50_micros, warmup.p99_micros
+        );
+        record(&format!("idle/{label}"), 1, 4, &warmup);
+        p99s.push(warmup.p99_micros);
+        // Criterion-iterate only the small fleet: re-opening the full herd
+        // ten times races fd reclamation of the previous herd's sockets.
+        if tag != "herd" {
+            group.bench_with_input(BenchmarkId::new("quote", &label), &config, |b, config| {
+                b.iter(|| {
+                    let report = run_load(addr, config);
+                    assert_eq!(report.errors, 0);
+                    report.ok
+                })
+            });
+        }
+    }
+    group.finish();
+    server.shutdown();
+    if let [base, herd_p99] = p99s[..] {
+        println!(
+            "server_idle_herd: p99 with {herd} idle conns is {:.2}x the 64-conn p99",
+            herd_p99 as f64 / base.max(1) as f64
+        );
+    }
+}
+
 fn bench_flood_shedding(c: &mut Criterion) {
     // One slow worker and a queue of one: a 16-thread flood must shed.
     let server = NimbusServer::start(
@@ -239,6 +434,7 @@ fn bench_flood_shedding(c: &mut Criterion) {
         client: ClientConfig::default(),
         busy_retries: 0,
         mix: Vec::new(),
+        ..LoadConfig::default()
     };
     let warmup = run_load(addr, &config);
     assert!(warmup.busy > 0, "flood must shed");
@@ -265,6 +461,8 @@ criterion_group!(
     benches,
     bench_within_capacity,
     bench_multi_listing_routing,
+    bench_journalled_commits,
+    bench_idle_connection_herd,
     bench_flood_shedding
 );
 criterion_main!(benches);

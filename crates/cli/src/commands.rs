@@ -783,6 +783,8 @@ fn client(addr: &str, action: ClientAction) -> Result<String, String> {
             buy,
             retries,
             mix,
+            pipeline,
+            batch,
         } => {
             let resolved: std::net::SocketAddr = {
                 use std::net::ToSocketAddrs;
@@ -798,6 +800,9 @@ fn client(addr: &str, action: ClientAction) -> Result<String, String> {
                 client: config,
                 busy_retries: retries,
                 mix,
+                pipeline_depth: pipeline,
+                batch_size: batch,
+                ..LoadConfig::default()
             };
             let report = run_load(resolved, &load);
             let _ = writeln!(
@@ -811,6 +816,17 @@ fn client(addr: &str, action: ClientAction) -> Result<String, String> {
                 report.ok, report.busy, report.errors
             );
             let _ = writeln!(out, "  retried sheds      : {}", report.busy_retried);
+            let _ = writeln!(
+                out,
+                "  ok rate            : {:.1}%",
+                100.0 * report.ok_rate()
+            );
+            let _ = writeln!(out, "  open connections   : {}", report.open_connections);
+            let _ = writeln!(
+                out,
+                "  latency p50 / p99  : {} us / {} us",
+                report.p50_micros, report.p99_micros
+            );
             let _ = writeln!(out, "  elapsed            : {:?}", report.elapsed);
             let _ = writeln!(
                 out,

@@ -149,6 +149,12 @@ pub enum ClientAction {
         /// Weighted per-listing traffic mix (`name=weight` pairs);
         /// empty = all traffic on the default listing.
         mix: Vec<(String, u32)>,
+        /// Correlated requests kept in flight per thread (wire v4
+        /// pipelining); 0/1 = classic blocking requests.
+        pipeline: usize,
+        /// Commits grouped into one `BATCH_COMMIT` frame per window
+        /// (pipelined `--buy` only); 0/1 = one `COMMIT` per request.
+        batch: usize,
     },
 }
 
@@ -234,7 +240,7 @@ pub fn usage() -> String {
      [--addr HOST:PORT]\n  \
      nimbus client publish|retire --listing NAME [--addr HOST:PORT]\n  \
      nimbus client load [--threads N] [--requests M] [--buy] [--busy-retries R] \
-     [--mix NAME=W,NAME=W] [--addr HOST:PORT]\n  \
+     [--mix NAME=W,NAME=W] [--pipeline D] [--batch B] [--addr HOST:PORT]\n  \
      nimbus help"
         .to_string()
 }
@@ -538,6 +544,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                     let mut buy = false;
                     let mut retries = 0u32;
                     let mut mix: Vec<(String, u32)> = Vec::new();
+                    let mut pipeline = 1usize;
+                    let mut batch = 1usize;
                     while let Some(flag) = iter.next() {
                         match flag.as_str() {
                             "--addr" => addr = take_value(&mut iter, "--addr")?,
@@ -546,6 +554,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                             "--buy" => buy = true,
                             "--busy-retries" => retries = parse_num(&mut iter, "--busy-retries")?,
                             "--mix" => mix = parse_mix(&take_value(&mut iter, "--mix")?)?,
+                            "--pipeline" => pipeline = parse_num(&mut iter, "--pipeline")?,
+                            "--batch" => batch = parse_num(&mut iter, "--batch")?,
                             other => return Err(ParseError::UnknownFlag(other.to_string())),
                         }
                     }
@@ -557,6 +567,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                             buy,
                             retries,
                             mix,
+                            pipeline,
+                            batch,
                         },
                     })
                 }
@@ -805,7 +817,9 @@ mod tests {
                     requests: 10,
                     buy: true,
                     retries: 0,
-                    mix: vec![]
+                    mix: vec![],
+                    pipeline: 1,
+                    batch: 1
                 }
             }
         );
@@ -887,7 +901,9 @@ mod tests {
                     requests: 64,
                     buy: false,
                     retries: 0,
-                    mix: vec![("a".into(), 3), ("b".into(), 1), ("c".into(), 1)]
+                    mix: vec![("a".into(), 3), ("b".into(), 1), ("c".into(), 1)],
+                    pipeline: 1,
+                    batch: 1
                 }
             }
         );
@@ -946,7 +962,9 @@ mod tests {
                     requests: 64,
                     buy: false,
                     retries: 5,
-                    mix: vec![]
+                    mix: vec![],
+                    pipeline: 1,
+                    batch: 1
                 }
             }
         );

@@ -58,7 +58,7 @@
 //!   `(seed, point index)`, so the parallel estimator is bitwise-identical
 //!   to a sequential one and the broker holds no RNG state at all.
 
-use crate::journal::{FaultPlan, Journal, Recovery, SaleRecord};
+use crate::journal::{FaultPlan, GroupCommit, Journal, Recovery, SaleRecord};
 use crate::ledger::{Ledger, LedgerShard, Transaction};
 use crate::parallel::parallel_map;
 use crate::seller::Seller;
@@ -71,10 +71,11 @@ use nimbus_ml::{ErrorMetric, LinearModel, LinearRegressionTrainer, Trainer};
 use nimbus_optim::{solve_revenue_dp, RevenueProblem};
 use nimbus_randkit::{seeded_rng, split_stream};
 use parking_lot::{Mutex, RwLock};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Number of stripes in the sharded ledger.
 const LEDGER_SHARDS: usize = 16;
@@ -135,6 +136,29 @@ pub struct Quote {
     pub metric: &'static str,
     /// Epoch of the snapshot this quote was priced against.
     pub snapshot_epoch: u64,
+}
+
+/// One item of a batched commit ([`Broker::commit_batch_at`]): the same
+/// `(x, epoch, payment, nonce)` identity a single remote commit carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchCommitItem {
+    /// The quoted inverse NCP.
+    pub x: f64,
+    /// Epoch of the snapshot the quote was priced against.
+    pub snapshot_epoch: u64,
+    /// Payment offered.
+    pub payment: f64,
+    /// Optional idempotency nonce (dedup key is `(snapshot_epoch, nonce)`).
+    pub nonce: Option<u64>,
+}
+
+/// A commit that has passed validation and perturbation but has not yet
+/// crossed the durability barrier: everything needed to journal it and,
+/// once durable, record it on a ledger stripe.
+struct PreparedSale {
+    record: SaleRecord,
+    model: LinearModel,
+    metric: &'static str,
 }
 
 /// A completed sale.
@@ -350,6 +374,7 @@ pub struct BrokerBuilder {
     journal_path: Option<PathBuf>,
     journal_checkpoint_every: u64,
     journal_faults: FaultPlan,
+    journal_group_commit_window: Duration,
 }
 
 impl BrokerBuilder {
@@ -367,6 +392,7 @@ impl BrokerBuilder {
             journal_path: None,
             journal_checkpoint_every: 256,
             journal_faults: FaultPlan::new(),
+            journal_group_commit_window: Duration::ZERO,
         }
     }
 
@@ -392,6 +418,16 @@ impl BrokerBuilder {
     /// the hook behind the crash/recovery tests.
     pub fn journal_faults(mut self, plan: FaultPlan) -> Self {
         self.journal_faults = plan;
+        self
+    }
+
+    /// Group-commit gathering window: a flush leader waits up to this long
+    /// for concurrent commits to join its batch before the shared fsync
+    /// (clamped to [`crate::journal::MAX_GROUP_COMMIT_WINDOW`], 500µs).
+    /// `Duration::ZERO` (the default) disables gathering; commits still
+    /// coalesce behind an in-flight fsync, which adds no latency at all.
+    pub fn journal_group_commit_window(mut self, window: Duration) -> Self {
+        self.journal_group_commit_window = window;
         self
     }
 
@@ -518,7 +554,7 @@ impl BrokerBuilder {
             }
             next_tx = rec.next_tx_id;
             epoch_base = rec.max_epoch;
-            journal = Some(Mutex::new(j));
+            journal = Some(GroupCommit::new(j, self.journal_group_commit_window));
             recovery = Some(rec);
         }
         Ok(Broker {
@@ -534,10 +570,85 @@ impl BrokerBuilder {
             shards,
             tx_counter: AtomicU64::new(next_tx),
             journal,
-            dedup: Mutex::new(dedup),
+            dedup: DedupTable::with(dedup),
             epoch_base,
             recovery,
         })
+    }
+}
+
+/// What [`DedupTable::claim`] found for an idempotency key.
+#[derive(Clone, Copy, Debug)]
+enum DedupClaim {
+    /// The key already committed: replay this transaction.
+    Replay(u64),
+    /// The caller owns the key and must [`DedupTable::resolve`] it.
+    Claimed,
+}
+
+/// Idempotency table `(quote epoch, client nonce) → transaction id`.
+///
+/// A keyed commit *claims* its key before the durability barrier and
+/// *resolves* it afterwards, so the table is never locked across a journal
+/// fsync: concurrent keyed commits coalesce inside the group-commit
+/// batcher instead of serializing behind one another's fsyncs. A retry of
+/// a key that is still in flight parks on the condvar until the first
+/// attempt resolves, then replays its sale (or, if the first attempt
+/// failed, claims the key itself).
+#[derive(Debug, Default)]
+struct DedupTable {
+    state: std::sync::Mutex<DedupState>,
+    resolved: std::sync::Condvar,
+}
+
+#[derive(Debug, Default)]
+struct DedupState {
+    committed: BTreeMap<(u64, u64), u64>,
+    in_flight: BTreeSet<(u64, u64)>,
+}
+
+impl DedupTable {
+    fn with(committed: BTreeMap<(u64, u64), u64>) -> Self {
+        DedupTable {
+            state: std::sync::Mutex::new(DedupState {
+                committed,
+                in_flight: BTreeSet::new(),
+            }),
+            resolved: std::sync::Condvar::new(),
+        }
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, DedupState> {
+        // A poisoning panic can only come from a peer committer; both maps
+        // are plain value stores and stay coherent, so recover the guard.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Waits out any in-flight commit of `key`, then either reports the
+    /// committed transaction or hands the key to the caller.
+    fn claim(&self, key: (u64, u64)) -> DedupClaim {
+        let mut state = self.lock_state();
+        loop {
+            if let Some(&tx_id) = state.committed.get(&key) {
+                return DedupClaim::Replay(tx_id);
+            }
+            if state.in_flight.insert(key) {
+                return DedupClaim::Claimed;
+            }
+            state = self.resolved.wait(state).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Releases a claimed key, recording its transaction on success and
+    /// waking every retry parked on it.
+    fn resolve(&self, key: (u64, u64), tx_id: Option<u64>) {
+        let mut state = self.lock_state();
+        state.in_flight.remove(&key);
+        if let Some(tx_id) = tx_id {
+            state.committed.insert(key, tx_id);
+        }
+        drop(state);
+        self.resolved.notify_all();
     }
 }
 
@@ -565,12 +676,14 @@ pub struct Broker {
     /// Globally unique transaction ids, also the label of each sale's
     /// private RNG stream.
     tx_counter: AtomicU64,
-    /// Optional write-ahead journal; when present, every sale is appended
-    /// and fsynced *before* the commit returns (the ACK barrier).
-    journal: Option<Mutex<Journal>>,
-    /// Idempotency table `(quote epoch, client nonce) → transaction id`.
-    /// Keyed commits serialize on this lock; plain commits never touch it.
-    dedup: Mutex<BTreeMap<(u64, u64), u64>>,
+    /// Optional write-ahead journal behind the group-commit batcher; when
+    /// present, every sale is appended and fsynced *before* the commit
+    /// returns (the ACK barrier). Concurrent commits share one fsync.
+    journal: Option<GroupCommit>,
+    /// Idempotency claims and commitments (see [`DedupTable`]). Keyed
+    /// commits claim before and resolve after the durability barrier, so
+    /// they share group-commit fsyncs; plain commits never touch it.
+    dedup: DedupTable,
     /// Highest snapshot epoch replayed from the journal: newly published
     /// snapshots continue above it, so epochs are monotone across restarts
     /// and every pre-crash quote fails with `QuoteExpired` rather than
@@ -848,56 +961,189 @@ impl Broker {
     /// The single commit path: validates, perturbs, journals (when a
     /// journal is configured — the append is fsynced before the sale is
     /// acknowledged, so a journal failure fails the commit and nothing is
-    /// recorded), then records the sale on a ledger stripe.
+    /// recorded), then records the sale on a ledger stripe. With a journal
+    /// present, concurrent commits coalesce their appends into shared
+    /// fsyncs through the [`GroupCommit`] batcher.
     fn commit_with_nonce(&self, quote: Quote, payment: f64, nonce: Option<u64>) -> Result<Sale> {
+        let prepared = self.prepare_commit(quote.x, quote.snapshot_epoch, payment, nonce)?;
+        if let Some(journal) = &self.journal {
+            journal.append_sale(prepared.record)?;
+        }
+        Ok(self.record_prepared(prepared))
+    }
+
+    /// Everything a commit does *before* the durability barrier: payment
+    /// validation, epoch check, price re-derivation from the snapshot,
+    /// transaction-id allocation and the deterministic model perturbation.
+    /// No side effects beyond burning a transaction id — nothing is
+    /// recorded until [`Broker::record_prepared`] runs after the journal
+    /// append (if any) succeeded.
+    fn prepare_commit(
+        &self,
+        x: f64,
+        snapshot_epoch: u64,
+        payment: f64,
+        nonce: Option<u64>,
+    ) -> Result<PreparedSale> {
         if !(payment.is_finite() && payment >= 0.0) {
             return Err(MarketError::InvalidPayment { offered: payment });
         }
         let snapshot = self.published()?;
-        if quote.snapshot_epoch != snapshot.epoch() {
+        if snapshot_epoch != snapshot.epoch() {
             return Err(MarketError::QuoteExpired {
-                quoted: quote.snapshot_epoch,
+                quoted: snapshot_epoch,
                 current: snapshot.epoch(),
             });
         }
-        let price = snapshot.price_at(quote.x)?;
+        let price = snapshot.price_at(x)?;
         if payment + 1e-12 < price {
             return Err(MarketError::InsufficientPayment {
                 price,
                 offered: payment,
             });
         }
-        let ncp = InverseNcp::new(quote.x)?.ncp();
+        let ncp = InverseNcp::new(x)?.ncp();
         let tx_id = self.tx_counter.fetch_add(1, Ordering::Relaxed);
         // The sale's noise depends only on (seed, tx id, x): reproducible
         // under any thread interleaving, contention-free across threads.
         let mut rng = seeded_rng(split_stream(self.config.seed, tx_id));
         let model = self.mechanism.perturb(snapshot.optimal(), ncp, &mut rng)?;
         let expected_error = snapshot.error_curve().expected_error_at(ncp);
-        if let Some(journal) = &self.journal {
-            journal.lock().append_sale(&SaleRecord {
+        Ok(PreparedSale {
+            record: SaleRecord {
                 transaction: Transaction {
                     sequence: tx_id,
-                    inverse_ncp: quote.x,
+                    inverse_ncp: x,
                     price,
                     expected_error,
                 },
                 snapshot_epoch: snapshot.epoch(),
                 nonce,
-            })?;
-        }
-        // nimbus-audit: allow(no-panic) — index is tx_id % LEDGER_SHARDS
-        let transaction = self.shards[tx_id as usize % LEDGER_SHARDS]
-            .lock()
-            .record_assigned(tx_id, quote.x, price, expected_error);
-        Ok(Sale {
+            },
             model,
-            inverse_ncp: quote.x,
-            price,
-            expected_error,
             metric: snapshot.metric_name(),
-            transaction,
         })
+    }
+
+    /// The post-durability half of a commit: records the sale on its
+    /// ledger stripe and assembles the buyer-facing [`Sale`].
+    fn record_prepared(&self, prepared: PreparedSale) -> Sale {
+        let t = prepared.record.transaction;
+        // nimbus-audit: allow(no-panic) — index is tx_id % LEDGER_SHARDS
+        let transaction = self.shards[t.sequence as usize % LEDGER_SHARDS]
+            .lock()
+            .record_assigned(t.sequence, t.inverse_ncp, t.price, t.expected_error);
+        Sale {
+            model: prepared.model,
+            inverse_ncp: t.inverse_ncp,
+            price: t.price,
+            expected_error: t.expected_error,
+            metric: prepared.metric,
+            transaction,
+        }
+    }
+
+    /// Commits many `(x, epoch, payment, nonce)` items in one call — the
+    /// hook behind the wire's `BATCH_COMMIT`. Returns one result per item,
+    /// in order.
+    ///
+    /// Every item is validated and prepared independently (stale epochs,
+    /// bad payments and unknown prices fail just their own slot), then all
+    /// admitted records are journaled through the group-commit batcher as
+    /// **one** enqueue — one fsync covers the whole batch (shared with any
+    /// concurrent committers), preserving fsync-before-ACK for every item.
+    /// Items carrying an idempotency nonce dedup exactly like
+    /// [`Broker::commit_at_idempotent`]: a repeated `(epoch, nonce)` key
+    /// replays the original sale instead of selling twice. Keys are
+    /// claimed up front (in key order, so overlapping batches never
+    /// deadlock) and resolved after the flush — the dedup table is never
+    /// held across the fsync, so keyed batches coalesce with concurrent
+    /// commits instead of serializing. A key repeated *within* one batch
+    /// fails its later slots: the same nonce twice in one frame is a
+    /// malformed request, not a retry.
+    pub fn commit_batch_at(&self, items: &[BatchCommitItem]) -> Vec<Result<Sale>> {
+        // Claim every distinct idempotency key in sorted order: two
+        // overlapping keyed batches then always park on each other in the
+        // same global order, so neither can hold a key the other claimed
+        // first while waiting on one it claimed later.
+        let mut keys: Vec<(u64, u64)> = items
+            .iter()
+            .filter_map(|i| i.nonce.map(|n| (i.snapshot_epoch, n)))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let claims: BTreeMap<(u64, u64), DedupClaim> = keys
+            .into_iter()
+            .map(|key| (key, self.dedup.claim(key)))
+            .collect();
+        let mut seen: BTreeSet<(u64, u64)> = BTreeSet::new();
+        let mut results: Vec<Option<Result<Sale>>> = Vec::with_capacity(items.len());
+        let mut prepared: Vec<(usize, PreparedSale)> = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let key = item.nonce.map(|n| (item.snapshot_epoch, n));
+            if let Some(key) = key {
+                if !seen.insert(key) {
+                    results.push(Some(Err(MarketError::InvalidConfig {
+                        reason: "duplicate idempotency nonce within one batch".to_string(),
+                    })));
+                    continue;
+                }
+                if let Some(&DedupClaim::Replay(tx_id)) = claims.get(&key) {
+                    results.push(Some(self.replay_sale(tx_id)));
+                    continue;
+                }
+            }
+            match self.prepare_commit(item.x, item.snapshot_epoch, item.payment, item.nonce) {
+                Ok(p) => {
+                    prepared.push((i, p));
+                    results.push(None);
+                }
+                Err(e) => {
+                    // This slot owned its claim; release it unfulfilled.
+                    if let Some(key) = key {
+                        self.dedup.resolve(key, None);
+                    }
+                    results.push(Some(Err(e)));
+                }
+            }
+        }
+        let journaled: Vec<std::result::Result<(), crate::journal::JournalError>> = match &self
+            .journal
+        {
+            Some(journal) => journal.append_sales(prepared.iter().map(|(_, p)| p.record).collect()),
+            None => prepared.iter().map(|_| Ok(())).collect(),
+        };
+        for ((slot, p), journal_result) in prepared.into_iter().zip(journaled) {
+            let key = p.record.nonce.map(|n| (p.record.snapshot_epoch, n));
+            let outcome = match journal_result {
+                Ok(()) => {
+                    // Record before resolving so a parked retry that wakes
+                    // on this key finds the sale already on its stripe.
+                    let sale = self.record_prepared(p);
+                    if let Some(key) = key {
+                        self.dedup.resolve(key, Some(sale.transaction.sequence));
+                    }
+                    Ok(sale)
+                }
+                Err(e) => {
+                    if let Some(key) = key {
+                        self.dedup.resolve(key, None);
+                    }
+                    Err(e.into())
+                }
+            };
+            if let Some(entry) = results.get_mut(slot) {
+                *entry = Some(outcome);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| {
+                r.unwrap_or(Err(MarketError::InvalidConfig {
+                    reason: "batch commit slot left unresolved".to_string(),
+                }))
+            })
+            .collect()
     }
 
     /// Redeems a quote transported out-of-process by its `(x, epoch)`
@@ -938,8 +1184,10 @@ impl Broker {
     /// lands on a recovered broker still dedups. The key lookup runs
     /// *before* the epoch check: a retry of a sale that committed just
     /// before a re-`open_market()` (or a crash) replays rather than
-    /// failing `QuoteExpired`. Keyed commits serialize on the dedup lock;
-    /// plain commits are unaffected.
+    /// failing `QuoteExpired`. A keyed commit claims its key before the
+    /// journal append and resolves it after, so concurrent keyed commits
+    /// share group-commit fsyncs; only a *retry of the same key* parks
+    /// until the first attempt resolves. Plain commits are unaffected.
     pub fn commit_at_idempotent(
         &self,
         x: f64,
@@ -948,24 +1196,27 @@ impl Broker {
         nonce: u64,
     ) -> Result<Sale> {
         let metric = self.published()?.metric_name();
-        let mut dedup = self.dedup.lock();
-        if let Some(&tx_id) = dedup.get(&(snapshot_epoch, nonce)) {
-            return self.replay_sale(tx_id);
+        let key = (snapshot_epoch, nonce);
+        match self.dedup.claim(key) {
+            DedupClaim::Replay(tx_id) => self.replay_sale(tx_id),
+            DedupClaim::Claimed => {
+                let outcome = self.commit_with_nonce(
+                    Quote {
+                        x,
+                        delta: if x > 0.0 { 1.0 / x } else { f64::NAN },
+                        price: f64::NAN,
+                        expected_error: f64::NAN,
+                        metric,
+                        snapshot_epoch,
+                    },
+                    payment,
+                    Some(nonce),
+                );
+                let tx_id = outcome.as_ref().ok().map(|s| s.transaction.sequence);
+                self.dedup.resolve(key, tx_id);
+                outcome
+            }
         }
-        let sale = self.commit_with_nonce(
-            Quote {
-                x,
-                delta: if x > 0.0 { 1.0 / x } else { f64::NAN },
-                price: f64::NAN,
-                expected_error: f64::NAN,
-                metric,
-                snapshot_epoch,
-            },
-            payment,
-            Some(nonce),
-        )?;
-        dedup.insert((snapshot_epoch, nonce), sale.transaction.sequence);
-        Ok(sale)
     }
 
     /// Reconstructs the exact [`Sale`] of an already-recorded transaction:
@@ -1014,7 +1265,7 @@ impl Broker {
     /// shutdown; a no-op without a journal.
     pub fn checkpoint_journal(&self) -> Result<()> {
         match &self.journal {
-            Some(journal) => journal.lock().checkpoint().map_err(Into::into),
+            Some(journal) => journal.checkpoint().map_err(Into::into),
             None => Ok(()),
         }
     }
@@ -1201,6 +1452,91 @@ mod tests {
                 seed: 1,
             },
         );
+    }
+
+    #[test]
+    fn concurrent_same_key_retries_charge_once() {
+        // The dedup table no longer serializes keyed commits behind one
+        // lock across the durability barrier: racing retries of one key
+        // must still produce exactly one sale, and every racer must see
+        // the same transaction.
+        let broker = Arc::new(test_broker());
+        broker.open_market().unwrap();
+        let quote = broker
+            .quote_request(PurchaseRequest::AtInverseNcp(25.0))
+            .unwrap();
+        let sales: Vec<Sale> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let broker = Arc::clone(&broker);
+                    let q = quote;
+                    s.spawn(move || {
+                        broker
+                            .commit_at_idempotent(q.x, q.snapshot_epoch, q.price, 0xFEED)
+                            .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let first = &sales[0];
+        for sale in &sales {
+            assert_eq!(sale.transaction.sequence, first.transaction.sequence);
+            assert_eq!(sale.price, first.price);
+            assert_eq!(
+                sale.model.weights().as_slice(),
+                first.model.weights().as_slice()
+            );
+        }
+        let ledger = broker.ledger();
+        assert_eq!(ledger.count(), 1, "one key, one sale");
+        // Distinct keys racing concurrently all land individually.
+        let q2 = broker
+            .quote_request(PurchaseRequest::AtInverseNcp(30.0))
+            .unwrap();
+        std::thread::scope(|s| {
+            for nonce in 0..8u64 {
+                let broker = Arc::clone(&broker);
+                let q = q2;
+                s.spawn(move || {
+                    broker
+                        .commit_at_idempotent(q.x, q.snapshot_epoch, q.price, nonce)
+                        .unwrap()
+                });
+            }
+        });
+        assert_eq!(broker.ledger().count(), 9);
+    }
+
+    #[test]
+    fn batch_commit_rejects_in_batch_duplicate_nonce() {
+        let broker = test_broker();
+        broker.open_market().unwrap();
+        let quote = broker
+            .quote_request(PurchaseRequest::AtInverseNcp(25.0))
+            .unwrap();
+        let item = |nonce| BatchCommitItem {
+            x: quote.x,
+            snapshot_epoch: quote.snapshot_epoch,
+            payment: quote.price,
+            nonce: Some(nonce),
+        };
+        let results = broker.commit_batch_at(&[item(7), item(7), item(8)]);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(MarketError::InvalidConfig { .. })));
+        assert!(results[2].is_ok());
+        assert_eq!(
+            broker.ledger().count(),
+            2,
+            "the duplicate slot sells nothing"
+        );
+        // A *retry* of the same key in a later batch replays, not re-sells.
+        let retry = broker.commit_batch_at(&[item(7)]);
+        assert_eq!(
+            retry[0].as_ref().unwrap().transaction.sequence,
+            results[0].as_ref().unwrap().transaction.sequence
+        );
+        assert_eq!(broker.ledger().count(), 2);
     }
 
     #[test]
@@ -1665,5 +2001,74 @@ mod tests {
             seqs,
             (0..(threads * per_thread) as u64).collect::<Vec<u64>>()
         );
+    }
+
+    #[test]
+    fn batch_commit_resolves_each_item_independently() {
+        let broker = test_broker();
+        broker.open_market().unwrap();
+        let epoch = broker.published().unwrap().epoch();
+        let q = broker
+            .quote_request(PurchaseRequest::AtInverseNcp(10.0))
+            .unwrap();
+        let items = [
+            BatchCommitItem {
+                x: 10.0,
+                snapshot_epoch: epoch,
+                payment: q.price,
+                nonce: None,
+            },
+            BatchCommitItem {
+                x: 10.0,
+                snapshot_epoch: epoch + 7,
+                payment: q.price,
+                nonce: None,
+            },
+            BatchCommitItem {
+                x: 10.0,
+                snapshot_epoch: epoch,
+                payment: q.price * 0.5,
+                nonce: None,
+            },
+            BatchCommitItem {
+                x: 10.0,
+                snapshot_epoch: epoch,
+                payment: f64::NAN,
+                nonce: None,
+            },
+            BatchCommitItem {
+                x: 17.0,
+                snapshot_epoch: epoch,
+                payment: f64::INFINITY.min(1e12),
+                nonce: Some(99),
+            },
+        ];
+        let results = broker.commit_batch_at(&items);
+        assert_eq!(results.len(), 5);
+        let first = results[0].as_ref().expect("well-formed item commits");
+        assert!((first.inverse_ncp - 10.0).abs() < 1e-12);
+        assert!(matches!(results[1], Err(MarketError::QuoteExpired { .. })));
+        assert!(matches!(
+            results[2],
+            Err(MarketError::InsufficientPayment { .. })
+        ));
+        assert!(matches!(
+            results[3],
+            Err(MarketError::InvalidPayment { .. })
+        ));
+        let keyed = results[4].as_ref().expect("keyed item commits");
+        // Exactly the two admitted sales landed; failures left no trace.
+        assert_eq!(broker.sales_count(), 2);
+
+        // Replaying the keyed item inside a fresh batch dedups to the
+        // original sale instead of selling twice.
+        let replay = broker.commit_batch_at(&[items[4]]);
+        let replayed = replay[0].as_ref().expect("nonce replay succeeds");
+        assert_eq!(replayed.transaction.sequence, keyed.transaction.sequence);
+        assert_eq!(
+            replayed.model.weights().as_slice(),
+            keyed.model.weights().as_slice()
+        );
+        assert_eq!(broker.sales_count(), 2);
     }
 }

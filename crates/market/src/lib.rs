@@ -79,12 +79,16 @@ pub mod simulation;
 pub mod transform;
 
 pub use broker::{
-    Broker, BrokerBuilder, BrokerConfig, MarketSnapshot, MarketStats, PurchaseRequest, Quote, Sale,
+    BatchCommitItem, Broker, BrokerBuilder, BrokerConfig, MarketSnapshot, MarketStats,
+    PurchaseRequest, Quote, Sale,
 };
 pub use buyer::{Buyer, BuyerPopulation};
 pub use curves::{DemandCurve, MarketCurves, ValueCurve};
 pub use error::MarketError;
-pub use journal::{FaultPlan, FaultyFile, Journal, JournalError, Recovery, SaleRecord};
+pub use journal::{
+    FaultPlan, FaultyFile, GroupCommit, Journal, JournalError, Recovery, SaleRecord,
+    MAX_GROUP_COMMIT_WINDOW,
+};
 pub use ledger::{Ledger, LedgerShard, Transaction};
 pub use marketplace::{
     ListingBuilder, ListingMeta, ListingState, ListingStats, Marketplace, MarketplaceStats,

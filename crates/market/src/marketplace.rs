@@ -334,6 +334,13 @@ impl ListingBuilder {
         self.map_builder(|b| b.journal_checkpoint_every(every))
     }
 
+    /// Coalesces concurrent journal appends into one write + fsync per
+    /// `window` (clamped to [`crate::journal::MAX_GROUP_COMMIT_WINDOW`]).
+    /// Zero (the default) fsyncs every sale individually.
+    pub fn journal_group_commit_window(self, window: std::time::Duration) -> Self {
+        self.map_builder(|b| b.journal_group_commit_window(window))
+    }
+
     /// Routes journal writes through an injected [`FaultPlan`].
     pub fn journal_faults(self, plan: FaultPlan) -> Self {
         self.map_builder(|b| b.journal_faults(plan))

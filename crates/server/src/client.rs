@@ -23,9 +23,21 @@
 //! a lost ACK replays the recorded [`SaleMsg`] instead of charging twice.
 //! [`NimbusClient::buy`] uses the idempotent path.
 
+//!
+//! # Pipelining (wire v4)
+//!
+//! [`PipelinedClient`] keeps many requests in flight on one connection:
+//! [`PipelinedClient::send`] stamps each frame with a fresh correlation
+//! id and returns immediately, [`PipelinedClient::recv`] returns the next
+//! response *with its id* — responses may arrive out of request order.
+//! [`NimbusClient::buy_batch`] amortizes whole purchase sessions: quotes
+//! pipeline, then a single `BATCH_COMMIT` frame redeems all of them with
+//! per-item status (one fsync per batch server-side).
+
 use crate::error::ServerError;
 use crate::wire::{
-    self, InfoMsg, ListingsMsg, MenuMsg, QuoteMsg, Request, Response, SaleMsg, StatsMsg,
+    self, BatchItemMsg, BatchOutcomeMsg, InfoMsg, ListingsMsg, MenuMsg, QuoteMsg, Request,
+    Response, SaleMsg, StatsMsg,
 };
 use crate::Result;
 use nimbus_market::PurchaseRequest;
@@ -298,6 +310,82 @@ impl NimbusClient {
         }
     }
 
+    /// Redeems many quotes in one `BATCH_COMMIT` frame (v4), returning
+    /// per-item outcomes in request order. One stale epoch or short
+    /// payment fails only its own item.
+    ///
+    /// The call is retried after a lost ACK only when *every* item
+    /// carries an idempotency nonce — the journal then dedups replayed
+    /// items exactly like [`NimbusClient::commit_idempotent`].
+    pub fn commit_batch(
+        &mut self,
+        listing: Option<&str>,
+        items: Vec<BatchItemMsg>,
+    ) -> Result<Vec<BatchOutcomeMsg>> {
+        let idempotent = !items.is_empty() && items.iter().all(|i| i.nonce.is_some());
+        let request = Request::BatchCommit {
+            listing: listing.map(str::to_string),
+            items,
+        };
+        match self.call(&request, idempotent)? {
+            Response::BatchCommit(batch) => Ok(batch.items),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Quotes every request, then redeems all of them in one idempotent
+    /// `BATCH_COMMIT` at exactly the quoted prices, against the server's
+    /// default listing. Returns per-item outcomes in request order.
+    ///
+    /// Compared with [`NimbusClient::buy`] in a loop this pays one
+    /// commit round trip — and one journal fsync server-side — for the
+    /// whole batch.
+    pub fn buy_batch(&mut self, requests: &[PurchaseRequest]) -> Result<Vec<BatchOutcomeMsg>> {
+        let mut items = Vec::with_capacity(requests.len());
+        for request in requests {
+            let quote = self.quote(*request)?;
+            items.push(BatchItemMsg {
+                x: quote.x,
+                snapshot_epoch: quote.snapshot_epoch,
+                payment: quote.price,
+                nonce: Some(self.next_nonce()),
+            });
+        }
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.commit_batch(None, items)
+    }
+
+    /// Fetches the default listing's menu as a `MENU_STREAM` chunk
+    /// sequence (v4) and reassembles it. Mid-stream failures are not
+    /// retried (the remainder of a half-read stream cannot be resumed);
+    /// callers can simply re-issue the call.
+    pub fn menu_stream(&mut self, chunk: u32) -> Result<MenuMsg> {
+        self.menu_stream_on_opt(None, chunk)
+    }
+
+    /// Fetches the named listing's menu as a chunk stream.
+    pub fn menu_stream_on(&mut self, listing: &str, chunk: u32) -> Result<MenuMsg> {
+        self.menu_stream_on_opt(Some(listing.to_string()), chunk)
+    }
+
+    fn menu_stream_on_opt(&mut self, listing: Option<String>, chunk: u32) -> Result<MenuMsg> {
+        self.ensure_connected().map_err(Failure::into_error)?;
+        let Some(mut stream) = self.stream.take() else {
+            return Err(ServerError::ConnectionClosed);
+        };
+        let request = Request::MenuStream { listing, chunk };
+        let result = menu_stream_io(&mut stream, &request);
+        // A typed server error is a single well-framed reply — the
+        // connection stays usable. Anything else may have died
+        // mid-stream, so the framing state is unknown: reconnect later.
+        if matches!(result, Ok(_) | Err(ServerError::Remote { .. })) {
+            self.stream = Some(stream);
+        }
+        result
+    }
+
     /// One request with bounded retries. `idempotent` gates whether
     /// attempts that may have reached the server can be retried.
     fn call(&mut self, request: &Request, idempotent: bool) -> Result<Response> {
@@ -407,6 +495,120 @@ impl NimbusClient {
     fn next_u64(&mut self) -> u64 {
         self.rng_state = self.rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         splitmix_finalize(self.rng_state)
+    }
+}
+
+/// Drives one `MENU_STREAM` exchange on a connected socket: write the
+/// request, reassemble chunk frames until `done`.
+fn menu_stream_io(stream: &mut TcpStream, request: &Request) -> Result<MenuMsg> {
+    wire::write_frame(stream, &request.encode())?;
+    let mut menu: Option<MenuMsg> = None;
+    loop {
+        let payload = wire::read_frame(stream)?;
+        let (_corr, response) = Response::decode_framed(&payload)?;
+        let part = match response {
+            Response::MenuChunk(part) => part,
+            Response::Error { code, message } => {
+                return Err(ServerError::Remote { code, message });
+            }
+            Response::Busy { retry_after_ms } => {
+                return Err(ServerError::Busy { retry_after_ms });
+            }
+            other => return Err(unexpected(&other)),
+        };
+        let done = part.done;
+        let assembled = menu.get_or_insert_with(|| MenuMsg {
+            epoch: part.epoch,
+            metric: part.metric.clone(),
+            points: Vec::new(),
+        });
+        assembled.points.extend_from_slice(&part.points);
+        if done {
+            return menu.ok_or(ServerError::Protocol {
+                reason: "menu stream ended with no chunks".to_string(),
+            });
+        }
+    }
+}
+
+/// A pipelined (wire v4) connection: many requests in flight at once,
+/// responses matched by correlation id rather than order.
+///
+/// [`PipelinedClient::send`] writes a frame stamped with a fresh id and
+/// returns without waiting; [`PipelinedClient::recv`] blocks for the
+/// *next* response on the socket, which may answer any outstanding id —
+/// the server executes v4 frames concurrently and answers as they
+/// complete. This is the transport under the load generator's pipelined
+/// mode; unlike [`NimbusClient`] it does no retrying or reconnecting of
+/// its own (in-flight requests cannot be transparently replayed), so a
+/// transport error poisons the connection and the caller starts a new
+/// one.
+///
+/// A `MENU_STREAM` request answers with *several* frames sharing one id
+/// (the last marked done); [`PipelinedClient::in_flight`] counts
+/// request frames sent minus response frames received and therefore
+/// over-counts an in-progress stream's remaining chunks as separate
+/// responses — callers mixing streams into a pipeline should track the
+/// `done` flag themselves.
+pub struct PipelinedClient {
+    stream: TcpStream,
+    next_corr: u64,
+    in_flight: usize,
+}
+
+impl PipelinedClient {
+    /// Connects under `config`'s timeouts (the retry policy is unused:
+    /// pipelined transport errors are not retryable).
+    pub fn connect(addr: impl ToSocketAddrs, config: &ClientConfig) -> Result<PipelinedClient> {
+        let mut last_err: Option<std::io::Error> = None;
+        for candidate in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&candidate, config.connect_timeout) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(config.read_timeout))?;
+                    stream.set_write_timeout(Some(config.write_timeout))?;
+                    let _ = stream.set_nodelay(true);
+                    return Ok(PipelinedClient {
+                        stream,
+                        // Corr ids start at 1: 0 is what loop-originated
+                        // frames (timeout sheds) are stamped with.
+                        next_corr: 1,
+                        in_flight: 0,
+                    });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err
+            .unwrap_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::AddrNotAvailable, "no addresses to dial")
+            })
+            .into())
+    }
+
+    /// Sends `request` stamped with a fresh correlation id, returning the
+    /// id without waiting for the response.
+    pub fn send(&mut self, request: &Request) -> Result<u64> {
+        let corr = self.next_corr;
+        self.next_corr = self.next_corr.wrapping_add(1).max(1);
+        wire::write_frame(&mut self.stream, &request.encode_with_corr(corr))?;
+        self.in_flight += 1;
+        Ok(corr)
+    }
+
+    /// Receives the next response frame, whichever outstanding request it
+    /// answers. Typed error and `BUSY` frames are returned as
+    /// [`Response`] values (they carry the id of the request they
+    /// answer); only transport faults surface as `Err`.
+    pub fn recv(&mut self) -> Result<(u64, Response)> {
+        let payload = wire::read_frame(&mut self.stream)?;
+        let decoded = Response::decode_framed(&payload)?;
+        self.in_flight = self.in_flight.saturating_sub(1);
+        Ok(decoded)
+    }
+
+    /// Requests sent minus responses received.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
     }
 }
 

@@ -14,25 +14,33 @@
 //!   `MENU`, `QUOTE`, `COMMIT` (weight vectors included in the reply),
 //!   `INFO` and `STATS`, plus typed `BUSY` and error frames. Protocol v3
 //!   routes every call by listing name (`LISTINGS` enumerates the
-//!   marketplace; `PUBLISH`/`RETIRE` drive the listing lifecycle live),
-//!   while v1/v2 peers keep working against a configurable default
-//!   listing.
-//! * [`server`] — [`NimbusServer`]: a sharded thread-pool accept loop
-//!   serving a whole [`nimbus_market::Marketplace`] (lock-free listing
-//!   routing on the hot path), with bounded admission queues that shed
-//!   load with `BUSY` instead of stalling, per-connection read/write
-//!   timeouts, graceful shutdown that drains in-flight requests and
-//!   checkpoints every listing journal, and an atomic per-op stats
-//!   registry.
+//!   marketplace; `PUBLISH`/`RETIRE` drive the listing lifecycle live).
+//!   Protocol v4 adds correlation ids for pipelining, `BATCH_COMMIT`
+//!   (many sales, one frame, per-item status) and a streaming
+//!   `MENU_STREAM`; v1–v3 peers keep working byte-for-byte against a
+//!   configurable default listing.
+//! * [`server`] — [`NimbusServer`]: a single readiness event loop
+//!   (`epoll`/`poll(2)` via [`sys`], no async runtime) multiplexing every
+//!   connection, dispatching complete frames onto sharded bounded job
+//!   queues drained by CPU workers. Bounded queues shed load with `BUSY`
+//!   instead of stalling; slow-loris and idle peers are shed by
+//!   event-loop deadlines; graceful shutdown drains in-flight requests
+//!   and checkpoints every listing journal; an atomic per-op stats
+//!   registry records everything.
 //! * [`client`] — [`NimbusClient`]: a blocking connection with typed
 //!   errors (`Busy` vs `Remote { code, .. }`), full timeouts, bounded
 //!   [`RetryPolicy`] backoff on sheds and transient faults, and
 //!   idempotent commits keyed by a client nonce so a retried purchase
 //!   after a lost ACK is deduplicated by the broker's sale journal.
+//!   [`PipelinedClient`] keeps many correlated requests in flight on one
+//!   connection; `buy_batch` amortizes commits over `BATCH_COMMIT`.
 //! * [`loadgen`] — the N-threads × M-requests loopback load generator
-//!   behind the `server_throughput` bench and `nimbus client load`.
+//!   behind the `server_throughput` bench and `nimbus client load`,
+//!   with pipelined/batched modes and p50/p99 latency reporting.
 //! * [`stats`] — [`StatsRegistry`]: lock-free counters and fixed-bucket
 //!   latency histograms (p50/p99) served by `STATS`.
+//! * [`sys`] — the raw `epoll`/`poll(2)`/`rlimit` syscall shim the event
+//!   loop runs on.
 //!
 //! ## Quickstart
 //!
@@ -65,19 +73,21 @@
 
 pub mod client;
 pub mod error;
+mod event;
 pub mod loadgen;
 pub mod server;
 pub mod stats;
+pub mod sys;
 pub mod wire;
 
-pub use client::{ClientConfig, NimbusClient, RetryPolicy};
+pub use client::{ClientConfig, NimbusClient, PipelinedClient, RetryPolicy};
 pub use error::ServerError;
 pub use loadgen::{run_load, ListingLoad, LoadConfig, LoadMode, LoadReport};
 pub use server::{NimbusServer, ServerConfig};
 pub use stats::{render_prometheus, LatencyHistogram, Op, StatsRegistry};
 pub use wire::{
-    ErrorCode, InfoMsg, ListingMsg, ListingStatsMsg, ListingsMsg, MenuMsg, OpStatsMsg, QuoteMsg,
-    Request, Response, SaleMsg, StatsMsg,
+    BatchCommitMsg, BatchItemMsg, BatchOutcomeMsg, ErrorCode, InfoMsg, ListingMsg, ListingStatsMsg,
+    ListingsMsg, MenuChunkMsg, MenuMsg, OpStatsMsg, QuoteMsg, Request, Response, SaleMsg, StatsMsg,
 };
 
 /// Convenience result alias for this crate.

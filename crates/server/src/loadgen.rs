@@ -1,17 +1,41 @@
 //! Loopback load generator: N client threads × M requests against one
-//! server, reporting throughput and admission-control shed rate.
+//! server, reporting throughput, latency quantiles and shed rate.
 //!
 //! Shared by the `server_throughput` bench, the `nimbus client load` CLI
-//! subcommand and the end-to-end tests. Each thread opens its own
-//! connection and issues its requests back to back; when a connection is
-//! shed (`BUSY`) or fails, the thread reconnects and keeps going, counting
+//! subcommand and the end-to-end tests. Each thread owns its own
+//! connection(s) and issues its requests; when a connection is shed
+//! (`BUSY`) or fails, the thread reconnects and keeps going, counting
 //! every outcome. With [`LoadConfig::busy_retries`] > 0, a shed request
 //! is retried after honoring the server's `retry_after_ms` hint; retried
-//! sheds are counted separately from final ones. The report therefore
-//! reconciles exactly: `attempted == ok + busy + errors` and the server's
-//! `busy_rejections` counter equals `busy + busy_retried`; for
-//! [`LoadMode::Buy`] the client-observed revenue can be checked against
-//! the server-side ledger.
+//! sheds are counted separately from final ones, and a request that is
+//! shed then succeeds counts **once** in `ok` and zero times in `busy`
+//! (see `run_request`'s unit tests). The report therefore reconciles
+//! exactly: `attempted == ok + busy + errors` and — on the classic
+//! per-request path — the server's `busy_rejections` counter equals
+//! `busy + busy_retried`; for [`LoadMode::Buy`] the client-observed
+//! revenue can be checked against the server-side ledger.
+//!
+//! # Pipelining and batching (wire v4)
+//!
+//! With [`LoadConfig::pipeline_depth`] > 1 each thread drives one
+//! [`PipelinedClient`] with up to that many correlated requests in
+//! flight. [`LoadMode::Buy`] additionally groups commits:
+//! [`LoadConfig::batch_size`] quotes pipeline first, then one
+//! `BATCH_COMMIT` frame redeems the window (one group-committed journal
+//! write server-side). A shed `BATCH_COMMIT` is retried like any shed
+//! request (its items carry nonces, so replays are deduplicated); if its
+//! retry budget runs out, *every* request in the window counts as `busy`
+//! — one shed frame, `batch_size` shed requests — so the server-side
+//! `busy_rejections` equality above does not hold for batched runs.
+//! The pipelined path targets the server's default listing; a non-empty
+//! [`LoadConfig::mix`] falls back to the classic per-request path.
+//!
+//! # Idle connections
+//!
+//! [`LoadConfig::idle_connections`] extra sockets are opened before the
+//! run and held silent until it ends — the 10k-connection regime of the
+//! `server_throughput` bench. [`LoadReport::open_connections`] reports
+//! how many sockets the run held open concurrently.
 //!
 //! # Per-listing traffic mix
 //!
@@ -23,12 +47,15 @@
 //! server's default listing. [`LoadReport::per_listing`] breaks `ok` and
 //! `revenue` down by listing so each ledger reconciles independently.
 
-use crate::client::{ClientConfig, NimbusClient, RetryPolicy};
+use crate::client::{ClientConfig, NimbusClient, PipelinedClient, RetryPolicy};
 use crate::error::ServerError;
+use crate::stats::LatencyHistogram;
+use crate::wire::{BatchItemMsg, BatchOutcomeMsg, QuoteMsg, Request, Response};
 use crate::Result;
 use nimbus_market::PurchaseRequest;
 use std::collections::BTreeMap;
-use std::net::SocketAddr;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// What each load-generator request does.
@@ -36,7 +63,8 @@ use std::time::{Duration, Instant};
 pub enum LoadMode {
     /// Read-only pricing: one `QUOTE` per request.
     Quote,
-    /// Full purchase: `QUOTE` then `COMMIT` at the quoted price.
+    /// Full purchase: `QUOTE` then `COMMIT` at the quoted price (or one
+    /// shared `BATCH_COMMIT` per window when batching).
     Buy,
 }
 
@@ -60,6 +88,16 @@ pub struct LoadConfig {
     /// Weighted per-listing traffic mix. Empty = every request targets
     /// the server's default listing; entries with weight 0 are skipped.
     pub mix: Vec<(String, u32)>,
+    /// Correlated requests kept in flight per thread (wire v4). `0` or
+    /// `1` = classic blocking request/response.
+    pub pipeline_depth: usize,
+    /// Commits grouped into one `BATCH_COMMIT` frame per window
+    /// ([`LoadMode::Buy`] on the pipelined path only). `0` or `1` =
+    /// one `COMMIT` per request.
+    pub batch_size: usize,
+    /// Extra connections opened before the run and held silent until it
+    /// ends, to measure serving latency under connection pressure.
+    pub idle_connections: usize,
 }
 
 impl Default for LoadConfig {
@@ -71,6 +109,9 @@ impl Default for LoadConfig {
             client: ClientConfig::default(),
             busy_retries: 0,
             mix: Vec::new(),
+            pipeline_depth: 1,
+            batch_size: 1,
+            idle_connections: 0,
         }
     }
 }
@@ -106,6 +147,15 @@ pub struct LoadReport {
     /// Empty when the run used no mix (all traffic on the default
     /// listing).
     pub per_listing: Vec<ListingLoad>,
+    /// Sockets the run held open concurrently: one per worker thread
+    /// plus every idle connection that opened successfully.
+    pub open_connections: u64,
+    /// Median successful-request latency (upper bucket bound, µs; 0 when
+    /// nothing succeeded).
+    pub p50_micros: u64,
+    /// 99th-percentile successful-request latency (upper bucket bound,
+    /// µs; 0 when nothing succeeded).
+    pub p99_micros: u64,
     /// Wall-clock duration of the whole run.
     pub elapsed: Duration,
 }
@@ -127,6 +177,82 @@ impl LoadReport {
         } else {
             self.busy as f64 / self.attempted as f64
         }
+    }
+
+    /// Fraction of attempts that succeeded. A request shed and then
+    /// retried to success counts exactly once, as a success.
+    pub fn ok_rate(&self) -> f64 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            self.ok as f64 / self.attempted as f64
+        }
+    }
+}
+
+/// Final resolution of one load-generator request, after retries.
+#[derive(Debug, Default, PartialEq)]
+struct RequestOutcome {
+    /// The request succeeded (exactly one of `ok`/`busy`/`error`).
+    ok: bool,
+    /// Sale price (`Buy`) or `0.0` (`Quote`) when `ok`.
+    price: f64,
+    /// The final outcome was a `BUSY` shed.
+    busy: bool,
+    /// The final outcome was some other failure.
+    error: bool,
+    /// `BUSY` sheds absorbed by retries along the way.
+    busy_retried: u64,
+}
+
+/// Resolves one request under the shed-retry budget. Every call of
+/// `attempt` is one wire round trip; a `BUSY` with budget left sleeps
+/// the server's hint and tries again. The outcome is **mutually
+/// exclusive**: a request that was shed and then succeeded reports `ok`
+/// (with its sheds in `busy_retried`), never both `ok` and `busy` —
+/// this is what keeps `attempted == ok + busy + errors` exact.
+fn run_request<F>(busy_retries: u32, mut attempt: F) -> RequestOutcome
+where
+    F: FnMut() -> Result<f64>,
+{
+    let mut outcome = RequestOutcome::default();
+    let mut sheds_left = busy_retries;
+    loop {
+        match attempt() {
+            Ok(price) => {
+                outcome.ok = true;
+                outcome.price = price;
+                return outcome;
+            }
+            Err(ServerError::Busy { retry_after_ms }) => {
+                if sheds_left > 0 {
+                    sheds_left -= 1;
+                    outcome.busy_retried += 1;
+                    std::thread::sleep(Duration::from_millis(u64::from(retry_after_ms).max(1)));
+                    continue;
+                }
+                outcome.busy = true;
+                return outcome;
+            }
+            Err(_) => {
+                outcome.error = true;
+                return outcome;
+            }
+        }
+    }
+}
+
+/// Folds one resolved request into the running report.
+fn apply_outcome(report: &mut LoadReport, outcome: &RequestOutcome) {
+    report.attempted += 1;
+    report.busy_retried += outcome.busy_retried;
+    if outcome.ok {
+        report.ok += 1;
+        report.revenue += outcome.price;
+    } else if outcome.busy {
+        report.busy += 1;
+    } else {
+        report.errors += 1;
     }
 }
 
@@ -161,13 +287,55 @@ fn target_for(ring: &[Option<String>], thread: usize, i: usize, per_thread: usiz
 /// Runs the load: `threads × requests_per_thread` requests against
 /// `addr`, each thread on its own connection(s).
 pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
-    let started = Instant::now();
     let ring = expand_mix(&config.mix);
+    // One histogram shared by every thread: the buckets are atomic, so
+    // recording through a shared reference needs no merge step.
+    let latency = Arc::new(LatencyHistogram::default());
+    // Idle connections open before the load starts and stay silent until
+    // after it ends: the server must carry them while serving the real
+    // traffic. They are opened from a small pool of threads (a loopback
+    // handshake still costs ~1ms of kernel time, which would dominate a
+    // 10k herd opened serially) and excluded from `elapsed`, which times
+    // only the load itself.
+    let idle: Vec<TcpStream> = if config.idle_connections == 0 {
+        Vec::new()
+    } else {
+        let openers = 16.min(config.idle_connections);
+        let per = config.idle_connections.div_ceil(openers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..openers)
+                .map(|o| {
+                    let count = per.min(config.idle_connections.saturating_sub(o * per));
+                    scope.spawn(move || {
+                        (0..count)
+                            .filter_map(|_| {
+                                TcpStream::connect_timeout(&addr, config.client.connect_timeout)
+                                    .ok()
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap_or_default())
+                .collect()
+        })
+    };
+    let started = Instant::now();
+    let pipelined = config.pipeline_depth > 1 && config.mix.is_empty();
     let per_thread: Vec<LoadReport> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..config.threads)
             .map(|t| {
                 let ring = &ring;
-                scope.spawn(move || thread_load(addr, config, ring, t))
+                let latency = Arc::clone(&latency);
+                scope.spawn(move || {
+                    if pipelined {
+                        thread_load_pipelined(addr, config, &latency, t)
+                    } else {
+                        thread_load(addr, config, ring, &latency, t)
+                    }
+                })
             })
             .collect();
         handles
@@ -182,8 +350,10 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
     });
     let mut total = LoadReport {
         elapsed: started.elapsed(),
+        open_connections: (config.threads + idle.len()) as u64,
         ..LoadReport::default()
     };
+    drop(idle);
     let mut by_listing: BTreeMap<String, (u64, f64)> = BTreeMap::new();
     for r in per_thread {
         total.attempted += r.attempted;
@@ -206,58 +376,49 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
             revenue,
         })
         .collect();
+    if latency.count() > 0 {
+        total.p50_micros = latency.quantile_upper_micros(0.5);
+        total.p99_micros = latency.quantile_upper_micros(0.99);
+    }
     total
 }
 
+/// Classic blocking path: one request at a time per thread.
 fn thread_load(
     addr: SocketAddr,
     config: &LoadConfig,
     ring: &[Option<String>],
+    latency: &LatencyHistogram,
     thread: usize,
 ) -> LoadReport {
     let mut report = LoadReport::default();
     let mut by_listing: BTreeMap<String, (u64, f64)> = BTreeMap::new();
     let mut client: Option<NimbusClient> = None;
     for i in 0..config.requests_per_thread {
-        report.attempted += 1;
         let target = target_for(ring, thread, i, config.requests_per_thread);
-        let mut sheds_left = config.busy_retries;
-        loop {
-            let outcome = attempt(&mut client, addr, config, target, thread, i);
-            match outcome {
-                Ok(price) => {
-                    report.ok += 1;
-                    report.revenue += price;
-                    if !config.mix.is_empty() {
-                        let entry = by_listing
-                            .entry(target.unwrap_or("").to_string())
-                            .or_insert((0, 0.0));
-                        entry.0 += 1;
-                        entry.1 += price;
-                    }
-                    break;
-                }
-                Err(e) => {
-                    // The connection state is unknown after any failure;
-                    // reconnect before the next attempt.
-                    client = None;
-                    if let ServerError::Busy { retry_after_ms } = e {
-                        if sheds_left > 0 {
-                            sheds_left -= 1;
-                            report.busy_retried += 1;
-                            std::thread::sleep(Duration::from_millis(
-                                u64::from(retry_after_ms).max(1),
-                            ));
-                            continue;
-                        }
-                        report.busy += 1;
-                    } else {
-                        report.errors += 1;
-                    }
-                    break;
-                }
+        let mut last_latency = Duration::ZERO;
+        let outcome = run_request(config.busy_retries, || {
+            let attempt_started = Instant::now();
+            let result = attempt(&mut client, addr, config, target, thread, i);
+            last_latency = attempt_started.elapsed();
+            if result.is_err() {
+                // The connection state is unknown after any failure;
+                // reconnect before the next attempt.
+                client = None;
+            }
+            result
+        });
+        if outcome.ok {
+            latency.record(last_latency);
+            if !config.mix.is_empty() {
+                let entry = by_listing
+                    .entry(target.unwrap_or("").to_string())
+                    .or_insert((0, 0.0));
+                entry.0 += 1;
+                entry.1 += outcome.price;
             }
         }
+        apply_outcome(&mut report, &outcome);
     }
     report.per_listing = by_listing
         .into_iter()
@@ -307,6 +468,237 @@ fn attempt(
     }
 }
 
+/// splitmix64 finalizer — the generator's nonce stream for batched
+/// commits (must never repeat within a run, or the journal dedups a
+/// genuine purchase).
+fn splitmix(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Pipelined (wire v4) path: up to `pipeline_depth` quotes in flight on
+/// one connection; `Buy` windows redeem through `BATCH_COMMIT`.
+fn thread_load_pipelined(
+    addr: SocketAddr,
+    config: &LoadConfig,
+    latency: &LatencyHistogram,
+    thread: usize,
+) -> LoadReport {
+    let mut report = LoadReport::default();
+    let total = config.requests_per_thread;
+    let window = match config.mode {
+        LoadMode::Quote => total.max(1),
+        LoadMode::Buy => config.batch_size.max(1),
+    };
+    let client_config = ClientConfig {
+        retry: RetryPolicy::none(),
+        ..config.client
+    };
+    let mut conn = match PipelinedClient::connect(addr, &client_config) {
+        Ok(conn) => conn,
+        Err(_) => {
+            report.attempted = total as u64;
+            report.errors = total as u64;
+            return report;
+        }
+    };
+    // Seeded per thread, chained across windows: every nonce in the run
+    // is distinct.
+    let mut nonce_state = splitmix((thread as u64) ^ 0xD1B5_4A32_D192_ED03);
+    let mut issued = 0usize;
+    while issued < total {
+        let batch = window.min(total - issued);
+        let quotes = pipeline_quotes(
+            &mut conn,
+            config,
+            latency,
+            &mut report,
+            thread,
+            issued,
+            batch,
+        );
+        issued += batch;
+        let Some(quotes) = quotes else {
+            // Transport death: everything not yet resolved (including
+            // all still-unissued requests) counts as an error.
+            let resolved = report.ok + report.busy + report.errors;
+            report.attempted = total as u64;
+            report.errors += (total as u64).saturating_sub(resolved);
+            return report;
+        };
+        if config.mode == LoadMode::Buy
+            && !quotes.is_empty()
+            && !batch_commit_window(
+                &mut conn,
+                config,
+                latency,
+                &mut report,
+                &mut nonce_state,
+                &quotes,
+            )
+        {
+            let resolved = report.ok + report.busy + report.errors;
+            report.attempted = total as u64;
+            report.errors += (total as u64).saturating_sub(resolved);
+            return report;
+        }
+    }
+    report.attempted = total as u64;
+    report
+}
+
+/// Pipelines `count` quote requests starting at request index `base`,
+/// resolving each as it answers (responses may arrive out of order). In
+/// `Quote` mode a successful quote is a successful request; in `Buy`
+/// mode the quotes come back for the window's `BATCH_COMMIT` and the
+/// requests they price stay unresolved until it answers. A shed quote
+/// with retry budget left is re-issued immediately under a fresh
+/// correlation id — the pipeline keeps moving, so the `retry_after_ms`
+/// hint is not slept on here. Returns `None` on transport death.
+fn pipeline_quotes(
+    conn: &mut PipelinedClient,
+    config: &LoadConfig,
+    latency: &LatencyHistogram,
+    report: &mut LoadReport,
+    thread: usize,
+    base: usize,
+    count: usize,
+) -> Option<Vec<QuoteMsg>> {
+    let depth = config.pipeline_depth.max(1);
+    // corr id -> (request index, sheds left, send time)
+    let mut pending: BTreeMap<u64, (usize, u32, Instant)> = BTreeMap::new();
+    let mut quotes = Vec::new();
+    let mut next = 0usize;
+    let mut resolved = 0usize;
+    while resolved < count {
+        while next < count && pending.len() < depth {
+            let corr = send_quote(conn, config, thread, base + next)?;
+            pending.insert(corr, (next, config.busy_retries, Instant::now()));
+            next += 1;
+        }
+        let (corr, response) = conn.recv().ok()?;
+        let Some((idx, sheds_left, sent_at)) = pending.remove(&corr) else {
+            continue; // unmatched id (e.g. a corr-0 loop-originated shed)
+        };
+        match response {
+            Response::Quote(quote) => {
+                latency.record(sent_at.elapsed());
+                if config.mode == LoadMode::Quote {
+                    report.ok += 1;
+                } else {
+                    quotes.push(quote);
+                }
+                resolved += 1;
+            }
+            Response::Busy { .. } if sheds_left > 0 => {
+                report.busy_retried += 1;
+                let corr = send_quote(conn, config, thread, base + idx)?;
+                pending.insert(corr, (idx, sheds_left - 1, Instant::now()));
+            }
+            Response::Busy { .. } => {
+                report.busy += 1;
+                resolved += 1;
+            }
+            _ => {
+                report.errors += 1;
+                resolved += 1;
+            }
+        }
+    }
+    Some(quotes)
+}
+
+/// Sends one default-listing quote for request index `i` of `thread`,
+/// returning its correlation id (`None` on transport death).
+fn send_quote(
+    conn: &mut PipelinedClient,
+    config: &LoadConfig,
+    thread: usize,
+    i: usize,
+) -> Option<u64> {
+    let request = Request::Quote {
+        listing: None,
+        request: request_for(thread, i, config.requests_per_thread),
+    };
+    conn.send(&request).ok()
+}
+
+/// Redeems one window of quotes with a single idempotent `BATCH_COMMIT`.
+/// Returns `false` on transport death.
+fn batch_commit_window(
+    conn: &mut PipelinedClient,
+    config: &LoadConfig,
+    latency: &LatencyHistogram,
+    report: &mut LoadReport,
+    nonce_state: &mut u64,
+    quotes: &[QuoteMsg],
+) -> bool {
+    let items: Vec<BatchItemMsg> = quotes
+        .iter()
+        .map(|q| {
+            *nonce_state = splitmix(*nonce_state);
+            BatchItemMsg {
+                x: q.x,
+                snapshot_epoch: q.snapshot_epoch,
+                payment: q.price,
+                nonce: Some(*nonce_state),
+            }
+        })
+        .collect();
+    let request = Request::BatchCommit {
+        listing: None,
+        items,
+    };
+    let mut sheds_left = config.busy_retries;
+    loop {
+        let sent_at = Instant::now();
+        let Ok(corr) = conn.send(&request) else {
+            return false;
+        };
+        let outcome = loop {
+            let Ok((got, response)) = conn.recv() else {
+                return false;
+            };
+            if got == corr {
+                break response;
+            }
+        };
+        match outcome {
+            Response::BatchCommit(batch) => {
+                latency.record(sent_at.elapsed());
+                for item in batch.items {
+                    match item {
+                        BatchOutcomeMsg::Sale(sale) => {
+                            report.ok += 1;
+                            report.revenue += sale.price;
+                        }
+                        BatchOutcomeMsg::Error { .. } => report.errors += 1,
+                    }
+                }
+                return true;
+            }
+            Response::Busy { retry_after_ms } if sheds_left > 0 => {
+                // The items carry nonces, so a full replay is safe: the
+                // journal dedups anything that did land.
+                sheds_left -= 1;
+                report.busy_retried += 1;
+                std::thread::sleep(Duration::from_millis(u64::from(retry_after_ms).max(1)));
+            }
+            Response::Busy { .. } => {
+                // One shed frame, `quotes.len()` shed requests.
+                report.busy += quotes.len() as u64;
+                return true;
+            }
+            _ => {
+                report.errors += quotes.len() as u64;
+                return true;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,5 +724,67 @@ mod tests {
             .filter(|&i| target_for(&ring, 0, i, 8) == Some("b"))
             .count();
         assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn busy_then_success_counts_once_as_ok() {
+        // The accounting bug this guards against: a request shed once and
+        // then served must not show up in both `busy` and `ok`.
+        let mut calls = 0;
+        let outcome = run_request(2, || {
+            calls += 1;
+            if calls == 1 {
+                Err(ServerError::Busy { retry_after_ms: 1 })
+            } else {
+                Ok(2.5)
+            }
+        });
+        assert!(outcome.ok);
+        assert!(!outcome.busy);
+        assert!(!outcome.error);
+        assert_eq!(outcome.busy_retried, 1);
+        assert_eq!(outcome.price, 2.5);
+
+        let mut report = LoadReport::default();
+        apply_outcome(&mut report, &outcome);
+        assert_eq!(
+            (
+                report.attempted,
+                report.ok,
+                report.busy,
+                report.busy_retried
+            ),
+            (1, 1, 0, 1)
+        );
+        assert_eq!(report.attempted, report.ok + report.busy + report.errors);
+        assert!((report.ok_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_budget_exhaustion_is_a_final_shed() {
+        let outcome = run_request(1, || Err::<f64, _>(ServerError::Busy { retry_after_ms: 1 }));
+        assert!(outcome.busy);
+        assert!(!outcome.ok);
+        assert_eq!(outcome.busy_retried, 1);
+
+        let mut report = LoadReport::default();
+        apply_outcome(&mut report, &outcome);
+        assert_eq!((report.ok, report.busy, report.busy_retried), (0, 1, 1));
+        assert_eq!(report.attempted, report.ok + report.busy + report.errors);
+    }
+
+    #[test]
+    fn transport_errors_resolve_without_retry() {
+        let mut calls = 0;
+        let outcome = run_request(3, || {
+            calls += 1;
+            Err::<f64, _>(ServerError::ConnectionClosed)
+        });
+        assert_eq!(calls, 1); // only BUSY is retried
+        assert!(outcome.error);
+
+        let mut report = LoadReport::default();
+        apply_outcome(&mut report, &outcome);
+        assert_eq!((report.ok, report.busy, report.errors), (0, 0, 1));
     }
 }

@@ -1,34 +1,41 @@
-//! The broker service: a sharded thread-pool TCP server over std.
+//! The broker service: an event-driven TCP server over std.
 //!
 //! # Architecture
 //!
 //! ```text
-//!                 ┌─────────────┐      shard 0: bounded queue ─ workers
-//!   TCP accept ──▶│ accept loop │─┬──▶ shard 1: bounded queue ─ workers
-//!   (non-block    └─────────────┘ │            …
-//!    poll loop)        │          └──▶ shard K: bounded queue ─ workers
-//!                      └── queue full ⇒ typed BUSY frame + close
+//!               ┌──────────────────────────────┐   shard 0: job queue ─ workers
+//!   TCP conns ─▶│ event loop (crate::event)    │─┬▶ shard 1: job queue ─ workers
+//!   (epoll /    │ accept · read · frame-parse  │ │          …
+//!    poll(2))   │ flush ◀─ completions ◀ wake ─┼─┴▶ shard K: job queue ─ workers
+//!               └──────────────────────────────┘   queue full ⇒ typed BUSY frame
 //! ```
 //!
-//! * **Sharded admission.** Accepted connections round-robin onto `K`
-//!   shards, each a bounded `Mutex<VecDeque<TcpStream>> + Condvar` queue
-//!   drained by its own worker threads. Sharding keeps queue locks short
-//!   and independent; a stall in one shard's workers cannot block
-//!   admission to the others.
-//! * **Load shedding, not stalling.** When a shard's queue is at
-//!   capacity the connection is *shed*: a detached rejector writes one
-//!   typed `BUSY` frame, drains the peer briefly (so the frame survives
-//!   the close on loopback), and hangs up. The accept loop never blocks
-//!   on a slow client, and a flood beyond `shards × queue_capacity`
-//!   resolves as explicit `BUSY` responses instead of unbounded queueing.
-//! * **Timeouts everywhere.** Every served connection gets read and write
-//!   timeouts, so a dead or byzantine peer costs a worker at most one
-//!   timeout interval; shed connections use an even shorter drain timeout.
+//! * **One loop thread, many sockets.** A single readiness loop
+//!   (`crate::event`) owns every connection: it accepts, reads frames,
+//!   and flushes responses without ever blocking on a peer. Tens of
+//!   thousands of idle connections cost two fds and a slab slot — no
+//!   thread per connection.
+//! * **Sharded execution.** Complete frames become `Job`s on one of `K`
+//!   bounded `Mutex<VecDeque<Job>> + Condvar` shard queues, drained by
+//!   worker threads that do the CPU-bound work (decode, route, quote,
+//!   commit, encode). Completed frames flow back through
+//!   `Inner::completions` plus one byte on a wake pipe.
+//! * **Pipelining (wire v4).** Frames carrying correlation ids may
+//!   overlap on one connection; responses are matched by id. v1–v3
+//!   frames are serialized per connection, preserving the strict
+//!   request/response order those peers expect.
+//! * **Load shedding, not stalling.** A full shard queue answers the
+//!   frame with a typed `BUSY` instead of queueing unboundedly; v≤3
+//!   connections are closed after the frame (the old admission-shed
+//!   contract), v4 connections stay open. Slow-loris and idle peers are
+//!   shed by event-loop deadlines ([`ServerConfig::header_read_timeout`],
+//!   [`ServerConfig::idle_timeout`]) and counted separately in
+//!   [`StatsRegistry::timeout_sheds`].
 //! * **Graceful shutdown.** [`NimbusServer::shutdown`] flips one atomic
-//!   flag. The accept loop exits at its next poll; workers finish the
-//!   request currently in flight (responses are never truncated), answer
-//!   queued-but-unserved connections with a `ShuttingDown` error frame,
-//!   and join. Total shutdown time is bounded by the read timeout.
+//!   flag and writes a wake byte. The loop closes the listener, stops
+//!   reading, drops undispatched frames, and keeps flushing until every
+//!   dispatched job's response has been written; workers drain their
+//!   queues and join. Responses are never truncated.
 //! * **Stats.** Every handled request lands in the shared
 //!   [`StatsRegistry`] (atomic counters + fixed-bucket latency
 //!   histograms), served back over the wire by `STATS`.
@@ -37,48 +44,56 @@
 //! listing through [`Marketplace::route`] (one atomic load, no lock),
 //! `MENU`/`QUOTE` are lock-free snapshot reads, and `COMMIT` routes
 //! through [`Broker::commit_at`] and therefore gets the same epoch check,
-//! payment validation and price re-derivation as a local caller. A
-//! request that names no listing (every v1/v2 request, and any v3 request
-//! with an empty listing field) resolves to the server's configured
-//! *default listing*. The `PUBLISH`/`RETIRE` admin opcodes drive the
-//! marketplace's listing lifecycle on the live server.
+//! payment validation and price re-derivation as a local caller.
+//! `BATCH_COMMIT` routes through [`Broker::commit_batch_at`], which
+//! resolves items independently and coalesces their journal fsyncs under
+//! the group-commit window. A request that names no listing (every v1/v2
+//! request, and any v3+ request with an empty listing field) resolves to
+//! the server's configured *default listing*. The `PUBLISH`/`RETIRE`
+//! admin opcodes drive the marketplace's listing lifecycle live.
 //!
 //! [`Broker::commit_at`]: nimbus_market::Broker::commit_at
+//! [`Broker::commit_batch_at`]: nimbus_market::Broker::commit_batch_at
 //! [`Marketplace::route`]: nimbus_market::Marketplace::route
+//! [`StatsRegistry::timeout_sheds`]: crate::stats::StatsRegistry::timeout_sheds
 
 use crate::error::ServerError;
 use crate::stats::{Op, StatsRegistry};
 use crate::wire::{
-    self, ErrorCode, InfoMsg, ListingMsg, ListingStatsMsg, ListingsMsg, MenuMsg, QuoteMsg, Request,
-    Response, SaleMsg,
+    self, BatchCommitMsg, BatchOutcomeMsg, ErrorCode, InfoMsg, ListingMsg, ListingStatsMsg,
+    ListingsMsg, MenuChunkMsg, MenuMsg, QuoteMsg, Request, Response, SaleMsg,
 };
 use crate::Result;
-use nimbus_market::{Marketplace, Quote};
+use nimbus_market::{BatchCommitItem, Marketplace, Quote};
 use std::collections::VecDeque;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Cap on concurrently detached rejector threads; sheds beyond it are
-/// dropped without the courtesy `BUSY` frame (the peer sees a reset).
-const MAX_REJECTORS: usize = 256;
-
 /// Server tuning knobs, validated by [`NimbusServer::start`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Number of admission shards (`≥ 1`).
+    /// Number of execution shards (`≥ 1`).
     pub shards: usize,
     /// Worker threads per shard (`≥ 1`).
     pub workers_per_shard: usize,
-    /// Pending-connection bound per shard (`≥ 1`); beyond it, shed.
+    /// Pending-job bound per shard (`≥ 1`); beyond it, the frame is shed
+    /// with a typed `BUSY`.
     pub queue_capacity: usize,
-    /// Per-connection read timeout (also bounds shutdown latency).
+    /// Legacy per-connection read timeout. The event loop's
+    /// [`ServerConfig::header_read_timeout`] and
+    /// [`ServerConfig::idle_timeout`] have superseded it on the serving
+    /// path; it is retained as a config-compat knob and still validated.
     pub read_timeout: Duration,
-    /// Per-connection write timeout.
+    /// Write-stall bound: a connection whose buffered response bytes make
+    /// no progress for this long is closed (the peer stopped reading).
     pub write_timeout: Duration,
-    /// Accept-loop poll interval while the listener is idle.
+    /// Legacy accept-loop poll interval; retained for config compat. The
+    /// event loop sleeps on readiness instead of polling.
     pub accept_poll: Duration,
     /// Artificial service time per request, for load and shedding tests.
     pub handle_delay: Option<Duration>,
@@ -86,6 +101,14 @@ pub struct ServerConfig {
     /// should wait before retrying. Purely advisory; milliseconds on the
     /// wire (saturating at `u32::MAX` ms).
     pub retry_after_hint: Duration,
+    /// Slow-loris bound: once the first byte of a frame arrives, the
+    /// whole frame must complete within this window or the connection is
+    /// shed (`BUSY` + close, counted in `timeout_sheds`).
+    pub header_read_timeout: Duration,
+    /// Keep-alive bound: a connection with no request in flight and no
+    /// bytes pending for this long is shed (`BUSY` + close, counted in
+    /// `timeout_sheds`).
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -99,24 +122,54 @@ impl Default for ServerConfig {
             accept_poll: Duration::from_millis(2),
             handle_delay: None,
             retry_after_hint: Duration::from_millis(25),
+            header_read_timeout: Duration::from_secs(2),
+            idle_timeout: Duration::from_secs(60),
         }
     }
 }
 
-/// One admission shard: a bounded queue of accepted connections.
-struct Shard {
-    queue: Mutex<VecDeque<TcpStream>>,
-    available: Condvar,
+/// One complete frame handed from the event loop to a worker.
+pub(crate) struct Job {
+    /// Slab slot of the owning connection.
+    pub(crate) slot: u32,
+    /// Slot generation at dispatch time (guards slot reuse).
+    pub(crate) gen: u32,
+    /// Sniffed protocol version; stamps the response frames.
+    pub(crate) version: u8,
+    /// Sniffed correlation id (0 for v≤3 frames).
+    pub(crate) corr: u64,
+    /// The undecoded frame payload.
+    pub(crate) payload: Vec<u8>,
 }
 
-struct Inner {
-    marketplace: Arc<Marketplace>,
-    default_listing: String,
-    config: ServerConfig,
-    stats: Arc<StatsRegistry>,
-    stop: AtomicBool,
-    shards: Vec<Shard>,
-    rejectors: AtomicUsize,
+/// A worker's answer to one [`Job`]: encoded response frame(s) for the
+/// event loop to flush, and whether the connection must close after them
+/// (protocol violations poison the framing).
+pub(crate) struct Completion {
+    pub(crate) slot: u32,
+    pub(crate) gen: u32,
+    pub(crate) frames: Vec<Vec<u8>>,
+    pub(crate) close: bool,
+}
+
+/// One execution shard: a bounded queue of parsed frames.
+pub(crate) struct Shard {
+    pub(crate) queue: Mutex<VecDeque<Job>>,
+    pub(crate) available: Condvar,
+}
+
+pub(crate) struct Inner {
+    pub(crate) marketplace: Arc<Marketplace>,
+    pub(crate) default_listing: String,
+    pub(crate) config: ServerConfig,
+    pub(crate) stats: Arc<StatsRegistry>,
+    pub(crate) stop: AtomicBool,
+    pub(crate) shards: Vec<Shard>,
+    /// Completed jobs waiting for the event loop to pick them up.
+    pub(crate) completions: Mutex<Vec<Completion>>,
+    /// Write end of the wake pipe: one byte per completion batch nudges
+    /// the event loop out of its poll.
+    pub(crate) wake_tx: UnixStream,
 }
 
 /// A running broker service bound to a TCP address.
@@ -126,7 +179,7 @@ struct Inner {
 pub struct NimbusServer {
     inner: Arc<Inner>,
     local_addr: SocketAddr,
-    accept: Option<JoinHandle<()>>,
+    event: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -152,6 +205,8 @@ impl NimbusServer {
         if config.read_timeout.is_zero()
             || config.write_timeout.is_zero()
             || config.accept_poll.is_zero()
+            || config.header_read_timeout.is_zero()
+            || config.idle_timeout.is_zero()
         {
             return Err(ServerError::InvalidConfig {
                 reason: "timeouts and the accept poll interval must be non-zero".to_string(),
@@ -164,6 +219,9 @@ impl NimbusServer {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_tx.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
 
         let inner = Arc::new(Inner {
             marketplace,
@@ -177,7 +235,8 @@ impl NimbusServer {
                     available: Condvar::new(),
                 })
                 .collect(),
-            rejectors: AtomicUsize::new(0),
+            completions: Mutex::new(Vec::new()),
+            wake_tx,
         });
 
         let mut workers = Vec::with_capacity(config.shards * config.workers_per_shard);
@@ -197,11 +256,15 @@ impl NimbusServer {
                 }
             }
         }
-        let accept = if spawn_err.is_none() {
-            let inner = inner.clone();
+        let event = if spawn_err.is_none() {
+            let inner_for_loop = inner.clone();
+            // The loop never reads the ambient clock directly; deadlines
+            // are pure functions of this injected monotonic source.
+            let clock: Box<dyn Fn() -> Duration + Send> =
+                Box::new(nimbus_market::clock::wall_clock());
             let spawned = std::thread::Builder::new()
-                .name("nimbus-accept".to_string())
-                .spawn(move || accept_loop(&inner, listener));
+                .name("nimbus-event".to_string())
+                .spawn(move || crate::event::run(inner_for_loop, listener, wake_rx, clock));
             match spawned {
                 Ok(handle) => Some(handle),
                 Err(e) => {
@@ -228,7 +291,7 @@ impl NimbusServer {
         Ok(NimbusServer {
             inner,
             local_addr,
-            accept,
+            event,
             workers,
         })
     }
@@ -254,18 +317,21 @@ impl NimbusServer {
     }
 
     /// Gracefully shuts down: stop accepting, finish in-flight requests,
-    /// answer queued connections with `ShuttingDown`, join every thread.
+    /// flush every dispatched response, join every thread.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
 
     fn stop_and_join(&mut self) {
         self.inner.stop.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.accept.take() {
-            let _ = handle.join();
-        }
         for shard in &self.inner.shards {
             shard.available.notify_all();
+        }
+        // Nudge the event loop out of its poll; a full pipe is fine (any
+        // pending byte wakes it just as well).
+        let _ = (&self.inner.wake_tx).write(&[1u8]);
+        if let Some(handle) = self.event.take() {
+            let _ = handle.join();
         }
         for handle in self.workers.drain(..) {
             let _ = handle.join();
@@ -285,89 +351,13 @@ impl Drop for NimbusServer {
     }
 }
 
-fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
-    let mut next_shard = 0usize;
-    while !inner.stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                inner.stats.connection_accepted();
-                let shard_idx = next_shard % inner.shards.len();
-                next_shard = next_shard.wrapping_add(1);
-                if let Some(rejected) = try_enqueue(inner, shard_idx, stream) {
-                    shed(inner, rejected);
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(inner.config.accept_poll);
-            }
-            Err(_) => {
-                // Transient accept failure (e.g. EMFILE): back off briefly
-                // rather than spinning.
-                std::thread::sleep(inner.config.accept_poll);
-            }
-        }
-    }
-}
-
-/// Enqueues onto the shard's bounded queue; gives the stream back when the
-/// queue is full so the caller can shed it.
-fn try_enqueue(inner: &Inner, shard_idx: usize, stream: TcpStream) -> Option<TcpStream> {
-    // nimbus-audit: allow(no-panic) — shard_idx is next_shard % shards.len()
-    let shard = &inner.shards[shard_idx];
-    // A panicking worker poisons the queue lock; the queue itself (a
-    // VecDeque of sockets) is still structurally sound, so keep serving.
-    let mut queue = match shard.queue.lock() {
-        Ok(guard) => guard,
-        Err(poisoned) => poisoned.into_inner(),
+/// Drains one shard's job queue until shutdown. The exit check runs under
+/// the queue lock and only fires on an empty queue, so every job the
+/// event loop managed to enqueue is executed and answered.
+pub(crate) fn worker_loop(inner: &Arc<Inner>, shard_idx: usize) {
+    let Some(shard) = inner.shards.get(shard_idx) else {
+        return;
     };
-    if queue.len() >= inner.config.queue_capacity {
-        return Some(stream);
-    }
-    queue.push_back(stream);
-    drop(queue);
-    shard.available.notify_one();
-    None
-}
-
-/// Sheds one connection with a typed `BUSY` frame on a detached rejector
-/// thread so the accept loop never blocks on the peer. The rejector
-/// drains the peer's request bytes before closing: dropping a socket with
-/// unread input resets the connection, which could destroy the `BUSY`
-/// frame in flight.
-fn shed(inner: &Arc<Inner>, stream: TcpStream) {
-    inner.stats.busy_rejection();
-    if inner.rejectors.fetch_add(1, Ordering::SeqCst) >= MAX_REJECTORS {
-        inner.rejectors.fetch_sub(1, Ordering::SeqCst);
-        return; // hard-drop: the flood is beyond even the shed budget
-    }
-    let inner = inner.clone();
-    let _ = std::thread::Builder::new()
-        .name("nimbus-reject".to_string())
-        .spawn(move || {
-            let drain_timeout = inner.config.read_timeout.min(Duration::from_millis(250));
-            let _ = stream.set_write_timeout(Some(inner.config.write_timeout));
-            let _ = stream.set_read_timeout(Some(drain_timeout));
-            let mut stream = stream;
-            let retry_after_ms = inner
-                .config
-                .retry_after_hint
-                .as_millis()
-                .min(u32::MAX as u128) as u32;
-            let _ = wire::write_frame(&mut stream, &Response::Busy { retry_after_ms }.encode());
-            let _ = stream.shutdown(std::net::Shutdown::Write);
-            let mut sink = [0u8; 256];
-            while let Ok(n) = std::io::Read::read(&mut stream, &mut sink) {
-                if n == 0 {
-                    break;
-                }
-            }
-            inner.rejectors.fetch_sub(1, Ordering::SeqCst);
-        });
-}
-
-fn worker_loop(inner: &Arc<Inner>, shard_idx: usize) {
-    // nimbus-audit: allow(no-panic) — spawned with shard_idx in 0..shards.len()
-    let shard = &inner.shards[shard_idx];
     loop {
         let next = {
             let mut queue = match shard.queue.lock() {
@@ -375,8 +365,8 @@ fn worker_loop(inner: &Arc<Inner>, shard_idx: usize) {
                 Err(poisoned) => poisoned.into_inner(),
             };
             loop {
-                if let Some(stream) = queue.pop_front() {
-                    break Some(stream);
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
                 }
                 if inner.stop.load(Ordering::SeqCst) {
                     break None;
@@ -387,108 +377,44 @@ fn worker_loop(inner: &Arc<Inner>, shard_idx: usize) {
                 };
             }
         };
-        match next {
-            None => break,
-            Some(mut stream) => {
-                if inner.stop.load(Ordering::SeqCst) {
-                    // Shutdown drain: the connection was admitted but not
-                    // yet served — answer it honestly instead of hanging up.
-                    let _ = stream.set_write_timeout(Some(inner.config.write_timeout));
-                    let _ = wire::write_frame(
-                        &mut stream,
-                        &Response::Error {
-                            code: ErrorCode::ShuttingDown,
-                            message: "server is draining for shutdown".to_string(),
-                        }
-                        .encode(),
-                    );
-                } else {
-                    serve_connection(inner, stream);
-                }
-            }
-        }
-    }
-}
-
-/// Serves one connection's request/response loop until the peer hangs up,
-/// a timeout fires, a protocol violation occurs, or shutdown begins.
-fn serve_connection(inner: &Inner, mut stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    if stream
-        .set_read_timeout(Some(inner.config.read_timeout))
-        .is_err()
-        || stream
-            .set_write_timeout(Some(inner.config.write_timeout))
-            .is_err()
-    {
-        return;
-    }
-    loop {
-        // Shutdown drains between requests: the response to a request
-        // already read is always written before the connection closes.
-        if inner.stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let payload = match wire::read_frame_opt(&mut stream) {
-            Ok(Some(payload)) => payload,
-            Ok(None) => break, // clean close between frames
-            Err(ServerError::FrameTooLarge { len }) => {
-                inner.stats.protocol_error();
-                let _ = wire::write_frame(
-                    &mut stream,
-                    &Response::Error {
-                        code: ErrorCode::BadFrame,
-                        message: format!(
-                            "frame of {len} bytes exceeds the {} byte limit",
-                            wire::MAX_FRAME_LEN
-                        ),
-                    }
-                    .encode(),
-                );
-                break; // framing is lost past an oversized announcement
-            }
-            Err(_) => break, // timeout / reset / truncated frame
+        let Some(job) = next else { break };
+        let completion = execute_job(inner, &job);
+        let mut guard = match inner.completions.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
         };
-        let started = Instant::now();
-        let (response, recorded) = handle_payload(inner, &payload);
-        match recorded {
-            Some((op, ok)) => inner.stats.record(op, ok, started.elapsed()),
-            None => inner.stats.protocol_error(),
-        }
-        if wire::write_frame(&mut stream, &response.encode()).is_err() {
-            break;
-        }
-        // A malformed frame poisons the stream's framing assumptions; stop
-        // reading from it after answering.
-        if recorded.is_none() {
-            break;
-        }
+        guard.push(completion);
+        drop(guard);
+        // Errors (pipe full / loop gone) are fine: a full pipe already
+        // has a wake byte in flight, and a gone loop needs none.
+        let _ = (&inner.wake_tx).write(&[1u8]);
     }
 }
 
-/// Decodes and executes one request payload. Returns the response plus
-/// `Some((op, ok))` when the payload decoded to a request, `None` for
-/// protocol errors.
-fn handle_payload(inner: &Inner, payload: &[u8]) -> (Response, Option<(Op, bool)>) {
-    let request = match Request::decode(payload) {
-        Ok(request) => request,
-        Err(ServerError::UnsupportedVersion { got }) => {
-            return (
-                Response::Error {
-                    code: ErrorCode::UnsupportedVersion,
-                    message: format!("server speaks version {}, got {got}", wire::VERSION),
-                },
-                None,
-            );
-        }
+/// Decodes and executes one job, producing the encoded response frame(s).
+/// Responses are stamped at the requesting frame's version and carry its
+/// correlation id, so v≤3 peers see byte-identical answers to the
+/// blocking server's.
+fn execute_job(inner: &Inner, job: &Job) -> Completion {
+    let started = Instant::now();
+    let request = match Request::decode_framed(&job.payload) {
+        Ok((_corr, request)) => request,
         Err(e) => {
-            return (
-                Response::Error {
-                    code: ErrorCode::BadFrame,
-                    message: e.to_string(),
-                },
-                None,
-            );
+            inner.stats.protocol_error();
+            let (code, message) = match e {
+                ServerError::UnsupportedVersion { got } => (
+                    ErrorCode::UnsupportedVersion,
+                    format!("server speaks version {}, got {got}", wire::VERSION),
+                ),
+                e => (ErrorCode::BadFrame, e.to_string()),
+            };
+            let frame = Response::Error { code, message }.encode_versioned(job.version, job.corr);
+            return Completion {
+                slot: job.slot,
+                gen: job.gen,
+                frames: vec![frame],
+                close: true,
+            };
         }
     };
     if let Some(delay) = inner.config.handle_delay {
@@ -498,22 +424,37 @@ fn handle_payload(inner: &Inner, payload: &[u8]) -> (Response, Option<(Op, bool)
         Request::Menu { .. } => Op::Menu,
         Request::Quote { .. } => Op::Quote,
         Request::Commit { .. } => Op::Commit,
+        Request::BatchCommit { .. } => Op::BatchCommit,
+        Request::MenuStream { .. } => Op::MenuStream,
         Request::Info { .. } => Op::Info,
         Request::Listings => Op::Listings,
         Request::Stats => Op::Stats,
         Request::Publish { .. } => Op::Publish,
         Request::Retire { .. } => Op::Retire,
     };
-    let result = execute(inner, request);
-    match result {
-        Ok(response) => (response, Some((op, true))),
+    let (frames, ok) = match execute(inner, request) {
+        Ok(responses) => (
+            responses
+                .iter()
+                .map(|r| r.encode_versioned(job.version, job.corr))
+                .collect(),
+            true,
+        ),
         Err(e) => (
-            Response::Error {
+            vec![Response::Error {
                 code: ErrorCode::for_market_error(&e),
                 message: e.to_string(),
-            },
-            Some((op, false)),
+            }
+            .encode_versioned(job.version, job.corr)],
+            false,
         ),
+    };
+    inner.stats.record(op, ok, started.elapsed());
+    Completion {
+        slot: job.slot,
+        gen: job.gen,
+        frames,
+        close: false,
     }
 }
 
@@ -523,7 +464,22 @@ fn resolve<'a>(inner: &'a Inner, listing: &'a Option<String>) -> &'a str {
     listing.as_deref().unwrap_or(&inner.default_listing)
 }
 
-fn execute(inner: &Inner, request: Request) -> nimbus_market::Result<Response> {
+/// The wire image of a completed sale.
+fn sale_msg(sale: &nimbus_market::Sale) -> SaleMsg {
+    SaleMsg {
+        inverse_ncp: sale.inverse_ncp,
+        price: sale.price,
+        expected_error: sale.expected_error,
+        metric: sale.metric.to_string(),
+        transaction: sale.transaction.sequence,
+        weights: sale.model.weights().as_slice().to_vec(),
+    }
+}
+
+/// Executes one request against the marketplace. Most requests produce
+/// exactly one response frame; `MENU_STREAM` produces a chunk sequence
+/// (all sharing the request's correlation id, last one marked `done`).
+fn execute(inner: &Inner, request: Request) -> nimbus_market::Result<Vec<Response>> {
     let marketplace = &inner.marketplace;
     match request {
         Request::Menu { listing } => {
@@ -531,11 +487,11 @@ fn execute(inner: &Inner, request: Request) -> nimbus_market::Result<Response> {
             let snapshot = broker
                 .snapshot()
                 .ok_or(nimbus_market::MarketError::MarketNotOpen)?;
-            Ok(Response::Menu(MenuMsg {
+            Ok(vec![Response::Menu(MenuMsg {
                 epoch: snapshot.epoch(),
                 metric: snapshot.metric_name().to_string(),
                 points: snapshot.menu(),
-            }))
+            })])
         }
         Request::Quote {
             listing,
@@ -543,7 +499,7 @@ fn execute(inner: &Inner, request: Request) -> nimbus_market::Result<Response> {
         } => {
             let name = resolve(inner, &listing);
             let quote: Quote = marketplace.route(name)?.quote_request(purchase)?;
-            Ok(Response::Quote(QuoteMsg {
+            Ok(vec![Response::Quote(QuoteMsg {
                 x: quote.x,
                 delta: quote.delta,
                 price: quote.price,
@@ -551,7 +507,7 @@ fn execute(inner: &Inner, request: Request) -> nimbus_market::Result<Response> {
                 metric: quote.metric.to_string(),
                 snapshot_epoch: quote.snapshot_epoch,
                 listing: name.to_string(),
-            }))
+            })])
         }
         Request::Commit {
             listing,
@@ -567,14 +523,77 @@ fn execute(inner: &Inner, request: Request) -> nimbus_market::Result<Response> {
                 Some(nonce) => broker.commit_at_idempotent(x, snapshot_epoch, payment, nonce)?,
                 None => broker.commit_at(x, snapshot_epoch, payment)?,
             };
-            Ok(Response::Commit(SaleMsg {
-                inverse_ncp: sale.inverse_ncp,
-                price: sale.price,
-                expected_error: sale.expected_error,
-                metric: sale.metric.to_string(),
-                transaction: sale.transaction.sequence,
-                weights: sale.model.weights().as_slice().to_vec(),
-            }))
+            Ok(vec![Response::Commit(sale_msg(&sale))])
+        }
+        Request::BatchCommit { listing, items } => {
+            let broker = marketplace.route(resolve(inner, &listing))?;
+            let batch: Vec<BatchCommitItem> = items
+                .iter()
+                .map(|item| BatchCommitItem {
+                    x: item.x,
+                    snapshot_epoch: item.snapshot_epoch,
+                    payment: item.payment,
+                    nonce: item.nonce,
+                })
+                .collect();
+            // Items resolve independently; the broker coalesces the
+            // journal fsyncs of the successful ones (group commit), so
+            // durability-per-sale is preserved at one fsync per batch.
+            let outcomes = broker
+                .commit_batch_at(&batch)
+                .into_iter()
+                .map(|outcome| match outcome {
+                    Ok(sale) => BatchOutcomeMsg::Sale(sale_msg(&sale)),
+                    Err(e) => BatchOutcomeMsg::Error {
+                        code: ErrorCode::for_market_error(&e),
+                        message: e.to_string(),
+                    },
+                })
+                .collect();
+            Ok(vec![Response::BatchCommit(BatchCommitMsg {
+                items: outcomes,
+            })])
+        }
+        Request::MenuStream { listing, chunk } => {
+            let broker = marketplace.route(resolve(inner, &listing))?;
+            let snapshot = broker
+                .snapshot()
+                .ok_or(nimbus_market::MarketError::MarketNotOpen)?;
+            let points = snapshot.menu();
+            let chunk = if chunk == 0 || chunk as usize > wire::MENU_STREAM_CHUNK {
+                wire::MENU_STREAM_CHUNK
+            } else {
+                chunk as usize
+            };
+            let epoch = snapshot.epoch();
+            let metric = snapshot.metric_name().to_string();
+            let total = points.len() as u64;
+            if points.is_empty() {
+                // An empty menu still answers: one empty, done chunk.
+                return Ok(vec![Response::MenuChunk(MenuChunkMsg {
+                    epoch,
+                    metric,
+                    offset: 0,
+                    total: 0,
+                    points: Vec::new(),
+                    done: true,
+                })]);
+            }
+            let n_chunks = points.len().div_ceil(chunk);
+            Ok(points
+                .chunks(chunk)
+                .enumerate()
+                .map(|(i, part)| {
+                    Response::MenuChunk(MenuChunkMsg {
+                        epoch,
+                        metric: metric.clone(),
+                        offset: (i * chunk) as u64,
+                        total,
+                        points: part.to_vec(),
+                        done: i + 1 == n_chunks,
+                    })
+                })
+                .collect())
         }
         Request::Info { listing } => {
             let name = resolve(inner, &listing);
@@ -584,7 +603,7 @@ fn execute(inner: &Inner, request: Request) -> nimbus_market::Result<Response> {
                 .ok_or(nimbus_market::MarketError::MarketNotOpen)?;
             let stats = broker.market_stats();
             let (x_lo, x_hi) = snapshot.support();
-            Ok(Response::Info(InfoMsg {
+            Ok(vec![Response::Info(InfoMsg {
                 listing: name.to_string(),
                 metric: snapshot.metric_name().to_string(),
                 epoch: snapshot.epoch(),
@@ -594,7 +613,7 @@ fn execute(inner: &Inner, request: Request) -> nimbus_market::Result<Response> {
                 expected_revenue: stats.expected_revenue.unwrap_or(0.0),
                 sales: stats.sales as u64,
                 revenue: stats.revenue,
-            }))
+            })])
         }
         Request::Listings => {
             let listings = marketplace
@@ -609,10 +628,10 @@ fn execute(inner: &Inner, request: Request) -> nimbus_market::Result<Response> {
                     expected_revenue: e.expected_revenue,
                 })
                 .collect();
-            Ok(Response::Listings(ListingsMsg {
+            Ok(vec![Response::Listings(ListingsMsg {
                 default_listing: inner.default_listing.clone(),
                 listings,
-            }))
+            })])
         }
         Request::Stats => {
             let mut msg = inner.stats.snapshot();
@@ -636,7 +655,7 @@ fn execute(inner: &Inner, request: Request) -> nimbus_market::Result<Response> {
                     revenue: row.revenue,
                 })
                 .collect();
-            Ok(Response::Stats(msg))
+            Ok(vec![Response::Stats(msg)])
         }
         Request::Publish { listing } => {
             let expected_revenue = marketplace.publish(&listing)?;
@@ -644,11 +663,11 @@ fn execute(inner: &Inner, request: Request) -> nimbus_market::Result<Response> {
                 Some(snapshot) => snapshot.epoch(),
                 None => 0,
             };
-            Ok(Response::Publish {
+            Ok(vec![Response::Publish {
                 listing,
                 epoch,
                 expected_revenue,
-            })
+            }])
         }
         Request::Retire { listing } => {
             if listing == inner.default_listing {
@@ -661,7 +680,7 @@ fn execute(inner: &Inner, request: Request) -> nimbus_market::Result<Response> {
                 });
             }
             marketplace.retire(&listing)?;
-            Ok(Response::Retire { listing })
+            Ok(vec![Response::Retire { listing }])
         }
     }
 }

@@ -39,10 +39,14 @@ pub enum Op {
     Publish = 6,
     /// `RETIRE`.
     Retire = 7,
+    /// `BATCH_COMMIT` (v4).
+    BatchCommit = 8,
+    /// `MENU_STREAM` (v4).
+    MenuStream = 9,
 }
 
 /// Number of wire operations in the registry.
-pub const N_OPS: usize = 8;
+pub const N_OPS: usize = 10;
 
 impl Op {
     /// All operations, in registry order.
@@ -55,6 +59,8 @@ impl Op {
         Op::Listings,
         Op::Publish,
         Op::Retire,
+        Op::BatchCommit,
+        Op::MenuStream,
     ];
 
     /// Stable lowercase name.
@@ -68,6 +74,8 @@ impl Op {
             Op::Listings => "listings",
             Op::Publish => "publish",
             Op::Retire => "retire",
+            Op::BatchCommit => "batch_commit",
+            Op::MenuStream => "menu_stream",
         }
     }
 }
@@ -130,6 +138,7 @@ pub struct StatsRegistry {
     connections: AtomicU64,
     busy_rejections: AtomicU64,
     protocol_errors: AtomicU64,
+    timeout_sheds: AtomicU64,
     ops: [OpCounters; N_OPS],
 }
 
@@ -166,9 +175,22 @@ impl StatsRegistry {
         self.protocol_errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a connection shed by a deadline (idle or header-read
+    /// timeout) rather than by admission control. Kept separate from
+    /// [`busy_rejections`](Self::busy_rejection) so admission accounting
+    /// stays exact under load tests.
+    pub fn timeout_shed(&self) {
+        self.timeout_sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Connections shed so far (test/bench hook).
     pub fn busy_rejections(&self) -> u64 {
         self.busy_rejections.load(Ordering::Relaxed)
+    }
+
+    /// Connections shed by idle/header deadlines so far (test/bench hook).
+    pub fn timeout_sheds(&self) -> u64 {
+        self.timeout_sheds.load(Ordering::Relaxed)
     }
 
     /// Requests handled for one op so far (test/bench hook).

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! frame   := u32_be payload_len | payload           (len ≤ MAX_FRAME_LEN)
-//! payload := 'N' 'B' version:u8 opcode:u8 body
+//! payload := 'N' 'B' version:u8 opcode:u8 [corr:u64 if version ≥ 4] body
 //! ```
 //!
 //! Every integer is big-endian; an `f64` travels as its IEEE-754 bit
@@ -24,6 +24,8 @@
 //! | `0x04` / `0x84` | `INFO` (listing-scoped, v3) | listing metadata + ledger accounting |
 //! | `0x05` / `0x85` | `STATS` | per-op request/error counters + latency + per-listing accounting |
 //! | `0x06` / `0x86` | `LISTINGS` | the marketplace's listing directory, states included |
+//! | `0x07` / `0x87` | `BATCH_COMMIT` (many sales, one frame, v4) | per-item status: [`SaleMsg`] or typed error |
+//! | `0x08` / `0x88` | `MENU_STREAM` (chunked menu read, v4) | a run of [`MenuChunkMsg`] frames sharing the request's correlation id; the last sets `done` |
 //! | `0x10` / `0x90` | `PUBLISH` (admin) | listing (re-)published: new epoch + expected revenue |
 //! | `0x11` / `0x91` | `RETIRE` (admin) | listing retired, name echoed |
 //! | — / `0xBB` | — | `BUSY`: shed by admission control, with a `retry_after_ms` hint |
@@ -48,10 +50,21 @@
 //! name (empty = the server's configured default listing, which is also
 //! what every v1/v2 request resolves to), `QUOTE` responses echo the
 //! listing they priced, `STATS` carries per-listing accounting rows, and
-//! the `LISTINGS`/`PUBLISH`/`RETIRE` opcodes were added. Anything outside
-//! the window decodes to [`ServerError::UnsupportedVersion`], which the
-//! server answers with a typed error frame (the error frame itself is
-//! always encoded at the server's version).
+//! the `LISTINGS`/`PUBLISH`/`RETIRE` opcodes were added. Version 4 makes
+//! the protocol pipelined: every v4 payload carries a `u64` correlation
+//! id right after the opcode, a client may have many requests in flight
+//! on one connection, and responses echo the request's correlation id
+//! and may return **out of order**. v4 also adds `BATCH_COMMIT` (one
+//! frame, many sales, per-item status) and `MENU_STREAM` (a large menu
+//! streamed as chunk frames that all share the request's correlation
+//! id). Interop is strict in both directions: requests at v1–v3 carry no
+//! correlation id and are answered one-at-a-time in order with
+//! v3-stamped responses, byte-for-byte what a v3 build would have
+//! produced; the v4 opcodes simply do not exist below v4. Anything
+//! outside the version window decodes to
+//! [`ServerError::UnsupportedVersion`], which the server answers with a
+//! typed error frame stamped at the highest version the peer and server
+//! share.
 
 use crate::error::ServerError;
 use crate::Result;
@@ -61,9 +74,16 @@ use std::io::{Read, Write};
 /// Leading magic bytes of every payload.
 pub const MAGIC: [u8; 2] = *b"NB";
 /// Protocol version this build encodes.
-pub const VERSION: u8 = 3;
+pub const VERSION: u8 = 4;
 /// Oldest protocol version this build still decodes.
 pub const MIN_VERSION: u8 = 1;
+/// Highest pre-pipelining version: responses to peers at or below this
+/// version are stamped `V3_VERSION` and carry no correlation id.
+pub const V3_VERSION: u8 = 3;
+/// Cap on the number of items in one `BATCH_COMMIT` frame.
+pub const MAX_BATCH_ITEMS: usize = 256;
+/// Default (and maximum) points per `MENU_STREAM` chunk.
+pub const MENU_STREAM_CHUNK: usize = 64;
 /// Hard cap on a frame's payload length (framing limit: a peer cannot make
 /// the other side allocate more than this per frame).
 pub const MAX_FRAME_LEN: usize = 1 << 20;
@@ -79,6 +99,8 @@ const OP_COMMIT: u8 = 0x03;
 const OP_INFO: u8 = 0x04;
 const OP_STATS: u8 = 0x05;
 const OP_LISTINGS: u8 = 0x06;
+const OP_BATCH_COMMIT: u8 = 0x07;
+const OP_MENU_STREAM: u8 = 0x08;
 const OP_PUBLISH: u8 = 0x10;
 const OP_RETIRE: u8 = 0x11;
 // Response opcodes.
@@ -88,6 +110,8 @@ const OP_R_COMMIT: u8 = 0x83;
 const OP_R_INFO: u8 = 0x84;
 const OP_R_STATS: u8 = 0x85;
 const OP_R_LISTINGS: u8 = 0x86;
+const OP_R_BATCH_COMMIT: u8 = 0x87;
+const OP_R_MENU_CHUNK: u8 = 0x88;
 const OP_R_PUBLISH: u8 = 0x90;
 const OP_R_RETIRE: u8 = 0x91;
 const OP_R_BUSY: u8 = 0xBB;
@@ -204,6 +228,25 @@ pub enum Request {
         /// (and every v1 commit) is a plain non-idempotent commit.
         nonce: Option<u64>,
     },
+    /// Redeem many quotes in one frame (v4). Items resolve independently:
+    /// one stale epoch does not poison its neighbours, and the response
+    /// reports a per-item [`SaleMsg`]-or-error in request order.
+    BatchCommit {
+        /// Listing to commit at; `None` = the server's default listing.
+        listing: Option<String>,
+        /// The commits, at most [`MAX_BATCH_ITEMS`].
+        items: Vec<BatchItemMsg>,
+    },
+    /// Fetch a listing's posted menu as a stream of chunk frames (v4).
+    /// Every chunk shares the request's correlation id; the last chunk
+    /// sets [`MenuChunkMsg::done`].
+    MenuStream {
+        /// Listing to read; `None` = the server's default listing.
+        listing: Option<String>,
+        /// Requested points per chunk; `0` (and anything above the cap)
+        /// means the server default of [`MENU_STREAM_CHUNK`].
+        chunk: u32,
+    },
     /// Fetch a listing's metadata and ledger accounting.
     Info {
         /// Listing to describe; `None` = the server's default listing.
@@ -233,6 +276,8 @@ impl Request {
             Request::Menu { .. } => "menu",
             Request::Quote { .. } => "quote",
             Request::Commit { .. } => "commit",
+            Request::BatchCommit { .. } => "batch_commit",
+            Request::MenuStream { .. } => "menu_stream",
             Request::Info { .. } => "info",
             Request::Listings => "listings",
             Request::Stats => "stats",
@@ -251,6 +296,61 @@ pub struct MenuMsg {
     pub metric: String,
     /// The posted `(inverse NCP, price)` table.
     pub points: Vec<(f64, f64)>,
+}
+
+/// One commit inside a `BATCH_COMMIT` request (v4) — the same fields a
+/// standalone `COMMIT` carries, minus the listing (the batch routes as a
+/// whole).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchItemMsg {
+    /// Quoted inverse NCP.
+    pub x: f64,
+    /// Snapshot epoch the quote was priced against.
+    pub snapshot_epoch: u64,
+    /// Payment offered.
+    pub payment: f64,
+    /// Idempotency nonce; same dedup semantics as a standalone `COMMIT`.
+    pub nonce: Option<u64>,
+}
+
+/// One item's resolution inside a `BATCH_COMMIT` response (v4).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchOutcomeMsg {
+    /// The item committed; the completed sale, weights included.
+    Sale(SaleMsg),
+    /// The item failed; its neighbours are unaffected.
+    Error {
+        /// Machine-readable code.
+        code: ErrorCode,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+/// `BATCH_COMMIT` response body: one outcome per request item, in
+/// request order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchCommitMsg {
+    /// Per-item outcomes, index-aligned with the request's items.
+    pub items: Vec<BatchOutcomeMsg>,
+}
+
+/// One `MENU_STREAM` chunk (v4). All chunks of one stream share the
+/// request's correlation id and a single snapshot epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MenuChunkMsg {
+    /// Epoch of the snapshot the menu was read from.
+    pub epoch: u64,
+    /// Metric the market is denominated in.
+    pub metric: String,
+    /// Index of this chunk's first point in the full menu.
+    pub offset: u64,
+    /// Total number of points in the full menu.
+    pub total: u64,
+    /// This chunk's `(inverse NCP, price)` points.
+    pub points: Vec<(f64, f64)>,
+    /// True on the final chunk of the stream.
+    pub done: bool,
 }
 
 /// `QUOTE` response body — the wire image of a broker `Quote`.
@@ -398,6 +498,10 @@ pub enum Response {
     Quote(QuoteMsg),
     /// Completed sale.
     Commit(SaleMsg),
+    /// Per-item outcomes of a `BATCH_COMMIT` (v4).
+    BatchCommit(BatchCommitMsg),
+    /// One chunk of a streamed menu (v4).
+    MenuChunk(MenuChunkMsg),
     /// Listing metadata.
     Info(InfoMsg),
     /// The marketplace's listing directory.
@@ -442,11 +546,17 @@ struct Enc {
 }
 
 impl Enc {
-    fn with_opcode(opcode: u8) -> Enc {
+    /// Starts a payload at an explicit `version`. For v4 and above the
+    /// header carries the correlation id; below v4 `corr` is not encoded
+    /// (the payload is byte-for-byte what a v3 build produces).
+    fn at_version(version: u8, opcode: u8, corr: u64) -> Enc {
         let mut buf = Vec::with_capacity(64);
         buf.extend_from_slice(&MAGIC);
-        buf.push(VERSION);
+        buf.push(version);
         buf.push(opcode);
+        if version >= 4 {
+            buf.extend_from_slice(&corr.to_be_bytes());
+        }
         Enc { buf }
     }
 
@@ -572,11 +682,12 @@ impl<'a> Dec<'a> {
     }
 }
 
-/// Strips and validates the `magic | version | opcode` header, returning
-/// the negotiated version, the opcode and the body decoder. Versions in
+/// Strips and validates the `magic | version | opcode [| corr]` header,
+/// returning the negotiated version, the opcode, the correlation id (0
+/// below v4) and the body decoder. Versions in
 /// [`MIN_VERSION`]`..=`[`VERSION`] are accepted; body decoders branch on
 /// the version to default fields the peer's version predates.
-fn open_payload(payload: &[u8]) -> Result<(u8, u8, Dec<'_>)> {
+fn open_payload(payload: &[u8]) -> Result<(u8, u8, u64, Dec<'_>)> {
     let mut dec = Dec { buf: payload };
     let magic = dec.take(2)?;
     if magic != MAGIC {
@@ -587,7 +698,25 @@ fn open_payload(payload: &[u8]) -> Result<(u8, u8, Dec<'_>)> {
         return Err(ServerError::UnsupportedVersion { got: version });
     }
     let opcode = dec.u8()?;
-    Ok((version, opcode, dec))
+    let corr = if version >= 4 { dec.u64()? } else { 0 };
+    Ok((version, opcode, corr, dec))
+}
+
+/// Sniffs a payload's version and correlation id without decoding the
+/// body — what the event loop needs to route a frame to a worker before
+/// anything is validated. Returns `(version, corr)`; frames too short to
+/// carry the fields report `(0, 0)` and are left for the full decoder to
+/// reject with a typed error.
+pub fn sniff_header(payload: &[u8]) -> (u8, u64) {
+    let version = payload.get(2).copied().unwrap_or(0);
+    if version >= 4 {
+        if let Some(bytes) = payload.get(4..12) {
+            if let Ok(raw) = <[u8; 8]>::try_from(bytes) {
+                return (version, u64::from_be_bytes(raw));
+            }
+        }
+    }
+    (version, 0)
 }
 
 // ---------------------------------------------------------------------------
@@ -673,16 +802,23 @@ fn dec_listing(d: &mut Dec<'_>, version: u8) -> Result<Option<String>> {
 }
 
 impl Request {
-    /// Encodes into a complete payload (header + body).
+    /// Encodes into a complete payload (header + body) at [`VERSION`]
+    /// with correlation id 0 — what a non-pipelined client sends.
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_with_corr(0)
+    }
+
+    /// Encodes at [`VERSION`] carrying an explicit correlation id, for
+    /// pipelined connections where responses may return out of order.
+    pub fn encode_with_corr(&self, corr: u64) -> Vec<u8> {
         match self {
             Request::Menu { listing } => {
-                let mut e = Enc::with_opcode(OP_MENU);
+                let mut e = Enc::at_version(VERSION, OP_MENU, corr);
                 enc_listing(&mut e, listing);
                 e.finish()
             }
             Request::Quote { listing, request } => {
-                let mut e = Enc::with_opcode(OP_QUOTE);
+                let mut e = Enc::at_version(VERSION, OP_QUOTE, corr);
                 let (kind, v) = match request {
                     PurchaseRequest::AtInverseNcp(x) => (REQ_AT, *x),
                     PurchaseRequest::ErrorBudget(b) => (REQ_ERROR_BUDGET, *b),
@@ -700,7 +836,7 @@ impl Request {
                 payment,
                 nonce,
             } => {
-                let mut e = Enc::with_opcode(OP_COMMIT);
+                let mut e = Enc::at_version(VERSION, OP_COMMIT, corr);
                 e.f64(*x);
                 e.u64(*snapshot_epoch);
                 e.f64(*payment);
@@ -714,29 +850,61 @@ impl Request {
                 enc_listing(&mut e, listing);
                 e.finish()
             }
+            Request::BatchCommit { listing, items } => {
+                debug_assert!(items.len() <= MAX_BATCH_ITEMS);
+                let mut e = Enc::at_version(VERSION, OP_BATCH_COMMIT, corr);
+                enc_listing(&mut e, listing);
+                let count = items.len().min(MAX_BATCH_ITEMS);
+                e.u16(count as u16);
+                for item in items.iter().take(count) {
+                    e.f64(item.x);
+                    e.u64(item.snapshot_epoch);
+                    e.f64(item.payment);
+                    match item.nonce {
+                        Some(n) => {
+                            e.u8(1);
+                            e.u64(n);
+                        }
+                        None => e.u8(0),
+                    }
+                }
+                e.finish()
+            }
+            Request::MenuStream { listing, chunk } => {
+                let mut e = Enc::at_version(VERSION, OP_MENU_STREAM, corr);
+                enc_listing(&mut e, listing);
+                e.u32(*chunk);
+                e.finish()
+            }
             Request::Info { listing } => {
-                let mut e = Enc::with_opcode(OP_INFO);
+                let mut e = Enc::at_version(VERSION, OP_INFO, corr);
                 enc_listing(&mut e, listing);
                 e.finish()
             }
-            Request::Listings => Enc::with_opcode(OP_LISTINGS).finish(),
-            Request::Stats => Enc::with_opcode(OP_STATS).finish(),
+            Request::Listings => Enc::at_version(VERSION, OP_LISTINGS, corr).finish(),
+            Request::Stats => Enc::at_version(VERSION, OP_STATS, corr).finish(),
             Request::Publish { listing } => {
-                let mut e = Enc::with_opcode(OP_PUBLISH);
+                let mut e = Enc::at_version(VERSION, OP_PUBLISH, corr);
                 e.str(listing);
                 e.finish()
             }
             Request::Retire { listing } => {
-                let mut e = Enc::with_opcode(OP_RETIRE);
+                let mut e = Enc::at_version(VERSION, OP_RETIRE, corr);
                 e.str(listing);
                 e.finish()
             }
         }
     }
 
-    /// Decodes a payload into a request.
+    /// Decodes a payload into a request, dropping the correlation id.
     pub fn decode(payload: &[u8]) -> Result<Request> {
-        let (version, opcode, mut d) = open_payload(payload)?;
+        Ok(Request::decode_framed(payload)?.1)
+    }
+
+    /// Decodes a payload into `(correlation id, request)`; the id is 0
+    /// for peers below v4.
+    pub fn decode_framed(payload: &[u8]) -> Result<(u64, Request)> {
+        let (version, opcode, corr, mut d) = open_payload(payload)?;
         let req = match opcode {
             OP_MENU => Request::Menu {
                 listing: dec_listing(&mut d, version)?,
@@ -780,6 +948,40 @@ impl Request {
                     nonce,
                 }
             }
+            OP_BATCH_COMMIT if version >= 4 => {
+                let listing = dec_listing(&mut d, version)?;
+                let count = d.u16()? as usize;
+                if count > MAX_BATCH_ITEMS {
+                    return Err(Dec::bad(format!(
+                        "batch of {count} commits exceeds cap of {MAX_BATCH_ITEMS}"
+                    )));
+                }
+                let items = (0..count)
+                    .map(|_| {
+                        let x = d.f64()?;
+                        let snapshot_epoch = d.u64()?;
+                        let payment = d.f64()?;
+                        let nonce = match d.u8()? {
+                            0 => None,
+                            1 => Some(d.u64()?),
+                            other => {
+                                return Err(Dec::bad(format!("bad batch nonce flag {other}")));
+                            }
+                        };
+                        Ok(BatchItemMsg {
+                            x,
+                            snapshot_epoch,
+                            payment,
+                            nonce,
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Request::BatchCommit { listing, items }
+            }
+            OP_MENU_STREAM if version >= 4 => Request::MenuStream {
+                listing: dec_listing(&mut d, version)?,
+                chunk: d.u32()?,
+            },
             OP_INFO => Request::Info {
                 listing: dec_listing(&mut d, version)?,
             },
@@ -792,7 +994,7 @@ impl Request {
             }
         };
         d.finish()?;
-        Ok(req)
+        Ok((corr, req))
     }
 }
 
@@ -801,11 +1003,28 @@ impl Request {
 // ---------------------------------------------------------------------------
 
 impl Response {
-    /// Encodes into a complete payload (header + body).
+    /// Encodes into a complete payload (header + body) at [`VERSION`]
+    /// with correlation id 0.
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_versioned(VERSION, 0)
+    }
+
+    /// Encodes for a peer that spoke `peer_version`, echoing `corr`.
+    ///
+    /// v4+ peers get a [`VERSION`]-stamped payload carrying the
+    /// correlation id; everyone older gets a [`V3_VERSION`]-stamped
+    /// payload with no correlation id — byte-for-byte what a v3 build
+    /// would have sent, which is the interop contract.
+    pub fn encode_versioned(&self, peer_version: u8, corr: u64) -> Vec<u8> {
+        let version = if peer_version >= 4 {
+            VERSION
+        } else {
+            V3_VERSION
+        };
+        let enc = |opcode: u8| Enc::at_version(version, opcode, corr);
         match self {
             Response::Menu(m) => {
-                let mut e = Enc::with_opcode(OP_R_MENU);
+                let mut e = enc(OP_R_MENU);
                 e.u64(m.epoch);
                 e.str(&m.metric);
                 e.u32(m.points.len() as u32);
@@ -816,7 +1035,7 @@ impl Response {
                 e.finish()
             }
             Response::Quote(q) => {
-                let mut e = Enc::with_opcode(OP_R_QUOTE);
+                let mut e = enc(OP_R_QUOTE);
                 e.f64(q.x);
                 e.f64(q.delta);
                 e.f64(q.price);
@@ -827,7 +1046,7 @@ impl Response {
                 e.finish()
             }
             Response::Commit(s) => {
-                let mut e = Enc::with_opcode(OP_R_COMMIT);
+                let mut e = enc(OP_R_COMMIT);
                 e.f64(s.inverse_ncp);
                 e.f64(s.price);
                 e.f64(s.expected_error);
@@ -836,8 +1055,45 @@ impl Response {
                 e.f64s(&s.weights);
                 e.finish()
             }
+            Response::BatchCommit(b) => {
+                let mut e = enc(OP_R_BATCH_COMMIT);
+                e.u16(b.items.len().min(MAX_BATCH_ITEMS) as u16);
+                for item in b.items.iter().take(MAX_BATCH_ITEMS) {
+                    match item {
+                        BatchOutcomeMsg::Sale(s) => {
+                            e.u8(1);
+                            e.f64(s.inverse_ncp);
+                            e.f64(s.price);
+                            e.f64(s.expected_error);
+                            e.str(&s.metric);
+                            e.u64(s.transaction);
+                            e.f64s(&s.weights);
+                        }
+                        BatchOutcomeMsg::Error { code, message } => {
+                            e.u8(0);
+                            e.u16(*code as u16);
+                            e.str(message);
+                        }
+                    }
+                }
+                e.finish()
+            }
+            Response::MenuChunk(c) => {
+                let mut e = enc(OP_R_MENU_CHUNK);
+                e.u64(c.epoch);
+                e.str(&c.metric);
+                e.u64(c.offset);
+                e.u64(c.total);
+                e.u32(c.points.len() as u32);
+                for &(x, p) in &c.points {
+                    e.f64(x);
+                    e.f64(p);
+                }
+                e.u8(u8::from(c.done));
+                e.finish()
+            }
             Response::Info(i) => {
-                let mut e = Enc::with_opcode(OP_R_INFO);
+                let mut e = enc(OP_R_INFO);
                 e.str(&i.listing);
                 e.str(&i.metric);
                 e.u64(i.epoch);
@@ -850,7 +1106,7 @@ impl Response {
                 e.finish()
             }
             Response::Listings(l) => {
-                let mut e = Enc::with_opcode(OP_R_LISTINGS);
+                let mut e = enc(OP_R_LISTINGS);
                 e.str(&l.default_listing);
                 e.u16(l.listings.len() as u16);
                 for row in &l.listings {
@@ -864,7 +1120,7 @@ impl Response {
                 e.finish()
             }
             Response::Stats(s) => {
-                let mut e = Enc::with_opcode(OP_R_STATS);
+                let mut e = enc(OP_R_STATS);
                 e.u64(s.connections);
                 e.u64(s.busy_rejections);
                 e.u64(s.protocol_errors);
@@ -892,24 +1148,24 @@ impl Response {
                 epoch,
                 expected_revenue,
             } => {
-                let mut e = Enc::with_opcode(OP_R_PUBLISH);
+                let mut e = enc(OP_R_PUBLISH);
                 e.str(listing);
                 e.u64(*epoch);
                 e.f64(*expected_revenue);
                 e.finish()
             }
             Response::Retire { listing } => {
-                let mut e = Enc::with_opcode(OP_R_RETIRE);
+                let mut e = enc(OP_R_RETIRE);
                 e.str(listing);
                 e.finish()
             }
             Response::Busy { retry_after_ms } => {
-                let mut e = Enc::with_opcode(OP_R_BUSY);
+                let mut e = enc(OP_R_BUSY);
                 e.u32(*retry_after_ms);
                 e.finish()
             }
             Response::Error { code, message } => {
-                let mut e = Enc::with_opcode(OP_R_ERROR);
+                let mut e = enc(OP_R_ERROR);
                 e.u16(*code as u16);
                 e.str(message);
                 e.finish()
@@ -917,9 +1173,15 @@ impl Response {
         }
     }
 
-    /// Decodes a payload into a response.
+    /// Decodes a payload into a response, dropping the correlation id.
     pub fn decode(payload: &[u8]) -> Result<Response> {
-        let (version, opcode, mut d) = open_payload(payload)?;
+        Ok(Response::decode_framed(payload)?.1)
+    }
+
+    /// Decodes a payload into `(correlation id, response)`; the id is 0
+    /// for responses below v4.
+    pub fn decode_framed(payload: &[u8]) -> Result<(u64, Response)> {
+        let (version, opcode, corr, mut d) = open_payload(payload)?;
         let resp = match opcode {
             OP_R_MENU => {
                 let epoch = d.u64()?;
@@ -958,6 +1220,64 @@ impl Response {
                 transaction: d.u64()?,
                 weights: d.f64s()?,
             }),
+            OP_R_BATCH_COMMIT if version >= 4 => {
+                let count = d.u16()? as usize;
+                if count > MAX_BATCH_ITEMS {
+                    return Err(Dec::bad(format!(
+                        "batch of {count} outcomes exceeds cap of {MAX_BATCH_ITEMS}"
+                    )));
+                }
+                let items = (0..count)
+                    .map(|_| {
+                        Ok(match d.u8()? {
+                            1 => BatchOutcomeMsg::Sale(SaleMsg {
+                                inverse_ncp: d.f64()?,
+                                price: d.f64()?,
+                                expected_error: d.f64()?,
+                                metric: d.str()?,
+                                transaction: d.u64()?,
+                                weights: d.f64s()?,
+                            }),
+                            0 => {
+                                let raw = d.u16()?;
+                                let code = ErrorCode::from_u16(raw).ok_or_else(|| {
+                                    Dec::bad(format!("unknown batch error code {raw}"))
+                                })?;
+                                BatchOutcomeMsg::Error {
+                                    code,
+                                    message: d.str()?,
+                                }
+                            }
+                            other => {
+                                return Err(Dec::bad(format!("bad batch outcome tag {other}")));
+                            }
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Response::BatchCommit(BatchCommitMsg { items })
+            }
+            OP_R_MENU_CHUNK if version >= 4 => {
+                let epoch = d.u64()?;
+                let metric = d.str()?;
+                let offset = d.u64()?;
+                let total = d.u64()?;
+                let len = d.u32()? as usize;
+                if len > MAX_VEC_LEN {
+                    return Err(Dec::bad(format!("menu chunk of {len} points exceeds cap")));
+                }
+                let points = (0..len)
+                    .map(|_| Ok((d.f64()?, d.f64()?)))
+                    .collect::<Result<Vec<_>>>()?;
+                let done = d.u8()? != 0;
+                Response::MenuChunk(MenuChunkMsg {
+                    epoch,
+                    metric,
+                    offset,
+                    total,
+                    points,
+                    done,
+                })
+            }
             OP_R_INFO => Response::Info(InfoMsg {
                 listing: d.str()?,
                 metric: d.str()?,
@@ -1054,7 +1374,7 @@ impl Response {
             }
         };
         d.finish()?;
-        Ok(resp)
+        Ok((corr, resp))
     }
 }
 
@@ -1490,6 +1810,158 @@ mod tests {
                 listings: vec![],
             })
         );
+    }
+
+    #[test]
+    fn correlation_ids_round_trip_at_v4() {
+        let req = Request::Quote {
+            listing: Some("acme-data".into()),
+            request: PurchaseRequest::AtInverseNcp(42.5),
+        };
+        let payload = req.encode_with_corr(0xFEED_F00D_1234_5678);
+        assert_eq!(payload[2], VERSION);
+        assert_eq!(sniff_header(&payload), (VERSION, 0xFEED_F00D_1234_5678));
+        let (corr, decoded) = Request::decode_framed(&payload).unwrap();
+        assert_eq!(corr, 0xFEED_F00D_1234_5678);
+        assert_eq!(decoded, req);
+
+        let resp = Response::Busy { retry_after_ms: 9 };
+        let payload = resp.encode_versioned(VERSION, 77);
+        let (corr, decoded) = Response::decode_framed(&payload).unwrap();
+        assert_eq!(corr, 77);
+        assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn v3_peers_get_byte_identical_v3_responses() {
+        // The interop contract: a response encoded for any pre-v4 peer is
+        // exactly the v3 encoding — version byte 3, no correlation id.
+        let resp = Response::Quote(QuoteMsg {
+            x: 20.0,
+            delta: 0.05,
+            price: 14.5,
+            expected_error: 0.05,
+            metric: "square".into(),
+            snapshot_epoch: 3,
+            listing: "acme-data".into(),
+        });
+        for peer in 1..=3u8 {
+            let payload = resp.encode_versioned(peer, 123);
+            assert_eq!(payload[2], V3_VERSION);
+            // Hand-build the v3 frame a v3 server produced.
+            let mut expect = vec![b'N', b'B', 3, 0x82];
+            for v in [20.0f64, 0.05, 14.5, 0.05] {
+                expect.extend_from_slice(&v.to_bits().to_be_bytes());
+            }
+            expect.extend_from_slice(&(6u16).to_be_bytes());
+            expect.extend_from_slice(b"square");
+            expect.extend_from_slice(&3u64.to_be_bytes());
+            expect.extend_from_slice(&(9u16).to_be_bytes());
+            expect.extend_from_slice(b"acme-data");
+            assert_eq!(payload, expect);
+            let (corr, decoded) = Response::decode_framed(&payload).unwrap();
+            assert_eq!(corr, 0); // pre-v4 frames carry no correlation id
+            assert_eq!(decoded, resp);
+        }
+    }
+
+    #[test]
+    fn batch_commit_round_trips_with_mixed_outcomes() {
+        roundtrip_request(Request::BatchCommit {
+            listing: Some("acme-data".into()),
+            items: vec![
+                BatchItemMsg {
+                    x: 10.0,
+                    snapshot_epoch: 1,
+                    payment: 5.5,
+                    nonce: None,
+                },
+                BatchItemMsg {
+                    x: 20.0,
+                    snapshot_epoch: 1,
+                    payment: 9.25,
+                    nonce: Some(0xABCD),
+                },
+            ],
+        });
+        roundtrip_response(Response::BatchCommit(BatchCommitMsg {
+            items: vec![
+                BatchOutcomeMsg::Sale(SaleMsg {
+                    inverse_ncp: 10.0,
+                    price: 5.5,
+                    expected_error: 0.1,
+                    metric: "square".into(),
+                    transaction: 42,
+                    weights: vec![1.0, -2.0],
+                }),
+                BatchOutcomeMsg::Error {
+                    code: ErrorCode::QuoteExpired,
+                    message: "superseded".into(),
+                },
+                BatchOutcomeMsg::Error {
+                    code: ErrorCode::Retired,
+                    message: "gone".into(),
+                },
+            ],
+        }));
+    }
+
+    #[test]
+    fn batch_commit_rejects_oversized_and_pre_v4_frames() {
+        // Announced count over the cap is refused before allocating.
+        let mut payload = Request::BatchCommit {
+            listing: None,
+            items: vec![],
+        }
+        .encode();
+        let base = payload.len();
+        payload.truncate(base - 2);
+        payload.extend_from_slice(&((MAX_BATCH_ITEMS + 1) as u16).to_be_bytes());
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(ServerError::Protocol { .. })
+        ));
+
+        // The opcode does not exist below v4: a v3-stamped BATCH_COMMIT
+        // frame is an unknown opcode, exactly as a real v3 peer sees it.
+        let mut v3 = vec![b'N', b'B', 3, 0x07];
+        v3.extend_from_slice(&0u16.to_be_bytes()); // listing ""
+        v3.extend_from_slice(&0u16.to_be_bytes()); // zero items
+        assert!(matches!(
+            Request::decode(&v3),
+            Err(ServerError::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn menu_stream_round_trips() {
+        roundtrip_request(Request::MenuStream {
+            listing: None,
+            chunk: 0,
+        });
+        roundtrip_request(Request::MenuStream {
+            listing: Some("acme-data".into()),
+            chunk: 16,
+        });
+        roundtrip_response(Response::MenuChunk(MenuChunkMsg {
+            epoch: 5,
+            metric: "square".into(),
+            offset: 64,
+            total: 100,
+            points: vec![(65.0, 20.5), (66.0, 20.75)],
+            done: true,
+        }));
+    }
+
+    #[test]
+    fn sniff_header_tolerates_short_and_old_frames() {
+        assert_eq!(sniff_header(&[]), (0, 0));
+        assert_eq!(sniff_header(b"NB"), (0, 0));
+        // v3 frames have no correlation id to sniff.
+        assert_eq!(sniff_header(&[b'N', b'B', 3, 0x01]), (3, 0));
+        // A v4 header too short for the id reports id 0 and leaves the
+        // rejection to the full decoder.
+        assert_eq!(sniff_header(&[b'N', b'B', 4, 0x01, 1, 2]), (4, 0));
     }
 
     #[test]

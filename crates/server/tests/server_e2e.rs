@@ -89,6 +89,7 @@ fn concurrent_buyers_reconcile_with_ledger() {
             client: fast_client(),
             busy_retries: 0,
             mix: Vec::new(),
+            ..LoadConfig::default()
         },
     );
 
@@ -200,6 +201,7 @@ fn flood_beyond_admission_bound_sheds_busy() {
             client: fast_client(),
             busy_retries: 0,
             mix: Vec::new(),
+            ..LoadConfig::default()
         },
     );
 
@@ -363,6 +365,7 @@ fn graceful_shutdown_drains_in_flight_buyers() {
                     client: fast_client(),
                     busy_retries: 0,
                     mix: Vec::new(),
+                    ..LoadConfig::default()
                 },
             )
         });
@@ -420,6 +423,7 @@ fn busy_retries_honor_the_hint_and_reconcile() {
             client: fast_client(),
             busy_retries: 32,
             mix: Vec::new(),
+            ..LoadConfig::default()
         },
     );
 
@@ -607,6 +611,7 @@ fn multi_listing_buyers_route_and_reconcile_independently() {
                 ("beta".to_string(), 2),
                 ("gamma".to_string(), 1),
             ],
+            ..LoadConfig::default()
         },
     );
     assert_eq!(report.ok, 180, "{report:?}");
@@ -694,5 +699,432 @@ fn v2_peers_interoperate_on_the_default_listing() {
     // The money landed in the default listing's ledger.
     assert_eq!(broker.sales_count(), 1);
     assert!((broker.collected_revenue() - quote.price).abs() < 1e-9);
+    server.shutdown();
+}
+
+/// Satellite: slow-loris defense. Half-open connections — some trickling
+/// a partial frame header, some fully silent — are shed by the event
+/// loop's header-read and idle deadlines with a typed `BUSY`, while quote
+/// throughput on well-behaved connections stays flat (every request
+/// served, nothing shed).
+#[test]
+fn slow_loris_half_open_connections_are_shed_while_service_continues() {
+    let (marketplace, _broker) = build_marketplace(91);
+    let server = start_server(
+        marketplace,
+        ServerConfig {
+            header_read_timeout: Duration::from_millis(300),
+            idle_timeout: Duration::from_millis(450),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+
+    // Three connections trickle 2 bytes of a length prefix and stall;
+    // three more connect and never send a byte.
+    let mut loris: Vec<TcpStream> = Vec::new();
+    for i in 0..6 {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        if i < 3 {
+            stream.write_all(&[0u8, 0u8]).unwrap();
+        }
+        loris.push(stream);
+    }
+
+    // Real traffic is served at full rate while the half-open sockets sit
+    // on the server: nothing is shed, nothing errors.
+    let report = run_load(
+        addr,
+        &LoadConfig {
+            threads: 4,
+            requests_per_thread: 25,
+            mode: LoadMode::Quote,
+            client: fast_client(),
+            ..LoadConfig::default()
+        },
+    );
+    assert_eq!(report.ok, 100, "{report:?}");
+    assert_eq!(report.busy, 0);
+    assert_eq!(report.errors, 0);
+
+    // Each half-open connection is shed: one typed BUSY frame, then the
+    // server hangs up. (The deadline fires while or shortly after the
+    // load runs; the blocking reads below absorb the wait.)
+    for mut stream in loris {
+        let payload = wire::read_frame(&mut stream).unwrap();
+        match Response::decode(&payload).unwrap() {
+            Response::Busy { .. } => {}
+            other => panic!("expected BUSY shed, got {other:?}"),
+        }
+        let mut rest = Vec::new();
+        assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0);
+    }
+
+    // Deadline sheds are accounted separately from admission sheds: the
+    // queue never saw these connections.
+    assert_eq!(server.stats().timeout_sheds(), 6);
+    assert_eq!(server.stats().busy_rejections(), 0);
+    server.shutdown();
+}
+
+/// Tentpole: wire v4 pipelining. Many correlated quotes in flight on one
+/// connection; responses are matched by correlation id, not arrival
+/// order, and each answer is exactly the quote its request asked for.
+/// A `MENU` interleaved mid-stream answers under its own id.
+#[test]
+fn pipelined_corr_ids_route_out_of_order_responses() {
+    let (marketplace, broker) = build_marketplace(97);
+    let server = start_server(
+        marketplace,
+        ServerConfig {
+            shards: 2,
+            workers_per_shard: 4,
+            queue_capacity: 64,
+            ..ServerConfig::default()
+        },
+    );
+    let mut conn =
+        nimbus_server::PipelinedClient::connect(server.local_addr(), &fast_client()).unwrap();
+
+    // 12 quotes at distinct support points, all in flight at once, plus
+    // one MENU interleaved in the middle.
+    let mut expected_x: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+    let mut menu_corr = 0u64;
+    for i in 0..12u32 {
+        let x = 1.0 + 8.0 * f64::from(i);
+        let corr = conn
+            .send(&wire::Request::Quote {
+                listing: None,
+                request: PurchaseRequest::AtInverseNcp(x),
+            })
+            .unwrap();
+        expected_x.insert(corr, x);
+        if i == 6 {
+            menu_corr = conn.send(&wire::Request::Menu { listing: None }).unwrap();
+        }
+    }
+    assert_eq!(conn.in_flight(), 13);
+
+    let mut seen = std::collections::BTreeSet::new();
+    for _ in 0..13 {
+        let (corr, response) = conn.recv().unwrap();
+        assert!(seen.insert(corr), "corr {corr} answered twice");
+        if corr == menu_corr {
+            match response {
+                Response::Menu(menu) => assert!(!menu.points.is_empty()),
+                other => panic!("expected menu on corr {corr}, got {other:?}"),
+            }
+            continue;
+        }
+        let x = expected_x.remove(&corr).expect("unknown corr id");
+        let local = broker
+            .quote_request(PurchaseRequest::AtInverseNcp(x))
+            .unwrap();
+        match response {
+            Response::Quote(quote) => {
+                // The answer under this id is bit-for-bit the quote the
+                // request with this id asked for.
+                assert_eq!(quote.x, local.x, "corr {corr} answered the wrong request");
+                assert_eq!(quote.price, local.price);
+            }
+            other => panic!("expected quote on corr {corr}, got {other:?}"),
+        }
+    }
+    assert_eq!(conn.in_flight(), 0);
+    assert!(expected_x.is_empty());
+    server.shutdown();
+}
+
+/// Tentpole: `BATCH_COMMIT` resolves per item. One frame carrying a good
+/// item, a stale-epoch item and a NaN payment answers Sale / QuoteExpired
+/// / InvalidPayment in request order; only the good item lands in the
+/// ledger. A batch against a retired listing fails whole with the typed
+/// `Retired` code, and `MENU_STREAM` reassembles to exactly the classic
+/// `MENU`.
+#[test]
+fn batch_commit_mixed_outcomes_and_menu_stream() {
+    use nimbus_server::{BatchItemMsg, BatchOutcomeMsg};
+    let (marketplace, broker) = build_marketplace(101);
+    marketplace.list(listing("doomed", 102)).unwrap();
+    let server = start_server(marketplace.clone(), ServerConfig::default());
+    let mut client = NimbusClient::connect(server.local_addr(), &fast_client()).unwrap();
+
+    // A quote from the first epoch goes stale on re-publish.
+    let stale = client.quote(PurchaseRequest::AtInverseNcp(5.0)).unwrap();
+    marketplace.publish("e2e-listing").unwrap();
+    let good = client.quote(PurchaseRequest::AtInverseNcp(9.0)).unwrap();
+
+    let outcomes = client
+        .commit_batch(
+            None,
+            vec![
+                BatchItemMsg {
+                    x: good.x,
+                    snapshot_epoch: good.snapshot_epoch,
+                    payment: good.price,
+                    nonce: Some(1),
+                },
+                BatchItemMsg {
+                    x: stale.x,
+                    snapshot_epoch: stale.snapshot_epoch,
+                    payment: stale.price,
+                    nonce: Some(2),
+                },
+                BatchItemMsg {
+                    x: good.x,
+                    snapshot_epoch: good.snapshot_epoch,
+                    payment: f64::NAN,
+                    nonce: Some(3),
+                },
+            ],
+        )
+        .unwrap();
+    assert_eq!(outcomes.len(), 3);
+    match &outcomes[0] {
+        BatchOutcomeMsg::Sale(sale) => assert_eq!(sale.price, good.price),
+        other => panic!("item 0 should sell, got {other:?}"),
+    }
+    match &outcomes[1] {
+        BatchOutcomeMsg::Error { code, message } => {
+            assert_eq!(*code, ErrorCode::QuoteExpired);
+            assert!(message.contains("epoch"), "{message}");
+        }
+        other => panic!("item 1 should be stale, got {other:?}"),
+    }
+    match &outcomes[2] {
+        BatchOutcomeMsg::Error { code, .. } => assert_eq!(*code, ErrorCode::InvalidPayment),
+        other => panic!("item 2 should be rejected, got {other:?}"),
+    }
+    // Exactly the good item landed.
+    assert_eq!(broker.sales_count(), 1);
+    assert!((broker.collected_revenue() - good.price).abs() < 1e-9);
+
+    // buy_batch sugar: quotes then one idempotent batch; all items sell.
+    let sales = client
+        .buy_batch(&[
+            PurchaseRequest::AtInverseNcp(3.0),
+            PurchaseRequest::AtInverseNcp(7.0),
+        ])
+        .unwrap();
+    assert!(sales.iter().all(|o| matches!(o, BatchOutcomeMsg::Sale(_))));
+    assert_eq!(broker.sales_count(), 3);
+
+    // Listing-level failures fail the whole frame, typed.
+    client.retire("doomed").unwrap();
+    match client.commit_batch(
+        Some("doomed"),
+        vec![BatchItemMsg {
+            x: good.x,
+            snapshot_epoch: good.snapshot_epoch,
+            payment: good.price,
+            nonce: None,
+        }],
+    ) {
+        Err(ServerError::Remote { code, .. }) => assert_eq!(code, ErrorCode::Retired),
+        other => panic!("expected Retired, got {other:?}"),
+    }
+
+    // The chunked menu reassembles to exactly the classic MENU reply.
+    let whole = client.menu().unwrap();
+    let streamed = client.menu_stream(10).unwrap();
+    assert_eq!(streamed.epoch, whole.epoch);
+    assert_eq!(streamed.metric, whole.metric);
+    assert_eq!(streamed.points, whole.points);
+    server.shutdown();
+}
+
+/// Tentpole: frames split across arbitrary TCP segment boundaries. Three
+/// pipelined v4 quotes arrive interleaved — a complete frame plus half of
+/// the next per write, with pauses so each lands in a separate readiness
+/// event — and every request is still answered under its own id.
+#[test]
+fn interleaved_partial_frames_parse_across_readiness_events() {
+    let (marketplace, broker) = build_marketplace(103);
+    let server = start_server(marketplace, ServerConfig::default());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    let frames: Vec<(u64, f64, Vec<u8>)> = [(11u64, 5.0f64), (22, 20.0), (33, 60.0)]
+        .iter()
+        .map(|&(corr, x)| {
+            let payload = wire::Request::Quote {
+                listing: None,
+                request: PurchaseRequest::AtInverseNcp(x),
+            }
+            .encode_with_corr(corr);
+            let mut frame = (payload.len() as u32).to_be_bytes().to_vec();
+            frame.extend_from_slice(&payload);
+            (corr, x, frame)
+        })
+        .collect();
+
+    // Write boundaries deliberately misaligned with frame boundaries:
+    // [frame1 + half of frame2] … [rest of frame2 + 2 bytes of frame3's
+    // length prefix] … [rest of frame3].
+    let split2 = frames[1].2.len() / 2;
+    let mut chunk = frames[0].2.clone();
+    chunk.extend_from_slice(&frames[1].2[..split2]);
+    stream.write_all(&chunk).unwrap();
+    std::thread::sleep(Duration::from_millis(60));
+    let mut chunk = frames[1].2[split2..].to_vec();
+    chunk.extend_from_slice(&frames[2].2[..2]);
+    stream.write_all(&chunk).unwrap();
+    std::thread::sleep(Duration::from_millis(60));
+    stream.write_all(&frames[2].2[2..]).unwrap();
+
+    let mut seen = std::collections::BTreeSet::new();
+    for _ in 0..3 {
+        let payload = wire::read_frame(&mut stream).unwrap();
+        let (corr, response) = Response::decode_framed(&payload).unwrap();
+        let &(_, x, _) = frames
+            .iter()
+            .find(|(c, _, _)| *c == corr)
+            .expect("unknown corr id");
+        let local = broker
+            .quote_request(PurchaseRequest::AtInverseNcp(x))
+            .unwrap();
+        match response {
+            Response::Quote(quote) => assert_eq!(quote.x, local.x),
+            other => panic!("expected quote on corr {corr}, got {other:?}"),
+        }
+        assert!(seen.insert(corr));
+    }
+    assert_eq!(seen.len(), 3);
+    server.shutdown();
+}
+
+/// Regression: a version-3 peer (listing-routed, no correlation ids)
+/// still runs a full menu → quote → commit session byte-for-byte — the
+/// reply header stays v3 and carries no id field.
+#[test]
+fn v3_raw_frames_stay_byte_compatible() {
+    let (marketplace, broker) = build_marketplace(107);
+    let server = start_server(marketplace, ServerConfig::default());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut rpc = |payload: &[u8]| -> Vec<u8> {
+        wire::write_frame(&mut stream, payload).unwrap();
+        wire::read_frame(&mut stream).unwrap()
+    };
+    let enc_str = |payload: &mut Vec<u8>, s: &str| {
+        payload.extend_from_slice(&(s.len() as u16).to_be_bytes());
+        payload.extend_from_slice(s.as_bytes());
+    };
+
+    // v3 MENU routed by name. The reply is a v3 header: version byte 3,
+    // no correlation id (sniff reports id 0).
+    let mut payload = vec![b'N', b'B', 3, 0x01];
+    enc_str(&mut payload, "e2e-listing");
+    let reply = rpc(&payload);
+    assert_eq!(reply[2], 3, "reply must keep the peer's version");
+    assert_eq!(wire::sniff_header(&reply), (3, 0));
+    let menu = match Response::decode(&reply).unwrap() {
+        Response::Menu(m) => m,
+        other => panic!("expected menu, got {other:?}"),
+    };
+
+    // v3 QUOTE: kind + value, then the trailing listing field.
+    let mut payload = vec![b'N', b'B', 3, 0x02, 1];
+    payload.extend_from_slice(&10.0f64.to_bits().to_be_bytes());
+    enc_str(&mut payload, "e2e-listing");
+    let reply = rpc(&payload);
+    assert_eq!(reply[2], 3);
+    let quote = match Response::decode(&reply).unwrap() {
+        Response::Quote(q) => q,
+        other => panic!("expected quote, got {other:?}"),
+    };
+    assert_eq!(quote.snapshot_epoch, menu.epoch);
+
+    // v3 COMMIT: x, epoch, payment, nonce flag, listing.
+    let mut payload = vec![b'N', b'B', 3, 0x03];
+    payload.extend_from_slice(&quote.x.to_bits().to_be_bytes());
+    payload.extend_from_slice(&quote.snapshot_epoch.to_be_bytes());
+    payload.extend_from_slice(&quote.price.to_bits().to_be_bytes());
+    payload.push(0);
+    enc_str(&mut payload, "e2e-listing");
+    let reply = rpc(&payload);
+    assert_eq!(reply[2], 3);
+    match Response::decode(&reply).unwrap() {
+        Response::Commit(sale) => assert!((sale.price - quote.price).abs() < 1e-9),
+        other => panic!("expected sale, got {other:?}"),
+    }
+    assert_eq!(broker.sales_count(), 1);
+
+    // v4 opcodes are refused for v3 peers with a typed error, not served.
+    let mut payload = vec![b'N', b'B', 3, 0x07];
+    enc_str(&mut payload, "");
+    payload.extend_from_slice(&0u16.to_be_bytes());
+    match Response::decode(&rpc(&payload)).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadFrame),
+        other => panic!("expected BadFrame for v3 BATCH_COMMIT, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// Tentpole: the pipelined + batched load-generator path end to end —
+/// depth-8 pipelines, 5-item `BATCH_COMMIT` windows, idle connections
+/// held throughout — reconciles exactly against the ledger and reports
+/// latency quantiles and the open-socket count.
+#[test]
+fn pipelined_batched_load_reconciles_with_ledger() {
+    let (marketplace, broker) = build_marketplace(109);
+    let server = start_server(
+        marketplace,
+        ServerConfig {
+            shards: 2,
+            workers_per_shard: 4,
+            queue_capacity: 64,
+            ..ServerConfig::default()
+        },
+    );
+
+    let report = run_load(
+        server.local_addr(),
+        &LoadConfig {
+            threads: 4,
+            requests_per_thread: 40,
+            mode: LoadMode::Buy,
+            client: fast_client(),
+            busy_retries: 2,
+            pipeline_depth: 8,
+            batch_size: 5,
+            idle_connections: 8,
+            ..LoadConfig::default()
+        },
+    );
+
+    assert_eq!(report.attempted, 160);
+    assert_eq!(report.ok, 160, "{report:?}");
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.busy, 0);
+    assert!((report.ok_rate() - 1.0).abs() < 1e-12);
+    // 4 worker connections + 8 idle sockets were held open concurrently.
+    assert_eq!(report.open_connections, 12);
+    assert!(report.p99_micros >= report.p50_micros);
+    assert!(report.p50_micros > 0, "latencies must have been recorded");
+
+    // Every batched commit landed exactly once (nonces are distinct), and
+    // the money reconciles to the client-observed books.
+    assert_eq!(broker.sales_count(), 160);
+    assert!(
+        (broker.collected_revenue() - report.revenue).abs() < 1e-6,
+        "ledger {} vs client-observed {}",
+        broker.collected_revenue(),
+        report.revenue
+    );
+
+    // Server-side: 160 quotes and 32 batch frames of 5.
+    let stats = server.stats().snapshot();
+    let batch = stats.ops.iter().find(|o| o.op == "batch_commit").unwrap();
+    assert_eq!(batch.requests, 32);
+    assert_eq!(batch.errors, 0);
     server.shutdown();
 }

@@ -105,6 +105,7 @@ fn killed_server_recovers_every_acked_commit() {
                     client: client_config(0),
                     busy_retries: 0,
                     mix: Vec::new(),
+                    ..LoadConfig::default()
                 },
             )
         });
@@ -298,6 +299,7 @@ fn killed_marketplace_recovers_every_listing_independently() {
                     client: client_config(0),
                     busy_retries: 0,
                     mix: names.iter().map(|n| (n.to_string(), 1)).collect(),
+                    ..LoadConfig::default()
                 },
             )
         });

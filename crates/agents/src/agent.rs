@@ -1,0 +1,463 @@
+//! Adaptive buyer agents with classifier-system learning.
+//!
+//! Each [`BuyerAgent`] carries two rule populations, in the spirit of the
+//! evolving-marketplace agent designs from agent-based-modeling work:
+//!
+//! * **listing-choice rules** — one strength per listing; the agent picks
+//!   a listing by roulette over strengths (with a small ε of uniform
+//!   exploration), so listings that recently produced surplus attract
+//!   more of the agent's traffic;
+//! * **price-acceptance rules** — an `(accept, reject)` strength pair per
+//!   quantized surplus bucket; given a quote, the agent computes its
+//!   surplus (willingness-to-pay minus price), buckets it, and accepts
+//!   with probability `accept / (accept + reject)` for that bucket.
+//!
+//! Learning is pure reinforce-and-decay: rules that fired on a purchase
+//! with realized positive surplus are strengthened in proportion to that
+//! surplus, rules that fired on a regretted purchase (negative surplus)
+//! strengthen their opposite, and every strength decays toward its prior
+//! each tick so stale lessons fade. There is no gradient anywhere — the
+//! population "learns" prices the way a market does, by reweighting what
+//! worked.
+//!
+//! Determinism: every agent owns a private RNG seeded by
+//! `split_stream(run_seed, AGENT_STREAM + generation·GEN + id)`, all rule
+//! state lives in plain `Vec`s (no hash-order anywhere), and decisions
+//! consume the RNG in a fixed per-tick order driven by the engine.
+
+use nimbus_randkit::{seeded_rng, split_stream, uniform::uniform_index, uniform_in, NimbusRng};
+
+/// Number of quantized surplus buckets in the acceptance rule table.
+pub const SURPLUS_BUCKETS: usize = 8;
+
+/// Stream-label base for agent RNGs; generation (churn wave) and agent id
+/// are mixed in so every incarnation of every agent draws independently.
+const AGENT_STREAM: u64 = 0x5EED_A6E7;
+const GENERATION_STRIDE: u64 = 1_000_000;
+
+/// Exploration mass: fraction of listing choices made uniformly at
+/// random regardless of learned strengths.
+const EPSILON: f64 = 0.1;
+/// Reinforcement step per unit of normalized surplus.
+const LEARNING_RATE: f64 = 0.5;
+/// Per-tick decay of the distance between a strength and its prior.
+const DECAY: f64 = 0.02;
+/// Strengths never decay or reinforce outside this band, so no rule is
+/// ever absorbing and no roulette denominator can reach zero.
+const MIN_STRENGTH: f64 = 0.05;
+const MAX_STRENGTH: f64 = 50.0;
+
+/// The heterogeneous buyer types of the population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuyerType {
+    /// Price-sensitive: low valuations, content with noisy models.
+    Budget,
+    /// The middle of the market.
+    Mainstream,
+    /// Accuracy-hungry: high valuations, shops the top of the menu.
+    Premium,
+}
+
+impl BuyerType {
+    /// All types, in reporting order.
+    pub const ALL: [BuyerType; 3] = [BuyerType::Budget, BuyerType::Mainstream, BuyerType::Premium];
+
+    /// Stable index into per-type report arrays.
+    pub fn index(self) -> usize {
+        match self {
+            BuyerType::Budget => 0,
+            BuyerType::Mainstream => 1,
+            BuyerType::Premium => 2,
+        }
+    }
+
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BuyerType::Budget => "budget",
+            BuyerType::Mainstream => "mainstream",
+            BuyerType::Premium => "premium",
+        }
+    }
+
+    /// Willingness-to-pay scale, as a multiple of the listing's anchor
+    /// price (the top posted price at scenario start).
+    fn valuation_scale(self) -> f64 {
+        match self {
+            BuyerType::Budget => 0.7,
+            BuyerType::Mainstream => 1.1,
+            BuyerType::Premium => 1.7,
+        }
+    }
+
+    /// Preferred normalized menu position `t ∈ (0, 1]` (1 = the most
+    /// accurate posted version).
+    fn target_quality(self) -> f64 {
+        match self {
+            BuyerType::Budget => 0.35,
+            BuyerType::Mainstream => 0.6,
+            BuyerType::Premium => 0.9,
+        }
+    }
+}
+
+/// What an agent wants to do this tick: quote point `menu_index` on
+/// `listing`. Produced by [`BuyerAgent::intend`], either fresh or as a
+/// retry of an intent whose commit died with `QuoteExpired`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Intent {
+    /// Index into the engine's listing table.
+    pub listing: usize,
+    /// Index into that listing's posted menu.
+    pub menu_index: usize,
+    /// True when this intent replays one killed by a re-price.
+    pub retry: bool,
+}
+
+/// An agent's verdict on a priced quote.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// Whether the agent wants to commit the quote.
+    pub accept: bool,
+    /// Surplus (WTP − price) the agent projected when deciding.
+    pub surplus: f64,
+    /// True when the rejection was forced by an empty wallet rather than
+    /// chosen by the acceptance rules.
+    pub wallet_forced: bool,
+}
+
+/// One adaptive buyer.
+#[derive(Debug)]
+pub struct BuyerAgent {
+    id: u32,
+    buyer_type: BuyerType,
+    /// WTP multiplier; scenario demand shocks scale it mid-run.
+    valuation_scale: f64,
+    wallet: f64,
+    rng: NimbusRng,
+    /// Listing-choice rule strengths, one per listing.
+    choice: Vec<f64>,
+    /// `(accept, reject)` strengths per surplus bucket.
+    accept: Vec<(f64, f64)>,
+    /// Bucket the last acceptance decision fired on, for credit
+    /// assignment when the commit resolves.
+    last_bucket: usize,
+    /// Intent killed by a re-price, to be replayed next tick.
+    pending_retry: Option<Intent>,
+}
+
+impl BuyerAgent {
+    /// Creates agent `id` of generation `generation` (churn wave number)
+    /// with fresh learning state and its own RNG stream.
+    pub fn new(
+        run_seed: u64,
+        generation: u64,
+        id: u32,
+        buyer_type: BuyerType,
+        n_listings: usize,
+        starting_wallet: f64,
+    ) -> BuyerAgent {
+        let label = AGENT_STREAM
+            .wrapping_add(generation.wrapping_mul(GENERATION_STRIDE))
+            .wrapping_add(u64::from(id));
+        // Informative acceptance prior: higher surplus buckets start more
+        // willing, so early ticks already slope the right way and
+        // learning refines rather than bootstraps.
+        let accept = (0..SURPLUS_BUCKETS)
+            .map(|b| {
+                let t = (b as f64 + 0.5) / SURPLUS_BUCKETS as f64;
+                (0.5 + t, 1.5 - t)
+            })
+            .collect();
+        BuyerAgent {
+            id,
+            buyer_type,
+            valuation_scale: buyer_type.valuation_scale(),
+            wallet: starting_wallet,
+            rng: seeded_rng(split_stream(run_seed, label)),
+            choice: vec![1.0; n_listings.max(1)],
+            accept,
+            last_bucket: SURPLUS_BUCKETS / 2,
+            pending_retry: None,
+        }
+    }
+
+    /// The agent's id within the population.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The agent's buyer type.
+    pub fn buyer_type(&self) -> BuyerType {
+        self.buyer_type
+    }
+
+    /// Current wallet balance.
+    pub fn wallet(&self) -> f64 {
+        self.wallet
+    }
+
+    /// Applies a demand shock: scales the agent's WTP.
+    pub fn scale_valuation(&mut self, factor: f64) {
+        self.valuation_scale = (self.valuation_scale * factor).max(0.0);
+    }
+
+    /// Credits per-tick income.
+    pub fn earn(&mut self, income: f64) {
+        self.wallet += income;
+    }
+
+    /// Willingness to pay for normalized menu position `t ∈ [0, 1]` of a
+    /// listing whose anchor (top-of-menu price at scenario start) is
+    /// `anchor`. Concave in `t`: accuracy has diminishing returns, which
+    /// is also what makes the implied per-point valuations monotone.
+    pub fn wtp(&self, t: f64, anchor: f64) -> f64 {
+        self.valuation_scale * anchor * t.clamp(0.0, 1.0).sqrt()
+    }
+
+    /// Picks this tick's intent: a replay of a re-price-killed intent if
+    /// one is pending, otherwise a learned listing choice plus a menu
+    /// position near the agent's quality target.
+    pub fn intend(&mut self, menu_lens: &[usize]) -> Intent {
+        if let Some(mut retry) = self.pending_retry.take() {
+            let len = menu_lens.get(retry.listing).copied().unwrap_or(1).max(1);
+            retry.menu_index = retry.menu_index.min(len - 1);
+            retry.retry = true;
+            return retry;
+        }
+        let listing = self.choose_listing(menu_lens.len());
+        let len = menu_lens.get(listing).copied().unwrap_or(1).max(1);
+        let menu_index = self.choose_point(len);
+        Intent {
+            listing,
+            menu_index,
+            retry: false,
+        }
+    }
+
+    fn choose_listing(&mut self, n: usize) -> usize {
+        let n = n.max(1).min(self.choice.len());
+        if n == 1 {
+            return 0;
+        }
+        if uniform_in(&mut self.rng, 0.0, 1.0) < EPSILON {
+            return uniform_index(&mut self.rng, n);
+        }
+        let total: f64 = self.choice.iter().take(n).sum();
+        let mut spin = uniform_in(&mut self.rng, 0.0, total);
+        for (i, s) in self.choice.iter().take(n).enumerate() {
+            spin -= s;
+            if spin <= 0.0 {
+                return i;
+            }
+        }
+        n - 1
+    }
+
+    fn choose_point(&mut self, menu_len: usize) -> usize {
+        if menu_len == 1 {
+            return 0;
+        }
+        let target = self.buyer_type.target_quality() * (menu_len - 1) as f64;
+        let jitter = uniform_index(&mut self.rng, 3) as i64 - 1;
+        let idx = target.round() as i64 + jitter;
+        idx.clamp(0, menu_len as i64 - 1) as usize
+    }
+
+    /// Decides on a priced quote. `price` is the posted price, `t` the
+    /// normalized menu position, `anchor` the listing's anchor price.
+    /// A price above the wallet is a forced rejection; otherwise the
+    /// bucketed acceptance rules fire.
+    pub fn decide(&mut self, price: f64, t: f64, anchor: f64) -> Decision {
+        let surplus = self.wtp(t, anchor) - price;
+        if price > self.wallet {
+            return Decision {
+                accept: false,
+                surplus,
+                wallet_forced: true,
+            };
+        }
+        let bucket = surplus_bucket(surplus, anchor);
+        self.last_bucket = bucket;
+        let (a, r) = self.accept[bucket];
+        let accept = uniform_in(&mut self.rng, 0.0, a + r) < a;
+        Decision {
+            accept,
+            surplus,
+            wallet_forced: false,
+        }
+    }
+
+    /// Credit assignment for a completed purchase: pay from the wallet
+    /// and reinforce the rules that produced it by the realized surplus
+    /// (negative surplus reinforces the bucket's reject rule and cools
+    /// the listing instead).
+    pub fn settle_purchase(&mut self, listing: usize, price: f64, surplus: f64, anchor: f64) {
+        self.wallet = (self.wallet - price).max(0.0);
+        let magnitude = normalized(surplus, anchor);
+        let bucket = self.last_bucket;
+        if surplus > 0.0 {
+            self.accept[bucket].0 =
+                clamp_strength(self.accept[bucket].0 + LEARNING_RATE * magnitude);
+            if let Some(c) = self.choice.get_mut(listing) {
+                *c = clamp_strength(*c + LEARNING_RATE * magnitude);
+            }
+        } else {
+            self.accept[bucket].1 =
+                clamp_strength(self.accept[bucket].1 + LEARNING_RATE * magnitude);
+            if let Some(c) = self.choice.get_mut(listing) {
+                *c = clamp_strength(*c * (1.0 - LEARNING_RATE * magnitude.min(1.0) * 0.5));
+            }
+        }
+    }
+
+    /// Mild counterfactual learning after a chosen (not wallet-forced)
+    /// rejection: a rejected negative-surplus quote confirms the reject
+    /// rule that fired.
+    pub fn settle_rejection(&mut self, surplus: f64, anchor: f64) {
+        if surplus < 0.0 {
+            let bucket = self.last_bucket;
+            self.accept[bucket].1 = clamp_strength(
+                self.accept[bucket].1 + 0.5 * LEARNING_RATE * normalized(surplus, anchor),
+            );
+        }
+    }
+
+    /// Remembers an intent whose commit died with `QuoteExpired`, to be
+    /// replayed (and re-decided at the new price) next tick.
+    pub fn queue_retry(&mut self, intent: Intent) {
+        self.pending_retry = Some(intent);
+    }
+
+    /// Per-tick decay of every strength toward its prior.
+    pub fn decay(&mut self) {
+        for c in &mut self.choice {
+            *c = clamp_strength(1.0 + (*c - 1.0) * (1.0 - DECAY));
+        }
+        for (i, (a, r)) in self.accept.iter_mut().enumerate() {
+            let t = (i as f64 + 0.5) / SURPLUS_BUCKETS as f64;
+            *a = clamp_strength((0.5 + t) + (*a - (0.5 + t)) * (1.0 - DECAY));
+            *r = clamp_strength((1.5 - t) + (*r - (1.5 - t)) * (1.0 - DECAY));
+        }
+    }
+}
+
+/// Quantizes a surplus (in price units) into one of the
+/// [`SURPLUS_BUCKETS`] rule buckets, normalizing by the listing anchor so
+/// bucket boundaries are scale-free. The band `[-anchor, +anchor]` maps
+/// linearly onto the buckets; anything outside clamps to the end buckets.
+fn surplus_bucket(surplus: f64, anchor: f64) -> usize {
+    let norm = if anchor > 0.0 { surplus / anchor } else { 0.0 };
+    let t = (norm + 1.0) / 2.0;
+    let idx = (t * SURPLUS_BUCKETS as f64).floor();
+    (idx.max(0.0) as usize).min(SURPLUS_BUCKETS - 1)
+}
+
+fn normalized(surplus: f64, anchor: f64) -> f64 {
+    if anchor > 0.0 {
+        (surplus.abs() / anchor).min(2.0)
+    } else {
+        0.0
+    }
+}
+
+fn clamp_strength(s: f64) -> f64 {
+    s.clamp(MIN_STRENGTH, MAX_STRENGTH)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agent(seed: u64) -> BuyerAgent {
+        BuyerAgent::new(seed, 0, 7, BuyerType::Mainstream, 2, 100.0)
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let mut a = agent(11);
+        let mut b = agent(11);
+        for _ in 0..50 {
+            let ia = a.intend(&[20, 20]);
+            let ib = b.intend(&[20, 20]);
+            assert_eq!(ia, ib);
+            let da = a.decide(3.0, 0.6, 5.0);
+            let db = b.decide(3.0, 0.6, 5.0);
+            assert_eq!(da, db);
+        }
+    }
+
+    #[test]
+    fn surplus_buckets_cover_and_clamp() {
+        assert_eq!(surplus_bucket(-10.0, 5.0), 0);
+        assert_eq!(surplus_bucket(10.0, 5.0), SURPLUS_BUCKETS - 1);
+        let mid = surplus_bucket(0.0, 5.0);
+        assert!(mid == SURPLUS_BUCKETS / 2 || mid == SURPLUS_BUCKETS / 2 - 1);
+        assert_eq!(surplus_bucket(1.0, 0.0), SURPLUS_BUCKETS / 2);
+    }
+
+    #[test]
+    fn positive_surplus_reinforces_acceptance() {
+        let mut a = agent(3);
+        // Fire the decision once so credit lands on a real bucket.
+        let d = a.decide(1.0, 0.9, 5.0);
+        assert!(d.surplus > 0.0);
+        let bucket = a.last_bucket;
+        let before = a.accept[bucket].0;
+        a.settle_purchase(0, 1.0, d.surplus, 5.0);
+        assert!(a.accept[bucket].0 > before);
+        assert!(a.wallet() < 100.0);
+    }
+
+    #[test]
+    fn negative_surplus_cools_the_listing() {
+        let mut a = agent(5);
+        let before = a.choice[0];
+        a.decide(6.0, 0.2, 5.0);
+        a.settle_purchase(0, 6.0, -3.5, 5.0);
+        assert!(a.choice[0] < before);
+    }
+
+    #[test]
+    fn wallet_exhaustion_forces_rejection() {
+        let mut a = BuyerAgent::new(1, 0, 0, BuyerType::Premium, 1, 2.0);
+        let d = a.decide(5.0, 1.0, 5.0);
+        assert!(!d.accept);
+        assert!(d.wallet_forced);
+    }
+
+    #[test]
+    fn retry_replays_the_killed_intent() {
+        let mut a = agent(9);
+        let intent = a.intend(&[20]);
+        a.queue_retry(intent);
+        let replay = a.intend(&[20]);
+        assert!(replay.retry);
+        assert_eq!(replay.listing, intent.listing);
+        assert_eq!(replay.menu_index, intent.menu_index);
+        // Menu shrank across the re-price: the replayed index clamps.
+        a.queue_retry(Intent {
+            listing: 0,
+            menu_index: 19,
+            retry: false,
+        });
+        let clamped = a.intend(&[4]);
+        assert_eq!(clamped.menu_index, 3);
+    }
+
+    #[test]
+    fn decay_pulls_strengths_back_to_priors() {
+        let mut a = agent(13);
+        a.decide(0.5, 0.9, 5.0);
+        for _ in 0..10 {
+            a.settle_purchase(0, 0.5, 4.0, 5.0);
+        }
+        let hot = a.choice[0];
+        assert!(hot > 1.0);
+        for _ in 0..500 {
+            a.decay();
+        }
+        assert!((a.choice[0] - 1.0).abs() < 0.01);
+        assert!(a.choice[0] < hot);
+    }
+}

@@ -1,0 +1,136 @@
+//! Empirical demand observation.
+//!
+//! The [`DemandObserver`] is the sensor half of the closed loop: every
+//! quote the engine relays to an agent is recorded against its listing
+//! and menu point as offered-and-(accepted|rejected). Between re-prices
+//! the counts accumulate into a windowed empirical demand curve — offered
+//! mass and acceptance rate per posted price point — which the
+//! [`crate::reprice::Repricer`] turns into a [`nimbus_optim::RevenueProblem`].
+//! Re-pricing resets the window: counts observed against dead prices
+//! would poison the next estimate.
+//!
+//! Storage is index-addressed `Vec`s throughout (listing index × menu
+//! index): deterministic iteration, no hash order anywhere.
+
+/// Accumulated observations for one posted menu point.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PointDemand {
+    /// Quotes relayed to agents at this point in the current window.
+    pub offered: u64,
+    /// How many of those the agent chose to commit.
+    pub accepted: u64,
+}
+
+impl PointDemand {
+    /// Acceptance rate of the window (`0` when nothing was offered).
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.offered as f64
+        }
+    }
+}
+
+/// Windowed per-listing, per-menu-point demand counts.
+#[derive(Debug, Clone)]
+pub struct DemandObserver {
+    per_listing: Vec<Vec<PointDemand>>,
+}
+
+impl DemandObserver {
+    /// Creates an observer for listings with the given menu lengths.
+    pub fn new(menu_lens: &[usize]) -> DemandObserver {
+        DemandObserver {
+            per_listing: menu_lens
+                .iter()
+                .map(|&n| vec![PointDemand::default(); n])
+                .collect(),
+        }
+    }
+
+    /// Records one relayed quote. Out-of-range indices (a menu shrank
+    /// under a re-price mid-tick) are dropped rather than misattributed.
+    pub fn record(&mut self, listing: usize, menu_index: usize, accepted: bool) {
+        if let Some(point) = self
+            .per_listing
+            .get_mut(listing)
+            .and_then(|l| l.get_mut(menu_index))
+        {
+            point.offered += 1;
+            if accepted {
+                point.accepted += 1;
+            }
+        }
+    }
+
+    /// Total offered quotes for a listing in the current window.
+    pub fn observations(&self, listing: usize) -> u64 {
+        self.per_listing
+            .get(listing)
+            .map(|l| l.iter().map(|p| p.offered).sum())
+            .unwrap_or(0)
+    }
+
+    /// The listing's windowed counts, menu-indexed.
+    pub fn window(&self, listing: usize) -> &[PointDemand] {
+        self.per_listing
+            .get(listing)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Resets one listing's window to the given (possibly new) menu
+    /// length — called right after that listing re-prices.
+    pub fn reset_listing(&mut self, listing: usize, menu_len: usize) {
+        if let Some(l) = self.per_listing.get_mut(listing) {
+            *l = vec![PointDemand::default(); menu_len];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate_per_point() {
+        let mut obs = DemandObserver::new(&[3, 2]);
+        obs.record(0, 1, true);
+        obs.record(0, 1, false);
+        obs.record(0, 2, true);
+        obs.record(1, 0, false);
+        assert_eq!(obs.observations(0), 3);
+        assert_eq!(obs.observations(1), 1);
+        let w = obs.window(0);
+        assert_eq!(
+            w[1],
+            PointDemand {
+                offered: 2,
+                accepted: 1
+            }
+        );
+        assert!((w[1].acceptance_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(w[0].acceptance_rate(), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_records_are_dropped() {
+        let mut obs = DemandObserver::new(&[2]);
+        obs.record(0, 9, true);
+        obs.record(5, 0, true);
+        assert_eq!(obs.observations(0), 0);
+        assert_eq!(obs.observations(5), 0);
+    }
+
+    #[test]
+    fn reset_clears_one_listing_and_can_resize() {
+        let mut obs = DemandObserver::new(&[2, 2]);
+        obs.record(0, 0, true);
+        obs.record(1, 1, true);
+        obs.reset_listing(0, 4);
+        assert_eq!(obs.observations(0), 0);
+        assert_eq!(obs.window(0).len(), 4);
+        assert_eq!(obs.observations(1), 1);
+    }
+}

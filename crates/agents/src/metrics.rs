@@ -1,0 +1,448 @@
+//! The per-tick metrics journal and its reader.
+//!
+//! Every tick the engine appends one [`TickRecord`] — traffic counters,
+//! revenue, surplus by buyer type, and any re-price deltas — and
+//! [`render_log`] serializes the run as JSON Lines. The serializer is
+//! hand-rolled (the workspace vendors no serde) with a fixed field order
+//! and shortest-round-trip float formatting, so two runs with the same
+//! `(scenario, seed)` produce **byte-identical** logs; the determinism
+//! e2e compares the strings directly.
+//!
+//! [`parse_log`] reads the same format back for `nimbus sim report`, and
+//! [`summarize`] folds a parsed run into the human-facing report text.
+
+use crate::{AgentsError, Result};
+use std::fmt::Write as _;
+
+/// One listing's re-price within a tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepriceDelta {
+    /// Listing that re-priced.
+    pub listing: String,
+    /// Top-of-menu price before.
+    pub old_top: f64,
+    /// Top-of-menu price after.
+    pub new_top: f64,
+}
+
+/// One tick of the simulation, as journaled.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TickRecord {
+    /// Tick number, starting at 0.
+    pub tick: u64,
+    /// Quotes the engine relayed to agents.
+    pub quotes: u64,
+    /// Quotes agents chose to commit.
+    pub accepts: u64,
+    /// Quotes agents declined.
+    pub rejects: u64,
+    /// Rejections forced by empty wallets (also counted in `rejects`).
+    pub wallet_forced: u64,
+    /// Commits ACKed by the server this tick.
+    pub commits: u64,
+    /// Commits killed by a re-price epoch bump (`QuoteExpired`).
+    pub expired: u64,
+    /// Revenue of this tick's ACKed commits.
+    pub revenue: f64,
+    /// Realized surplus of ACKed commits by buyer type
+    /// `[budget, mainstream, premium]`.
+    pub surplus: [f64; 3],
+    /// Re-prices applied at the end of this tick.
+    pub reprices: Vec<RepriceDelta>,
+}
+
+impl TickRecord {
+    /// Acceptance rate of the tick's relayed quotes.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.quotes == 0 {
+            0.0
+        } else {
+            self.accepts as f64 / self.quotes as f64
+        }
+    }
+
+    /// Serializes the record as one JSON line, fixed field order.
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(256);
+        let _ = write!(
+            s,
+            "{{\"tick\":{},\"quotes\":{},\"accepts\":{},\"rejects\":{},\"wallet_forced\":{},\"commits\":{},\"expired\":{},\"revenue\":{},\"surplus\":[{},{},{}],\"reprices\":[",
+            self.tick,
+            self.quotes,
+            self.accepts,
+            self.rejects,
+            self.wallet_forced,
+            self.commits,
+            self.expired,
+            json_f64(self.revenue),
+            json_f64(self.surplus[0]),
+            json_f64(self.surplus[1]),
+            json_f64(self.surplus[2]),
+        );
+        for (i, r) in self.reprices.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"listing\":\"{}\",\"old_top\":{},\"new_top\":{}}}",
+                escape(&r.listing),
+                json_f64(r.old_top),
+                json_f64(r.new_top),
+            );
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Serializes a run as JSON Lines (one record per line, trailing newline).
+pub fn render_log(records: &[TickRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Finite floats print shortest-round-trip; JSON has no NaN/∞, so
+/// non-finite values (which the engine never produces) journal as 0.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` omits a fraction for integral floats; keep valid JSON
+        // numbers self-describing as floats is unnecessary — "1" parses
+        // fine — so pass through.
+        s
+    } else {
+        "0".to_string()
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// Parses a JSONL tick log produced by [`render_log`].
+pub fn parse_log(text: &str) -> Result<Vec<TickRecord>> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(idx, line)| {
+            parse_record(line.trim())
+                .map_err(|why| AgentsError::Config(format!("log line {}: {why}", idx + 1)))
+        })
+        .collect()
+}
+
+fn parse_record(line: &str) -> std::result::Result<TickRecord, String> {
+    let mut p = Cursor::new(line);
+    let mut rec = TickRecord::default();
+    p.expect('{')?;
+    loop {
+        let key = p.string()?;
+        p.expect(':')?;
+        match key.as_str() {
+            "tick" => rec.tick = p.number()? as u64,
+            "quotes" => rec.quotes = p.number()? as u64,
+            "accepts" => rec.accepts = p.number()? as u64,
+            "rejects" => rec.rejects = p.number()? as u64,
+            "wallet_forced" => rec.wallet_forced = p.number()? as u64,
+            "commits" => rec.commits = p.number()? as u64,
+            "expired" => rec.expired = p.number()? as u64,
+            "revenue" => rec.revenue = p.number()?,
+            "surplus" => {
+                p.expect('[')?;
+                for slot in 0..3 {
+                    if slot > 0 {
+                        p.expect(',')?;
+                    }
+                    rec.surplus[slot] = p.number()?;
+                }
+                p.expect(']')?;
+            }
+            "reprices" => {
+                p.expect('[')?;
+                if p.peek() == Some(']') {
+                    p.expect(']')?;
+                } else {
+                    loop {
+                        rec.reprices.push(parse_reprice(&mut p)?);
+                        if p.peek() == Some(',') {
+                            p.expect(',')?;
+                        } else {
+                            break;
+                        }
+                    }
+                    p.expect(']')?;
+                }
+            }
+            other => return Err(format!("unknown field `{other}`")),
+        }
+        if p.peek() == Some(',') {
+            p.expect(',')?;
+        } else {
+            break;
+        }
+    }
+    p.expect('}')?;
+    p.end()?;
+    Ok(rec)
+}
+
+fn parse_reprice(p: &mut Cursor<'_>) -> std::result::Result<RepriceDelta, String> {
+    let mut delta = RepriceDelta {
+        listing: String::new(),
+        old_top: 0.0,
+        new_top: 0.0,
+    };
+    p.expect('{')?;
+    loop {
+        let key = p.string()?;
+        p.expect(':')?;
+        match key.as_str() {
+            "listing" => delta.listing = p.string()?,
+            "old_top" => delta.old_top = p.number()?,
+            "new_top" => delta.new_top = p.number()?,
+            other => return Err(format!("unknown re-price field `{other}`")),
+        }
+        if p.peek() == Some(',') {
+            p.expect(',')?;
+        } else {
+            break;
+        }
+    }
+    p.expect('}')?;
+    Ok(delta)
+}
+
+/// A minimal scanner over one log line. Only the subset the serializer
+/// emits is understood — objects, arrays, strings with `\"`/`\\`
+/// escapes, and plain numbers.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str) -> Cursor<'a> {
+        Cursor {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.bytes.get(self.pos).map(|&b| b as char)
+    }
+
+    fn expect(&mut self, c: char) -> std::result::Result<(), String> {
+        match self.peek() {
+            Some(got) if got == c => {
+                self.pos += 1;
+                Ok(())
+            }
+            got => Err(format!("expected `{c}` at byte {}, got {got:?}", self.pos)),
+        }
+    }
+
+    fn string(&mut self) -> std::result::Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("short \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Multi-byte UTF-8: copy the whole scalar.
+                    let s =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().ok_or("empty scalar")?;
+                    let _ = b;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> std::result::Result<f64, String> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map_err(|e| e.to_string())
+    }
+
+    fn end(&self) -> std::result::Result<(), String> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing bytes at {}", self.pos))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+/// Folds a parsed run into the `nimbus sim report` text.
+pub fn summarize(records: &[TickRecord]) -> String {
+    let mut out = String::new();
+    let ticks = records.len();
+    let quotes: u64 = records.iter().map(|r| r.quotes).sum();
+    let accepts: u64 = records.iter().map(|r| r.accepts).sum();
+    let commits: u64 = records.iter().map(|r| r.commits).sum();
+    let expired: u64 = records.iter().map(|r| r.expired).sum();
+    let wallet_forced: u64 = records.iter().map(|r| r.wallet_forced).sum();
+    let revenue: f64 = records.iter().map(|r| r.revenue).sum();
+    let surplus: [f64; 3] = records.iter().fold([0.0; 3], |mut acc, r| {
+        for (slot, s) in r.surplus.iter().enumerate() {
+            acc[slot] += s;
+        }
+        acc
+    });
+    let rate = if quotes == 0 {
+        0.0
+    } else {
+        accepts as f64 / quotes as f64
+    };
+    let _ = writeln!(out, "ticks            {ticks}");
+    let _ = writeln!(out, "quotes           {quotes}");
+    let _ = writeln!(out, "acceptance rate  {rate:.3}");
+    let _ = writeln!(out, "commits          {commits}");
+    let _ = writeln!(out, "quote-expired    {expired}");
+    let _ = writeln!(out, "wallet-forced    {wallet_forced}");
+    let _ = writeln!(out, "revenue          {revenue:.4}");
+    let _ = writeln!(
+        out,
+        "surplus          budget {:.4} | mainstream {:.4} | premium {:.4}",
+        surplus[0], surplus[1], surplus[2]
+    );
+    let reprices: Vec<(&u64, &RepriceDelta)> = records
+        .iter()
+        .flat_map(|r| r.reprices.iter().map(move |d| (&r.tick, d)))
+        .collect();
+    let _ = writeln!(out, "re-prices        {}", reprices.len());
+    for (tick, d) in reprices {
+        let _ = writeln!(
+            out,
+            "  tick {:>4}  {}  top {:.4} -> {:.4}",
+            tick, d.listing, d.old_top, d.new_top
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TickRecord {
+        TickRecord {
+            tick: 3,
+            quotes: 100,
+            accepts: 60,
+            rejects: 40,
+            wallet_forced: 5,
+            commits: 58,
+            expired: 2,
+            revenue: 123.456789,
+            surplus: [1.25, -0.5, 7.0],
+            reprices: vec![RepriceDelta {
+                listing: "alpha".to_string(),
+                old_top: 2.5,
+                new_top: 3.125,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_bitwise() {
+        let rec = sample();
+        let line = rec.to_json_line();
+        let back = parse_record(&line).expect("parses");
+        assert_eq!(back, rec);
+        // Bitwise stability: serialize → parse → serialize is identity.
+        assert_eq!(back.to_json_line(), line);
+    }
+
+    #[test]
+    fn render_and_parse_full_log() {
+        let records = vec![sample(), TickRecord::default()];
+        let log = render_log(&records);
+        assert_eq!(log.lines().count(), 2);
+        let back = parse_log(&log).expect("parses");
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn listing_names_are_escaped() {
+        let mut rec = sample();
+        rec.reprices[0].listing = "we\"ird\\name".to_string();
+        let back = parse_record(&rec.to_json_line()).expect("parses");
+        assert_eq!(back.reprices[0].listing, "we\"ird\\name");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_log("{\"tick\":1").is_err());
+        assert!(parse_log("{\"nope\":1}").is_err());
+        assert!(parse_log("{\"tick\":1}x").is_err());
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let report = summarize(&[sample(), sample()]);
+        assert!(report.contains("ticks            2"));
+        assert!(report.contains("quotes           200"));
+        assert!(report.contains("commits          116"));
+        assert!(report.contains("re-prices        2"));
+        assert!(report.contains("alpha"));
+    }
+}

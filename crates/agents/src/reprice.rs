@@ -1,0 +1,205 @@
+//! Demand-fed re-pricing: the actuator half of the closed loop.
+//!
+//! The [`Repricer`] turns a [`crate::demand::DemandObserver`] window into
+//! a [`RevenueProblem`] and hot re-publishes the listing through
+//! [`Marketplace::republish_pricing`] — the Algorithm 1 DP re-optimizes
+//! the posted table against demand the market *actually expressed*, not
+//! the seller's offline market research. Published epochs bump exactly as
+//! under an admin re-PUBLISH, so outstanding quotes die with
+//! `QuoteExpired` and agents absorb the kill by retrying.
+//!
+//! The empirical problem for a menu of points `(x_i, p_i)` with windowed
+//! counts `(offered_i, accepted_i)`:
+//!
+//! * demand mass `b_i = offered_i` — how much buyer interest the point
+//!   actually drew;
+//! * valuation `v_i` brackets the buyers' revealed willingness to pay
+//!   around the posted price: an acceptance rate of `r_i` estimates
+//!   `v_i = p_i · (lo + (hi − lo) · r_i)` — everyone accepting means the
+//!   point was underpriced (`v > p`), everyone balking overpriced
+//!   (`v < p`); unobserved points keep `v_i = p_i` (no evidence either
+//!   way);
+//! * the §5.3 monotonicity assumption (buyers value accuracy) is then
+//!   *repaired* rather than assumed: the raw `v_i` estimates pass through
+//!   a PAVA isotonic regression weighted by observation counts, so a
+//!   noisy window cannot produce an invalid problem.
+
+use crate::demand::PointDemand;
+use crate::{AgentsError, Result};
+use nimbus_core::isotonic::isotonic_increasing;
+use nimbus_market::Marketplace;
+use nimbus_optim::RevenueProblem;
+
+/// One completed re-price of one listing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepriceOutcome {
+    /// The listing that re-priced.
+    pub listing: String,
+    /// Top-of-menu price before.
+    pub old_top: f64,
+    /// Top-of-menu price after.
+    pub new_top: f64,
+    /// Expected revenue of the new table under the observed demand.
+    pub expected_revenue: f64,
+}
+
+/// Re-pricing policy: when to trust a window and how wide the revealed
+/// willingness-to-pay bracket is.
+#[derive(Debug, Clone, Copy)]
+pub struct Repricer {
+    /// Minimum offered quotes in the window before re-pricing.
+    pub min_observations: u64,
+    /// Valuation multiple at a 0% acceptance rate (`< 1`).
+    pub accept_lo: f64,
+    /// Valuation multiple at a 100% acceptance rate (`> 1`).
+    pub accept_hi: f64,
+}
+
+impl Default for Repricer {
+    fn default() -> Self {
+        Repricer {
+            min_observations: 50,
+            accept_lo: 0.6,
+            accept_hi: 1.4,
+        }
+    }
+}
+
+impl Repricer {
+    /// Builds the empirical revenue problem for one listing from its
+    /// posted menu and windowed counts. Returns `None` when the window is
+    /// too thin to act on.
+    pub fn build_problem(
+        &self,
+        menu: &[(f64, f64)],
+        window: &[PointDemand],
+    ) -> Option<RevenueProblem> {
+        if menu.is_empty() || menu.len() != window.len() {
+            return None;
+        }
+        let total: u64 = window.iter().map(|p| p.offered).sum();
+        if total < self.min_observations {
+            return None;
+        }
+        let a: Vec<f64> = menu.iter().map(|&(x, _)| x).collect();
+        let b: Vec<f64> = window.iter().map(|p| p.offered as f64).collect();
+        let raw_v: Vec<f64> = menu
+            .iter()
+            .zip(window)
+            .map(|(&(_, price), obs)| {
+                if obs.offered == 0 {
+                    price
+                } else {
+                    let rate = obs.acceptance_rate();
+                    price * (self.accept_lo + (self.accept_hi - self.accept_lo) * rate)
+                }
+            })
+            .collect();
+        // Observation-weighted monotone repair; unobserved points get a
+        // token weight so they bend to their neighbours' evidence.
+        let weights: Vec<f64> = window.iter().map(|p| (p.offered as f64).max(1.0)).collect();
+        let v = isotonic_increasing(&raw_v, &weights);
+        RevenueProblem::from_slices(&a, &b, &v).ok()
+    }
+
+    /// Re-prices one listing from its observed window. Returns
+    /// `Ok(None)` when the window is too thin, `Ok(Some(outcome))` after
+    /// a successful hot re-publish.
+    pub fn reprice(
+        &self,
+        marketplace: &Marketplace,
+        listing: &str,
+        menu: &[(f64, f64)],
+        window: &[PointDemand],
+    ) -> Result<Option<RepriceOutcome>> {
+        let Some(problem) = self.build_problem(menu, window) else {
+            return Ok(None);
+        };
+        let old_top = menu.last().map(|&(_, p)| p).unwrap_or(0.0);
+        let expected_revenue = marketplace
+            .republish_pricing(listing, problem)
+            .map_err(AgentsError::Market)?;
+        let new_top = marketplace
+            .route(listing)
+            .and_then(|broker| broker.posted_menu())
+            .map_err(AgentsError::Market)?
+            .last()
+            .map(|&(_, p)| p)
+            .unwrap_or(0.0);
+        Ok(Some(RepriceOutcome {
+            listing: listing.to_string(),
+            old_top,
+            new_top,
+            expected_revenue,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(counts: &[(u64, u64)]) -> Vec<PointDemand> {
+        counts
+            .iter()
+            .map(|&(offered, accepted)| PointDemand { offered, accepted })
+            .collect()
+    }
+
+    #[test]
+    fn thin_windows_are_refused() {
+        let r = Repricer {
+            min_observations: 10,
+            ..Repricer::default()
+        };
+        let menu = [(1.0, 1.0), (2.0, 2.0)];
+        assert!(r.build_problem(&menu, &window(&[(4, 2), (5, 1)])).is_none());
+        assert!(r.build_problem(&menu, &window(&[(10, 2)])).is_none());
+        assert!(r.build_problem(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn universal_acceptance_raises_valuations_above_price() {
+        let r = Repricer {
+            min_observations: 1,
+            ..Repricer::default()
+        };
+        let menu = [(1.0, 2.0), (2.0, 4.0), (3.0, 6.0)];
+        let problem = r
+            .build_problem(&menu, &window(&[(10, 10), (10, 10), (10, 10)]))
+            .expect("thick window");
+        let v = problem.valuations();
+        for (i, &(_, p)) in menu.iter().enumerate() {
+            assert!(v[i] > p, "v[{i}]={} should exceed price {p}", v[i]);
+        }
+    }
+
+    #[test]
+    fn universal_rejection_drops_valuations_below_price() {
+        let r = Repricer {
+            min_observations: 1,
+            ..Repricer::default()
+        };
+        let menu = [(1.0, 2.0), (2.0, 4.0)];
+        let problem = r
+            .build_problem(&menu, &window(&[(10, 0), (10, 0)]))
+            .expect("thick window");
+        let v = problem.valuations();
+        assert!(v[0] < 2.0 && v[1] < 4.0);
+    }
+
+    #[test]
+    fn noisy_windows_still_produce_monotone_valuations() {
+        let r = Repricer {
+            min_observations: 1,
+            ..Repricer::default()
+        };
+        // Middle point rejected hard: raw v dips, isotonic must repair.
+        let menu = [(1.0, 2.0), (2.0, 4.0), (3.0, 4.5)];
+        let problem = r
+            .build_problem(&menu, &window(&[(10, 10), (10, 0), (10, 10)]))
+            .expect("valid problem despite the dip");
+        let v = problem.valuations();
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

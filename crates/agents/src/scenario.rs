@@ -1,0 +1,460 @@
+//! Data-driven simulation scenarios.
+//!
+//! A [`Scenario`] is a plain-data description of one closed-loop run: the
+//! listings to stand up, the buyer population (size, type mix, budgets),
+//! the tick horizon, the re-pricing cadence, and a script of mid-run
+//! [`SimEvent`]s. Everything downstream — agents, demand observation,
+//! re-pricing — is a pure function of `(scenario, seed)`, so a scenario is
+//! the complete experimental protocol for a run.
+//!
+//! Scenarios come from two places: the built-in catalog
+//! ([`Scenario::builtin`], what `nimbus sim run --scenario <name>` and CI
+//! use) and a small `key = value` text format ([`Scenario::parse`]) for
+//! ad-hoc experiments without recompiling.
+
+use crate::{AgentsError, Result};
+
+/// One listing the harness stands up for the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ListingSpec {
+    /// Listing name agents route by.
+    pub name: String,
+    /// Per-listing label mixed into the market seed stream, so two
+    /// listings in one scenario train on different draws.
+    pub seed_label: u64,
+}
+
+/// Population fractions by buyer type; normalized at use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgentMix {
+    /// Price-sensitive, low-valuation buyers.
+    pub budget: f64,
+    /// Mid-valuation buyers.
+    pub mainstream: f64,
+    /// Accuracy-hungry, high-valuation buyers.
+    pub premium: f64,
+}
+
+impl AgentMix {
+    /// The default population: a broad middle with thinner tails.
+    pub const DEFAULT: AgentMix = AgentMix {
+        budget: 0.3,
+        mainstream: 0.5,
+        premium: 0.2,
+    };
+}
+
+/// A scripted mid-run perturbation, applied between ticks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimEvent {
+    /// Multiply every agent's willingness-to-pay scale by `factor` at the
+    /// start of tick `tick` (a demand shock; `factor > 1` is a boom).
+    DemandShock {
+        /// Tick the shock lands on.
+        tick: u64,
+        /// Multiplier on every agent's valuation scale.
+        factor: f64,
+    },
+    /// Replace a deterministic `fraction` of the population with fresh
+    /// agents (new learning state, new RNG streams) at tick `tick`.
+    Churn {
+        /// Tick the churn lands on.
+        tick: u64,
+        /// Fraction of agents replaced, in `[0, 1]`.
+        fraction: f64,
+    },
+    /// Multiply every agent's per-tick income by `factor` at tick `tick`
+    /// (`factor = 0` starts a budget-exhaustion regime).
+    IncomeSqueeze {
+        /// Tick the squeeze lands on.
+        tick: u64,
+        /// Multiplier on per-tick income.
+        factor: f64,
+    },
+}
+
+impl SimEvent {
+    /// The tick the event fires on.
+    pub fn tick(&self) -> u64 {
+        match *self {
+            SimEvent::DemandShock { tick, .. }
+            | SimEvent::Churn { tick, .. }
+            | SimEvent::IncomeSqueeze { tick, .. } => tick,
+        }
+    }
+}
+
+/// The complete protocol for one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (echoed into reports).
+    pub name: String,
+    /// Listings the harness publishes before the run.
+    pub listings: Vec<ListingSpec>,
+    /// Population size.
+    pub agents: usize,
+    /// Number of discrete ticks to run.
+    pub ticks: u64,
+    /// Re-price cadence: the [`crate::reprice::Repricer`] fires every
+    /// this many ticks (`0` disables re-pricing).
+    pub reprice_every: u64,
+    /// Minimum observed quotes per listing in the current window before
+    /// the re-pricer trusts the empirical curve.
+    pub min_observations: u64,
+    /// Buyer-type population mix.
+    pub mix: AgentMix,
+    /// Starting wallet balance per agent, in scale-free units: one unit
+    /// is a tenth of the mean anchor (top-of-menu) price at run start,
+    /// so scenarios behave identically whatever absolute price level
+    /// the listings publish at.
+    pub starting_wallet: f64,
+    /// Per-tick income per agent, in the same scale-free units.
+    pub income_per_tick: f64,
+    /// TCP connections the engine multiplexes agents over.
+    pub connections: usize,
+    /// Scripted perturbations, applied between ticks.
+    pub events: Vec<SimEvent>,
+}
+
+impl Scenario {
+    /// Names of the built-in scenarios, in catalog order.
+    pub const BUILTIN_NAMES: &'static [&'static str] = &[
+        "baseline",
+        "shock",
+        "churn",
+        "price-war",
+        "exhaustion",
+        "smoke",
+    ];
+
+    fn base(name: &str) -> Scenario {
+        Scenario {
+            name: name.to_string(),
+            listings: vec![ListingSpec {
+                name: "alpha".to_string(),
+                seed_label: 1,
+            }],
+            agents: 120,
+            ticks: 120,
+            reprice_every: 30,
+            min_observations: 50,
+            mix: AgentMix::DEFAULT,
+            // Income high enough that valuations, not wallets, gate
+            // acceptance in the default regime: a mainstream agent can
+            // afford roughly one mid-menu purchase per tick. Exhaustion
+            // scenarios override this downward to make wallets bind.
+            starting_wallet: 40.0,
+            income_per_tick: 7.0,
+            connections: 8,
+            events: Vec::new(),
+        }
+    }
+
+    /// Looks up a built-in scenario by name.
+    pub fn builtin(name: &str) -> Option<Scenario> {
+        let mut s = match name {
+            "baseline" => Scenario::base("baseline"),
+            "shock" => {
+                let mut s = Scenario::base("shock");
+                s.ticks = 240;
+                s.agents = 160;
+                s.reprice_every = 40;
+                s.events = vec![SimEvent::DemandShock {
+                    tick: 120,
+                    factor: 1.6,
+                }];
+                s
+            }
+            "churn" => {
+                let mut s = Scenario::base("churn");
+                s.ticks = 180;
+                s.events = vec![SimEvent::Churn {
+                    tick: 90,
+                    fraction: 0.5,
+                }];
+                s
+            }
+            "price-war" => {
+                let mut s = Scenario::base("price-war");
+                s.listings = vec![
+                    ListingSpec {
+                        name: "alpha".to_string(),
+                        seed_label: 1,
+                    },
+                    ListingSpec {
+                        name: "beta".to_string(),
+                        seed_label: 2,
+                    },
+                ];
+                s.agents = 160;
+                s.ticks = 200;
+                s.reprice_every = 25;
+                s
+            }
+            "exhaustion" => {
+                let mut s = Scenario::base("exhaustion");
+                s.ticks = 160;
+                s.starting_wallet = 25.0;
+                s.income_per_tick = 1.0;
+                s.events = vec![SimEvent::IncomeSqueeze {
+                    tick: 80,
+                    factor: 0.0,
+                }];
+                s
+            }
+            "smoke" => {
+                let mut s = Scenario::base("smoke");
+                s.agents = 40;
+                s.ticks = 40;
+                s.reprice_every = 12;
+                s.min_observations = 25;
+                s.connections = 4;
+                s.events = vec![SimEvent::DemandShock {
+                    tick: 20,
+                    factor: 1.5,
+                }];
+                s
+            }
+            _ => return None,
+        };
+        s.events.sort_by_key(SimEvent::tick);
+        Some(s)
+    }
+
+    /// Parses the `key = value` scenario format. Unknown keys are errors
+    /// (a typo should not silently run the default). Supported keys:
+    ///
+    /// ```text
+    /// name = my-run
+    /// listings = alpha, beta        # one listing per comma-separated name
+    /// agents = 200                  ticks = 300
+    /// reprice_every = 50            min_observations = 50
+    /// mix = 0.3, 0.5, 0.2           # budget, mainstream, premium
+    /// wallet = 40                   income = 2
+    /// connections = 8
+    /// event = shock tick=120 factor=1.6
+    /// event = churn tick=90 fraction=0.5
+    /// event = squeeze tick=80 factor=0
+    /// ```
+    ///
+    /// Blank lines and `#` comments are ignored.
+    pub fn parse(text: &str) -> Result<Scenario> {
+        let mut s = Scenario::base("custom");
+        let bad = |line: usize, why: String| AgentsError::Config(format!("line {line}: {why}"));
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = match raw.find('#') {
+                Some(cut) => &raw[..cut],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| bad(lineno, format!("expected `key = value`, got `{line}`")))?;
+            let (key, value) = (key.trim(), value.trim());
+            let num = |v: &str| -> Result<f64> {
+                v.parse::<f64>()
+                    .map_err(|_| bad(lineno, format!("`{key}` needs a number, got `{v}`")))
+            };
+            let int = |v: &str| -> Result<u64> {
+                v.parse::<u64>()
+                    .map_err(|_| bad(lineno, format!("`{key}` needs an integer, got `{v}`")))
+            };
+            match key {
+                "name" => s.name = value.to_string(),
+                "listings" => {
+                    s.listings = value
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|n| !n.is_empty())
+                        .enumerate()
+                        .map(|(i, n)| ListingSpec {
+                            name: n.to_string(),
+                            seed_label: i as u64 + 1,
+                        })
+                        .collect();
+                }
+                "agents" => s.agents = int(value)? as usize,
+                "ticks" => s.ticks = int(value)?,
+                "reprice_every" => s.reprice_every = int(value)?,
+                "min_observations" => s.min_observations = int(value)?,
+                "wallet" => s.starting_wallet = num(value)?,
+                "income" => s.income_per_tick = num(value)?,
+                "connections" => s.connections = int(value)? as usize,
+                "mix" => {
+                    let parts: Vec<f64> = value
+                        .split(',')
+                        .map(|p| num(p.trim()))
+                        .collect::<Result<_>>()?;
+                    if parts.len() != 3 {
+                        return Err(bad(
+                            lineno,
+                            "`mix` needs three fractions: budget, mainstream, premium".to_string(),
+                        ));
+                    }
+                    s.mix = AgentMix {
+                        budget: parts[0],
+                        mainstream: parts[1],
+                        premium: parts[2],
+                    };
+                }
+                "event" => s.events.push(parse_event(value, lineno)?),
+                other => {
+                    return Err(bad(lineno, format!("unknown key `{other}`")));
+                }
+            }
+        }
+        s.events.sort_by_key(SimEvent::tick);
+        s.validate()?;
+        Ok(s)
+    }
+
+    /// Structural sanity checks shared by the parser and the engine.
+    pub fn validate(&self) -> Result<()> {
+        let err = |why: &str| Err(AgentsError::Config(why.to_string()));
+        if self.listings.is_empty() {
+            return err("a scenario needs at least one listing");
+        }
+        if self.agents == 0 {
+            return err("a scenario needs at least one agent");
+        }
+        if self.ticks == 0 {
+            return err("a scenario needs at least one tick");
+        }
+        if self.connections == 0 {
+            return err("a scenario needs at least one connection");
+        }
+        let mass = self.mix.budget + self.mix.mainstream + self.mix.premium;
+        if !(mass.is_finite() && mass > 0.0) {
+            return err("the agent mix must have positive total mass");
+        }
+        if !(self.starting_wallet.is_finite() && self.starting_wallet >= 0.0) {
+            return err("starting wallet must be finite and non-negative");
+        }
+        if !(self.income_per_tick.is_finite() && self.income_per_tick >= 0.0) {
+            return err("income must be finite and non-negative");
+        }
+        Ok(())
+    }
+}
+
+fn parse_event(value: &str, lineno: usize) -> Result<SimEvent> {
+    let bad = |why: String| AgentsError::Config(format!("line {lineno}: {why}"));
+    let mut parts = value.split_whitespace();
+    let kind = parts
+        .next()
+        .ok_or_else(|| bad("empty `event`".to_string()))?;
+    let mut tick: Option<u64> = None;
+    let mut factor: Option<f64> = None;
+    let mut fraction: Option<f64> = None;
+    for part in parts {
+        let (k, v) = part
+            .split_once('=')
+            .ok_or_else(|| bad(format!("event field `{part}` is not `key=value`")))?;
+        match k {
+            "tick" => {
+                tick = Some(
+                    v.parse()
+                        .map_err(|_| bad(format!("bad event tick `{v}`")))?,
+                )
+            }
+            "factor" => {
+                factor = Some(
+                    v.parse()
+                        .map_err(|_| bad(format!("bad event factor `{v}`")))?,
+                )
+            }
+            "fraction" => {
+                fraction = Some(
+                    v.parse()
+                        .map_err(|_| bad(format!("bad event fraction `{v}`")))?,
+                )
+            }
+            other => return Err(bad(format!("unknown event field `{other}`"))),
+        }
+    }
+    let tick = tick.ok_or_else(|| bad("event needs `tick=N`".to_string()))?;
+    match kind {
+        "shock" => Ok(SimEvent::DemandShock {
+            tick,
+            factor: factor.ok_or_else(|| bad("shock needs `factor=F`".to_string()))?,
+        }),
+        "churn" => Ok(SimEvent::Churn {
+            tick,
+            fraction: fraction.ok_or_else(|| bad("churn needs `fraction=F`".to_string()))?,
+        }),
+        "squeeze" => Ok(SimEvent::IncomeSqueeze {
+            tick,
+            factor: factor.ok_or_else(|| bad("squeeze needs `factor=F`".to_string()))?,
+        }),
+        other => Err(bad(format!("unknown event kind `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_validates() {
+        for name in Scenario::BUILTIN_NAMES {
+            let s = Scenario::builtin(name).expect("catalog name resolves");
+            s.validate().expect("builtin scenario validates");
+            assert_eq!(&s.name, name);
+        }
+        assert!(Scenario::builtin("nope").is_none());
+    }
+
+    #[test]
+    fn parse_round_trips_the_documented_keys() {
+        let s = Scenario::parse(
+            "# a comment\n\
+             name = war\n\
+             listings = alpha, beta\n\
+             agents = 50\n\
+             ticks = 60\n\
+             reprice_every = 20\n\
+             min_observations = 10\n\
+             mix = 0.2, 0.5, 0.3\n\
+             wallet = 30\n\
+             income = 1.5\n\
+             connections = 4\n\
+             event = shock tick=30 factor=1.4\n\
+             event = churn tick=10 fraction=0.25\n",
+        )
+        .expect("parses");
+        assert_eq!(s.name, "war");
+        assert_eq!(s.listings.len(), 2);
+        assert_eq!(s.listings[1].name, "beta");
+        assert_eq!(s.agents, 50);
+        assert_eq!(s.ticks, 60);
+        // Events are sorted by tick regardless of file order.
+        assert_eq!(
+            s.events,
+            vec![
+                SimEvent::Churn {
+                    tick: 10,
+                    fraction: 0.25
+                },
+                SimEvent::DemandShock {
+                    tick: 30,
+                    factor: 1.4
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_typos_and_bad_shapes() {
+        assert!(Scenario::parse("agents 50").is_err());
+        assert!(Scenario::parse("agnets = 50").is_err());
+        assert!(Scenario::parse("mix = 0.5, 0.5").is_err());
+        assert!(Scenario::parse("event = shock factor=2").is_err());
+        assert!(Scenario::parse("event = quake tick=3").is_err());
+        assert!(Scenario::parse("agents = 0").is_err());
+        assert!(Scenario::parse("listings = ").is_err());
+    }
+}

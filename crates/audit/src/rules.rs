@@ -41,6 +41,13 @@ pub const DETERMINISTIC_FILES: &[&str] = &[
     "crates/server/src/event.rs",
 ];
 
+/// Whole-directory determinism scopes. The agent-ecology simulator
+/// promises bitwise-identical journals for the same `(scenario, seed)`,
+/// so every source file in it is under the same discipline as the
+/// serving path (wall-clock only via the injected clock, ordered maps,
+/// seeded RNG streams).
+pub const DETERMINISTIC_PREFIXES: &[&str] = &["crates/agents/src/"];
+
 /// The serving hot path: panic here kills a worker thread under load.
 pub const HOT_PATH_PREFIXES: &[&str] = &["crates/server/src/"];
 
@@ -82,7 +89,7 @@ pub fn check_file(path: &str, src: &str) -> (Vec<Finding>, usize) {
     let suppressions = suppress::collect(&tokens, path, &mut findings);
 
     let mut raw = Vec::new();
-    if DETERMINISTIC_FILES.contains(&path) {
+    if uses_path(path, DETERMINISTIC_PREFIXES, DETERMINISTIC_FILES) {
         determinism(path, &tokens, &test_map, &mut raw);
     }
     if uses_path(path, HOT_PATH_PREFIXES, HOT_PATH_FILES) {

@@ -110,6 +110,21 @@ fn determinism_only_applies_to_designated_files() {
 }
 
 #[test]
+fn determinism_covers_the_whole_agents_crate() {
+    // The simulator promises bitwise-identical journals, so every source
+    // file under `crates/agents/src/` is in scope by prefix — including
+    // ones that do not exist yet.
+    let (findings, _) = check_file(
+        "crates/agents/src/some_future_module.rs",
+        &fixture("determinism/hit.rs"),
+    );
+    assert!(
+        !lines_of(&findings, "determinism").is_empty(),
+        "agents crate must be under the determinism rule"
+    );
+}
+
+#[test]
 fn determinism_suppression_with_reason_is_honored() {
     let (findings, used) = check_file(
         "crates/core/src/mechanism.rs",

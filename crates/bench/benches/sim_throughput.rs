@@ -1,0 +1,145 @@
+//! Closed-loop simulator throughput: the full agent-ecology path (adaptive
+//! agents, pipelined v4 quote/commit traffic over real sockets, empirical
+//! demand aggregation, DP re-pricing with epoch-kill) measured end to end.
+//!
+//! Two regimes over built-in scenarios:
+//! * `smoke` — 40 agents × 40 ticks, one listing, three re-price cycles;
+//!   the bounded CI configuration.
+//! * `baseline` — 120 agents × 120 ticks, the default catalog scenario.
+//!
+//! Reported per scenario: ticks/second, committed sales/second, and the
+//! re-price latency (mean and max of the in-process re-optimization +
+//! hot re-publish). As with the server benches, a warm-up run prints the
+//! summary line before criterion measures, and when `NIMBUS_BENCH_JSON`
+//! names a path the summaries are persisted there as a JSON document
+//! (the CI step writes `BENCH_pr8.json`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nimbus_agents::engine::run_scenario;
+use nimbus_agents::harness::SimHarness;
+use nimbus_agents::scenario::Scenario;
+use nimbus_agents::SimOutcome;
+use nimbus_market::clock::wall_clock;
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
+
+/// One full closed-loop run on a fresh harness (fresh marketplace, fresh
+/// server, fresh port): what a `nimbus sim run` costs end to end.
+fn run_once(scenario: &Scenario, seed: u64) -> SimOutcome {
+    let harness = SimHarness::start(scenario, seed).expect("harness starts");
+    let outcome = run_scenario(
+        scenario,
+        seed,
+        harness.server.local_addr(),
+        &harness.marketplace,
+        &wall_clock(),
+    )
+    .expect("run completes");
+    harness.server.shutdown();
+    outcome
+}
+
+/// Warm-up summaries collected for the optional JSON artifact.
+fn recorded() -> &'static Mutex<Vec<String>> {
+    static RECORDS: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    RECORDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn record(scenario: &Scenario, outcome: &SimOutcome) {
+    let elapsed = outcome.elapsed.as_secs_f64().max(1e-9);
+    let reprice_mean_us = if outcome.reprice_count > 0 {
+        outcome.reprice_total.as_secs_f64() * 1e6 / outcome.reprice_count as f64
+    } else {
+        0.0
+    };
+    let entry = format!(
+        "    {{\"label\": \"sim/{}\", \"agents\": {}, \"ticks\": {}, \"listings\": {}, \
+         \"commits\": {}, \"elapsed_secs\": {:.6}, \"ticks_per_sec\": {:.1}, \
+         \"commits_per_sec\": {:.1}, \"reprice_count\": {}, \
+         \"reprice_mean_us\": {:.1}, \"reprice_max_us\": {:.1}}}",
+        outcome.scenario,
+        scenario.agents,
+        scenario.ticks,
+        scenario.listings.len(),
+        outcome.acked_commits(),
+        elapsed,
+        outcome.records.len() as f64 / elapsed,
+        outcome.acked_commits() as f64 / elapsed,
+        outcome.reprice_count,
+        reprice_mean_us,
+        outcome.reprice_max.as_secs_f64() * 1e6,
+    );
+    recorded().lock().expect("records lock").push(entry);
+}
+
+/// Writes the collected summaries to `$NIMBUS_BENCH_JSON`, if set. A
+/// relative path is anchored at the workspace root (criterion runs with
+/// the package directory as CWD, which is not where CI looks).
+fn flush_bench_json() {
+    let Ok(path) = std::env::var("NIMBUS_BENCH_JSON") else {
+        return;
+    };
+    let mut target = PathBuf::from(&path);
+    if target.is_relative() {
+        target = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(target);
+    }
+    let entries = recorded().lock().expect("records lock");
+    let doc = format!(
+        "{{\n  \"bench\": \"sim_throughput\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write(&target, doc).expect("write bench json");
+    println!("bench summaries written to {}", target.display());
+}
+
+fn summarize(outcome: &SimOutcome) {
+    let elapsed = outcome.elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "sim/{}: {} ticks, {} commits in {:?} -> {:.0} ticks/s, {:.0} commits/s, \
+         {} re-prices (mean {:?}, max {:?})",
+        outcome.scenario,
+        outcome.records.len(),
+        outcome.acked_commits(),
+        outcome.elapsed,
+        outcome.records.len() as f64 / elapsed,
+        outcome.acked_commits() as f64 / elapsed,
+        outcome.reprice_count,
+        outcome
+            .reprice_total
+            .checked_div(outcome.reprice_count.max(1) as u32)
+            .unwrap_or_default(),
+        outcome.reprice_max,
+    );
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    for name in ["smoke", "baseline"] {
+        let scenario = Scenario::builtin(name).expect("catalog name resolves");
+        let warmup = run_once(&scenario, 7);
+        assert_eq!(warmup.records.len() as u64, scenario.ticks);
+        assert!(warmup.acked_commits() > 0, "closed loop must transact");
+        assert!(warmup.reprice_count > 0, "re-pricer must fire");
+        summarize(&warmup);
+        record(&scenario, &warmup);
+        group.bench_with_input(
+            BenchmarkId::new("closed_loop", name),
+            &scenario,
+            |b, scenario| {
+                b.iter(|| {
+                    let outcome = run_once(scenario, 7);
+                    assert!(outcome.acked_commits() > 0);
+                    outcome.records.len()
+                })
+            },
+        );
+    }
+    group.finish();
+    flush_bench_json();
+}
+
+criterion_group!(benches, bench_sim_throughput);
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! Each command returns its report as a `String` (testable without stdout
 //! capture). All markets are built from the same stack the experiments use.
 
-use crate::parse::{usage, BuyRequest, ClientAction, Command};
+use crate::parse::{usage, BuyRequest, ClientAction, Command, SimAction};
 use nimbus::core::arbitrage::find_attack;
 use nimbus::ml::{ErrorMetric, LossMetric};
 use nimbus::prelude::ErrorCurve;
@@ -63,6 +63,7 @@ pub fn run_command(command: Command) -> Result<String, String> {
             journal_dir.as_deref(),
         ),
         Command::Client { addr, action } => client(&addr, action),
+        Command::Sim { action } => sim(action),
     }
 }
 
@@ -855,6 +856,104 @@ fn client(addr: &str, action: ClientAction) -> Result<String, String> {
     Ok(out)
 }
 
+/// Runs the closed-loop agent-ecology simulator (`nimbus sim ...`).
+fn sim(action: SimAction) -> Result<String, String> {
+    use nimbus::agents::metrics::{parse_log, summarize};
+    use nimbus::agents::run_scenario;
+    use nimbus::market::clock::wall_clock;
+
+    let mut out = String::new();
+    match action {
+        SimAction::Scenarios => {
+            let _ = writeln!(out, "built-in scenarios:");
+            for name in Scenario::BUILTIN_NAMES {
+                let s = Scenario::builtin(name).expect("catalog name resolves");
+                let _ = writeln!(
+                    out,
+                    "  {:<12} {} agents x {} ticks, {} listing(s), re-price every {}, {} event(s)",
+                    name,
+                    s.agents,
+                    s.ticks,
+                    s.listings.len(),
+                    s.reprice_every,
+                    s.events.len()
+                );
+            }
+        }
+        SimAction::Run {
+            scenario,
+            file,
+            seed,
+            out: journal_path,
+        } => {
+            let resolved = match file {
+                Some(path) => {
+                    let text = std::fs::read_to_string(&path)
+                        .map_err(|e| format!("cannot read scenario file {path:?}: {e}"))?;
+                    Scenario::parse(&text).map_err(|e| e.to_string())?
+                }
+                None => Scenario::builtin(&scenario).ok_or_else(|| {
+                    format!(
+                        "unknown scenario {scenario:?}; built-ins: {}",
+                        Scenario::BUILTIN_NAMES.join(", ")
+                    )
+                })?,
+            };
+            let harness = SimHarness::start(&resolved, seed).map_err(|e| e.to_string())?;
+            // The wall clock only feeds the elapsed/re-price latency
+            // lines below; the journal itself excludes timings, so the
+            // determinism contract survives the live clock.
+            let outcome = run_scenario(
+                &resolved,
+                seed,
+                harness.server.local_addr(),
+                &harness.marketplace,
+                &wall_clock(),
+            )
+            .map_err(|e| e.to_string())?;
+            harness.server.shutdown();
+            if let Some(path) = journal_path {
+                std::fs::write(&path, &outcome.log)
+                    .map_err(|e| format!("cannot write journal {path:?}: {e}"))?;
+                let _ = writeln!(out, "journal written to {path}");
+            }
+            let _ = writeln!(
+                out,
+                "scenario {:?} seed {} over {} listing(s): {:?}",
+                outcome.scenario,
+                outcome.seed,
+                outcome.listings.len(),
+                outcome.listings
+            );
+            let _ = writeln!(
+                out,
+                "  elapsed            : {:?} ({:.0} ticks/s)",
+                outcome.elapsed,
+                outcome.records.len() as f64 / outcome.elapsed.as_secs_f64().max(1e-9)
+            );
+            let _ = writeln!(
+                out,
+                "  re-price cycles    : {} (total {:?}, max {:?})",
+                outcome.reprice_count, outcome.reprice_total, outcome.reprice_max
+            );
+            let _ = writeln!(
+                out,
+                "  acked sales        : {} for {:.2} revenue",
+                outcome.acked_commits(),
+                outcome.acked_revenue()
+            );
+            out.push_str(&summarize(&outcome.records));
+        }
+        SimAction::Report { file } => {
+            let text = std::fs::read_to_string(&file)
+                .map_err(|e| format!("cannot read journal {file:?}: {e}"))?;
+            let records = parse_log(&text).map_err(|e| e.to_string())?;
+            out.push_str(&summarize(&records));
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1095,5 +1194,46 @@ mod tests {
         let cmd = parse_args(["help".to_string()]).unwrap();
         let out = run_command(cmd).unwrap();
         assert!(out.contains("usage"));
+    }
+
+    #[test]
+    fn sim_scenarios_lists_the_catalog() {
+        let out = run(&["sim", "scenarios"]).unwrap();
+        for name in nimbus::agents::Scenario::BUILTIN_NAMES {
+            assert!(out.contains(name), "missing scenario {name}");
+        }
+    }
+
+    #[test]
+    fn sim_run_smoke_then_report_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("nimbus-cli-sim-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("smoke.jsonl");
+        let journal_arg = journal.to_str().unwrap().to_string();
+        let out = run(&[
+            "sim",
+            "run",
+            "--scenario",
+            "smoke",
+            "--seed",
+            "7",
+            "--out",
+            &journal_arg,
+        ])
+        .unwrap();
+        assert!(out.contains("scenario \"smoke\" seed 7"));
+        assert!(out.contains("re-price cycles"));
+        let report = run(&["sim", "report", &journal_arg]).unwrap();
+        // The report over the saved journal matches the run's own summary
+        // tail (the run output prefixes harness/timing lines).
+        assert!(out.ends_with(&report));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sim_run_rejects_unknown_scenario() {
+        let err = run(&["sim", "run", "--scenario", "no-such"]).unwrap_err();
+        assert!(err.contains("unknown scenario"));
+        assert!(err.contains("smoke"));
     }
 }

@@ -93,8 +93,36 @@ pub enum Command {
         /// What to ask the server.
         action: ClientAction,
     },
+    /// Run or report on the closed-loop agent simulation.
+    Sim {
+        /// What to simulate.
+        action: SimAction,
+    },
     /// Print usage.
     Help,
+}
+
+/// Actions of the `sim` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimAction {
+    /// Run a scenario end-to-end and print the report.
+    Run {
+        /// Built-in scenario name (`nimbus sim scenarios` lists them).
+        scenario: String,
+        /// Path to a `key = value` scenario file; overrides `--scenario`.
+        file: Option<String>,
+        /// Run seed: same (scenario, seed) ⇒ identical journal.
+        seed: u64,
+        /// Optional path the per-tick JSONL journal is written to.
+        out: Option<String>,
+    },
+    /// Summarize a journal produced by `sim run --out`.
+    Report {
+        /// Path to the JSONL journal.
+        file: String,
+    },
+    /// List the built-in scenarios.
+    Scenarios,
 }
 
 /// Actions of the `client` subcommand.
@@ -191,6 +219,8 @@ pub enum ParseError {
     AmbiguousBuyRequest,
     /// `client` requires an action.
     MissingClientAction,
+    /// `sim` requires an action.
+    MissingSimAction,
 }
 
 impl fmt::Display for ParseError {
@@ -214,6 +244,9 @@ impl fmt::Display for ParseError {
                 "client requires an action: menu | info | listings | stats | buy | \
                  publish | retire | load"
             ),
+            ParseError::MissingSimAction => {
+                write!(f, "sim requires an action: run | report | scenarios")
+            }
         }
     }
 }
@@ -241,6 +274,9 @@ pub fn usage() -> String {
      nimbus client publish|retire --listing NAME [--addr HOST:PORT]\n  \
      nimbus client load [--threads N] [--requests M] [--buy] [--busy-retries R] \
      [--mix NAME=W,NAME=W] [--pipeline D] [--batch B] [--addr HOST:PORT]\n  \
+     nimbus sim run [--scenario NAME | --file PATH] [--seed N] [--out FILE]\n  \
+     nimbus sim report FILE\n  \
+     nimbus sim scenarios\n  \
      nimbus help"
         .to_string()
 }
@@ -573,6 +609,49 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                     })
                 }
                 other => Err(ParseError::UnknownCommand(format!("client {other}"))),
+            }
+        }
+        "sim" => {
+            let action_word = iter.next().ok_or(ParseError::MissingSimAction)?;
+            match action_word.as_str() {
+                "run" => {
+                    let mut scenario = "baseline".to_string();
+                    let mut file: Option<String> = None;
+                    let mut seed = 7u64;
+                    let mut out: Option<String> = None;
+                    while let Some(flag) = iter.next() {
+                        match flag.as_str() {
+                            "--scenario" => scenario = take_value(&mut iter, "--scenario")?,
+                            "--file" => file = Some(take_value(&mut iter, "--file")?),
+                            "--seed" => seed = parse_num(&mut iter, "--seed")?,
+                            "--out" => out = Some(take_value(&mut iter, "--out")?),
+                            other => return Err(ParseError::UnknownFlag(other.to_string())),
+                        }
+                    }
+                    Ok(Command::Sim {
+                        action: SimAction::Run {
+                            scenario,
+                            file,
+                            seed,
+                            out,
+                        },
+                    })
+                }
+                "report" => {
+                    let file = iter
+                        .next()
+                        .ok_or_else(|| ParseError::MissingValue("sim report FILE".to_string()))?;
+                    if let Some(extra) = iter.next() {
+                        return Err(ParseError::UnknownFlag(extra));
+                    }
+                    Ok(Command::Sim {
+                        action: SimAction::Report { file },
+                    })
+                }
+                "scenarios" => Ok(Command::Sim {
+                    action: SimAction::Scenarios,
+                }),
+                other => Err(ParseError::UnknownCommand(format!("sim {other}"))),
             }
         }
         other => Err(ParseError::UnknownCommand(other.to_string())),
@@ -987,6 +1066,84 @@ mod tests {
         ));
         assert!(matches!(
             parse(&["serve", "--bogus"]),
+            Err(ParseError::UnknownFlag(_))
+        ));
+    }
+
+    #[test]
+    fn sim_run_defaults_and_flags() {
+        assert_eq!(
+            parse(&["sim", "run"]).unwrap(),
+            Command::Sim {
+                action: SimAction::Run {
+                    scenario: "baseline".into(),
+                    file: None,
+                    seed: 7,
+                    out: None,
+                }
+            }
+        );
+        assert_eq!(
+            parse(&[
+                "sim",
+                "run",
+                "--scenario",
+                "shock",
+                "--seed",
+                "42",
+                "--out",
+                "journal.jsonl"
+            ])
+            .unwrap(),
+            Command::Sim {
+                action: SimAction::Run {
+                    scenario: "shock".into(),
+                    file: None,
+                    seed: 42,
+                    out: Some("journal.jsonl".into()),
+                }
+            }
+        );
+        assert_eq!(
+            parse(&["sim", "run", "--file", "custom.scenario"]).unwrap(),
+            Command::Sim {
+                action: SimAction::Run {
+                    scenario: "baseline".into(),
+                    file: Some("custom.scenario".into()),
+                    seed: 7,
+                    out: None,
+                }
+            }
+        );
+    }
+
+    #[test]
+    fn sim_report_and_scenarios() {
+        assert_eq!(
+            parse(&["sim", "report", "journal.jsonl"]).unwrap(),
+            Command::Sim {
+                action: SimAction::Report {
+                    file: "journal.jsonl".into()
+                }
+            }
+        );
+        assert_eq!(
+            parse(&["sim", "scenarios"]).unwrap(),
+            Command::Sim {
+                action: SimAction::Scenarios
+            }
+        );
+        assert_eq!(parse(&["sim"]), Err(ParseError::MissingSimAction));
+        assert!(matches!(
+            parse(&["sim", "report"]),
+            Err(ParseError::MissingValue(_))
+        ));
+        assert!(matches!(
+            parse(&["sim", "frobnicate"]),
+            Err(ParseError::UnknownCommand(_))
+        ));
+        assert!(matches!(
+            parse(&["sim", "run", "--bogus"]),
             Err(ParseError::UnknownFlag(_))
         ));
     }

@@ -891,6 +891,62 @@ impl Broker {
         Ok(expected)
     }
 
+    /// Re-publishes the market from a caller-supplied revenue problem —
+    /// typically one whose demand masses and valuations were *observed*
+    /// (empirical demand from live traffic) rather than taken from the
+    /// seller's market research. Requires an open market: the optimal
+    /// model, error curve, and metric name of the current snapshot are
+    /// carried over unchanged; only the problem, the DP-optimized price
+    /// table, and the epoch are new.
+    ///
+    /// The caller's problem should sample the same inverse-NCP grid as
+    /// the posted menu so the carried-over error curve keeps describing
+    /// the posted points. Prices are always re-derived through the
+    /// Algorithm 1 DP and re-checked for post-φ arbitrage-freeness — a
+    /// caller cannot publish a table that violates Theorem 6.
+    ///
+    /// Publishing bumps the epoch exactly like [`Broker::open_market`]:
+    /// every outstanding quote dies with [`MarketError::QuoteExpired`]
+    /// at commit time. Returns the expected revenue of the new table
+    /// under the supplied demand.
+    pub fn republish_with_problem(&self, problem: RevenueProblem) -> Result<f64> {
+        let current = self.published()?;
+        let solution = solve_revenue_dp(&problem)?;
+        let pricing = PiecewiseLinearPricing::new(
+            problem
+                .parameters()
+                .into_iter()
+                .zip(solution.prices.iter().copied())
+                .collect(),
+        )?;
+        let report = check_arbitrage_free_after_phi(&pricing, &current.curve, 1e-6)?;
+        if !report.is_arbitrage_free() {
+            return Err(MarketError::InvalidCurve {
+                reason: "re-published price table failed the post-φ arbitrage re-check",
+            });
+        }
+        let (x_lo, x_hi) = pricing.support();
+        let expected = solution.revenue;
+        let mut history = self.history.lock();
+        let snapshot = Arc::new(MarketSnapshot {
+            problem,
+            pricing,
+            optimal: current.optimal.clone(),
+            curve: current.curve.clone(),
+            metric_name: current.metric_name,
+            expected_revenue: expected,
+            epoch: self.epoch_base + history.len() as u64 + 1,
+            x_lo,
+            x_hi,
+        });
+        let ptr = Arc::as_ptr(&snapshot) as *mut MarketSnapshot;
+        history.push(snapshot);
+        // Release pairs with the Acquire in `snapshot()`, exactly as in
+        // `open_market`.
+        self.current.store(ptr, Ordering::Release);
+        Ok(expected)
+    }
+
     /// The currently published snapshot (`None` before `open_market`).
     /// One atomic load; no lock.
     pub fn snapshot(&self) -> Option<&MarketSnapshot> {

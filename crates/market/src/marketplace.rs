@@ -62,6 +62,7 @@ use crate::seller::Seller;
 use crate::{MarketError, Result};
 use nimbus_core::RandomizedMechanism;
 use nimbus_ml::{ErrorMetric, Trainer};
+use nimbus_optim::RevenueProblem;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -549,6 +550,39 @@ impl Marketplace {
         })
     }
 
+    /// Re-publishes a *published* listing's price table from a
+    /// caller-supplied [`RevenueProblem`] — the direct in-process
+    /// counterpart of the admin wire path's re-PUBLISH, used by
+    /// demand-fed re-pricers that observed an empirical demand curve and
+    /// want the posted prices re-optimized against it.
+    ///
+    /// Epoch-kill semantics are identical to [`Marketplace::publish`]:
+    /// the broker posts a new snapshot with a higher epoch and every
+    /// outstanding quote dies with [`MarketError::QuoteExpired`] at
+    /// commit time. Unlike `publish`, a draft refuses with
+    /// [`MarketError::MarketNotOpen`] (there is no current table to
+    /// re-price) and a retired listing with
+    /// [`MarketError::ListingRetired`]. Returns the expected revenue of
+    /// the new table under the supplied demand.
+    pub fn republish_pricing(&self, name: &str, problem: RevenueProblem) -> Result<f64> {
+        self.mutate(|listings| {
+            let listing = match listings.get(name) {
+                None => {
+                    return Err(MarketError::UnknownListing {
+                        name: name.to_string(),
+                    })
+                }
+                Some(l) => l.clone(),
+            };
+            if listing.state == ListingState::Retired {
+                return Err(MarketError::ListingRetired {
+                    name: name.to_string(),
+                });
+            }
+            listing.broker.republish_with_problem(problem)
+        })
+    }
+
     /// Retires a listing: it stops quoting and selling permanently, while
     /// its ledger (and journal) remain for audit. Retiring a retired
     /// listing is [`MarketError::ListingRetired`].
@@ -916,6 +950,71 @@ mod tests {
             .unwrap();
         assert!(fresh.snapshot_epoch > 1);
         mp.commit("m", fresh, fresh.price).unwrap();
+    }
+
+    #[test]
+    fn republish_pricing_kills_stale_quotes_with_quote_expired() {
+        let mp = Marketplace::new();
+        mp.list(regression_listing("m", 29)).unwrap();
+        let stale = mp
+            .quote_request("m", PurchaseRequest::AtInverseNcp(4.0))
+            .unwrap();
+
+        // An "observed" demand problem on the posted menu grid: same
+        // inverse-NCP points and valuations, demand concentrated on the
+        // accurate end as live traffic might reveal.
+        let (broker, _) = mp.broker("m").unwrap();
+        let posted = broker.posted_menu().unwrap();
+        let n = posted.len();
+        let snapshot_problem = {
+            let quote = mp
+                .quote_request("m", PurchaseRequest::AtInverseNcp(posted[0].0))
+                .unwrap();
+            assert_eq!(quote.snapshot_epoch, stale.snapshot_epoch);
+            let a: Vec<f64> = posted.iter().map(|&(x, _)| x).collect();
+            let v: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+            let b: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
+            RevenueProblem::from_slices(&a, &b, &v).unwrap()
+        };
+
+        let expected = mp.republish_pricing("m", snapshot_problem).unwrap();
+        assert!(expected > 0.0);
+
+        // The pre-republish quote carries a dead epoch.
+        assert!(matches!(
+            mp.commit("m", stale, stale.price),
+            Err(MarketError::QuoteExpired { quoted, current })
+                if quoted == stale.snapshot_epoch && current > quoted
+        ));
+        // Fresh quotes against the re-priced table commit fine.
+        let fresh = mp
+            .quote_request("m", PurchaseRequest::AtInverseNcp(4.0))
+            .unwrap();
+        assert!(fresh.snapshot_epoch > stale.snapshot_epoch);
+        mp.commit("m", fresh, fresh.price).unwrap();
+    }
+
+    #[test]
+    fn republish_pricing_refuses_drafts_and_retired() {
+        let mp = Marketplace::new();
+        mp.draft(regression_listing("d", 31)).unwrap();
+        let (broker, _) = mp.broker("d").unwrap();
+        assert!(!broker.is_open());
+        let problem = RevenueProblem::from_slices(&[1.0, 2.0], &[1.0, 1.0], &[1.0, 2.0]).unwrap();
+        assert!(matches!(
+            mp.republish_pricing("d", problem.clone()),
+            Err(MarketError::MarketNotOpen)
+        ));
+        mp.list(regression_listing("m", 33)).unwrap();
+        mp.retire("m").unwrap();
+        assert!(matches!(
+            mp.republish_pricing("m", problem.clone()),
+            Err(MarketError::ListingRetired { .. })
+        ));
+        assert!(matches!(
+            mp.republish_pricing("nope", problem),
+            Err(MarketError::UnknownListing { .. })
+        ));
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! | [`optim`] | `nimbus-optim` | revenue DP, brute force, baselines, interpolation |
 //! | [`market`] | `nimbus-market` | seller/broker/buyer agents, end-to-end simulation |
 //! | [`server`] | `nimbus-server` | TCP broker service: wire protocol, admission control, client, load generator |
+//! | [`agents`] | `nimbus-agents` | closed-loop buyer-agent ecology: adaptive agents, empirical demand, demand-fed re-pricing |
 //!
 //! ## Quickstart
 //!
@@ -68,6 +69,7 @@
 //! parallel Monte-Carlo sweep, maps market research through φ, and
 //! re-verifies arbitrage-freeness on the φ-mapped grid before publishing.
 
+pub use nimbus_agents as agents;
 pub use nimbus_core as core;
 pub use nimbus_data as data;
 pub use nimbus_linalg as linalg;
@@ -79,6 +81,9 @@ pub use nimbus_server as server;
 
 /// One-stop imports for the common Nimbus workflow.
 pub mod prelude {
+    pub use nimbus_agents::{
+        run_scenario, BuyerAgent, DemandObserver, Repricer, Scenario, SimHarness, SimOutcome,
+    };
     pub use nimbus_core::{
         arbitrage::{
             check_arbitrage_free, check_arbitrage_free_after_phi, combine_instances, find_attack,

@@ -137,6 +137,20 @@ pub fn solve_revenue_dp_with_sale_bonus(
             di = k; // Δ := v_k / a_k
         }
     }
+    // Monotone repair for skipped points. A skip prices `k` at the unit
+    // price of `k+1`, which can dip below `z_{k-1}` when `k-1` was capped
+    // at its valuation and the unit price drops faster than `a` grows —
+    // violating the `z` non-decreasing constraint of program (5). Raising
+    // a price to the running maximum keeps every unit-price constraint
+    // (`z̃_k/a_k ≥ z_k/a_k ≥ u_{k+1}`, and `z̃_k/a_k ≤ z_j/a_j` for the
+    // maximizing `j < k` since `a_j < a_k`) and cannot price a served
+    // buyer out (`z_j ≤ v_j ≤ v_k` by valuation monotonicity), so the DP
+    // value is preserved exactly.
+    let mut run = 0.0f64;
+    for z in &mut prices {
+        run = run.max(*z);
+        *z = run;
+    }
 
     let achieved = revenue(&prices, problem)?;
     #[cfg(debug_assertions)]
@@ -285,6 +299,35 @@ mod tests {
         let sol = solve_revenue_dp(&problem).unwrap();
         let aff = affordability_ratio(&sol.prices, &problem).unwrap();
         assert_eq!(aff, 1.0);
+    }
+
+    #[test]
+    fn skipped_points_stay_monotone_under_zero_demand_masses() {
+        // Regression: with zero demand at some points (common for
+        // empirical demand curves where nobody quoted a menu point), the
+        // DP skips them, and the raw skip reconstruction priced them at
+        // the next point's unit price — which can dip below the previous
+        // capped price and break the `z` non-decreasing constraint. The
+        // instance is lifted from a live closed-loop simulation run.
+        let a = [
+            1.0, 7.6, 14.2, 20.8, 27.4, 34.0, 40.6, 47.2, 53.8, 60.4, 67.0, 73.6, 80.2, 86.8, 93.4,
+            100.0,
+        ];
+        let b = [
+            0.0, 0.0, 0.0, 0.0, 52.0, 45.0, 59.0, 0.0, 86.0, 83.0, 91.0, 0.0, 0.0, 30.0, 44.0, 30.0,
+        ];
+        let v = [
+            5.26, 39.98, 50.41, 57.79, 58.80, 60.78, 64.69, 71.71, 71.71, 85.49, 85.49, 85.49,
+            85.49, 85.49, 94.11, 102.67,
+        ];
+        let problem = RevenueProblem::from_slices(&a, &b, &v).unwrap();
+        let sol = solve_revenue_dp(&problem).unwrap();
+        assert!(
+            sol.prices.windows(2).all(|w| w[0] <= w[1]),
+            "prices must be non-decreasing: {:?}",
+            sol.prices
+        );
+        assert!(satisfies_relaxed_constraints(&sol.prices, &a, 1e-9));
     }
 
     #[test]

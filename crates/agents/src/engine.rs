@@ -21,8 +21,11 @@
 //!    epoch-kill path (`QuoteExpired` at commit, agent retry next tick)
 //!    is exercised on every re-price, deterministically;
 //! 5. **commit** — accepted quotes are pipelined as `COMMIT`s (with
-//!    deterministic idempotency nonces); ACKs settle wallets and
-//!    learning, expirations queue retries.
+//!    deterministic idempotency nonces and, when the scenario defines
+//!    buyer identities, a wire-v5 buyer id); ACKs settle wallets and
+//!    learning, expirations queue retries, and `BUDGET_EXHAUSTED`
+//!    rejects are absorbed without retry — exhaustion is durable, so a
+//!    dried-up buyer keeps quoting but never commits again.
 //!
 //! # Determinism
 //!
@@ -116,6 +119,11 @@ impl SimOutcome {
     /// Total commits ACKed to agents.
     pub fn acked_commits(&self) -> u64 {
         self.acked.iter().map(|l| l.len() as u64).sum()
+    }
+
+    /// Total commits rejected with `BUDGET_EXHAUSTED` across the run.
+    pub fn budget_rejects(&self) -> u64 {
+        self.records.iter().map(|r| r.budget_rejects).sum()
     }
 }
 
@@ -329,7 +337,10 @@ pub fn run_scenario(
             }
         }
 
-        // Phase 5: commits for this tick's accepted quotes.
+        // Phase 5: commits for this tick's accepted quotes. Agent i
+        // commits as buyer (i mod buyers) + 1 when the scenario defines
+        // identities; `buyers < agents` deliberately shares (colludes
+        // on) identities so a ring drains one budget together.
         let commit_batch: Vec<(usize, Request)> = pending
             .iter()
             .map(|p| {
@@ -342,6 +353,7 @@ pub fn run_scenario(
                         snapshot_epoch: p.epoch,
                         payment: p.price,
                         nonce: Some(nonce_counter),
+                        buyer: buyer_identity(scenario, p.agent),
                     },
                 )
             })
@@ -366,6 +378,12 @@ pub fn run_scenario(
                     if code == ErrorCode::QuoteExpired {
                         record.expired += 1;
                         agents[p.agent].queue_retry(p.intent);
+                    } else if code == ErrorCode::BudgetExhausted {
+                        // Durable exhaustion: retrying the same buyer
+                        // can only be rejected again, so count it and
+                        // let the agent move on (no wallet settlement —
+                        // nothing was charged).
+                        record.budget_rejects += 1;
                     } else {
                         return Err(AgentsError::Protocol(format!(
                             "commit for agent {} failed: {code:?}: {message}",
@@ -403,6 +421,16 @@ pub fn run_scenario(
 
 fn menu_lens(menus: &[MenuState]) -> Vec<usize> {
     menus.iter().map(|m| m.points.len()).collect()
+}
+
+/// The wire-v5 buyer identity agent `agent` commits under, or `None`
+/// (anonymous, pre-v5 behavior) when the scenario defines no identities.
+fn buyer_identity(scenario: &Scenario, agent: usize) -> Option<u64> {
+    if scenario.buyers == 0 {
+        None
+    } else {
+        Some((agent % scenario.buyers) as u64 + 1)
+    }
 }
 
 fn spawn_population(

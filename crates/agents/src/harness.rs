@@ -43,10 +43,14 @@ impl SimHarness {
         scenario.validate()?;
         let mut builders = Vec::with_capacity(scenario.listings.len());
         for spec in &scenario.listings {
-            builders.push(listing_builder(
+            let mut builder = listing_builder(
                 &spec.name,
                 nimbus_randkit::split_stream(seed, MARKET_STREAM ^ spec.seed_label),
-            )?);
+            )?;
+            if let Some(budget) = scenario.buyer_budget {
+                builder = builder.buyer_budget(budget);
+            }
+            builders.push(builder);
         }
         let marketplace =
             Arc::new(Marketplace::open_listings(builders).map_err(AgentsError::Market)?);

@@ -42,6 +42,9 @@ pub struct TickRecord {
     pub commits: u64,
     /// Commits killed by a re-price epoch bump (`QuoteExpired`).
     pub expired: u64,
+    /// Commits rejected with `BUDGET_EXHAUSTED`: the buyer's per-listing
+    /// noise budget ran dry. Never retried — exhaustion is durable.
+    pub budget_rejects: u64,
     /// Revenue of this tick's ACKed commits.
     pub revenue: f64,
     /// Realized surplus of ACKed commits by buyer type
@@ -66,7 +69,7 @@ impl TickRecord {
         let mut s = String::with_capacity(256);
         let _ = write!(
             s,
-            "{{\"tick\":{},\"quotes\":{},\"accepts\":{},\"rejects\":{},\"wallet_forced\":{},\"commits\":{},\"expired\":{},\"revenue\":{},\"surplus\":[{},{},{}],\"reprices\":[",
+            "{{\"tick\":{},\"quotes\":{},\"accepts\":{},\"rejects\":{},\"wallet_forced\":{},\"commits\":{},\"expired\":{},\"budget_rejects\":{},\"revenue\":{},\"surplus\":[{},{},{}],\"reprices\":[",
             self.tick,
             self.quotes,
             self.accepts,
@@ -74,6 +77,7 @@ impl TickRecord {
             self.wallet_forced,
             self.commits,
             self.expired,
+            self.budget_rejects,
             json_f64(self.revenue),
             json_f64(self.surplus[0]),
             json_f64(self.surplus[1]),
@@ -162,6 +166,7 @@ fn parse_record(line: &str) -> std::result::Result<TickRecord, String> {
             "wallet_forced" => rec.wallet_forced = p.number()? as u64,
             "commits" => rec.commits = p.number()? as u64,
             "expired" => rec.expired = p.number()? as u64,
+            "budget_rejects" => rec.budget_rejects = p.number()? as u64,
             "revenue" => rec.revenue = p.number()?,
             "surplus" => {
                 p.expect('[')?;
@@ -339,6 +344,7 @@ pub fn summarize(records: &[TickRecord]) -> String {
     let accepts: u64 = records.iter().map(|r| r.accepts).sum();
     let commits: u64 = records.iter().map(|r| r.commits).sum();
     let expired: u64 = records.iter().map(|r| r.expired).sum();
+    let budget_rejects: u64 = records.iter().map(|r| r.budget_rejects).sum();
     let wallet_forced: u64 = records.iter().map(|r| r.wallet_forced).sum();
     let revenue: f64 = records.iter().map(|r| r.revenue).sum();
     let surplus: [f64; 3] = records.iter().fold([0.0; 3], |mut acc, r| {
@@ -357,6 +363,7 @@ pub fn summarize(records: &[TickRecord]) -> String {
     let _ = writeln!(out, "acceptance rate  {rate:.3}");
     let _ = writeln!(out, "commits          {commits}");
     let _ = writeln!(out, "quote-expired    {expired}");
+    let _ = writeln!(out, "budget-rejected  {budget_rejects}");
     let _ = writeln!(out, "wallet-forced    {wallet_forced}");
     let _ = writeln!(out, "revenue          {revenue:.4}");
     let _ = writeln!(
@@ -392,6 +399,7 @@ mod tests {
             wallet_forced: 5,
             commits: 58,
             expired: 2,
+            budget_rejects: 3,
             revenue: 123.456789,
             surplus: [1.25, -0.5, 7.0],
             reprices: vec![RepriceDelta {
@@ -442,6 +450,7 @@ mod tests {
         assert!(report.contains("ticks            2"));
         assert!(report.contains("quotes           200"));
         assert!(report.contains("commits          116"));
+        assert!(report.contains("budget-rejected  6"));
         assert!(report.contains("re-prices        2"));
         assert!(report.contains("alpha"));
     }

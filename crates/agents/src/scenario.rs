@@ -110,6 +110,16 @@ pub struct Scenario {
     pub starting_wallet: f64,
     /// Per-tick income per agent, in the same scale-free units.
     pub income_per_tick: f64,
+    /// Distinct buyer identities the population commits under: agent `i`
+    /// buys as buyer `(i mod buyers) + 1`, so `buyers < agents` makes
+    /// agents share (collude on) identities. `0` disables identities —
+    /// commits go out anonymous and per-buyer budgets never bind.
+    pub buyers: usize,
+    /// Per-buyer noise-precision budget (`Σ x` cap) each listing is
+    /// published with. In absolute inverse-NCP units — the harness menus
+    /// span the default `[1, 100]` support. `None` leaves listings
+    /// unmetered.
+    pub buyer_budget: Option<f64>,
     /// TCP connections the engine multiplexes agents over.
     pub connections: usize,
     /// Scripted perturbations, applied between ticks.
@@ -124,6 +134,8 @@ impl Scenario {
         "churn",
         "price-war",
         "exhaustion",
+        "budget-exhaustion",
+        "colluding-buyers",
         "smoke",
     ];
 
@@ -145,6 +157,8 @@ impl Scenario {
             // scenarios override this downward to make wallets bind.
             starting_wallet: 40.0,
             income_per_tick: 7.0,
+            buyers: 0,
+            buyer_budget: None,
             connections: 8,
             events: Vec::new(),
         }
@@ -202,6 +216,32 @@ impl Scenario {
                 }];
                 s
             }
+            "budget-exhaustion" => {
+                // Every agent is its own metered buyer: wallets are
+                // generous (valuations gate acceptance) but the noise
+                // budget runs dry mid-run, so the back half of the run
+                // exercises the typed `BUDGET_EXHAUSTED` reject path
+                // while reads keep flowing.
+                let mut s = Scenario::base("budget-exhaustion");
+                s.agents = 80;
+                s.ticks = 100;
+                s.reprice_every = 0;
+                s.buyers = 80;
+                s.buyer_budget = Some(150.0);
+                s
+            }
+            "colluding-buyers" => {
+                // Ten agents per buyer identity burn a shared budget: a
+                // collusion ring cannot out-buy one honest buyer because
+                // the ledger meters the identity, not the connection.
+                let mut s = Scenario::base("colluding-buyers");
+                s.agents = 80;
+                s.ticks = 100;
+                s.reprice_every = 0;
+                s.buyers = 8;
+                s.buyer_budget = Some(400.0);
+                s
+            }
             "smoke" => {
                 let mut s = Scenario::base("smoke");
                 s.agents = 40;
@@ -231,6 +271,7 @@ impl Scenario {
     /// reprice_every = 50            min_observations = 50
     /// mix = 0.3, 0.5, 0.2           # budget, mainstream, premium
     /// wallet = 40                   income = 2
+    /// buyers = 80                   buyer_budget = 150
     /// connections = 8
     /// event = shock tick=120 factor=1.6
     /// event = churn tick=90 fraction=0.5
@@ -283,6 +324,8 @@ impl Scenario {
                 "min_observations" => s.min_observations = int(value)?,
                 "wallet" => s.starting_wallet = num(value)?,
                 "income" => s.income_per_tick = num(value)?,
+                "buyers" => s.buyers = int(value)? as usize,
+                "buyer_budget" => s.buyer_budget = Some(num(value)?),
                 "connections" => s.connections = int(value)? as usize,
                 "mix" => {
                     let parts: Vec<f64> = value
@@ -336,6 +379,14 @@ impl Scenario {
         }
         if !(self.income_per_tick.is_finite() && self.income_per_tick >= 0.0) {
             return err("income must be finite and non-negative");
+        }
+        if let Some(budget) = self.buyer_budget {
+            if !(budget.is_finite() && budget > 0.0) {
+                return err("buyer_budget must be finite and positive");
+            }
+            if self.buyers == 0 {
+                return err("buyer_budget needs buyer identities: set `buyers` > 0");
+            }
         }
         Ok(())
     }
@@ -421,6 +472,8 @@ mod tests {
              mix = 0.2, 0.5, 0.3\n\
              wallet = 30\n\
              income = 1.5\n\
+             buyers = 25\n\
+             buyer_budget = 120\n\
              connections = 4\n\
              event = shock tick=30 factor=1.4\n\
              event = churn tick=10 fraction=0.25\n",
@@ -431,6 +484,8 @@ mod tests {
         assert_eq!(s.listings[1].name, "beta");
         assert_eq!(s.agents, 50);
         assert_eq!(s.ticks, 60);
+        assert_eq!(s.buyers, 25);
+        assert_eq!(s.buyer_budget, Some(120.0));
         // Events are sorted by tick regardless of file order.
         assert_eq!(
             s.events,
@@ -456,5 +511,9 @@ mod tests {
         assert!(Scenario::parse("event = quake tick=3").is_err());
         assert!(Scenario::parse("agents = 0").is_err());
         assert!(Scenario::parse("listings = ").is_err());
+        // A budget without identities can never bind — reject the typo.
+        assert!(Scenario::parse("buyer_budget = 100").is_err());
+        assert!(Scenario::parse("buyers = 4\nbuyer_budget = 0").is_err());
+        assert!(Scenario::parse("buyers = 4\nbuyer_budget = 100").is_ok());
     }
 }

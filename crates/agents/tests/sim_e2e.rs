@@ -123,6 +123,113 @@ fn ledger_reconciles_exactly_with_agent_acks() {
     h.server.shutdown();
 }
 
+/// Shared assertions for the metered-buyer scenarios: the run must hit
+/// budget exhaustion, keep serving afterwards, and the server-side
+/// ledger, the buyer-side ACK stream, and the per-buyer accounts must
+/// agree exactly — zero mismatches.
+fn assert_budgets_reconcile(scenario: &Scenario, outcome: &SimOutcome, h: &SimHarness) {
+    let budget = scenario.buyer_budget.expect("metered scenario");
+    assert!(outcome.acked_commits() > 0, "no sales before exhaustion");
+    assert!(
+        outcome.budget_rejects() > 0,
+        "budgets never exhausted — the reject path was not exercised"
+    );
+    // Exhaustion is graceful: the engine kept quoting (reads served) on
+    // every tick after the first reject.
+    let first_reject = outcome
+        .records
+        .iter()
+        .find(|r| r.budget_rejects > 0)
+        .map(|r| r.tick)
+        .unwrap();
+    for r in outcome.records.iter().filter(|r| r.tick > first_reject) {
+        assert!(
+            r.quotes > 0,
+            "tick {}: reads stopped after exhaustion",
+            r.tick
+        );
+    }
+
+    for (li, name) in outcome.listings.iter().enumerate() {
+        let broker = h.marketplace.route(name).expect("listing routes");
+        // Ledger ↔ ACK: same transaction ids, bitwise-same prices.
+        let ledger = broker.ledger();
+        let transactions = ledger.transactions();
+        assert_eq!(
+            transactions.len(),
+            outcome.acked[li].len(),
+            "listing `{name}`: ledger row count != buyer ACK count"
+        );
+        let mut ledger_side: Vec<(u64, u64)> = transactions
+            .iter()
+            .map(|t| (t.sequence, t.price.to_bits()))
+            .collect();
+        let mut acked_side: Vec<(u64, u64)> = outcome.acked[li]
+            .iter()
+            .map(|a| (a.transaction, a.price.to_bits()))
+            .collect();
+        ledger_side.sort_unstable();
+        acked_side.sort_unstable();
+        assert_eq!(
+            ledger_side, acked_side,
+            "listing `{name}`: ledger and ACK stream disagree"
+        );
+
+        // Accounts ↔ ledger: every charge came from an ACKed sale, every
+        // buyer stayed within budget, and total spend equals the
+        // ledger's total precision sold.
+        let accounts = broker.accounts();
+        assert_eq!(accounts.budget(), Some(budget));
+        let snapshot = accounts.snapshot();
+        assert!(
+            snapshot.len() <= scenario.buyers,
+            "listing `{name}`: more charged buyers than identities"
+        );
+        let mut charged = 0.0f64;
+        for &(buyer, spent) in &snapshot {
+            assert!(buyer >= 1 && buyer <= scenario.buyers as u64);
+            assert!(
+                spent <= budget + 1e-9,
+                "listing `{name}`: buyer {buyer} over budget: {spent} > {budget}"
+            );
+            charged += spent;
+        }
+        let sold: f64 = transactions.iter().map(|t| t.inverse_ncp).sum();
+        assert!(
+            (charged - sold).abs() <= 1e-9 * sold.max(1.0),
+            "listing `{name}`: accounts charged {charged} != ledger sold {sold}"
+        );
+        assert_eq!(accounts.budget_rejects(), outcome.budget_rejects());
+    }
+}
+
+#[test]
+fn budget_exhaustion_is_graceful_and_reconciles() {
+    let scenario = Scenario::builtin("budget-exhaustion").expect("catalog");
+    let (outcome, h) = run(&scenario, 21);
+    assert_budgets_reconcile(&scenario, &outcome, &h);
+    // Every agent is its own buyer, so exhaustion is fleet-wide: the
+    // final ticks commit (almost) nothing while still quoting.
+    let last = outcome.records.last().unwrap();
+    assert!(last.quotes > 0);
+    h.server.shutdown();
+}
+
+#[test]
+fn colluding_buyers_share_one_budget() {
+    let scenario = Scenario::builtin("colluding-buyers").expect("catalog");
+    let (outcome, h) = run(&scenario, 23);
+    assert_budgets_reconcile(&scenario, &outcome, &h);
+    // Ten agents share each identity; the ledger meters the identity,
+    // so the number of distinct charged buyers is bounded by the ring
+    // count, not the population.
+    let broker = h.marketplace.route(&outcome.listings[0]).unwrap();
+    let snapshot = broker.accounts().snapshot();
+    assert!(!snapshot.is_empty());
+    assert!(snapshot.len() <= 8, "identities leaked: {}", snapshot.len());
+    h.server.shutdown();
+}
+
 #[test]
 fn demand_shock_moves_prices_up() {
     let scenario = war_scenario();

@@ -30,14 +30,20 @@ pub const RULE_NAMES: &[&str] = &[
 /// and everything replay depends on. `market::simulation` qualifies since
 /// its wall-clock moved behind a caller-supplied clock closure, and
 /// `server::event` since its deadline timers run on an injected clock.
+/// `randkit::snapped` and `market::account` joined with the privacy
+/// hardening: the snapped sampler promises bitwise-identical draws for a
+/// given `(seed, tx_id, x)`, and budget accounting must replay to the
+/// same ledger from the journal alone.
 pub const DETERMINISTIC_FILES: &[&str] = &[
     "crates/core/src/mechanism.rs",
     "crates/core/src/curve_provider.rs",
+    "crates/market/src/account.rs",
     "crates/market/src/broker.rs",
     "crates/market/src/journal.rs",
     "crates/market/src/ledger.rs",
     "crates/market/src/marketplace.rs",
     "crates/market/src/simulation.rs",
+    "crates/randkit/src/snapped.rs",
     "crates/server/src/event.rs",
 ];
 
@@ -51,8 +57,10 @@ pub const DETERMINISTIC_PREFIXES: &[&str] = &["crates/agents/src/"];
 /// The serving hot path: panic here kills a worker thread under load.
 pub const HOT_PATH_PREFIXES: &[&str] = &["crates/server/src/"];
 
-/// Hot-path files outside the prefix list.
+/// Hot-path files outside the prefix list. `account.rs` is here because
+/// the budget check runs inside every metered commit before durability.
 pub const HOT_PATH_FILES: &[&str] = &[
+    "crates/market/src/account.rs",
     "crates/market/src/broker.rs",
     "crates/market/src/journal.rs",
     "crates/market/src/ledger.rs",

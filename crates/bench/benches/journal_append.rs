@@ -38,6 +38,7 @@ fn record(sequence: u64) -> SaleRecord {
         // Every other sale carries an idempotency nonce, like mixed
         // plain/idempotent client traffic.
         nonce: sequence.is_multiple_of(2).then_some(0x5EED_0000 + sequence),
+        buyer: None,
     }
 }
 

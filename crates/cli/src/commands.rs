@@ -51,6 +51,7 @@ pub fn run_command(command: Command) -> Result<String, String> {
             queue,
             journal,
             journal_dir,
+            buyer_budget,
         } => serve(
             &addr,
             &datasets,
@@ -61,6 +62,7 @@ pub fn run_command(command: Command) -> Result<String, String> {
             queue,
             journal.as_deref(),
             journal_dir.as_deref(),
+            buyer_budget,
         ),
         Command::Client { addr, action } => client(&addr, action),
         Command::Sim { action } => sim(action),
@@ -523,6 +525,7 @@ pub(crate) fn start_marketplace_server(
     queue: usize,
     journal: Option<&str>,
     journal_dir: Option<&str>,
+    buyer_budget: Option<f64>,
 ) -> Result<NimbusServer, String> {
     if dataset_names.is_empty() {
         return Err("serve needs at least one --dataset".to_string());
@@ -546,6 +549,9 @@ pub(crate) fn start_marketplace_server(
         }
         if let Some(dir) = journal_dir {
             builder = builder.journal_root(dir);
+        }
+        if let Some(budget) = buyer_budget {
+            builder = builder.buyer_budget(budget);
         }
         builders.push(builder);
     }
@@ -577,6 +583,7 @@ fn serve(
     queue: usize,
     journal: Option<&str>,
     journal_dir: Option<&str>,
+    buyer_budget: Option<f64>,
 ) -> Result<String, String> {
     let server = start_marketplace_server(
         addr,
@@ -588,6 +595,7 @@ fn serve(
         queue,
         journal,
         journal_dir,
+        buyer_budget,
     )?;
     let marketplace = server.marketplace();
     println!(
@@ -608,6 +616,12 @@ fn serve(
             } else {
                 ""
             }
+        );
+    }
+    if let Some(budget) = buyer_budget {
+        println!(
+            "per-buyer noise budget: sum(x) <= {budget} per listing; \
+             exhausted buyers get typed BUDGET_EXHAUSTED rejects"
         );
     }
     if journal.is_some() || journal_dir.is_some() {
@@ -745,9 +759,56 @@ fn client(addr: &str, action: ClientAction) -> Result<String, String> {
                     op.op, op.requests, op.errors, op.p50_micros, op.p99_micros
                 );
             }
+            if !stats.listings.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "  {:<16} {:<10} {:>8} {:>10} {:>14} {:>10}",
+                    "listing", "state", "sales", "revenue", "budget-rejects", "exhausted"
+                );
+                for l in &stats.listings {
+                    let _ = writeln!(
+                        out,
+                        "  {:<16} {:<10} {:>8} {:>10.2} {:>14} {:>10}",
+                        l.listing,
+                        l.state,
+                        l.sales,
+                        l.revenue,
+                        l.budget_rejects,
+                        l.exhausted_buyers
+                    );
+                }
+            }
         }
-        ClientAction::Buy { request, listing } => {
+        ClientAction::Account { buyer, listing } => {
             let mut conn = NimbusClient::connect(addr, &config).map_err(|e| e.to_string())?;
+            let account = match &listing {
+                Some(name) => conn.account_on(name, buyer),
+                None => conn.account(buyer),
+            }
+            .map_err(|e| e.to_string())?;
+            let _ = writeln!(
+                out,
+                "account for buyer {} on listing {:?} at {addr}:",
+                account.buyer, account.listing
+            );
+            let _ = writeln!(out, "  spent (sum x)    : {:.4}", account.spent);
+            match (account.budget, account.remaining) {
+                (Some(budget), Some(remaining)) => {
+                    let _ = writeln!(out, "  budget           : {budget:.4}");
+                    let _ = writeln!(out, "  remaining        : {remaining:.4}");
+                }
+                _ => {
+                    let _ = writeln!(out, "  budget           : unmetered");
+                }
+            }
+        }
+        ClientAction::Buy {
+            request,
+            listing,
+            buyer,
+        } => {
+            let mut conn = NimbusClient::connect(addr, &config).map_err(|e| e.to_string())?;
+            conn.set_buyer(buyer);
             let req = match request {
                 BuyRequest::ErrorBudget(e) => PurchaseRequest::ErrorBudget(e),
                 BuyRequest::PriceBudget(p) => PurchaseRequest::PriceBudget(p),
@@ -777,6 +838,21 @@ fn client(addr: &str, action: ClientAction) -> Result<String, String> {
                 sale.weights.first().copied().unwrap_or(f64::NAN)
             );
             let _ = writeln!(out, "  transaction   : #{}", sale.transaction);
+            if let Some(buyer) = buyer {
+                // On a pre-v5 server the purchase still went through
+                // (anonymously); just skip the account line.
+                if let Ok(account) = conn.account(buyer) {
+                    let _ = writeln!(
+                        out,
+                        "  buyer {buyer:<8}: spent {:.4}{}",
+                        account.spent,
+                        match account.remaining {
+                            Some(r) => format!(", remaining {r:.4}"),
+                            None => " (unmetered)".to_string(),
+                        }
+                    );
+                }
+            }
         }
         ClientAction::Load {
             threads,
@@ -786,6 +862,7 @@ fn client(addr: &str, action: ClientAction) -> Result<String, String> {
             mix,
             pipeline,
             batch,
+            buyer,
         } => {
             let resolved: std::net::SocketAddr = {
                 use std::net::ToSocketAddrs;
@@ -803,6 +880,7 @@ fn client(addr: &str, action: ClientAction) -> Result<String, String> {
                 mix,
                 pipeline_depth: pipeline,
                 batch_size: batch,
+                buyer,
                 ..LoadConfig::default()
             };
             let report = run_load(resolved, &load);
@@ -817,6 +895,7 @@ fn client(addr: &str, action: ClientAction) -> Result<String, String> {
                 report.ok, report.busy, report.errors
             );
             let _ = writeln!(out, "  retried sheds      : {}", report.busy_retried);
+            let _ = writeln!(out, "  budget-rejected    : {}", report.budget_rejected);
             let _ = writeln!(
                 out,
                 "  ok rate            : {:.1}%",
@@ -1087,9 +1166,19 @@ mod tests {
         // `serve` itself blocks forever, so the test drives the same
         // builder the command uses and points `nimbus client` at it.
         let datasets = vec!["Simulated1".to_string(), "Simulated2".to_string()];
-        let server =
-            start_marketplace_server("127.0.0.1:0", &datasets, "square", 3, 1, 2, 32, None, None)
-                .unwrap();
+        let server = start_marketplace_server(
+            "127.0.0.1:0",
+            &datasets,
+            "square",
+            3,
+            1,
+            2,
+            32,
+            None,
+            None,
+            None,
+        )
+        .unwrap();
         let addr = server.local_addr().to_string();
 
         let menu = run(&["client", "menu", "--addr", &addr]).unwrap();
@@ -1187,6 +1276,65 @@ mod tests {
         // With the server gone, client commands fail with an error string
         // instead of hanging.
         assert!(run(&["client", "menu", "--addr", &addr]).is_err());
+    }
+
+    #[test]
+    fn metered_buyers_over_the_cli() {
+        // A server with a tight per-buyer noise budget: one x=25 purchase
+        // fits, the second (identical) one must be rejected with the
+        // typed error, and `client account` reads the ledger truth.
+        let datasets = vec!["Simulated1".to_string()];
+        let server = start_marketplace_server(
+            "127.0.0.1:0",
+            &datasets,
+            "square",
+            3,
+            1,
+            2,
+            32,
+            None,
+            None,
+            Some(40.0),
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+
+        let first = run(&[
+            "client", "buy", "--at", "25", "--buyer", "9", "--addr", &addr,
+        ])
+        .unwrap();
+        assert!(first.contains("purchased over the wire"), "{first}");
+        assert!(first.contains("buyer 9"), "{first}");
+        assert!(first.contains("remaining 15"), "{first}");
+
+        let err = run(&[
+            "client", "buy", "--at", "25", "--buyer", "9", "--addr", &addr,
+        ])
+        .unwrap_err();
+        assert!(err.contains("budget_exhausted"), "{err}");
+
+        // An anonymous buy on the same listing is unmetered.
+        let anon = run(&["client", "buy", "--at", "25", "--addr", &addr]).unwrap();
+        assert!(anon.contains("purchased over the wire"), "{anon}");
+
+        let account = run(&["client", "account", "9", "--addr", &addr]).unwrap();
+        assert!(account.contains("buyer 9"), "{account}");
+        assert!(account.contains("spent (sum x)    : 25.0000"), "{account}");
+        assert!(account.contains("budget           : 40.0000"), "{account}");
+        assert!(account.contains("remaining        : 15.0000"), "{account}");
+        // A buyer that never bought reads as a zero account, not an error.
+        let fresh = run(&["client", "account", "777", "--addr", &addr]).unwrap();
+        assert!(fresh.contains("spent (sum x)    : 0.0000"), "{fresh}");
+
+        // The reject shows up in the stats table and Prometheus text.
+        let stats = run(&["client", "stats", "--addr", &addr]).unwrap();
+        assert!(stats.contains("budget-rejects"), "{stats}");
+        let text = run(&["client", "stats", "--text", "--addr", &addr]).unwrap();
+        assert!(
+            text.contains("nimbus_listing_budget_rejects_total"),
+            "{text}"
+        );
+        server.shutdown();
     }
 
     #[test]

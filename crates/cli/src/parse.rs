@@ -85,6 +85,10 @@ pub enum Command {
         /// `<dir>/<listing>/journal.log` and all of them are recovered
         /// on restart.
         journal_dir: Option<String>,
+        /// Optional per-buyer noise-precision budget (`Σ x` cap) every
+        /// listing is published with; buyers who exceed it get typed
+        /// `BUDGET_EXHAUSTED` rejects.
+        buyer_budget: Option<f64>,
     },
     /// Talk to a running server.
     Client {
@@ -140,6 +144,13 @@ pub enum ClientAction {
     },
     /// Enumerate every listing the marketplace hosts.
     Listings,
+    /// Fetch one buyer's noise-budget account on a listing (wire v5).
+    Account {
+        /// Buyer identity to look up.
+        buyer: u64,
+        /// Listing to route to (`None` = the server's default listing).
+        listing: Option<String>,
+    },
     /// Fetch the server's serving statistics.
     Stats {
         /// Render Prometheus text exposition format instead of the table.
@@ -151,6 +162,8 @@ pub enum ClientAction {
         request: BuyRequest,
         /// Listing to route to (`None` = the server's default listing).
         listing: Option<String>,
+        /// Buyer identity the commit is charged to (`None` = anonymous).
+        buyer: Option<u64>,
     },
     /// (Re-)publish a listing: a new pricing epoch goes live and every
     /// outstanding quote against the old epoch is invalidated.
@@ -183,6 +196,9 @@ pub enum ClientAction {
         /// Commits grouped into one `BATCH_COMMIT` frame per window
         /// (pipelined `--buy` only); 0/1 = one `COMMIT` per request.
         batch: usize,
+        /// Buyer identity every generated commit is charged to
+        /// (`None` = anonymous).
+        buyer: Option<u64>,
     },
 }
 
@@ -241,7 +257,7 @@ impl fmt::Display for ParseError {
             ),
             ParseError::MissingClientAction => write!(
                 f,
-                "client requires an action: menu | info | listings | stats | buy | \
+                "client requires an action: menu | info | listings | stats | account | buy | \
                  publish | retire | load"
             ),
             ParseError::MissingSimAction => {
@@ -265,15 +281,17 @@ pub fn usage() -> String {
      nimbus fairness [--value SHAPE] [--points N] [--tau T]\n  \
      nimbus curve  [--dataset NAME] [--samples N] [--seed N]\n  \
      nimbus serve  [--addr HOST:PORT] [--dataset NAME]... [--metric M] [--seed N] \
-     [--shards K] [--workers W] [--queue Q] [--journal PATH | --journal-dir DIR]\n  \
+     [--shards K] [--workers W] [--queue Q] [--journal PATH | --journal-dir DIR] \
+     [--buyer-budget B]\n  \
      nimbus client menu|info [--listing NAME] [--addr HOST:PORT]\n  \
      nimbus client listings [--addr HOST:PORT]\n  \
      nimbus client stats [--text] [--addr HOST:PORT]\n  \
+     nimbus client account BUYER [--listing NAME] [--addr HOST:PORT]\n  \
      nimbus client buy (--error-budget E | --price-budget P | --at X) [--listing NAME] \
-     [--addr HOST:PORT]\n  \
+     [--buyer B] [--addr HOST:PORT]\n  \
      nimbus client publish|retire --listing NAME [--addr HOST:PORT]\n  \
      nimbus client load [--threads N] [--requests M] [--buy] [--busy-retries R] \
-     [--mix NAME=W,NAME=W] [--pipeline D] [--batch B] [--addr HOST:PORT]\n  \
+     [--mix NAME=W,NAME=W] [--pipeline D] [--batch B] [--buyer ID] [--addr HOST:PORT]\n  \
      nimbus sim run [--scenario NAME | --file PATH] [--seed N] [--out FILE]\n  \
      nimbus sim report FILE\n  \
      nimbus sim scenarios\n  \
@@ -465,6 +483,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
             let mut queue = 64usize;
             let mut journal: Option<String> = None;
             let mut journal_dir: Option<String> = None;
+            let mut buyer_budget: Option<f64> = None;
             while let Some(flag) = iter.next() {
                 match flag.as_str() {
                     "--addr" => addr = take_value(&mut iter, "--addr")?,
@@ -476,6 +495,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                     "--queue" => queue = parse_num(&mut iter, "--queue")?,
                     "--journal" => journal = Some(take_value(&mut iter, "--journal")?),
                     "--journal-dir" => journal_dir = Some(take_value(&mut iter, "--journal-dir")?),
+                    "--buyer-budget" => {
+                        buyer_budget = Some(parse_num(&mut iter, "--buyer-budget")?)
+                    }
                     other => return Err(ParseError::UnknownFlag(other.to_string())),
                 }
             }
@@ -492,6 +514,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 queue,
                 journal,
                 journal_dir,
+                buyer_budget,
             })
         }
         "client" => {
@@ -538,9 +561,31 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                     };
                     Ok(Command::Client { addr, action })
                 }
+                "account" => {
+                    let buyer_word = iter
+                        .next()
+                        .ok_or_else(|| ParseError::MissingValue("account BUYER".to_string()))?;
+                    let buyer: u64 = buyer_word.parse().map_err(|_| ParseError::BadValue {
+                        flag: "account BUYER".to_string(),
+                        value: buyer_word,
+                    })?;
+                    let mut listing: Option<String> = None;
+                    while let Some(flag) = iter.next() {
+                        match flag.as_str() {
+                            "--addr" => addr = take_value(&mut iter, "--addr")?,
+                            "--listing" => listing = Some(take_value(&mut iter, "--listing")?),
+                            other => return Err(ParseError::UnknownFlag(other.to_string())),
+                        }
+                    }
+                    Ok(Command::Client {
+                        addr,
+                        action: ClientAction::Account { buyer, listing },
+                    })
+                }
                 "buy" => {
                     let mut request: Option<BuyRequest> = None;
                     let mut listing: Option<String> = None;
+                    let mut buyer: Option<u64> = None;
                     let set = |r: BuyRequest, request: &mut Option<BuyRequest>| {
                         if request.is_some() {
                             Err(ParseError::AmbiguousBuyRequest)
@@ -553,6 +598,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                         match flag.as_str() {
                             "--addr" => addr = take_value(&mut iter, "--addr")?,
                             "--listing" => listing = Some(take_value(&mut iter, "--listing")?),
+                            "--buyer" => buyer = Some(parse_num(&mut iter, "--buyer")?),
                             "--error-budget" => {
                                 let e = parse_num(&mut iter, "--error-budget")?;
                                 set(BuyRequest::ErrorBudget(e), &mut request)?;
@@ -571,7 +617,11 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                     let request = request.ok_or(ParseError::AmbiguousBuyRequest)?;
                     Ok(Command::Client {
                         addr,
-                        action: ClientAction::Buy { request, listing },
+                        action: ClientAction::Buy {
+                            request,
+                            listing,
+                            buyer,
+                        },
                     })
                 }
                 "load" => {
@@ -582,6 +632,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                     let mut mix: Vec<(String, u32)> = Vec::new();
                     let mut pipeline = 1usize;
                     let mut batch = 1usize;
+                    let mut buyer: Option<u64> = None;
                     while let Some(flag) = iter.next() {
                         match flag.as_str() {
                             "--addr" => addr = take_value(&mut iter, "--addr")?,
@@ -592,6 +643,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                             "--mix" => mix = parse_mix(&take_value(&mut iter, "--mix")?)?,
                             "--pipeline" => pipeline = parse_num(&mut iter, "--pipeline")?,
                             "--batch" => batch = parse_num(&mut iter, "--batch")?,
+                            "--buyer" => buyer = Some(parse_num(&mut iter, "--buyer")?),
                             other => return Err(ParseError::UnknownFlag(other.to_string())),
                         }
                     }
@@ -605,6 +657,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                             mix,
                             pipeline,
                             batch,
+                            buyer,
                         },
                     })
                 }
@@ -785,7 +838,8 @@ mod tests {
                 workers: 2,
                 queue: 64,
                 journal: None,
-                journal_dir: None
+                journal_dir: None,
+                buyer_budget: None
             }
         );
         assert_eq!(
@@ -814,7 +868,8 @@ mod tests {
                 workers: 3,
                 queue: 8,
                 journal: None,
-                journal_dir: None
+                journal_dir: None,
+                buyer_budget: None
             }
         );
     }
@@ -874,7 +929,8 @@ mod tests {
                 addr: DEFAULT_ADDR.into(),
                 action: ClientAction::Buy {
                     request: BuyRequest::AtInverseNcp(25.0),
-                    listing: None
+                    listing: None,
+                    buyer: None
                 }
             }
         );
@@ -898,7 +954,8 @@ mod tests {
                     retries: 0,
                     mix: vec![],
                     pipeline: 1,
-                    batch: 1
+                    batch: 1,
+                    buyer: None
                 }
             }
         );
@@ -921,7 +978,8 @@ mod tests {
                 addr: DEFAULT_ADDR.into(),
                 action: ClientAction::Buy {
                     request: BuyRequest::AtInverseNcp(25.0),
-                    listing: Some("SUSY".into())
+                    listing: Some("SUSY".into()),
+                    buyer: None
                 }
             }
         );
@@ -982,7 +1040,8 @@ mod tests {
                     retries: 0,
                     mix: vec![("a".into(), 3), ("b".into(), 1), ("c".into(), 1)],
                     pipeline: 1,
-                    batch: 1
+                    batch: 1,
+                    buyer: None
                 }
             }
         );
@@ -1009,7 +1068,8 @@ mod tests {
                 workers: 2,
                 queue: 64,
                 journal: Some("/tmp/sales.journal".into()),
-                journal_dir: None
+                journal_dir: None,
+                buyer_budget: None
             }
         );
         assert_eq!(
@@ -1043,7 +1103,8 @@ mod tests {
                     retries: 5,
                     mix: vec![],
                     pipeline: 1,
-                    batch: 1
+                    batch: 1,
+                    buyer: None
                 }
             }
         );
@@ -1067,6 +1128,73 @@ mod tests {
         assert!(matches!(
             parse(&["serve", "--bogus"]),
             Err(ParseError::UnknownFlag(_))
+        ));
+    }
+
+    #[test]
+    fn client_account_and_buyer_flags() {
+        assert_eq!(
+            parse(&["client", "account", "42"]).unwrap(),
+            Command::Client {
+                addr: DEFAULT_ADDR.into(),
+                action: ClientAction::Account {
+                    buyer: 42,
+                    listing: None
+                }
+            }
+        );
+        assert_eq!(
+            parse(&[
+                "client",
+                "account",
+                "7",
+                "--listing",
+                "CASP",
+                "--addr",
+                "h:1"
+            ])
+            .unwrap(),
+            Command::Client {
+                addr: "h:1".into(),
+                action: ClientAction::Account {
+                    buyer: 7,
+                    listing: Some("CASP".into())
+                }
+            }
+        );
+        assert!(matches!(
+            parse(&["client", "account"]),
+            Err(ParseError::MissingValue(_))
+        ));
+        assert!(matches!(
+            parse(&["client", "account", "nope"]),
+            Err(ParseError::BadValue { .. })
+        ));
+        assert_eq!(
+            parse(&["client", "buy", "--at", "25", "--buyer", "9"]).unwrap(),
+            Command::Client {
+                addr: DEFAULT_ADDR.into(),
+                action: ClientAction::Buy {
+                    request: BuyRequest::AtInverseNcp(25.0),
+                    listing: None,
+                    buyer: Some(9)
+                }
+            }
+        );
+        match parse(&["client", "load", "--buy", "--buyer", "3"]).unwrap() {
+            Command::Client {
+                action: ClientAction::Load { buyer, .. },
+                ..
+            } => assert_eq!(buyer, Some(3)),
+            other => panic!("expected load, got {other:?}"),
+        }
+        match parse(&["serve", "--buyer-budget", "150"]).unwrap() {
+            Command::Serve { buyer_budget, .. } => assert_eq!(buyer_budget, Some(150.0)),
+            other => panic!("expected serve, got {other:?}"),
+        }
+        assert!(matches!(
+            parse(&["serve", "--buyer-budget", "lots"]),
+            Err(ParseError::BadValue { .. })
         ));
     }
 

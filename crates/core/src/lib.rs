@@ -60,7 +60,10 @@ pub use arbitrage::{is_arbitrage_free_on_points, ArbitrageAttack, ArbitrageRepor
 pub use curve_provider::CurveProvider;
 pub use error::CoreError;
 pub use error_curve::{ErrorCurve, ErrorCurvePoint};
-pub use mechanism::{GaussianMechanism, LaplaceMechanism, RandomizedMechanism, UniformMechanism};
+pub use mechanism::{
+    GaussianMechanism, LaplaceMechanism, RandomizedMechanism, SnappedGaussianMechanism,
+    UniformMechanism,
+};
 pub use ncp::{inverse_ncp_grid, InverseNcp, Ncp};
 pub use parallel::parallel_map;
 pub use price_error_curve::{PriceErrorCurve, PriceErrorPoint, PurchaseChoice};

@@ -1,0 +1,237 @@
+//! Per-buyer noise-budget accounts.
+//!
+//! Repeat purchases of the same listing compose: a buyer who buys k cheap
+//! noisy instances can average them into a better effective model than any
+//! single instance they paid for (the multi-purchase analogue of Theorem
+//! 5's subadditivity — averaging k instances at inverse NCP `x` yields
+//! effective precision `k·x`). The broker therefore meters each buyer's
+//! *cumulative precision* `Σ xᵢ` per listing and refuses commits that would
+//! push it past the listing's configured budget.
+//!
+//! The charge is enforced **before** the durability barrier: a commit first
+//! charges the account, then journals; if the journal append fails the
+//! charge is refunded, and an over-budget commit is rejected with
+//! [`crate::MarketError::BudgetExhausted`] before any journal write.
+//! Duplicate-nonce retries replay the journalled sale and never reach the
+//! charge path, so an account is charged exactly once per acknowledged
+//! sale. Crash-safety comes from the journal: `SALE_BUYER` records replay
+//! into the same cumulative spend at `Journal::open`.
+
+use crate::error::MarketError;
+use crate::Result;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Relative slack on the budget comparison so float accumulation noise in
+/// `Σ xᵢ` cannot spuriously reject a purchase the budget exactly covers.
+const BUDGET_SLACK: f64 = 1e-9;
+
+/// Thread-safe per-buyer cumulative-precision ledger for one listing.
+///
+/// `budget = None` disables enforcement (accounts still accumulate, so
+/// `account <buyer>` queries and stats work either way). Anonymous commits
+/// (no buyer identity) bypass the ledger entirely for backward
+/// compatibility with pre-accounting clients.
+#[derive(Debug)]
+pub struct BuyerAccounts {
+    /// Per-buyer cap on cumulative precision `Σ x`; `None` = unlimited.
+    budget: Option<f64>,
+    /// Buyer → precision spent so far (including in-flight charges).
+    spent: Mutex<BTreeMap<u64, f64>>,
+    /// Commits rejected for budget exhaustion since startup.
+    budget_rejects: AtomicU64,
+}
+
+impl BuyerAccounts {
+    /// A fresh ledger with the given per-buyer budget.
+    pub fn new(budget: Option<f64>) -> Self {
+        BuyerAccounts {
+            budget,
+            spent: Mutex::new(BTreeMap::new()),
+            budget_rejects: AtomicU64::new(0),
+        }
+    }
+
+    /// Seeds replayed spend (journal recovery) into the ledger.
+    pub fn seed(&self, accounts: &[(u64, f64)]) {
+        let mut spent = self.lock_spent();
+        for &(buyer, x) in accounts {
+            *spent.entry(buyer).or_insert(0.0) += x;
+        }
+    }
+
+    fn lock_spent(&self) -> std::sync::MutexGuard<'_, BTreeMap<u64, f64>> {
+        // The map is a plain value store; recover from peer panics.
+        self.spent.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The configured per-buyer budget.
+    pub fn budget(&self) -> Option<f64> {
+        self.budget
+    }
+
+    /// Charges `x` precision to `buyer`, or rejects with
+    /// [`MarketError::BudgetExhausted`] if the budget cannot cover it.
+    /// The check-and-charge is atomic under the ledger lock, so racing
+    /// commits cannot jointly overdraw an account.
+    pub fn charge(&self, buyer: u64, x: f64) -> Result<()> {
+        let mut spent = self.lock_spent();
+        let entry = spent.entry(buyer).or_insert(0.0);
+        if let Some(budget) = self.budget {
+            if *entry + x > budget * (1.0 + BUDGET_SLACK) + BUDGET_SLACK {
+                let remaining = (budget - *entry).max(0.0);
+                drop(spent);
+                self.budget_rejects.fetch_add(1, Ordering::Relaxed);
+                return Err(MarketError::BudgetExhausted {
+                    buyer,
+                    requested: x,
+                    remaining,
+                });
+            }
+        }
+        *entry += x;
+        Ok(())
+    }
+
+    /// Refunds a charge whose sale never became durable (journal failure).
+    pub fn refund(&self, buyer: u64, x: f64) {
+        let mut spent = self.lock_spent();
+        if let Some(entry) = spent.get_mut(&buyer) {
+            *entry = (*entry - x).max(0.0);
+        }
+    }
+
+    /// Precision spent by `buyer` so far (0 for unknown buyers).
+    pub fn spent(&self, buyer: u64) -> f64 {
+        self.lock_spent().get(&buyer).copied().unwrap_or(0.0)
+    }
+
+    /// Budget remaining for `buyer` (`None` when the listing is unmetered).
+    pub fn remaining(&self, buyer: u64) -> Option<f64> {
+        self.budget.map(|b| (b - self.spent(buyer)).max(0.0))
+    }
+
+    /// All accounts as `(buyer, spent)`, sorted by buyer.
+    pub fn snapshot(&self) -> Vec<(u64, f64)> {
+        self.lock_spent().iter().map(|(&b, &s)| (b, s)).collect()
+    }
+
+    /// Commits rejected for budget exhaustion since startup.
+    pub fn budget_rejects(&self) -> u64 {
+        self.budget_rejects.load(Ordering::Relaxed)
+    }
+
+    /// Buyers whose remaining budget has dropped to (effectively) zero.
+    /// Always 0 for unmetered listings.
+    pub fn exhausted_buyers(&self) -> u64 {
+        match self.budget {
+            None => 0,
+            Some(budget) => {
+                let floor = budget * (1.0 - BUDGET_SLACK);
+                self.lock_spent().values().filter(|&&s| s >= floor).count() as u64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmetered_accounts_accumulate_without_rejecting() {
+        let acct = BuyerAccounts::new(None);
+        for _ in 0..100 {
+            acct.charge(1, 50.0).unwrap();
+        }
+        assert_eq!(acct.spent(1), 5000.0);
+        assert_eq!(acct.remaining(1), None);
+        assert_eq!(acct.budget_rejects(), 0);
+        assert_eq!(acct.exhausted_buyers(), 0);
+    }
+
+    #[test]
+    fn budget_rejects_overdraw_with_typed_error() {
+        let acct = BuyerAccounts::new(Some(100.0));
+        acct.charge(7, 60.0).unwrap();
+        let err = acct.charge(7, 60.0).unwrap_err();
+        match err {
+            MarketError::BudgetExhausted {
+                buyer,
+                requested,
+                remaining,
+            } => {
+                assert_eq!(buyer, 7);
+                assert_eq!(requested, 60.0);
+                assert!((remaining - 40.0).abs() < 1e-9);
+            }
+            other => panic!("expected BudgetExhausted, got {other}"),
+        }
+        // The failed charge did not touch the account.
+        assert_eq!(acct.spent(7), 60.0);
+        assert_eq!(acct.budget_rejects(), 1);
+        // A smaller purchase that fits still goes through.
+        acct.charge(7, 40.0).unwrap();
+        assert_eq!(acct.exhausted_buyers(), 1);
+    }
+
+    #[test]
+    fn budgets_are_per_buyer() {
+        let acct = BuyerAccounts::new(Some(50.0));
+        acct.charge(1, 50.0).unwrap();
+        acct.charge(2, 50.0).unwrap();
+        assert!(acct.charge(1, 1.0).is_err());
+        assert_eq!(acct.exhausted_buyers(), 2);
+        assert_eq!(acct.snapshot(), vec![(1, 50.0), (2, 50.0)]);
+    }
+
+    #[test]
+    fn refund_restores_headroom() {
+        let acct = BuyerAccounts::new(Some(100.0));
+        acct.charge(3, 80.0).unwrap();
+        assert!(acct.charge(3, 80.0).is_err());
+        acct.refund(3, 80.0);
+        acct.charge(3, 80.0).unwrap();
+        assert_eq!(acct.spent(3), 80.0);
+    }
+
+    #[test]
+    fn seed_replays_recovered_spend() {
+        let acct = BuyerAccounts::new(Some(100.0));
+        acct.seed(&[(5, 90.0), (6, 10.0)]);
+        assert!(acct.charge(5, 20.0).is_err());
+        acct.charge(6, 20.0).unwrap();
+        assert_eq!(acct.remaining(5), Some(10.0));
+    }
+
+    #[test]
+    fn exact_budget_spend_is_not_rejected() {
+        let acct = BuyerAccounts::new(Some(100.0));
+        // Ten charges of 10.0 accumulate float error; the slack must
+        // absorb it so the nominal budget is exactly spendable.
+        for _ in 0..10 {
+            acct.charge(9, 10.0).unwrap();
+        }
+        assert!(acct.charge(9, 0.001).is_err());
+        assert_eq!(acct.exhausted_buyers(), 1);
+    }
+
+    #[test]
+    fn concurrent_charges_never_overdraw() {
+        let acct = std::sync::Arc::new(BuyerAccounts::new(Some(64.0)));
+        let oks: usize = std::thread::scope(|s| {
+            (0..16)
+                .map(|_| {
+                    let acct = std::sync::Arc::clone(&acct);
+                    s.spawn(move || acct.charge(1, 1.0).is_ok() as usize)
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(oks, 16);
+        assert_eq!(acct.spent(1), 16.0);
+    }
+}

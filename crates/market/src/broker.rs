@@ -58,6 +58,7 @@
 //!   `(seed, point index)`, so the parallel estimator is bitwise-identical
 //!   to a sequential one and the broker holds no RNG state at all.
 
+use crate::account::BuyerAccounts;
 use crate::journal::{FaultPlan, GroupCommit, Journal, Recovery, SaleRecord};
 use crate::ledger::{Ledger, LedgerShard, Transaction};
 use crate::parallel::parallel_map;
@@ -150,6 +151,8 @@ pub struct BatchCommitItem {
     pub payment: f64,
     /// Optional idempotency nonce (dedup key is `(snapshot_epoch, nonce)`).
     pub nonce: Option<u64>,
+    /// Optional buyer identity; charged against the listing's noise budget.
+    pub buyer: Option<u64>,
 }
 
 /// A commit that has passed validation and perturbation but has not yet
@@ -375,6 +378,7 @@ pub struct BrokerBuilder {
     journal_checkpoint_every: u64,
     journal_faults: FaultPlan,
     journal_group_commit_window: Duration,
+    buyer_budget: Option<f64>,
 }
 
 impl BrokerBuilder {
@@ -393,7 +397,19 @@ impl BrokerBuilder {
             journal_checkpoint_every: 256,
             journal_faults: FaultPlan::new(),
             journal_group_commit_window: Duration::ZERO,
+            buyer_budget: None,
         }
+    }
+
+    /// Caps each buyer's cumulative noise-precision spend `Σ x` on this
+    /// listing (validated finite and positive at build). Commits that carry
+    /// a buyer identity are charged against the cap *before* the durability
+    /// barrier; over-budget commits fail with
+    /// [`MarketError::BudgetExhausted`] and journal nothing. Without a cap
+    /// (the default) accounts still accumulate but never reject.
+    pub fn buyer_budget(mut self, budget: f64) -> Self {
+        self.buyer_budget = Some(budget);
+        self
     }
 
     /// Journals every committed sale to the write-ahead log at `path`,
@@ -529,6 +545,13 @@ impl BrokerBuilder {
                 reason: format!("commission rate must be in [0, 1), got {}", self.commission),
             });
         }
+        if let Some(budget) = self.buyer_budget {
+            if !(budget.is_finite() && budget > 0.0) {
+                return Err(MarketError::InvalidConfig {
+                    reason: format!("buyer budget must be finite and positive, got {budget}"),
+                });
+            }
+        }
         let shards: Vec<Mutex<LedgerShard>> = (0..LEDGER_SHARDS)
             .map(|_| Mutex::new(LedgerShard::new()))
             .collect();
@@ -557,6 +580,12 @@ impl BrokerBuilder {
             journal = Some(GroupCommit::new(j, self.journal_group_commit_window));
             recovery = Some(rec);
         }
+        let accounts = BuyerAccounts::new(self.buyer_budget);
+        if let Some(rec) = &recovery {
+            // Replay buyer spend so budgets survive restarts: accounts
+            // reconcile exactly with the durable (ACKed) sale history.
+            accounts.seed(&rec.accounts);
+        }
         Ok(Broker {
             seller: self.seller,
             trainer: self.trainer,
@@ -571,6 +600,7 @@ impl BrokerBuilder {
             tx_counter: AtomicU64::new(next_tx),
             journal,
             dedup: DedupTable::with(dedup),
+            accounts,
             epoch_base,
             recovery,
         })
@@ -684,6 +714,10 @@ pub struct Broker {
     /// commits claim before and resolve after the durability barrier, so
     /// they share group-commit fsyncs; plain commits never touch it.
     dedup: DedupTable,
+    /// Per-buyer cumulative noise-budget accounts, charged in
+    /// [`Broker::prepare_commit`] — before the durability barrier — and
+    /// refunded if the journal append fails. Seeded from journal recovery.
+    accounts: BuyerAccounts,
     /// Highest snapshot epoch replayed from the journal: newly published
     /// snapshots continue above it, so epochs are monotone across restarts
     /// and every pre-crash quote fails with `QuoteExpired` rather than
@@ -1011,7 +1045,14 @@ impl Broker {
     /// snapshot rather than trusted from the quote, so a tampered quote
     /// cannot underpay.
     pub fn commit(&self, quote: Quote, payment: f64) -> Result<Sale> {
-        self.commit_with_nonce(quote, payment, None)
+        self.commit_with_nonce(quote, payment, None, None)
+    }
+
+    /// [`Broker::commit`] attributed to a buyer identity: the sale is
+    /// charged against the buyer's noise-budget account (and journalled
+    /// with the attribution) before it is acknowledged.
+    pub fn commit_for(&self, quote: Quote, payment: f64, buyer: u64) -> Result<Sale> {
+        self.commit_with_nonce(quote, payment, None, Some(buyer))
     }
 
     /// The single commit path: validates, perturbs, journals (when a
@@ -1020,26 +1061,43 @@ impl Broker {
     /// recorded), then records the sale on a ledger stripe. With a journal
     /// present, concurrent commits coalesce their appends into shared
     /// fsyncs through the [`GroupCommit`] batcher.
-    fn commit_with_nonce(&self, quote: Quote, payment: f64, nonce: Option<u64>) -> Result<Sale> {
-        let prepared = self.prepare_commit(quote.x, quote.snapshot_epoch, payment, nonce)?;
+    fn commit_with_nonce(
+        &self,
+        quote: Quote,
+        payment: f64,
+        nonce: Option<u64>,
+        buyer: Option<u64>,
+    ) -> Result<Sale> {
+        let prepared = self.prepare_commit(quote.x, quote.snapshot_epoch, payment, nonce, buyer)?;
         if let Some(journal) = &self.journal {
-            journal.append_sale(prepared.record)?;
+            if let Err(e) = journal.append_sale(prepared.record) {
+                // The sale never became durable: hand the budget back.
+                if let Some(buyer) = prepared.record.buyer {
+                    self.accounts
+                        .refund(buyer, prepared.record.transaction.inverse_ncp);
+                }
+                return Err(e.into());
+            }
         }
         Ok(self.record_prepared(prepared))
     }
 
     /// Everything a commit does *before* the durability barrier: payment
     /// validation, epoch check, price re-derivation from the snapshot,
-    /// transaction-id allocation and the deterministic model perturbation.
-    /// No side effects beyond burning a transaction id — nothing is
-    /// recorded until [`Broker::record_prepared`] runs after the journal
-    /// append (if any) succeeded.
+    /// the buyer's noise-budget charge, transaction-id allocation and the
+    /// deterministic model perturbation. No side effects beyond burning a
+    /// transaction id and holding the budget charge (refunded if the
+    /// journal append fails) — nothing is recorded until
+    /// [`Broker::record_prepared`] runs after the journal append (if any)
+    /// succeeded. An over-budget commit fails here, so it never reaches
+    /// the journal.
     fn prepare_commit(
         &self,
         x: f64,
         snapshot_epoch: u64,
         payment: f64,
         nonce: Option<u64>,
+        buyer: Option<u64>,
     ) -> Result<PreparedSale> {
         if !(payment.is_finite() && payment >= 0.0) {
             return Err(MarketError::InvalidPayment { offered: payment });
@@ -1059,11 +1117,25 @@ impl Broker {
             });
         }
         let ncp = InverseNcp::new(x)?.ncp();
+        // Budget charge — the last admission gate before any irreversible
+        // step. Atomic check-and-charge, so racing commits of one buyer
+        // cannot jointly overdraw; refunded below if perturbation fails.
+        if let Some(buyer) = buyer {
+            self.accounts.charge(buyer, x)?;
+        }
         let tx_id = self.tx_counter.fetch_add(1, Ordering::Relaxed);
         // The sale's noise depends only on (seed, tx id, x): reproducible
         // under any thread interleaving, contention-free across threads.
         let mut rng = seeded_rng(split_stream(self.config.seed, tx_id));
-        let model = self.mechanism.perturb(snapshot.optimal(), ncp, &mut rng)?;
+        let model = match self.mechanism.perturb(snapshot.optimal(), ncp, &mut rng) {
+            Ok(model) => model,
+            Err(e) => {
+                if let Some(buyer) = buyer {
+                    self.accounts.refund(buyer, x);
+                }
+                return Err(e.into());
+            }
+        };
         let expected_error = snapshot.error_curve().expected_error_at(ncp);
         Ok(PreparedSale {
             record: SaleRecord {
@@ -1075,6 +1147,7 @@ impl Broker {
                 },
                 snapshot_epoch: snapshot.epoch(),
                 nonce,
+                buyer,
             },
             model,
             metric: snapshot.metric_name(),
@@ -1149,7 +1222,13 @@ impl Broker {
                     continue;
                 }
             }
-            match self.prepare_commit(item.x, item.snapshot_epoch, item.payment, item.nonce) {
+            match self.prepare_commit(
+                item.x,
+                item.snapshot_epoch,
+                item.payment,
+                item.nonce,
+                item.buyer,
+            ) {
                 Ok(p) => {
                     prepared.push((i, p));
                     results.push(None);
@@ -1185,6 +1264,12 @@ impl Broker {
                     if let Some(key) = key {
                         self.dedup.resolve(key, None);
                     }
+                    // The slot's sale never became durable: refund its
+                    // budget charge.
+                    if let Some(buyer) = p.record.buyer {
+                        self.accounts
+                            .refund(buyer, p.record.transaction.inverse_ncp);
+                    }
                     Err(e.into())
                 }
             };
@@ -1213,8 +1298,21 @@ impl Broker {
     /// priced against — and gets the same epoch check, payment validation
     /// and price re-derivation as a local one.
     pub fn commit_at(&self, x: f64, snapshot_epoch: u64, payment: f64) -> Result<Sale> {
+        self.commit_at_for(x, snapshot_epoch, payment, None)
+    }
+
+    /// [`Broker::commit_at`] with an optional buyer identity — the hook
+    /// behind a wire v5 `COMMIT` that carries a buyer id. The buyer's
+    /// budget is charged before the durability barrier.
+    pub fn commit_at_for(
+        &self,
+        x: f64,
+        snapshot_epoch: u64,
+        payment: f64,
+        buyer: Option<u64>,
+    ) -> Result<Sale> {
         let metric = self.published()?.metric_name();
-        self.commit(
+        self.commit_with_nonce(
             Quote {
                 x,
                 delta: if x > 0.0 { 1.0 / x } else { f64::NAN },
@@ -1224,6 +1322,8 @@ impl Broker {
                 snapshot_epoch,
             },
             payment,
+            None,
+            buyer,
         )
     }
 
@@ -1251,6 +1351,24 @@ impl Broker {
         payment: f64,
         nonce: u64,
     ) -> Result<Sale> {
+        self.commit_at_idempotent_for(x, snapshot_epoch, payment, nonce, None)
+    }
+
+    /// [`Broker::commit_at_idempotent`] with an optional buyer identity.
+    ///
+    /// A duplicate-nonce retry replays the journalled sale and **never
+    /// re-charges the buyer's budget** — the replay path skips
+    /// `prepare_commit` entirely, so a retried ACK-lost commit charges
+    /// both money and noise budget exactly once, including across
+    /// restarts (recovery rebuilds accounts from the replayed sales).
+    pub fn commit_at_idempotent_for(
+        &self,
+        x: f64,
+        snapshot_epoch: u64,
+        payment: f64,
+        nonce: u64,
+        buyer: Option<u64>,
+    ) -> Result<Sale> {
         let metric = self.published()?.metric_name();
         let key = (snapshot_epoch, nonce);
         match self.dedup.claim(key) {
@@ -1267,6 +1385,7 @@ impl Broker {
                     },
                     payment,
                     Some(nonce),
+                    buyer,
                 );
                 let tx_id = outcome.as_ref().ok().map(|s| s.transaction.sequence);
                 self.dedup.resolve(key, tx_id);
@@ -1424,7 +1543,19 @@ impl Broker {
             expected_revenue: snapshot.map(MarketSnapshot::expected_revenue),
             sales: self.sales_count(),
             revenue: self.collected_revenue(),
+            budget_rejects: self.accounts.budget_rejects(),
+            exhausted_buyers: self.accounts.exhausted_buyers(),
         }
+    }
+
+    /// The per-buyer noise-budget ledger of this listing.
+    pub fn accounts(&self) -> &BuyerAccounts {
+        &self.accounts
+    }
+
+    /// The configured per-buyer noise budget (`None` = unmetered).
+    pub fn buyer_budget(&self) -> Option<f64> {
+        self.accounts.budget()
     }
 }
 
@@ -1439,6 +1570,10 @@ pub struct MarketStats {
     pub sales: usize,
     /// Revenue collected so far.
     pub revenue: f64,
+    /// Commits rejected because a buyer's noise budget was exhausted.
+    pub budget_rejects: u64,
+    /// Buyers whose remaining noise budget is zero (0 when unmetered).
+    pub exhausted_buyers: u64,
 }
 
 #[cfg(test)]
@@ -1576,6 +1711,7 @@ mod tests {
             snapshot_epoch: quote.snapshot_epoch,
             payment: quote.price,
             nonce: Some(nonce),
+            buyer: None,
         };
         let results = broker.commit_batch_at(&[item(7), item(7), item(8)]);
         assert!(results[0].is_ok());
@@ -1593,6 +1729,195 @@ mod tests {
             results[0].as_ref().unwrap().transaction.sequence
         );
         assert_eq!(broker.ledger().count(), 2);
+    }
+
+    fn budget_broker(budget: f64, journal: Option<&PathBuf>) -> Broker {
+        let (tt, _) = DatasetSpec::scaled(PaperDataset::Simulated1, 600)
+            .materialize(7)
+            .unwrap();
+        let curves = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform);
+        let seller = Seller::new("budgeted", tt, curves);
+        let mut builder = Broker::builder(seller)
+            .trainer(LinearRegressionTrainer::ridge(1e-6))
+            .mechanism(GaussianMechanism)
+            .n_price_points(50)
+            .error_curve_samples(50)
+            .seed(42)
+            .buyer_budget(budget);
+        if let Some(path) = journal {
+            builder = builder.journal(path.clone());
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn builder_validates_buyer_budget() {
+        let (tt, _) = DatasetSpec::scaled(PaperDataset::Simulated1, 100)
+            .materialize(7)
+            .unwrap();
+        let curves = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform);
+        for bad in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                Broker::builder(Seller::new("v", tt.clone(), curves))
+                    .buyer_budget(bad)
+                    .build(),
+                Err(MarketError::InvalidConfig { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_rejects_typed_before_sale() {
+        let broker = budget_broker(40.0, None);
+        broker.open_market().unwrap();
+        let epoch = broker.published().unwrap().epoch();
+        let quote = broker
+            .quote_request(PurchaseRequest::AtInverseNcp(25.0))
+            .unwrap();
+        // First purchase (x = 25) fits the 40-budget; the second does not.
+        broker
+            .commit_at_for(quote.x, epoch, quote.price, Some(1))
+            .unwrap();
+        let err = broker
+            .commit_at_for(quote.x, epoch, quote.price, Some(1))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MarketError::BudgetExhausted {
+                buyer: 1,
+                remaining,
+                ..
+            } if (remaining - 15.0).abs() < 1e-9
+        ));
+        // The rejection sold nothing and other buyers are unaffected.
+        assert_eq!(broker.ledger().count(), 1);
+        broker
+            .commit_at_for(quote.x, epoch, quote.price, Some(2))
+            .unwrap();
+        assert_eq!(broker.accounts().budget_rejects(), 1);
+        let stats = broker.market_stats();
+        assert_eq!(stats.budget_rejects, 1);
+    }
+
+    #[test]
+    fn anonymous_commits_bypass_budget() {
+        let broker = budget_broker(1.0, None);
+        broker.open_market().unwrap();
+        let epoch = broker.published().unwrap().epoch();
+        let quote = broker
+            .quote_request(PurchaseRequest::AtInverseNcp(25.0))
+            .unwrap();
+        for _ in 0..3 {
+            broker.commit_at(quote.x, epoch, quote.price).unwrap();
+        }
+        assert_eq!(broker.ledger().count(), 3);
+        assert_eq!(broker.accounts().budget_rejects(), 0);
+    }
+
+    #[test]
+    fn duplicate_nonce_retry_does_not_double_charge_budget() {
+        let broker = budget_broker(30.0, None);
+        broker.open_market().unwrap();
+        let epoch = broker.published().unwrap().epoch();
+        let quote = broker
+            .quote_request(PurchaseRequest::AtInverseNcp(25.0))
+            .unwrap();
+        let first = broker
+            .commit_at_idempotent_for(quote.x, epoch, quote.price, 0xABCD, Some(9))
+            .unwrap();
+        // The budget (30) cannot cover a second x = 25 purchase, yet the
+        // same-nonce retry must replay, not reject: it is the same sale.
+        let retry = broker
+            .commit_at_idempotent_for(quote.x, epoch, quote.price, 0xABCD, Some(9))
+            .unwrap();
+        assert_eq!(retry.transaction.sequence, first.transaction.sequence);
+        assert_eq!(broker.accounts().spent(9), quote.x);
+        assert_eq!(broker.ledger().count(), 1);
+    }
+
+    #[test]
+    fn budget_accounts_survive_restart_via_journal() {
+        let path = std::env::temp_dir().join(format!(
+            "nimbus-broker-budget-{}.journal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let (x, epoch_nonce) = {
+            let broker = budget_broker(40.0, Some(&path));
+            broker.open_market().unwrap();
+            let epoch = broker.published().unwrap().epoch();
+            let quote = broker
+                .quote_request(PurchaseRequest::AtInverseNcp(25.0))
+                .unwrap();
+            broker
+                .commit_at_idempotent_for(quote.x, epoch, quote.price, 0x11, Some(5))
+                .unwrap();
+            (quote.x, (epoch, 0x11u64))
+        };
+        // "Restart": rebuild from the journal alone.
+        let broker = budget_broker(40.0, Some(&path));
+        assert_eq!(broker.accounts().spent(5), x);
+        broker.open_market().unwrap();
+        // A same-nonce retry across the restart replays without charging.
+        let quote_price = broker.quote(x).unwrap();
+        let replayed =
+            broker.commit_at_idempotent_for(x, epoch_nonce.0, quote_price, epoch_nonce.1, Some(5));
+        assert!(replayed.is_ok());
+        assert_eq!(broker.accounts().spent(5), x, "replay must not re-charge");
+        // And the surviving spend still enforces the cap.
+        let epoch = broker.published().unwrap().epoch();
+        let quote = broker
+            .quote_request(PurchaseRequest::AtInverseNcp(25.0))
+            .unwrap();
+        assert!(matches!(
+            broker.commit_at_for(quote.x, epoch, quote.price, Some(5)),
+            Err(MarketError::BudgetExhausted { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn journal_failure_refunds_budget_charge() {
+        let path = std::env::temp_dir().join(format!(
+            "nimbus-broker-refund-{}.journal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let (tt, _) = DatasetSpec::scaled(PaperDataset::Simulated1, 600)
+            .materialize(7)
+            .unwrap();
+        let curves = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform);
+        // Fail the 2nd journal record write: the 1st buyer-attributed
+        // commit lands, the 2nd fails at the durability barrier.
+        let broker = Broker::builder(Seller::new("refund", tt, curves))
+            .trainer(LinearRegressionTrainer::ridge(1e-6))
+            .mechanism(GaussianMechanism)
+            .n_price_points(50)
+            .error_curve_samples(50)
+            .seed(42)
+            .buyer_budget(60.0)
+            .journal(path.clone())
+            .journal_faults(FaultPlan::new().fail_nth_write(2))
+            .build()
+            .unwrap();
+        broker.open_market().unwrap();
+        let epoch = broker.published().unwrap().epoch();
+        let quote = broker
+            .quote_request(PurchaseRequest::AtInverseNcp(25.0))
+            .unwrap();
+        broker
+            .commit_at_for(quote.x, epoch, quote.price, Some(3))
+            .unwrap();
+        assert!(broker
+            .commit_at_for(quote.x, epoch, quote.price, Some(3))
+            .is_err());
+        // The failed sale's charge was refunded: spend covers one sale.
+        assert_eq!(broker.accounts().spent(3), quote.x);
+        // And the freed headroom is spendable again.
+        broker
+            .commit_at_for(quote.x, epoch, quote.price, Some(3))
+            .unwrap();
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
@@ -2073,30 +2398,35 @@ mod tests {
                 snapshot_epoch: epoch,
                 payment: q.price,
                 nonce: None,
+                buyer: None,
             },
             BatchCommitItem {
                 x: 10.0,
                 snapshot_epoch: epoch + 7,
                 payment: q.price,
                 nonce: None,
+                buyer: None,
             },
             BatchCommitItem {
                 x: 10.0,
                 snapshot_epoch: epoch,
                 payment: q.price * 0.5,
                 nonce: None,
+                buyer: None,
             },
             BatchCommitItem {
                 x: 10.0,
                 snapshot_epoch: epoch,
                 payment: f64::NAN,
                 nonce: None,
+                buyer: None,
             },
             BatchCommitItem {
                 x: 17.0,
                 snapshot_epoch: epoch,
                 payment: f64::INFINITY.min(1e12),
                 nonce: Some(99),
+                buyer: None,
             },
         ];
         let results = broker.commit_batch_at(&items);

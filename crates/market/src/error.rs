@@ -47,6 +47,19 @@ pub enum MarketError {
         /// Epoch of the currently published snapshot.
         current: u64,
     },
+    /// The buyer's cumulative noise budget for this listing cannot cover
+    /// the requested purchase. Rejected *before* the durability barrier:
+    /// nothing is journalled and no account is charged. The display form
+    /// carries a machine-readable remaining-budget hint
+    /// (`budget_exhausted buyer=<id> requested=<x> remaining=<r>`).
+    BudgetExhausted {
+        /// The buyer identity whose account is exhausted.
+        buyer: u64,
+        /// Noise-precision charge (`x = 1/δ`) the purchase would add.
+        requested: f64,
+        /// Budget still available to this buyer on this listing.
+        remaining: f64,
+    },
     /// Broker configuration rejected at build time.
     InvalidConfig {
         /// Human-readable reason.
@@ -95,6 +108,14 @@ impl fmt::Display for MarketError {
             MarketError::QuoteExpired { quoted, current } => write!(
                 f,
                 "quote priced against snapshot epoch {quoted} but epoch {current} is now posted"
+            ),
+            MarketError::BudgetExhausted {
+                buyer,
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "budget_exhausted buyer={buyer} requested={requested} remaining={remaining}"
             ),
             MarketError::InvalidConfig { reason } => {
                 write!(f, "invalid broker configuration: {reason}")
@@ -169,6 +190,17 @@ mod tests {
         assert!(MarketError::InvalidPayment { offered: f64::NAN }
             .to_string()
             .contains("not a finite"));
+    }
+
+    #[test]
+    fn budget_exhausted_hint_is_machine_readable() {
+        let text = MarketError::BudgetExhausted {
+            buyer: 42,
+            requested: 8.0,
+            remaining: 2.5,
+        }
+        .to_string();
+        assert_eq!(text, "budget_exhausted buyer=42 requested=8 remaining=2.5");
     }
 
     #[test]

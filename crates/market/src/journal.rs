@@ -21,7 +21,16 @@
 //!          | 0x02 CHECKPOINT  next_tx:u64 max_epoch:u64
 //!                             n_tx:u32  (seq:u64 x:f64 price:f64 err:f64)*
 //!                             n_key:u32 (epoch:u64 nonce:u64 tx_id:u64)*
+//!                             [n_acct:u32 (buyer:u64 spent_x:f64)*]
+//!          | 0x03 SALE_BUYER  as SALE, then buyer:u64
 //! ```
+//!
+//! `SALE_BUYER` (tag `0x03`) is a sale attributed to a buyer identity; on
+//! replay it additionally charges the buyer's noise-budget account by the
+//! sale's inverse NCP `x`. Anonymous sales keep the `0x01` tag, so journals
+//! written before buyer accounting replay unchanged. The checkpoint's
+//! trailing accounts section is likewise optional on decode: old
+//! checkpoints simply replay with empty accounts.
 //!
 //! All integers and float bit patterns are big-endian, matching the wire
 //! protocol. The CRC is CRC-32/ISO-HDLC (the IEEE polynomial used by zip
@@ -69,6 +78,7 @@ pub const MAX_RECORD_LEN: u32 = 1 << 20;
 
 const TAG_SALE: u8 = 0x01;
 const TAG_CHECKPOINT: u8 = 0x02;
+const TAG_SALE_BUYER: u8 = 0x03;
 
 // ---------------------------------------------------------------------------
 // CRC-32 (IEEE), table-driven, std-only.
@@ -346,6 +356,9 @@ pub struct SaleRecord {
     pub snapshot_epoch: u64,
     /// Client idempotency nonce; the dedup key is `(snapshot_epoch, nonce)`.
     pub nonce: Option<u64>,
+    /// Buyer identity charged for this sale, if the commit carried one.
+    /// Journaled under the `SALE_BUYER` tag; `None` keeps the legacy tag.
+    pub buyer: Option<u64>,
 }
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -404,8 +417,12 @@ impl<'a> Cursor<'a> {
 
 /// Encodes a sale payload (tag byte included, no frame header).
 pub fn encode_sale_payload(record: &SaleRecord) -> Vec<u8> {
-    let mut out = Vec::with_capacity(50);
-    out.push(TAG_SALE);
+    let mut out = Vec::with_capacity(58);
+    out.push(if record.buyer.is_some() {
+        TAG_SALE_BUYER
+    } else {
+        TAG_SALE
+    });
     put_u64(&mut out, record.transaction.sequence);
     put_u64(&mut out, record.snapshot_epoch);
     put_f64(&mut out, record.transaction.inverse_ncp);
@@ -417,6 +434,9 @@ pub fn encode_sale_payload(record: &SaleRecord) -> Vec<u8> {
             put_u64(&mut out, nonce);
         }
         None => out.push(0),
+    }
+    if let Some(buyer) = record.buyer {
+        put_u64(&mut out, buyer);
     }
     out
 }
@@ -448,6 +468,14 @@ fn encode_checkpoint_payload(state: &State) -> Vec<u8> {
         put_u64(&mut out, nonce);
         put_u64(&mut out, tx_id);
     }
+    // Buyer accounts section (absent in pre-accounting checkpoints; the
+    // decoder accepts both shapes). Transactions alone cannot rebuild this
+    // — the checkpoint's transaction rows drop buyer attribution.
+    put_u32(&mut out, state.accounts.len() as u32);
+    for (&buyer, &spent) in &state.accounts {
+        put_u64(&mut out, buyer);
+        put_f64(&mut out, spent);
+    }
     out
 }
 
@@ -466,6 +494,11 @@ pub struct Recovery {
     pub next_tx_id: u64,
     /// The highest snapshot epoch any replayed sale committed against.
     pub max_epoch: u64,
+    /// Replayed per-buyer noise-budget spend: `(buyer, cumulative x)`,
+    /// sorted by buyer. Recomputed from `SALE_BUYER` records (and the last
+    /// checkpoint's accounts section), so accounts always reconcile with
+    /// the durable sale history.
+    pub accounts: Vec<(u64, f64)>,
     /// Length of the valid prefix, in bytes (including the magic header).
     pub valid_bytes: u64,
     /// The typed error that ended the scan, if the log had a bad tail.
@@ -485,6 +518,7 @@ impl Recovery {
 struct State {
     transactions: Vec<Transaction>,
     dedup: Vec<(u64, u64, u64)>,
+    accounts: BTreeMap<u64, f64>,
     next_tx: u64,
     max_epoch: u64,
 }
@@ -497,6 +531,9 @@ impl State {
         if let Some(nonce) = record.nonce {
             self.dedup
                 .push((record.snapshot_epoch, nonce, record.transaction.sequence));
+        }
+        if let Some(buyer) = record.buyer {
+            *self.accounts.entry(buyer).or_insert(0.0) += record.transaction.inverse_ncp;
         }
     }
 }
@@ -566,7 +603,7 @@ fn decode_payload(
     let bad = |reason| JournalError::BadRecord { offset, reason };
     let mut c = Cursor::new(payload);
     match c.u8().ok_or(bad("empty payload"))? {
-        TAG_SALE => {
+        tag @ (TAG_SALE | TAG_SALE_BUYER) => {
             let tx_id = c.u64().ok_or(bad("short sale record"))?;
             let epoch = c.u64().ok_or(bad("short sale record"))?;
             let inverse_ncp = c.f64().ok_or(bad("short sale record"))?;
@@ -576,6 +613,11 @@ fn decode_payload(
                 0 => None,
                 1 => Some(c.u64().ok_or(bad("short sale record"))?),
                 _ => return Err(bad("bad nonce flag")),
+            };
+            let buyer = if tag == TAG_SALE_BUYER {
+                Some(c.u64().ok_or(bad("short sale record"))?)
+            } else {
+                None
             };
             if !c.done() {
                 return Err(bad("trailing bytes in sale record"));
@@ -599,6 +641,7 @@ fn decode_payload(
                 },
                 snapshot_epoch: epoch,
                 nonce,
+                buyer,
             });
             Ok(())
         }
@@ -639,6 +682,18 @@ fn decode_payload(
                 let nonce = c.u64().ok_or(bad("short checkpoint"))?;
                 let tx_id = c.u64().ok_or(bad("short checkpoint"))?;
                 fresh.dedup.push((epoch, nonce, tx_id));
+            }
+            // Optional trailing accounts section: checkpoints written
+            // before buyer accounting end here and replay with no accounts.
+            if !c.done() {
+                let n_acct = c.u32().ok_or(bad("short checkpoint"))? as usize;
+                for _ in 0..n_acct {
+                    let buyer = c.u64().ok_or(bad("short checkpoint"))?;
+                    let spent = c.f64().ok_or(bad("short checkpoint"))?;
+                    if fresh.accounts.insert(buyer, spent).is_some() {
+                        return Err(bad("duplicate buyer account in checkpoint"));
+                    }
+                }
             }
             if !c.done() {
                 return Err(bad("trailing bytes in checkpoint"));
@@ -726,6 +781,7 @@ impl Journal {
         let recovery = Recovery {
             transactions: state.transactions.clone(),
             dedup: state.dedup.clone(),
+            accounts: state.accounts.iter().map(|(&b, &s)| (b, s)).collect(),
             next_tx_id: state.next_tx,
             max_epoch: state.max_epoch,
             valid_bytes,
@@ -1124,6 +1180,14 @@ mod tests {
             },
             snapshot_epoch: epoch,
             nonce,
+            buyer: None,
+        }
+    }
+
+    fn buyer_sale(tx_id: u64, epoch: u64, nonce: Option<u64>, buyer: u64) -> SaleRecord {
+        SaleRecord {
+            buyer: Some(buyer),
+            ..sale(tx_id, epoch, nonce)
         }
     }
 
@@ -1157,6 +1221,66 @@ mod tests {
         assert_eq!(rec.max_epoch, 2);
         assert_eq!(rec.dedup, vec![(1, 0xDEAD, 1)]);
         assert!((rec.total_revenue() - (2.5 + 5.0 + 7.5)).abs() < 1e-12);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn buyer_sales_roundtrip_and_accumulate_accounts() {
+        let path = temp_path("buyer-roundtrip");
+        {
+            let (mut j, _) = Journal::open(&path, 0, FaultPlan::new()).unwrap();
+            j.append_sale(&buyer_sale(0, 1, Some(7), 500)).unwrap();
+            j.append_sale(&sale(1, 1, None)).unwrap();
+            j.append_sale(&buyer_sale(2, 2, None, 500)).unwrap();
+            j.append_sale(&buyer_sale(3, 2, None, 501)).unwrap();
+        }
+        let (_, rec) = Journal::open(&path, 0, FaultPlan::new()).unwrap();
+        assert!(rec.truncated.is_none());
+        assert_eq!(rec.transactions.len(), 4);
+        // x charges are 10 + tx_id; buyer 500 bought tx 0 and tx 2.
+        assert_eq!(rec.accounts, vec![(500, 10.0 + 12.0), (501, 13.0)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_preserves_buyer_accounts() {
+        let path = temp_path("buyer-checkpoint");
+        {
+            let (mut j, _) = Journal::open(&path, 0, FaultPlan::new()).unwrap();
+            j.append_sale(&buyer_sale(0, 1, None, 9)).unwrap();
+            j.append_sale(&buyer_sale(1, 1, None, 9)).unwrap();
+            j.checkpoint().unwrap();
+            // Post-checkpoint charges stack on the checkpointed spend.
+            j.append_sale(&buyer_sale(2, 1, None, 9)).unwrap();
+        }
+        let (_, rec) = Journal::open(&path, 0, FaultPlan::new()).unwrap();
+        assert!(rec.truncated.is_none());
+        assert_eq!(rec.accounts, vec![(9, 10.0 + 11.0 + 12.0)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_without_accounts_section_still_decodes() {
+        // A checkpoint frame ending right after the dedup section (the
+        // pre-accounting shape) must replay with empty accounts.
+        let path = temp_path("old-checkpoint");
+        let mut payload = Vec::new();
+        payload.push(TAG_CHECKPOINT);
+        put_u64(&mut payload, 5); // next_tx
+        put_u64(&mut payload, 2); // max_epoch
+        put_u32(&mut payload, 1); // n_tx
+        put_u64(&mut payload, 4);
+        put_f64(&mut payload, 14.0);
+        put_f64(&mut payload, 12.5);
+        put_f64(&mut payload, 0.02);
+        put_u32(&mut payload, 0); // n_key — and nothing after it
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&frame_record(&payload));
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, rec) = Journal::open(&path, 0, FaultPlan::new()).unwrap();
+        assert!(rec.truncated.is_none());
+        assert_eq!(rec.transactions.len(), 1);
+        assert!(rec.accounts.is_empty());
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -64,6 +64,7 @@
 //! listing directory with a draft → published → retired lifecycle and
 //! per-listing journals recovered in parallel.
 
+pub mod account;
 pub mod broker;
 pub mod buyer;
 pub mod clock;
@@ -78,6 +79,7 @@ pub mod seller;
 pub mod simulation;
 pub mod transform;
 
+pub use account::BuyerAccounts;
 pub use broker::{
     BatchCommitItem, Broker, BrokerBuilder, BrokerConfig, MarketSnapshot, MarketStats,
     PurchaseRequest, Quote, Sale,

@@ -137,6 +137,10 @@ pub struct ListingStats {
     pub sales: u64,
     /// Revenue collected so far.
     pub revenue: f64,
+    /// Commits rejected because a buyer's noise budget was exhausted.
+    pub budget_rejects: u64,
+    /// Buyers whose remaining noise budget is zero (0 when unmetered).
+    pub exhausted_buyers: u64,
 }
 
 /// One consistent accounting snapshot over the whole marketplace:
@@ -345,6 +349,12 @@ impl ListingBuilder {
     /// Routes journal writes through an injected [`FaultPlan`].
     pub fn journal_faults(self, plan: FaultPlan) -> Self {
         self.map_builder(|b| b.journal_faults(plan))
+    }
+
+    /// Caps each buyer's cumulative noise-precision spend `Σ x` on this
+    /// listing (see [`BrokerBuilder::buyer_budget`]).
+    pub fn buyer_budget(self, budget: f64) -> Self {
+        self.map_builder(|b| b.buyer_budget(budget))
     }
 
     /// Validates and builds the listing (state: draft).
@@ -706,6 +716,8 @@ impl Marketplace {
                 expected_revenue: stats.expected_revenue.unwrap_or(0.0),
                 sales: stats.sales as u64,
                 revenue: stats.revenue,
+                budget_rejects: stats.budget_rejects,
+                exhausted_buyers: stats.exhausted_buyers,
             };
             out.total_sales += row.sales;
             out.total_revenue += row.revenue;

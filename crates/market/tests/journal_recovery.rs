@@ -253,6 +253,21 @@ fn sale_frame(tx_id: u64, epoch: u64) -> Vec<u8> {
         },
         snapshot_epoch: epoch,
         nonce: None,
+        buyer: None,
+    }))
+}
+
+fn buyer_sale_frame(tx_id: u64, epoch: u64, buyer: u64) -> Vec<u8> {
+    journal::frame_record(&journal::encode_sale_payload(&SaleRecord {
+        transaction: Transaction {
+            sequence: tx_id,
+            inverse_ncp: 10.0,
+            price: 3.0,
+            expected_error: 0.1,
+        },
+        snapshot_epoch: epoch,
+        nonce: None,
+        buyer: Some(buyer),
     }))
 }
 
@@ -333,6 +348,88 @@ fn corpus_epoch_regression() {
     ));
     assert_eq!(rec.transactions.len(), 1);
     assert_eq!(rec.max_epoch, 2);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn corpus_torn_buyer_sale_tail_salvages_accounts() {
+    // A buyer-attributed sale torn mid-record: the salvage must keep the
+    // complete prefix *and* the per-buyer spend it implies — the torn
+    // record contributes neither a transaction nor a charge.
+    let good = vec![sale_frame(0, 1), buyer_sale_frame(1, 1, 7)];
+    let torn = buyer_sale_frame(2, 1, 7);
+    let tail = &torn[..torn.len() / 2];
+    let path = write_journal("corpus-torn-buyer", tail, &good);
+    let valid_len = (journal::MAGIC.len() + good[0].len() + good[1].len()) as u64;
+    let (_, rec) = Journal::open(&path, 0, FaultPlan::new()).unwrap();
+    assert!(matches!(
+        rec.truncated,
+        Some(JournalError::TruncatedRecord { offset }) if offset == valid_len
+    ));
+    assert_eq!(rec.transactions.len(), 2);
+    assert_eq!(rec.accounts, vec![(7, 10.0)]);
+    assert_eq!(std::fs::metadata(&path).unwrap().len(), valid_len);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn corpus_bit_flipped_buyer_tag_is_a_bad_record() {
+    // Flip one bit in the SALE_BUYER tag (0x03 → 0x0B) and re-frame so
+    // the checksum is *valid* — the decoder must still reject it as an
+    // unknown tag, not replay garbage, and salvage the buyer accounts of
+    // the intact prefix.
+    let good = vec![buyer_sale_frame(0, 1, 7), buyer_sale_frame(1, 1, 8)];
+    let mut payload = journal::encode_sale_payload(&SaleRecord {
+        transaction: Transaction {
+            sequence: 2,
+            inverse_ncp: 10.0,
+            price: 3.0,
+            expected_error: 0.1,
+        },
+        snapshot_epoch: 1,
+        nonce: None,
+        buyer: Some(9),
+    });
+    assert_eq!(payload[0], 0x03, "SALE_BUYER tag moved; update the flip");
+    payload[0] ^= 0x08;
+    let tail = journal::frame_record(&payload);
+    let path = write_journal("corpus-flipped-tag", &tail, &good);
+    let (_, rec) = Journal::open(&path, 0, FaultPlan::new()).unwrap();
+    match rec.truncated {
+        Some(JournalError::BadRecord { ref reason, .. }) => {
+            assert!(reason.contains("unknown record tag"), "{reason}");
+        }
+        ref other => panic!("expected BadRecord, got {other:?}"),
+    }
+    assert_eq!(rec.transactions.len(), 2);
+    assert_eq!(rec.accounts, vec![(7, 10.0), (8, 10.0)]);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn corpus_checkpoint_with_short_accounts_section() {
+    // A checkpoint whose accounts section claims two entries but carries
+    // one: structurally well-framed (valid CRC), semantically short. The
+    // scan must stop with a typed BadRecord and keep the prefix's books.
+    let good = vec![buyer_sale_frame(0, 1, 9)];
+    let mut payload = vec![0x02u8]; // TAG_CHECKPOINT
+    payload.extend_from_slice(&1u64.to_be_bytes()); // next_tx
+    payload.extend_from_slice(&1u64.to_be_bytes()); // max_epoch
+    payload.extend_from_slice(&0u32.to_be_bytes()); // no transactions
+    payload.extend_from_slice(&0u32.to_be_bytes()); // no dedup keys
+    payload.extend_from_slice(&2u32.to_be_bytes()); // claims 2 accounts…
+    payload.extend_from_slice(&9u64.to_be_bytes()); // …delivers half of one
+    let tail = journal::frame_record(&payload);
+    let path = write_journal("corpus-short-accounts", &tail, &good);
+    let valid_len = (journal::MAGIC.len() + good[0].len()) as u64;
+    let (_, rec) = Journal::open(&path, 0, FaultPlan::new()).unwrap();
+    assert!(matches!(
+        rec.truncated,
+        Some(JournalError::BadRecord { offset, .. }) if offset == valid_len
+    ));
+    assert_eq!(rec.transactions.len(), 1);
+    assert_eq!(rec.accounts, vec![(9, 10.0)]);
+    assert_eq!(std::fs::metadata(&path).unwrap().len(), valid_len);
     std::fs::remove_file(&path).unwrap();
 }
 

@@ -150,3 +150,74 @@ fn broker_resolve_is_consistent_with_quote_across_the_menu() {
         assert!(bq.price <= q.price + 1e-9);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Per-buyer budget accounting vs the arbitrage-free menu: averaging k noisy
+// instances at inverse NCPs x₁..xₖ yields effective precision Σxᵢ (the
+// multi-purchase analogue of Theorem 5), so the ledger meters exactly Σxᵢ
+// and the money collected must be at least the posted price of the combined
+// model — otherwise splitting a purchase would be an arbitrage.
+// ---------------------------------------------------------------------------
+
+fn shared_metered_broker() -> &'static Broker {
+    use std::sync::OnceLock;
+    static BROKER: OnceLock<Broker> = OnceLock::new();
+    BROKER.get_or_init(|| {
+        let (tt, _) = DatasetSpec::scaled(PaperDataset::Simulated1, 600)
+            .materialize(3)
+            .unwrap();
+        let curves = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform);
+        let broker = Broker::new(
+            Seller::new("prop-budget", tt, curves),
+            Box::new(LinearRegressionTrainer::ridge(1e-6)),
+            Box::new(GaussianMechanism),
+            BrokerConfig {
+                n_price_points: 30,
+                error_curve_samples: 20,
+                seed: 9,
+            },
+        );
+        broker.open_market().unwrap();
+        broker
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn k_purchases_charge_at_least_the_subadditive_bound(
+        xs in prop::collection::vec(1.0..100.0f64, 1..6),
+    ) {
+        let broker = shared_metered_broker();
+        // One fresh buyer per case: the shared ledger never mixes cases.
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+        let buyer = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut paid = 0.0f64;
+        let mut precision = 0.0f64;
+        for &x in &xs {
+            let q = broker
+                .quote_request(PurchaseRequest::AtInverseNcp(x))
+                .unwrap();
+            let sale = broker.commit_for(q, q.price, buyer).unwrap();
+            paid += sale.transaction.price;
+            precision += sale.transaction.inverse_ncp;
+        }
+        // The ledger meters exactly the precision sold, accumulated in
+        // commit order — bit for bit.
+        prop_assert_eq!(
+            broker.accounts().spent(buyer).to_bits(),
+            precision.to_bits(),
+            "ledger drifted from the sold precision"
+        );
+        // Subadditive floor: the k instances average into a model of
+        // effective precision Σxᵢ (capped at the menu's support), whose
+        // posted price the buyer must have at least paid.
+        let combined = precision.min(100.0);
+        let bound = broker.quote(combined).unwrap();
+        prop_assert!(
+            paid >= bound - 1e-6 * bound.abs().max(1.0),
+            "k-split arbitrage: paid {paid} for effective x={combined}, menu asks {bound}"
+        );
+    }
+}

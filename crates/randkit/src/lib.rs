@@ -15,12 +15,14 @@
 pub mod discrete;
 pub mod laplace;
 pub mod normal;
+pub mod snapped;
 pub mod summary;
 pub mod uniform;
 
 pub use discrete::WeightedIndex;
 pub use laplace::Laplace;
 pub use normal::StandardNormal;
+pub use snapped::SnappedGaussian;
 pub use summary::RunningStats;
 pub use uniform::{uniform_in, uniform_symmetric};
 

@@ -1,0 +1,367 @@
+//! Floating-point-safe "snapped" Gaussian sampler.
+//!
+//! The naive Box–Muller sampler in [`crate::normal`] computes `ln` and `cos`
+//! on uniform floats. That is fine for simulation, but as a *privacy
+//! mechanism* it is vulnerable to floating-point attacks (Mironov 2012): the
+//! set of f64 values it can emit is a non-uniform, gap-ridden subset of the
+//! reals, and an adversary who knows the gaps can distinguish neighbouring
+//! inputs far better than the nominal guarantee allows.
+//!
+//! This module implements the standard fix: sample a *discrete* Gaussian over
+//! an integer grid using only exact integer arithmetic (the rejection sampler
+//! of Canonne–Kaplan–Steinke, "The Discrete Gaussian for Differential
+//! Privacy", 2020), then scale by a public power-of-two grid step. Every
+//! emitted value is an exact multiple of the dyadic grid step `γ = 2^k`,
+//! clamped to a public support `[-C·γ, C·γ]`. No `exp`/`ln`/`cos` is ever
+//! evaluated on a secret-dependent value — the only floating-point
+//! computation is deriving the (public) grid geometry from the (public)
+//! standard deviation, and the final exact `i64 → f64` scaling.
+//!
+//! Determinism: the sampler draws from the caller's [`rand::Rng`] stream
+//! only, so for a fixed seed the output is bitwise identical across runs and
+//! platforms — the same contract the rest of `nimbus-randkit` provides.
+
+use rand::Rng;
+
+/// Fixed-point denominator used to represent the standard deviation in grid
+/// units: `σ_grid ≈ sigma_units / FIXED_DENOM`.
+const FIXED_DENOM: u64 = 1 << 16;
+
+/// Proposals with magnitude beyond this many grid units are rejected outright
+/// before the (u128) acceptance test so the integer arithmetic provably never
+/// overflows. With `σ_grid < 16` the discrete-Gaussian mass beyond `2^20`
+/// grid units is below `exp(-2^30)` — unobservable — and every surviving
+/// value is clamped to a few hundred grid units anyway.
+const MAGNITUDE_GUARD: u64 = 1 << 20;
+
+/// How many standard deviations of support the clamped grid keeps. Mass
+/// outside `±12σ` is `< 2^-100`; clamping it to the boundary is statistically
+/// invisible but makes the output domain finite and public.
+const CLAMP_SIGMAS: u64 = 12;
+
+/// A discrete Gaussian on a clamped dyadic grid.
+///
+/// `new(std_dev)` picks the grid step `γ = 2^k` so that `σ/γ ∈ [8, 16)`
+/// (coarse enough to sample fast, fine enough that discretisation error is
+/// below `γ ≤ σ/8`), then samples integers `z` with `P[z] ∝ exp(-z²/2σ_g²)`
+/// via exact rejection sampling and emits `z·γ` clamped to
+/// `±ceil(12·σ_g)` grid units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnappedGaussian {
+    /// Grid step exponent: the grid step is `γ = 2^grid_log2`.
+    grid_log2: i32,
+    /// Standard deviation in grid units, fixed-point over [`FIXED_DENOM`].
+    sigma_units: u64,
+    /// Discrete-Laplace proposal scale: `floor(σ_grid) + 1`.
+    t: u64,
+    /// Clamp bound in grid units: `ceil(CLAMP_SIGMAS · σ_grid)`.
+    clamp_units: i64,
+}
+
+impl SnappedGaussian {
+    /// Builds a sampler targeting standard deviation `std_dev`.
+    ///
+    /// Returns `None` unless `std_dev` is finite and strictly positive.
+    pub fn new(std_dev: f64) -> Option<Self> {
+        if !std_dev.is_finite() || std_dev <= 0.0 {
+            return None;
+        }
+        // Binade of std_dev, via exponent-bit extraction (exact, no log).
+        let biased = ((std_dev.to_bits() >> 52) & 0x7ff) as i32;
+        let exp = if biased == 0 { -1075 } else { biased - 1023 };
+        // γ = 2^(exp-3) puts σ/γ in [8, 16). Clamp the exponent so that both
+        // γ itself and clamp_units·γ stay inside the finite f64 range; at the
+        // clamps σ_grid leaves [8, 16) but the sampler stays correct (the
+        // fixed-point σ is clamped to [1/FIXED_DENOM, 16) below).
+        let grid_log2 = (exp - 3).clamp(-1070, 1000);
+        let gamma = pow2(grid_log2);
+        // σ in grid units, rounded to FIXED_DENOM-ths. Public arithmetic.
+        let sigma_grid = std_dev / gamma;
+        let scaled = (sigma_grid * FIXED_DENOM as f64).round();
+        let max_units = 16 * FIXED_DENOM - 1;
+        let sigma_units = if scaled >= max_units as f64 {
+            max_units
+        } else if scaled < 1.0 {
+            1
+        } else {
+            scaled as u64
+        };
+        let t = sigma_units / FIXED_DENOM + 1;
+        let clamp_units = (CLAMP_SIGMAS * sigma_units).div_ceil(FIXED_DENOM).max(1) as i64;
+        Some(Self {
+            grid_log2,
+            sigma_units,
+            t,
+            clamp_units,
+        })
+    }
+
+    /// The public grid step `γ`; every sample is an exact multiple of this.
+    pub fn grid(&self) -> f64 {
+        pow2(self.grid_log2)
+    }
+
+    /// The clamp bound in grid units; samples lie in `[-C, C]` grid units.
+    pub fn clamp_units(&self) -> i64 {
+        self.clamp_units
+    }
+
+    /// Standard deviation actually realised, in grid units (fixed point).
+    pub fn sigma_units(&self) -> (u64, u64) {
+        (self.sigma_units, FIXED_DENOM)
+    }
+
+    /// Draws one sample in grid units (an integer in `[-C, C]`).
+    pub fn sample_units<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        let z = sample_discrete_gaussian(rng, self.sigma_units, self.t);
+        z.clamp(-self.clamp_units, self.clamp_units)
+    }
+
+    /// Draws one sample as an f64: `z · γ`, exact by construction.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.sample_units(rng) as f64 * self.grid()
+    }
+
+    /// Fills a slice with independent samples.
+    pub fn fill<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        let gamma = self.grid();
+        for slot in out.iter_mut() {
+            *slot = self.sample_units(rng) as f64 * gamma;
+        }
+    }
+}
+
+/// Exact power of two as f64 for `k ∈ [-1074, 1023]`.
+fn pow2(k: i32) -> f64 {
+    if k >= -1022 {
+        f64::from_bits(((k + 1023) as u64) << 52)
+    } else {
+        // Subnormal range: 2^k = bit (k + 1074) of the significand.
+        f64::from_bits(1u64 << (k + 1074))
+    }
+}
+
+/// Canonne–Kaplan–Steinke Algorithm 3: discrete Gaussian with
+/// `σ = sigma_units / FIXED_DENOM`, via discrete-Laplace(t) proposals.
+fn sample_discrete_gaussian<R: Rng + ?Sized>(rng: &mut R, sigma_units: u64, t: u64) -> i64 {
+    let s = sigma_units as u128;
+    let d = FIXED_DENOM as u128;
+    let t128 = t as u128;
+    let s2 = s * s;
+    // Acceptance denominator: 2·σ²·t² with σ = s/d, cleared of fractions.
+    let den = 2 * s2 * d * d * t128 * t128;
+    loop {
+        let y = sample_discrete_laplace(rng, t);
+        let mag = y.unsigned_abs();
+        if mag > MAGNITUDE_GUARD {
+            // Overflow guard; see MAGNITUDE_GUARD.
+            continue;
+        }
+        // Accept with exp(-(|y| - σ²/t)² / (2σ²)). Clearing fractions:
+        // num = (|y|·d²·t - s²)², den = 2·s²·d²·t².
+        let lhs = mag as u128 * d * d * t128;
+        let diff = lhs.abs_diff(s2);
+        let num = diff * diff;
+        if bernoulli_exp(rng, num, den) {
+            return y;
+        }
+    }
+}
+
+/// Discrete Laplace with scale `t`: `P[y] ∝ exp(-|y|/t)`.
+fn sample_discrete_laplace<R: Rng + ?Sized>(rng: &mut R, t: u64) -> i64 {
+    loop {
+        let negative = rng.random::<u64>() & 1 == 1;
+        let mag = sample_geometric_exp(rng, t);
+        if negative && mag == 0 {
+            continue; // avoid double-counting zero
+        }
+        return if negative { -(mag as i64) } else { mag as i64 };
+    }
+}
+
+/// Geometric-like magnitude: `P[m] ∝ exp(-m/t)` for `m ≥ 0`.
+fn sample_geometric_exp<R: Rng + ?Sized>(rng: &mut R, t: u64) -> u64 {
+    loop {
+        let u = uniform_below(rng, t as u128) as u64;
+        if !bernoulli_exp_frac(rng, u as u128, t as u128) {
+            continue;
+        }
+        // v ~ number of consecutive Bernoulli(e^-1) successes.
+        let mut v: u64 = 0;
+        while bernoulli_exp_frac(rng, 1, 1) {
+            v += 1;
+            if v > MAGNITUDE_GUARD {
+                break; // probability < exp(-2^20); keeps the loop finite
+            }
+        }
+        return u + t * v;
+    }
+}
+
+/// Bernoulli(exp(-n/d)) for any `n`, by splitting off whole units of e^-1.
+fn bernoulli_exp<R: Rng + ?Sized>(rng: &mut R, mut n: u128, d: u128) -> bool {
+    while n > d {
+        if !bernoulli_exp_frac(rng, 1, 1) {
+            return false;
+        }
+        n -= d;
+    }
+    bernoulli_exp_frac(rng, n, d)
+}
+
+/// Bernoulli(exp(-n/d)) for `n ≤ d`, via the alternating-series trick:
+/// draw Bernoulli(n/(d·k)) for k = 1, 2, … until a failure; success iff the
+/// failure happened at an odd k.
+fn bernoulli_exp_frac<R: Rng + ?Sized>(rng: &mut R, n: u128, d: u128) -> bool {
+    debug_assert!(n <= d);
+    let mut k: u128 = 1;
+    // If d·k overflows, probability n/(d·k) has underflowed to
+    // "practically zero" — stop as if that Bernoulli failed.
+    while let Some(denom) = d.checked_mul(k) {
+        if !bernoulli_frac(rng, n, denom) {
+            break;
+        }
+        k += 1;
+    }
+    k % 2 == 1
+}
+
+/// Exact Bernoulli(n/d) for `n ≤ d`, `d ≥ 1`, from uniform bits.
+fn bernoulli_frac<R: Rng + ?Sized>(rng: &mut R, n: u128, d: u128) -> bool {
+    uniform_below(rng, d) < n
+}
+
+/// Uniform integer in `[0, d)` by rejection from 128 uniform bits.
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, d: u128) -> u128 {
+    debug_assert!(d >= 1);
+    if d == 1 {
+        return 0;
+    }
+    let zone = u128::MAX - (u128::MAX % d);
+    loop {
+        let raw = ((rng.random::<u64>() as u128) << 64) | rng.random::<u64>() as u128;
+        if raw < zone {
+            return raw % d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{seeded_rng, RunningStats};
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(SnappedGaussian::new(0.0).is_none());
+        assert!(SnappedGaussian::new(-1.0).is_none());
+        assert!(SnappedGaussian::new(f64::NAN).is_none());
+        assert!(SnappedGaussian::new(f64::INFINITY).is_none());
+        assert!(SnappedGaussian::new(1.0).is_some());
+    }
+
+    #[test]
+    fn grid_brackets_sigma() {
+        for &sigma in &[1e-6, 0.03, 1.0, 17.5, 4096.0, 1e9] {
+            let g = SnappedGaussian::new(sigma).expect("valid sigma");
+            let ratio = sigma / g.grid();
+            assert!((8.0..16.0).contains(&ratio), "sigma={sigma} ratio={ratio}");
+        }
+    }
+
+    #[test]
+    fn samples_are_on_grid_and_clamped() {
+        let corners = [
+            1e-300,
+            5e-324,
+            1e-12,
+            0.5,
+            1.0,
+            3.0,
+            1e12,
+            1e300,
+            f64::MAX / 1e4,
+        ];
+        for (i, &sigma) in corners.iter().enumerate() {
+            let g = SnappedGaussian::new(sigma).expect("valid sigma");
+            let gamma = g.grid();
+            let mut rng = seeded_rng(900 + i as u64);
+            for _ in 0..500 {
+                let x = g.sample(&mut rng);
+                let units = x / gamma;
+                assert_eq!(
+                    units,
+                    units.trunc(),
+                    "off-grid sample {x} for sigma={sigma}"
+                );
+                assert!(
+                    units.abs() <= g.clamp_units() as f64,
+                    "unclamped sample {x} for sigma={sigma}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = SnappedGaussian::new(2.5).expect("valid sigma");
+        let a: Vec<i64> = {
+            let mut rng = seeded_rng(77);
+            (0..64).map(|_| g.sample_units(&mut rng)).collect()
+        };
+        let b: Vec<i64> = {
+            let mut rng = seeded_rng(77);
+            (0..64).map(|_| g.sample_units(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<i64> = {
+            let mut rng = seeded_rng(78);
+            (0..64).map(|_| g.sample_units(&mut rng)).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn empirical_moments_match() {
+        let sigma = 3.0;
+        let g = SnappedGaussian::new(sigma).expect("valid sigma");
+        let mut rng = seeded_rng(4242);
+        let mut stats = RunningStats::new();
+        for _ in 0..40_000 {
+            stats.push(g.sample(&mut rng));
+        }
+        assert!(stats.mean().abs() < 0.05, "mean {}", stats.mean());
+        let var = stats.variance();
+        assert!(
+            (var - sigma * sigma).abs() < 0.35,
+            "variance {var} expected {}",
+            sigma * sigma
+        );
+    }
+
+    #[test]
+    fn subnormal_sigma_still_samples() {
+        let g = SnappedGaussian::new(5e-324).expect("valid sigma");
+        let mut rng = seeded_rng(11);
+        let gamma = g.grid();
+        for _ in 0..200 {
+            let x = g.sample(&mut rng);
+            assert!(x.is_finite());
+            let units = x / gamma;
+            assert_eq!(units, units.trunc());
+        }
+    }
+
+    #[test]
+    fn fill_matches_sequential_samples() {
+        let g = SnappedGaussian::new(1.25).expect("valid sigma");
+        let mut a = seeded_rng(5);
+        let mut b = seeded_rng(5);
+        let mut buf = [0.0f64; 16];
+        g.fill(&mut a, &mut buf);
+        for &x in &buf {
+            assert_eq!(x, g.sample(&mut b));
+        }
+    }
+}

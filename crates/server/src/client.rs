@@ -36,8 +36,8 @@
 
 use crate::error::ServerError;
 use crate::wire::{
-    self, BatchItemMsg, BatchOutcomeMsg, InfoMsg, ListingsMsg, MenuMsg, QuoteMsg, Request,
-    Response, SaleMsg, StatsMsg,
+    self, AccountMsg, BatchItemMsg, BatchOutcomeMsg, InfoMsg, ListingsMsg, MenuMsg, QuoteMsg,
+    Request, Response, SaleMsg, StatsMsg,
 };
 use crate::Result;
 use nimbus_market::PurchaseRequest;
@@ -115,6 +115,7 @@ pub struct NimbusClient {
     config: ClientConfig,
     stream: Option<TcpStream>,
     rng_state: u64,
+    buyer: Option<u64>,
 }
 
 /// Where in the request lifecycle an attempt failed — decides whether a
@@ -150,9 +151,27 @@ impl NimbusClient {
             config: *config,
             stream: None,
             rng_state: seed_entropy(config.retry.seed),
+            buyer: None,
         };
         client.ensure_connected().map_err(Failure::into_error)?;
         Ok(client)
+    }
+
+    /// Attaches a buyer identity (wire v5) to every subsequent commit
+    /// and batch item, routing purchases through the listing's per-buyer
+    /// noise-budget accounts. `None` (the default) commits anonymously.
+    ///
+    /// A [`crate::wire::ErrorCode::BudgetExhausted`] rejection is a
+    /// *typed* error — it surfaces immediately as
+    /// [`ServerError::Remote`] and is never retried (retrying cannot
+    /// succeed until the budget is raised).
+    pub fn set_buyer(&mut self, buyer: Option<u64>) {
+        self.buyer = buyer;
+    }
+
+    /// The buyer identity attached to commits, if any.
+    pub fn buyer(&self) -> Option<u64> {
+        self.buyer
     }
 
     /// Fetches the posted `(inverse NCP, price)` menu of the server's
@@ -209,6 +228,7 @@ impl NimbusClient {
             snapshot_epoch: quote.snapshot_epoch,
             payment,
             nonce: None,
+            buyer: self.buyer,
         };
         match self.call(&request, false)? {
             Response::Commit(s) => Ok(s),
@@ -226,6 +246,7 @@ impl NimbusClient {
             snapshot_epoch: quote.snapshot_epoch,
             payment,
             nonce: Some(self.next_nonce()),
+            buyer: self.buyer,
         };
         match self.call(&request, true)? {
             Response::Commit(s) => Ok(s),
@@ -260,6 +281,24 @@ impl NimbusClient {
     fn info_on_opt(&mut self, listing: Option<String>) -> Result<InfoMsg> {
         match self.call(&Request::Info { listing }, true)? {
             Response::Info(i) => Ok(i),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Queries a buyer's noise-budget account against the default
+    /// listing (wire v5): precision spent, budget, and remaining.
+    pub fn account(&mut self, buyer: u64) -> Result<AccountMsg> {
+        self.account_on_opt(None, buyer)
+    }
+
+    /// Queries a buyer's noise-budget account against the named listing.
+    pub fn account_on(&mut self, listing: &str, buyer: u64) -> Result<AccountMsg> {
+        self.account_on_opt(Some(listing.to_string()), buyer)
+    }
+
+    fn account_on_opt(&mut self, listing: Option<String>, buyer: u64) -> Result<AccountMsg> {
+        match self.call(&Request::Account { listing, buyer }, true)? {
+            Response::Account(a) => Ok(a),
             other => Err(unexpected(&other)),
         }
     }
@@ -349,6 +388,7 @@ impl NimbusClient {
                 snapshot_epoch: quote.snapshot_epoch,
                 payment: quote.price,
                 nonce: Some(self.next_nonce()),
+                buyer: self.buyer,
             });
         }
         if items.is_empty() {

@@ -86,8 +86,9 @@ pub use loadgen::{run_load, ListingLoad, LoadConfig, LoadMode, LoadReport};
 pub use server::{NimbusServer, ServerConfig};
 pub use stats::{render_prometheus, LatencyHistogram, Op, StatsRegistry};
 pub use wire::{
-    BatchCommitMsg, BatchItemMsg, BatchOutcomeMsg, ErrorCode, InfoMsg, ListingMsg, ListingStatsMsg,
-    ListingsMsg, MenuChunkMsg, MenuMsg, OpStatsMsg, QuoteMsg, Request, Response, SaleMsg, StatsMsg,
+    AccountMsg, BatchCommitMsg, BatchItemMsg, BatchOutcomeMsg, ErrorCode, InfoMsg, ListingMsg,
+    ListingStatsMsg, ListingsMsg, MenuChunkMsg, MenuMsg, OpStatsMsg, QuoteMsg, Request, Response,
+    SaleMsg, StatsMsg,
 };
 
 /// Convenience result alias for this crate.

@@ -10,10 +10,21 @@
 //! sheds are counted separately from final ones, and a request that is
 //! shed then succeeds counts **once** in `ok` and zero times in `busy`
 //! (see `run_request`'s unit tests). The report therefore reconciles
-//! exactly: `attempted == ok + busy + errors` and — on the classic
-//! per-request path — the server's `busy_rejections` counter equals
-//! `busy + busy_retried`; for [`LoadMode::Buy`] the client-observed
-//! revenue can be checked against the server-side ledger.
+//! exactly: `attempted == ok + busy + budget_rejected + errors` and —
+//! on the classic per-request path — the server's `busy_rejections`
+//! counter equals `busy + busy_retried`; for [`LoadMode::Buy`] the
+//! client-observed revenue can be checked against the server-side
+//! ledger.
+//!
+//! # Buyer identity and budget sheds (wire v5)
+//!
+//! With [`LoadConfig::buyer`] set, every commit carries that buyer
+//! identity and is metered against the listing's noise budget. A
+//! `BUDGET_EXHAUSTED` rejection is **not** a `BUSY` shed and not a
+//! generic error: it is deterministic (retrying cannot succeed), so it
+//! is never retried and lands in [`LoadReport::budget_rejected`] — a
+//! run that drains its buyer's budget reports exactly how much of the
+//! offered load the server refused for exhaustion.
 //!
 //! # Pipelining and batching (wire v4)
 //!
@@ -50,7 +61,7 @@
 use crate::client::{ClientConfig, NimbusClient, PipelinedClient, RetryPolicy};
 use crate::error::ServerError;
 use crate::stats::LatencyHistogram;
-use crate::wire::{BatchItemMsg, BatchOutcomeMsg, QuoteMsg, Request, Response};
+use crate::wire::{BatchItemMsg, BatchOutcomeMsg, ErrorCode, QuoteMsg, Request, Response};
 use crate::Result;
 use nimbus_market::PurchaseRequest;
 use std::collections::BTreeMap;
@@ -98,6 +109,9 @@ pub struct LoadConfig {
     /// Extra connections opened before the run and held silent until it
     /// ends, to measure serving latency under connection pressure.
     pub idle_connections: usize,
+    /// Buyer identity attached to every commit (wire v5). `None` =
+    /// anonymous commits that bypass budget accounting.
+    pub buyer: Option<u64>,
 }
 
 impl Default for LoadConfig {
@@ -112,6 +126,7 @@ impl Default for LoadConfig {
             pipeline_depth: 1,
             batch_size: 1,
             idle_connections: 0,
+            buyer: None,
         }
     }
 }
@@ -139,6 +154,10 @@ pub struct LoadReport {
     /// `BUSY` sheds that were absorbed by a retry (the request itself
     /// went on to succeed or fail some other way).
     pub busy_retried: u64,
+    /// Requests rejected with `BUDGET_EXHAUSTED` (wire v5): the buyer's
+    /// noise budget could not cover the commit. Deterministic — never
+    /// retried — and counted separately from `busy` and `errors`.
+    pub budget_rejected: u64,
     /// Requests that failed any other way (timeouts, resets, remote errors).
     pub errors: u64,
     /// Sum of client-observed sale prices (only grows in [`LoadMode::Buy`]).
@@ -199,6 +218,8 @@ struct RequestOutcome {
     price: f64,
     /// The final outcome was a `BUSY` shed.
     busy: bool,
+    /// The final outcome was a `BUDGET_EXHAUSTED` rejection.
+    budget: bool,
     /// The final outcome was some other failure.
     error: bool,
     /// `BUSY` sheds absorbed by retries along the way.
@@ -234,6 +255,16 @@ where
                 outcome.busy = true;
                 return outcome;
             }
+            // Budget exhaustion is deterministic: retrying cannot
+            // succeed, so it resolves immediately regardless of the
+            // shed-retry budget.
+            Err(ServerError::Remote {
+                code: ErrorCode::BudgetExhausted,
+                ..
+            }) => {
+                outcome.budget = true;
+                return outcome;
+            }
             Err(_) => {
                 outcome.error = true;
                 return outcome;
@@ -251,6 +282,8 @@ fn apply_outcome(report: &mut LoadReport, outcome: &RequestOutcome) {
         report.revenue += outcome.price;
     } else if outcome.busy {
         report.busy += 1;
+    } else if outcome.budget {
+        report.budget_rejected += 1;
     } else {
         report.errors += 1;
     }
@@ -360,6 +393,7 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
         total.ok += r.ok;
         total.busy += r.busy;
         total.busy_retried += r.busy_retried;
+        total.budget_rejected += r.budget_rejected;
         total.errors += r.errors;
         total.revenue += r.revenue;
         for slice in r.per_listing {
@@ -446,11 +480,13 @@ fn attempt(
         None => {
             // Force off the client's internal retries: the generator
             // counts and paces every shed itself.
-            let config = ClientConfig {
+            let client_config = ClientConfig {
                 retry: RetryPolicy::none(),
                 ..config.client
             };
-            client.insert(NimbusClient::connect(addr, &config)?)
+            let conn = client.insert(NimbusClient::connect(addr, &client_config)?);
+            conn.set_buyer(config.buyer);
+            conn
         }
     };
     let request = request_for(thread, i, config.requests_per_thread);
@@ -523,7 +559,7 @@ fn thread_load_pipelined(
         let Some(quotes) = quotes else {
             // Transport death: everything not yet resolved (including
             // all still-unissued requests) counts as an error.
-            let resolved = report.ok + report.busy + report.errors;
+            let resolved = report.ok + report.busy + report.budget_rejected + report.errors;
             report.attempted = total as u64;
             report.errors += (total as u64).saturating_sub(resolved);
             return report;
@@ -539,7 +575,7 @@ fn thread_load_pipelined(
                 &quotes,
             )
         {
-            let resolved = report.ok + report.busy + report.errors;
+            let resolved = report.ok + report.busy + report.budget_rejected + report.errors;
             report.attempted = total as u64;
             report.errors += (total as u64).saturating_sub(resolved);
             return report;
@@ -644,6 +680,7 @@ fn batch_commit_window(
                 snapshot_epoch: q.snapshot_epoch,
                 payment: q.price,
                 nonce: Some(*nonce_state),
+                buyer: config.buyer,
             }
         })
         .collect();
@@ -674,6 +711,10 @@ fn batch_commit_window(
                             report.ok += 1;
                             report.revenue += sale.price;
                         }
+                        BatchOutcomeMsg::Error {
+                            code: ErrorCode::BudgetExhausted,
+                            ..
+                        } => report.budget_rejected += 1,
                         BatchOutcomeMsg::Error { .. } => report.errors += 1,
                     }
                 }

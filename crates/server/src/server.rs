@@ -427,6 +427,7 @@ fn execute_job(inner: &Inner, job: &Job) -> Completion {
         Request::BatchCommit { .. } => Op::BatchCommit,
         Request::MenuStream { .. } => Op::MenuStream,
         Request::Info { .. } => Op::Info,
+        Request::Account { .. } => Op::Account,
         Request::Listings => Op::Listings,
         Request::Stats => Op::Stats,
         Request::Publish { .. } => Op::Publish,
@@ -515,13 +516,18 @@ fn execute(inner: &Inner, request: Request) -> nimbus_market::Result<Vec<Respons
             snapshot_epoch,
             payment,
             nonce,
+            buyer,
         } => {
             let broker = marketplace.route(resolve(inner, &listing))?;
             // A nonce makes the commit idempotent: a retry after a lost
-            // ACK replays the journalled sale instead of double-charging.
+            // ACK replays the journalled sale instead of double-charging
+            // money or budget. A buyer identity routes the sale through
+            // the listing's noise-budget accounts.
             let sale = match nonce {
-                Some(nonce) => broker.commit_at_idempotent(x, snapshot_epoch, payment, nonce)?,
-                None => broker.commit_at(x, snapshot_epoch, payment)?,
+                Some(nonce) => {
+                    broker.commit_at_idempotent_for(x, snapshot_epoch, payment, nonce, buyer)?
+                }
+                None => broker.commit_at_for(x, snapshot_epoch, payment, buyer)?,
             };
             Ok(vec![Response::Commit(sale_msg(&sale))])
         }
@@ -534,6 +540,7 @@ fn execute(inner: &Inner, request: Request) -> nimbus_market::Result<Vec<Respons
                     snapshot_epoch: item.snapshot_epoch,
                     payment: item.payment,
                     nonce: item.nonce,
+                    buyer: item.buyer,
                 })
                 .collect();
             // Items resolve independently; the broker coalesces the
@@ -615,6 +622,18 @@ fn execute(inner: &Inner, request: Request) -> nimbus_market::Result<Vec<Respons
                 revenue: stats.revenue,
             })])
         }
+        Request::Account { listing, buyer } => {
+            let name = resolve(inner, &listing);
+            let broker = marketplace.route(name)?;
+            let accounts = broker.accounts();
+            Ok(vec![Response::Account(wire::AccountMsg {
+                listing: name.to_string(),
+                buyer,
+                spent: accounts.spent(buyer),
+                budget: accounts.budget(),
+                remaining: accounts.remaining(buyer),
+            })])
+        }
         Request::Listings => {
             let listings = marketplace
                 .menu()
@@ -653,6 +672,8 @@ fn execute(inner: &Inner, request: Request) -> nimbus_market::Result<Vec<Respons
                     epoch: row.epoch,
                     sales: row.sales,
                     revenue: row.revenue,
+                    budget_rejects: row.budget_rejects,
+                    exhausted_buyers: row.exhausted_buyers,
                 })
                 .collect();
             Ok(vec![Response::Stats(msg)])

@@ -43,10 +43,12 @@ pub enum Op {
     BatchCommit = 8,
     /// `MENU_STREAM` (v4).
     MenuStream = 9,
+    /// `ACCOUNT` (v5).
+    Account = 10,
 }
 
 /// Number of wire operations in the registry.
-pub const N_OPS: usize = 10;
+pub const N_OPS: usize = 11;
 
 impl Op {
     /// All operations, in registry order.
@@ -61,6 +63,7 @@ impl Op {
         Op::Retire,
         Op::BatchCommit,
         Op::MenuStream,
+        Op::Account,
     ];
 
     /// Stable lowercase name.
@@ -76,6 +79,7 @@ impl Op {
             Op::Retire => "retire",
             Op::BatchCommit => "batch_commit",
             Op::MenuStream => "menu_stream",
+            Op::Account => "account",
         }
     }
 }
@@ -377,6 +381,32 @@ pub fn render_prometheus(stats: &StatsMsg) -> String {
                 row.listing, row.state, row.epoch
             );
         }
+        metric(
+            &mut out,
+            "listing_budget_rejects_total",
+            "counter",
+            "Commits rejected for buyer noise-budget exhaustion, labelled by listing.",
+        );
+        for row in &stats.listings {
+            let _ = writeln!(
+                out,
+                "nimbus_listing_budget_rejects_total{{listing=\"{}\"}} {}",
+                row.listing, row.budget_rejects
+            );
+        }
+        metric(
+            &mut out,
+            "listing_exhausted_buyers",
+            "gauge",
+            "Buyers whose remaining noise budget is zero, labelled by listing.",
+        );
+        for row in &stats.listings {
+            let _ = writeln!(
+                out,
+                "nimbus_listing_exhausted_buyers{{listing=\"{}\"}} {}",
+                row.listing, row.exhausted_buyers
+            );
+        }
     }
     out
 }
@@ -448,6 +478,8 @@ mod tests {
             epoch: 3,
             sales: 7,
             revenue: 123.5,
+            budget_rejects: 4,
+            exhausted_buyers: 2,
         });
         snap.listings.push(crate::wire::ListingStatsMsg {
             listing: "old-data".into(),
@@ -455,11 +487,15 @@ mod tests {
             epoch: 1,
             sales: 2,
             revenue: 9.0,
+            budget_rejects: 0,
+            exhausted_buyers: 0,
         });
         let text = render_prometheus(&snap);
         assert!(text.contains("nimbus_listing_sales_total{listing=\"acme-data\"} 7"));
         assert!(text.contains("nimbus_listing_revenue{listing=\"old-data\"} 9"));
         assert!(text.contains("nimbus_listing_epoch{listing=\"acme-data\",state=\"published\"} 3"));
+        assert!(text.contains("nimbus_listing_budget_rejects_total{listing=\"acme-data\"} 4"));
+        assert!(text.contains("nimbus_listing_exhausted_buyers{listing=\"acme-data\"} 2"));
     }
 
     #[test]

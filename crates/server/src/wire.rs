@@ -28,6 +28,7 @@
 //! | `0x08` / `0x88` | `MENU_STREAM` (chunked menu read, v4) | a run of [`MenuChunkMsg`] frames sharing the request's correlation id; the last sets `done` |
 //! | `0x10` / `0x90` | `PUBLISH` (admin) | listing (re-)published: new epoch + expected revenue |
 //! | `0x11` / `0x91` | `RETIRE` (admin) | listing retired, name echoed |
+//! | `0x12` / `0x92` | `ACCOUNT` (buyer budget query, v5) | [`AccountMsg`]: spent precision + budget + remaining |
 //! | — / `0xBB` | — | `BUSY`: shed by admission control, with a `retry_after_ms` hint |
 //! | — / `0xEE` | — | typed error: [`ErrorCode`] + message |
 //!
@@ -60,11 +61,19 @@
 //! id). Interop is strict in both directions: requests at v1–v3 carry no
 //! correlation id and are answered one-at-a-time in order with
 //! v3-stamped responses, byte-for-byte what a v3 build would have
-//! produced; the v4 opcodes simply do not exist below v4. Anything
-//! outside the version window decodes to
-//! [`ServerError::UnsupportedVersion`], which the server answers with a
-//! typed error frame stamped at the highest version the peer and server
-//! share.
+//! produced; the v4 opcodes simply do not exist below v4. Version 5 adds
+//! buyer identity and budget accounting: `COMMIT` and each
+//! `BATCH_COMMIT` item carry an optional `buyer: u64` (v4 and older
+//! decode to `None` = anonymous), the `ACCOUNT` opcode queries a buyer's
+//! cumulative spend against a listing's noise budget, `STATS` listing
+//! rows gain budget-reject and exhausted-buyer counters, and
+//! over-budget commits answer [`ErrorCode::BudgetExhausted`] with a
+//! machine-readable remaining-budget hint. Responses to v4 peers are
+//! stamped [`V4_VERSION`] and omit every v5 field, exactly as a v4
+//! build would have encoded them. Anything outside the version window
+//! decodes to [`ServerError::UnsupportedVersion`], which the server
+//! answers with a typed error frame stamped at the highest version the
+//! peer and server share.
 
 use crate::error::ServerError;
 use crate::Result;
@@ -74,12 +83,15 @@ use std::io::{Read, Write};
 /// Leading magic bytes of every payload.
 pub const MAGIC: [u8; 2] = *b"NB";
 /// Protocol version this build encodes.
-pub const VERSION: u8 = 4;
+pub const VERSION: u8 = 5;
 /// Oldest protocol version this build still decodes.
 pub const MIN_VERSION: u8 = 1;
 /// Highest pre-pipelining version: responses to peers at or below this
 /// version are stamped `V3_VERSION` and carry no correlation id.
 pub const V3_VERSION: u8 = 3;
+/// Highest pre-accounting version: responses to v4 peers are stamped
+/// `V4_VERSION` and omit every buyer/budget field.
+pub const V4_VERSION: u8 = 4;
 /// Cap on the number of items in one `BATCH_COMMIT` frame.
 pub const MAX_BATCH_ITEMS: usize = 256;
 /// Default (and maximum) points per `MENU_STREAM` chunk.
@@ -103,6 +115,7 @@ const OP_BATCH_COMMIT: u8 = 0x07;
 const OP_MENU_STREAM: u8 = 0x08;
 const OP_PUBLISH: u8 = 0x10;
 const OP_RETIRE: u8 = 0x11;
+const OP_ACCOUNT: u8 = 0x12;
 // Response opcodes.
 const OP_R_MENU: u8 = 0x81;
 const OP_R_QUOTE: u8 = 0x82;
@@ -114,6 +127,7 @@ const OP_R_BATCH_COMMIT: u8 = 0x87;
 const OP_R_MENU_CHUNK: u8 = 0x88;
 const OP_R_PUBLISH: u8 = 0x90;
 const OP_R_RETIRE: u8 = 0x91;
+const OP_R_ACCOUNT: u8 = 0x92;
 const OP_R_BUSY: u8 = 0xBB;
 const OP_R_ERROR: u8 = 0xEE;
 
@@ -148,6 +162,9 @@ pub enum ErrorCode {
     Durability = 12,
     /// The named listing has been retired; it no longer quotes or sells.
     Retired = 13,
+    /// The buyer's cumulative noise budget cannot cover the commit; the
+    /// message carries a machine-readable remaining-budget hint (v5).
+    BudgetExhausted = 14,
 }
 
 impl ErrorCode {
@@ -167,6 +184,7 @@ impl ErrorCode {
             11 => Internal,
             12 => Durability,
             13 => Retired,
+            14 => BudgetExhausted,
             _ => return None,
         })
     }
@@ -180,6 +198,7 @@ impl ErrorCode {
             | MarketError::DuplicateListing { .. }
             | MarketError::InvalidConfig { .. } => ErrorCode::InvalidRequest,
             MarketError::QuoteExpired { .. } => ErrorCode::QuoteExpired,
+            MarketError::BudgetExhausted { .. } => ErrorCode::BudgetExhausted,
             MarketError::InsufficientPayment { .. } => ErrorCode::InsufficientPayment,
             MarketError::InvalidPayment { .. } => ErrorCode::InvalidPayment,
             MarketError::Core(nimbus_core::CoreError::BudgetUnsatisfiable { .. }) => {
@@ -227,6 +246,12 @@ pub enum Request {
         /// replays the original sale instead of charging twice. `None`
         /// (and every v1 commit) is a plain non-idempotent commit.
         nonce: Option<u64>,
+        /// Buyer identity (v5): with `Some`, the sale is charged against
+        /// the buyer's cumulative noise-budget account and rejected with
+        /// [`ErrorCode::BudgetExhausted`] when it cannot cover the
+        /// commit. `None` (and every v4-or-older commit) is anonymous
+        /// and bypasses budget accounting.
+        buyer: Option<u64>,
     },
     /// Redeem many quotes in one frame (v4). Items resolve independently:
     /// one stale epoch does not poison its neighbours, and the response
@@ -251,6 +276,13 @@ pub enum Request {
     Info {
         /// Listing to describe; `None` = the server's default listing.
         listing: Option<String>,
+    },
+    /// Query a buyer's noise-budget account against a listing (v5).
+    Account {
+        /// Listing to query; `None` = the server's default listing.
+        listing: Option<String>,
+        /// Buyer identity to look up.
+        buyer: u64,
     },
     /// Enumerate the marketplace's listing directory (v3).
     Listings,
@@ -279,6 +311,7 @@ impl Request {
             Request::BatchCommit { .. } => "batch_commit",
             Request::MenuStream { .. } => "menu_stream",
             Request::Info { .. } => "info",
+            Request::Account { .. } => "account",
             Request::Listings => "listings",
             Request::Stats => "stats",
             Request::Publish { .. } => "publish",
@@ -311,6 +344,9 @@ pub struct BatchItemMsg {
     pub payment: f64,
     /// Idempotency nonce; same dedup semantics as a standalone `COMMIT`.
     pub nonce: Option<u64>,
+    /// Buyer identity (v5); same budget semantics as a standalone
+    /// `COMMIT`. `None` = anonymous.
+    pub buyer: Option<u64>,
 }
 
 /// One item's resolution inside a `BATCH_COMMIT` response (v4).
@@ -413,6 +449,28 @@ pub struct ListingStatsMsg {
     pub sales: u64,
     /// Revenue collected so far.
     pub revenue: f64,
+    /// Commits rejected for budget exhaustion (v5; older peers decode
+    /// to 0).
+    pub budget_rejects: u64,
+    /// Buyers whose remaining noise budget is zero (v5; older peers
+    /// decode to 0).
+    pub exhausted_buyers: u64,
+}
+
+/// `ACCOUNT` response body (v5) — one buyer's noise-budget account
+/// against one listing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccountMsg {
+    /// Listing the account is held against.
+    pub listing: String,
+    /// Buyer identity queried.
+    pub buyer: u64,
+    /// Cumulative precision (inverse NCP) charged so far.
+    pub spent: f64,
+    /// Per-buyer budget; `None` when the listing is unmetered.
+    pub budget: Option<f64>,
+    /// Budget remaining; `None` when the listing is unmetered.
+    pub remaining: Option<f64>,
 }
 
 /// `COMMIT` response body — the completed sale, weights included.
@@ -504,6 +562,8 @@ pub enum Response {
     MenuChunk(MenuChunkMsg),
     /// Listing metadata.
     Info(InfoMsg),
+    /// A buyer's noise-budget account (v5).
+    Account(AccountMsg),
     /// The marketplace's listing directory.
     Listings(ListingsMsg),
     /// Serving statistics.
@@ -801,6 +861,19 @@ fn dec_listing(d: &mut Dec<'_>, version: u8) -> Result<Option<String>> {
     Ok(if name.is_empty() { None } else { Some(name) })
 }
 
+/// Decodes the v5 optional buyer identity (flag byte + `u64`); peers
+/// below v5 predate the field and decode to `None` = anonymous.
+fn dec_buyer(d: &mut Dec<'_>, version: u8) -> Result<Option<u64>> {
+    if version < 5 {
+        return Ok(None);
+    }
+    match d.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(d.u64()?)),
+        other => Err(Dec::bad(format!("bad buyer flag {other}"))),
+    }
+}
+
 impl Request {
     /// Encodes into a complete payload (header + body) at [`VERSION`]
     /// with correlation id 0 — what a non-pipelined client sends.
@@ -835,6 +908,7 @@ impl Request {
                 snapshot_epoch,
                 payment,
                 nonce,
+                buyer,
             } => {
                 let mut e = Enc::at_version(VERSION, OP_COMMIT, corr);
                 e.f64(*x);
@@ -848,6 +922,13 @@ impl Request {
                     None => e.u8(0),
                 }
                 enc_listing(&mut e, listing);
+                match buyer {
+                    Some(b) => {
+                        e.u8(1);
+                        e.u64(*b);
+                    }
+                    None => e.u8(0),
+                }
                 e.finish()
             }
             Request::BatchCommit { listing, items } => {
@@ -867,6 +948,13 @@ impl Request {
                         }
                         None => e.u8(0),
                     }
+                    match item.buyer {
+                        Some(b) => {
+                            e.u8(1);
+                            e.u64(b);
+                        }
+                        None => e.u8(0),
+                    }
                 }
                 e.finish()
             }
@@ -878,6 +966,12 @@ impl Request {
             }
             Request::Info { listing } => {
                 let mut e = Enc::at_version(VERSION, OP_INFO, corr);
+                enc_listing(&mut e, listing);
+                e.finish()
+            }
+            Request::Account { listing, buyer } => {
+                let mut e = Enc::at_version(VERSION, OP_ACCOUNT, corr);
+                e.u64(*buyer);
                 enc_listing(&mut e, listing);
                 e.finish()
             }
@@ -946,6 +1040,7 @@ impl Request {
                     snapshot_epoch,
                     payment,
                     nonce,
+                    buyer: dec_buyer(&mut d, version)?,
                 }
             }
             OP_BATCH_COMMIT if version >= 4 => {
@@ -973,6 +1068,7 @@ impl Request {
                             snapshot_epoch,
                             payment,
                             nonce,
+                            buyer: dec_buyer(&mut d, version)?,
                         })
                     })
                     .collect::<Result<Vec<_>>>()?;
@@ -985,6 +1081,13 @@ impl Request {
             OP_INFO => Request::Info {
                 listing: dec_listing(&mut d, version)?,
             },
+            OP_ACCOUNT if version >= 5 => {
+                let buyer = d.u64()?;
+                Request::Account {
+                    listing: dec_listing(&mut d, version)?,
+                    buyer,
+                }
+            }
             OP_LISTINGS => Request::Listings,
             OP_STATS => Request::Stats,
             OP_PUBLISH => Request::Publish { listing: d.str()? },
@@ -1011,13 +1114,16 @@ impl Response {
 
     /// Encodes for a peer that spoke `peer_version`, echoing `corr`.
     ///
-    /// v4+ peers get a [`VERSION`]-stamped payload carrying the
-    /// correlation id; everyone older gets a [`V3_VERSION`]-stamped
-    /// payload with no correlation id — byte-for-byte what a v3 build
-    /// would have sent, which is the interop contract.
+    /// v5+ peers get a [`VERSION`]-stamped payload; v4 peers get a
+    /// [`V4_VERSION`]-stamped payload with no v5 fields; everyone older
+    /// gets a [`V3_VERSION`]-stamped payload with no correlation id —
+    /// in each case byte-for-byte what a build of that version would
+    /// have sent, which is the interop contract.
     pub fn encode_versioned(&self, peer_version: u8, corr: u64) -> Vec<u8> {
-        let version = if peer_version >= 4 {
+        let version = if peer_version >= 5 {
             VERSION
+        } else if peer_version >= 4 {
+            V4_VERSION
         } else {
             V3_VERSION
         };
@@ -1092,6 +1198,22 @@ impl Response {
                 e.u8(u8::from(c.done));
                 e.finish()
             }
+            Response::Account(a) => {
+                let mut e = enc(OP_R_ACCOUNT);
+                e.str(&a.listing);
+                e.u64(a.buyer);
+                e.f64(a.spent);
+                for opt in [a.budget, a.remaining] {
+                    match opt {
+                        Some(v) => {
+                            e.u8(1);
+                            e.f64(v);
+                        }
+                        None => e.u8(0),
+                    }
+                }
+                e.finish()
+            }
             Response::Info(i) => {
                 let mut e = enc(OP_R_INFO);
                 e.str(&i.listing);
@@ -1140,6 +1262,10 @@ impl Response {
                     e.u64(row.epoch);
                     e.u64(row.sales);
                     e.f64(row.revenue);
+                    if version >= 5 {
+                        e.u64(row.budget_rejects);
+                        e.u64(row.exhausted_buyers);
+                    }
                 }
                 e.finish()
             }
@@ -1278,6 +1404,27 @@ impl Response {
                     done,
                 })
             }
+            OP_R_ACCOUNT if version >= 5 => {
+                let listing = d.str()?;
+                let buyer = d.u64()?;
+                let spent = d.f64()?;
+                let mut opt_f64 = || -> Result<Option<f64>> {
+                    match d.u8()? {
+                        0 => Ok(None),
+                        1 => Ok(Some(d.f64()?)),
+                        other => Err(Dec::bad(format!("bad account field flag {other}"))),
+                    }
+                };
+                let budget = opt_f64()?;
+                let remaining = opt_f64()?;
+                Response::Account(AccountMsg {
+                    listing,
+                    buyer,
+                    spent,
+                    budget,
+                    remaining,
+                })
+            }
             OP_R_INFO => Response::Info(InfoMsg {
                 listing: d.str()?,
                 metric: d.str()?,
@@ -1336,6 +1483,8 @@ impl Response {
                                 epoch: d.u64()?,
                                 sales: d.u64()?,
                                 revenue: d.f64()?,
+                                budget_rejects: if version >= 5 { d.u64()? } else { 0 },
+                                exhausted_buyers: if version >= 5 { d.u64()? } else { 0 },
                             })
                         })
                         .collect::<Result<Vec<_>>>()?
@@ -1428,6 +1577,7 @@ mod tests {
             snapshot_epoch: 3,
             payment: 12.75,
             nonce: None,
+            buyer: None,
         });
         roundtrip_request(Request::Commit {
             listing: Some("acme-data".into()),
@@ -1435,6 +1585,15 @@ mod tests {
             snapshot_epoch: 3,
             payment: 12.75,
             nonce: Some(0xDEAD_BEEF_CAFE_F00D),
+            buyer: Some(42),
+        });
+        roundtrip_request(Request::Account {
+            listing: None,
+            buyer: 7,
+        });
+        roundtrip_request(Request::Account {
+            listing: Some("acme-data".into()),
+            buyer: 0xFFFF_FFFF_FFFF_FFFF,
         });
     }
 
@@ -1525,7 +1684,23 @@ mod tests {
                 epoch: 2,
                 sales: 12,
                 revenue: 340.0,
+                budget_rejects: 5,
+                exhausted_buyers: 2,
             }],
+        }));
+        roundtrip_response(Response::Account(AccountMsg {
+            listing: "acme-data".into(),
+            buyer: 42,
+            spent: 75.0,
+            budget: Some(100.0),
+            remaining: Some(25.0),
+        }));
+        roundtrip_response(Response::Account(AccountMsg {
+            listing: "acme-data".into(),
+            buyer: 43,
+            spent: 320.0,
+            budget: None,
+            remaining: None,
         }));
     }
 
@@ -1537,6 +1712,7 @@ mod tests {
             snapshot_epoch: 0,
             payment: f64::NEG_INFINITY,
             nonce: None,
+            buyer: None,
         }
         .encode();
         match Request::decode(&payload).unwrap() {
@@ -1580,6 +1756,7 @@ mod tests {
             snapshot_epoch: 1,
             payment: 1.0,
             nonce: Some(1),
+            buyer: Some(9),
         }
         .encode();
         assert!(matches!(
@@ -1685,6 +1862,14 @@ mod tests {
             ErrorCode::for_market_error(&MarketError::DuplicateListing { name: "m".into() }),
             ErrorCode::InvalidRequest
         );
+        assert_eq!(
+            ErrorCode::for_market_error(&MarketError::BudgetExhausted {
+                buyer: 7,
+                requested: 10.0,
+                remaining: 2.5
+            }),
+            ErrorCode::BudgetExhausted
+        );
     }
 
     #[test]
@@ -1703,6 +1888,7 @@ mod tests {
                 snapshot_epoch: 9,
                 payment: 12.75,
                 nonce: None,
+                buyer: None,
             }
         );
 
@@ -1768,6 +1954,7 @@ mod tests {
                 snapshot_epoch: 9,
                 payment: 12.75,
                 nonce: Some(7),
+                buyer: None,
             }
         );
 
@@ -1875,12 +2062,14 @@ mod tests {
                     snapshot_epoch: 1,
                     payment: 5.5,
                     nonce: None,
+                    buyer: None,
                 },
                 BatchItemMsg {
                     x: 20.0,
                     snapshot_epoch: 1,
                     payment: 9.25,
                     nonce: Some(0xABCD),
+                    buyer: Some(77),
                 },
             ],
         });
@@ -1966,7 +2155,7 @@ mod tests {
 
     #[test]
     fn every_error_code_round_trips() {
-        for raw in 1..=13u16 {
+        for raw in 1..=14u16 {
             let code = ErrorCode::from_u16(raw).unwrap();
             assert_eq!(code as u16, raw);
             roundtrip_response(Response::Error {
@@ -1976,5 +2165,84 @@ mod tests {
         }
         assert!(ErrorCode::from_u16(0).is_none());
         assert!(ErrorCode::from_u16(999).is_none());
+    }
+
+    #[test]
+    fn v4_peers_get_byte_identical_v4_responses() {
+        // The interop contract: a response encoded for a v4 peer is the
+        // v4 encoding — version byte 4, correlation id, no v5 fields.
+        let resp = Response::Stats(StatsMsg {
+            connections: 4,
+            busy_rejections: 2,
+            protocol_errors: 1,
+            queue_depth: 6,
+            ops: vec![],
+            listings: vec![ListingStatsMsg {
+                listing: "acme-data".into(),
+                state: "published".into(),
+                epoch: 2,
+                sales: 12,
+                revenue: 340.0,
+                budget_rejects: 9,
+                exhausted_buyers: 3,
+            }],
+        });
+        let payload = resp.encode_versioned(4, 55);
+        assert_eq!(payload[2], V4_VERSION);
+        // Hand-build the frame a v4 server produced.
+        let mut expect = vec![b'N', b'B', 4, 0x85];
+        expect.extend_from_slice(&55u64.to_be_bytes()); // corr
+        expect.extend_from_slice(&4u64.to_be_bytes()); // connections
+        expect.extend_from_slice(&2u64.to_be_bytes()); // busy_rejections
+        expect.extend_from_slice(&1u64.to_be_bytes()); // protocol_errors
+        expect.extend_from_slice(&6u64.to_be_bytes()); // queue_depth
+        expect.extend_from_slice(&0u16.to_be_bytes()); // no per-op rows
+        expect.extend_from_slice(&1u16.to_be_bytes()); // one listing row
+        expect.extend_from_slice(&(9u16).to_be_bytes());
+        expect.extend_from_slice(b"acme-data");
+        expect.extend_from_slice(&(9u16).to_be_bytes());
+        expect.extend_from_slice(b"published");
+        expect.extend_from_slice(&2u64.to_be_bytes()); // epoch
+        expect.extend_from_slice(&12u64.to_be_bytes()); // sales
+        expect.extend_from_slice(&340.0f64.to_bits().to_be_bytes());
+        assert_eq!(payload, expect);
+        // A v5 decoder defaults the budget counters it cannot see.
+        match Response::decode(&payload).unwrap() {
+            Response::Stats(s) => {
+                assert_eq!(s.listings[0].budget_rejects, 0);
+                assert_eq!(s.listings[0].exhausted_buyers, 0);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        // A v4 COMMIT has no buyer field and decodes to anonymous.
+        let mut v4 = vec![b'N', b'B', 4, 0x03];
+        v4.extend_from_slice(&0u64.to_be_bytes()); // corr
+        v4.extend_from_slice(&42.5f64.to_bits().to_be_bytes());
+        v4.extend_from_slice(&9u64.to_be_bytes());
+        v4.extend_from_slice(&12.75f64.to_bits().to_be_bytes());
+        v4.push(0); // no nonce
+        v4.extend_from_slice(&0u16.to_be_bytes()); // listing ""
+        assert_eq!(
+            Request::decode(&v4).unwrap(),
+            Request::Commit {
+                listing: None,
+                x: 42.5,
+                snapshot_epoch: 9,
+                payment: 12.75,
+                nonce: None,
+                buyer: None,
+            }
+        );
+
+        // The ACCOUNT opcode does not exist below v5.
+        let mut v4 = vec![b'N', b'B', 4, 0x12];
+        v4.extend_from_slice(&0u64.to_be_bytes()); // corr
+        v4.extend_from_slice(&7u64.to_be_bytes()); // buyer
+        v4.extend_from_slice(&0u16.to_be_bytes()); // listing ""
+        assert!(matches!(
+            Request::decode(&v4),
+            Err(ServerError::Protocol { .. })
+        ));
     }
 }

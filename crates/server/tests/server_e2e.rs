@@ -866,18 +866,21 @@ fn batch_commit_mixed_outcomes_and_menu_stream() {
                     snapshot_epoch: good.snapshot_epoch,
                     payment: good.price,
                     nonce: Some(1),
+                    buyer: None,
                 },
                 BatchItemMsg {
                     x: stale.x,
                     snapshot_epoch: stale.snapshot_epoch,
                     payment: stale.price,
                     nonce: Some(2),
+                    buyer: None,
                 },
                 BatchItemMsg {
                     x: good.x,
                     snapshot_epoch: good.snapshot_epoch,
                     payment: f64::NAN,
                     nonce: Some(3),
+                    buyer: None,
                 },
             ],
         )
@@ -921,6 +924,7 @@ fn batch_commit_mixed_outcomes_and_menu_stream() {
             snapshot_epoch: good.snapshot_epoch,
             payment: good.price,
             nonce: None,
+            buyer: None,
         }],
     ) {
         Err(ServerError::Remote { code, .. }) => assert_eq!(code, ErrorCode::Retired),

@@ -234,6 +234,154 @@ fn same_nonce_retry_across_restart_charges_once() {
     let _ = std::fs::remove_file(&journal);
 }
 
+/// Builds a metered journalled broker: every commit naming a buyer id
+/// charges that buyer's per-listing noise budget (`Σx ≤ budget`).
+fn metered_broker(seed: u64, journal: &Path, budget: f64) -> Arc<Broker> {
+    let (dataset, _) = DatasetSpec::scaled(PaperDataset::Simulated1, 600)
+        .materialize(seed)
+        .unwrap();
+    let curves = MarketCurves::new(ValueCurve::standard_concave(), DemandCurve::Uniform);
+    let broker = Broker::builder(Seller::new("recovery-e2e", dataset, curves))
+        .trainer(LinearRegressionTrainer::ridge(1e-6))
+        .mechanism(GaussianMechanism)
+        .n_price_points(24)
+        .error_curve_samples(12)
+        .seed(seed)
+        .journal(journal)
+        .buyer_budget(budget)
+        .build()
+        .unwrap();
+    broker.open_market().unwrap();
+    Arc::new(broker)
+}
+
+/// Tentpole acceptance: kill-9 the server between a metered commit and
+/// its ACK, restart on the same journal, and the same-nonce retry must
+/// charge money AND budget exactly once — the replayed account already
+/// carries the spend, the dedup replays the sale without a second
+/// charge, and exhaustion survives the crash as a typed pre-journal
+/// reject.
+#[test]
+fn budget_survives_kill9_and_same_nonce_retry_charges_once() {
+    let journal = temp_journal("budget-kill9");
+    // Budget fits exactly one x=10 purchase: a second metered buy of the
+    // same size must exhaust.
+    let budget = 15.0;
+
+    // Boot 1: buyer 7 lands one metered idempotent purchase; the "ACK"
+    // is considered lost (we keep the quote to replay the intent).
+    let broker = metered_broker(83, &journal, budget);
+    let server = NimbusServer::start(
+        host(broker.clone()),
+        "recovery-e2e",
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut client = NimbusClient::connect(server.local_addr(), &client_config(99)).unwrap();
+    client.set_buyer(Some(7));
+    let quote = client.quote(PurchaseRequest::AtInverseNcp(10.0)).unwrap();
+    let first = client.commit_idempotent(&quote, quote.price).unwrap();
+    assert_eq!(broker.sales_count(), 1);
+    let spent_before = broker.accounts().spent(7);
+    assert_eq!(spent_before.to_bits(), quote.x.to_bits());
+    // kill -9: no graceful broker teardown beyond dropping the process
+    // state; the journal is all that survives.
+    server.shutdown();
+    drop(client);
+    drop(broker);
+
+    // Boot 2: same journal. Recovery must replay the *account* alongside
+    // the ledger — buyer 7's spend is already on the books.
+    let broker = metered_broker(83, &journal, budget);
+    assert_eq!(broker.sales_count(), 1);
+    assert_eq!(broker.accounts().budget(), Some(budget));
+    assert_eq!(broker.accounts().spent(7).to_bits(), spent_before.to_bits());
+
+    let server = NimbusServer::start(
+        host(broker.clone()),
+        "recovery-e2e",
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut retry_client = NimbusClient::connect(server.local_addr(), &client_config(99)).unwrap();
+    retry_client.set_buyer(Some(7));
+
+    // The crashed buyer replays its intent: same nonce, same buyer, same
+    // dead-epoch quote. It must get the journalled sale back — charged
+    // once in money AND once in budget.
+    let replayed = retry_client.commit_idempotent(&quote, quote.price).unwrap();
+    assert_eq!(replayed.transaction, first.transaction);
+    assert_eq!(replayed.price.to_bits(), first.price.to_bits());
+    assert_eq!(broker.sales_count(), 1);
+    assert_eq!(broker.collected_revenue().to_bits(), first.price.to_bits());
+    assert_eq!(
+        broker.accounts().spent(7).to_bits(),
+        spent_before.to_bits(),
+        "same-nonce retry across restart double-charged the budget"
+    );
+
+    // Exhaustion survives the crash: a fresh x=10 quote would overdraw
+    // the replayed account, so the commit is rejected with the typed
+    // error before any journal write.
+    let journal_len = std::fs::metadata(&journal).unwrap().len();
+    let fresh = retry_client
+        .quote(PurchaseRequest::AtInverseNcp(10.0))
+        .unwrap();
+    let err = retry_client
+        .commit_idempotent(&fresh, fresh.price)
+        .unwrap_err();
+    match err {
+        nimbus_server::ServerError::Remote {
+            code, ref message, ..
+        } => {
+            assert_eq!(code, nimbus_server::ErrorCode::BudgetExhausted);
+            assert!(
+                message.contains("budget_exhausted buyer=7"),
+                "message should carry the hint: {message}"
+            );
+        }
+        other => panic!("expected a remote BudgetExhausted, got {other:?}"),
+    }
+    assert_eq!(broker.sales_count(), 1, "rejected commit must not sell");
+    assert_eq!(
+        std::fs::metadata(&journal).unwrap().len(),
+        journal_len,
+        "budget rejection must precede any journal write"
+    );
+    assert_eq!(broker.accounts().budget_rejects(), 1);
+    // Graceful, not terminal: buyer 7 keeps 5 units of headroom — the
+    // gauge counts fully-spent buyers only, and the typed reject's
+    // `remaining` hint lets the client re-quote a smaller x.
+    assert_eq!(broker.accounts().exhausted_buyers(), 0);
+    assert_eq!(broker.accounts().remaining(7), Some(budget - spent_before));
+
+    // Anonymous buyers are unmetered — the listing still sells.
+    retry_client.set_buyer(None);
+    let sale = retry_client
+        .buy(PurchaseRequest::AtInverseNcp(10.0))
+        .unwrap();
+    assert_eq!(sale.transaction, first.transaction + 1);
+    assert_eq!(broker.sales_count(), 2);
+    assert_eq!(
+        broker.accounts().spent(7).to_bits(),
+        spent_before.to_bits(),
+        "anonymous sales must not touch buyer accounts"
+    );
+
+    // And the wire-level ACCOUNT view agrees with the replayed ledger.
+    let view = retry_client.account(7).unwrap();
+    assert_eq!(view.spent.to_bits(), spent_before.to_bits());
+    assert_eq!(view.budget.map(f64::to_bits), Some(budget.to_bits()));
+    assert_eq!(
+        view.remaining.map(f64::to_bits),
+        Some((budget - spent_before).to_bits())
+    );
+    server.shutdown();
+    let _ = std::fs::remove_file(&journal);
+}
+
 /// A listing builder journalling under `<root>/<name>/journal.log` — the
 /// layout `nimbus serve --journal-dir` uses.
 fn rooted_listing(name: &str, seed: u64, root: &Path) -> ListingBuilder {

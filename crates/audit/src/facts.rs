@@ -1,0 +1,528 @@
+//! Per-function facts extracted from the parsed AST: call sites with
+//! their receiver chains, lock-guard scopes, and money-identifier taint.
+//!
+//! The three dataflow rules consume these:
+//!
+//! * `lock-order` ([`crate::lockgraph`]) uses call sites + guard scopes
+//!   to build the interprocedural lock-acquisition graph;
+//! * `durability-order` ([`crate::protocol`]) classifies call sites into
+//!   commit-protocol events and checks their token order;
+//! * `money-safety` ([`crate::rules`]) uses the taint set to follow money
+//!   values through `let` bindings (`let entry = spent.entry(b)…` taints
+//!   `entry`).
+//!
+//! Guard scopes are token ranges, computed with Rust's actual temporary
+//! rules in mind: a `let`-bound guard lives to the end of its innermost
+//! enclosing block (truncated at `drop(guard)`), a temporary guard lives
+//! to the end of its statement — where an `if let`/`match` scrutinee
+//! temporary extends over the whole block, the famous condition-guard
+//! footgun.
+
+use crate::lexer::{Token, TokenKind};
+use crate::parse::{matching_brace, matching_paren, FileAst, FnItem};
+use std::collections::BTreeSet;
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Receiver chain identifiers, outermost first (`self.dedup.claim(…)`
+    /// → `["self", "dedup"]`; a chained call's name joins the chain, so
+    /// `self.lock_journal().append_sales(…)` → `["self", "lock_journal"]`).
+    pub chain: Vec<String>,
+    /// The called name.
+    pub method: String,
+    /// Token index of the called name in [`FileAst::code`].
+    pub idx: usize,
+    /// Source position of the called name.
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Facts for one function.
+#[derive(Debug, Default)]
+pub struct FnFacts {
+    /// Every call site in body token order.
+    pub calls: Vec<CallSite>,
+    /// Identifiers carrying money values: money-named parameters plus
+    /// `let` bindings whose initializer mentions a money identifier.
+    pub tainted: BTreeSet<String>,
+    /// Whether the body performs any finiteness check (`is_finite` /
+    /// `is_nan`) — the marker of a designated validation site.
+    pub checks_finiteness: bool,
+}
+
+/// Identifier segments that mark a money value.
+pub const MONEY_WORDS: &[&str] = &[
+    "price", "prices", "payment", "revenue", "budget", "spent", "proceeds", "fee", "paid", "wallet",
+];
+
+/// Segments that mark a *count of* money things, not money itself
+/// (`budget_rejects`, `n_price_points`, `revenue_bits`, …).
+pub const COUNTER_WORDS: &[&str] = &[
+    "count", "counts", "counter", "rejects", "rejected", "points", "n", "num", "idx", "index",
+    "len", "bits", "every", "id", "ids", "reprice", "sales",
+];
+
+/// Whether `name` names a money value under the segment heuristic.
+pub fn is_money_ident(name: &str) -> bool {
+    let mut money = false;
+    for seg in name.split('_') {
+        let seg = seg.to_ascii_lowercase();
+        if COUNTER_WORDS.contains(&seg.as_str()) {
+            return false;
+        }
+        if MONEY_WORDS.contains(&seg.as_str()) {
+            money = true;
+        }
+    }
+    money
+}
+
+/// Extracts the facts for one function of `ast`.
+pub fn fn_facts(ast: &FileAst, f: &FnItem) -> FnFacts {
+    let code = &ast.code;
+    let (start, end) = f.body;
+    let mut facts = FnFacts::default();
+
+    for i in start + 1..end {
+        let t = &code[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if t.text == "is_finite" || t.text == "is_nan" {
+            facts.checks_finiteness = true;
+        }
+        // A call: identifier directly followed by `(` — but not a
+        // declaration (`fn name(`) and not a macro (`name!(`).
+        if code.get(i + 1).is_some_and(|n| n.text == "(") && i > 0 && code[i - 1].text != "fn" {
+            facts.calls.push(CallSite {
+                chain: receiver_chain(code, i),
+                method: t.text.clone(),
+                idx: i,
+                line: t.line,
+                col: t.col,
+            });
+        }
+    }
+
+    // Money taint: parameters, then a double pass over `let` initializers
+    // so order-independent chains still converge.
+    for p in &f.params {
+        if is_money_ident(p) {
+            facts.tainted.insert(p.clone());
+        }
+    }
+    for _ in 0..2 {
+        let mut i = start + 1;
+        while i < end {
+            if code[i].kind == TokenKind::Ident && code[i].text == "let" {
+                let condition = i > 0 && matches!(code[i - 1].text.as_str(), "if" | "while");
+                if let Some((binding, rhs)) = let_binding_in(code, i, end, condition) {
+                    let money = is_money_ident(&binding)
+                        || (rhs.0..rhs.1).any(|k| {
+                            let t = &code[k];
+                            t.kind == TokenKind::Ident
+                                && (is_money_ident(&t.text) || facts.tainted.contains(&t.text))
+                                && code.get(k + 1).is_none_or(|n| n.text != "(")
+                        });
+                    if money {
+                        facts.tainted.insert(binding);
+                    }
+                    i = rhs.1;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+    facts
+}
+
+/// The receiver chain of the call at `idx`: walks back over `.`-chains,
+/// collecting plain identifiers and the names of chained calls, skipping
+/// balanced index/call groups (`shards[i].lock()` → `["self", "shards"]`).
+fn receiver_chain(code: &[Token], idx: usize) -> Vec<String> {
+    let mut chain = Vec::new();
+    let mut j = idx;
+    // Expect a `.` or `::` before each segment; anything else ends the chain.
+    while let Some(prev) = j.checked_sub(1) {
+        match code[prev].text.as_str() {
+            "." | "::" => {}
+            _ => break,
+        }
+        let Some(mut k) = prev.checked_sub(1) else {
+            break;
+        };
+        // `?` propagation between segments: `self.published()?.metric_name()`.
+        if code[k].text == "?" {
+            let Some(k2) = k.checked_sub(1) else { break };
+            k = k2;
+        }
+        // Skip a balanced `(…)` / `[…]` group back to its head.
+        while code[k].text == ")" || code[k].text == "]" {
+            let closer = code[k].text.clone();
+            let opener = if closer == ")" { "(" } else { "[" };
+            let mut depth = 0i32;
+            loop {
+                let t = &code[k];
+                if t.kind == TokenKind::Punct {
+                    if t.text == closer {
+                        depth += 1;
+                    } else if t.text == opener {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                }
+                match k.checked_sub(1) {
+                    Some(next) => k = next,
+                    None => return chain,
+                }
+            }
+            match k.checked_sub(1) {
+                Some(next) => k = next,
+                None => return chain,
+            }
+        }
+        if code[k].kind == TokenKind::Ident {
+            chain.insert(0, code[k].text.clone());
+            j = k;
+        } else {
+            break;
+        }
+    }
+    chain
+}
+
+/// Parses the plain `let` statement at `at`: returns the bound
+/// identifier and the initializer token range `(after_eq, semicolon)`.
+fn let_binding(code: &[Token], at: usize, end: usize) -> Option<(String, (usize, usize))> {
+    let_binding_in(code, at, end, false)
+}
+
+/// [`let_binding`], with `condition` selecting `if let`/`while let`
+/// handling: a condition-let's scrutinee ends at the block `{`, not at a
+/// `;` (which would belong to a later statement entirely).
+fn let_binding_in(
+    code: &[Token],
+    at: usize,
+    end: usize,
+    condition: bool,
+) -> Option<(String, (usize, usize))> {
+    // Binding: first identifier after `let`, skipping `mut` and opening
+    // pattern punctuation (`(a, b)` binds its first identifier — enough
+    // for taint purposes).
+    let mut i = at + 1;
+    let binding = loop {
+        let t = code.get(i)?;
+        if i >= end {
+            return None;
+        }
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Ident, "mut") => {}
+            (TokenKind::Ident, name) => break name.to_string(),
+            (TokenKind::Punct, "(" | "&") => {}
+            _ => return None,
+        }
+        i += 1;
+    };
+    // Find the `=` at depth 0 (skipping a `: Type` annotation), then the
+    // initializer's end: the statement `;` — or, for a condition-let, the
+    // block `{`. Angle brackets are NOT depth-tracked (comparison
+    // operators would unbalance them); `=` never occurs inside the
+    // bracket kinds that are.
+    let mut depth = 0i32;
+    let mut eq = None;
+    while i < end {
+        let t = &code[i];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if !(condition && depth == 0 && eq.is_some()) => depth += 1,
+                "}" => depth -= 1,
+                "=" if depth == 0 && eq.is_none() => eq = Some(i + 1),
+                ";" if depth == 0 && !condition => {
+                    return eq.map(|e| (binding, (e, i)));
+                }
+                "{" => {
+                    // Condition-let scrutinee ends at its block.
+                    return eq.map(|e| (binding, (e, i)));
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// How the value of a lock call is consumed, which decides its guard's
+/// lifetime.
+#[derive(Debug, PartialEq, Eq)]
+pub enum GuardKind {
+    /// `let g = ….lock();` (possibly through `unwrap*`/`match`): the
+    /// guard lives to the end of the innermost enclosing block, minus a
+    /// `drop(g)`.
+    Bound(String),
+    /// The guard is a temporary: it lives to the end of its statement —
+    /// including the whole block of an `if let`/`match` it is the
+    /// scrutinee of.
+    Temporary,
+}
+
+/// Methods through which a guard value passes unchanged.
+const PASSTHROUGH: &[&str] = &["unwrap", "unwrap_or_else", "expect"];
+
+/// Computes the live token range of the guard produced by the lock call
+/// at `call_idx` (the called name's index). Returns `(kind, scope_end)`,
+/// with `scope_end` inclusive and clamped to `body_end`.
+pub fn guard_scope(code: &[Token], call_idx: usize, body_end: usize) -> (GuardKind, usize) {
+    // End of the call expression: past the argument list and any
+    // passthrough chain.
+    let Some(args_open) = (call_idx + 1 < code.len()).then_some(call_idx + 1) else {
+        return (GuardKind::Temporary, body_end);
+    };
+    let mut k = match matching_paren(code, args_open) {
+        Some(close) => close + 1,
+        None => return (GuardKind::Temporary, body_end),
+    };
+    let passthrough_tail;
+    loop {
+        match code.get(k).map(|t| t.text.as_str()) {
+            Some("?") => k += 1,
+            Some(".")
+                if code
+                    .get(k + 1)
+                    .is_some_and(|n| PASSTHROUGH.contains(&n.text.as_str()))
+                    && code.get(k + 2).is_some_and(|n| n.text == "(") =>
+            {
+                k = match matching_paren(code, k + 2) {
+                    Some(close) => close + 1,
+                    None => return (GuardKind::Temporary, body_end),
+                };
+            }
+            _ => {
+                passthrough_tail = !matches!(code.get(k).map(|t| t.text.as_str()), Some("."));
+                break;
+            }
+        }
+    }
+
+    // Statement start: walk back, skipping balanced groups, to the
+    // nearest `;`, `{` or `}`.
+    let mut s = call_idx;
+    while let Some(prev) = s.checked_sub(1) {
+        let t = &code[prev];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                ";" | "{" | "}" => break,
+                ")" | "]" => {
+                    // Skip the balanced group.
+                    let closer = t.text.clone();
+                    let opener = if closer == ")" { "(" } else { "[" };
+                    let mut depth = 0i32;
+                    let mut b = prev;
+                    loop {
+                        let bt = &code[b];
+                        if bt.kind == TokenKind::Punct {
+                            if bt.text == closer {
+                                depth += 1;
+                            } else if bt.text == opener {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                        }
+                        match b.checked_sub(1) {
+                            Some(n) => b = n,
+                            None => break,
+                        }
+                    }
+                    s = b;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        s = prev;
+    }
+
+    // Is this a binding statement whose bound value is the guard?
+    // `let g = <acquire>;`, `g = <acquire>;`, or the acquire as a
+    // `match`/`if let` scrutinee that flows into the binding.
+    let stmt_is_let = code.get(s).is_some_and(|t| t.text == "let");
+    let stmt_is_assign = code.get(s).is_some_and(|t| t.kind == TokenKind::Ident)
+        && code.get(s + 1).is_some_and(|t| t.text == "=");
+    let guard_reaches_binding =
+        passthrough_tail && matches!(code.get(k).map(|t| t.text.as_str()), Some(";") | Some("{"));
+    if (stmt_is_let || stmt_is_assign) && guard_reaches_binding {
+        let binding = if stmt_is_let {
+            let_binding(code, s, body_end.min(code.len()))
+                .map(|(b, _)| b)
+                .unwrap_or_default()
+        } else {
+            code[s].text.clone()
+        };
+        // Scope: the innermost block enclosing the statement start.
+        let mut scope_end = enclosing_block_end(code, s, body_end);
+        // Truncate at `drop(binding)`.
+        for d in call_idx..scope_end {
+            if code[d].kind == TokenKind::Ident
+                && code[d].text == "drop"
+                && code.get(d + 1).is_some_and(|n| n.text == "(")
+                && code.get(d + 2).is_some_and(|n| n.text == binding)
+                && code.get(d + 3).is_some_and(|n| n.text == ")")
+            {
+                scope_end = d;
+                break;
+            }
+        }
+        return (GuardKind::Bound(binding), scope_end);
+    }
+
+    // Temporary: to the end of the statement. Scan forward from the end
+    // of the call expression for a `;` at relative depth 0, or a `{`
+    // opening a block-statement (if/match) — the temporary then lives to
+    // that block's `}`.
+    let mut depth = 0i32;
+    let mut j = k;
+    while j <= body_end && j < code.len() {
+        let t = &code[j];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                ";" if depth <= 0 => return (GuardKind::Temporary, j),
+                "{" if depth <= 0 => {
+                    let end = matching_brace(code, j).unwrap_or(body_end);
+                    return (GuardKind::Temporary, end.min(body_end));
+                }
+                "}" if depth <= 0 => return (GuardKind::Temporary, j),
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    (GuardKind::Temporary, body_end)
+}
+
+/// The index of the `}` closing the innermost block that encloses token
+/// `at`, found by forward-scanning from `at` for the first unmatched `}`.
+fn enclosing_block_end(code: &[Token], at: usize, body_end: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in code.iter().enumerate().skip(at).take(body_end + 1 - at) {
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    body_end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse_file;
+
+    fn facts_of(src: &str) -> (FileAst, Vec<FnFacts>) {
+        let ast = parse_file(&lex(src));
+        let facts = ast.fns.iter().map(|f| fn_facts(&ast, f)).collect();
+        (ast, facts)
+    }
+
+    #[test]
+    fn receiver_chains_walk_dots_indexes_and_calls() {
+        let (_, facts) = facts_of(
+            "impl B {\n    fn f(&self) {\n        self.dedup.claim(k);\n        self.shards[i % N].lock().record(x);\n        self.lock_journal().append_sales(&r);\n    }\n}\n",
+        );
+        let calls = &facts[0].calls;
+        let find = |m: &str| calls.iter().find(|c| c.method == m).unwrap();
+        assert_eq!(find("claim").chain, vec!["self", "dedup"]);
+        assert_eq!(find("lock").chain, vec!["self", "shards"]);
+        assert_eq!(find("record").chain, vec!["self", "shards", "lock"]);
+        assert_eq!(find("append_sales").chain, vec!["self", "lock_journal"]);
+    }
+
+    #[test]
+    fn money_taint_flows_through_let_bindings() {
+        let (_, facts) = facts_of(
+            "fn charge(&self, buyer: u64, x: f64) {\n    let mut spent = self.lock_spent();\n    let entry = spent.entry(buyer).or_insert(0.0);\n    *entry += x;\n}\n",
+        );
+        assert!(facts[0].tainted.contains("spent"));
+        assert!(facts[0].tainted.contains("entry"));
+        assert!(!facts[0].tainted.contains("buyer"));
+    }
+
+    #[test]
+    fn money_params_seed_the_taint() {
+        let (_, facts) = facts_of("fn f(payment: f64, n: usize) { let p2 = payment * 2.0; }\n");
+        assert!(facts[0].tainted.contains("payment"));
+        assert!(facts[0].tainted.contains("p2"));
+    }
+
+    #[test]
+    fn let_bound_guard_scopes_to_block_and_drop_truncates() {
+        let src = "fn f(&self) {\n    let g = self.state.lock();\n    use_it(&g);\n    drop(g);\n    after();\n}\n";
+        let ast = parse_file(&lex(src));
+        let facts = fn_facts(&ast, &ast.fns[0]);
+        let lock = facts.calls.iter().find(|c| c.method == "lock").unwrap();
+        let (kind, end) = guard_scope(&ast.code, lock.idx, ast.fns[0].body.1);
+        assert_eq!(kind, GuardKind::Bound("g".into()));
+        let after = facts.calls.iter().find(|c| c.method == "after").unwrap();
+        let use_it = facts.calls.iter().find(|c| c.method == "use_it").unwrap();
+        assert!(use_it.idx <= end, "guard covers use_it");
+        assert!(after.idx > end, "drop(g) ends the guard before after()");
+    }
+
+    #[test]
+    fn temporary_guard_scopes_to_statement() {
+        let src = "fn f(&self) {\n    self.shards[i].lock().record(x);\n    after();\n}\n";
+        let ast = parse_file(&lex(src));
+        let facts = fn_facts(&ast, &ast.fns[0]);
+        let lock = facts.calls.iter().find(|c| c.method == "lock").unwrap();
+        let (kind, end) = guard_scope(&ast.code, lock.idx, ast.fns[0].body.1);
+        assert_eq!(kind, GuardKind::Temporary);
+        let record = facts.calls.iter().find(|c| c.method == "record").unwrap();
+        let after = facts.calls.iter().find(|c| c.method == "after").unwrap();
+        assert!(record.idx <= end);
+        assert!(after.idx > end);
+    }
+
+    #[test]
+    fn if_let_scrutinee_temporary_extends_over_the_block_only() {
+        // The double-checked read: the `read()` temporary must cover the
+        // `if let` block but NOT the `write()` after it.
+        let src = "fn f(&self) -> u32 {\n    if let Some(m) = self.optimal.read().as_ref() {\n        return m.clone();\n    }\n    let mut guard = self.optimal.write();\n    0\n}\n";
+        let ast = parse_file(&lex(src));
+        let facts = fn_facts(&ast, &ast.fns[0]);
+        let read = facts.calls.iter().find(|c| c.method == "read").unwrap();
+        let write = facts.calls.iter().find(|c| c.method == "write").unwrap();
+        let (_, end) = guard_scope(&ast.code, read.idx, ast.fns[0].body.1);
+        assert!(write.idx > end, "read guard must end before the write");
+    }
+
+    #[test]
+    fn match_bound_guard_is_recognized() {
+        // The std-mutex poisoning idiom from the server worker loop.
+        let src = "fn f(&self) {\n    let next = {\n        let mut queue = match shard.queue.lock() {\n            Ok(g) => g,\n            Err(p) => p.into_inner(),\n        };\n        queue.pop_front()\n    };\n    execute(next);\n}\n";
+        let ast = parse_file(&lex(src));
+        let facts = fn_facts(&ast, &ast.fns[0]);
+        let lock = facts.calls.iter().find(|c| c.method == "lock").unwrap();
+        let (kind, end) = guard_scope(&ast.code, lock.idx, ast.fns[0].body.1);
+        assert_eq!(kind, GuardKind::Bound("queue".into()));
+        let execute = facts.calls.iter().find(|c| c.method == "execute").unwrap();
+        assert!(execute.idx > end, "guard dies with the inner block");
+    }
+}

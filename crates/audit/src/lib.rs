@@ -21,8 +21,12 @@
 //! literals.
 
 pub mod diagnostics;
+pub mod facts;
 pub mod json;
 pub mod lexer;
+pub mod lockgraph;
+pub mod parse;
+pub mod protocol;
 pub mod rules;
 pub mod suppress;
 pub mod testmap;

@@ -1,0 +1,442 @@
+//! A lightweight recursive-descent item parser over the token stream.
+//!
+//! This is not a Rust grammar — it recovers exactly the structure the
+//! dataflow rules need from [`crate::lexer`]'s tokens: `impl` blocks (so
+//! functions get a qualified owner), `fn` items with their body token
+//! ranges and parameter names, and `struct` fields whose declared type is
+//! a `Mutex`/`RwLock` (the workspace's lock inventory). Everything else —
+//! expressions, closures, match arms — stays a flat token range inside
+//! the owning function's body, which is what the fact extractor
+//! ([`crate::facts`]) walks.
+//!
+//! The parser is resilient by construction: it only reacts to the `impl`,
+//! `struct`, and `fn` keywords and otherwise tracks brace depth, so
+//! macros, attributes, and future syntax flow through untouched.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One parsed `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The `impl` type the function lives in, if any.
+    pub owner: Option<String>,
+    /// The function's name.
+    pub name: String,
+    /// Line of the `fn` keyword (1-based).
+    pub line: u32,
+    /// Parameter identifiers, in order (excluding `self`).
+    pub params: Vec<String>,
+    /// Whether the declared return type mentions a `*Guard` type — the
+    /// signature of a lock-wrapper helper like `lock_state()`.
+    pub returns_guard: bool,
+    /// Body token range into [`FileAst::code`]: `(open_brace, close_brace)`,
+    /// both inclusive.
+    pub body: (usize, usize),
+}
+
+/// A struct field declared as a lock (`Mutex<…>` / `RwLock<…>` /
+/// `StdMutex<…>`, possibly nested as in `Vec<Mutex<…>>`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockField {
+    /// The declaring struct.
+    pub owner: String,
+    /// The field name.
+    pub field: String,
+}
+
+/// The parsed shape of one file.
+#[derive(Debug, Default)]
+pub struct FileAst {
+    /// Code tokens (comments stripped), the index space every range uses.
+    pub code: Vec<Token>,
+    /// All parsed functions, in source order.
+    pub fns: Vec<FnItem>,
+    /// Lock-typed struct fields declared in this file.
+    pub lock_fields: Vec<LockField>,
+}
+
+/// Type names that make a struct field part of the lock inventory.
+const LOCK_TYPES: &[&str] = &["Mutex", "RwLock", "StdMutex", "StdRwLock"];
+
+/// Angle-bracket depth delta of one punct token. The lexer merges
+/// operators greedily, so `Vec<Mutex<T>>` ends in a single `>>` token.
+fn angle(text: &str) -> i32 {
+    match text {
+        "<" => 1,
+        ">" => -1,
+        "<<" => 2,
+        ">>" => -2,
+        _ => 0,
+    }
+}
+
+/// Parses one file's token stream into its [`FileAst`].
+pub fn parse_file(tokens: &[Token]) -> FileAst {
+    let code: Vec<Token> = tokens
+        .iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .cloned()
+        .collect();
+    let mut ast = FileAst {
+        fns: Vec::new(),
+        lock_fields: Vec::new(),
+        code,
+    };
+    // (owner, body_end) for every impl block seen, innermost-last lookup.
+    let mut impls: Vec<(String, usize, usize)> = Vec::new();
+
+    let n = ast.code.len();
+    let mut i = 0;
+    while i < n {
+        let t = &ast.code[i];
+        if t.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "impl" => {
+                if let Some((owner, open)) = impl_header(&ast.code, i) {
+                    if let Some(close) = matching_brace(&ast.code, open) {
+                        impls.push((owner, open, close));
+                    }
+                    // Descend into the impl body for its fns.
+                    i = open + 1;
+                    continue;
+                }
+            }
+            "struct" => {
+                if let Some(next) = struct_fields(&ast.code, i, &mut ast.lock_fields) {
+                    i = next;
+                    continue;
+                }
+            }
+            "fn" => {
+                if let Some((item, next)) = fn_item(&ast.code, i, &impls) {
+                    ast.fns.push(item);
+                    // Descend into the body: nested fns are still items.
+                    i = next;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // Owners for fns parsed before their impl's close index was known are
+    // resolved below (impl_header pushes before the fn scan reaches the
+    // body), so re-resolve every fn against the final impl list.
+    for f in &mut ast.fns {
+        f.owner = impls
+            .iter()
+            .filter(|(_, open, close)| (*open..=*close).contains(&f.body.0))
+            .min_by_key(|(_, open, close)| close - open)
+            .map(|(owner, _, _)| owner.clone());
+    }
+    ast
+}
+
+/// The index of the `}` matching the `{` at `open`, if balanced.
+pub fn matching_brace(code: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in code.iter().enumerate().skip(open) {
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.checked_sub(1)?;
+                    if depth == 0 {
+                        return Some(k);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Parses `impl [<…>] Type [for Type]` starting at the `impl` keyword,
+/// returning the implemented type name and the index of the body `{`.
+fn impl_header(code: &[Token], at: usize) -> Option<(String, usize)> {
+    let mut i = at + 1;
+    let mut depth = 0i32;
+    let mut after_for: Option<usize> = None;
+    let open = loop {
+        let t = code.get(i)?;
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Punct, "->") => {}
+            (TokenKind::Punct, p) if angle(p) != 0 => depth += angle(p),
+            (TokenKind::Ident, "for") if depth == 0 => after_for = Some(i + 1),
+            (TokenKind::Punct, "{") if depth <= 0 => break i,
+            (TokenKind::Punct, ";") => return None, // `impl Trait for T;` — not a block
+            _ => {}
+        }
+        i += 1;
+    };
+    // The implemented type: first plain identifier after `for` (trait
+    // impls) or after the impl generics (inherent impls).
+    let start = after_for.unwrap_or(at + 1);
+    let mut depth = 0i32;
+    for t in code.iter().take(open).skip(start) {
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Punct, p) if angle(p) != 0 => depth += angle(p),
+            (TokenKind::Ident, "dyn" | "where" | "for") => {}
+            (TokenKind::Ident, name) if depth == 0 => return Some((name.to_string(), open)),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Collects lock-typed fields of `struct Name { … }`. Returns the index
+/// just past the struct body, or `None` for tuple/unit structs.
+fn struct_fields(code: &[Token], at: usize, out: &mut Vec<LockField>) -> Option<usize> {
+    let name = code.get(at + 1)?;
+    if name.kind != TokenKind::Ident {
+        return None;
+    }
+    // Find the body `{` before any `;` (unit/tuple structs end with `;`).
+    let mut i = at + 2;
+    let mut adepth = 0i32;
+    let open = loop {
+        let t = code.get(i)?;
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Punct, p) if angle(p) != 0 => adepth += angle(p),
+            (TokenKind::Punct, "{") if adepth <= 0 => break i,
+            (TokenKind::Punct, ";" | "(") => return None,
+            _ => {}
+        }
+        i += 1;
+    };
+    let close = matching_brace(code, open)?;
+    // Fields: `ident :` at depth 1; the type runs to the `,` at depth 1.
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < close {
+        let t = &code[i];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "{" | "(" | "[" => depth += 1,
+                "}" | ")" | "]" => depth -= 1,
+                _ => {}
+            }
+        }
+        if depth == 1
+            && code[i].kind == TokenKind::Ident
+            && code.get(i + 1).is_some_and(|n| n.text == ":")
+        {
+            // Scan the type until the field separator.
+            let mut j = i + 2;
+            let mut tdepth = 0i32;
+            let mut is_lock = false;
+            while j < close {
+                let ty = &code[j];
+                if ty.kind == TokenKind::Punct {
+                    match ty.text.as_str() {
+                        "(" | "[" => tdepth += 1,
+                        ")" | "]" => tdepth -= 1,
+                        "," if tdepth <= 0 => break,
+                        p => tdepth += angle(p),
+                    }
+                } else if ty.kind == TokenKind::Ident && LOCK_TYPES.contains(&ty.text.as_str()) {
+                    is_lock = true;
+                }
+                j += 1;
+            }
+            if is_lock {
+                out.push(LockField {
+                    owner: name.text.clone(),
+                    field: code[i].text.clone(),
+                });
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    Some(close + 1)
+}
+
+/// Parses one `fn` item starting at the `fn` keyword. Returns the item
+/// and the index just past the signature (inside the body, so nested
+/// items are still discovered).
+fn fn_item(code: &[Token], at: usize, impls: &[(String, usize, usize)]) -> Option<(FnItem, usize)> {
+    let name = code.get(at + 1)?;
+    if name.kind != TokenKind::Ident {
+        return None;
+    }
+    // Skip generics to the parameter list.
+    let mut i = at + 2;
+    let mut adepth = 0i32;
+    loop {
+        let t = code.get(i)?;
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Punct, "(") if adepth <= 0 => break,
+            (TokenKind::Punct, "{" | ";") => return None,
+            (TokenKind::Punct, p) if angle(p) != 0 => adepth += angle(p),
+            _ => {}
+        }
+        i += 1;
+    }
+    let params_open = i;
+    let params_close = matching_paren(code, params_open)?;
+    // Parameter names: `ident :` at paren depth 1.
+    let mut params = Vec::new();
+    let mut depth = 0i32;
+    for k in params_open..params_close {
+        let t = &code[k];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                p => depth += angle(p),
+            }
+        }
+        if depth == 1
+            && t.kind == TokenKind::Ident
+            && t.text != "self"
+            && t.text != "mut"
+            && code.get(k + 1).is_some_and(|n| n.text == ":")
+        {
+            params.push(t.text.clone());
+        }
+    }
+    // Return type tokens run from the `)` to the body `{` (or a `;` for
+    // bodyless trait methods).
+    let mut j = params_close + 1;
+    let mut adepth = 0i32;
+    let mut returns_guard = false;
+    let open = loop {
+        let t = code.get(j)?;
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Punct, "{") if adepth <= 0 => break j,
+            (TokenKind::Punct, ";") if adepth <= 0 => return None,
+            (TokenKind::Punct, p) if angle(p) != 0 => adepth += angle(p),
+            (TokenKind::Ident, text) if text.ends_with("Guard") => returns_guard = true,
+            _ => {}
+        }
+        j += 1;
+    };
+    let close = matching_brace(code, open)?;
+    let owner = impls
+        .iter()
+        .filter(|(_, o, c)| (*o..=*c).contains(&open))
+        .min_by_key(|(_, o, c)| c - o)
+        .map(|(owner, _, _)| owner.clone());
+    Some((
+        FnItem {
+            owner,
+            name: name.text.clone(),
+            line: code[at].line,
+            params,
+            returns_guard,
+            body: (open, close),
+        },
+        open + 1,
+    ))
+}
+
+/// The index of the `)` matching the `(` at `open`.
+pub fn matching_paren(code: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in code.iter().enumerate().skip(open) {
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth = depth.checked_sub(1)?;
+                    if depth == 0 {
+                        return Some(k);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> FileAst {
+        parse_file(&lex(src))
+    }
+
+    #[test]
+    fn fn_items_get_their_impl_owner() {
+        let ast = parse(
+            "struct A;\nimpl A {\n    fn one(&self) -> u32 { 1 }\n    pub fn two(x: u64, mut y: f64) -> f64 { y }\n}\nfn free() {}\n",
+        );
+        let names: Vec<(Option<&str>, &str)> = ast
+            .fns
+            .iter()
+            .map(|f| (f.owner.as_deref(), f.name.as_str()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![(Some("A"), "one"), (Some("A"), "two"), (None, "free")]
+        );
+        assert_eq!(ast.fns[1].params, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn trait_impls_resolve_to_the_implementing_type() {
+        let ast = parse("impl Drop for Server {\n    fn drop(&mut self) {}\n}\n");
+        assert_eq!(ast.fns[0].owner.as_deref(), Some("Server"));
+    }
+
+    #[test]
+    fn generic_impls_and_fns_parse() {
+        let ast = parse(
+            "impl<T: Clone> Holder<T> {\n    fn get<U: Into<T>>(&self, u: U) -> T { u.into() }\n}\n",
+        );
+        assert_eq!(ast.fns[0].owner.as_deref(), Some("Holder"));
+        assert_eq!(ast.fns[0].name, "get");
+        assert_eq!(ast.fns[0].params, vec!["u"]);
+    }
+
+    #[test]
+    fn lock_fields_are_collected_including_nested() {
+        let ast = parse(
+            "struct Broker {\n    optimal: RwLock<Option<Model>>,\n    shards: Vec<Mutex<Shard>>,\n    plain: u64,\n    journal: Option<GroupCommit>,\n}\nstruct G { inner: StdMutex<Q> }\n",
+        );
+        assert_eq!(
+            ast.lock_fields,
+            vec![
+                LockField {
+                    owner: "Broker".into(),
+                    field: "optimal".into()
+                },
+                LockField {
+                    owner: "Broker".into(),
+                    field: "shards".into()
+                },
+                LockField {
+                    owner: "G".into(),
+                    field: "inner".into()
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn guard_returning_wrappers_are_flagged() {
+        let ast = parse(
+            "impl T {\n    fn lock_state(&self) -> std::sync::MutexGuard<'_, S> { self.state.lock().unwrap() }\n    fn plain(&self) -> u64 { 0 }\n}\n",
+        );
+        assert!(ast.fns[0].returns_guard);
+        assert!(!ast.fns[1].returns_guard);
+    }
+
+    #[test]
+    fn bodyless_trait_methods_are_skipped() {
+        let ast = parse(
+            "trait T {\n    fn decl(&self) -> u32;\n    fn with_default(&self) -> u32 { 1 }\n}\n",
+        );
+        assert_eq!(ast.fns.len(), 1);
+        assert_eq!(ast.fns[0].name, "with_default");
+    }
+}

@@ -1,5 +1,6 @@
 //! Walks the workspace and drives every rule over it.
 
+use crate::lockgraph;
 use crate::rules;
 use crate::wire_sync;
 use crate::Finding;
@@ -46,6 +47,7 @@ pub fn audit_workspace(root: &Path) -> io::Result<AuditReport> {
     }
     files.sort();
 
+    let mut lock_scope: Vec<(String, String)> = Vec::new();
     for path in &files {
         let rel = relative(root, path);
         let src = fs::read_to_string(path)?;
@@ -53,7 +55,23 @@ pub fn audit_workspace(root: &Path) -> io::Result<AuditReport> {
         report.findings.extend(findings);
         report.suppressions_used += used;
         report.files_scanned += 1;
+        if lockgraph::LOCK_SCOPE_PREFIXES
+            .iter()
+            .any(|p| rel.starts_with(p))
+        {
+            lock_scope.push((rel, src));
+        }
     }
+
+    // The lock-acquisition graph is a whole-program property: it needs
+    // every in-scope file's lock inventory and call graph at once.
+    let pairs: Vec<(&str, &str)> = lock_scope
+        .iter()
+        .map(|(p, s)| (p.as_str(), s.as_str()))
+        .collect();
+    let (lock_findings, lock_used) = lockgraph::check_files(&pairs);
+    report.findings.extend(lock_findings);
+    report.suppressions_used += lock_used;
 
     // Wire-table sync: code vs DESIGN.md.
     let wire = root.join("crates/server/src/wire.rs");

@@ -248,6 +248,213 @@ fn json_output_round_trips() {
     }
 }
 
+// ------------------------------------------------------------- lock-order
+
+#[test]
+fn lock_order_hit_flags_inversion_and_lock_across_fsync() {
+    let src = fixture("lock_order/hit.rs");
+    let (findings, used) =
+        nimbus_audit::lockgraph::check_files(&[("crates/market/src/fixture.rs", &src)]);
+    assert_eq!(used, 0);
+    assert!(findings.iter().all(|f| f.rule == "lock-order"));
+    let msgs: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    // The A→B / B→A inversion between the two commit paths.
+    assert!(
+        msgs.iter().any(|m| m.contains("lock-acquisition cycle")
+            && m.contains("Ledger.stripes")
+            && m.contains("Accounts.spent")),
+        "{msgs:?}"
+    );
+    // The guard held across `append_sale`.
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("held across durability call `append_sale`")
+                && m.contains("flush_holding_lock")),
+        "{msgs:?}"
+    );
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+    assert!(findings.iter().all(|f| !f.snippet.is_empty()));
+}
+
+#[test]
+fn lock_order_miss_is_clean() {
+    let src = fixture("lock_order/miss.rs");
+    let (findings, used) =
+        nimbus_audit::lockgraph::check_files(&[("crates/market/src/fixture.rs", &src)]);
+    assert_eq!(used, 0);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn lock_order_suppression_fires() {
+    let src = fixture("lock_order/suppressed.rs");
+    let (findings, used) =
+        nimbus_audit::lockgraph::check_files(&[("crates/market/src/fixture.rs", &src)]);
+    assert_eq!(used, 1);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+// ------------------------------------------------------- durability-order
+
+#[test]
+fn durability_order_hit_flags_every_protocol_violation() {
+    let (findings, used) = check_file(
+        "crates/market/src/broker.rs",
+        &fixture("durability_order/hit.rs"),
+    );
+    assert_eq!(used, 0);
+    let msgs: Vec<&str> = findings
+        .iter()
+        .filter(|f| f.rule == "durability-order")
+        .map(|f| f.message.as_str())
+        .collect();
+    // Reordered commit: ledger record before the journal append.
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("`commit_reordered`") && m.contains("before the journal append")),
+        "{msgs:?}"
+    );
+    // Budget charged after durability.
+    assert!(
+        msgs.iter().any(|m| m.contains("`commit_charge_late`")
+            && m.contains("charges the buyer budget after the journal append")),
+        "{msgs:?}"
+    );
+    // Charge + append with no refund edge.
+    assert!(
+        msgs.iter().any(|m| m.contains("`commit_charge_late`")
+            && m.contains("no refund on the journal-failure edge")),
+        "{msgs:?}"
+    );
+    // Claim never resolved on any arm.
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("`commit_leaky`") && m.contains("never resolves")),
+        "{msgs:?}"
+    );
+    assert_eq!(msgs.len(), 4, "{findings:#?}");
+}
+
+#[test]
+fn durability_order_miss_is_clean() {
+    let (findings, used) = check_file(
+        "crates/market/src/broker.rs",
+        &fixture("durability_order/miss.rs"),
+    );
+    assert_eq!(used, 0);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn durability_order_suppression_fires() {
+    let (findings, used) = check_file(
+        "crates/market/src/broker.rs",
+        &fixture("durability_order/suppressed.rs"),
+    );
+    assert_eq!(used, 1);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+// ----------------------------------------------------------- money-safety
+
+#[test]
+fn money_safety_hit_flags_cast_equality_and_accumulation() {
+    let (findings, used) = check_file(
+        "crates/market/src/fixture.rs",
+        &fixture("money_safety/hit.rs"),
+    );
+    assert_eq!(used, 0);
+    assert_eq!(lines_of(&findings, "money-safety"), vec![5, 6, 9]);
+    let msgs: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        msgs.iter().any(|m| m.contains("`price as u64`")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("exact float `==`")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("accumulation of money value `price`")),
+        "{msgs:?}"
+    );
+    assert_eq!(findings.len(), 3, "{findings:#?}");
+}
+
+#[test]
+fn money_safety_miss_is_clean() {
+    // Finiteness-guarded accumulation and counter identifiers
+    // (`n_price_points`, `budget_rejects`) stay unflagged.
+    let (findings, used) = check_file(
+        "crates/market/src/fixture.rs",
+        &fixture("money_safety/miss.rs"),
+    );
+    assert_eq!(used, 0);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn money_safety_out_of_scope_path_is_clean() {
+    let (findings, _) = check_file(
+        "crates/optim/src/fixture.rs",
+        &fixture("money_safety/hit.rs"),
+    );
+    assert!(
+        lines_of(&findings, "money-safety").is_empty(),
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn money_safety_suppression_fires() {
+    let (findings, used) = check_file(
+        "crates/market/src/fixture.rs",
+        &fixture("money_safety/suppressed.rs"),
+    );
+    assert_eq!(used, 1);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+// ------------------------------------------------------------- finding ids
+
+#[test]
+fn finding_ids_are_stable_and_occurrence_aware() {
+    let (findings, _) = check_file("crates/server/src/fixture.rs", &fixture("no_panic/hit.rs"));
+    assert!(!findings.is_empty());
+    // Deterministic: the same report renders byte-identically.
+    assert_eq!(render_json(&findings), render_json(&findings));
+    let parsed = json::parse(&render_json(&findings)).expect("parse");
+    let arr = parsed.get("findings").and_then(Value::as_arr).unwrap();
+    let ids: Vec<&str> = arr
+        .iter()
+        .map(|v| v.get("id").and_then(Value::as_str).unwrap())
+        .collect();
+    // Unique per finding, even for repeated identical violations.
+    let unique: std::collections::BTreeSet<&&str> = ids.iter().collect();
+    assert_eq!(unique.len(), ids.len(), "{ids:?}");
+    // Doc anchors point into the rule reference.
+    for v in arr {
+        let doc = v.get("doc").and_then(Value::as_str).unwrap();
+        let rule = v.get("rule").and_then(Value::as_str).unwrap();
+        assert_eq!(doc, format!("crates/audit/RULES.md#{rule}"));
+    }
+    // Position-independent: shifting the finding down a line keeps its id.
+    let mut shifted = findings.clone();
+    for f in &mut shifted {
+        f.line += 3;
+    }
+    let reparsed = json::parse(&render_json(&shifted)).expect("parse");
+    let shifted_ids: Vec<String> = reparsed
+        .get("findings")
+        .and_then(Value::as_arr)
+        .unwrap()
+        .iter()
+        .map(|v| v.get("id").and_then(Value::as_str).unwrap().to_string())
+        .collect();
+    assert_eq!(ids, shifted_ids);
+}
+
 // -------------------------------------------------------------- wire-sync
 
 #[test]

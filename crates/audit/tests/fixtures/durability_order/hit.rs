@@ -1,0 +1,24 @@
+//! Deliberately reordered commit protocols: record-before-append,
+//! charge-after-append with no refund edge, and a leaked dedup claim.
+
+impl Broker {
+    fn commit_reordered(&self, r: SaleRecord) -> Result<(), MarketError> {
+        self.ledger.record_prepared(r);
+        self.journal.append_sale(r)?;
+        Ok(())
+    }
+
+    fn commit_charge_late(&self, buyer: u64, x: f64) -> Result<(), MarketError> {
+        self.journal.append_sale(x)?;
+        self.accounts.charge(buyer, x)?;
+        self.ledger.record_prepared(x);
+        Ok(())
+    }
+
+    fn commit_leaky(&self, nonce: u64) -> Result<(), MarketError> {
+        self.dedup.claim(nonce);
+        self.journal.append_sale(nonce)?;
+        self.ledger.record_prepared(nonce);
+        Ok(())
+    }
+}

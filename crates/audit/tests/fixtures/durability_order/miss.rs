@@ -1,0 +1,21 @@
+//! The commit protocol done right: claim, charge, append with a refund
+//! on the failure edge, record, resolve.
+
+impl Broker {
+    fn commit_correct(&self, buyer: u64, x: f64, nonce: u64) -> Result<(), MarketError> {
+        self.dedup.claim(nonce);
+        self.accounts.charge(buyer, x)?;
+        if let Err(e) = self.journal.append_sale(x) {
+            self.accounts.refund(buyer, x);
+            self.dedup.resolve(nonce, None);
+            return Err(e.into());
+        }
+        self.ledger.record_prepared(x);
+        self.dedup.resolve(nonce, Some(x));
+        Ok(())
+    }
+
+    fn commit_thin_wrapper(&self, buyer: u64, x: f64) -> Result<(), MarketError> {
+        self.commit_correct(buyer, x, 0)
+    }
+}

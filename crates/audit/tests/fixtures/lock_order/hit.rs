@@ -1,0 +1,36 @@
+//! Deliberate lock-order violations: an inversion between two commit
+//! paths (cycle), and a guard held across a durability call.
+
+struct Ledger {
+    stripes: Mutex<Vec<u64>>,
+}
+
+struct Accounts {
+    spent: Mutex<f64>,
+}
+
+struct Broker {
+    ledger: Ledger,
+    accounts: Accounts,
+}
+
+impl Broker {
+    fn commit_forward(&self) {
+        let stripes = self.ledger.stripes.lock().unwrap();
+        let spent = self.accounts.spent.lock().unwrap();
+        drop(spent);
+        drop(stripes);
+    }
+
+    fn commit_backward(&self) {
+        let spent = self.accounts.spent.lock().unwrap();
+        let stripes = self.ledger.stripes.lock().unwrap();
+        drop(stripes);
+        drop(spent);
+    }
+
+    fn flush_holding_lock(&self, journal: &Journal) {
+        let spent = self.accounts.spent.lock().unwrap();
+        journal.append_sale(*spent);
+    }
+}

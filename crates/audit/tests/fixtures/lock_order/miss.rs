@@ -1,0 +1,38 @@
+//! Clean locking: every path acquires stripes before spent (one global
+//! order), and the guard is dropped before the durability call.
+
+struct Ledger {
+    stripes: Mutex<Vec<u64>>,
+}
+
+struct Accounts {
+    spent: Mutex<f64>,
+}
+
+struct Broker {
+    ledger: Ledger,
+    accounts: Accounts,
+}
+
+impl Broker {
+    fn commit_forward(&self) {
+        let stripes = self.ledger.stripes.lock().unwrap();
+        let spent = self.accounts.spent.lock().unwrap();
+        drop(spent);
+        drop(stripes);
+    }
+
+    fn commit_also_forward(&self) {
+        let stripes = self.ledger.stripes.lock().unwrap();
+        drop(stripes);
+        let spent = self.accounts.spent.lock().unwrap();
+        drop(spent);
+    }
+
+    fn flush_after_unlock(&self, journal: &Journal) {
+        let spent = self.accounts.spent.lock().unwrap();
+        let snapshot = *spent;
+        drop(spent);
+        journal.append_sale(snapshot);
+    }
+}

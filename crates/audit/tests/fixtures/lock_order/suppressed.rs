@@ -1,0 +1,14 @@
+//! A lock held across a durability call, silenced by a reasoned
+//! suppression (the group-commit-leader design argument).
+
+struct Batcher {
+    journal: Mutex<Journal>,
+}
+
+impl Batcher {
+    fn flush(&self, records: &[u64]) {
+        let journal = self.journal.lock().unwrap();
+        // nimbus-audit: allow(lock-order) — the leader holds the journal mutex exactly for the group fsync
+        journal.append_sales(records);
+    }
+}

@@ -1,0 +1,11 @@
+//! Unguarded money arithmetic: an integer cast, exact equality, and an
+//! accumulation with no finiteness check in the function.
+
+fn settle(price: f64, budget: f64, total: &mut f64) {
+    let cents = price as u64;
+    if budget == 0.0 {
+        return;
+    }
+    *total += price;
+    let _ = cents;
+}

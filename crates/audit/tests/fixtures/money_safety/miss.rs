@@ -1,0 +1,13 @@
+//! Guarded or non-money arithmetic the rule must not flag: a finiteness
+//! check makes the function a designated validation site, and counter
+//! identifiers (`n_price_points`, `budget_rejects`) are not money.
+
+fn tally(report: &mut Report, price: f64, n_price_points: usize) {
+    if price.is_finite() {
+        report.revenue += price;
+    }
+    let grid = n_price_points as u64;
+    let budget_rejects = 3u64;
+    report.rejects += budget_rejects;
+    let _ = grid;
+}

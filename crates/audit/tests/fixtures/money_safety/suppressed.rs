@@ -1,0 +1,7 @@
+//! An unguarded accumulation silenced by a reasoned suppression (the
+//! upstream-validation argument).
+
+fn aggregate(total: &mut f64, revenue: f64) {
+    // nimbus-audit: allow(money-safety) — revenue was validated finite by the journal commit path upstream
+    *total += revenue;
+}

@@ -83,6 +83,7 @@ impl BuyerPopulation {
                 .get(b.point_index)
                 .ok_or(MarketError::EmptyPopulation)?;
             if b.will_buy(price) {
+                // nimbus-audit: allow(money-safety) — menu prices are validated finite at pricing construction
                 revenue += price;
                 bought += 1;
             }

@@ -1080,6 +1080,7 @@ impl GroupCommit {
 
     /// Compacts the wrapped journal (see [`Journal::checkpoint`]).
     pub fn checkpoint(&self) -> Result<(), JournalError> {
+        // nimbus-audit: allow(lock-order) — the journal mutex is the durability serializer: compaction must exclude concurrent flushes
         self.lock_journal().checkpoint()
     }
 
@@ -1136,6 +1137,7 @@ impl GroupCommit {
                 let batch = std::mem::take(&mut shared.queue);
                 drop(shared);
                 let records: Vec<SaleRecord> = batch.iter().map(|(_, r)| *r).collect();
+                // nimbus-audit: allow(lock-order) — by design: the leader holds the journal mutex exactly for the group fsync; followers park on the condvar, not the disk
                 let results = self.lock_journal().append_sales(&records);
                 shared = self.lock_shared();
                 for ((ticket, _), result) in batch.into_iter().zip(results) {

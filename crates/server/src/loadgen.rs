@@ -279,7 +279,11 @@ fn apply_outcome(report: &mut LoadReport, outcome: &RequestOutcome) {
     report.busy_retried += outcome.busy_retried;
     if outcome.ok {
         report.ok += 1;
-        report.revenue += outcome.price;
+        // Wire-sourced price: never let a corrupt frame poison the
+        // running revenue total.
+        if outcome.price.is_finite() {
+            report.revenue += outcome.price;
+        }
     } else if outcome.busy {
         report.busy += 1;
     } else if outcome.budget {
@@ -395,10 +399,12 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
         total.busy_retried += r.busy_retried;
         total.budget_rejected += r.budget_rejected;
         total.errors += r.errors;
+        // nimbus-audit: allow(money-safety) — per-run totals were finiteness-guarded where each price was accumulated
         total.revenue += r.revenue;
         for slice in r.per_listing {
             let entry = by_listing.entry(slice.listing).or_insert((0, 0.0));
             entry.0 += slice.ok;
+            // nimbus-audit: allow(money-safety) — per-listing slices carry revenue already guarded in the worker loop
             entry.1 += slice.revenue;
         }
     }
@@ -449,7 +455,11 @@ fn thread_load(
                     .entry(target.unwrap_or("").to_string())
                     .or_insert((0, 0.0));
                 entry.0 += 1;
-                entry.1 += outcome.price;
+                // Wire-sourced price: never let a corrupt frame poison
+                // the per-listing revenue total.
+                if outcome.price.is_finite() {
+                    entry.1 += outcome.price;
+                }
             }
         }
         apply_outcome(&mut report, &outcome);
@@ -709,7 +719,11 @@ fn batch_commit_window(
                     match item {
                         BatchOutcomeMsg::Sale(sale) => {
                             report.ok += 1;
-                            report.revenue += sale.price;
+                            // Wire-sourced price: never let a corrupt
+                            // frame poison the running revenue total.
+                            if sale.price.is_finite() {
+                                report.revenue += sale.price;
+                            }
                         }
                         BatchOutcomeMsg::Error {
                             code: ErrorCode::BudgetExhausted,
